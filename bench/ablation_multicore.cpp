@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Section 7.1 ablation: the instruction issue-rate bottleneck.
+ *
+ * A single HISQ core feeding many ports with a dense schedule (one
+ * codeword per port per 4-cycle slot) cannot keep up — events slip past
+ * their time-points (timing violations). Partitioning the same ports over
+ * more cores removes the bottleneck, which is exactly the multi-core
+ * configuration the paper proposes.
+ */
+#include <cstdio>
+#include <string>
+
+#include "isa/assembler.hpp"
+#include "runtime/machine.hpp"
+
+using namespace dhisq;
+
+namespace {
+
+/** Dense program: `slots` timing points, one codeword per port each. */
+std::string
+denseProgram(unsigned ports, unsigned slots, Cycle slot_cycles)
+{
+    std::string src = "waiti 16\n"; // pipeline fill prologue
+    for (unsigned s = 0; s < slots; ++s) {
+        for (unsigned p = 0; p < ports; ++p)
+            src += "cw.i.i " + std::to_string(p) + ", 1\n";
+        src += "waiti " + std::to_string(slot_cycles) + "\n";
+    }
+    src += "halt\n";
+    return src;
+}
+
+struct Outcome
+{
+    std::uint64_t violations;
+    double achieved_rate; // codewords per us
+};
+
+/** `total_ports` split across `cores` controllers. */
+Outcome
+run(unsigned total_ports, unsigned cores, unsigned slots,
+    Cycle slot_cycles)
+{
+    runtime::MachineConfig cfg;
+    cfg.topology.width = cores;
+    cfg.topology.height = 1;
+    cfg.device.num_qubits = 2;
+    cfg.ports_per_controller = total_ports / cores;
+    runtime::Machine m(cfg);
+    for (unsigned c = 0; c < cores; ++c) {
+        m.loadProgram(c, isa::assembleOrDie(denseProgram(
+                             total_ports / cores, slots, slot_cycles)));
+    }
+    const auto report = m.run();
+    Outcome out;
+    out.violations = report.timing_violations;
+    const double us = cyclesToNs(report.makespan) / 1000.0;
+    out.achieved_rate = double(total_ports) * slots / us;
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    const unsigned total_ports = 28; // the full control board
+    const unsigned slots = 200;
+
+    std::printf("==== Section 7.1: issue rate vs cores per board ====\n");
+    std::printf("(28 ports, %u timing points, one codeword per port per "
+                "point)\n\n",
+                slots);
+    std::printf("%12s %8s %12s %16s\n", "slot(cycles)", "cores",
+                "violations", "rate(cw/us)");
+    for (Cycle slot_cycles : {32u, 16u, 8u}) {
+        for (unsigned cores : {1u, 2u, 4u, 7u}) {
+            const auto o = run(total_ports, cores, slots, slot_cycles);
+            std::printf("%12llu %8u %12llu %16.1f\n",
+                        (unsigned long long)slot_cycles, cores,
+                        (unsigned long long)o.violations,
+                        o.achieved_rate);
+        }
+        std::printf("\n");
+    }
+    std::printf("a single core slips once the per-port schedule outpaces "
+                "its 1 instruction/cycle\nissue rate; partitioning ports "
+                "across cores (Section 7.1) removes the violations.\n");
+    return 0;
+}

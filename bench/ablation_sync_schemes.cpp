@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Ablation A: the three synchronization schemes (BISP, demand-driven,
+ * lock-step) across feedback density. As the fraction of layers followed
+ * by measure+feedback grows, lock-step's broadcast-per-measurement and
+ * serialization penalties grow linearly, demand-driven pays a bounce per
+ * re-synchronization, and BISP masks what the booking lead allows — the
+ * quantitative version of Section 2.1's qualitative comparison.
+ */
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/lrcnot.hpp"
+
+using namespace dhisq;
+
+int
+main()
+{
+    bench::headline("Ablation: sync schemes vs feedback density");
+    std::printf("%10s %12s %12s %12s %18s\n", "feedback", "bisp(us)",
+                "demand(us)", "lockstep(us)", "lockstep/bisp");
+
+    for (double frac : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+        workloads::RandomDynamicOptions opt;
+        opt.qubits = 24;
+        opt.layers = 30;
+        opt.feedback_fraction = frac;
+        opt.feedback_span = 4;
+        opt.seed = 11;
+        auto circuit = workloads::randomDynamic(opt);
+        Rng er(3);
+        auto dyn = workloads::expandNonAdjacentGates(circuit, 1.0, er);
+
+        double us[3] = {};
+        int i = 0;
+        for (auto scheme :
+             {compiler::SyncScheme::kBisp, compiler::SyncScheme::kDemand,
+              compiler::SyncScheme::kLockStep}) {
+            const auto r = bench::execute(dyn, scheme);
+            if (r.deadlock || r.violations) {
+                std::printf("UNHEALTHY run (%s)\n",
+                            compiler::toString(scheme));
+            }
+            us[i++] = r.makespan_us;
+        }
+        std::printf("%10.1f %12.2f %12.2f %12.2f %17.2fx\n", frac, us[0],
+                    us[1], us[2], us[2] / us[0]);
+    }
+    return 0;
+}

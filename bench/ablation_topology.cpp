@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Ablation B: region-synchronization latency across the inter-layer tree
+ * design space (Section 5.1): tree arity (height), booking lead, and the
+ * router notification policy (paper's T_m broadcast vs the robust
+ * worst-arrival guard). Measures the wall-clock release time of a global
+ * region sync relative to the theoretical earliest start.
+ */
+#include <cstdio>
+#include <string>
+
+#include "isa/assembler.hpp"
+#include "runtime/machine.hpp"
+
+using namespace dhisq;
+
+namespace {
+
+/** Run one region-sync storm; return (commit - ideal) overhead. */
+long long
+regionOverhead(unsigned controllers, unsigned arity, Cycle residual,
+               net::RouterPolicy policy)
+{
+    runtime::MachineConfig cfg;
+    cfg.topology.width = controllers;
+    cfg.topology.height = 1;
+    cfg.topology.tree_arity = arity;
+    cfg.topology.neighbor_latency = 2;
+    cfg.topology.hop_latency = 4;
+    cfg.fabric.policy = policy;
+    cfg.device.num_qubits = controllers;
+    cfg.device.state_vector = false; // timing-only run
+    cfg.ports_per_controller = 1;
+    runtime::Machine m(cfg);
+
+    const net::Topology &topo = m.topology();
+    const RouterId root = topo.rootRouter();
+
+    Cycle ideal = 0;
+    for (unsigned c = 0; c < controllers; ++c) {
+        const Cycle booking = 10 + 3 * c;
+        ideal = std::max(ideal, booking + residual);
+        std::string src = "waiti " + std::to_string(booking) + "\n";
+        src += "sync r" + std::to_string(root) + ", " +
+               std::to_string(residual) + "\n";
+        src += "waiti " + std::to_string(residual) + "\n";
+        src += "cw.i.i 0, 9\nhalt\n";
+        m.loadProgram(c, isa::assembleOrDie(src));
+    }
+    m.run();
+
+    Cycle commit = 0;
+    bool aligned = true;
+    Cycle first = kNoCycle;
+    for (const auto &r : m.telf().records()) {
+        if (r.kind != TelfKind::CodewordCommit)
+            continue;
+        if (first == kNoCycle)
+            first = r.cycle;
+        aligned = aligned && (r.cycle == first);
+        commit = std::max(commit, r.cycle);
+    }
+    if (!aligned)
+        return -1; // cycle alignment broken — must never happen
+    return (long long)commit - (long long)ideal;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("==== Ablation: region sync vs tree arity ====\n");
+    std::printf("(64 controllers; overhead = release - max(T_i); lead "
+                "residual swept)\n");
+    std::printf("%6s %6s | %22s | %22s\n", "arity", "height",
+                "lead=16 paper/robust", "lead=96 paper/robust");
+    for (unsigned arity : {2u, 4u, 8u, 16u}) {
+        runtime::MachineConfig probe;
+        probe.topology.width = 64;
+        probe.topology.tree_arity = arity;
+        net::Topology topo = net::Topology::grid(probe.topology);
+        const unsigned height = topo.maxDepthBelow(topo.rootRouter());
+
+        long long small_p =
+            regionOverhead(64, arity, 16, net::RouterPolicy::Paper);
+        long long small_r =
+            regionOverhead(64, arity, 16, net::RouterPolicy::Robust);
+        long long big_p =
+            regionOverhead(64, arity, 96, net::RouterPolicy::Paper);
+        long long big_r =
+            regionOverhead(64, arity, 96, net::RouterPolicy::Robust);
+        std::printf("%6u %6u | %10lld %11lld | %10lld %11lld\n", arity,
+                    height, small_p, small_r, big_p, big_r);
+    }
+    std::printf("\nTaller trees (small arity) add hop latency that a small "
+                "booking lead cannot hide;\nwith a generous lead every "
+                "configuration reaches zero-cycle overhead (Section 4.4)."
+                "\nBoth policies stay cycle-aligned; `robust` simply "
+                "guarantees it by construction.\n");
+
+    std::printf("\n==== Scaling: controllers vs region-sync overhead "
+                "(arity 4, lead 16) ====\n");
+    std::printf("%12s %10s\n", "controllers", "overhead");
+    for (unsigned n : {4u, 16u, 64u, 256u}) {
+        std::printf("%12u %10lld\n", n,
+                    regionOverhead(n, 4, 16, net::RouterPolicy::Robust));
+    }
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 15 reproduction: normalized end-to-end runtime of Distributed-HISQ
+ * (BISP) against the lock-step baseline on the converted dynamic-circuit
+ * benchmark suite (adder, bv, logical_t, qft, w_state at the paper's
+ * sizes). The paper reports an average normalized runtime of 0.772
+ * (a 22.8% reduction), with `bv` the one case the baseline wins because of
+ * its optimistic constant-latency broadcast assumption.
+ */
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/lrcnot.hpp"
+
+using namespace dhisq;
+
+int
+main()
+{
+    bench::headline(
+        "Figure 15: normalized runtime, Distributed-HISQ vs lock-step");
+    std::printf("%-16s %14s %14s %12s %20s\n", "benchmark",
+                "baseline(us)", "dhisq(us)", "normalized", "b-slip/b-coin/d-slip");
+
+    double sum_norm = 0.0;
+    unsigned count = 0;
+
+    for (const auto &name : workloads::figure15Names()) {
+        auto circuit = workloads::figure15Benchmark(name);
+        Rng expand_rng(2025);
+        auto dyn =
+            workloads::expandNonAdjacentGates(circuit, 1.0, expand_rng);
+
+        const auto base =
+            bench::execute(dyn, compiler::SyncScheme::kLockStep);
+        const auto hisq = bench::execute(dyn, compiler::SyncScheme::kBisp);
+
+        const double norm = hisq.makespan_us / base.makespan_us;
+        sum_norm += norm;
+        ++count;
+        // BISP must be violation-free; the baseline's slips are the
+        // issue-rate pressure the paper's Section 1.1 attributes to
+        // lock-step result distribution.
+        char health[48];
+        if (hisq.deadlock || base.deadlock) {
+            std::snprintf(health, sizeof(health), "DEADLOCK");
+        } else if (hisq.coincidence != 0) {
+            // BISP's cycle-level commitment guarantee must never break.
+            std::snprintf(health, sizeof(health), "DHISQ-COINC!");
+        } else {
+            std::snprintf(health, sizeof(health), "%llu/%llu/%llu",
+                          (unsigned long long)(base.violations -
+                                               base.coincidence),
+                          (unsigned long long)base.coincidence,
+                          (unsigned long long)(hisq.violations -
+                                               hisq.coincidence));
+        }
+        std::printf("%-16s %14.2f %14.2f %12.3f %20s\n", name.c_str(),
+                    base.makespan_us, hisq.makespan_us, norm, health);
+    }
+
+    std::printf("%-16s %14s %14s %12.3f\n", "avg", "", "",
+                sum_norm / count);
+    std::printf(
+        "(b-slip/b-coin/d-slip = baseline issue-rate slips, baseline\n"
+        "two-qubit coincidence breaks, dhisq issue-rate slips. BISP's\n"
+        "coincidence violations are asserted zero: cycle-level gate\n"
+        "alignment holds even when bv's machine-spanning parity\n"
+        "feed-forward saturates the classical issue rate — bv is the\n"
+        "paper's anomalous benchmark too.)\n");
+    std::printf("\npaper: avg normalized runtime 0.772 "
+                "(22.8%% reduction); bv favours the baseline\n");
+    return 0;
+}

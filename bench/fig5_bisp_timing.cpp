@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Figures 5 and 7 reproduction: BISP timing diagrams.
+ *
+ * (a) Nearby synchronization — two controllers with different booking
+ *     times; the table shows booking (B), Condition I, the sync-signal
+ *     arrival (Condition II) and the synchronous-task commit cycle, which
+ *     must be identical on both sides and equal to max(T0, T1) when the
+ *     deterministic lead covers the link latency (zero overhead).
+ * (b) Remote synchronization through a router — three controllers booking
+ *     T0 < T1 < T2; all commit at T2.
+ * (c) Figure 7's non-zero-overhead case: the booking lead D2 of the last
+ *     controller is swept below the communication latency L2; the measured
+ *     overhead follows max(0, L2 - D2).
+ */
+#include <cstdio>
+#include <string>
+
+#include "isa/assembler.hpp"
+#include "runtime/machine.hpp"
+
+using namespace dhisq;
+
+namespace {
+
+runtime::MachineConfig
+lineConfig(unsigned n, Cycle neighbor_latency, Cycle hop_latency)
+{
+    runtime::MachineConfig cfg;
+    cfg.topology.width = n;
+    cfg.topology.height = 1;
+    cfg.topology.tree_arity = 4;
+    cfg.topology.neighbor_latency = neighbor_latency;
+    cfg.topology.hop_latency = hop_latency;
+    cfg.device.num_qubits = n;
+    cfg.ports_per_controller = 2;
+    return cfg;
+}
+
+std::string
+syncProgram(Cycle booking, const std::string &tgt, Cycle residual)
+{
+    std::string src = "waiti " + std::to_string(booking) + "\n";
+    src += "sync " + tgt;
+    if (tgt[0] == 'r')
+        src += ", " + std::to_string(residual);
+    src += "\nwaiti " + std::to_string(residual) + "\ncw.i.i 0, 9\nhalt\n";
+    return src;
+}
+
+Cycle
+commitCycle(const TelfLog &telf, const std::string &board)
+{
+    for (const auto &r : telf.records()) {
+        if (r.kind == TelfKind::CodewordCommit && r.source == board)
+            return r.cycle;
+    }
+    return kNoCycle;
+}
+
+Cycle
+syncBookCycle(const TelfLog &telf, const std::string &core)
+{
+    for (const auto &r : telf.records()) {
+        if (r.kind == TelfKind::SyncBook && r.source == core)
+            return r.cycle;
+    }
+    return kNoCycle;
+}
+
+} // namespace
+
+int
+main()
+{
+    // ---- Figure 5(a): nearby synchronization ------------------------------
+    std::printf("==== Figure 5(a): nearby synchronization (N = 2) ====\n");
+    std::printf("%6s %10s %10s %10s %10s\n", "ctrl", "booking", "cond_I",
+                "T_i", "commit");
+    {
+        const Cycle b0 = 10, b1 = 24, res = 8, latency = 2;
+        runtime::Machine m(lineConfig(2, latency, 4));
+        m.loadProgram(0, isa::assembleOrDie(syncProgram(b0, "1", res)));
+        m.loadProgram(1, isa::assembleOrDie(syncProgram(b1, "0", res)));
+        m.run();
+        for (unsigned c = 0; c < 2; ++c) {
+            const std::string core = "C" + std::to_string(c);
+            const Cycle book = syncBookCycle(m.telf(), core);
+            const Cycle commit =
+                commitCycle(m.telf(), "B" + std::to_string(c));
+            std::printf("%6s %10llu %10llu %10llu %10llu\n", core.c_str(),
+                        (unsigned long long)book,
+                        (unsigned long long)(book + latency),
+                        (unsigned long long)(book + res),
+                        (unsigned long long)commit);
+        }
+        std::printf("both commit at max(T0, T1) = %llu -> zero-cycle "
+                    "overhead\n\n",
+                    (unsigned long long)(std::max(b0, b1) + res));
+    }
+
+    // ---- Figure 5(b): remote synchronization -------------------------------
+    std::printf("==== Figure 5(b): remote synchronization via router ====\n");
+    std::printf("%6s %10s %10s %10s\n", "ctrl", "booking", "T_i", "commit");
+    {
+        const Cycle bookings[3] = {10, 22, 34};
+        const Cycle res = 40;
+        runtime::Machine m(lineConfig(3, 2, 4));
+        for (unsigned c = 0; c < 3; ++c) {
+            m.loadProgram(c, isa::assembleOrDie(
+                                 syncProgram(bookings[c], "r0", res)));
+        }
+        m.run();
+        for (unsigned c = 0; c < 3; ++c) {
+            const Cycle commit =
+                commitCycle(m.telf(), "B" + std::to_string(c));
+            std::printf("%6s %10llu %10llu %10llu\n",
+                        ("C" + std::to_string(c)).c_str(),
+                        (unsigned long long)bookings[c],
+                        (unsigned long long)(bookings[c] + res),
+                        (unsigned long long)commit);
+        }
+        std::printf("all commit at T_m = max(T_i) = %llu\n\n",
+                    (unsigned long long)(bookings[2] + res));
+    }
+
+    // ---- Figure 7: overhead when the booking lead is too small -------------
+    std::printf("==== Figure 7: sync overhead vs deterministic lead ====\n");
+    std::printf("(two controllers, link latency L = 8; lead D swept)\n");
+    std::printf("%6s %12s %12s %14s\n", "D", "ideal", "actual",
+                "overhead(L-D)");
+    {
+        const Cycle latency = 8;
+        for (Cycle lead = 1; lead <= 12; ++lead) {
+            // The compiler pads the residual to at least N; the pad is the
+            // overhead L - D when D < L.
+            const Cycle res = std::max(lead, latency);
+            runtime::Machine m(lineConfig(2, latency, 4));
+            m.loadProgram(0,
+                          isa::assembleOrDie(syncProgram(100, "1", res)));
+            m.loadProgram(1,
+                          isa::assembleOrDie(syncProgram(100, "0", res)));
+            m.run();
+            const Cycle actual = commitCycle(m.telf(), "B0");
+            const Cycle ideal = 100 + lead;
+            std::printf("%6llu %12llu %12llu %14lld\n",
+                        (unsigned long long)lead,
+                        (unsigned long long)ideal,
+                        (unsigned long long)actual,
+                        (long long)(actual - ideal));
+        }
+        std::printf("zero-cycle overhead iff D >= L "
+                    "(max(B_i + L_i) = max(T_i), Section 4.4)\n");
+    }
+    return 0;
+}

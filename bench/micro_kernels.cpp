@@ -1,0 +1,122 @@
+/**
+ * @file
+ * google-benchmark micro kernels: throughput of the simulator building
+ * blocks (event kernel, state vector, assembler, compiler, end-to-end
+ * machine) so performance regressions in the substrate are visible.
+ */
+#include <benchmark/benchmark.h>
+
+#include "compiler/compiler.hpp"
+#include "isa/assembler.hpp"
+#include "quantum/state_vector.hpp"
+#include "runtime/machine.hpp"
+#include "sim/scheduler.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/lrcnot.hpp"
+
+using namespace dhisq;
+
+static void
+BM_SchedulerEventThroughput(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::Scheduler sched;
+        std::uint64_t fired = 0;
+        for (int i = 0; i < 1000; ++i) {
+            sched.schedule(Cycle(i), [&fired, &sched, i] {
+                ++fired;
+                sched.scheduleIn(1000, [&fired] { ++fired; });
+            });
+        }
+        sched.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_SchedulerEventThroughput);
+
+static void
+BM_StateVectorGate(benchmark::State &state)
+{
+    const unsigned n = unsigned(state.range(0));
+    q::StateVector sv(n);
+    unsigned q = 0;
+    for (auto _ : state) {
+        sv.apply1q(q::Gate::kH, q);
+        q = (q + 1) % n;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StateVectorGate)->Arg(8)->Arg(12)->Arg(16);
+
+static void
+BM_StateVectorCz(benchmark::State &state)
+{
+    const unsigned n = unsigned(state.range(0));
+    q::StateVector sv(n);
+    unsigned q = 0;
+    for (auto _ : state) {
+        sv.apply2q(q::Gate::kCZ, q, (q + 1) % n);
+        q = (q + 1) % n;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StateVectorCz)->Arg(8)->Arg(16);
+
+static void
+BM_Assembler(benchmark::State &state)
+{
+    std::string src;
+    for (int i = 0; i < 100; ++i)
+        src += "addi $1, $1, 1\ncw.i.i 2, 3\nwaiti 8\n";
+    src += "halt\n";
+    for (auto _ : state) {
+        auto program = isa::assemble(src);
+        benchmark::DoNotOptimize(program);
+    }
+    state.SetItemsProcessed(state.iterations() * 301);
+}
+BENCHMARK(BM_Assembler);
+
+static void
+BM_CompileGhz(benchmark::State &state)
+{
+    const unsigned n = unsigned(state.range(0));
+    const auto circuit = workloads::ghz(n);
+    net::TopologyConfig tc;
+    tc.width = n;
+    net::Topology topo = net::Topology::grid(tc);
+    for (auto _ : state) {
+        compiler::Compiler comp(topo, compiler::CompilerConfig{});
+        auto compiled = comp.compile(circuit);
+        benchmark::DoNotOptimize(compiled);
+    }
+}
+BENCHMARK(BM_CompileGhz)->Arg(16)->Arg(64);
+
+static void
+BM_EndToEndLrCnot(benchmark::State &state)
+{
+    const unsigned n = 8;
+    compiler::Circuit circuit(n, "bm");
+    circuit.gate(q::Gate::kH, 0);
+    workloads::appendLongRangeCnotLine(circuit, 0, n - 1);
+
+    net::TopologyConfig tc;
+    tc.width = n;
+    net::Topology topo = net::Topology::grid(tc);
+    compiler::CompilerConfig cc;
+    compiler::Compiler comp(topo, cc);
+    auto compiled = comp.compile(circuit);
+
+    for (auto _ : state) {
+        auto mc = compiler::machineConfigFor(tc, cc, n, true, 1);
+        runtime::Machine machine(mc);
+        compiled.applyTo(machine);
+        auto report = machine.run();
+        benchmark::DoNotOptimize(report);
+    }
+}
+BENCHMARK(BM_EndToEndLrCnot);
+
+BENCHMARK_MAIN();

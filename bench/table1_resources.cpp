@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Table 1 reproduction: FPGA resource consumption of HISQ on the control
+ * and readout boards, via the calibrated linear resource model
+ * (src/hwmodel). The three paper rows are reproduced exactly; the bench
+ * additionally extrapolates to multi-core boards (Section 7.1) and deeper
+ * event queues to show the model's scaling behaviour.
+ */
+#include <cstdio>
+
+#include "hwmodel/resources.hpp"
+
+using namespace dhisq;
+
+int
+main()
+{
+    hw::ResourceModel model;
+    std::printf("%s\n", hw::renderTable1(model).c_str());
+
+    std::printf("paper reference rows:\n");
+    std::printf("  Control Board  4155 LUTs, 75 BRAM blocks, 6392 FFs\n");
+    std::printf("  Readout Board  2435 LUTs, 45 BRAM blocks, 3192 FFs\n");
+    std::printf("  Event Queue    86 LUTs, 1.5 BRAM blocks, 160 FFs\n");
+
+    std::printf("\nExtrapolation: multi-core control boards (Section 7.1)\n");
+    std::printf("%8s %10s %10s %12s\n", "cores", "#LUTs", "#FFs",
+                "#BRAM(32Kb)");
+    for (unsigned cores : {1u, 2u, 4u, 7u}) {
+        const auto r = model.board(hw::kControlBoardQueues, cores);
+        std::printf("%8u %10llu %10llu %12.1f\n", cores,
+                    (unsigned long long)r.luts, (unsigned long long)r.ffs,
+                    r.bram_blocks);
+    }
+
+    std::printf("\nExtrapolation: event-queue depth scaling\n");
+    std::printf("%8s %10s %12s\n", "depth", "#LUTs", "#BRAM(32Kb)");
+    for (unsigned depth : {256u, 1024u, 4096u}) {
+        const auto q = model.eventQueueWithDepth(depth);
+        std::printf("%8u %10llu %12.2f\n", depth,
+                    (unsigned long long)q.luts, q.bram_blocks);
+    }
+
+    std::printf("\nSyncU cost (Section 4.1): %llu LUTs — %.3f%% of a "
+                "control board\n",
+                (unsigned long long)model.sync_unit.luts,
+                100.0 * double(model.sync_unit.luts) /
+                    double(model.board(hw::kControlBoardQueues).luts));
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The paper's motivational scenario (Figure 1): a QFT distributed across
+ * controllers, with cross-chip CNOTs realized as dynamic circuits whose
+ * feedback makes every controller's timeline non-deterministic — compiled
+ * under all three synchronization schemes and compared.
+ */
+#include <cstdio>
+
+#include "compiler/compiler.hpp"
+#include "runtime/machine.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/lrcnot.hpp"
+
+using namespace dhisq;
+
+int
+main()
+{
+    // A 10-qubit QFT on a line: controlled phases up to distance 4 are
+    // decomposed and the non-adjacent CNOTs become long-range dynamic
+    // circuits (the Figure 1 "communication qubit" pattern).
+    workloads::QftOptions opt;
+    opt.approx_window = 4;
+    opt.measure_all = true;
+    auto qft = workloads::qft(10, opt);
+    Rng expand_rng(7);
+    auto dyn = workloads::expandNonAdjacentGates(qft, 1.0, expand_rng);
+
+    std::printf("distributed QFT (Figure 1 scenario): %zu ops, %zu "
+                "measurements, %zu feedback ops\n\n",
+                dyn.size(), dyn.countMeasurements(),
+                dyn.countConditionals());
+    std::printf("%-10s %12s %10s %12s %12s\n", "scheme", "runtime(us)",
+                "syncs", "violations", "coincidence");
+
+    for (auto scheme :
+         {compiler::SyncScheme::kBisp, compiler::SyncScheme::kDemand,
+          compiler::SyncScheme::kLockStep}) {
+        net::TopologyConfig topo_cfg;
+        topo_cfg.width = dyn.numQubits();
+        net::Topology topo = net::Topology::grid(topo_cfg);
+        compiler::CompilerConfig cc;
+        cc.scheme = scheme;
+        compiler::Compiler comp(topo, cc);
+        auto compiled = comp.compile(dyn);
+
+        auto mc = compiler::machineConfigFor(topo_cfg, cc, dyn.numQubits(),
+                                             /*state_vector=*/true, 42);
+        mc.fabric.star_messages =
+            (scheme == compiler::SyncScheme::kLockStep);
+        runtime::Machine machine(mc);
+        compiled.applyTo(machine);
+        const auto report = machine.run();
+
+        std::printf("%-10s %12.2f %10llu %12llu %12zu\n",
+                    compiler::toString(scheme),
+                    cyclesToNs(report.makespan) / 1000.0,
+                    (unsigned long long)report.syncs_completed,
+                    (unsigned long long)report.timing_violations,
+                    report.coincidence_violations);
+    }
+
+    std::printf("\nBISP re-synchronizes only where feedback made timelines "
+                "diverge, books\neach sync as early as possible, and lets "
+                "independent feedback overlap —\nthe lock-step baseline "
+                "serializes everything behind hub broadcasts.\n");
+    return 0;
+}

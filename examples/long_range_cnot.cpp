@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The headline dynamic circuit (Figure 14): a long-range CNOT across a
+ * chain of controllers, compiled through the full software stack, executed
+ * on the distributed machine and verified against a direct CNOT on the
+ * state-vector device — every measurement branch converges thanks to the
+ * feed-forward corrections.
+ */
+#include <cstdio>
+
+#include "compiler/compiler.hpp"
+#include "quantum/state_vector.hpp"
+#include "runtime/machine.hpp"
+#include "workloads/lrcnot.hpp"
+
+using namespace dhisq;
+
+int
+main()
+{
+    const unsigned n = 7;
+
+    // Build: prepare control in (|0>+|1>)/sqrt(2), then CNOT(0 -> 6).
+    compiler::Circuit circuit(n, "lrcnot_example");
+    circuit.gate(q::Gate::kH, 0);
+    workloads::appendLongRangeCnotLine(circuit, 0, n - 1);
+
+    std::printf("long-range CNOT over %u qubits: %zu ops, %zu "
+                "measurements, %zu feed-forward corrections\n",
+                n, circuit.size(), circuit.countMeasurements(),
+                circuit.countConditionals());
+
+    // Compile for Distributed-HISQ (BISP) on a line of controllers.
+    net::TopologyConfig topo_cfg;
+    topo_cfg.width = n;
+    net::Topology topo = net::Topology::grid(topo_cfg);
+    compiler::CompilerConfig cc;
+    compiler::Compiler comp(topo, cc);
+    auto compiled = comp.compile(circuit);
+    std::printf("compiled to %u controllers, %zu instructions, %zu "
+                "codeword bindings\n",
+                compiled.usedControllers(), compiled.totalInstructions(),
+                compiled.bindings.size());
+
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        auto mc = compiler::machineConfigFor(topo_cfg, cc, n,
+                                             /*state_vector=*/true, seed);
+        runtime::Machine machine(mc);
+        compiled.applyTo(machine);
+        const auto report = machine.run();
+
+        // Reference: direct CNOT with the ancillas forced to the outcomes
+        // the machine actually measured.
+        q::StateVector ref(n);
+        ref.apply1q(q::Gate::kH, 0);
+        ref.apply2q(q::Gate::kCNOT, 0, n - 1);
+        std::printf("seed %llu: outcomes [", (unsigned long long)seed);
+        for (const auto &m : machine.device().measurements()) {
+            std::printf("%d", m.bit);
+            if (m.bit)
+                ref.apply1q(q::Gate::kX, m.qubit);
+        }
+        const double fidelity =
+            machine.device().state().fidelityWith(ref);
+        std::printf("]  fidelity vs direct CNOT = %.12f  (%s, %llu ns, "
+                    "%llu syncs)\n",
+                    fidelity, report.coincidence_violations == 0
+                                  ? "coincidence ok"
+                                  : "COINCIDENCE BROKEN",
+                    (unsigned long long)cyclesToNs(report.makespan),
+                    (unsigned long long)report.syncs_completed);
+    }
+    std::printf("\nconstant depth, one round of measurements, two parity "
+                "corrections —\nthe dynamic-circuit trade the paper's "
+                "evaluation is built on.\n");
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The paper's electronics-level verification scenario (Figures 12/13): a
+ * control board whose loop timing grows unpredictably via `waitr`, and a
+ * readout board that stays cycle-aligned with it through BISP `sync`
+ * instructions — run here step by step with a narrated trace.
+ */
+#include <cstdio>
+
+#include "isa/assembler.hpp"
+#include "runtime/machine.hpp"
+
+using namespace dhisq;
+
+int
+main()
+{
+    const char *control = R"(
+            waiti 8
+            addi $2, $0, 90
+            addi $1, $0, 0
+        inner:
+            addi $1, $1, 30    # +120 ns per iteration
+            waitr $1           # non-deterministic to the peer
+            sync 1             # book the synchronization
+            waiti 8            # deterministic lead (masks N = 2)
+            cw.i.i 0, 7        # synchronous pulse
+            waiti 40
+            bne $1, $2, inner
+            halt
+    )";
+    const char *readout = R"(
+            waiti 8
+            addi $3, $0, 3
+            addi $4, $0, 0
+        inner:
+            sync 0
+            waiti 8
+            cw.i.i 0, 7        # synchronous pulse
+            waiti 40
+            addi $4, $4, 1
+            bne $4, $3, inner
+            halt
+    )";
+
+    runtime::MachineConfig config;
+    config.topology.width = 2;
+    config.topology.neighbor_latency = 2;
+    config.device.num_qubits = 2;
+    config.ports_per_controller = 1;
+    runtime::Machine machine(config);
+    machine.loadProgram(0, isa::assembleOrDie(control, "control"));
+    machine.loadProgram(1, isa::assembleOrDie(readout, "readout"));
+    const auto report = machine.run();
+
+    std::printf("two-board BISP synchronization (Figures 12/13)\n");
+    std::printf("run: %s\n\n", report.summary().c_str());
+    std::printf("%-8s %-10s %-22s\n", "cycle", "source", "event");
+    for (const auto &r : machine.telf().records()) {
+        if (r.kind == TelfKind::CodewordCommit ||
+            r.kind == TelfKind::SyncBook ||
+            r.kind == TelfKind::TimerPause ||
+            r.kind == TelfKind::TimerResume) {
+            std::printf("%-8llu %-10s %s%s\n",
+                        (unsigned long long)r.cycle, r.source.c_str(),
+                        toString(r.kind),
+                        r.kind == TelfKind::CodewordCommit
+                            ? "  <-- synchronous pulse"
+                            : "");
+        }
+    }
+    std::printf("\nevery pair of pulses shares a cycle although the "
+                "control board's\nloop grows by 120 ns per iteration — "
+                "cycle-level instruction\ncommitment synchronization with "
+                "zero-cycle overhead.\n");
+    return 0;
+}

@@ -1,0 +1,140 @@
+#include "common/config.hpp"
+
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace dhisq {
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    _values[key] = value;
+}
+
+void
+Config::set(const std::string &key, const char *value)
+{
+    _values[key] = value;
+}
+
+void
+Config::set(const std::string &key, std::int64_t value)
+{
+    _values[key] = std::to_string(value);
+}
+
+void
+Config::set(const std::string &key, double value)
+{
+    std::ostringstream os;
+    os << value;
+    _values[key] = os.str();
+}
+
+void
+Config::set(const std::string &key, bool value)
+{
+    _values[key] = value ? "true" : "false";
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &def) const
+{
+    auto it = _values.find(key);
+    return it == _values.end() ? def : it->second;
+}
+
+std::int64_t
+Config::getInt(const std::string &key, std::int64_t def) const
+{
+    auto it = _values.find(key);
+    if (it == _values.end())
+        return def;
+    std::int64_t out = 0;
+    return parseInt(it->second, &out) ? out : def;
+}
+
+double
+Config::getDouble(const std::string &key, double def) const
+{
+    auto it = _values.find(key);
+    if (it == _values.end())
+        return def;
+    try {
+        return std::stod(it->second);
+    } catch (...) {
+        return def;
+    }
+}
+
+bool
+Config::getBool(const std::string &key, bool def) const
+{
+    auto it = _values.find(key);
+    if (it == _values.end())
+        return def;
+    const std::string v = toLower(it->second);
+    if (v == "true" || v == "1" || v == "yes" || v == "on")
+        return true;
+    if (v == "false" || v == "0" || v == "no" || v == "off")
+        return false;
+    return def;
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return _values.count(key) != 0;
+}
+
+std::vector<std::string>
+Config::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(_values.size());
+    for (const auto &kv : _values)
+        out.push_back(kv.first);
+    return out;
+}
+
+void
+Config::mergeFrom(const Config &other)
+{
+    for (const auto &kv : other._values)
+        _values[kv.first] = kv.second;
+}
+
+bool
+Config::parseLines(const std::string &text, std::string *error)
+{
+    int lineno = 0;
+    for (auto line : split(text, '\n')) {
+        ++lineno;
+        auto hash = line.find('#');
+        if (hash != std::string_view::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        auto eq = line.find('=');
+        if (eq == std::string_view::npos) {
+            if (error) {
+                *error = "line " + std::to_string(lineno) +
+                         ": expected key=value";
+            }
+            return false;
+        }
+        const auto key = trim(line.substr(0, eq));
+        const auto value = trim(line.substr(eq + 1));
+        if (key.empty()) {
+            if (error)
+                *error = "line " + std::to_string(lineno) + ": empty key";
+            return false;
+        }
+        _values[std::string(key)] = std::string(value);
+    }
+    return true;
+}
+
+} // namespace dhisq

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Simple hierarchical key/value configuration store.
+ *
+ * The runtime assembles machines (boards, links, routers, device) from a
+ * Config; benches tweak individual knobs programmatically. Keys are flat
+ * dotted strings ("link.neighbor_latency"), values are typed on read.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dhisq {
+
+/** Flat typed key/value configuration with defaults on read. */
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Set a value (any scalar is stored as its string form). */
+    void set(const std::string &key, const std::string &value);
+    void set(const std::string &key, const char *value);
+    void set(const std::string &key, std::int64_t value);
+    void set(const std::string &key, double value);
+    void set(const std::string &key, bool value);
+
+    /** Typed getters with defaults for missing keys. */
+    std::string getString(const std::string &key,
+                          const std::string &def = "") const;
+    std::int64_t getInt(const std::string &key, std::int64_t def = 0) const;
+    double getDouble(const std::string &key, double def = 0.0) const;
+    bool getBool(const std::string &key, bool def = false) const;
+
+    /** True if the key is present. */
+    bool has(const std::string &key) const;
+
+    /** All keys in sorted order (for dumping). */
+    std::vector<std::string> keys() const;
+
+    /** Merge `other` over this config (other's values win). */
+    void mergeFrom(const Config &other);
+
+    /**
+     * Parse "key=value" lines; '#' starts a comment. Returns false and sets
+     * *error on malformed input.
+     */
+    bool parseLines(const std::string &text, std::string *error);
+
+  private:
+    std::map<std::string, std::string> _values;
+};
+
+} // namespace dhisq

@@ -1,0 +1,47 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+
+namespace dhisq {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+namespace detail {
+
+void
+logLine(const char *prefix, const std::string &msg)
+{
+    std::fprintf(stderr, "[%s] %s\n", prefix, msg.c_str());
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "[panic] %s:%d: %s\n", file, line, msg.c_str());
+    std::abort();
+}
+
+void
+fatalImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "[fatal] %s\n", msg.c_str());
+    std::exit(1);
+}
+
+} // namespace detail
+
+} // namespace dhisq

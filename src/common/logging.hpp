@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Minimal logging/error facilities in the gem5 spirit: panic() for internal
+ * invariant violations, fatal() for user/configuration errors, warn()/inform()
+ * for status. No exceptions cross module boundaries.
+ */
+#pragma once
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace dhisq {
+
+/** Verbosity levels for runtime logging. */
+enum class LogLevel { Quiet = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/** Global log level (default Warn so tests/benches stay tidy). */
+LogLevel logLevel();
+
+/** Set the global log level. */
+void setLogLevel(LogLevel level);
+
+namespace detail {
+
+/** Emit one log line with a severity prefix. */
+void logLine(const char *prefix, const std::string &msg);
+
+/** Abort after printing a panic message (internal bug). */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Exit(1) after printing a fatal message (user error). */
+[[noreturn]] void fatalImpl(const std::string &msg);
+
+/** Build a string from streamable parts. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Report an internal invariant violation and abort. */
+#define DHISQ_PANIC(...)                                                      \
+    ::dhisq::detail::panicImpl(__FILE__, __LINE__,                            \
+                               ::dhisq::detail::concat(__VA_ARGS__))
+
+/** Report an unrecoverable user/configuration error and exit. */
+#define DHISQ_FATAL(...)                                                      \
+    ::dhisq::detail::fatalImpl(::dhisq::detail::concat(__VA_ARGS__))
+
+/** Assert an invariant with a formatted message; compiled in all builds. */
+#define DHISQ_ASSERT(cond, ...)                                               \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            DHISQ_PANIC("assertion failed: " #cond " — ",                     \
+                        ::dhisq::detail::concat(__VA_ARGS__));                \
+        }                                                                     \
+    } while (false)
+
+/** Warn about suspicious but survivable conditions. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Warn) {
+        detail::logLine("warn", detail::concat(std::forward<Args>(args)...));
+    }
+}
+
+/** Informational status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Info) {
+        detail::logLine("info", detail::concat(std::forward<Args>(args)...));
+    }
+}
+
+/** Debug-level trace message. */
+template <typename... Args>
+void
+debugLog(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Debug) {
+        detail::logLine("debug", detail::concat(std::forward<Args>(args)...));
+    }
+}
+
+} // namespace dhisq

@@ -1,0 +1,42 @@
+#include "common/stats.hpp"
+
+#include <sstream>
+
+namespace dhisq {
+
+void
+StatSet::mergeFrom(const StatSet &other)
+{
+    for (const auto &kv : other._counters)
+        _counters[kv.first] += kv.second;
+    for (const auto &kv : other._scalars) {
+        auto &dst = _scalars[kv.first];
+        if (kv.second.samples == 0)
+            continue;
+        if (dst.samples == 0) {
+            dst = kv.second;
+        } else {
+            dst.sum += kv.second.sum;
+            dst.samples += kv.second.samples;
+            if (kv.second.min < dst.min) dst.min = kv.second.min;
+            if (kv.second.max > dst.max) dst.max = kv.second.max;
+        }
+    }
+}
+
+std::string
+StatSet::report(const std::string &prefix) const
+{
+    std::ostringstream os;
+    for (const auto &kv : _counters)
+        os << prefix << kv.first << " = " << kv.second << '\n';
+    for (const auto &kv : _scalars) {
+        const auto &s = kv.second;
+        os << prefix << kv.first << " : mean=" << s.mean()
+           << " min=" << s.min << " max=" << s.max
+           << " n=" << s.samples << '\n';
+    }
+    return os.str();
+}
+
+} // namespace dhisq

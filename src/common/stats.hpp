@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Simple named statistics: counters, min/max/mean scalars and histograms.
+ * Every architectural unit exposes a StatSet so benches can print uniform
+ * reports and tests can assert on behavioural counters (e.g. number of
+ * timer pauses, total pause cycles, sync bookings).
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dhisq {
+
+/** Accumulating scalar statistic. */
+struct ScalarStat
+{
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::uint64_t samples = 0;
+
+    void
+    sample(double v)
+    {
+        if (samples == 0) {
+            min = max = v;
+        } else {
+            if (v < min) min = v;
+            if (v > max) max = v;
+        }
+        sum += v;
+        ++samples;
+    }
+
+    double mean() const { return samples ? sum / samples : 0.0; }
+};
+
+/** Named collection of counters and scalar stats. */
+class StatSet
+{
+  public:
+    /** Increment a counter. */
+    void
+    inc(const std::string &name, std::uint64_t by = 1)
+    {
+        _counters[name] += by;
+    }
+
+    /** Record a scalar sample. */
+    void
+    sample(const std::string &name, double value)
+    {
+        _scalars[name].sample(value);
+    }
+
+    /** Counter value (0 if absent). */
+    std::uint64_t
+    counter(const std::string &name) const
+    {
+        auto it = _counters.find(name);
+        return it == _counters.end() ? 0 : it->second;
+    }
+
+    /** Scalar stat (zeroed if absent). */
+    ScalarStat
+    scalar(const std::string &name) const
+    {
+        auto it = _scalars.find(name);
+        return it == _scalars.end() ? ScalarStat{} : it->second;
+    }
+
+    const std::map<std::string, std::uint64_t> &counters() const
+    {
+        return _counters;
+    }
+    const std::map<std::string, ScalarStat> &scalars() const
+    {
+        return _scalars;
+    }
+
+    /** Merge another StatSet into this one (counters add, scalars merge). */
+    void mergeFrom(const StatSet &other);
+
+    /** Render a human-readable report, one stat per line. */
+    std::string report(const std::string &prefix = "") const;
+
+    void
+    clear()
+    {
+        _counters.clear();
+        _scalars.clear();
+    }
+
+  private:
+    std::map<std::string, std::uint64_t> _counters;
+    std::map<std::string, ScalarStat> _scalars;
+};
+
+} // namespace dhisq

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Lightweight Status / Result types used for recoverable errors (e.g. the
+ * assembler reporting a syntax error). Unrecoverable conditions use
+ * DHISQ_PANIC / DHISQ_FATAL instead; exceptions are not used across module
+ * boundaries.
+ */
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace dhisq {
+
+/** Success-or-message status for operations without a payload. */
+class Status
+{
+  public:
+    /** Construct an OK status. */
+    static Status ok() { return Status(); }
+
+    /** Construct an error status carrying a message. */
+    static Status error(std::string msg)
+    {
+        Status s;
+        s._message = std::move(msg);
+        s._ok = false;
+        return s;
+    }
+
+    bool isOk() const { return _ok; }
+    explicit operator bool() const { return _ok; }
+
+    /** Error message; empty when OK. */
+    const std::string &message() const { return _message; }
+
+  private:
+    bool _ok = true;
+    std::string _message;
+};
+
+/**
+ * Value-or-error result. A minimal std::expected stand-in (we target
+ * toolchains without <expected>).
+ */
+template <typename T>
+class Result
+{
+  public:
+    /** Implicit from value. */
+    Result(T value) : _value(std::move(value)) {}
+
+    /** Construct an error result. */
+    static Result error(std::string msg)
+    {
+        Result r;
+        r._message = std::move(msg);
+        return r;
+    }
+
+    bool isOk() const { return _value.has_value(); }
+    explicit operator bool() const { return isOk(); }
+
+    /** Access the value; panics if the result is an error. */
+    const T &
+    value() const
+    {
+        DHISQ_ASSERT(isOk(), "Result::value() on error: ", _message);
+        return *_value;
+    }
+
+    T &
+    value()
+    {
+        DHISQ_ASSERT(isOk(), "Result::value() on error: ", _message);
+        return *_value;
+    }
+
+    /** Move the value out; panics if the result is an error. */
+    T
+    take()
+    {
+        DHISQ_ASSERT(isOk(), "Result::take() on error: ", _message);
+        return std::move(*_value);
+    }
+
+    /** Error message; empty when OK. */
+    const std::string &message() const { return _message; }
+
+  private:
+    Result() = default;
+
+    std::optional<T> _value;
+    std::string _message;
+};
+
+} // namespace dhisq

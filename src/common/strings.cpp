@@ -1,0 +1,115 @@
+#include "common/strings.hpp"
+
+#include <cctype>
+#include <cstdint>
+
+namespace dhisq {
+
+std::string_view
+trim(std::string_view s)
+{
+    size_t begin = 0;
+    size_t end = s.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(s[begin])))
+        ++begin;
+    while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1])))
+        --end;
+    return s.substr(begin, end - begin);
+}
+
+std::vector<std::string_view>
+split(std::string_view s, char delim)
+{
+    std::vector<std::string_view> out;
+    size_t start = 0;
+    for (size_t i = 0; i <= s.size(); ++i) {
+        if (i == s.size() || s[i] == delim) {
+            out.push_back(s.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+std::vector<std::string_view>
+splitWhitespace(std::string_view s)
+{
+    std::vector<std::string_view> out;
+    size_t i = 0;
+    while (i < s.size()) {
+        while (i < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[i]))) {
+            ++i;
+        }
+        size_t start = i;
+        while (i < s.size() &&
+               !std::isspace(static_cast<unsigned char>(s[i]))) {
+            ++i;
+        }
+        if (i > start)
+            out.push_back(s.substr(start, i - start));
+    }
+    return out;
+}
+
+bool
+startsWith(std::string_view s, std::string_view prefix)
+{
+    return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string
+toLower(std::string_view s)
+{
+    std::string out(s);
+    for (auto &c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+bool
+parseInt(std::string_view s, std::int64_t *out)
+{
+    s = trim(s);
+    if (s.empty())
+        return false;
+
+    bool negative = false;
+    if (s[0] == '+' || s[0] == '-') {
+        negative = (s[0] == '-');
+        s.remove_prefix(1);
+        if (s.empty())
+            return false;
+    }
+
+    int base = 10;
+    if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+        base = 16;
+        s.remove_prefix(2);
+    } else if (s.size() > 2 && s[0] == '0' && (s[1] == 'b' || s[1] == 'B')) {
+        base = 2;
+        s.remove_prefix(2);
+    }
+
+    std::int64_t value = 0;
+    for (char c : s) {
+        int digit;
+        if (c >= '0' && c <= '9') {
+            digit = c - '0';
+        } else if (c >= 'a' && c <= 'f') {
+            digit = c - 'a' + 10;
+        } else if (c >= 'A' && c <= 'F') {
+            digit = c - 'A' + 10;
+        } else {
+            return false;
+        }
+        if (digit >= base)
+            return false;
+        value = value * base + digit;
+    }
+
+    *out = negative ? -value : value;
+    return true;
+}
+
+} // namespace dhisq

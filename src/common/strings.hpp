@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Small string utilities used by the assembler and config parser.
+ */
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dhisq {
+
+/** Strip leading and trailing whitespace. */
+std::string_view trim(std::string_view s);
+
+/** Split on a delimiter character; empty fields are preserved. */
+std::vector<std::string_view> split(std::string_view s, char delim);
+
+/** Split on arbitrary whitespace runs; empty fields are dropped. */
+std::vector<std::string_view> splitWhitespace(std::string_view s);
+
+/** True if `s` starts with `prefix`. */
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/** Lower-case ASCII copy. */
+std::string toLower(std::string_view s);
+
+/**
+ * Parse a signed integer with optional 0x/0b prefix and +- sign.
+ * @return true on success with *out set; false leaves *out untouched.
+ */
+bool parseInt(std::string_view s, std::int64_t *out);
+
+} // namespace dhisq

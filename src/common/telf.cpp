@@ -1,0 +1,89 @@
+#include "common/telf.hpp"
+
+#include <sstream>
+
+namespace dhisq {
+
+const char *
+toString(TelfKind kind)
+{
+    switch (kind) {
+      case TelfKind::CodewordCommit: return "cw";
+      case TelfKind::SyncBook: return "sync_book";
+      case TelfKind::SyncDone: return "sync_done";
+      case TelfKind::TimerPause: return "pause";
+      case TelfKind::TimerResume: return "resume";
+      case TelfKind::MsgSend: return "send";
+      case TelfKind::MsgRecv: return "recv";
+      case TelfKind::MeasureStart: return "meas_start";
+      case TelfKind::MeasureResult: return "meas_result";
+      case TelfKind::Violation: return "violation";
+      case TelfKind::Halt: return "halt";
+    }
+    return "?";
+}
+
+std::string
+TelfRecord::toLine() const
+{
+    std::ostringstream os;
+    os << cycle << ' ' << source << ' ' << toString(kind) << ' ' << port
+       << ' ' << value;
+    if (!note.empty())
+        os << ' ' << note;
+    return os.str();
+}
+
+std::vector<TelfRecord>
+TelfLog::filter(const std::function<bool(const TelfRecord &)> &pred) const
+{
+    std::vector<TelfRecord> out;
+    for (const auto &r : _records) {
+        if (pred(r))
+            out.push_back(r);
+    }
+    return out;
+}
+
+std::vector<TelfRecord>
+TelfLog::ofKind(TelfKind kind) const
+{
+    return filter([kind](const TelfRecord &r) { return r.kind == kind; });
+}
+
+std::vector<TelfRecord>
+TelfLog::ofKind(TelfKind kind, const std::string &source) const
+{
+    return filter([kind, &source](const TelfRecord &r) {
+        return r.kind == kind && r.source == source;
+    });
+}
+
+std::size_t
+TelfLog::countOf(TelfKind kind) const
+{
+    std::size_t n = 0;
+    for (const auto &r : _records)
+        n += (r.kind == kind) ? 1 : 0;
+    return n;
+}
+
+Cycle
+TelfLog::lastCycle() const
+{
+    Cycle last = 0;
+    for (const auto &r : _records)
+        last = std::max(last, r.cycle);
+    return last;
+}
+
+std::string
+TelfLog::toText() const
+{
+    std::ostringstream os;
+    for (const auto &r : _records)
+        os << r.toLine() << '\n';
+    return os.str();
+}
+
+} // namespace dhisq

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Timing Event Logging Format (TELF).
+ *
+ * The paper verifies CACTUS-Light against the FPGA implementation by
+ * exchanging TELF traces (Section 6.4.1). We implement TELF as an in-memory
+ * record stream with a canonical one-line-per-event text rendering:
+ *
+ *     <cycle> <source> <kind> <port> <value> [note]
+ *
+ * Tests assert on the record stream (e.g. "all CZ halves committed in the
+ * same cycle"); benches render traces as waveform-like rows.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dhisq {
+
+/** Kind of a TELF event. */
+enum class TelfKind : std::uint8_t {
+    CodewordCommit,  ///< A codeword was issued on an output port.
+    SyncBook,        ///< A sync event reached the SyncU (booking time B).
+    SyncDone,        ///< Both sync conditions satisfied; timer released.
+    TimerPause,      ///< TCU timer paused awaiting a sync condition.
+    TimerResume,     ///< TCU timer resumed.
+    MsgSend,         ///< Message Unit transmitted a payload.
+    MsgRecv,         ///< Message Unit delivered a payload to the core.
+    MeasureStart,    ///< Readout acquisition window opened.
+    MeasureResult,   ///< Discriminated measurement result available.
+    Violation,       ///< Timing violation (event issued past its deadline).
+    Halt,            ///< Controller retired its halt instruction.
+};
+
+/** Render a TelfKind as its canonical mnemonic. */
+const char *toString(TelfKind kind);
+
+/** One timing event. */
+struct TelfRecord
+{
+    Cycle cycle = 0;           ///< Wall-clock commit cycle.
+    std::string source;        ///< Emitting unit, e.g. "C2" or "R0".
+    TelfKind kind = TelfKind::CodewordCommit;
+    std::int64_t port = -1;    ///< Port index or -1 when not applicable.
+    std::int64_t value = 0;    ///< Codeword / payload / target.
+    std::string note;          ///< Free-form annotation.
+
+    /** Canonical text rendering. */
+    std::string toLine() const;
+};
+
+/** Append-only TELF trace with query helpers for tests and benches. */
+class TelfLog
+{
+  public:
+    /** Append a record. */
+    void
+    record(Cycle cycle, std::string source, TelfKind kind,
+           std::int64_t port = -1, std::int64_t value = 0,
+           std::string note = "")
+    {
+        _records.push_back(TelfRecord{cycle, std::move(source), kind, port,
+                                      value, std::move(note)});
+    }
+
+    const std::vector<TelfRecord> &records() const { return _records; }
+    std::size_t size() const { return _records.size(); }
+    bool empty() const { return _records.empty(); }
+    void clear() { _records.clear(); }
+
+    /** All records matching a predicate. */
+    std::vector<TelfRecord>
+    filter(const std::function<bool(const TelfRecord &)> &pred) const;
+
+    /** All records of one kind. */
+    std::vector<TelfRecord> ofKind(TelfKind kind) const;
+
+    /** All records of one kind emitted by one source. */
+    std::vector<TelfRecord> ofKind(TelfKind kind,
+                                   const std::string &source) const;
+
+    /** Count of records of one kind. */
+    std::size_t countOf(TelfKind kind) const;
+
+    /** Largest cycle stamp in the log (0 when empty). */
+    Cycle lastCycle() const;
+
+    /** Render the full trace as canonical text. */
+    std::string toText() const;
+
+  private:
+    std::vector<TelfRecord> _records;
+};
+
+} // namespace dhisq

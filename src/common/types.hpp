@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Fundamental scalar types and identifiers shared across Distributed-HISQ.
+ *
+ * The global time base is the TCU clock of the paper's FPGA implementation:
+ * 250 MHz, i.e. one cycle == 4 ns (Section 6.1). All simulator timestamps are
+ * expressed in integral cycles of that clock.
+ */
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace dhisq {
+
+/** Simulation time in TCU clock cycles (4 ns grid). */
+using Cycle = std::uint64_t;
+
+/** Sentinel for "no time" / unscheduled. */
+inline constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+
+/** Nanoseconds per TCU cycle (250 MHz clock). */
+inline constexpr double kNsPerCycle = 4.0;
+
+/** Convert a duration in nanoseconds to cycles, rounding up to the grid. */
+constexpr Cycle
+nsToCycles(double ns)
+{
+    const double cycles = ns / kNsPerCycle;
+    const auto floor_cycles = static_cast<Cycle>(cycles);
+    return (static_cast<double>(floor_cycles) < cycles) ? floor_cycles + 1
+                                                        : floor_cycles;
+}
+
+/** Convert cycles to nanoseconds. */
+constexpr double
+cyclesToNs(Cycle c)
+{
+    return static_cast<double>(c) * kNsPerCycle;
+}
+
+/** Convert microseconds to cycles (convenience for T1-style constants). */
+constexpr Cycle
+usToCycles(double us)
+{
+    return nsToCycles(us * 1000.0);
+}
+
+/** Identifier of a controller (HISQ core) in the distributed system. */
+using ControllerId = std::uint32_t;
+
+/** Identifier of a router in the inter-layer tree. */
+using RouterId = std::uint32_t;
+
+/** Physical qubit index on the quantum device. */
+using QubitId = std::uint32_t;
+
+/** Classical measurement bit index. */
+using CbitId = std::uint32_t;
+
+/** Output/input port index local to one board. */
+using PortId = std::uint32_t;
+
+/** Codeword payload carried by a `cw` instruction (Section 3.1.2). */
+using Codeword = std::uint32_t;
+
+/** Sentinel controller id. */
+inline constexpr ControllerId kNoController =
+    std::numeric_limits<ControllerId>::max();
+
+/** Sentinel qubit id. */
+inline constexpr QubitId kNoQubit = std::numeric_limits<QubitId>::max();
+
+/**
+ * Address of a synchronization target as used by the `sync` instruction.
+ *
+ * The paper's <tgt> field designates either a nearest-neighbour controller or
+ * an ancestor router (Section 3.1.3). We reserve the top bit to distinguish
+ * the two name spaces so a single immediate can encode both.
+ */
+struct SyncTarget
+{
+    /** Raw encoding: bit 15 set => router, else controller. */
+    std::uint16_t raw = 0;
+
+    static constexpr std::uint16_t kRouterFlag = 0x8000;
+
+    static SyncTarget controller(ControllerId id)
+    {
+        return SyncTarget{static_cast<std::uint16_t>(id & 0x7FFF)};
+    }
+
+    static SyncTarget router(RouterId id)
+    {
+        return SyncTarget{
+            static_cast<std::uint16_t>((id & 0x7FFF) | kRouterFlag)};
+    }
+
+    bool isRouter() const { return (raw & kRouterFlag) != 0; }
+    std::uint32_t index() const { return raw & 0x7FFF; }
+
+    bool operator==(const SyncTarget &other) const = default;
+};
+
+/** Human-readable rendering of a sync target, e.g. "C3" or "R1". */
+std::string toString(const SyncTarget &tgt);
+
+inline std::string
+toString(const SyncTarget &tgt)
+{
+    return (tgt.isRouter() ? "R" : "C") + std::to_string(tgt.index());
+}
+
+} // namespace dhisq

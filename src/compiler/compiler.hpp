@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The DQCtrl compiler backend (Figure 10): lowers a dynamic circuit onto
+ * per-controller HISQ binaries plus board bindings and measurement routes.
+ *
+ * Three synchronization schemes are supported:
+ *
+ *  - kBisp      Distributed-HISQ codegen. Each controller keeps its own
+ *               control flow; conditional blocks execute only their taken
+ *               branch (no reserved dead time); cross-controller two-qubit
+ *               gates after non-deterministic regions insert nearby `sync`
+ *               pairs with the booking advanced as far as the last
+ *               non-deterministic point (Insight #1), masking the link
+ *               latency behind remaining deterministic work.
+ *  - kDemand    QubiC-2.0-style on-demand sync (Section 2.1.3): identical
+ *               hardware, but the sync books immediately before the
+ *               synchronization point, paying the signal bounce N on every
+ *               synchronization.
+ *  - kLockStep  IBM-style lock-step baseline (Sections 2.1.2, 6.4.3): one
+ *               static global timeline shared by all controllers; every
+ *               measurement result is broadcast through the central hub at
+ *               a size-independent constant latency; conditional blocks
+ *               reserve their duration on the global timeline and
+ *               serialize against each other (single program flow).
+ *
+ * Epoch model. The compiler tracks, per controller, an *epoch*: a maximal
+ * region of the timeline whose wall-clock alignment with other controllers
+ * in the same epoch is deterministic. Feedback (branches, remote-result
+ * waits) ends an epoch; sync instructions merge controllers back into a
+ * common epoch. Two-qubit gate halves may only be co-scheduled inside a
+ * common epoch — this is precisely the paper's cycle-level instruction
+ * commitment synchronization requirement, and the quantum device's
+ * coincidence checker enforces it at runtime.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "compiler/ir.hpp"
+#include "net/topology.hpp"
+#include "quantum/device.hpp"
+#include "runtime/machine.hpp"
+
+namespace dhisq::compiler {
+
+/** Synchronization scheme to compile for. */
+enum class SyncScheme : std::uint8_t { kBisp, kDemand, kLockStep };
+
+/** Human-readable scheme name. */
+const char *toString(SyncScheme scheme);
+
+/** Compiler knobs. */
+struct CompilerConfig
+{
+    SyncScheme scheme = SyncScheme::kBisp;
+    /** Consecutive qubits per controller (1 = the Figure 1 setting). */
+    unsigned qubits_per_controller = 1;
+    /** Operation durations in cycles (paper: 20/40/300 ns). */
+    Cycle gate1q = 5;
+    Cycle gate2q = 10;
+    Cycle measure = 75;
+    /** Classical decode margin between a result arrival and its use. */
+    Cycle feedback_margin = 8;
+    /**
+     * Scheduling floor applied at program/epoch start: the first timing
+     * points sit this many cycles after the origin so the 1-instruction/
+     * cycle pipeline can fill the event queues ahead of time (otherwise a
+     * burst of same-time-point codewords would outrun the issue rate,
+     * Section 7.1).
+     */
+    Cycle pipeline_slack = 8;
+    /** One-way hub latency assumed by the lock-step baseline (kept
+     *  deliberately optimistic, Section 6.4.3). */
+    Cycle star_latency = 12;
+    /** Booking lead used for region syncs at repetition boundaries. */
+    Cycle region_residual = 64;
+    /** Program repetitions, separated by region-level synchronization. */
+    unsigned repetitions = 1;
+};
+
+/** One board binding produced by compilation. */
+struct Binding
+{
+    ControllerId controller;
+    PortId port;
+    Codeword codeword;
+    q::Action action;
+};
+
+/** Compiler output: binaries + bindings + routes + statistics. */
+struct CompiledProgram
+{
+    /** Per controller; only entries with used[i] carry a program. */
+    std::vector<isa::Program> programs;
+    std::vector<bool> used;
+    std::vector<Binding> bindings;
+    /** qubit -> controller that receives its measurement results. */
+    std::vector<std::pair<QubitId, ControllerId>> meas_routes;
+    StatSet stats;
+
+    /** Number of controllers that execute code. */
+    unsigned usedControllers() const;
+
+    /** Total compiled instructions across all controllers. */
+    std::size_t totalInstructions() const;
+
+    /** Load programs, bindings and routes into a machine. */
+    void applyTo(runtime::Machine &machine) const;
+};
+
+/** Circuit -> HISQ compiler. */
+class Compiler
+{
+  public:
+    Compiler(const net::Topology &topo, const CompilerConfig &config);
+
+    /** Compile one dynamic circuit. */
+    CompiledProgram compile(const Circuit &circuit);
+
+    const CompilerConfig &config() const { return _config; }
+
+  private:
+    const net::Topology &_topo;
+    CompilerConfig _config;
+};
+
+/**
+ * Machine configuration matching a compilation: same topology, durations,
+ * hub latency and enough qubits/ports. `state_vector` selects functional
+ * (small) vs timing-only (large) device mode.
+ */
+runtime::MachineConfig machineConfigFor(const net::TopologyConfig &topo,
+                                        const CompilerConfig &compiler,
+                                        unsigned num_qubits,
+                                        bool state_vector,
+                                        std::uint64_t seed = 1);
+
+} // namespace dhisq::compiler

@@ -1,0 +1,67 @@
+#include "compiler/ir.hpp"
+
+#include "common/logging.hpp"
+
+namespace dhisq::compiler {
+
+std::size_t
+Circuit::countMeasurements() const
+{
+    std::size_t n = 0;
+    for (const auto &op : _ops)
+        n += op.isMeasure() ? 1 : 0;
+    return n;
+}
+
+std::size_t
+Circuit::countConditionals() const
+{
+    std::size_t n = 0;
+    for (const auto &op : _ops)
+        n += op.isConditional() ? 1 : 0;
+    return n;
+}
+
+std::size_t
+Circuit::countTwoQubit() const
+{
+    std::size_t n = 0;
+    for (const auto &op : _ops)
+        n += op.isTwoQubit() ? 1 : 0;
+    return n;
+}
+
+SimulationResult
+simulateCircuit(const Circuit &circuit, Rng &rng)
+{
+    SimulationResult result;
+    result.state = q::StateVector(circuit.numQubits());
+    result.cbits.assign(circuit.numCbits(), 0);
+
+    for (const auto &op : circuit.ops()) {
+        if (op.isConditional()) {
+            int parity = 0;
+            for (CbitId b : op.condition) {
+                DHISQ_ASSERT(b < result.cbits.size(),
+                             "condition on unmeasured cbit ", b);
+                parity ^= result.cbits[b];
+            }
+            if (parity == 0)
+                continue;
+        }
+        if (op.isMeasure()) {
+            result.cbits.at(op.result) =
+                result.state.measure(op.qubits[0], rng);
+        } else if (op.gate == q::Gate::kPrepZ) {
+            result.state.resetQubit(op.qubits[0], rng);
+        } else if (op.isTwoQubit()) {
+            result.state.apply2q(op.gate, op.qubits[0], op.qubits[1],
+                                 op.angle);
+        } else {
+            result.state.apply1q(op.gate, op.qubits[0], op.angle);
+        }
+    }
+    return result;
+}
+
+} // namespace dhisq::compiler

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Dynamic-circuit intermediate representation.
+ *
+ * This is the circuit-level input of the software stack (the role SISQ
+ * plays in Figure 10): gates, measurements and classically-conditioned
+ * operations. Conditions are parity conditions over previously-measured
+ * classical bits — exactly what the dynamic-circuit constructions in the
+ * evaluation need (the Fig. 14 long-range CNOT applies X/Z conditioned on
+ * the parity of ancilla measurement outcomes).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "quantum/gates.hpp"
+#include "quantum/state_vector.hpp"
+
+namespace dhisq::compiler {
+
+/** Sentinel classical bit. */
+inline constexpr CbitId kNoCbit = 0xFFFFFFFF;
+
+/** One circuit operation. */
+struct CircuitOp
+{
+    q::Gate gate = q::Gate::kI;
+    double angle = 0.0;
+    /** Operand qubits (1 or 2 entries). */
+    std::vector<QubitId> qubits;
+    /** Measurement destination (measure ops only). */
+    CbitId result = kNoCbit;
+    /**
+     * Parity condition: when non-empty the op executes iff the XOR of the
+     * listed classical bits equals 1.
+     */
+    std::vector<CbitId> condition;
+
+    bool isMeasure() const { return gate == q::Gate::kMeasure; }
+    bool isConditional() const { return !condition.empty(); }
+    bool isTwoQubit() const { return qubits.size() == 2; }
+};
+
+/** A dynamic circuit. */
+class Circuit
+{
+  public:
+    explicit Circuit(unsigned num_qubits, std::string name = "circuit")
+        : _num_qubits(num_qubits), _name(std::move(name))
+    {
+    }
+
+    unsigned numQubits() const { return _num_qubits; }
+    unsigned numCbits() const { return _num_cbits; }
+    const std::string &name() const { return _name; }
+    const std::vector<CircuitOp> &ops() const { return _ops; }
+    std::size_t size() const { return _ops.size(); }
+
+    /** Append a single-qubit gate. */
+    void
+    gate(q::Gate g, QubitId q, double angle = 0.0)
+    {
+        CircuitOp op;
+        op.gate = g;
+        op.angle = angle;
+        op.qubits = {q};
+        _ops.push_back(std::move(op));
+    }
+
+    /** Append a two-qubit gate. */
+    void
+    gate2(q::Gate g, QubitId q0, QubitId q1, double angle = 0.0)
+    {
+        CircuitOp op;
+        op.gate = g;
+        op.angle = angle;
+        op.qubits = {q0, q1};
+        _ops.push_back(std::move(op));
+    }
+
+    /** Append a measurement; returns the classical bit it writes. */
+    CbitId
+    measure(QubitId q)
+    {
+        CircuitOp op;
+        op.gate = q::Gate::kMeasure;
+        op.qubits = {q};
+        op.result = _num_cbits++;
+        _ops.push_back(std::move(op));
+        return op.result;
+    }
+
+    /** Append a gate conditioned on the parity of `bits` being 1. */
+    void
+    conditionalGate(q::Gate g, QubitId q, std::vector<CbitId> bits,
+                    double angle = 0.0)
+    {
+        CircuitOp op;
+        op.gate = g;
+        op.angle = angle;
+        op.qubits = {q};
+        op.condition = std::move(bits);
+        _ops.push_back(std::move(op));
+    }
+
+    /** Append an arbitrary op. */
+    void append(CircuitOp op) { _ops.push_back(std::move(op)); }
+
+    /** Count of measurement ops. */
+    std::size_t countMeasurements() const;
+
+    /** Count of conditional (feedback) ops. */
+    std::size_t countConditionals() const;
+
+    /** Count of two-qubit ops. */
+    std::size_t countTwoQubit() const;
+
+  private:
+    unsigned _num_qubits;
+    unsigned _num_cbits = 0;
+    std::string _name;
+    std::vector<CircuitOp> _ops;
+};
+
+/** Result of reference (architectural-model-free) circuit execution. */
+struct SimulationResult
+{
+    q::StateVector state{1};
+    std::vector<int> cbits;
+};
+
+/**
+ * Execute the circuit directly on a state vector — the functional reference
+ * against which compiled executions are verified.
+ */
+SimulationResult simulateCircuit(const Circuit &circuit, Rng &rng);
+
+} // namespace dhisq::compiler

@@ -1,0 +1,210 @@
+#include "compiler/program_builder.hpp"
+
+#include "common/logging.hpp"
+#include "isa/encoding.hpp"
+
+namespace dhisq::compiler {
+
+namespace {
+constexpr std::size_t kUnbound = std::size_t(-1);
+} // namespace
+
+Label
+ProgramBuilder::newLabel()
+{
+    _label_targets.push_back(kUnbound);
+    return Label{_label_targets.size() - 1};
+}
+
+void
+ProgramBuilder::bind(Label label)
+{
+    DHISQ_ASSERT(label.id < _label_targets.size(), "unknown label");
+    DHISQ_ASSERT(_label_targets[label.id] == kUnbound,
+                 "label bound twice");
+    _label_targets[label.id] = _instructions.size();
+}
+
+void
+ProgramBuilder::emit(isa::Instruction ins)
+{
+    DHISQ_ASSERT(!_finished, "builder already finished");
+    _instructions.push_back(ins);
+}
+
+void
+ProgramBuilder::addi(unsigned rd, unsigned rs1, std::int32_t imm)
+{
+    DHISQ_ASSERT(imm >= isa::kMinSImmediate && imm <= isa::kMaxSImmediate,
+                 "addi immediate out of range: ", imm);
+    emit(isa::Instruction{isa::Op::kAddi, std::uint8_t(rd),
+                          std::uint8_t(rs1), 0, imm, 0});
+}
+
+void
+ProgramBuilder::li(unsigned rd, std::int32_t value)
+{
+    if (value >= isa::kMinSImmediate && value <= isa::kMaxSImmediate) {
+        addi(rd, 0, value);
+        return;
+    }
+    std::int32_t hi = value & ~0xFFF;
+    std::int32_t lo = value & 0xFFF;
+    if (lo >= 2048) {
+        lo -= 4096;
+        hi += 4096;
+    }
+    emit(isa::Instruction{isa::Op::kLui, std::uint8_t(rd), 0, 0, hi, 0});
+    addi(rd, rd, lo);
+}
+
+void
+ProgramBuilder::xorReg(unsigned rd, unsigned rs1, unsigned rs2)
+{
+    emit(isa::Instruction{isa::Op::kXor, std::uint8_t(rd),
+                          std::uint8_t(rs1), std::uint8_t(rs2), 0, 0});
+}
+
+void
+ProgramBuilder::andi(unsigned rd, unsigned rs1, std::int32_t imm)
+{
+    emit(isa::Instruction{isa::Op::kAndi, std::uint8_t(rd),
+                          std::uint8_t(rs1), 0, imm, 0});
+}
+
+void
+ProgramBuilder::lw(unsigned rd, unsigned base, std::int32_t offset)
+{
+    DHISQ_ASSERT(offset >= isa::kMinSImmediate &&
+                     offset <= isa::kMaxSImmediate,
+                 "lw offset out of range: ", offset);
+    emit(isa::Instruction{isa::Op::kLw, std::uint8_t(rd),
+                          std::uint8_t(base), 0, offset, 0});
+}
+
+void
+ProgramBuilder::sw(unsigned rs2, unsigned base, std::int32_t offset)
+{
+    DHISQ_ASSERT(offset >= isa::kMinSImmediate &&
+                     offset <= isa::kMaxSImmediate,
+                 "sw offset out of range: ", offset);
+    emit(isa::Instruction{isa::Op::kSw, 0, std::uint8_t(base),
+                          std::uint8_t(rs2), offset, 0});
+}
+
+void
+ProgramBuilder::beq(unsigned rs1, unsigned rs2, Label target)
+{
+    _fixups.push_back(Fixup{_instructions.size(), target.id});
+    emit(isa::Instruction{isa::Op::kBeq, 0, std::uint8_t(rs1),
+                          std::uint8_t(rs2), 0, 0});
+}
+
+void
+ProgramBuilder::bne(unsigned rs1, unsigned rs2, Label target)
+{
+    _fixups.push_back(Fixup{_instructions.size(), target.id});
+    emit(isa::Instruction{isa::Op::kBne, 0, std::uint8_t(rs1),
+                          std::uint8_t(rs2), 0, 0});
+}
+
+void
+ProgramBuilder::jal(Label target)
+{
+    _fixups.push_back(Fixup{_instructions.size(), target.id});
+    emit(isa::Instruction{isa::Op::kJal, 0, 0, 0, 0, 0});
+}
+
+void
+ProgramBuilder::waiti(Cycle cycles)
+{
+    while (cycles > Cycle(isa::kMaxWaitImmediate)) {
+        emit(isa::Instruction{isa::Op::kWaitI, 0, 0, 0,
+                              isa::kMaxWaitImmediate, 0});
+        cycles -= Cycle(isa::kMaxWaitImmediate);
+    }
+    if (cycles > 0) {
+        emit(isa::Instruction{isa::Op::kWaitI, 0, 0, 0,
+                              std::int32_t(cycles), 0});
+    }
+}
+
+void
+ProgramBuilder::cwii(PortId port, Codeword cw)
+{
+    DHISQ_ASSERT(port <= PortId(isa::kMaxSImmediate),
+                 "port out of encodable range: ", port);
+    DHISQ_ASSERT(cw <= Codeword(isa::kMaxCwImmediate),
+                 "codeword out of immediate range: ", cw);
+    emit(isa::Instruction{isa::Op::kCwII, 0, 0, 0, std::int32_t(port),
+                          std::int32_t(cw)});
+}
+
+void
+ProgramBuilder::syncController(ControllerId peer)
+{
+    DHISQ_ASSERT(peer < 0x800, "peer id too large to encode: ", peer);
+    emit(isa::Instruction{isa::Op::kSync, 0, 0, 0, std::int32_t(peer), 0});
+}
+
+void
+ProgramBuilder::syncRouter(RouterId router, Cycle residual)
+{
+    DHISQ_ASSERT(router < 0x800, "router id too large to encode: ", router);
+    DHISQ_ASSERT(residual <= Cycle(isa::kMaxSyncResidual),
+                 "sync residual too large: ", residual);
+    emit(isa::Instruction{isa::Op::kSync, 0, 0, 0,
+                          std::int32_t(router) | isa::kSyncRouterFlag,
+                          std::int32_t(residual)});
+}
+
+void
+ProgramBuilder::wtrig(std::uint32_t src)
+{
+    emit(isa::Instruction{isa::Op::kWtrig, 0, 0, 0, std::int32_t(src), 0});
+}
+
+void
+ProgramBuilder::send(ControllerId dst, unsigned rs2)
+{
+    emit(isa::Instruction{isa::Op::kSend, 0, 0, std::uint8_t(rs2),
+                          std::int32_t(dst), 0});
+}
+
+void
+ProgramBuilder::recv(unsigned rd, std::uint32_t src)
+{
+    emit(isa::Instruction{isa::Op::kRecv, std::uint8_t(rd), 0, 0,
+                          std::int32_t(src), 0});
+}
+
+void
+ProgramBuilder::halt()
+{
+    emit(isa::Instruction{isa::Op::kHalt, 0, 0, 0, 0, 0});
+}
+
+isa::Program
+ProgramBuilder::finish()
+{
+    DHISQ_ASSERT(!_finished, "finish called twice");
+    _finished = true;
+    for (const auto &fix : _fixups) {
+        const std::size_t target = _label_targets.at(fix.label_id);
+        DHISQ_ASSERT(target != kUnbound, "unbound label ", fix.label_id);
+        _instructions[fix.instr_index].imm =
+            std::int32_t((std::int64_t(target) -
+                          std::int64_t(fix.instr_index)) *
+                         4);
+    }
+    isa::Program program;
+    program.name = _name;
+    program.instructions = std::move(_instructions);
+    program.lines.assign(program.instructions.size(), 0);
+    program.words.reserve(program.instructions.size());
+    for (const auto &ins : program.instructions)
+        program.words.push_back(isa::encode(ins));
+    return program;
+}
+
+} // namespace dhisq::compiler

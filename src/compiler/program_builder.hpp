@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Convenience builder for emitting decoded HISQ instructions with label
+ * support — the compiler's code-emission backend. Produces the same
+ * isa::Program the assembler does (encoded words included), so compiled
+ * binaries are first-class artifacts.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+
+namespace dhisq::compiler {
+
+/** Forward-reference label handle. */
+struct Label
+{
+    std::size_t id = 0;
+};
+
+/** Emits isa::Instruction streams with branch-label fixups. */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(std::string name = "compiled")
+        : _name(std::move(name))
+    {
+    }
+
+    std::size_t size() const { return _instructions.size(); }
+
+    /** Create an unbound label. */
+    Label newLabel();
+
+    /** Bind a label to the next instruction. */
+    void bind(Label label);
+
+    // ---- Raw emission ----------------------------------------------------
+    void emit(isa::Instruction ins);
+
+    // ---- Classical helpers -----------------------------------------------
+    void addi(unsigned rd, unsigned rs1, std::int32_t imm);
+    /** Load an arbitrary 32-bit constant (addi or lui+addi pair). */
+    void li(unsigned rd, std::int32_t value);
+    void xorReg(unsigned rd, unsigned rs1, unsigned rs2);
+    void andi(unsigned rd, unsigned rs1, std::int32_t imm);
+    void lw(unsigned rd, unsigned base, std::int32_t offset);
+    void sw(unsigned rs2, unsigned base, std::int32_t offset);
+    void beq(unsigned rs1, unsigned rs2, Label target);
+    void bne(unsigned rs1, unsigned rs2, Label target);
+    void jal(Label target);
+
+    // ---- Quantum-control helpers ------------------------------------------
+    /** waiti, split into encodable chunks when the duration is large. */
+    void waiti(Cycle cycles);
+    void cwii(PortId port, Codeword cw);
+    void syncController(ControllerId peer);
+    void syncRouter(RouterId router, Cycle residual);
+    void wtrig(std::uint32_t src);
+    void send(ControllerId dst, unsigned rs2);
+    void recv(unsigned rd, std::uint32_t src);
+    void halt();
+
+    /** Finish: resolve labels, encode words, return the program. */
+    isa::Program finish();
+
+  private:
+    std::string _name;
+    std::vector<isa::Instruction> _instructions;
+    struct Fixup
+    {
+        std::size_t instr_index;
+        std::size_t label_id;
+    };
+    std::vector<Fixup> _fixups;
+    std::vector<std::size_t> _label_targets; ///< indexed by label id
+    bool _finished = false;
+};
+
+} // namespace dhisq::compiler

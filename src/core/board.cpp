@@ -1,0 +1,75 @@
+#include "core/board.hpp"
+
+#include "common/logging.hpp"
+
+namespace dhisq::core {
+
+Board::Board(const BoardConfig &config, sim::Scheduler &sched, TelfLog *telf,
+             q::QuantumDevice *device)
+    : _config(config), _sched(sched), _telf(telf), _device(device),
+      _trigger_delays(config.num_ports, 0)
+{
+}
+
+void
+Board::bind(PortId port, Codeword cw, const q::Action &action)
+{
+    DHISQ_ASSERT(port < _config.num_ports, _config.name,
+                 ": bind to port out of range: ", port);
+    _bindings[{port, cw}] = action;
+}
+
+void
+Board::setTriggerDelay(PortId port, Cycle delay)
+{
+    DHISQ_ASSERT(port < _config.num_ports, "port out of range");
+    _trigger_delays[port] = delay;
+}
+
+Cycle
+Board::triggerDelay(PortId port) const
+{
+    DHISQ_ASSERT(port < _config.num_ports, "port out of range");
+    return _trigger_delays[port];
+}
+
+void
+Board::onCodeword(PortId port, Codeword cw, Cycle wall)
+{
+    DHISQ_ASSERT(port < _config.num_ports, _config.name,
+                 ": codeword on port out of range: ", port);
+    const Cycle delay = _trigger_delays[port];
+    if (delay == 0) {
+        commit(port, cw, wall);
+    } else {
+        _sched.schedule(wall + delay,
+                        [this, port, cw, when = wall + delay] {
+                            commit(port, cw, when);
+                        });
+    }
+}
+
+void
+Board::commit(PortId port, Codeword cw, Cycle commit_cycle)
+{
+    _stats.inc("codewords_committed");
+    if (_telf) {
+        _telf->record(commit_cycle, _config.name, TelfKind::CodewordCommit,
+                      std::int64_t(port), std::int64_t(cw));
+    }
+    if (!_device)
+        return;
+    auto it = _bindings.find({port, cw});
+    if (it == _bindings.end()) {
+        // Unbound codewords are markers (scope triggers etc.).
+        _stats.inc("unbound_codewords");
+        return;
+    }
+    if (it->second.kind == q::ActionKind::MeasureStart && _telf) {
+        _telf->record(commit_cycle, _config.name, TelfKind::MeasureStart,
+                      std::int64_t(port), std::int64_t(it->second.q0));
+    }
+    _device->trigger(it->second, commit_cycle);
+}
+
+} // namespace dhisq::core

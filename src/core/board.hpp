@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Control and readout boards (Figure 3b / Section 6.1).
+ *
+ * A board is the technology-dependent half of a node: it owns the binding
+ * table that turns (port, codeword) into a physical Action — the indirection
+ * that makes HISQ hardware-agnostic (Insight #3) — plus per-port trigger
+ * delays (analog chains differ; Figure 12 compensates a 57-cycle skew in
+ * software). The same HISQ core drives both board types; only the bindings
+ * and the number of codeword queues differ, which is the paper's
+ * adaptability demonstration.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/telf.hpp"
+#include "common/types.hpp"
+#include "quantum/device.hpp"
+#include "sim/scheduler.hpp"
+
+namespace dhisq::core {
+
+/** Board flavour (affects default port counts only). */
+enum class BoardKind : std::uint8_t { Control, Readout };
+
+/** Static board configuration. */
+struct BoardConfig
+{
+    std::string name = "board";
+    BoardKind kind = BoardKind::Control;
+    /** Control board: 8 XY + 20 Z = 28; readout board: 4 RI + 4 RO = 8. */
+    unsigned num_ports = 28;
+};
+
+/** Default paper port counts. */
+inline constexpr unsigned kControlBoardPorts = 28; // 8 XY + 20 Z
+inline constexpr unsigned kReadoutBoardPorts = 8;  // 4 RI + 4 RO
+
+/**
+ * A board: binding table + trigger delays + the hook that commits codewords
+ * into the quantum device.
+ */
+class Board
+{
+  public:
+    Board(const BoardConfig &config, sim::Scheduler &sched, TelfLog *telf,
+          q::QuantumDevice *device);
+
+    const std::string &name() const { return _config.name; }
+    unsigned numPorts() const { return _config.num_ports; }
+
+    /** Bind (port, codeword) -> physical action. */
+    void bind(PortId port, Codeword cw, const q::Action &action);
+
+    /** Set the calibrated analog trigger delay of a port. */
+    void setTriggerDelay(PortId port, Cycle delay);
+    Cycle triggerDelay(PortId port) const;
+
+    /**
+     * TCU issue hook: codeword `cw` left the core toward `port` at `wall`.
+     * The physical commit happens after the port's trigger delay.
+     */
+    void onCodeword(PortId port, Codeword cw, Cycle wall);
+
+    const StatSet &stats() const { return _stats; }
+
+  private:
+    void commit(PortId port, Codeword cw, Cycle commit_cycle);
+
+    BoardConfig _config;
+    sim::Scheduler &_sched;
+    TelfLog *_telf;
+    q::QuantumDevice *_device;
+
+    std::map<std::pair<PortId, Codeword>, q::Action> _bindings;
+    std::vector<Cycle> _trigger_delays;
+    StatSet _stats;
+};
+
+} // namespace dhisq::core

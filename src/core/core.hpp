@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The HISQ core: a single controller's digital logic (Figure 3a).
+ *
+ * Composition: classical pipeline (RV32I subset, Section 3.1.1), Timing
+ * Control Unit with codeword/sync queues, Synchronization Unit (BISP) and
+ * Message Unit. The pipeline runs ahead of the timing domain, enqueueing
+ * precisely-stamped events; queue backpressure is the only thing that slows
+ * it down — exactly the queue-based timing control of QuMA that the paper
+ * builds on.
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/telf.hpp"
+#include "common/types.hpp"
+#include "core/msgu.hpp"
+#include "core/syncu.hpp"
+#include "core/tcu.hpp"
+#include "isa/instruction.hpp"
+#include "sim/scheduler.hpp"
+
+namespace dhisq::core {
+
+/** Static configuration of a HISQ core. */
+struct CoreConfig
+{
+    ControllerId id = 0;
+    unsigned num_ports = 1;
+    std::size_t queue_capacity = 1024;
+    std::size_t control_queue_capacity = 64;
+    std::size_t data_mem_bytes = 1 << 16;
+    /** Cycles per classical instruction (simple in-order pipeline). */
+    Cycle classical_cpi = 1;
+    /** Cycle at which the core begins fetching. */
+    Cycle start_at = 0;
+};
+
+/** Outward wiring of a core (network + board provided by the machine). */
+struct CoreHooks
+{
+    /** A codeword left the TCU toward the board's analog chain. */
+    std::function<void(PortId, Codeword, Cycle wall)> on_codeword;
+    /** `send` instruction payload toward another controller. */
+    std::function<void(ControllerId dst, std::uint32_t payload)> on_send;
+    /** SyncU network wiring (see SyncUplinks). */
+    SyncUplinks sync;
+};
+
+/** One controller. */
+class HisqCore
+{
+  public:
+    HisqCore(const CoreConfig &config, sim::Scheduler &sched, TelfLog *telf,
+             CoreHooks hooks);
+
+    /** Load the binary to execute. */
+    void loadProgram(isa::Program program);
+
+    /** Schedule the first fetch (at config.start_at). */
+    void start();
+
+    // ---- Inbound network interface --------------------------------------
+
+    /** Deliver a classical message (wakes recv and fires a trigger). */
+    void deliverMessage(std::uint32_t src, std::uint32_t payload);
+
+    /** Deliver a neighbour's 1-bit sync signal. */
+    void deliverSyncSignal(ControllerId from);
+
+    /** Deliver the region sync time-point from the router tree. */
+    void deliverRegionNotify(Cycle t_final);
+
+    // ---- Introspection ---------------------------------------------------
+
+    ControllerId id() const { return _config.id; }
+    const std::string &name() const { return _name; }
+    bool halted() const { return _halted; }
+    Cycle haltCycle() const { return _halt_cycle; }
+    bool stalled() const { return _stall != Stall::None; }
+
+    /** True when the core retired halt and its TCU drained. */
+    bool quiescent() const { return _halted && _tcu.drained(); }
+
+    std::uint32_t reg(unsigned index) const { return _regs.at(index); }
+
+    Tcu &tcu() { return _tcu; }
+    const Tcu &tcu() const { return _tcu; }
+    SyncU &syncu() { return _syncu; }
+    const SyncU &syncu() const { return _syncu; }
+    MsgU &msgu() { return _msgu; }
+    const MsgU &msgu() const { return _msgu; }
+
+    const StatSet &stats() const { return _stats; }
+
+  private:
+    enum class Stall : std::uint8_t { None, QueueFull, RecvWait };
+
+    void step();
+    void scheduleStep(Cycle delay);
+    /** Execute one instruction; false means the pipeline stalled. */
+    bool execute(const isa::Instruction &ins);
+    bool executeClassical(const isa::Instruction &ins);
+    bool executeBranch(const isa::Instruction &ins);
+
+    void writeReg(unsigned index, std::uint32_t value);
+    std::uint32_t loadMem(std::uint32_t addr, unsigned bytes, bool sign);
+    void storeMem(std::uint32_t addr, unsigned bytes, std::uint32_t value);
+
+    CoreConfig _config;
+    sim::Scheduler &_sched;
+    TelfLog *_telf;
+    std::string _name;
+    CoreHooks _hooks;
+
+    Tcu _tcu;
+    SyncU _syncu;
+    MsgU _msgu;
+
+    isa::Program _program;
+    std::uint32_t _pc = 0;
+    std::array<std::uint32_t, 32> _regs{};
+    std::vector<std::uint8_t> _mem;
+
+    bool _started = false;
+    bool _halted = false;
+    Cycle _halt_cycle = 0;
+    Stall _stall = Stall::None;
+    bool _step_scheduled = false;
+
+    StatSet _stats;
+};
+
+} // namespace dhisq::core

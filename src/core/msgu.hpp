@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Message Unit (MsgU) — classical communication across controllers
+ * (Section 3.1.4): measurement results, feedback payloads and the
+ * lock-step baseline's broadcasts all arrive here.
+ *
+ * Every delivery both (a) appends the payload to the receive queue that
+ * `recv` pops and (b) fires an external trigger pulse consumed by `wtrig`
+ * via the SyncU, so the same arrival can release both the pipeline and the
+ * timing domain.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace dhisq::core {
+
+/** Mailbox source id carrying measurement results from the readout chain. */
+inline constexpr std::uint32_t kMeasResultSource = 0xFFE;
+
+/** Wildcard accepted by `recv` (matches the ISA's kRecvAnySource). */
+inline constexpr std::uint32_t kAnySource = 0xFFF;
+
+/** Inbound message. */
+struct Message
+{
+    std::uint32_t src = 0;
+    std::uint32_t payload = 0;
+    std::uint64_t seq = 0; ///< global arrival order
+};
+
+/**
+ * Per-core message unit. Messages are kept in per-source FIFO queues so a
+ * source-filtered recv is O(log sources) regardless of unrelated traffic;
+ * the wildcard recv follows global arrival order via sequence numbers.
+ */
+class MsgU
+{
+  public:
+    /** Callback invoked on every delivery (wakes a recv-stalled pipeline). */
+    using DeliverFn = std::function<void(const Message &)>;
+
+    void setDeliverFn(DeliverFn fn) { _on_deliver = std::move(fn); }
+
+    /** Deliver a message (called by the fabric at the arrival cycle). */
+    void
+    deliver(std::uint32_t src, std::uint32_t payload)
+    {
+        auto &queue = _inbox[src];
+        queue.push_back(Message{src, payload, _next_seq++});
+        ++_pending;
+        _stats.inc("messages_delivered");
+        if (_on_deliver)
+            _on_deliver(queue.back());
+    }
+
+    /**
+     * Pop the oldest message matching `src_filter` (kAnySource = any).
+     * @return true when a message was popped into *out.
+     */
+    bool
+    tryRecv(std::uint32_t src_filter, Message *out)
+    {
+        if (src_filter != kAnySource) {
+            auto it = _inbox.find(src_filter);
+            if (it == _inbox.end() || it->second.empty())
+                return false;
+            *out = it->second.front();
+            it->second.pop_front();
+            --_pending;
+            _stats.inc("messages_received");
+            return true;
+        }
+        // Wildcard: earliest arrival across all source queues.
+        std::deque<Message> *best = nullptr;
+        for (auto &kv : _inbox) {
+            if (kv.second.empty())
+                continue;
+            if (!best || kv.second.front().seq < best->front().seq)
+                best = &kv.second;
+        }
+        if (!best)
+            return false;
+        *out = best->front();
+        best->pop_front();
+        --_pending;
+        _stats.inc("messages_received");
+        return true;
+    }
+
+    bool empty() const { return _pending == 0; }
+    std::size_t pending() const { return _pending; }
+
+    const StatSet &stats() const { return _stats; }
+
+  private:
+    std::map<std::uint32_t, std::deque<Message>> _inbox;
+    std::size_t _pending = 0;
+    std::uint64_t _next_seq = 0;
+    DeliverFn _on_deliver;
+    StatSet _stats;
+};
+
+} // namespace dhisq::core

@@ -1,0 +1,196 @@
+#include "core/syncu.hpp"
+
+#include "common/logging.hpp"
+#include "isa/instruction.hpp"
+
+namespace dhisq::core {
+
+SyncU::SyncU(Tcu &tcu, sim::Scheduler &sched, TelfLog *telf, std::string name)
+    : _tcu(tcu), _sched(sched), _telf(telf), _name(std::move(name))
+{
+}
+
+void
+SyncU::onControlEvent(const TimedEvent &ev, Cycle wall)
+{
+    DHISQ_ASSERT(_state == State::Idle,
+                 "SyncU busy: overlapping sync/wtrig events at ", _name);
+    _cond1_met = false;
+    switch (ev.kind) {
+      case TimedEventKind::Sync:
+        if (ev.target & isa::kSyncRouterFlag)
+            beginRegion(ev, wall);
+        else
+            beginNearby(ev, wall);
+        break;
+      case TimedEventKind::Wtrig:
+        beginTrig(ev, wall);
+        break;
+      case TimedEventKind::Codeword:
+        DHISQ_PANIC("codeword routed to SyncU");
+    }
+}
+
+void
+SyncU::beginNearby(const TimedEvent &ev, Cycle wall)
+{
+    DHISQ_ASSERT(_uplinks.send_nearby_signal && _uplinks.link_latency,
+                 "nearby sync without network wiring at ", _name);
+    _state = State::Nearby;
+    _peer = ControllerId(ev.target);
+    const Cycle latency = _uplinks.link_latency(_peer);
+    DHISQ_ASSERT(latency > 0, "zero nearby link latency");
+
+    _tcu.setBarrier(ev.ts + latency);
+    _uplinks.send_nearby_signal(_peer);
+    _stats.inc("nearby_syncs");
+    if (_telf) {
+        _telf->record(wall, _name, TelfKind::SyncBook, -1, ev.target,
+                      "nearby");
+    }
+
+    _cond1_wall = wall + latency;
+    const std::uint64_t gen = ++_generation;
+    _sched.schedule(_cond1_wall, [this, gen] { onCondITimer(gen); });
+}
+
+void
+SyncU::beginRegion(const TimedEvent &ev, Cycle wall)
+{
+    DHISQ_ASSERT(_uplinks.send_region_request,
+                 "region sync without router wiring at ", _name);
+    _state = State::Region;
+    const RouterId router = RouterId(ev.target & ~isa::kSyncRouterFlag);
+    const Cycle residual = Cycle(ev.residual);
+    const Cycle t_i = wall + residual;
+
+    _tcu.setBarrier(ev.ts + residual);
+    _uplinks.send_region_request(router, t_i);
+    _stats.inc("region_syncs");
+    if (_telf) {
+        _telf->record(wall, _name, TelfKind::SyncBook, -1, ev.target,
+                      "region t_i=" + std::to_string(t_i));
+    }
+
+    _cond1_wall = t_i;
+    const std::uint64_t gen = ++_generation;
+    _sched.schedule(_cond1_wall, [this, gen] { onCondITimer(gen); });
+}
+
+void
+SyncU::beginTrig(const TimedEvent &ev, Cycle wall)
+{
+    _state = State::Trig;
+    _trig_src = std::uint32_t(ev.target);
+    _tcu.setBarrier(ev.ts);
+    _stats.inc("trigger_waits");
+    if (_telf) {
+        _telf->record(wall, _name, TelfKind::SyncBook, -1, ev.target,
+                      "wtrig");
+    }
+    // Condition I is immediate: the barrier sits at the event's own stamp.
+    _cond1_wall = wall;
+    ++_generation;
+    _cond1_met = true;
+    auto it = _trigger_counts.find(_trig_src);
+    if (it != _trigger_counts.end() && it->second > 0) {
+        --it->second;
+        finish();
+    }
+}
+
+void
+SyncU::onCondITimer(std::uint64_t generation)
+{
+    if (generation != _generation)
+        return;
+    _cond1_met = true;
+    switch (_state) {
+      case State::Nearby: {
+        auto it = _sync_flags.find(_peer);
+        if (it != _sync_flags.end() && it->second > 0) {
+            --it->second; // Flags clear once read (Figure 4).
+            finish();
+        }
+        break;
+      }
+      case State::Region:
+        maybeFinishRegion();
+        break;
+      case State::Trig:
+      case State::Idle:
+        DHISQ_PANIC("Condition-I timer in unexpected state");
+    }
+}
+
+void
+SyncU::onNearbySignal(ControllerId from)
+{
+    ++_sync_flags[from];
+    _stats.inc("nearby_signals_received");
+    if (_state == State::Nearby && _cond1_met && from == _peer) {
+        --_sync_flags[from];
+        finish();
+    }
+}
+
+void
+SyncU::onRegionNotify(Cycle t_final)
+{
+    _region_notifies.push_back(t_final);
+    _stats.inc("region_notifies_received");
+    if (_state == State::Region && _cond1_met)
+        maybeFinishRegion();
+}
+
+void
+SyncU::maybeFinishRegion()
+{
+    if (_finish_scheduled || _region_notifies.empty())
+        return;
+    const Cycle t_final = _region_notifies.front();
+    _region_notifies.pop_front();
+    const Cycle now = _sched.now();
+    if (t_final <= now) {
+        if (t_final < now)
+            _stats.inc("late_region_notifies");
+        finish();
+    } else {
+        _finish_scheduled = true;
+        const std::uint64_t gen = ++_generation;
+        _sched.schedule(t_final, [this, gen] {
+            if (gen != _generation)
+                return;
+            finish();
+        });
+    }
+}
+
+void
+SyncU::onTrigger(std::uint32_t src)
+{
+    ++_trigger_counts[src];
+    if (_state == State::Trig && _cond1_met && src == _trig_src) {
+        --_trigger_counts[src];
+        finish();
+    }
+}
+
+void
+SyncU::finish()
+{
+    const Cycle now = _sched.now();
+    DHISQ_ASSERT(now >= _cond1_wall, "finish before Condition I");
+    _stats.inc("syncs_completed");
+    _stats.sample("sync_overhead_cycles", double(now - _cond1_wall));
+    if (_telf) {
+        _telf->record(now, _name, TelfKind::SyncDone, -1,
+                      std::int64_t(now - _cond1_wall));
+    }
+    _state = State::Idle;
+    _finish_scheduled = false;
+    ++_generation;
+    _tcu.releaseBarrier(now);
+}
+
+} // namespace dhisq::core

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Synchronization Unit (SyncU) — the hardware half of BISP (Section 4.1).
+ *
+ * Nearby synchronization (Figure 4): at the booking time B the SyncU sends a
+ * 1-bit signal to the peer controller and starts an N-cycle countdown where
+ * N equals the calibrated link latency. Synchronization completes when
+ *   Condition I : the countdown elapses (wall B+N), and
+ *   Condition II: the peer's signal has been received (sticky per-neighbour
+ *                 flags, cleared when consumed).
+ * If Condition II is unmet at B+N the TCU timer pauses until the signal
+ * arrives. In the FPGA build this unit is 13 LUTs (Table 1).
+ *
+ * Region synchronization (Section 4.3): at booking the SyncU reports its
+ * earliest start time T_i = wall(B) + residual to the ancestor router and
+ * waits for the agreed time-point T_m (Abs. Timer Buffer); Condition I is
+ * the absolute timer reaching T_i, Condition II the receipt of T_m.
+ *
+ * Trigger waits (wtrig) reuse the same machinery with the barrier at the
+ * event's own time-stamp: the timer pauses until an external trigger
+ * (message arrival) fires — the TCU external-trigger ports of Section 3.2.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "common/stats.hpp"
+#include "common/telf.hpp"
+#include "common/types.hpp"
+#include "core/tcu.hpp"
+#include "sim/scheduler.hpp"
+
+namespace dhisq::core {
+
+/** Outward wiring of a SyncU (provided by the machine/network layer). */
+struct SyncUplinks
+{
+    /** Emit the 1-bit nearby sync signal toward `peer`. */
+    std::function<void(ControllerId peer)> send_nearby_signal;
+    /** Report booking time-point `t_i` to ancestor router `router`. */
+    std::function<void(RouterId router, Cycle t_i)> send_region_request;
+    /** Calibrated link latency N toward a neighbour controller. */
+    std::function<Cycle(ControllerId peer)> link_latency;
+};
+
+/** Per-core synchronization unit implementing BISP. */
+class SyncU
+{
+  public:
+    SyncU(Tcu &tcu, sim::Scheduler &sched, TelfLog *telf, std::string name);
+
+    void setUplinks(SyncUplinks uplinks) { _uplinks = std::move(uplinks); }
+
+    /** TCU control-event delivery (the booking moment). */
+    void onControlEvent(const TimedEvent &ev, Cycle wall);
+
+    /** A neighbour's 1-bit sync signal arrived. */
+    void onNearbySignal(ControllerId from);
+
+    /** The agreed region time-point T_m arrived from the router tree. */
+    void onRegionNotify(Cycle t_final);
+
+    /** An external trigger pulse fired (message arrival from `src`). */
+    void onTrigger(std::uint32_t src);
+
+    /** True while a synchronization is outstanding. */
+    bool busy() const { return _state != State::Idle; }
+
+    const StatSet &stats() const { return _stats; }
+
+  private:
+    enum class State : std::uint8_t { Idle, Nearby, Region, Trig };
+
+    void beginNearby(const TimedEvent &ev, Cycle wall);
+    void beginRegion(const TimedEvent &ev, Cycle wall);
+    void beginTrig(const TimedEvent &ev, Cycle wall);
+    void onCondITimer(std::uint64_t generation);
+    void maybeFinishRegion();
+    void finish();
+
+    Tcu &_tcu;
+    sim::Scheduler &_sched;
+    TelfLog *_telf;
+    std::string _name;
+    SyncUplinks _uplinks;
+
+    State _state = State::Idle;
+    bool _cond1_met = false;
+    Cycle _cond1_wall = 0;
+    ControllerId _peer = kNoController;   ///< Nearby peer.
+    std::uint32_t _trig_src = 0;          ///< Trigger source for wtrig.
+
+    std::map<ControllerId, std::uint32_t> _sync_flags;
+    std::map<std::uint32_t, std::uint32_t> _trigger_counts;
+    std::deque<Cycle> _region_notifies;
+
+    std::uint64_t _generation = 0;
+    bool _finish_scheduled = false;
+    StatSet _stats;
+};
+
+} // namespace dhisq::core

@@ -1,0 +1,234 @@
+#include "core/tcu.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace dhisq::core {
+
+Tcu::Tcu(const TcuConfig &config, sim::Scheduler &sched, TelfLog *telf,
+         std::string source_name)
+    : _config(config), _sched(sched), _telf(telf),
+      _name(std::move(source_name)), _port_queues(config.num_ports)
+{
+    DHISQ_ASSERT(config.num_ports >= 1, "TCU needs at least one port");
+}
+
+bool
+Tcu::canEnqueueCodeword(PortId port) const
+{
+    DHISQ_ASSERT(port < _port_queues.size(), "port out of range: ", port);
+    return _port_queues[port].size() < _config.queue_capacity;
+}
+
+void
+Tcu::enqueueCodeword(PortId port, Codeword cw)
+{
+    DHISQ_ASSERT(canEnqueueCodeword(port), "codeword queue overflow");
+    TimedEvent ev;
+    ev.kind = TimedEventKind::Codeword;
+    ev.ts = _cursor;
+    ev.port = port;
+    ev.codeword = cw;
+    _port_queues[port].push_back(ev);
+    _stats.inc("cw_enqueued");
+    armPump();
+}
+
+bool
+Tcu::canEnqueueControl() const
+{
+    return _control_queue.size() < _config.control_queue_capacity;
+}
+
+void
+Tcu::enqueueControl(TimedEvent ev)
+{
+    DHISQ_ASSERT(canEnqueueControl(), "control queue overflow");
+    DHISQ_ASSERT(ev.kind != TimedEventKind::Codeword,
+                 "codewords go into port queues");
+    ev.ts = _cursor;
+    _control_queue.push_back(ev);
+    _stats.inc("control_enqueued");
+    armPump();
+}
+
+void
+Tcu::setBarrier(Cycle barrier_local)
+{
+    DHISQ_ASSERT(!_barrier, "one barrier may be outstanding at a time");
+    _barrier = barrier_local;
+    // Any wake armed for a held event is now stale.
+    armPump();
+}
+
+void
+Tcu::releaseBarrier(Cycle release_wall)
+{
+    DHISQ_ASSERT(_barrier, "no barrier to release");
+    DHISQ_ASSERT(release_wall == _sched.now(),
+                 "barrier release must happen at the current cycle");
+    const Cycle barrier_local = *_barrier;
+    const Cycle nominal_wall = barrier_local + _offset;
+    DHISQ_ASSERT(release_wall >= nominal_wall,
+                 "release earlier than Condition I allows");
+    if (release_wall > nominal_wall) {
+        const Cycle pause = release_wall - nominal_wall;
+        _stats.inc("timer_pauses");
+        _stats.inc("pause_cycles", pause);
+        if (_telf) {
+            _telf->record(nominal_wall <= _sched.now() ? _sched.now()
+                                                       : nominal_wall,
+                          _name, TelfKind::TimerPause, -1,
+                          std::int64_t(pause));
+            _telf->record(release_wall, _name, TelfKind::TimerResume, -1,
+                          std::int64_t(pause));
+        }
+    }
+    _offset = release_wall - barrier_local;
+    _barrier.reset();
+    armPump();
+}
+
+Cycle
+Tcu::localNow() const
+{
+    const Cycle now = _sched.now();
+    return now >= _offset ? now - _offset : 0;
+}
+
+bool
+Tcu::drained() const
+{
+    if (!_control_queue.empty())
+        return false;
+    for (const auto &q : _port_queues) {
+        if (!q.empty())
+            return false;
+    }
+    return true;
+}
+
+std::optional<Cycle>
+Tcu::minPendingTs() const
+{
+    std::optional<Cycle> min_ts;
+    auto consider = [&min_ts](const std::deque<TimedEvent> &q) {
+        if (!q.empty() && (!min_ts || q.front().ts < *min_ts))
+            min_ts = q.front().ts;
+    };
+    consider(_control_queue);
+    for (const auto &q : _port_queues)
+        consider(q);
+    return min_ts;
+}
+
+void
+Tcu::armPump()
+{
+    const auto min_ts = minPendingTs();
+    if (!min_ts || (_barrier && *min_ts >= *_barrier)) {
+        // Nothing issuable; stale wakes die via the generation check.
+        ++_pump_generation;
+        _armed = false;
+        return;
+    }
+
+    const Cycle when = std::max(*min_ts + _offset, _sched.now());
+    if (_armed && when == _armed_wall)
+        return; // Already armed for the right cycle.
+
+    ++_pump_generation;
+    _armed = true;
+    _armed_wall = when;
+    const std::uint64_t gen = _pump_generation;
+    _sched.schedule(when, [this, gen] { onWake(gen); });
+}
+
+void
+Tcu::onWake(std::uint64_t generation)
+{
+    if (generation != _pump_generation)
+        return;
+    _armed = false;
+    issueBatch();
+    armPump();
+}
+
+void
+Tcu::issueBatch()
+{
+    const Cycle now = _sched.now();
+    bool had_full = false;
+    for (const auto &q : _port_queues) {
+        if (q.size() == _config.queue_capacity)
+            had_full = true;
+    }
+    if (_control_queue.size() == _config.control_queue_capacity)
+        had_full = true;
+
+    // Process control events first so a barrier set at this very cycle
+    // holds codewords stamped at or after it.
+    bool progressed = true;
+    while (progressed) {
+        progressed = false;
+
+        while (!_control_queue.empty()) {
+            const TimedEvent &head = _control_queue.front();
+            if (_barrier && head.ts >= *_barrier)
+                break;
+            const Cycle due = head.ts + _offset;
+            if (due > now)
+                break;
+            TimedEvent ev = head;
+            _control_queue.pop_front();
+            if (due < now) {
+                _stats.inc("timing_violations");
+                if (_telf) {
+                    _telf->record(now, _name, TelfKind::Violation, -1,
+                                  std::int64_t(now - due), "control slip");
+                }
+            }
+            progressed = true;
+            if (_control)
+                _control(ev, now);
+            // A barrier may have just been set; loop re-checks.
+        }
+
+        for (auto &q : _port_queues) {
+            while (!q.empty()) {
+                const TimedEvent &head = q.front();
+                if (_barrier && head.ts >= *_barrier)
+                    break;
+                const Cycle due = head.ts + _offset;
+                if (due > now)
+                    break;
+                TimedEvent ev = head;
+                q.pop_front();
+                if (due < now) {
+                    _stats.inc("timing_violations");
+                    if (_telf) {
+                        _telf->record(now, _name, TelfKind::Violation,
+                                      std::int64_t(ev.port),
+                                      std::int64_t(now - due),
+                                      "codeword slip");
+                    }
+                }
+                _stats.inc("cw_issued");
+                progressed = true;
+                if (_issue)
+                    _issue(ev.port, ev.codeword, now);
+            }
+        }
+    }
+
+    if (had_full && _space) {
+        bool has_room = canEnqueueControl();
+        for (PortId p = 0; p < _port_queues.size() && !has_room; ++p)
+            has_room = canEnqueueCodeword(p);
+        if (has_room)
+            _space();
+    }
+}
+
+} // namespace dhisq::core

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Timing Control Unit (TCU) — queue-based event timing in the QuMA style
+ * (Sections 3.2 and 4.1).
+ *
+ * Time domains. The TCU keeps a *local* time axis on which the classical
+ * pipeline stamps events via the timing cursor (`wait` advances the cursor,
+ * `cw`/`sync`/`wtrig` enqueue events at the cursor). The timing manager maps
+ * local time to the wall clock through an offset: wall = local + offset.
+ * Synchronization pauses insert slack by growing the offset, which is how
+ * "pausing the timer" (Figure 4) shifts all later events uniformly.
+ *
+ * Barrier. A sync/wtrig event delivered to the SyncU establishes a barrier
+ * at some local time-point; events stamped at or after the barrier are held
+ * until the SyncU releases it with the wall-clock release time (Condition I
+ * && Condition II, Section 4.1). Events stamped before the barrier keep
+ * issuing — this is what lets BISP hide communication latency behind
+ * deterministic tasks ("booking", Insight #1).
+ *
+ * Timing violations. If the pipeline enqueues an event whose stamp is
+ * already in the past (instruction issue-rate bottleneck, Section 7.1), the
+ * event slips to "now" and a violation is recorded.
+ */
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/telf.hpp"
+#include "common/types.hpp"
+#include "sim/scheduler.hpp"
+
+namespace dhisq::core {
+
+/** Kind of a timed event in the TCU queues. */
+enum class TimedEventKind : std::uint8_t { Codeword, Sync, Wtrig };
+
+/** One entry of a TCU event queue (38-bit entries in the FPGA build). */
+struct TimedEvent
+{
+    TimedEventKind kind = TimedEventKind::Codeword;
+    Cycle ts = 0;            ///< Local time stamp.
+    PortId port = 0;         ///< Codeword port.
+    Codeword codeword = 0;   ///< Codeword payload.
+    std::int32_t target = 0; ///< sync: target encoding; wtrig: source.
+    std::int32_t residual = 0; ///< sync: booking residual.
+};
+
+/** TCU configuration. */
+struct TcuConfig
+{
+    unsigned num_ports = 1;
+    std::size_t queue_capacity = 1024; ///< Per-port (paper: 38 bit x 1024).
+    std::size_t control_queue_capacity = 64;
+};
+
+/** Queue-based timing control unit. */
+class Tcu
+{
+  public:
+    /** Issue callback: a codeword leaves the TCU at wall cycle `wall`. */
+    using IssueFn = std::function<void(PortId, Codeword, Cycle wall)>;
+    /** Control callback: a sync/wtrig event reaches the SyncU at wall. */
+    using ControlFn = std::function<void(const TimedEvent &, Cycle wall)>;
+    /** Space callback: a previously-full queue has room again. */
+    using SpaceFn = std::function<void()>;
+
+    Tcu(const TcuConfig &config, sim::Scheduler &sched, TelfLog *telf,
+        std::string source_name);
+
+    void setIssueFn(IssueFn fn) { _issue = std::move(fn); }
+    void setControlFn(ControlFn fn) { _control = std::move(fn); }
+    void setSpaceFn(SpaceFn fn) { _space = std::move(fn); }
+
+    // ---- Pipeline-facing interface -------------------------------------
+
+    /** Current timing cursor (local time of the next stamped event). */
+    Cycle cursor() const { return _cursor; }
+
+    /** Advance the cursor by `d` cycles (the wait instructions). */
+    void advanceCursor(Cycle d) { _cursor += d; }
+
+    /** True if port queue has room. */
+    bool canEnqueueCodeword(PortId port) const;
+
+    /** Stamp a codeword event at the cursor. */
+    void enqueueCodeword(PortId port, Codeword cw);
+
+    /** True if the control (sync) queue has room. */
+    bool canEnqueueControl() const;
+
+    /** Stamp a sync/wtrig event at the cursor. */
+    void enqueueControl(TimedEvent ev);
+
+    // ---- SyncU-facing interface ----------------------------------------
+
+    /**
+     * Establish a barrier at local time `barrier_local`: events stamped at
+     * or after it are held until releaseBarrier(). One barrier may be
+     * outstanding at a time.
+     */
+    void setBarrier(Cycle barrier_local);
+
+    /**
+     * Release the barrier: events at local time L >= barrier now commit at
+     * wall time `release_wall` + (L - barrier). Pause time, if any, is
+     * absorbed into the local->wall offset.
+     */
+    void releaseBarrier(Cycle release_wall);
+
+    bool barrierActive() const { return _barrier.has_value(); }
+
+    /** Map a local time-stamp to the wall clock under the current offset. */
+    Cycle wallAt(Cycle local) const { return local + _offset; }
+
+    /** Wall "now" translated into local time. */
+    Cycle localNow() const;
+
+    // ---- Introspection ---------------------------------------------------
+
+    /** True when every queue is empty. */
+    bool drained() const;
+
+    const StatSet &stats() const { return _stats; }
+    StatSet &stats() { return _stats; }
+
+  private:
+    /** Earliest pending stamp across all queues, if any. */
+    std::optional<Cycle> minPendingTs() const;
+
+    /** (Re)arm the wake-up for the earliest issuable event. */
+    void armPump();
+
+    /** Issue every event that is due at the current wall cycle. */
+    void onWake(std::uint64_t generation);
+
+    void issueBatch();
+
+    TcuConfig _config;
+    sim::Scheduler &_sched;
+    TelfLog *_telf;
+    std::string _name;
+
+    IssueFn _issue;
+    ControlFn _control;
+    SpaceFn _space;
+
+    std::vector<std::deque<TimedEvent>> _port_queues;
+    std::deque<TimedEvent> _control_queue;
+
+    Cycle _cursor = 0;
+    Cycle _offset = 0;
+    std::optional<Cycle> _barrier;
+
+    std::uint64_t _pump_generation = 0;
+    bool _armed = false;
+    Cycle _armed_wall = 0;
+
+    StatSet _stats;
+};
+
+} // namespace dhisq::core

@@ -1,0 +1,54 @@
+#include "hwmodel/resources.hpp"
+
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace dhisq::hw {
+
+Resources
+ResourceModel::core(unsigned num_queues) const
+{
+    return core_base + event_queue * num_queues;
+}
+
+Resources
+ResourceModel::board(unsigned num_queues, unsigned cores) const
+{
+    DHISQ_ASSERT(cores >= 1, "board needs at least one core");
+    // Port partitioning: every core replicates the base (pipeline, TCU
+    // control, SyncU, MsgU); the queues are split among them.
+    return core_base * cores + event_queue * num_queues;
+}
+
+Resources
+ResourceModel::eventQueueWithDepth(unsigned depth) const
+{
+    Resources q = event_queue;
+    q.bram_blocks = event_queue.bram_blocks * double(depth) / 1024.0;
+    return q;
+}
+
+std::string
+renderTable1(const ResourceModel &model)
+{
+    const Resources control = model.board(kControlBoardQueues);
+    const Resources readout = model.board(kReadoutBoardQueues);
+    const Resources &queue = model.event_queue;
+
+    std::ostringstream os;
+    os << "Table 1: FPGA resource consumption of HISQ\n";
+    os << "Type                           #LUTs  #BlockRAM(32Kb)  #FF\n";
+    auto row = [&os](const char *name, const Resources &r) {
+        os << name << "  " << r.luts << "  " << r.bram_blocks << "  "
+           << r.ffs << "\n";
+    };
+    row("Control Board               ", control);
+    row("Readout Board               ", readout);
+    row("Event Queue (38bit x 1024)  ", queue);
+    os << "Control board BRAM = " << control.bramMegabits()
+       << " Mb, readout board BRAM = " << readout.bramMegabits() << " Mb\n";
+    return os.str();
+}
+
+} // namespace dhisq::hw

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * FPGA resource model (Table 1, Section 6.1).
+ *
+ * We do not have Vivado or the DQCtrl RTL, so resource consumption is
+ * reproduced with a calibrated linear model. The paper's own numbers are
+ * exactly linear in the codeword-queue count:
+ *
+ *     board = base + num_queues * queue
+ *
+ * with queue = (86 LUT, 160 FF, 1.5 BRAM blocks) — precisely the "Event
+ * Queue (38bit x 1024)" row — and base = (1747 LUT, 1912 FF, 33 BRAM),
+ * which contains the classical pipeline, TCU control, MsgU and the 13-LUT
+ * SyncU. The model therefore reproduces Table 1 exactly and extrapolates
+ * to other configurations (multi-core boards, deeper queues).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dhisq::hw {
+
+/** FPGA resource triple. */
+struct Resources
+{
+    std::uint64_t luts = 0;
+    std::uint64_t ffs = 0;
+    double bram_blocks = 0.0; ///< 32 Kb per block
+
+    Resources
+    operator+(const Resources &other) const
+    {
+        return Resources{luts + other.luts, ffs + other.ffs,
+                         bram_blocks + other.bram_blocks};
+    }
+
+    Resources
+    operator*(std::uint64_t n) const
+    {
+        return Resources{luts * n, ffs * n, bram_blocks * double(n)};
+    }
+
+    /** Block-RAM capacity in megabits (32 Kb per block). */
+    double bramMegabits() const { return bram_blocks * 32.0 / 1024.0; }
+};
+
+/** Calibrated component costs. */
+struct ResourceModel
+{
+    /** One event queue (38 bit x 1024 entries). */
+    Resources event_queue{86, 160, 1.5};
+    /** Core base: classical pipeline + timing manager + MsgU + SyncU. */
+    Resources core_base{1747, 1912, 33.0};
+    /** SyncU alone (Section 4.1: 13 LUTs). */
+    Resources sync_unit{13, 26, 0.0};
+
+    /** A HISQ core driving `num_queues` codeword queues. */
+    Resources core(unsigned num_queues) const;
+
+    /**
+     * A board with `cores` HISQ cores partitioning `num_queues` queues
+     * (Section 7.1's multi-core configuration).
+     */
+    Resources board(unsigned num_queues, unsigned cores = 1) const;
+
+    /** Queue scaled to a different depth (BRAM grows, control logic not). */
+    Resources eventQueueWithDepth(unsigned depth) const;
+};
+
+/** Paper configurations. */
+inline constexpr unsigned kControlBoardQueues = 28; // 8 XY + 20 Z
+inline constexpr unsigned kReadoutBoardQueues = 8;  // 4 RI + 4 RO
+
+/** Render the Table 1 rows for a model. */
+std::string renderTable1(const ResourceModel &model);
+
+} // namespace dhisq::hw

@@ -1,0 +1,595 @@
+#include "isa/assembler.hpp"
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "isa/encoding.hpp"
+
+namespace dhisq::isa {
+
+namespace {
+
+/** Pending label reference to patch after all labels are known. */
+struct Fixup
+{
+    std::size_t instr_index;
+    std::string label;
+    int lineno;
+};
+
+/** Register-name table: $N, xN and RV32I ABI names. */
+std::optional<std::uint8_t>
+parseRegister(std::string_view tok)
+{
+    if (tok.empty())
+        return std::nullopt;
+    if (tok[0] == '$' || tok[0] == 'x' || tok[0] == 'X') {
+        std::int64_t n;
+        if (parseInt(tok.substr(1), &n) && n >= 0 && n <= 31)
+            return std::uint8_t(n);
+        return std::nullopt;
+    }
+    static const std::map<std::string, std::uint8_t> kAbi = {
+        {"zero", 0}, {"ra", 1},  {"sp", 2},   {"gp", 3},   {"tp", 4},
+        {"t0", 5},   {"t1", 6},  {"t2", 7},   {"s0", 8},   {"fp", 8},
+        {"s1", 9},   {"a0", 10}, {"a1", 11},  {"a2", 12},  {"a3", 13},
+        {"a4", 14},  {"a5", 15}, {"a6", 16},  {"a7", 17},  {"s2", 18},
+        {"s3", 19},  {"s4", 20}, {"s5", 21},  {"s6", 22},  {"s7", 23},
+        {"s8", 24},  {"s9", 25}, {"s10", 26}, {"s11", 27}, {"t3", 28},
+        {"t4", 29},  {"t5", 30}, {"t6", 31},
+    };
+    auto it = kAbi.find(toLower(tok));
+    if (it != kAbi.end())
+        return it->second;
+    return std::nullopt;
+}
+
+/** Split "addi $1, $0, 40" into mnemonic + operand tokens. */
+void
+tokenize(std::string_view line, std::string *mnemonic,
+         std::vector<std::string> *operands)
+{
+    auto first_space = line.find_first_of(" \t");
+    if (first_space == std::string_view::npos) {
+        *mnemonic = std::string(line);
+        return;
+    }
+    *mnemonic = std::string(line.substr(0, first_space));
+    const auto rest = line.substr(first_space);
+    for (auto field : split(rest, ',')) {
+        auto t = trim(field);
+        if (!t.empty())
+            operands->push_back(std::string(t));
+    }
+}
+
+/** Parse "imm(reg)" memory operands for loads/stores. */
+bool
+parseMemOperand(std::string_view tok, std::int32_t *offset,
+                std::uint8_t *base)
+{
+    auto open = tok.find('(');
+    auto close = tok.rfind(')');
+    if (open == std::string_view::npos || close == std::string_view::npos ||
+        close < open) {
+        return false;
+    }
+    std::int64_t off = 0;
+    const auto off_text = trim(tok.substr(0, open));
+    if (!off_text.empty() && !parseInt(off_text, &off))
+        return false;
+    auto reg = parseRegister(trim(tok.substr(open + 1, close - open - 1)));
+    if (!reg)
+        return false;
+    *offset = std::int32_t(off);
+    *base = *reg;
+    return true;
+}
+
+class AssemblerPass
+{
+  public:
+    explicit AssemblerPass(std::string name) { _program.name = std::move(name); }
+
+    Result<Program>
+    run(std::string_view source)
+    {
+        int lineno = 0;
+        for (auto raw_line : split(source, '\n')) {
+            ++lineno;
+            std::string_view line = raw_line;
+            // Strip comments: '#', "//" and ';'.
+            for (std::string_view marker : {"#", "//", ";"}) {
+                auto pos = line.find(marker);
+                if (pos != std::string_view::npos)
+                    line = line.substr(0, pos);
+            }
+            line = trim(line);
+            if (line.empty())
+                continue;
+
+            // Peel off leading labels ("loop: addi ..." is allowed).
+            while (true) {
+                auto colon = line.find(':');
+                if (colon == std::string_view::npos)
+                    break;
+                const auto head = trim(line.substr(0, colon));
+                if (head.find_first_of(" \t") != std::string_view::npos)
+                    break; // ':' belongs to an operand, not a label
+                if (head.empty())
+                    return err(lineno, "empty label");
+                if (_labels.count(std::string(head)))
+                    return err(lineno, "duplicate label '" +
+                                           std::string(head) + "'");
+                _labels[std::string(head)] = _program.instructions.size();
+                line = trim(line.substr(colon + 1));
+                if (line.empty())
+                    break;
+            }
+            if (line.empty())
+                continue;
+
+            auto status = parseInstruction(line, lineno);
+            if (!status.isOk())
+                return Result<Program>::error(status.message());
+        }
+
+        // Resolve label fixups into PC-relative byte offsets.
+        for (const auto &fix : _fixups) {
+            auto it = _labels.find(fix.label);
+            if (it == _labels.end()) {
+                return err(fix.lineno,
+                           "unknown label '" + fix.label + "'");
+            }
+            const auto delta =
+                (std::int64_t(it->second) -
+                 std::int64_t(fix.instr_index)) * 4;
+            _program.instructions[fix.instr_index].imm =
+                std::int32_t(delta);
+        }
+
+        // Final encode + range validation.
+        for (std::size_t i = 0; i < _program.instructions.size(); ++i) {
+            auto status = validate(_program.instructions[i],
+                                   _program.lines[i]);
+            if (!status.isOk())
+                return Result<Program>::error(status.message());
+            _program.words.push_back(encode(_program.instructions[i]));
+        }
+        return std::move(_program);
+    }
+
+  private:
+    Result<Program>
+    err(int lineno, const std::string &msg)
+    {
+        return Result<Program>::error(
+            _program.name + ":" + std::to_string(lineno) + ": " + msg);
+    }
+
+    Status
+    errStatus(int lineno, const std::string &msg)
+    {
+        return Status::error(_program.name + ":" + std::to_string(lineno) +
+                             ": " + msg);
+    }
+
+    void
+    emit(Instruction ins, int lineno)
+    {
+        _program.instructions.push_back(ins);
+        _program.lines.push_back(lineno);
+    }
+
+    Status
+    needOperands(const std::vector<std::string> &ops, std::size_t lo,
+                 std::size_t hi, int lineno, std::string_view mnem)
+    {
+        if (ops.size() < lo || ops.size() > hi) {
+            return errStatus(lineno, std::string(mnem) +
+                                         ": wrong operand count");
+        }
+        return Status::ok();
+    }
+
+    /** Parse either a numeric branch offset or record a label fixup. */
+    Status
+    branchTarget(const std::string &tok, int lineno, std::int32_t *imm)
+    {
+        std::int64_t value;
+        if (parseInt(tok, &value)) {
+            *imm = std::int32_t(value);
+            return Status::ok();
+        }
+        _fixups.push_back(
+            Fixup{_program.instructions.size(), tok, lineno});
+        *imm = 0;
+        return Status::ok();
+    }
+
+    Status
+    immOperand(const std::string &tok, int lineno, std::int32_t *imm)
+    {
+        std::int64_t value;
+        if (!parseInt(tok, &value))
+            return errStatus(lineno, "expected immediate, got '" + tok + "'");
+        *imm = std::int32_t(value);
+        return Status::ok();
+    }
+
+    Status
+    regOperand(const std::string &tok, int lineno, std::uint8_t *reg)
+    {
+        auto r = parseRegister(tok);
+        if (!r)
+            return errStatus(lineno, "expected register, got '" + tok + "'");
+        *reg = *r;
+        return Status::ok();
+    }
+
+    /** sync target: plain number = controller, rN/RN = router. */
+    Status
+    syncTarget(const std::string &tok, int lineno, std::int32_t *imm)
+    {
+        std::string_view t = tok;
+        bool router = false;
+        if (!t.empty() && (t[0] == 'r' || t[0] == 'R')) {
+            // Only treat as a router name when the rest is numeric.
+            std::int64_t n;
+            if (parseInt(t.substr(1), &n)) {
+                if (n < 0 || n > 0x7FF)
+                    return errStatus(lineno, "router id out of range");
+                *imm = std::int32_t(n) | kSyncRouterFlag;
+                return Status::ok();
+            }
+        }
+        std::int64_t n;
+        if (!parseInt(t, &n) || n < 0 || n > 0x7FF) {
+            return errStatus(lineno,
+                             "bad sync target '" + tok + "'");
+        }
+        router = false;
+        (void)router;
+        *imm = std::int32_t(n);
+        return Status::ok();
+    }
+
+    Status parseInstruction(std::string_view line, int lineno);
+    Status validate(const Instruction &ins, int lineno);
+
+    Program _program;
+    std::map<std::string, std::size_t> _labels;
+    std::vector<Fixup> _fixups;
+};
+
+Status
+AssemblerPass::parseInstruction(std::string_view line, int lineno)
+{
+    std::string mnem;
+    std::vector<std::string> ops;
+    tokenize(line, &mnem, &ops);
+    mnem = toLower(mnem);
+
+    // Pseudo-instructions first.
+    if (mnem == "nop") {
+        emit(Instruction{Op::kAddi, 0, 0, 0, 0, 0}, lineno);
+        return Status::ok();
+    }
+    if (mnem == "mv") {
+        if (auto s = needOperands(ops, 2, 2, lineno, mnem); !s.isOk())
+            return s;
+        Instruction ins{Op::kAddi, 0, 0, 0, 0, 0};
+        if (auto s = regOperand(ops[0], lineno, &ins.rd); !s.isOk())
+            return s;
+        if (auto s = regOperand(ops[1], lineno, &ins.rs1); !s.isOk())
+            return s;
+        emit(ins, lineno);
+        return Status::ok();
+    }
+    if (mnem == "li") {
+        if (auto s = needOperands(ops, 2, 2, lineno, mnem); !s.isOk())
+            return s;
+        std::uint8_t rd;
+        std::int32_t value;
+        if (auto s = regOperand(ops[0], lineno, &rd); !s.isOk())
+            return s;
+        if (auto s = immOperand(ops[1], lineno, &value); !s.isOk())
+            return s;
+        if (value >= -2048 && value <= 2047) {
+            emit(Instruction{Op::kAddi, rd, 0, 0, value, 0}, lineno);
+        } else {
+            // lui + addi pair, compensating for addi's sign extension.
+            std::int32_t hi = value & ~0xFFF;
+            std::int32_t lo = value & 0xFFF;
+            if (lo >= 2048) {
+                lo -= 4096;
+                hi += 4096;
+            }
+            emit(Instruction{Op::kLui, rd, 0, 0, hi, 0}, lineno);
+            emit(Instruction{Op::kAddi, rd, rd, 0, lo, 0}, lineno);
+        }
+        return Status::ok();
+    }
+    if (mnem == "j") {
+        if (auto s = needOperands(ops, 1, 1, lineno, mnem); !s.isOk())
+            return s;
+        Instruction ins{Op::kJal, 0, 0, 0, 0, 0};
+        if (auto s = branchTarget(ops[0], lineno, &ins.imm); !s.isOk())
+            return s;
+        emit(ins, lineno);
+        return Status::ok();
+    }
+
+    const Op op = opFromMnemonic(mnem);
+    if (op == Op::kInvalid)
+        return errStatus(lineno, "unknown mnemonic '" + mnem + "'");
+
+    Instruction ins;
+    ins.op = op;
+
+    switch (classOf(op)) {
+      case OpClass::Classical: {
+        switch (op) {
+          case Op::kAdd: case Op::kSub: case Op::kSll: case Op::kSlt:
+          case Op::kSltu: case Op::kXor: case Op::kSrl: case Op::kSra:
+          case Op::kOr: case Op::kAnd: {
+            if (auto s = needOperands(ops, 3, 3, lineno, mnem); !s.isOk())
+                return s;
+            if (auto s = regOperand(ops[0], lineno, &ins.rd); !s.isOk())
+                return s;
+            if (auto s = regOperand(ops[1], lineno, &ins.rs1); !s.isOk())
+                return s;
+            if (auto s = regOperand(ops[2], lineno, &ins.rs2); !s.isOk())
+                return s;
+            break;
+          }
+          case Op::kAddi: case Op::kSlti: case Op::kSltiu: case Op::kXori:
+          case Op::kOri: case Op::kAndi: case Op::kSlli: case Op::kSrli:
+          case Op::kSrai: {
+            if (auto s = needOperands(ops, 3, 3, lineno, mnem); !s.isOk())
+                return s;
+            if (auto s = regOperand(ops[0], lineno, &ins.rd); !s.isOk())
+                return s;
+            if (auto s = regOperand(ops[1], lineno, &ins.rs1); !s.isOk())
+                return s;
+            if (auto s = immOperand(ops[2], lineno, &ins.imm); !s.isOk())
+                return s;
+            break;
+          }
+          case Op::kLui: case Op::kAuipc: {
+            if (auto s = needOperands(ops, 2, 2, lineno, mnem); !s.isOk())
+                return s;
+            if (auto s = regOperand(ops[0], lineno, &ins.rd); !s.isOk())
+                return s;
+            if (auto s = immOperand(ops[1], lineno, &ins.imm); !s.isOk())
+                return s;
+            break;
+          }
+          case Op::kLb: case Op::kLh: case Op::kLw: case Op::kLbu:
+          case Op::kLhu: {
+            if (auto s = needOperands(ops, 2, 2, lineno, mnem); !s.isOk())
+                return s;
+            if (auto s = regOperand(ops[0], lineno, &ins.rd); !s.isOk())
+                return s;
+            if (!parseMemOperand(ops[1], &ins.imm, &ins.rs1))
+                return errStatus(lineno, "expected imm(reg) operand");
+            break;
+          }
+          case Op::kSb: case Op::kSh: case Op::kSw: {
+            if (auto s = needOperands(ops, 2, 2, lineno, mnem); !s.isOk())
+                return s;
+            if (auto s = regOperand(ops[0], lineno, &ins.rs2); !s.isOk())
+                return s;
+            if (!parseMemOperand(ops[1], &ins.imm, &ins.rs1))
+                return errStatus(lineno, "expected imm(reg) operand");
+            break;
+          }
+          default:
+            return errStatus(lineno, "unhandled classical op");
+        }
+        break;
+      }
+
+      case OpClass::Branch: {
+        if (op == Op::kJal) {
+            if (auto s = needOperands(ops, 1, 2, lineno, mnem); !s.isOk())
+                return s;
+            std::size_t target_idx = 0;
+            if (ops.size() == 2) {
+                if (auto s = regOperand(ops[0], lineno, &ins.rd); !s.isOk())
+                    return s;
+                target_idx = 1;
+            }
+            if (auto s = branchTarget(ops[target_idx], lineno, &ins.imm);
+                !s.isOk()) {
+                return s;
+            }
+        } else if (op == Op::kJalr) {
+            if (auto s = needOperands(ops, 2, 3, lineno, mnem); !s.isOk())
+                return s;
+            if (auto s = regOperand(ops[0], lineno, &ins.rd); !s.isOk())
+                return s;
+            if (auto s = regOperand(ops[1], lineno, &ins.rs1); !s.isOk())
+                return s;
+            if (ops.size() == 3) {
+                if (auto s = immOperand(ops[2], lineno, &ins.imm); !s.isOk())
+                    return s;
+            }
+        } else {
+            if (auto s = needOperands(ops, 3, 3, lineno, mnem); !s.isOk())
+                return s;
+            if (auto s = regOperand(ops[0], lineno, &ins.rs1); !s.isOk())
+                return s;
+            if (auto s = regOperand(ops[1], lineno, &ins.rs2); !s.isOk())
+                return s;
+            if (auto s = branchTarget(ops[2], lineno, &ins.imm); !s.isOk())
+                return s;
+        }
+        break;
+      }
+
+      case OpClass::Codeword: {
+        if (auto s = needOperands(ops, 2, 2, lineno, mnem); !s.isOk())
+            return s;
+        const bool port_imm = (op == Op::kCwII || op == Op::kCwIR);
+        const bool cw_imm = (op == Op::kCwII || op == Op::kCwRI);
+        if (port_imm) {
+            if (auto s = immOperand(ops[0], lineno, &ins.imm); !s.isOk())
+                return s;
+        } else {
+            if (auto s = regOperand(ops[0], lineno, &ins.rs1); !s.isOk())
+                return s;
+        }
+        if (cw_imm) {
+            if (auto s = immOperand(ops[1], lineno, &ins.imm2); !s.isOk())
+                return s;
+        } else {
+            if (auto s = regOperand(ops[1], lineno, &ins.rs2); !s.isOk())
+                return s;
+        }
+        break;
+      }
+
+      case OpClass::Wait: {
+        if (auto s = needOperands(ops, 1, 1, lineno, mnem); !s.isOk())
+            return s;
+        if (op == Op::kWaitI) {
+            if (auto s = immOperand(ops[0], lineno, &ins.imm); !s.isOk())
+                return s;
+        } else {
+            if (auto s = regOperand(ops[0], lineno, &ins.rs1); !s.isOk())
+                return s;
+        }
+        break;
+      }
+
+      case OpClass::Sync: {
+        if (auto s = needOperands(ops, 1, 2, lineno, mnem); !s.isOk())
+            return s;
+        if (auto s = syncTarget(ops[0], lineno, &ins.imm); !s.isOk())
+            return s;
+        if (ops.size() == 2) {
+            if (auto s = immOperand(ops[1], lineno, &ins.imm2); !s.isOk())
+                return s;
+        }
+        break;
+      }
+
+      case OpClass::Trigger: {
+        if (auto s = needOperands(ops, 1, 1, lineno, mnem); !s.isOk())
+            return s;
+        if (auto s = immOperand(ops[0], lineno, &ins.imm); !s.isOk())
+            return s;
+        break;
+      }
+
+      case OpClass::Message: {
+        if (op == Op::kSend) {
+            if (auto s = needOperands(ops, 2, 2, lineno, mnem); !s.isOk())
+                return s;
+            if (auto s = immOperand(ops[0], lineno, &ins.imm); !s.isOk())
+                return s;
+            if (auto s = regOperand(ops[1], lineno, &ins.rs2); !s.isOk())
+                return s;
+        } else {
+            if (auto s = needOperands(ops, 1, 2, lineno, mnem); !s.isOk())
+                return s;
+            if (auto s = regOperand(ops[0], lineno, &ins.rd); !s.isOk())
+                return s;
+            ins.imm = kRecvAnySource;
+            if (ops.size() == 2) {
+                if (auto s = immOperand(ops[1], lineno, &ins.imm); !s.isOk())
+                    return s;
+            }
+        }
+        break;
+      }
+
+      case OpClass::Halt: {
+        if (auto s = needOperands(ops, 0, 0, lineno, mnem); !s.isOk())
+            return s;
+        break;
+      }
+
+      case OpClass::Invalid:
+        return errStatus(lineno, "invalid op");
+    }
+
+    emit(ins, lineno);
+    return Status::ok();
+}
+
+Status
+AssemblerPass::validate(const Instruction &ins, int lineno)
+{
+    auto range = [&](std::int64_t v, std::int64_t lo, std::int64_t hi,
+                     const char *what) -> Status {
+        if (v < lo || v > hi) {
+            return errStatus(lineno, std::string(what) + " out of range: " +
+                                         std::to_string(v));
+        }
+        return Status::ok();
+    };
+
+    switch (ins.op) {
+      case Op::kAddi: case Op::kSlti: case Op::kSltiu: case Op::kXori:
+      case Op::kOri: case Op::kAndi: case Op::kJalr:
+      case Op::kLb: case Op::kLh: case Op::kLw: case Op::kLbu: case Op::kLhu:
+      case Op::kSb: case Op::kSh: case Op::kSw:
+        return range(ins.imm, kMinSImmediate, kMaxSImmediate, "immediate");
+      case Op::kSlli: case Op::kSrli: case Op::kSrai:
+        return range(ins.imm, 0, 31, "shift amount");
+      case Op::kBeq: case Op::kBne: case Op::kBlt: case Op::kBge:
+      case Op::kBltu: case Op::kBgeu:
+        if (ins.imm % 2 != 0)
+            return errStatus(lineno, "branch offset must be even");
+        return range(ins.imm, -4096, 4094, "branch offset");
+      case Op::kJal:
+        if (ins.imm % 2 != 0)
+            return errStatus(lineno, "jump offset must be even");
+        return range(ins.imm, -(1 << 20), (1 << 20) - 2, "jump offset");
+      case Op::kCwII:
+        if (auto s = range(ins.imm, 0, kMaxSImmediate, "port"); !s.isOk())
+            return s;
+        return range(ins.imm2, 0, kMaxCwImmediate, "codeword immediate");
+      case Op::kCwIR:
+        return range(ins.imm, 0, kMaxSImmediate, "port");
+      case Op::kCwRI:
+        return range(ins.imm2, 0, kMaxSImmediate, "codeword immediate");
+      case Op::kWaitI:
+        return range(ins.imm, 0, kMaxWaitImmediate, "wait duration");
+      case Op::kSync:
+        if (auto s = range(ins.imm, 0, 0xFFF, "sync target"); !s.isOk())
+            return s;
+        return range(ins.imm2, 0, kMaxSyncResidual, "sync residual");
+      case Op::kSend:
+        return range(ins.imm, 0, 0xFFF, "destination");
+      case Op::kRecv:
+      case Op::kWtrig:
+        return range(ins.imm, 0, 0xFFF, "source");
+      default:
+        return Status::ok();
+    }
+}
+
+} // namespace
+
+Result<Program>
+assemble(std::string_view source, std::string program_name)
+{
+    AssemblerPass pass(std::move(program_name));
+    return pass.run(source);
+}
+
+Program
+assembleOrDie(std::string_view source, std::string program_name)
+{
+    auto result = assemble(source, std::move(program_name));
+    if (!result.isOk())
+        DHISQ_FATAL("assembly failed: ", result.message());
+    return result.take();
+}
+
+} // namespace dhisq::isa

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Two-pass HISQ assembler.
+ *
+ * Accepted syntax (one instruction per line):
+ *
+ *     # comment        // comment
+ *     loop:                          label definition
+ *     addi $1, $0, 40                RV32I, $N / xN / ABI register names
+ *     cw.i.i 21, 2                   codeword 2 -> port 21
+ *     cw.i.r 3, $3                   codeword from register
+ *     waiti 8
+ *     waitr $1
+ *     sync 2                         sync with neighbour controller 2
+ *     sync r1, 16                    region sync via router 1, residual 16
+ *     send 4, $5                     payload $5 -> controller 4
+ *     recv $6                        blocking receive from any source
+ *     recv $6, 2                     blocking receive from controller 2
+ *     bne $1, $2, loop               label or raw byte offset (paper style)
+ *     jal $0, -44
+ *     halt
+ *
+ * Pseudo-instructions: nop, mv, li (expands to lui+addi when needed), j.
+ */
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+#include "isa/instruction.hpp"
+
+namespace dhisq::isa {
+
+/** Assemble HISQ source text into a Program. */
+Result<Program> assemble(std::string_view source,
+                         std::string program_name = "program");
+
+/** Assemble or die — convenience for tests/benches with trusted sources. */
+Program assembleOrDie(std::string_view source,
+                      std::string program_name = "program");
+
+} // namespace dhisq::isa

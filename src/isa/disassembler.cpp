@@ -1,0 +1,115 @@
+#include "isa/disassembler.hpp"
+
+#include <sstream>
+
+#include "isa/encoding.hpp"
+
+namespace dhisq::isa {
+
+namespace {
+
+std::string
+reg(std::uint8_t r)
+{
+    return "$" + std::to_string(r);
+}
+
+std::string
+syncTargetText(std::int32_t imm)
+{
+    if (imm & kSyncRouterFlag)
+        return "r" + std::to_string(imm & ~kSyncRouterFlag);
+    return std::to_string(imm);
+}
+
+} // namespace
+
+std::string
+disassemble(const Instruction &ins)
+{
+    std::ostringstream os;
+    os << mnemonic(ins.op);
+    switch (ins.op) {
+      case Op::kAdd: case Op::kSub: case Op::kSll: case Op::kSlt:
+      case Op::kSltu: case Op::kXor: case Op::kSrl: case Op::kSra:
+      case Op::kOr: case Op::kAnd:
+        os << ' ' << reg(ins.rd) << ", " << reg(ins.rs1) << ", "
+           << reg(ins.rs2);
+        break;
+      case Op::kAddi: case Op::kSlti: case Op::kSltiu: case Op::kXori:
+      case Op::kOri: case Op::kAndi: case Op::kSlli: case Op::kSrli:
+      case Op::kSrai:
+        os << ' ' << reg(ins.rd) << ", " << reg(ins.rs1) << ", " << ins.imm;
+        break;
+      case Op::kLui: case Op::kAuipc:
+        os << ' ' << reg(ins.rd) << ", " << ins.imm;
+        break;
+      case Op::kLb: case Op::kLh: case Op::kLw: case Op::kLbu: case Op::kLhu:
+        os << ' ' << reg(ins.rd) << ", " << ins.imm << '(' << reg(ins.rs1)
+           << ')';
+        break;
+      case Op::kSb: case Op::kSh: case Op::kSw:
+        os << ' ' << reg(ins.rs2) << ", " << ins.imm << '(' << reg(ins.rs1)
+           << ')';
+        break;
+      case Op::kJal:
+        os << ' ' << reg(ins.rd) << ", " << ins.imm;
+        break;
+      case Op::kJalr:
+        os << ' ' << reg(ins.rd) << ", " << reg(ins.rs1) << ", " << ins.imm;
+        break;
+      case Op::kBeq: case Op::kBne: case Op::kBlt: case Op::kBge:
+      case Op::kBltu: case Op::kBgeu:
+        os << ' ' << reg(ins.rs1) << ", " << reg(ins.rs2) << ", " << ins.imm;
+        break;
+      case Op::kCwII:
+        os << ' ' << ins.imm << ", " << ins.imm2;
+        break;
+      case Op::kCwIR:
+        os << ' ' << ins.imm << ", " << reg(ins.rs2);
+        break;
+      case Op::kCwRI:
+        os << ' ' << reg(ins.rs1) << ", " << ins.imm2;
+        break;
+      case Op::kCwRR:
+        os << ' ' << reg(ins.rs1) << ", " << reg(ins.rs2);
+        break;
+      case Op::kWaitI:
+      case Op::kWtrig:
+        os << ' ' << ins.imm;
+        break;
+      case Op::kWaitR:
+        os << ' ' << reg(ins.rs1);
+        break;
+      case Op::kSync:
+        os << ' ' << syncTargetText(ins.imm);
+        if (ins.imm2 != 0)
+            os << ", " << ins.imm2;
+        break;
+      case Op::kSend:
+        os << ' ' << ins.imm << ", " << reg(ins.rs2);
+        break;
+      case Op::kRecv:
+        os << ' ' << reg(ins.rd);
+        if (ins.imm != kRecvAnySource)
+            os << ", " << ins.imm;
+        break;
+      case Op::kHalt:
+      case Op::kInvalid:
+        break;
+    }
+    return os.str();
+}
+
+std::string
+disassemble(const Program &program)
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < program.instructions.size(); ++i) {
+        os << (i * 4) << ":\t" << disassemble(program.instructions[i])
+           << '\n';
+    }
+    return os.str();
+}
+
+} // namespace dhisq::isa

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Disassembler: decoded instruction -> canonical assembly text.
+ * Used for diagnostics and for encode/decode round-trip testing.
+ */
+#pragma once
+
+#include <string>
+
+#include "isa/instruction.hpp"
+
+namespace dhisq::isa {
+
+/** Render one instruction in assembler-accepted syntax. */
+std::string disassemble(const Instruction &ins);
+
+/** Render a whole program, one instruction per line with PC prefixes. */
+std::string disassemble(const Program &program);
+
+} // namespace dhisq::isa

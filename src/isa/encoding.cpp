@@ -1,0 +1,428 @@
+#include "isa/encoding.hpp"
+
+#include "common/logging.hpp"
+
+namespace dhisq::isa {
+
+namespace {
+
+constexpr std::uint32_t kOpLoad = 0x03;
+constexpr std::uint32_t kOpOpImm = 0x13;
+constexpr std::uint32_t kOpAuipc = 0x17;
+constexpr std::uint32_t kOpStore = 0x23;
+constexpr std::uint32_t kOpOp = 0x33;
+constexpr std::uint32_t kOpLui = 0x37;
+constexpr std::uint32_t kOpBranch = 0x63;
+constexpr std::uint32_t kOpJalr = 0x67;
+constexpr std::uint32_t kOpJal = 0x6F;
+constexpr std::uint32_t kOpCustom0 = 0x0B;
+constexpr std::uint32_t kOpCustom1 = 0x2B;
+
+std::uint32_t
+bits(std::uint32_t value, int hi, int lo)
+{
+    return (value >> lo) & ((1u << (hi - lo + 1)) - 1u);
+}
+
+std::uint32_t
+rType(std::uint32_t funct7, std::uint8_t rs2, std::uint8_t rs1,
+      std::uint32_t funct3, std::uint8_t rd, std::uint32_t opcode)
+{
+    return (funct7 << 25) | (std::uint32_t(rs2) << 20) |
+           (std::uint32_t(rs1) << 15) | (funct3 << 12) |
+           (std::uint32_t(rd) << 7) | opcode;
+}
+
+std::uint32_t
+iType(std::int32_t imm, std::uint8_t rs1, std::uint32_t funct3,
+      std::uint8_t rd, std::uint32_t opcode)
+{
+    return (std::uint32_t(imm & 0xFFF) << 20) | (std::uint32_t(rs1) << 15) |
+           (funct3 << 12) | (std::uint32_t(rd) << 7) | opcode;
+}
+
+std::uint32_t
+sType(std::int32_t imm, std::uint8_t rs2, std::uint8_t rs1,
+      std::uint32_t funct3, std::uint32_t opcode)
+{
+    const std::uint32_t u = std::uint32_t(imm & 0xFFF);
+    return (bits(u, 11, 5) << 25) | (std::uint32_t(rs2) << 20) |
+           (std::uint32_t(rs1) << 15) | (funct3 << 12) |
+           (bits(u, 4, 0) << 7) | opcode;
+}
+
+std::uint32_t
+bType(std::int32_t imm, std::uint8_t rs2, std::uint8_t rs1,
+      std::uint32_t funct3, std::uint32_t opcode)
+{
+    const std::uint32_t u = std::uint32_t(imm);
+    return (bits(u, 12, 12) << 31) | (bits(u, 10, 5) << 25) |
+           (std::uint32_t(rs2) << 20) | (std::uint32_t(rs1) << 15) |
+           (funct3 << 12) | (bits(u, 4, 1) << 8) | (bits(u, 11, 11) << 7) |
+           opcode;
+}
+
+std::uint32_t
+uType(std::int32_t imm, std::uint8_t rd, std::uint32_t opcode)
+{
+    return (std::uint32_t(imm) & 0xFFFFF000u) | (std::uint32_t(rd) << 7) |
+           opcode;
+}
+
+std::uint32_t
+jType(std::int32_t imm, std::uint8_t rd, std::uint32_t opcode)
+{
+    const std::uint32_t u = std::uint32_t(imm);
+    return (bits(u, 20, 20) << 31) | (bits(u, 10, 1) << 21) |
+           (bits(u, 11, 11) << 20) | (bits(u, 19, 12) << 12) |
+           (std::uint32_t(rd) << 7) | opcode;
+}
+
+std::int32_t
+signExtend(std::uint32_t value, int width)
+{
+    const std::uint32_t sign = 1u << (width - 1);
+    return std::int32_t((value ^ sign)) - std::int32_t(sign);
+}
+
+/** Quantum-extension encoder: S-type immediate + an auxiliary 10-bit field
+ *  in bits[24:15] (overlapping rs1/rs2 which those variants do not use). */
+std::uint32_t
+qType(std::int32_t s_imm, std::uint32_t aux10, std::uint8_t rs1,
+      std::uint8_t rs2, std::uint32_t funct3, std::uint32_t opcode,
+      bool use_aux)
+{
+    std::uint32_t word = sType(s_imm, rs2, rs1, funct3, opcode);
+    if (use_aux) {
+        DHISQ_ASSERT(aux10 <= 0x3FF, "aux field overflow: ", aux10);
+        word = (word & ~(0x3FFu << 15)) | (aux10 << 15);
+    }
+    return word;
+}
+
+} // namespace
+
+std::uint32_t
+encode(const Instruction &ins)
+{
+    switch (ins.op) {
+      case Op::kAdd:  return rType(0x00, ins.rs2, ins.rs1, 0, ins.rd, kOpOp);
+      case Op::kSub:  return rType(0x20, ins.rs2, ins.rs1, 0, ins.rd, kOpOp);
+      case Op::kSll:  return rType(0x00, ins.rs2, ins.rs1, 1, ins.rd, kOpOp);
+      case Op::kSlt:  return rType(0x00, ins.rs2, ins.rs1, 2, ins.rd, kOpOp);
+      case Op::kSltu: return rType(0x00, ins.rs2, ins.rs1, 3, ins.rd, kOpOp);
+      case Op::kXor:  return rType(0x00, ins.rs2, ins.rs1, 4, ins.rd, kOpOp);
+      case Op::kSrl:  return rType(0x00, ins.rs2, ins.rs1, 5, ins.rd, kOpOp);
+      case Op::kSra:  return rType(0x20, ins.rs2, ins.rs1, 5, ins.rd, kOpOp);
+      case Op::kOr:   return rType(0x00, ins.rs2, ins.rs1, 6, ins.rd, kOpOp);
+      case Op::kAnd:  return rType(0x00, ins.rs2, ins.rs1, 7, ins.rd, kOpOp);
+
+      case Op::kAddi:  return iType(ins.imm, ins.rs1, 0, ins.rd, kOpOpImm);
+      case Op::kSlti:  return iType(ins.imm, ins.rs1, 2, ins.rd, kOpOpImm);
+      case Op::kSltiu: return iType(ins.imm, ins.rs1, 3, ins.rd, kOpOpImm);
+      case Op::kXori:  return iType(ins.imm, ins.rs1, 4, ins.rd, kOpOpImm);
+      case Op::kOri:   return iType(ins.imm, ins.rs1, 6, ins.rd, kOpOpImm);
+      case Op::kAndi:  return iType(ins.imm, ins.rs1, 7, ins.rd, kOpOpImm);
+      case Op::kSlli:
+        return rType(0x00, std::uint8_t(ins.imm & 0x1F), ins.rs1, 1, ins.rd,
+                     kOpOpImm);
+      case Op::kSrli:
+        return rType(0x00, std::uint8_t(ins.imm & 0x1F), ins.rs1, 5, ins.rd,
+                     kOpOpImm);
+      case Op::kSrai:
+        return rType(0x20, std::uint8_t(ins.imm & 0x1F), ins.rs1, 5, ins.rd,
+                     kOpOpImm);
+
+      case Op::kLui:   return uType(ins.imm, ins.rd, kOpLui);
+      case Op::kAuipc: return uType(ins.imm, ins.rd, kOpAuipc);
+
+      case Op::kLb:  return iType(ins.imm, ins.rs1, 0, ins.rd, kOpLoad);
+      case Op::kLh:  return iType(ins.imm, ins.rs1, 1, ins.rd, kOpLoad);
+      case Op::kLw:  return iType(ins.imm, ins.rs1, 2, ins.rd, kOpLoad);
+      case Op::kLbu: return iType(ins.imm, ins.rs1, 4, ins.rd, kOpLoad);
+      case Op::kLhu: return iType(ins.imm, ins.rs1, 5, ins.rd, kOpLoad);
+      case Op::kSb:  return sType(ins.imm, ins.rs2, ins.rs1, 0, kOpStore);
+      case Op::kSh:  return sType(ins.imm, ins.rs2, ins.rs1, 1, kOpStore);
+      case Op::kSw:  return sType(ins.imm, ins.rs2, ins.rs1, 2, kOpStore);
+
+      case Op::kJal:  return jType(ins.imm, ins.rd, kOpJal);
+      case Op::kJalr: return iType(ins.imm, ins.rs1, 0, ins.rd, kOpJalr);
+      case Op::kBeq:  return bType(ins.imm, ins.rs2, ins.rs1, 0, kOpBranch);
+      case Op::kBne:  return bType(ins.imm, ins.rs2, ins.rs1, 1, kOpBranch);
+      case Op::kBlt:  return bType(ins.imm, ins.rs2, ins.rs1, 4, kOpBranch);
+      case Op::kBge:  return bType(ins.imm, ins.rs2, ins.rs1, 5, kOpBranch);
+      case Op::kBltu: return bType(ins.imm, ins.rs2, ins.rs1, 6, kOpBranch);
+      case Op::kBgeu: return bType(ins.imm, ins.rs2, ins.rs1, 7, kOpBranch);
+
+      case Op::kCwII:
+        return qType(ins.imm, std::uint32_t(ins.imm2), 0, 0, 0, kOpCustom0,
+                     true);
+      case Op::kCwIR:
+        return qType(ins.imm, 0, 0, ins.rs2, 1, kOpCustom0, false);
+      case Op::kCwRI:
+        return qType(ins.imm2, 0, ins.rs1, 0, 2, kOpCustom0, false);
+      case Op::kCwRR:
+        return qType(0, 0, ins.rs1, ins.rs2, 3, kOpCustom0, false);
+      case Op::kWaitI:
+        return qType(ins.imm, 0, 0, 0, 4, kOpCustom0, false);
+      case Op::kWaitR:
+        return qType(0, 0, ins.rs1, 0, 5, kOpCustom0, false);
+      case Op::kSync:
+        return qType(ins.imm, std::uint32_t(ins.imm2), 0, 0, 6, kOpCustom0,
+                     true);
+      case Op::kHalt:
+        return qType(0, 0, 0, 0, 7, kOpCustom0, false);
+
+      case Op::kSend:
+        return sType(ins.imm, ins.rs2, 0, 0, kOpCustom1);
+      case Op::kRecv:
+        return iType(ins.imm, 0, 1, ins.rd, kOpCustom1);
+      case Op::kWtrig:
+        return sType(ins.imm, 0, 0, 2, kOpCustom1);
+
+      case Op::kInvalid:
+        break;
+    }
+    DHISQ_PANIC("encode: invalid instruction");
+}
+
+namespace {
+
+/** Zero the register fields a format does not use, so decode(encode(x))
+ *  is exactly x and Instruction equality is meaningful. */
+Instruction
+normalize(Instruction ins)
+{
+    switch (ins.op) {
+      case Op::kAddi: case Op::kSlti: case Op::kSltiu: case Op::kXori:
+      case Op::kOri: case Op::kAndi: case Op::kSlli: case Op::kSrli:
+      case Op::kSrai: case Op::kJalr:
+      case Op::kLb: case Op::kLh: case Op::kLw: case Op::kLbu: case Op::kLhu:
+        ins.rs2 = 0;
+        break;
+      case Op::kLui: case Op::kAuipc: case Op::kJal:
+        ins.rs1 = 0;
+        ins.rs2 = 0;
+        break;
+      case Op::kSb: case Op::kSh: case Op::kSw:
+      case Op::kBeq: case Op::kBne: case Op::kBlt: case Op::kBge:
+      case Op::kBltu: case Op::kBgeu:
+        ins.rd = 0;
+        break;
+      default:
+        break;
+    }
+    return ins;
+}
+
+Instruction decodeRaw(std::uint32_t w);
+
+} // namespace
+
+Instruction
+decode(std::uint32_t w)
+{
+    return normalize(decodeRaw(w));
+}
+
+namespace {
+
+Instruction
+decodeRaw(std::uint32_t w)
+{
+    Instruction ins;
+    const std::uint32_t opcode = bits(w, 6, 0);
+    const std::uint32_t funct3 = bits(w, 14, 12);
+    const std::uint32_t funct7 = bits(w, 31, 25);
+    ins.rd = std::uint8_t(bits(w, 11, 7));
+    ins.rs1 = std::uint8_t(bits(w, 19, 15));
+    ins.rs2 = std::uint8_t(bits(w, 24, 20));
+
+    const std::int32_t i_imm = signExtend(bits(w, 31, 20), 12);
+    const std::int32_t s_imm =
+        signExtend((bits(w, 31, 25) << 5) | bits(w, 11, 7), 12);
+    const std::int32_t b_imm = signExtend(
+        (bits(w, 31, 31) << 12) | (bits(w, 7, 7) << 11) |
+            (bits(w, 30, 25) << 5) | (bits(w, 11, 8) << 1),
+        13);
+    const std::int32_t u_imm = std::int32_t(w & 0xFFFFF000u);
+    const std::int32_t j_imm = signExtend(
+        (bits(w, 31, 31) << 20) | (bits(w, 19, 12) << 12) |
+            (bits(w, 20, 20) << 11) | (bits(w, 30, 21) << 1),
+        21);
+    const std::uint32_t aux10 = bits(w, 24, 15);
+
+    switch (opcode) {
+      case kOpOp:
+        ins.op = Op::kInvalid;
+        switch (funct3) {
+          case 0: ins.op = (funct7 == 0x20) ? Op::kSub : Op::kAdd; break;
+          case 1: ins.op = Op::kSll; break;
+          case 2: ins.op = Op::kSlt; break;
+          case 3: ins.op = Op::kSltu; break;
+          case 4: ins.op = Op::kXor; break;
+          case 5: ins.op = (funct7 == 0x20) ? Op::kSra : Op::kSrl; break;
+          case 6: ins.op = Op::kOr; break;
+          case 7: ins.op = Op::kAnd; break;
+        }
+        return ins;
+
+      case kOpOpImm:
+        ins.imm = i_imm;
+        switch (funct3) {
+          case 0: ins.op = Op::kAddi; break;
+          case 2: ins.op = Op::kSlti; break;
+          case 3: ins.op = Op::kSltiu; break;
+          case 4: ins.op = Op::kXori; break;
+          case 6: ins.op = Op::kOri; break;
+          case 7: ins.op = Op::kAndi; break;
+          case 1:
+            ins.op = Op::kSlli;
+            ins.imm = std::int32_t(ins.rs2);
+            break;
+          case 5:
+            ins.op = (funct7 == 0x20) ? Op::kSrai : Op::kSrli;
+            ins.imm = std::int32_t(ins.rs2);
+            break;
+          default: ins.op = Op::kInvalid; break;
+        }
+        return ins;
+
+      case kOpLui:
+        ins.op = Op::kLui;
+        ins.imm = u_imm;
+        return ins;
+      case kOpAuipc:
+        ins.op = Op::kAuipc;
+        ins.imm = u_imm;
+        return ins;
+
+      case kOpLoad:
+        ins.imm = i_imm;
+        switch (funct3) {
+          case 0: ins.op = Op::kLb; break;
+          case 1: ins.op = Op::kLh; break;
+          case 2: ins.op = Op::kLw; break;
+          case 4: ins.op = Op::kLbu; break;
+          case 5: ins.op = Op::kLhu; break;
+          default: ins.op = Op::kInvalid; break;
+        }
+        return ins;
+
+      case kOpStore:
+        ins.imm = s_imm;
+        switch (funct3) {
+          case 0: ins.op = Op::kSb; break;
+          case 1: ins.op = Op::kSh; break;
+          case 2: ins.op = Op::kSw; break;
+          default: ins.op = Op::kInvalid; break;
+        }
+        return ins;
+
+      case kOpJal:
+        ins.op = Op::kJal;
+        ins.imm = j_imm;
+        return ins;
+      case kOpJalr:
+        ins.op = Op::kJalr;
+        ins.imm = i_imm;
+        return ins;
+
+      case kOpBranch:
+        ins.imm = b_imm;
+        switch (funct3) {
+          case 0: ins.op = Op::kBeq; break;
+          case 1: ins.op = Op::kBne; break;
+          case 4: ins.op = Op::kBlt; break;
+          case 5: ins.op = Op::kBge; break;
+          case 6: ins.op = Op::kBltu; break;
+          case 7: ins.op = Op::kBgeu; break;
+          default: ins.op = Op::kInvalid; break;
+        }
+        return ins;
+
+      case kOpCustom0:
+        switch (funct3) {
+          case 0:
+            ins.op = Op::kCwII;
+            ins.imm = s_imm;
+            ins.imm2 = std::int32_t(aux10);
+            ins.rs1 = 0;
+            ins.rs2 = 0;
+            break;
+          case 1:
+            ins.op = Op::kCwIR;
+            ins.imm = s_imm;
+            ins.rs1 = 0;
+            break;
+          case 2:
+            ins.op = Op::kCwRI;
+            ins.imm2 = s_imm;
+            ins.rs2 = 0;
+            break;
+          case 3:
+            ins.op = Op::kCwRR;
+            break;
+          case 4:
+            ins.op = Op::kWaitI;
+            ins.imm = s_imm & 0xFFF;
+            ins.rs1 = 0;
+            ins.rs2 = 0;
+            break;
+          case 5:
+            ins.op = Op::kWaitR;
+            ins.rs2 = 0;
+            break;
+          case 6:
+            ins.op = Op::kSync;
+            ins.imm = s_imm & 0xFFF;
+            ins.imm2 = std::int32_t(aux10);
+            ins.rs1 = 0;
+            ins.rs2 = 0;
+            break;
+          case 7:
+            ins.op = Op::kHalt;
+            break;
+          default:
+            ins.op = Op::kInvalid;
+            break;
+        }
+        ins.rd = 0;
+        return ins;
+
+      case kOpCustom1:
+        switch (funct3) {
+          case 0:
+            ins.op = Op::kSend;
+            ins.imm = s_imm & 0xFFF;
+            ins.rd = 0;
+            ins.rs1 = 0;
+            break;
+          case 1:
+            ins.op = Op::kRecv;
+            ins.imm = i_imm & 0xFFF;
+            ins.rs1 = 0;
+            ins.rs2 = 0;
+            break;
+          case 2:
+            ins.op = Op::kWtrig;
+            ins.imm = s_imm & 0xFFF;
+            ins.rd = 0;
+            ins.rs1 = 0;
+            ins.rs2 = 0;
+            break;
+          default:
+            ins.op = Op::kInvalid;
+            break;
+        }
+        return ins;
+
+      default:
+        ins.op = Op::kInvalid;
+        return ins;
+    }
+}
+
+} // namespace
+
+} // namespace dhisq::isa

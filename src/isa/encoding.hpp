@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Binary encoding of HISQ instructions.
+ *
+ * Classical RV32I instructions use the standard RISC-V encodings so the
+ * binary format is recognisable and externally checkable. The quantum
+ * extension occupies the RISC-V "custom-0" (0x0B) and "custom-1" (0x2B)
+ * opcode spaces:
+ *
+ * custom-0 (funct3 selects the variant):
+ *   0: cw.i.i   port = S-imm[11:0],  codeword = bits[24:15] (10-bit)
+ *   1: cw.i.r   port = S-imm[11:0],  codeword = reg[rs2]
+ *   2: cw.r.i   port = reg[rs1],     codeword = S-imm[11:0]
+ *   3: cw.r.r   port = reg[rs1],     codeword = reg[rs2]
+ *   4: waiti    duration = S-imm[11:0] (unsigned)
+ *   5: waitr    duration = reg[rs1]
+ *   6: sync     target = S-imm[11:0] (bit 11 = router), residual =
+ *               bits[24:15] (10-bit unsigned)
+ *   7: halt
+ *
+ * custom-1:
+ *   0: send     destination = S-imm[11:0], payload = reg[rs2]
+ *   1: recv     rd = bits[11:7], source = I-imm[11:0] (0xFFF = any)
+ *   2: wtrig    trigger source = S-imm[11:0]
+ *
+ * S-imm[11:0] denotes the standard S-type immediate split
+ * (bits[31:25] ++ bits[11:7]).
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "isa/instruction.hpp"
+
+namespace dhisq::isa {
+
+/** Encode a decoded instruction into its 32-bit word. Panics on field
+ *  overflow (the assembler validates ranges first). */
+std::uint32_t encode(const Instruction &ins);
+
+/** Decode a 32-bit word. Returns Op::kInvalid in `op` for unknown words. */
+Instruction decode(std::uint32_t word);
+
+/** Range limits imposed by the encoding (used by assembler diagnostics). */
+inline constexpr std::int32_t kMaxCwImmediate = 0x3FF;   // 10-bit codeword
+inline constexpr std::int32_t kMaxSImmediate = 2047;     // signed 12-bit
+inline constexpr std::int32_t kMinSImmediate = -2048;
+inline constexpr std::int32_t kMaxWaitImmediate = 0xFFF; // unsigned 12-bit
+inline constexpr std::int32_t kMaxSyncResidual = 0x3FF;  // 10-bit
+
+} // namespace dhisq::isa

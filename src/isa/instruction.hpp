@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Decoded HISQ instruction and program container.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/opcodes.hpp"
+
+namespace dhisq::isa {
+
+/**
+ * A decoded instruction.
+ *
+ * Field usage by class:
+ *  - RV32I ops follow the usual rd/rs1/rs2/imm conventions.
+ *  - cw.*: imm = port (immediate forms), imm2 = codeword (immediate forms);
+ *    rs1 = port register, rs2 = codeword register (register forms).
+ *  - waiti: imm = duration; waitr: rs1 = duration register.
+ *  - sync: imm = target encoding (bit 11 = router flag, low 11 bits index),
+ *    imm2 = booking residual in cycles.
+ *  - send: imm = destination controller, rs2 = payload register.
+ *  - recv: rd = destination register, imm = source controller
+ *    (kRecvAnySource matches any sender).
+ */
+struct Instruction
+{
+    Op op = Op::kInvalid;
+    std::uint8_t rd = 0;
+    std::uint8_t rs1 = 0;
+    std::uint8_t rs2 = 0;
+    std::int32_t imm = 0;
+    std::int32_t imm2 = 0;
+
+    bool operator==(const Instruction &other) const = default;
+};
+
+/** `recv` source wildcard. */
+inline constexpr std::int32_t kRecvAnySource = 0xFFF;
+
+/** Router flag inside the 12-bit sync target immediate. */
+inline constexpr std::int32_t kSyncRouterFlag = 0x800;
+
+/** An assembled program: encoded words plus debug information. */
+struct Program
+{
+    /** Raw 32-bit encodings, one per instruction, PC = 4 * index. */
+    std::vector<std::uint32_t> words;
+
+    /** Decoded forms, parallel to `words`. */
+    std::vector<Instruction> instructions;
+
+    /** Source line number for each instruction (diagnostics). */
+    std::vector<int> lines;
+
+    /** Human-readable program name (board/controller label). */
+    std::string name;
+
+    std::size_t size() const { return instructions.size(); }
+    bool empty() const { return instructions.empty(); }
+};
+
+} // namespace dhisq::isa

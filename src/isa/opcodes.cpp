@@ -1,0 +1,87 @@
+#include "isa/opcodes.hpp"
+
+#include <array>
+#include <utility>
+
+namespace dhisq::isa {
+
+OpClass
+classOf(Op op)
+{
+    switch (op) {
+      case Op::kAdd: case Op::kSub: case Op::kSll: case Op::kSlt:
+      case Op::kSltu: case Op::kXor: case Op::kSrl: case Op::kSra:
+      case Op::kOr: case Op::kAnd:
+      case Op::kAddi: case Op::kSlti: case Op::kSltiu: case Op::kXori:
+      case Op::kOri: case Op::kAndi: case Op::kSlli: case Op::kSrli:
+      case Op::kSrai:
+      case Op::kLui: case Op::kAuipc:
+      case Op::kLb: case Op::kLh: case Op::kLw: case Op::kLbu: case Op::kLhu:
+      case Op::kSb: case Op::kSh: case Op::kSw:
+        return OpClass::Classical;
+      case Op::kJal: case Op::kJalr:
+      case Op::kBeq: case Op::kBne: case Op::kBlt: case Op::kBge:
+      case Op::kBltu: case Op::kBgeu:
+        return OpClass::Branch;
+      case Op::kCwII: case Op::kCwIR: case Op::kCwRI: case Op::kCwRR:
+        return OpClass::Codeword;
+      case Op::kWaitI: case Op::kWaitR:
+        return OpClass::Wait;
+      case Op::kSync:
+        return OpClass::Sync;
+      case Op::kWtrig:
+        return OpClass::Trigger;
+      case Op::kSend: case Op::kRecv:
+        return OpClass::Message;
+      case Op::kHalt:
+        return OpClass::Halt;
+      case Op::kInvalid:
+        return OpClass::Invalid;
+    }
+    return OpClass::Invalid;
+}
+
+namespace {
+
+constexpr std::pair<Op, std::string_view> kMnemonics[] = {
+    {Op::kAdd, "add"},     {Op::kSub, "sub"},     {Op::kSll, "sll"},
+    {Op::kSlt, "slt"},     {Op::kSltu, "sltu"},   {Op::kXor, "xor"},
+    {Op::kSrl, "srl"},     {Op::kSra, "sra"},     {Op::kOr, "or"},
+    {Op::kAnd, "and"},     {Op::kAddi, "addi"},   {Op::kSlti, "slti"},
+    {Op::kSltiu, "sltiu"}, {Op::kXori, "xori"},   {Op::kOri, "ori"},
+    {Op::kAndi, "andi"},   {Op::kSlli, "slli"},   {Op::kSrli, "srli"},
+    {Op::kSrai, "srai"},   {Op::kLui, "lui"},     {Op::kAuipc, "auipc"},
+    {Op::kLb, "lb"},       {Op::kLh, "lh"},       {Op::kLw, "lw"},
+    {Op::kLbu, "lbu"},     {Op::kLhu, "lhu"},     {Op::kSb, "sb"},
+    {Op::kSh, "sh"},       {Op::kSw, "sw"},       {Op::kJal, "jal"},
+    {Op::kJalr, "jalr"},   {Op::kBeq, "beq"},     {Op::kBne, "bne"},
+    {Op::kBlt, "blt"},     {Op::kBge, "bge"},     {Op::kBltu, "bltu"},
+    {Op::kBgeu, "bgeu"},   {Op::kCwII, "cw.i.i"}, {Op::kCwIR, "cw.i.r"},
+    {Op::kCwRI, "cw.r.i"}, {Op::kCwRR, "cw.r.r"}, {Op::kWaitI, "waiti"},
+    {Op::kWaitR, "waitr"}, {Op::kSync, "sync"},   {Op::kWtrig, "wtrig"},
+    {Op::kSend, "send"},   {Op::kRecv, "recv"},   {Op::kHalt, "halt"},
+};
+
+} // namespace
+
+std::string_view
+mnemonic(Op op)
+{
+    for (const auto &[o, name] : kMnemonics) {
+        if (o == op)
+            return name;
+    }
+    return "invalid";
+}
+
+Op
+opFromMnemonic(std::string_view text)
+{
+    for (const auto &[o, name] : kMnemonics) {
+        if (name == text)
+            return o;
+    }
+    return Op::kInvalid;
+}
+
+} // namespace dhisq::isa

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * HISQ operation enumeration and classification.
+ *
+ * HISQ is an extension of RV32I (Section 3.1.1): the classical subset keeps
+ * the standard RISC-V semantics (interrupt/fence functionality is disabled),
+ * and the quantum-control extension adds:
+ *
+ *   cw.{i,r}.{i,r} <port>, <codeword>   "send codeword to port at time-point"
+ *   waiti/waitr                          advance the timing cursor
+ *   sync <tgt>[, <res>]                  BISP synchronization (Section 3.1.3)
+ *   wtrig <src>                          pause the TCU timer at the current
+ *                                        timing point until an external
+ *                                        trigger (message arrival) fires —
+ *                                        our realization of the TCU's
+ *                                        external-trigger ports (Section 3.2)
+ *   send/recv                            Message Unit communication
+ *   halt                                 retire the controller (simulation)
+ *
+ * The `res` field of sync is our documented encoding of the booking residual:
+ * the distance, in timing-cursor cycles, from the booking point to the
+ * synchronization point (DESIGN.md Section 2).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace dhisq::isa {
+
+/** Every HISQ operation. */
+enum class Op : std::uint8_t {
+    // RV32I register-register.
+    kAdd, kSub, kSll, kSlt, kSltu, kXor, kSrl, kSra, kOr, kAnd,
+    // RV32I register-immediate.
+    kAddi, kSlti, kSltiu, kXori, kOri, kAndi, kSlli, kSrli, kSrai,
+    // RV32I upper-immediate.
+    kLui, kAuipc,
+    // RV32I loads/stores.
+    kLb, kLh, kLw, kLbu, kLhu, kSb, kSh, kSw,
+    // RV32I control flow.
+    kJal, kJalr, kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+    // HISQ quantum-control extension.
+    kCwII, kCwIR, kCwRI, kCwRR,
+    kWaitI, kWaitR,
+    kSync,
+    kWtrig,
+    kSend, kRecv,
+    kHalt,
+    kInvalid,
+};
+
+/** Broad instruction categories used by the core dispatcher. */
+enum class OpClass : std::uint8_t {
+    Classical,   ///< Pure RV32I arithmetic / memory.
+    Branch,      ///< Control flow (branches, jal, jalr).
+    Codeword,    ///< cw.* — enqueued into a TCU codeword queue.
+    Wait,        ///< waiti/waitr — advances the timing cursor.
+    Sync,        ///< sync — enqueued into the TCU sync queue.
+    Trigger,     ///< wtrig — timed wait for an external trigger (§3.2).
+    Message,     ///< send/recv — handled by the Message Unit.
+    Halt,        ///< halt — retires the controller.
+    Invalid,
+};
+
+/** Classify an operation. */
+OpClass classOf(Op op);
+
+/** Canonical mnemonic, e.g. "cw.i.r". */
+std::string_view mnemonic(Op op);
+
+/** Inverse of mnemonic(); Op::kInvalid when unknown. */
+Op opFromMnemonic(std::string_view text);
+
+} // namespace dhisq::isa

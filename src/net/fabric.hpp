@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The communication fabric: wires HISQ cores to the mesh links, the router
+ * tree and (for the lock-step baseline) a star-topology central hub.
+ *
+ * Latency model:
+ *  - nearest-neighbour mesh link: topology.neighbor_latency (BISP's N);
+ *  - router-tree path: hops * hop_latency;
+ *  - central hub broadcast: constant 2 * star_latency regardless of system
+ *    size — deliberately matching the paper's optimistic baseline
+ *    assumption (Section 6.4.3).
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/telf.hpp"
+#include "common/types.hpp"
+#include "core/core.hpp"
+#include "net/router.hpp"
+#include "net/topology.hpp"
+#include "sim/scheduler.hpp"
+
+namespace dhisq::net {
+
+/** Destination id that broadcasts through the central hub. */
+inline constexpr ControllerId kBroadcastDst = 0xFFD;
+
+/** Fabric configuration. */
+struct FabricConfig
+{
+    RouterPolicy policy = RouterPolicy::Robust;
+    /** One-way latency to the central hub (baseline star topology). */
+    Cycle star_latency = 25;
+    /** Route every point-to-point message via the hub (baseline mode). */
+    bool star_messages = false;
+    /**
+     * Calibration error injected into the SyncU's notion of the nearby link
+     * latency N (signals still physically take the topology latency).
+     * 0 = correctly calibrated. Used by failure-injection tests to show
+     * that BISP's cycle alignment depends on the one-time calibration the
+     * paper describes in Section 4.1.
+     */
+    std::int32_t nearby_calibration_error = 0;
+};
+
+/** Message/sync interconnect between controllers and routers. */
+class Fabric
+{
+  public:
+    Fabric(const Topology &topo, sim::Scheduler &sched, TelfLog *telf,
+           const FabricConfig &config);
+
+    const Topology &topology() const { return _topo; }
+    const FabricConfig &config() const { return _config; }
+
+    /** Register a core; its id indexes the controller table. */
+    void registerCore(core::HisqCore *c);
+
+    /**
+     * Build the network-facing hooks for controller `id`; the caller adds
+     * the board-facing on_codeword hook itself.
+     */
+    core::CoreHooks hooksFor(ControllerId id);
+
+    /** Point-to-point classical message. */
+    void sendMessage(ControllerId src, ControllerId dst,
+                     std::uint32_t payload);
+
+    /** Broadcast through the central hub to every controller. */
+    void broadcast(ControllerId src, std::uint32_t payload);
+
+    SyncRouter &router(RouterId id);
+
+    const StatSet &stats() const { return _stats; }
+
+  private:
+    core::HisqCore *coreAt(ControllerId id);
+
+    const Topology &_topo;
+    sim::Scheduler &_sched;
+    TelfLog *_telf;
+    FabricConfig _config;
+
+    std::vector<core::HisqCore *> _cores;
+    std::vector<std::unique_ptr<SyncRouter>> _routers;
+    StatSet _stats;
+};
+
+} // namespace dhisq::net

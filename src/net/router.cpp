@@ -1,0 +1,127 @@
+#include "net/router.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace dhisq::net {
+
+SyncRouter::SyncRouter(const RouterNode &node, const Topology &topo,
+                       sim::Scheduler &sched, TelfLog *telf,
+                       RouterPolicy policy)
+    : _node(node), _topo(topo), _sched(sched), _telf(telf), _policy(policy),
+      _name("R" + std::to_string(node.id)),
+      _pending(node.child_controllers.size() + node.child_routers.size())
+{
+}
+
+std::size_t
+SyncRouter::slotOfController(ControllerId child) const
+{
+    auto it = std::find(_node.child_controllers.begin(),
+                        _node.child_controllers.end(), child);
+    DHISQ_ASSERT(it != _node.child_controllers.end(), _name,
+                 ": not my child controller: C", child);
+    return std::size_t(it - _node.child_controllers.begin());
+}
+
+std::size_t
+SyncRouter::slotOfRouter(RouterId child) const
+{
+    auto it = std::find(_node.child_routers.begin(),
+                        _node.child_routers.end(), child);
+    DHISQ_ASSERT(it != _node.child_routers.end(), _name,
+                 ": not my child router: R", child);
+    return _node.child_controllers.size() +
+           std::size_t(it - _node.child_routers.begin());
+}
+
+void
+SyncRouter::onControllerRequest(ControllerId child, RouterId target,
+                                Cycle t_i)
+{
+    _stats.inc("controller_requests");
+    bufferRequest(slotOfController(child), target, t_i);
+}
+
+void
+SyncRouter::onRouterRequest(RouterId child, RouterId target, Cycle t_max)
+{
+    _stats.inc("router_requests");
+    bufferRequest(slotOfRouter(child), target, t_max);
+}
+
+void
+SyncRouter::bufferRequest(std::size_t slot, RouterId target, Cycle t)
+{
+    _pending[slot].push_back(Request{target, t});
+    tryCompleteRound();
+}
+
+void
+SyncRouter::tryCompleteRound()
+{
+    for (const auto &q : _pending) {
+        if (q.empty())
+            return; // Still waiting for some child (Figure 8, "All Received?").
+    }
+
+    RouterId target = kNoRouter;
+    Cycle t_max = 0;
+    for (auto &q : _pending) {
+        const Request req = q.front();
+        q.pop_front();
+        if (target == kNoRouter)
+            target = req.target;
+        DHISQ_ASSERT(target == req.target, _name,
+                     ": children disagree on the sync destination router");
+        t_max = std::max(t_max, req.t);
+    }
+    _stats.inc("rounds_completed");
+
+    if (target == _node.id) {
+        Cycle t_final = t_max;
+        if (_policy == RouterPolicy::Robust) {
+            const Cycle worst_arrival =
+                _sched.now() + _topo.maxDownstreamLatency(_node.id);
+            t_final = std::max(t_final, worst_arrival);
+        }
+        if (t_final > t_max)
+            _stats.inc("robust_margin_cycles", t_final - t_max);
+        broadcast(t_final);
+    } else {
+        DHISQ_ASSERT(_node.parent != kNoRouter, _name,
+                     ": sync destination R", target,
+                     " is not an ancestor of this subtree");
+        DHISQ_ASSERT(_forward_up, "router without uplink wiring");
+        _forward_up(_node.parent, target, t_max);
+        _stats.inc("forwards_up");
+    }
+}
+
+void
+SyncRouter::onParentNotify(Cycle t_final)
+{
+    _stats.inc("parent_notifies");
+    broadcast(t_final);
+}
+
+void
+SyncRouter::broadcast(Cycle t_final)
+{
+    if (_telf) {
+        _telf->record(_sched.now(), _name, TelfKind::SyncDone, -1,
+                      std::int64_t(t_final), "broadcast");
+    }
+    for (ControllerId child : _node.child_controllers) {
+        DHISQ_ASSERT(_notify_controller, "router without controller wiring");
+        _notify_controller(child, t_final);
+    }
+    for (RouterId child : _node.child_routers) {
+        DHISQ_ASSERT(_broadcast_down, "router without downlink wiring");
+        _broadcast_down(child, t_final);
+    }
+    _stats.inc("broadcasts");
+}
+
+} // namespace dhisq::net

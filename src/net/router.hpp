@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Region-synchronization router (Section 5.2, Figure 8).
+ *
+ * Algorithm per router:
+ *  1. A message from a child is buffered; a message from the parent is
+ *     broadcast to all children.
+ *  2. Once every child has contributed, the maximum time-point is computed.
+ *  3. If this router is the sync destination it broadcasts the result to
+ *     its children; otherwise it forwards the maximum to its parent.
+ *
+ * Two notification variants (DESIGN.md Section 2):
+ *  - Paper:  broadcast T_m = max(T_i) directly. Zero overhead iff
+ *            max(B_i + L_i) <= max(T_i) (Section 4.4); may desynchronize
+ *            when booking leads are too small.
+ *  - Robust: broadcast T_final = max(T_m, decision_time + worst downstream
+ *            latency), which provably reaches every leaf before T_final.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/telf.hpp"
+#include "common/types.hpp"
+#include "net/topology.hpp"
+#include "sim/scheduler.hpp"
+
+namespace dhisq::net {
+
+/** Notification policy for region synchronization. */
+enum class RouterPolicy : std::uint8_t { Paper, Robust };
+
+/** One router of the inter-layer tree. */
+class SyncRouter
+{
+  public:
+    /** Deliver a notification time-point to a child controller. */
+    using NotifyControllerFn =
+        std::function<void(ControllerId child, Cycle t_final)>;
+    /** Forward an aggregated request to the parent router. */
+    using ForwardUpFn =
+        std::function<void(RouterId parent, RouterId target, Cycle t_max)>;
+    /** Broadcast a time-point to a child router. */
+    using BroadcastDownFn =
+        std::function<void(RouterId child, Cycle t_final)>;
+
+    SyncRouter(const RouterNode &node, const Topology &topo,
+               sim::Scheduler &sched, TelfLog *telf, RouterPolicy policy);
+
+    void setNotifyControllerFn(NotifyControllerFn fn)
+    {
+        _notify_controller = std::move(fn);
+    }
+    void setForwardUpFn(ForwardUpFn fn) { _forward_up = std::move(fn); }
+    void setBroadcastDownFn(BroadcastDownFn fn)
+    {
+        _broadcast_down = std::move(fn);
+    }
+
+    RouterId id() const { return _node.id; }
+
+    /** A booking request arrived from child controller `child`. */
+    void onControllerRequest(ControllerId child, RouterId target, Cycle t_i);
+
+    /** An aggregated request arrived from child router `child`. */
+    void onRouterRequest(RouterId child, RouterId target, Cycle t_max);
+
+    /** A notification arrived from the parent; broadcast it downward. */
+    void onParentNotify(Cycle t_final);
+
+    const StatSet &stats() const { return _stats; }
+
+  private:
+    /** Index of a child in the unified child slot table. */
+    std::size_t slotOfController(ControllerId child) const;
+    std::size_t slotOfRouter(RouterId child) const;
+
+    void bufferRequest(std::size_t slot, RouterId target, Cycle t);
+    void tryCompleteRound();
+    void broadcast(Cycle t_final);
+
+    RouterNode _node;
+    const Topology &_topo;
+    sim::Scheduler &_sched;
+    TelfLog *_telf;
+    RouterPolicy _policy;
+    std::string _name;
+
+    /** Per child slot, a FIFO of pending (target, t) requests. */
+    struct Request
+    {
+        RouterId target;
+        Cycle t;
+    };
+    std::vector<std::deque<Request>> _pending;
+
+    NotifyControllerFn _notify_controller;
+    ForwardUpFn _forward_up;
+    BroadcastDownFn _broadcast_down;
+    StatSet _stats;
+};
+
+} // namespace dhisq::net

@@ -1,0 +1,210 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace dhisq::net {
+
+Topology
+Topology::grid(const TopologyConfig &config)
+{
+    DHISQ_ASSERT(config.width >= 1 && config.height >= 1,
+                 "empty controller grid");
+    DHISQ_ASSERT(config.tree_arity >= 2, "tree arity must be >= 2");
+
+    Topology topo;
+    topo._config = config;
+
+    const unsigned n = config.width * config.height;
+    topo._controller_parent.assign(n, kNoRouter);
+
+    // Level-0 routers parent groups of `arity` consecutive controllers
+    // (grouping by grid blocks keeps regions spatially local on the line /
+    // row-major grid, which is what Insight #2 asks of the topology).
+    std::vector<RouterId> level;
+    for (unsigned base = 0; base < n; base += config.tree_arity) {
+        RouterNode node;
+        node.id = RouterId(topo._routers.size());
+        node.level = 0;
+        for (unsigned c = base; c < std::min(n, base + config.tree_arity);
+             ++c) {
+            node.child_controllers.push_back(c);
+            topo._controller_parent[c] = node.id;
+        }
+        level.push_back(node.id);
+        topo._routers.push_back(std::move(node));
+    }
+
+    // Stack balanced levels of routers until a single root remains.
+    unsigned depth = 1;
+    while (level.size() > 1) {
+        std::vector<RouterId> next;
+        for (std::size_t base = 0; base < level.size();
+             base += config.tree_arity) {
+            RouterNode node;
+            node.id = RouterId(topo._routers.size());
+            node.level = depth;
+            for (std::size_t i = base;
+                 i < std::min(level.size(), base + config.tree_arity); ++i) {
+                node.child_routers.push_back(level[i]);
+            }
+            next.push_back(node.id);
+            topo._routers.push_back(std::move(node));
+            for (RouterId child : topo._routers.back().child_routers)
+                topo._routers[child].parent = topo._routers.back().id;
+        }
+        level = std::move(next);
+        ++depth;
+    }
+    topo._root = level.front();
+    return topo;
+}
+
+Topology
+Topology::line(unsigned n, const TopologyConfig &base)
+{
+    TopologyConfig config = base;
+    config.width = n;
+    config.height = 1;
+    return grid(config);
+}
+
+bool
+Topology::areNeighbors(ControllerId a, ControllerId b) const
+{
+    if (a == b)
+        return false;
+    return gridDistance(a, b) == 1;
+}
+
+std::vector<ControllerId>
+Topology::neighborsOf(ControllerId c) const
+{
+    DHISQ_ASSERT(c < numControllers(), "controller out of range");
+    const unsigned w = _config.width;
+    const unsigned x = c % w;
+    const unsigned y = c / w;
+    std::vector<ControllerId> out;
+    if (x > 0)
+        out.push_back(c - 1);
+    if (x + 1 < w)
+        out.push_back(c + 1);
+    if (y > 0)
+        out.push_back(c - w);
+    if (y + 1 < _config.height)
+        out.push_back(c + w);
+    return out;
+}
+
+Cycle
+Topology::neighborLatency(ControllerId a, ControllerId b) const
+{
+    DHISQ_ASSERT(areNeighbors(a, b), "controllers ", a, " and ", b,
+                 " are not mesh neighbours");
+    return _config.neighbor_latency;
+}
+
+RouterId
+Topology::parentRouter(ControllerId c) const
+{
+    DHISQ_ASSERT(c < numControllers(), "controller out of range");
+    return _controller_parent[c];
+}
+
+const RouterNode &
+Topology::router(RouterId r) const
+{
+    DHISQ_ASSERT(r < _routers.size(), "router out of range");
+    return _routers[r];
+}
+
+bool
+Topology::inSubtree(ControllerId c, RouterId r) const
+{
+    RouterId cur = parentRouter(c);
+    while (cur != kNoRouter) {
+        if (cur == r)
+            return true;
+        cur = _routers[cur].parent;
+    }
+    return false;
+}
+
+std::vector<ControllerId>
+Topology::controllersUnder(RouterId r) const
+{
+    std::vector<ControllerId> out;
+    std::vector<RouterId> stack{r};
+    while (!stack.empty()) {
+        const RouterNode &node = router(stack.back());
+        stack.pop_back();
+        out.insert(out.end(), node.child_controllers.begin(),
+                   node.child_controllers.end());
+        stack.insert(stack.end(), node.child_routers.begin(),
+                     node.child_routers.end());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+unsigned
+Topology::maxDepthBelow(RouterId r) const
+{
+    const RouterNode &node = router(r);
+    if (node.child_routers.empty())
+        return node.child_controllers.empty() ? 0 : 1;
+    unsigned deepest = 0;
+    for (RouterId child : node.child_routers)
+        deepest = std::max(deepest, maxDepthBelow(child));
+    if (!node.child_controllers.empty())
+        deepest = std::max(deepest, 0u);
+    return deepest + 1;
+}
+
+unsigned
+Topology::treeHops(ControllerId a, ControllerId b) const
+{
+    // Climb both parent chains to the least common ancestor.
+    std::vector<RouterId> chain_a;
+    for (RouterId r = parentRouter(a); r != kNoRouter;
+         r = _routers[r].parent) {
+        chain_a.push_back(r);
+    }
+    unsigned hops_b = 1;
+    for (RouterId r = parentRouter(b); r != kNoRouter;
+         r = _routers[r].parent) {
+        auto it = std::find(chain_a.begin(), chain_a.end(), r);
+        if (it != chain_a.end()) {
+            const unsigned hops_a =
+                unsigned(it - chain_a.begin()) + 1;
+            return hops_a + hops_b;
+        }
+        ++hops_b;
+    }
+    DHISQ_PANIC("controllers share no ancestor router");
+}
+
+Cycle
+Topology::messageLatency(ControllerId a, ControllerId b) const
+{
+    if (a == b)
+        return 1;
+    if (areNeighbors(a, b))
+        return _config.neighbor_latency;
+    return treeHops(a, b) * _config.hop_latency;
+}
+
+unsigned
+Topology::gridDistance(ControllerId a, ControllerId b) const
+{
+    DHISQ_ASSERT(a < numControllers() && b < numControllers(),
+                 "controller out of range");
+    const unsigned w = _config.width;
+    const int ax = int(a % w), ay = int(a / w);
+    const int bx = int(b % w), by = int(b / w);
+    return unsigned(std::abs(ax - bx) + std::abs(ay - by));
+}
+
+} // namespace dhisq::net

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Hybrid network topology (Section 5.1): a mesh-like intra-layer topology
+ * that mirrors the qubit grid (nearest-neighbour links carry BISP's 1-bit
+ * sync signals and neighbour feedback), plus a balanced tree of routers
+ * (minimum edges, 2*h diameter) for region-level synchronization and
+ * long-distance messages.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dhisq::net {
+
+/** Sentinel router id (root's parent). */
+inline constexpr RouterId kNoRouter = 0xFFFFFFFF;
+
+/** Topology parameters. */
+struct TopologyConfig
+{
+    unsigned width = 1;        ///< Controller-grid width.
+    unsigned height = 1;       ///< Controller-grid height.
+    unsigned tree_arity = 4;   ///< Router fan-out.
+    Cycle neighbor_latency = 2; ///< Nearest-neighbour link latency (N).
+    Cycle hop_latency = 4;      ///< Tree-edge latency per hop.
+};
+
+/** One router of the inter-layer tree. */
+struct RouterNode
+{
+    RouterId id = 0;
+    RouterId parent = kNoRouter;
+    std::vector<RouterId> child_routers;
+    std::vector<ControllerId> child_controllers;
+    unsigned level = 0;       ///< 0 = leaf-adjacent routers.
+};
+
+/** Immutable topology: controller mesh + balanced router tree. */
+class Topology
+{
+  public:
+    /** Build a width x height controller grid with its router tree. */
+    static Topology grid(const TopologyConfig &config);
+
+    /** Convenience: a 1 x n line of controllers. */
+    static Topology line(unsigned n, const TopologyConfig &base = {});
+
+    const TopologyConfig &config() const { return _config; }
+
+    unsigned numControllers() const { return _config.width * _config.height; }
+    unsigned numRouters() const { return unsigned(_routers.size()); }
+    RouterId rootRouter() const { return _root; }
+
+    /** 4-neighbourhood adjacency on the controller grid. */
+    bool areNeighbors(ControllerId a, ControllerId b) const;
+
+    /** All mesh neighbours of a controller. */
+    std::vector<ControllerId> neighborsOf(ControllerId c) const;
+
+    /** Calibrated nearest-neighbour link latency (BISP's N). */
+    Cycle neighborLatency(ControllerId a, ControllerId b) const;
+
+    Cycle hopLatency() const { return _config.hop_latency; }
+
+    /** Leaf router that parents a controller. */
+    RouterId parentRouter(ControllerId c) const;
+
+    const RouterNode &router(RouterId r) const;
+
+    /** True when controller `c` lies in the subtree of router `r`. */
+    bool inSubtree(ControllerId c, RouterId r) const;
+
+    /** All controllers in the subtree of `r`. */
+    std::vector<ControllerId> controllersUnder(RouterId r) const;
+
+    /** Hops from router `r` down to its deepest controller (>= 1). */
+    unsigned maxDepthBelow(RouterId r) const;
+
+    /** Worst-case latency from `r` down to any controller in its subtree. */
+    Cycle maxDownstreamLatency(RouterId r) const
+    {
+        return maxDepthBelow(r) * _config.hop_latency;
+    }
+
+    /** Tree hop count between two controllers (up to the LCA and down). */
+    unsigned treeHops(ControllerId a, ControllerId b) const;
+
+    /**
+     * Point-to-point message latency: neighbour link when adjacent in the
+     * mesh, otherwise the router-tree path.
+     */
+    Cycle messageLatency(ControllerId a, ControllerId b) const;
+
+    /** Manhattan distance on the controller grid. */
+    unsigned gridDistance(ControllerId a, ControllerId b) const;
+
+  private:
+    Topology() = default;
+
+    TopologyConfig _config;
+    std::vector<RouterNode> _routers;
+    std::vector<RouterId> _controller_parent;
+    RouterId _root = kNoRouter;
+};
+
+} // namespace dhisq::net

@@ -1,0 +1,153 @@
+#include "quantum/device.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace dhisq::q {
+
+QuantumDevice::QuantumDevice(const DeviceConfig &config)
+    : _config(config), _rng(config.seed), _activity(config.num_qubits)
+{
+    if (_config.state_vector)
+        _state = std::make_unique<StateVector>(_config.num_qubits);
+}
+
+StateVector &
+QuantumDevice::state()
+{
+    DHISQ_ASSERT(_state, "device is in stochastic mode; no state vector");
+    return *_state;
+}
+
+const StateVector &
+QuantumDevice::state() const
+{
+    DHISQ_ASSERT(_state, "device is in stochastic mode; no state vector");
+    return *_state;
+}
+
+void
+QuantumDevice::reset()
+{
+    _rng.reseed(_config.seed);
+    if (_state)
+        _state->reset();
+    _activity.resize(_config.num_qubits);
+    _stats.clear();
+    _pending_halves.clear();
+    _violations.clear();
+    _measurements.clear();
+}
+
+void
+QuantumDevice::trigger(const Action &action, Cycle cycle)
+{
+    switch (action.kind) {
+      case ActionKind::Nop:
+        _stats.inc("nop_actions");
+        return;
+
+      case ActionKind::Gate1q: {
+        DHISQ_ASSERT(action.q0 < _config.num_qubits, "qubit out of range");
+        _activity.record(action.q0, cycle, _config.gate1q_cycles);
+        _stats.inc("gates_1q");
+        if (_state)
+            _state->apply1q(action.gate, action.q0, action.angle);
+        return;
+      }
+
+      case ActionKind::Gate2qWhole: {
+        apply2q(action.gate, action.angle, action.q0, action.q1, cycle);
+        return;
+      }
+
+      case ActionKind::Gate2qHalf: {
+        DHISQ_ASSERT(action.q0 < _config.num_qubits &&
+                         action.q1 < _config.num_qubits,
+                     "qubit out of range");
+        const auto key = std::minmax(action.q0, action.q1);
+        auto it = _pending_halves.find(key);
+        if (it == _pending_halves.end()) {
+            _pending_halves.emplace(
+                key, PendingHalf{cycle, action.gate, action.angle,
+                                 action.q0});
+            _stats.inc("half_booked");
+            return;
+        }
+        const PendingHalf first = it->second;
+        _pending_halves.erase(it);
+        if (first.cycle != cycle) {
+            _violations.push_back(CoincidenceViolation{
+                key.first, key.second, first.cycle, cycle,
+                "two-qubit halves committed in different cycles"});
+            _stats.inc("coincidence_violations");
+        }
+        // The gate is applied at the later half's commit time either way;
+        // a violation marks the result as physically invalid.
+        apply2q(first.gate, first.angle, key.first, key.second,
+                std::max(first.cycle, cycle));
+        return;
+      }
+
+      case ActionKind::MeasureStart: {
+        DHISQ_ASSERT(action.q0 < _config.num_qubits, "qubit out of range");
+        doMeasure(action.q0, cycle);
+        return;
+      }
+
+      case ActionKind::PrepZ: {
+        DHISQ_ASSERT(action.q0 < _config.num_qubits, "qubit out of range");
+        _activity.record(action.q0, cycle, _config.measure_cycles);
+        _stats.inc("preps");
+        if (_state)
+            _state->resetQubit(action.q0, _rng);
+        return;
+      }
+    }
+}
+
+void
+QuantumDevice::apply2q(Gate gate, double angle, QubitId q0, QubitId q1,
+                       Cycle cycle)
+{
+    DHISQ_ASSERT(q0 < _config.num_qubits && q1 < _config.num_qubits,
+                 "qubit out of range");
+    _activity.record(q0, cycle, _config.gate2q_cycles);
+    _activity.record(q1, cycle, _config.gate2q_cycles);
+    _stats.inc("gates_2q");
+    if (_state)
+        _state->apply2q(gate, q0, q1, angle);
+}
+
+void
+QuantumDevice::doMeasure(QubitId qubit, Cycle cycle)
+{
+    _activity.record(qubit, cycle, _config.measure_cycles);
+    _stats.inc("measurements");
+    int bit;
+    if (_state) {
+        bit = _state->measure(qubit, _rng);
+    } else {
+        bit = _rng.coin(_config.stochastic_p1) ? 1 : 0;
+    }
+    const Cycle ready = cycle + _config.measure_cycles;
+    _measurements.push_back(MeasurementRecord{qubit, bit, cycle, ready});
+    if (_on_result)
+        _on_result(qubit, bit, ready);
+}
+
+std::size_t
+QuantumDevice::finalize()
+{
+    for (const auto &kv : _pending_halves) {
+        _violations.push_back(CoincidenceViolation{
+            kv.first.first, kv.first.second, kv.second.cycle, kNoCycle,
+            "two-qubit half never matched by its partner"});
+        _stats.inc("coincidence_violations");
+    }
+    _pending_halves.clear();
+    return _violations.size();
+}
+
+} // namespace dhisq::q

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Quantum device substrate.
+ *
+ * The paper's leaf controllers drive a 66-qubit superconducting chip; our
+ * substitution is a QuantumDevice that consumes *actions* (decoded from
+ * codewords by each board's binding table — the port/codeword indirection of
+ * Insight #3) and either:
+ *
+ *   - applies them to a dense state vector (logical-correctness mode, small
+ *     qubit counts), or
+ *   - only tracks timing/activity with seeded stochastic measurement
+ *     outcomes (large-benchmark mode, 100-1200 qubits).
+ *
+ * The device is also the arbiter of the paper's core correctness property:
+ * a two-qubit gate is physically valid only when both halves (one from each
+ * controller) commit in the SAME cycle. Mismatches are recorded as
+ * coincidence violations; tests assert zero under BISP and non-zero under a
+ * deliberately mis-calibrated link.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "quantum/gates.hpp"
+#include "quantum/noise.hpp"
+#include "quantum/state_vector.hpp"
+
+namespace dhisq::q {
+
+/** What a committed codeword means physically. */
+enum class ActionKind : std::uint8_t {
+    Nop,          ///< Marker/no-op (e.g. scope trigger).
+    Gate1q,       ///< Single-qubit gate on q0.
+    Gate2qHalf,   ///< One controller's half of a two-qubit gate on (q0,q1).
+    Gate2qWhole,  ///< Both halves from one controller (same-board pair).
+    MeasureStart, ///< Readout acquisition start on q0.
+    PrepZ,        ///< Active reset of q0.
+};
+
+/** A decoded physical action. */
+struct Action
+{
+    ActionKind kind = ActionKind::Nop;
+    Gate gate = Gate::kI;
+    double angle = 0.0;
+    QubitId q0 = kNoQubit;
+    QubitId q1 = kNoQubit;
+
+    static Action nop() { return Action{}; }
+
+    static Action
+    gate1q(Gate g, QubitId q, double angle = 0.0)
+    {
+        return Action{ActionKind::Gate1q, g, angle, q, kNoQubit};
+    }
+
+    static Action
+    gate2qHalf(Gate g, QubitId own, QubitId partner, double angle = 0.0)
+    {
+        return Action{ActionKind::Gate2qHalf, g, angle, own, partner};
+    }
+
+    static Action
+    gate2qWhole(Gate g, QubitId q0, QubitId q1, double angle = 0.0)
+    {
+        return Action{ActionKind::Gate2qWhole, g, angle, q0, q1};
+    }
+
+    static Action
+    measure(QubitId q)
+    {
+        return Action{ActionKind::MeasureStart, Gate::kMeasure, 0.0, q,
+                      kNoQubit};
+    }
+
+    static Action
+    prep(QubitId q)
+    {
+        return Action{ActionKind::PrepZ, Gate::kPrepZ, 0.0, q, kNoQubit};
+    }
+};
+
+/** A detected two-qubit coincidence failure. */
+struct CoincidenceViolation
+{
+    QubitId q0 = kNoQubit;
+    QubitId q1 = kNoQubit;
+    Cycle first_half = 0;
+    Cycle second_half = 0;   ///< kNoCycle when the partner never arrived.
+    std::string detail;
+};
+
+/** Configuration of the device substrate. */
+struct DeviceConfig
+{
+    unsigned num_qubits = 2;
+    /** Use the dense state vector (true) or stochastic timing mode. */
+    bool state_vector = true;
+    /** Seed for measurement outcome draws. */
+    std::uint64_t seed = 1;
+    /** P(result == 1) for stochastic-mode measurements. */
+    double stochastic_p1 = 0.5;
+    /** Operation durations in cycles. */
+    Cycle gate1q_cycles = 5;   // 20 ns
+    Cycle gate2q_cycles = 10;  // 40 ns
+    Cycle measure_cycles = 75; // 300 ns
+};
+
+/**
+ * The shared quantum device all boards act upon.
+ */
+class QuantumDevice
+{
+  public:
+    /** (qubit, outcome bit, cycle when the discriminated result is ready) */
+    using ResultCallback =
+        std::function<void(QubitId, int, Cycle)>;
+
+    explicit QuantumDevice(const DeviceConfig &config);
+
+    const DeviceConfig &config() const { return _config; }
+
+    /** Wire the measurement-result sink (the runtime routes to MsgU). */
+    void setResultCallback(ResultCallback cb) { _on_result = std::move(cb); }
+
+    /** Commit an action at wall-clock `cycle`. */
+    void trigger(const Action &action, Cycle cycle);
+
+    /**
+     * End-of-run check: any unmatched two-qubit half becomes a violation.
+     * @return number of violations accumulated over the whole run.
+     */
+    std::size_t finalize();
+
+    const std::vector<CoincidenceViolation> &violations() const
+    {
+        return _violations;
+    }
+
+    /** Direct access for correctness assertions (state-vector mode only). */
+    StateVector &state();
+    const StateVector &state() const;
+    bool hasState() const { return _state != nullptr; }
+
+    const ActivityTracker &activity() const { return _activity; }
+    const StatSet &stats() const { return _stats; }
+
+    /** All measurement outcomes in commit order (qubit, bit, cycle). */
+    struct MeasurementRecord
+    {
+        QubitId qubit;
+        int bit;
+        Cycle start;
+        Cycle ready;
+    };
+    const std::vector<MeasurementRecord> &measurements() const
+    {
+        return _measurements;
+    }
+
+    /** Reset dynamic state (keeps configuration and wiring). */
+    void reset();
+
+  private:
+    void apply2q(Gate gate, double angle, QubitId q0, QubitId q1,
+                 Cycle cycle);
+    void doMeasure(QubitId qubit, Cycle cycle);
+
+    DeviceConfig _config;
+    Rng _rng;
+    std::unique_ptr<StateVector> _state;
+    ActivityTracker _activity;
+    StatSet _stats;
+    ResultCallback _on_result;
+
+    /** Pending 2q half keyed by unordered qubit pair. */
+    struct PendingHalf
+    {
+        Cycle cycle;
+        Gate gate;
+        double angle;
+        QubitId own;
+    };
+    std::map<std::pair<QubitId, QubitId>, PendingHalf> _pending_halves;
+
+    std::vector<CoincidenceViolation> _violations;
+    std::vector<MeasurementRecord> _measurements;
+};
+
+} // namespace dhisq::q

@@ -1,0 +1,141 @@
+#include "quantum/fitting.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace dhisq::q {
+
+ExpFit
+fitExponentialDecay(const std::vector<double> &x,
+                    const std::vector<double> &y)
+{
+    DHISQ_ASSERT(x.size() == y.size() && x.size() >= 2,
+                 "fitExponentialDecay: need >= 2 samples");
+    // Linear regression on ln(y) = ln(a) - x / tau over positive samples.
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        if (y[i] <= 1e-12)
+            continue;
+        const double ly = std::log(y[i]);
+        sx += x[i];
+        sy += ly;
+        sxx += x[i] * x[i];
+        sxy += x[i] * ly;
+        ++n;
+    }
+    DHISQ_ASSERT(n >= 2, "fitExponentialDecay: too few positive samples");
+    const double denom = n * sxx - sx * sx;
+    const double slope = (n * sxy - sx * sy) / denom;
+    const double intercept = (sy - slope * sx) / n;
+
+    ExpFit fit;
+    fit.amplitude = std::exp(intercept);
+    fit.tau = (slope < 0) ? -1.0 / slope : 0.0;
+
+    std::vector<double> model(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        model[i] = fit.amplitude * std::exp(slope * x[i]);
+    fit.rms_error = rmsError(y, model);
+    return fit;
+}
+
+double
+fitPeak(const std::vector<double> &x, const std::vector<double> &y)
+{
+    DHISQ_ASSERT(x.size() == y.size() && !x.empty(), "fitPeak: empty input");
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < y.size(); ++i) {
+        if (y[i] > y[best])
+            best = i;
+    }
+    if (best == 0 || best + 1 == y.size())
+        return x[best];
+    // Parabolic interpolation through the maximum and its neighbours.
+    const double y0 = y[best - 1], y1 = y[best], y2 = y[best + 1];
+    const double denom = y0 - 2 * y1 + y2;
+    if (std::abs(denom) < 1e-15)
+        return x[best];
+    const double delta = 0.5 * (y0 - y2) / denom;
+    const double step = (x[best + 1] - x[best - 1]) / 2.0;
+    return x[best] + delta * step;
+}
+
+namespace {
+
+double
+rabiSse(const std::vector<double> &x, const std::vector<double> &y,
+        double omega)
+{
+    double sse = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double m = 0.5 * (1.0 - std::cos(omega * x[i]));
+        const double d = y[i] - m;
+        sse += d * d;
+    }
+    return sse;
+}
+
+} // namespace
+
+RabiFit
+fitRabi(const std::vector<double> &x, const std::vector<double> &y,
+        double omega_min, double omega_max)
+{
+    DHISQ_ASSERT(x.size() == y.size() && x.size() >= 4,
+                 "fitRabi: need >= 4 samples");
+    DHISQ_ASSERT(omega_max > omega_min && omega_min > 0,
+                 "fitRabi: bad search range");
+
+    // Coarse grid.
+    const int grid = 2000;
+    double best_omega = omega_min;
+    double best_sse = rabiSse(x, y, omega_min);
+    for (int i = 1; i <= grid; ++i) {
+        const double w =
+            omega_min + (omega_max - omega_min) * double(i) / grid;
+        const double sse = rabiSse(x, y, w);
+        if (sse < best_sse) {
+            best_sse = sse;
+            best_omega = w;
+        }
+    }
+
+    // Golden-section refinement around the best grid point.
+    const double span = (omega_max - omega_min) / grid;
+    double lo = best_omega - 2 * span;
+    double hi = best_omega + 2 * span;
+    const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+    for (int it = 0; it < 60; ++it) {
+        const double m1 = hi - phi * (hi - lo);
+        const double m2 = lo + phi * (hi - lo);
+        if (rabiSse(x, y, m1) < rabiSse(x, y, m2))
+            hi = m2;
+        else
+            lo = m1;
+    }
+
+    RabiFit fit;
+    fit.omega = (lo + hi) / 2.0;
+    std::vector<double> model(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        model[i] = 0.5 * (1.0 - std::cos(fit.omega * x[i]));
+    fit.rms_error = rmsError(y, model);
+    return fit;
+}
+
+double
+rmsError(const std::vector<double> &y, const std::vector<double> &model)
+{
+    DHISQ_ASSERT(y.size() == model.size() && !y.empty(),
+                 "rmsError: size mismatch");
+    double sse = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        const double d = y[i] - model[i];
+        sse += d * d;
+    }
+    return std::sqrt(sse / y.size());
+}
+
+} // namespace dhisq::q

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Small curve-fitting toolbox for the calibration experiments (Figure 11):
+ * exponential decay (T1), peak location (spectroscopy) and Rabi frequency.
+ * Self-contained least-squares — no external numerics dependencies.
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dhisq::q {
+
+/** y = a * exp(-x / tau): fitted parameters. */
+struct ExpFit
+{
+    double amplitude = 0.0;
+    double tau = 0.0;
+    double rms_error = 0.0;
+};
+
+/** Fit y = a*exp(-x/tau) via log-linear least squares (y must be > 0). */
+ExpFit fitExponentialDecay(const std::vector<double> &x,
+                           const std::vector<double> &y);
+
+/** Location of the maximum refined by a parabola through the top 3 points. */
+double fitPeak(const std::vector<double> &x, const std::vector<double> &y);
+
+/** y = 0.5 * (1 - cos(w x)): fitted angular frequency. */
+struct RabiFit
+{
+    double omega = 0.0;
+    double rms_error = 0.0;
+};
+
+/** Grid + golden-refine fit of a Rabi oscillation. */
+RabiFit fitRabi(const std::vector<double> &x, const std::vector<double> &y,
+                double omega_min, double omega_max);
+
+/** Root-mean-square residual of y vs model samples. */
+double rmsError(const std::vector<double> &y,
+                const std::vector<double> &model);
+
+} // namespace dhisq::q

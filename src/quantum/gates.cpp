@@ -1,0 +1,159 @@
+#include "quantum/gates.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace dhisq::q {
+
+namespace {
+const double kInvSqrt2 = 1.0 / std::sqrt(2.0);
+const Amp kI1{0.0, 1.0};
+} // namespace
+
+bool
+isTwoQubit(Gate g)
+{
+    switch (g) {
+      case Gate::kCZ: case Gate::kCNOT: case Gate::kSwap: case Gate::kCPhase:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isParameterized(Gate g)
+{
+    switch (g) {
+      case Gate::kRx: case Gate::kRy: case Gate::kRz: case Gate::kCPhase:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string_view
+gateName(Gate g)
+{
+    switch (g) {
+      case Gate::kI: return "i";
+      case Gate::kX: return "x";
+      case Gate::kY: return "y";
+      case Gate::kZ: return "z";
+      case Gate::kH: return "h";
+      case Gate::kS: return "s";
+      case Gate::kSdg: return "sdg";
+      case Gate::kT: return "t";
+      case Gate::kTdg: return "tdg";
+      case Gate::kX90: return "x90";
+      case Gate::kY90: return "y90";
+      case Gate::kXm90: return "xm90";
+      case Gate::kYm90: return "ym90";
+      case Gate::kRx: return "rx";
+      case Gate::kRy: return "ry";
+      case Gate::kRz: return "rz";
+      case Gate::kCZ: return "cz";
+      case Gate::kCNOT: return "cnot";
+      case Gate::kSwap: return "swap";
+      case Gate::kCPhase: return "cphase";
+      case Gate::kMeasure: return "measure";
+      case Gate::kPrepZ: return "prep_z";
+    }
+    return "?";
+}
+
+Cycle
+defaultDuration(Gate g)
+{
+    if (g == Gate::kMeasure)
+        return nsToCycles(300.0);
+    if (g == Gate::kPrepZ)
+        return nsToCycles(300.0);
+    if (isTwoQubit(g))
+        return nsToCycles(40.0);
+    return nsToCycles(20.0);
+}
+
+std::array<Amp, 4>
+matrix1q(Gate g, double angle)
+{
+    switch (g) {
+      case Gate::kI:
+        return {Amp{1, 0}, Amp{}, Amp{}, Amp{1, 0}};
+      case Gate::kX:
+        return {Amp{}, Amp{1, 0}, Amp{1, 0}, Amp{}};
+      case Gate::kY:
+        return {Amp{}, Amp{0, -1}, Amp{0, 1}, Amp{}};
+      case Gate::kZ:
+        return {Amp{1, 0}, Amp{}, Amp{}, Amp{-1, 0}};
+      case Gate::kH:
+        return {Amp{kInvSqrt2, 0}, Amp{kInvSqrt2, 0}, Amp{kInvSqrt2, 0},
+                Amp{-kInvSqrt2, 0}};
+      case Gate::kS:
+        return {Amp{1, 0}, Amp{}, Amp{}, kI1};
+      case Gate::kSdg:
+        return {Amp{1, 0}, Amp{}, Amp{}, Amp{0, -1}};
+      case Gate::kT:
+        return {Amp{1, 0}, Amp{}, Amp{}, Amp{kInvSqrt2, kInvSqrt2}};
+      case Gate::kTdg:
+        return {Amp{1, 0}, Amp{}, Amp{}, Amp{kInvSqrt2, -kInvSqrt2}};
+      case Gate::kX90:
+        return matrix1q(Gate::kRx, M_PI / 2);
+      case Gate::kXm90:
+        return matrix1q(Gate::kRx, -M_PI / 2);
+      case Gate::kY90:
+        return matrix1q(Gate::kRy, M_PI / 2);
+      case Gate::kYm90:
+        return matrix1q(Gate::kRy, -M_PI / 2);
+      case Gate::kRx: {
+        const double c = std::cos(angle / 2), s = std::sin(angle / 2);
+        return {Amp{c, 0}, Amp{0, -s}, Amp{0, -s}, Amp{c, 0}};
+      }
+      case Gate::kRy: {
+        const double c = std::cos(angle / 2), s = std::sin(angle / 2);
+        return {Amp{c, 0}, Amp{-s, 0}, Amp{s, 0}, Amp{c, 0}};
+      }
+      case Gate::kRz: {
+        const Amp em = std::exp(Amp{0, -angle / 2});
+        const Amp ep = std::exp(Amp{0, angle / 2});
+        return {em, Amp{}, Amp{}, ep};
+      }
+      default:
+        break;
+    }
+    DHISQ_PANIC("matrix1q: not a single-qubit unitary: ", gateName(g));
+}
+
+std::array<Amp, 16>
+matrix2q(Gate g, double angle)
+{
+    std::array<Amp, 16> m{};
+    auto at = [&m](int r, int c) -> Amp & { return m[r * 4 + c]; };
+    switch (g) {
+      case Gate::kCZ:
+        at(0, 0) = at(1, 1) = at(2, 2) = Amp{1, 0};
+        at(3, 3) = Amp{-1, 0};
+        return m;
+      case Gate::kCNOT:
+        // q0 = control (low bit), q1 = target, basis |q1 q0>.
+        at(0, 0) = Amp{1, 0};
+        at(1, 3) = Amp{1, 0};
+        at(2, 2) = Amp{1, 0};
+        at(3, 1) = Amp{1, 0};
+        return m;
+      case Gate::kSwap:
+        at(0, 0) = at(3, 3) = Amp{1, 0};
+        at(1, 2) = at(2, 1) = Amp{1, 0};
+        return m;
+      case Gate::kCPhase:
+        at(0, 0) = at(1, 1) = at(2, 2) = Amp{1, 0};
+        at(3, 3) = std::exp(Amp{0, angle});
+        return m;
+      default:
+        break;
+    }
+    DHISQ_PANIC("matrix2q: not a two-qubit unitary: ", gateName(g));
+}
+
+} // namespace dhisq::q

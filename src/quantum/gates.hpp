@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Gate vocabulary shared by the quantum device, the compiler IR and the
+ * workload generators, plus their unitary matrices for the state-vector
+ * backend.
+ *
+ * Durations follow the paper's simulation configuration (Section 6.4.1):
+ * 20 ns single-qubit gates, 40 ns two-qubit gates, 300 ns measurements.
+ */
+#pragma once
+
+#include <array>
+#include <complex>
+#include <cstdint>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace dhisq::q {
+
+using Amp = std::complex<double>;
+
+/** Supported gate kinds. */
+enum class Gate : std::uint8_t {
+    kI,
+    kX, kY, kZ,
+    kH,
+    kS, kSdg,
+    kT, kTdg,
+    kX90, kY90, kXm90, kYm90,
+    kRx, kRy, kRz,      // parameterized rotations
+    kCZ, kCNOT, kSwap,  // two-qubit
+    kCPhase,            // parameterized controlled phase
+    kMeasure,           // measurement pseudo-gate (Z basis)
+    kPrepZ,             // reset/initialize pseudo-gate
+};
+
+/** True for two-qubit gates. */
+bool isTwoQubit(Gate g);
+
+/** True for parameterized gates (Rx/Ry/Rz/CPhase). */
+bool isParameterized(Gate g);
+
+/** Canonical lowercase name ("cz", "x90", ...). */
+std::string_view gateName(Gate g);
+
+/** Default durations in cycles (4 ns grid): 1q = 5, 2q = 10, meas = 75. */
+Cycle defaultDuration(Gate g);
+
+/** 2x2 unitary for a single-qubit gate (angle used when parameterized). */
+std::array<Amp, 4> matrix1q(Gate g, double angle = 0.0);
+
+/** 4x4 unitary for a two-qubit gate, row-major, basis |q1 q0>. */
+std::array<Amp, 16> matrix2q(Gate g, double angle = 0.0);
+
+} // namespace dhisq::q

@@ -1,0 +1,35 @@
+#include "quantum/noise.hpp"
+
+#include <cmath>
+
+namespace dhisq::q {
+
+Cycle
+ActivityTracker::totalLiveCycles() const
+{
+    Cycle total = 0;
+    for (const auto &a : _activity)
+        total += a.liveSpan();
+    return total;
+}
+
+double
+survivalProbability(const ActivityTracker &tracker, double t1_us)
+{
+    const double t1_ns = t1_us * 1000.0;
+    double log_f = 0.0;
+    for (const auto &a : tracker.all()) {
+        if (!a.used())
+            continue;
+        log_f -= cyclesToNs(a.liveSpan()) / t1_ns;
+    }
+    return std::exp(log_f);
+}
+
+double
+decoherenceInfidelity(const ActivityTracker &tracker, double t1_us)
+{
+    return 1.0 - survivalProbability(tracker, t1_us);
+}
+
+} // namespace dhisq::q

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Decoherence bookkeeping and the execution-time -> infidelity model used to
+ * reproduce Figure 16.
+ *
+ * Model: each qubit decoheres while it is "live" (between its first and last
+ * scheduled operation, inclusive of op durations). With relaxation/coherence
+ * time T1 (the paper sweeps T1 = T2 jointly, Section 6.4.5), the survival
+ * probability of the whole computation is
+ *
+ *     F = prod_q exp(-live_q / T1)
+ *
+ * and infidelity = 1 - F. This reproduces the paper's observation that a
+ * scheme which shortens the feedback-limited critical path reduces
+ * infidelity nearly proportionally (the ~5x in Figure 16).
+ */
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dhisq::q {
+
+/** Live-window record for one qubit. */
+struct QubitActivity
+{
+    Cycle first = kNoCycle;  ///< Start of the earliest operation.
+    Cycle last = 0;          ///< End of the latest operation.
+    Cycle busy = 0;          ///< Total cycles spent inside operations.
+
+    bool used() const { return first != kNoCycle; }
+    Cycle liveSpan() const { return used() ? last - first : 0; }
+};
+
+/** Accumulates per-qubit activity windows as the device executes. */
+class ActivityTracker
+{
+  public:
+    explicit ActivityTracker(std::size_t num_qubits = 0)
+        : _activity(num_qubits)
+    {}
+
+    void
+    resize(std::size_t num_qubits)
+    {
+        _activity.assign(num_qubits, QubitActivity{});
+    }
+
+    /** Record an operation on `qubit` spanning [start, start+duration). */
+    void
+    record(QubitId qubit, Cycle start, Cycle duration)
+    {
+        auto &a = _activity.at(qubit);
+        if (!a.used() || start < a.first)
+            a.first = start;
+        if (start + duration > a.last)
+            a.last = start + duration;
+        a.busy += duration;
+    }
+
+    const QubitActivity &activity(QubitId qubit) const
+    {
+        return _activity.at(qubit);
+    }
+    const std::vector<QubitActivity> &all() const { return _activity; }
+
+    /** Sum of live spans over all used qubits, in cycles. */
+    Cycle totalLiveCycles() const;
+
+    void clear() { resize(_activity.size()); }
+
+  private:
+    std::vector<QubitActivity> _activity;
+};
+
+/**
+ * Whole-run fidelity under the exponential live-window model.
+ * @param t1_us relaxation/coherence time in microseconds.
+ */
+double survivalProbability(const ActivityTracker &tracker, double t1_us);
+
+/** 1 - survivalProbability. */
+double decoherenceInfidelity(const ActivityTracker &tracker, double t1_us);
+
+} // namespace dhisq::q

@@ -1,0 +1,60 @@
+#include "quantum/physics.hpp"
+
+#include <cmath>
+
+namespace dhisq::q {
+
+double
+QubitPhysics::drivenPopulation(double freq_ghz, double amp,
+                               double duration_us) const
+{
+    // Angular frequencies in rad/us. 1 GHz detuning = 2*pi*1e3 rad/us.
+    const double omega = _config.rabi_rate_per_amp * amp;
+    const double detuning = 2.0 * M_PI * (freq_ghz - _config.f01_ghz) * 1e3;
+    const double general = std::sqrt(omega * omega + detuning * detuning);
+    if (general == 0.0)
+        return 0.0;
+    const double contrast = (omega * omega) / (general * general);
+    const double s = std::sin(general * duration_us / 2.0);
+    return contrast * s * s;
+}
+
+double
+QubitPhysics::decayedPopulation(double initial_pop, double delay_us) const
+{
+    return initial_pop * std::exp(-delay_us / _config.t1_us);
+}
+
+IQPoint
+QubitPhysics::readoutIQ(double phase_rad)
+{
+    const double r = _config.readout_radius;
+    // Ideal circle plus a small harmonic wobble from neighbours that share
+    // the feedline (the non-ideality visible in the paper's Figure 11a).
+    const double wobble =
+        1.0 + _config.interference *
+                  std::cos(_config.interference_harmonic * phase_rad + 0.7);
+    IQPoint p;
+    p.i = noisy(r * wobble * std::cos(phase_rad));
+    p.q = noisy(r * wobble * std::sin(phase_rad));
+    return p;
+}
+
+int
+QubitPhysics::discriminate(double excited_pop)
+{
+    return _rng.coin(excited_pop) ? 1 : 0;
+}
+
+double
+QubitPhysics::noisy(double value)
+{
+    if (_config.noise <= 0.0)
+        return value;
+    // Cheap symmetric noise: average of uniforms approximates a Gaussian.
+    const double u =
+        (_rng.uniform() + _rng.uniform() + _rng.uniform() - 1.5) / 1.5;
+    return value * (1.0 + _config.noise * u);
+}
+
+} // namespace dhisq::q

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Analog-frontend and qubit-dynamics model standing in for the paper's
+ * superconducting test bed (Section 6.2 / Figure 11).
+ *
+ * The model is deliberately simple but physically shaped:
+ *  - driven qubit: detuned Rabi formula
+ *        P_e(f, A, t) = (O^2 / (O^2 + D^2)) * sin^2(sqrt(O^2 + D^2) t / 2)
+ *    with Rabi rate O = rabi_rate_per_amp * A and detuning D = 2pi (f - f01);
+ *  - relaxation: P_e(t) = P_e(0) * exp(-t / T1);
+ *  - dispersive readout: the IQ response of a measurement-excitation pulse
+ *    with phase phi traces a circle of radius r0, perturbed by a small
+ *    interference term from neighbouring qubits on the same feedline
+ *    (the deviation the paper shows in Figure 11a).
+ *
+ * All randomness is injected through an explicit Rng so experiments are
+ * reproducible; noise amplitude 0 gives clean theoretical curves.
+ */
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dhisq::q {
+
+/** An IQ-plane sample. */
+struct IQPoint
+{
+    double i = 0.0;
+    double q = 0.0;
+};
+
+/** Physical parameters of the modelled qubit + readout chain. */
+struct PhysicsConfig
+{
+    double f01_ghz = 4.62;          ///< Qubit transition frequency.
+    double t1_us = 9.9;             ///< Relaxation time.
+    double rabi_rate_per_amp = 50.0;///< O (rad/us) per unit drive amplitude.
+    double readout_radius = 1000.0; ///< Circle radius in arbitrary units.
+    double interference = 0.06;     ///< Relative neighbour-coupling term.
+    double interference_harmonic = 3.0; ///< Interference angular harmonic.
+    double noise = 0.0;             ///< Relative Gaussian-ish sample noise.
+};
+
+/** Qubit + analog chain model. */
+class QubitPhysics
+{
+  public:
+    explicit QubitPhysics(const PhysicsConfig &config, std::uint64_t seed = 7)
+        : _config(config), _rng(seed)
+    {}
+
+    const PhysicsConfig &config() const { return _config; }
+
+    /**
+     * Excited-state population after driving at `freq_ghz` with amplitude
+     * `amp` for `duration_us`. Implements the detuned-Rabi line shape used
+     * by both the spectroscopy (11b) and Rabi (11c) experiments.
+     */
+    double drivenPopulation(double freq_ghz, double amp,
+                            double duration_us) const;
+
+    /** Excited population after free decay for `delay_us` (11d). */
+    double decayedPopulation(double initial_pop, double delay_us) const;
+
+    /**
+     * IQ response of a measurement-excitation pulse with phase `phase_rad`
+     * (11a). Includes the neighbour interference term.
+     */
+    IQPoint readoutIQ(double phase_rad);
+
+    /** Threshold discrimination of a population into a bit via sampling. */
+    int discriminate(double excited_pop);
+
+  private:
+    double noisy(double value);
+
+    PhysicsConfig _config;
+    Rng _rng;
+};
+
+/** A labelled (x, y) data series produced by a calibration experiment. */
+struct DataSeries
+{
+    std::vector<double> x;
+    std::vector<double> y;
+};
+
+} // namespace dhisq::q

@@ -1,0 +1,170 @@
+#include "quantum/state_vector.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace dhisq::q {
+
+StateVector::StateVector(unsigned num_qubits) : _num_qubits(num_qubits)
+{
+    DHISQ_ASSERT(num_qubits <= 26, "state vector too large: ", num_qubits,
+                 " qubits");
+    _amps.assign(std::size_t(1) << num_qubits, Amp{});
+    _amps[0] = Amp{1.0, 0.0};
+}
+
+void
+StateVector::reset()
+{
+    std::fill(_amps.begin(), _amps.end(), Amp{});
+    _amps[0] = Amp{1.0, 0.0};
+}
+
+double
+StateVector::probability(std::size_t basis) const
+{
+    return std::norm(_amps[basis]);
+}
+
+double
+StateVector::probabilityOfOne(QubitId qubit) const
+{
+    DHISQ_ASSERT(qubit < _num_qubits, "qubit out of range");
+    const std::size_t bit = std::size_t(1) << qubit;
+    double p = 0.0;
+    for (std::size_t i = 0; i < _amps.size(); ++i) {
+        if (i & bit)
+            p += std::norm(_amps[i]);
+    }
+    return p;
+}
+
+void
+StateVector::apply1q(Gate g, QubitId qubit, double angle)
+{
+    applyMatrix1q(matrix1q(g, angle), qubit);
+}
+
+void
+StateVector::applyMatrix1q(const std::array<Amp, 4> &m, QubitId qubit)
+{
+    DHISQ_ASSERT(qubit < _num_qubits, "qubit out of range");
+    const std::size_t bit = std::size_t(1) << qubit;
+    for (std::size_t i = 0; i < _amps.size(); ++i) {
+        if (i & bit)
+            continue;
+        const Amp a0 = _amps[i];
+        const Amp a1 = _amps[i | bit];
+        _amps[i] = m[0] * a0 + m[1] * a1;
+        _amps[i | bit] = m[2] * a0 + m[3] * a1;
+    }
+}
+
+void
+StateVector::apply2q(Gate g, QubitId q0, QubitId q1, double angle)
+{
+    applyMatrix2q(matrix2q(g, angle), q0, q1);
+}
+
+void
+StateVector::applyMatrix2q(const std::array<Amp, 16> &m, QubitId q0,
+                           QubitId q1)
+{
+    DHISQ_ASSERT(q0 < _num_qubits && q1 < _num_qubits && q0 != q1,
+                 "bad qubit pair ", q0, ",", q1);
+    const std::size_t b0 = std::size_t(1) << q0;
+    const std::size_t b1 = std::size_t(1) << q1;
+    for (std::size_t i = 0; i < _amps.size(); ++i) {
+        if (i & (b0 | b1))
+            continue;
+        // Gather the four basis states in |q1 q0> order.
+        Amp v[4] = {_amps[i], _amps[i | b0], _amps[i | b1],
+                    _amps[i | b0 | b1]};
+        Amp out[4] = {};
+        for (int r = 0; r < 4; ++r) {
+            for (int c = 0; c < 4; ++c)
+                out[r] += m[r * 4 + c] * v[c];
+        }
+        _amps[i] = out[0];
+        _amps[i | b0] = out[1];
+        _amps[i | b1] = out[2];
+        _amps[i | b0 | b1] = out[3];
+    }
+}
+
+int
+StateVector::measure(QubitId qubit, Rng &rng)
+{
+    const double p1 = probabilityOfOne(qubit);
+    const int outcome = rng.coin(p1) ? 1 : 0;
+    postselect(qubit, outcome);
+    return outcome;
+}
+
+double
+StateVector::postselect(QubitId qubit, int outcome)
+{
+    DHISQ_ASSERT(qubit < _num_qubits, "qubit out of range");
+    const std::size_t bit = std::size_t(1) << qubit;
+    const double p1 = probabilityOfOne(qubit);
+    const double p = outcome ? p1 : 1.0 - p1;
+    DHISQ_ASSERT(p > 1e-12, "postselecting a zero-probability branch");
+    const double scale = 1.0 / std::sqrt(p);
+    for (std::size_t i = 0; i < _amps.size(); ++i) {
+        const bool is_one = (i & bit) != 0;
+        if (is_one == (outcome != 0))
+            _amps[i] *= scale;
+        else
+            _amps[i] = Amp{};
+    }
+    return p;
+}
+
+void
+StateVector::resetQubit(QubitId qubit, Rng &rng)
+{
+    if (measure(qubit, rng) == 1)
+        apply1q(Gate::kX, qubit);
+}
+
+double
+StateVector::fidelityWith(const StateVector &other) const
+{
+    const double overlap = overlapMagnitude(other);
+    return overlap * overlap;
+}
+
+double
+StateVector::overlapMagnitude(const StateVector &other) const
+{
+    DHISQ_ASSERT(other._amps.size() == _amps.size(),
+                 "dimension mismatch in overlap");
+    Amp acc{};
+    for (std::size_t i = 0; i < _amps.size(); ++i)
+        acc += std::conj(_amps[i]) * other._amps[i];
+    return std::abs(acc);
+}
+
+double
+StateVector::norm() const
+{
+    double n = 0.0;
+    for (const auto &a : _amps)
+        n += std::norm(a);
+    return std::sqrt(n);
+}
+
+std::size_t
+StateVector::sampleBasis(Rng &rng) const
+{
+    double r = rng.uniform();
+    for (std::size_t i = 0; i < _amps.size(); ++i) {
+        r -= std::norm(_amps[i]);
+        if (r <= 0.0)
+            return i;
+    }
+    return _amps.size() - 1;
+}
+
+} // namespace dhisq::q

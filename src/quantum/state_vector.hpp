@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Dense state-vector simulator used for logical-correctness verification
+ * (the role CACTUS-Light's functional model plays in Section 6.4.1).
+ * Practical up to ~20 qubits; larger benchmarks run on the stochastic
+ * timing-only device backend instead.
+ */
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "quantum/gates.hpp"
+
+namespace dhisq::q {
+
+/** Dense 2^n state vector with gate application and projective measurement. */
+class StateVector
+{
+  public:
+    /** Initialize |0...0> on `num_qubits` qubits. */
+    explicit StateVector(unsigned num_qubits);
+
+    unsigned numQubits() const { return _num_qubits; }
+    std::size_t dimension() const { return _amps.size(); }
+
+    /** Reset to |0...0>. */
+    void reset();
+
+    /** Amplitude of a computational basis state. */
+    Amp amplitude(std::size_t basis) const { return _amps[basis]; }
+
+    /** Probability of a computational basis state. */
+    double probability(std::size_t basis) const;
+
+    /** Probability of measuring `qubit` as 1. */
+    double probabilityOfOne(QubitId qubit) const;
+
+    /** Apply a single-qubit gate. */
+    void apply1q(Gate g, QubitId qubit, double angle = 0.0);
+
+    /** Apply an explicit 2x2 matrix to `qubit`. */
+    void applyMatrix1q(const std::array<Amp, 4> &m, QubitId qubit);
+
+    /** Apply a two-qubit gate; q0 is the low bit of the 4x4 basis. */
+    void apply2q(Gate g, QubitId q0, QubitId q1, double angle = 0.0);
+
+    /** Apply an explicit 4x4 matrix. */
+    void applyMatrix2q(const std::array<Amp, 16> &m, QubitId q0, QubitId q1);
+
+    /**
+     * Projective Z measurement with collapse.
+     * @param rng source of the outcome draw.
+     * @return the measured bit.
+     */
+    int measure(QubitId qubit, Rng &rng);
+
+    /** Force a measurement outcome (for branch-by-branch verification).
+     *  Returns the probability the outcome had; the state collapses. */
+    double postselect(QubitId qubit, int outcome);
+
+    /** Reset one qubit to |0> (measure + conditional X). */
+    void resetQubit(QubitId qubit, Rng &rng);
+
+    /** |<this|other>|^2; both states must have equal dimension. */
+    double fidelityWith(const StateVector &other) const;
+
+    /**
+     * Fidelity up to global phase on a subset ordering — plain overlap of
+     * amplitudes; callers wanting partial-trace comparisons should project
+     * ancillas first with postselect().
+     */
+    double overlapMagnitude(const StateVector &other) const;
+
+    /** L2 norm (should stay ~1; checked by tests). */
+    double norm() const;
+
+    /** Sample a full computational-basis measurement without collapse. */
+    std::size_t sampleBasis(Rng &rng) const;
+
+  private:
+    unsigned _num_qubits;
+    std::vector<Amp> _amps;
+};
+
+} // namespace dhisq::q

@@ -1,0 +1,59 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+
+namespace dhisq::sim {
+
+bool
+Scheduler::isCancelled(EventId id)
+{
+    auto it = std::find(_cancelled.begin(), _cancelled.end(), id);
+    if (it == _cancelled.end())
+        return false;
+    // Swap-erase: the cancel list is tiny in practice (one outstanding sync
+    // guard per controller), so linear scans are cheaper than a hash set.
+    *it = _cancelled.back();
+    _cancelled.pop_back();
+    return true;
+}
+
+bool
+Scheduler::step()
+{
+    while (!_queue.empty()) {
+        Event ev = _queue.top();
+        _queue.pop();
+        --_pending;
+        if (isCancelled(ev.id))
+            continue;
+        DHISQ_ASSERT(ev.when >= _now, "time went backwards");
+        _now = ev.when;
+        ++_executed;
+        ev.cb();
+        return true;
+    }
+    return false;
+}
+
+Cycle
+Scheduler::run(Cycle limit)
+{
+    while (!_queue.empty()) {
+        if (_queue.top().when > limit)
+            break;
+        step();
+    }
+    return _now;
+}
+
+void
+Scheduler::reset()
+{
+    _queue = {};
+    _cancelled.clear();
+    _now = 0;
+    _pending = 0;
+    // Keep _next_id monotone so stale ids can never collide after reset.
+}
+
+} // namespace dhisq::sim

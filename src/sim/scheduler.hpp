@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Deterministic discrete-event simulation kernel.
+ *
+ * CACTUS-Light models the microarchitecture at transaction level
+ * (Section 6.4.1); we adopt the same methodology: every architectural unit
+ * schedules callbacks on a single global Scheduler whose time base is the
+ * 250 MHz TCU clock (1 tick == 1 cycle == 4 ns).
+ *
+ * Determinism: events at the same cycle fire in schedule order (a strictly
+ * increasing sequence number breaks ties), so a given program + seed always
+ * produces the same trace.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "common/types.hpp"
+
+namespace dhisq::sim {
+
+/** Handle used to cancel a scheduled event. */
+using EventId = std::uint64_t;
+
+/** Sentinel event id. */
+inline constexpr EventId kNoEvent = 0;
+
+/** Deterministic discrete-event scheduler. */
+class Scheduler
+{
+  public:
+    using Callback = std::function<void()>;
+
+    Scheduler() = default;
+    Scheduler(const Scheduler &) = delete;
+    Scheduler &operator=(const Scheduler &) = delete;
+
+    /** Current simulation time in cycles. */
+    Cycle now() const { return _now; }
+
+    /**
+     * Schedule `cb` to run at absolute cycle `when` (>= now()).
+     * @return an id usable with cancel().
+     */
+    EventId
+    schedule(Cycle when, Callback cb)
+    {
+        DHISQ_ASSERT(when >= _now, "scheduling event in the past: when=",
+                     when, " now=", _now);
+        const EventId id = ++_next_id;
+        _queue.push(Event{when, id, std::move(cb)});
+        ++_pending;
+        return id;
+    }
+
+    /** Schedule `cb` after `delay` cycles. */
+    EventId
+    scheduleIn(Cycle delay, Callback cb)
+    {
+        return schedule(_now + delay, std::move(cb));
+    }
+
+    /**
+     * Cancel a previously scheduled event. Cancelling an already-fired or
+     * already-cancelled event is a harmless no-op.
+     */
+    void
+    cancel(EventId id)
+    {
+        if (id != kNoEvent)
+            _cancelled.push_back(id);
+    }
+
+    /** True if no runnable events remain. */
+    bool idle() const { return _pending == 0; }
+
+    /** Number of events executed so far. */
+    std::uint64_t executed() const { return _executed; }
+
+    /**
+     * Run a single event.
+     * @return false when the queue is empty.
+     */
+    bool step();
+
+    /**
+     * Run until the queue drains or `limit` cycles is exceeded.
+     * @return the final simulation time.
+     */
+    Cycle run(Cycle limit = kNoCycle);
+
+    /** Reset time and drop all pending events. */
+    void reset();
+
+  private:
+    struct Event
+    {
+        Cycle when;
+        EventId id;
+        Callback cb;
+
+        bool
+        operator>(const Event &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return id > other.id;
+        }
+    };
+
+    bool isCancelled(EventId id);
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> _queue;
+    std::vector<EventId> _cancelled;
+    Cycle _now = 0;
+    EventId _next_id = kNoEvent;
+    std::uint64_t _pending = 0;
+    std::uint64_t _executed = 0;
+};
+
+} // namespace dhisq::sim

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Workload generators for the evaluation suite (Section 6.4.2).
+ *
+ * QASMBench's circuit files are not available offline, so each generator
+ * reproduces the published gate structure programmatically (DESIGN.md §4):
+ * the benchmark names and sizes follow Figure 15 (adder_n577, bv_n400,
+ * qft_n100, w_state_n800, logical_t_n432, ...). Long-range two-qubit gates
+ * are produced as direct gates; callers run expandNonAdjacentGates() to
+ * obtain the dynamic-circuit versions used in the paper's evaluation.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "compiler/ir.hpp"
+
+namespace dhisq::workloads {
+
+/** GHZ chain: H + adjacent-CNOT ladder (local; correctness baseline). */
+compiler::Circuit ghz(unsigned n, bool measure_all = false);
+
+/** Textbook QFT with an approximation window (controlled-phase range). */
+struct QftOptions
+{
+    /** Drop controlled phases beyond this qubit distance (approx. QFT). */
+    unsigned approx_window = 8;
+    bool measure_all = true;
+};
+compiler::Circuit qft(unsigned n, const QftOptions &options = {});
+
+/** Bernstein-Vazirani with a seeded hidden string; last qubit = oracle
+ *  ancilla, giving CNOT distances up to n-1. */
+struct BvOptions
+{
+    std::uint64_t seed = 7;
+    double string_density = 0.5;
+};
+compiler::Circuit bernsteinVazirani(unsigned total_qubits,
+                                    const BvOptions &options = {});
+
+/** CDKM ripple-carry adder on interleaved registers (cin a0 b0 a1 b1 ...);
+ *  `total_qubits` = 2*bits + 2. Toffolis are decomposed into the standard
+ *  6-CNOT + 7-T network, keeping operands within distance <= 3. */
+struct AdderOptions
+{
+    std::uint64_t seed = 11; ///< seeds the classical input values
+    bool measure_sum = true;
+};
+compiler::Circuit adder(unsigned total_qubits,
+                        const AdderOptions &options = {});
+
+/** W-state preparation with the funnel construction (pivot at the last
+ *  qubit), producing the long-range CNOT pattern the paper's converted
+ *  benchmark exhibits. */
+compiler::Circuit wState(unsigned n, bool measure_all = false);
+
+/**
+ * Synthetic lattice-surgery logical-T benchmark (Section 6.4.2 second
+ * class). Structure per T gate: `rounds` syndrome-extraction rounds on
+ * every patch (adjacent CZ + H + measure on interleaved ancillas), a merge
+ * window, the decoder latency modelled as a wait [2], and the conditional
+ * logical-S sub-circuit (Figure 2) — a chain of conditional single-qubit
+ * ops on the patch boundary consuming the decoder verdict. Magic states
+ * are assumed pre-prepared, exactly as the paper does.
+ */
+struct LogicalTOptions
+{
+    unsigned distance = 8;        ///< code distance d
+    unsigned patches = 3;         ///< data, magic, routing
+    unsigned t_gates = 2;         ///< sequential logical T gates
+    double decoder_latency_ns = 1000.0; ///< per-merge decode wait [2]
+    std::uint64_t seed = 3;
+};
+compiler::Circuit logicalT(const LogicalTOptions &options = {});
+
+/** Number of physical qubits logicalT() will use for given options. */
+unsigned logicalTQubits(const LogicalTOptions &options);
+
+/** Random dynamic circuit for the sync-scheme ablations. */
+struct RandomDynamicOptions
+{
+    unsigned qubits = 16;
+    unsigned layers = 20;
+    /** Fraction of layers followed by a measure+feedback block. */
+    double feedback_fraction = 0.3;
+    /** Maximum distance of the conditioned qubit from the measured one. */
+    unsigned feedback_span = 4;
+    std::uint64_t seed = 1;
+};
+compiler::Circuit randomDynamic(const RandomDynamicOptions &options = {});
+
+/** Named benchmark instances of Figure 15 ("adder_n577", "qft_n100", ...).
+ *  Returns the *static* circuit; run expandNonAdjacentGates for dynamics. */
+compiler::Circuit figure15Benchmark(const std::string &name);
+
+/** The Figure 15 benchmark list in paper order. */
+std::vector<std::string> figure15Names();
+
+} // namespace dhisq::workloads

@@ -1,0 +1,198 @@
+#include "workloads/lrcnot.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace dhisq::workloads {
+
+using compiler::Circuit;
+using compiler::CircuitOp;
+using q::Gate;
+
+namespace {
+
+/** Even-ancilla constant-depth core: path[0]=control ... path.back()=target.
+ *  Returns the outcome cbits in ancilla order a1..ak. */
+std::vector<CbitId>
+emitEvenCore(Circuit &circuit, const std::vector<QubitId> &path)
+{
+    const std::size_t k = path.size() - 2;
+    DHISQ_ASSERT(k >= 2 && k % 2 == 0, "even core needs even k >= 2");
+
+    // 1. Bell pairs (a1,a2), (a3,a4), ...
+    for (std::size_t i = 1; i + 1 <= k; i += 2) {
+        circuit.gate(Gate::kH, path[i]);
+        circuit.gate2(Gate::kCNOT, path[i], path[i + 1]);
+    }
+    // 2. Junction Bell measurements (basis rotation part).
+    for (std::size_t u = 2; u + 1 <= k - 1; u += 2) {
+        circuit.gate2(Gate::kCNOT, path[u], path[u + 1]);
+        circuit.gate(Gate::kH, path[u]);
+    }
+    // 3. Ends.
+    circuit.gate2(Gate::kCNOT, path[0], path[1]);
+    circuit.gate2(Gate::kCNOT, path[k], path[k + 1]);
+    circuit.gate(Gate::kH, path[k]);
+    // 4. Measure all ancillas.
+    std::vector<CbitId> bits;
+    bits.reserve(k);
+    for (std::size_t i = 1; i <= k; ++i)
+        bits.push_back(circuit.measure(path[i]));
+    return bits;
+}
+
+} // namespace
+
+void
+appendLongRangeCnot(Circuit &circuit, const std::vector<QubitId> &path,
+                    const LrCnotOptions &options)
+{
+    DHISQ_ASSERT(path.size() >= 2, "path needs control and target");
+    const std::size_t k = path.size() - 2;
+
+    if (k == 0) {
+        circuit.gate2(Gate::kCNOT, path[0], path[1]);
+        return;
+    }
+
+    if (options.reset_ancillas) {
+        for (std::size_t i = 1; i <= k; ++i) {
+            CircuitOp op;
+            op.gate = Gate::kPrepZ;
+            op.qubits = {path[i]};
+            circuit.append(op);
+        }
+    }
+
+    if (k % 2 == 0) {
+        const auto bits = emitEvenCore(circuit, path);
+        std::vector<CbitId> z_bits, x_bits;
+        for (std::size_t i = 0; i < k; ++i) {
+            // bits[i] is ancilla a_{i+1}: even positions feed Z(c).
+            if ((i + 1) % 2 == 0)
+                z_bits.push_back(bits[i]);
+            else
+                x_bits.push_back(bits[i]);
+        }
+        circuit.conditionalGate(Gate::kZ, path[0], z_bits);
+        circuit.conditionalGate(Gate::kX, path.back(), x_bits);
+        return;
+    }
+
+    // Odd k: ladder step folds a1 into the Z parity, the even core runs on
+    // the sub-path a1..t. k == 1 degenerates to the plain ladder.
+    circuit.gate2(Gate::kCNOT, path[0], path[1]);
+    std::vector<CbitId> z_bits, x_bits;
+    if (k == 1) {
+        circuit.gate2(Gate::kCNOT, path[1], path[2]);
+    } else {
+        const std::vector<QubitId> sub(path.begin() + 1, path.end());
+        const auto bits = emitEvenCore(circuit, sub);
+        for (std::size_t i = 0; i < bits.size(); ++i) {
+            if ((i + 1) % 2 == 0)
+                z_bits.push_back(bits[i]);
+            else
+                x_bits.push_back(bits[i]);
+        }
+    }
+    circuit.gate(Gate::kH, path[1]);
+    z_bits.push_back(circuit.measure(path[1]));
+    circuit.conditionalGate(Gate::kZ, path[0], z_bits);
+    if (!x_bits.empty())
+        circuit.conditionalGate(Gate::kX, path.back(), x_bits);
+}
+
+void
+appendLongRangeCnotLine(Circuit &circuit, QubitId control, QubitId target,
+                        const LrCnotOptions &options)
+{
+    DHISQ_ASSERT(control != target, "control == target");
+    std::vector<QubitId> path;
+    if (control < target) {
+        for (QubitId q = control; q <= target; ++q)
+            path.push_back(q);
+    } else {
+        for (QubitId q = control; q + 1 >= target + 1; --q) {
+            path.push_back(q);
+            if (q == target)
+                break;
+        }
+    }
+    appendLongRangeCnot(circuit, path, options);
+}
+
+compiler::Circuit
+expandNonAdjacentGates(const Circuit &input, double probability, Rng &rng,
+                       const LrCnotOptions &options)
+{
+    Circuit out(input.numQubits(), input.name() + "_dyn");
+
+    auto distance = [](QubitId a, QubitId b) {
+        return a > b ? a - b : b - a;
+    };
+
+    auto emitCnot = [&](QubitId c, QubitId t) {
+        if (distance(c, t) <= 1 || !rng.coin(probability)) {
+            out.gate2(Gate::kCNOT, c, t);
+        } else {
+            appendLongRangeCnotLine(out, c, t, options);
+        }
+    };
+
+    // Expansion inserts its own measurements, so the input's cbit ids are
+    // renumbered; conditions are remapped through `remap`.
+    std::vector<CbitId> remap(input.numCbits(), compiler::kNoCbit);
+
+    for (const auto &op : input.ops()) {
+        if (op.isConditional() || op.isMeasure() || !op.isTwoQubit()) {
+            if (op.isMeasure()) {
+                remap.at(op.result) = out.measure(op.qubits[0]);
+            } else if (op.isConditional()) {
+                CircuitOp mapped = op;
+                for (auto &bit : mapped.condition) {
+                    DHISQ_ASSERT(remap.at(bit) != compiler::kNoCbit,
+                                 "condition precedes its measurement");
+                    bit = remap[bit];
+                }
+                out.append(std::move(mapped));
+            } else {
+                out.append(op);
+            }
+            continue;
+        }
+        const QubitId a = op.qubits[0];
+        const QubitId b = op.qubits[1];
+        if (distance(a, b) <= 1) {
+            out.append(op);
+            continue;
+        }
+        switch (op.gate) {
+          case Gate::kCNOT:
+            emitCnot(a, b);
+            break;
+          case Gate::kCZ:
+            // CZ = H(t) CNOT H(t).
+            out.gate(Gate::kH, b);
+            emitCnot(a, b);
+            out.gate(Gate::kH, b);
+            break;
+          case Gate::kCPhase: {
+            // CP(theta) = Rz_c(t/2) . CNOT . Rz_t(-t/2) . CNOT . Rz_t(t/2)
+            const double half = op.angle / 2.0;
+            out.gate(Gate::kRz, a, half);
+            out.gate(Gate::kRz, b, half);
+            emitCnot(a, b);
+            out.gate(Gate::kRz, b, -half);
+            emitCnot(a, b);
+            break;
+          }
+          default:
+            DHISQ_PANIC("cannot expand non-adjacent ",
+                        q::gateName(op.gate));
+        }
+    }
+    return out;
+}
+
+} // namespace dhisq::workloads

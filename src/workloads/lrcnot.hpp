@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Long-range CNOT via dynamic circuits (Figure 14, after Baumer et al. [3]).
+ *
+ * Construction (verified exhaustively against the state-vector simulator in
+ * tests/test_workloads.cpp for every measurement branch):
+ *
+ * Even ancilla count k on the path c, a1..ak, t:
+ *   1. Bell pairs on (a1,a2), (a3,a4), ...:  H(a_odd); CNOT(a_odd, a_even)
+ *   2. Entanglement swapping at the junctions (a2,a3), (a4,a5), ...:
+ *      CNOT(a_even, a_odd); H(a_even)
+ *   3. Ends: CNOT(c, a1); CNOT(ak, t); H(ak)
+ *   4. Measure every ancilla; then
+ *      Z on c iff parity of even-position outcomes (a2, a4, ..., ak) is 1,
+ *      X on t iff parity of odd-position outcomes (a1, a3, ..., ak-1) is 1.
+ *
+ * Odd k: one ladder step CNOT(c, a1) feeds a1 as the control of the even
+ * construction over a2..ak; a1 is X-measured and its outcome folds into the
+ * Z-parity on c.
+ *
+ * Depth is constant in the chain length — the property Figure 14 trades
+ * ancillas for — and the two parity corrections are exactly the simultaneous
+ * feedback the paper's evaluation leans on.
+ */
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "compiler/ir.hpp"
+
+namespace dhisq::workloads {
+
+/** Options for the long-range CNOT expansion. */
+struct LrCnotOptions
+{
+    /** Actively reset path ancillas before use (mid-circuit reuse). */
+    bool reset_ancillas = false;
+};
+
+/**
+ * Append a long-range CNOT along `path` (path.front() = control,
+ * path.back() = target, interior = ancillas; consecutive entries must be
+ * device neighbours). Adjacent qubits emit a plain CNOT.
+ */
+void appendLongRangeCnot(compiler::Circuit &circuit,
+                         const std::vector<QubitId> &path,
+                         const LrCnotOptions &options = {});
+
+/** Line-coupling convenience: path = all qubits between c and t. */
+void appendLongRangeCnotLine(compiler::Circuit &circuit, QubitId control,
+                             QubitId target,
+                             const LrCnotOptions &options = {});
+
+/**
+ * Rewrite every non-adjacent CNOT/CZ/CPhase of `input` (line coupling) into
+ * dynamic-circuit form (Section 6.4.2's QASMBench conversion):
+ * CZ/CPhase first decompose into CNOT + Rz, then non-adjacent CNOTs become
+ * long-range CNOTs over the intervening qubits. `probability` < 1 converts
+ * only a seeded random subset ("randomly substituting"), leaving the rest
+ * as (illegal-on-hardware) direct gates — callers use 1.0 for runnable
+ * output.
+ */
+compiler::Circuit expandNonAdjacentGates(const compiler::Circuit &input,
+                                         double probability, Rng &rng,
+                                         const LrCnotOptions &options = {});
+
+} // namespace dhisq::workloads

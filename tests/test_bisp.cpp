@@ -1,0 +1,387 @@
+/**
+ * @file
+ * BISP protocol integration tests (Section 4): nearby and region
+ * synchronization through the full machine (cores + TCU + SyncU + fabric +
+ * routers), zero-overhead conditions, the Section 4.4 overhead formula,
+ * repeated loop synchronization (Figure 12/13), and failure injection via
+ * link mis-calibration.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "isa/assembler.hpp"
+#include "runtime/machine.hpp"
+
+namespace dhisq {
+namespace {
+
+using runtime::Machine;
+using runtime::MachineConfig;
+
+MachineConfig
+lineMachine(unsigned n, Cycle neighbor_latency = 2, Cycle hop_latency = 4)
+{
+    MachineConfig cfg;
+    cfg.topology.width = n;
+    cfg.topology.height = 1;
+    cfg.topology.tree_arity = 4;
+    cfg.topology.neighbor_latency = neighbor_latency;
+    cfg.topology.hop_latency = hop_latency;
+    cfg.device.num_qubits = std::max(2u, n);
+    cfg.ports_per_controller = 4;
+    return cfg;
+}
+
+/** Build "waiti B; sync <tgt>; waiti R; cw.i.i 0, 9; halt". */
+std::string
+syncProgram(Cycle booking, const std::string &tgt, Cycle residual)
+{
+    std::string src;
+    src += "waiti " + std::to_string(booking) + "\n";
+    src += "sync " + tgt;
+    if (tgt[0] == 'r')
+        src += ", " + std::to_string(residual);
+    src += "\n";
+    src += "waiti " + std::to_string(residual) + "\n";
+    src += "cw.i.i 0, 9\n";
+    src += "halt\n";
+    return src;
+}
+
+/** Wall cycle of the single marker codeword (value 9) on board `name`. */
+Cycle
+markerCycle(const TelfLog &telf, const std::string &board)
+{
+    const auto commits = telf.filter([&](const TelfRecord &r) {
+        return r.kind == TelfKind::CodewordCommit && r.source == board &&
+               r.value == 9;
+    });
+    EXPECT_EQ(commits.size(), 1u) << "expected one marker on " << board;
+    return commits.empty() ? kNoCycle : commits[0].cycle;
+}
+
+// ---------------------------------------------------------------------------
+// Nearby synchronization.
+// ---------------------------------------------------------------------------
+
+struct NearbyCase
+{
+    const char *label;
+    Cycle b0, b1;      ///< Booking times of C0 / C1 (local).
+    Cycle residual;    ///< Equal residual after booking on both sides.
+    Cycle latency;     ///< Link latency N.
+};
+
+class NearbySync : public ::testing::TestWithParam<NearbyCase>
+{
+};
+
+TEST_P(NearbySync, BothControllersCommitInTheSameCycle)
+{
+    const auto &p = GetParam();
+    Machine m(lineMachine(2, p.latency));
+    m.loadProgram(0, isa::assembleOrDie(syncProgram(p.b0, "1", p.residual),
+                                        "c0"));
+    m.loadProgram(1, isa::assembleOrDie(syncProgram(p.b1, "0", p.residual),
+                                        "c1"));
+    const auto report = m.run();
+    ASSERT_FALSE(report.deadlock);
+    EXPECT_EQ(report.syncs_completed, 2u);
+
+    const Cycle t0 = markerCycle(m.telf(), "B0");
+    const Cycle t1 = markerCycle(m.telf(), "B1");
+    EXPECT_EQ(t0, t1) << "cycle-level commitment synchronization violated";
+
+    // BISP commits at max(B0, B1) + residual when residual >= N
+    // (zero-overhead regime, Section 4.2).
+    const Cycle expected = std::max(p.b0, p.b1) + p.residual;
+    EXPECT_EQ(t0, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ZeroOverheadRegime, NearbySync,
+    ::testing::Values(
+        NearbyCase{"c0_books_first", 10, 14, 8, 2},
+        NearbyCase{"c1_books_first", 14, 10, 8, 2},
+        NearbyCase{"equal_bookings", 10, 10, 8, 2},
+        NearbyCase{"residual_equals_latency", 10, 30, 2, 2},
+        NearbyCase{"large_gap", 5, 500, 16, 2},
+        NearbyCase{"slow_link", 20, 26, 12, 6},
+        NearbyCase{"unit_latency", 7, 9, 4, 1}),
+    [](const auto &info) { return std::string(info.param.label); });
+
+TEST(NearbySyncOverhead, ZeroWhenResidualCoversLatency)
+{
+    // Both book at the same time; residual == N: Condition I and the
+    // sync-point coincide — no pause on either side.
+    Machine m(lineMachine(2, 4));
+    m.loadProgram(0, isa::assembleOrDie(syncProgram(50, "1", 4), "c0"));
+    m.loadProgram(1, isa::assembleOrDie(syncProgram(50, "0", 4), "c1"));
+    const auto report = m.run();
+    EXPECT_EQ(report.pause_cycles, 0u);
+    EXPECT_EQ(markerCycle(m.telf(), "B0"), 54u);
+    EXPECT_EQ(markerCycle(m.telf(), "B1"), 54u);
+}
+
+TEST(NearbySyncOverhead, LateBookerStallsPeerByBookingDelta)
+{
+    // C1 books 20 cycles later: C0's timer pauses for 20 cycles awaiting
+    // C1's signal (Figure 5a); C1 sails through without pausing.
+    Machine m(lineMachine(2, 2));
+    m.loadProgram(0, isa::assembleOrDie(syncProgram(10, "1", 8), "c0"));
+    m.loadProgram(1, isa::assembleOrDie(syncProgram(30, "0", 8), "c1"));
+    const auto report = m.run();
+    EXPECT_EQ(markerCycle(m.telf(), "B0"), 38u);
+    EXPECT_EQ(markerCycle(m.telf(), "B1"), 38u);
+    EXPECT_EQ(report.pause_cycles, 20u);
+    EXPECT_EQ(m.core(0).tcu().stats().counter("pause_cycles"), 20u);
+    EXPECT_EQ(m.core(1).tcu().stats().counter("pause_cycles"), 0u);
+}
+
+TEST(NearbySyncOverhead, Section44FormulaWhenLeadTooSmall)
+{
+    // Section 4.4: if the deterministic gap D before the sync point is
+    // smaller than the link latency L, the overhead is L - D. The compiler
+    // pads the residual up to N, so the synchronous task lands at
+    // max(B0, B1) + N instead of max(T0, T1) = max(B0, B1) + D.
+    const Cycle latency = 10;
+    const Cycle gap = 4; // D < L
+    Machine m(lineMachine(2, latency));
+    // Residual is forced to N (the pad): tasks would ideally run at B + D.
+    m.loadProgram(0, isa::assembleOrDie(syncProgram(100, "1", latency),
+                                        "c0"));
+    m.loadProgram(1, isa::assembleOrDie(syncProgram(100, "0", latency),
+                                        "c1"));
+    const auto report = m.run();
+    ASSERT_FALSE(report.deadlock);
+    const Cycle actual = markerCycle(m.telf(), "B0");
+    const Cycle ideal = 100 + gap;
+    EXPECT_EQ(actual, 100 + latency);
+    EXPECT_EQ(actual - ideal, latency - gap) << "overhead formula L - D";
+}
+
+TEST(NearbySyncLoop, Figure12StyleRepeatedSyncStaysAligned)
+{
+    // Control-board-style program: a loop whose iteration time grows via
+    // waitr $1 (non-deterministic to the peer), synchronized each turn.
+    // Readout-board-style program: deterministic, just syncs and fires.
+    const char *control = R"(
+            addi $2, $0, 480
+            addi $1, $0, 0
+        inner:
+            waiti 20
+            cw.i.i 1, 2       # growing-offset pulse
+            addi $1, $1, 120
+            waitr $1
+            sync 1
+            waiti 8
+            cw.i.i 0, 9       # synchronized pulse (yellow)
+            waiti 50
+            bne $1, $2, inner
+            halt
+    )";
+    const char *readout = R"(
+            addi $3, $0, 4
+            addi $4, $0, 0
+        inner:
+            sync 0
+            waiti 8
+            cw.i.i 0, 9       # synchronized pulse (blue)
+            waiti 50
+            addi $4, $4, 1
+            bne $4, $3, inner
+            halt
+    )";
+    Machine m(lineMachine(2, 2));
+    m.loadProgram(0, isa::assembleOrDie(control, "control"));
+    m.loadProgram(1, isa::assembleOrDie(readout, "readout"));
+    const auto report = m.run();
+    ASSERT_FALSE(report.deadlock);
+    EXPECT_EQ(report.syncs_completed, 8u); // 4 iterations x 2 controllers
+
+    const auto c0 = m.telf().filter([](const TelfRecord &r) {
+        return r.kind == TelfKind::CodewordCommit && r.source == "B0" &&
+               r.port == 0;
+    });
+    const auto c1 = m.telf().filter([](const TelfRecord &r) {
+        return r.kind == TelfKind::CodewordCommit && r.source == "B1" &&
+               r.port == 0;
+    });
+    ASSERT_EQ(c0.size(), 4u);
+    ASSERT_EQ(c1.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(c0[i].cycle, c1[i].cycle)
+            << "iteration " << i << " lost cycle alignment";
+    }
+    // The control board's iteration period grows by 120 cycles per loop.
+    for (std::size_t i = 1; i < 4; ++i) {
+        const Cycle delta = c0[i].cycle - c0[i - 1].cycle;
+        const Cycle prev =
+            (i >= 2) ? c0[i - 1].cycle - c0[i - 2].cycle : delta - 120;
+        EXPECT_EQ(delta, prev + 120);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Region synchronization through the router tree.
+// ---------------------------------------------------------------------------
+
+TEST(RegionSync, FourControllersMeetAtTheLatestBooking)
+{
+    Machine m(lineMachine(4));
+    const Cycle bookings[4] = {10, 20, 30, 40};
+    const Cycle residual = 30;
+    for (ControllerId c = 0; c < 4; ++c) {
+        m.loadProgram(c, isa::assembleOrDie(
+                             syncProgram(bookings[c], "r0", residual),
+                             "c" + std::to_string(c)));
+    }
+    const auto report = m.run();
+    ASSERT_FALSE(report.deadlock);
+    EXPECT_EQ(report.syncs_completed, 4u);
+
+    // T_i = B_i + residual; all requests reach R0 by max(B)+hop = 44,
+    // worst notify arrival 48 < T_max = 70: zero overhead.
+    for (ControllerId c = 0; c < 4; ++c) {
+        EXPECT_EQ(markerCycle(m.telf(), "B" + std::to_string(c)), 70u)
+            << "controller " << c;
+    }
+}
+
+TEST(RegionSync, InsufficientLeadAddsUniformDelayButKeepsAlignment)
+{
+    Machine m(lineMachine(4));
+    const Cycle bookings[4] = {10, 20, 30, 40};
+    const Cycle residual = 5; // T_max = 45 < notify arrival
+    for (ControllerId c = 0; c < 4; ++c) {
+        m.loadProgram(c, isa::assembleOrDie(
+                             syncProgram(bookings[c], "r0", residual),
+                             "c" + std::to_string(c)));
+    }
+    const auto report = m.run();
+    ASSERT_FALSE(report.deadlock);
+
+    // Robust policy: decision at max(B)+hop = 44, T_final =
+    // max(45, 44 + 4) = 48; all controllers align at 48.
+    Cycle first = markerCycle(m.telf(), "B0");
+    EXPECT_EQ(first, 48u);
+    for (ControllerId c = 1; c < 4; ++c)
+        EXPECT_EQ(markerCycle(m.telf(), "B" + std::to_string(c)), first);
+    EXPECT_GT(report.pause_cycles, 0u);
+}
+
+TEST(RegionSync, TwoLevelTreeAlignsAllSixteen)
+{
+    Machine m(lineMachine(16));
+    const Cycle residual = 60;
+    for (ControllerId c = 0; c < 16; ++c) {
+        m.loadProgram(c, isa::assembleOrDie(
+                             syncProgram(10 + 3 * c, "r4", residual),
+                             "c" + std::to_string(c)));
+    }
+    const auto report = m.run();
+    ASSERT_FALSE(report.deadlock);
+    EXPECT_EQ(report.syncs_completed, 16u);
+    // Root router for 16 controllers with arity 4 is R4.
+    const Cycle expected = (10 + 3 * 15) + residual; // latest T_i = 115
+    for (ControllerId c = 0; c < 16; ++c) {
+        EXPECT_EQ(markerCycle(m.telf(), "B" + std::to_string(c)),
+                  expected)
+            << "controller " << c;
+    }
+}
+
+TEST(RegionSync, PaperPolicyStaysAlignedOnBalancedTree)
+{
+    // With a balanced tree every leaf receives the broadcast at the same
+    // cycle, so even the paper's T_m-only notification stays cycle-aligned;
+    // the release is simply late when the lead is too small.
+    auto cfg = lineMachine(4);
+    cfg.fabric.policy = net::RouterPolicy::Paper;
+    Machine m(cfg);
+    for (ControllerId c = 0; c < 4; ++c) {
+        m.loadProgram(c, isa::assembleOrDie(
+                             syncProgram(10 + 10 * c, "r0", 5),
+                             "c" + std::to_string(c)));
+    }
+    const auto report = m.run();
+    ASSERT_FALSE(report.deadlock);
+    const Cycle first = markerCycle(m.telf(), "B0");
+    for (ControllerId c = 1; c < 4; ++c)
+        EXPECT_EQ(markerCycle(m.telf(), "B" + std::to_string(c)), first);
+    // Notifications arrived after T_m = 45: late-notify counter fires.
+    std::uint64_t late = 0;
+    for (ControllerId c = 0; c < 4; ++c)
+        late += m.core(c).syncu().stats().counter("late_region_notifies");
+    EXPECT_GT(late, 0u);
+}
+
+TEST(RegionSync, RepeatedRoundsKeepAlignment)
+{
+    // Three consecutive region syncs (program repetitions, Section 2.1.4).
+    Machine m(lineMachine(4));
+    for (ControllerId c = 0; c < 4; ++c) {
+        std::string src;
+        for (int round = 0; round < 3; ++round) {
+            src += "waiti " + std::to_string(10 + 7 * c) + "\n";
+            src += "sync r0, 40\n";
+            src += "waiti 40\n";
+            src += "cw.i.i 0, 9\n";
+        }
+        src += "halt\n";
+        m.loadProgram(c, isa::assembleOrDie(src, "c" + std::to_string(c)));
+    }
+    const auto report = m.run();
+    ASSERT_FALSE(report.deadlock);
+    EXPECT_EQ(report.syncs_completed, 12u);
+    for (int round = 0; round < 3; ++round) {
+        Cycle t_first = kNoCycle;
+        for (ControllerId c = 0; c < 4; ++c) {
+            const auto commits = m.telf().filter([&](const TelfRecord &r) {
+                return r.kind == TelfKind::CodewordCommit &&
+                       r.source == "B" + std::to_string(c);
+            });
+            ASSERT_EQ(commits.size(), 3u);
+            if (c == 0)
+                t_first = commits[round].cycle;
+            else
+                EXPECT_EQ(commits[round].cycle, t_first)
+                    << "round " << round << " controller " << c;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Failure injection: a mis-calibrated nearby link breaks cycle alignment.
+// ---------------------------------------------------------------------------
+
+TEST(FailureInjection, MiscalibratedLinkBreaksAlignment)
+{
+    auto cfg = lineMachine(2, /*neighbor_latency=*/4);
+    cfg.fabric.nearby_calibration_error = -2; // SyncU believes N = 2
+    Machine m(cfg);
+    // C1 books later, so C0 must pause-and-resume on C1's signal; with N
+    // mis-calibrated low, C0 resumes 2 cycles early.
+    m.loadProgram(0, isa::assembleOrDie(syncProgram(10, "1", 8), "c0"));
+    m.loadProgram(1, isa::assembleOrDie(syncProgram(40, "0", 8), "c1"));
+    const auto report = m.run();
+    ASSERT_FALSE(report.deadlock);
+    const Cycle t0 = markerCycle(m.telf(), "B0");
+    const Cycle t1 = markerCycle(m.telf(), "B1");
+    EXPECT_NE(t0, t1) << "mis-calibration should break cycle alignment";
+}
+
+TEST(FailureInjection, CorrectCalibrationRestoresAlignment)
+{
+    auto cfg = lineMachine(2, 4);
+    cfg.fabric.nearby_calibration_error = 0;
+    Machine m(cfg);
+    m.loadProgram(0, isa::assembleOrDie(syncProgram(10, "1", 8), "c0"));
+    m.loadProgram(1, isa::assembleOrDie(syncProgram(40, "0", 8), "c1"));
+    m.run();
+    EXPECT_EQ(markerCycle(m.telf(), "B0"), markerCycle(m.telf(), "B1"));
+}
+
+} // namespace
+} // namespace dhisq

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Unit tests for the common substrate: strings, config, rng, telf, stats.
+ */
+#include <gtest/gtest.h>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+#include "common/telf.hpp"
+#include "common/types.hpp"
+
+namespace dhisq {
+namespace {
+
+TEST(Strings, TrimRemovesSurroundingWhitespace)
+{
+    EXPECT_EQ(trim("  hello \t"), "hello");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, SplitPreservesEmptyFields)
+{
+    auto parts = split("a,,b", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, SplitWhitespaceDropsEmptyFields)
+{
+    auto parts = splitWhitespace("  add   $1, $2 ");
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "add");
+    EXPECT_EQ(parts[2], "$2");
+}
+
+TEST(Strings, ParseIntHandlesBasesAndSigns)
+{
+    std::int64_t v = 0;
+    EXPECT_TRUE(parseInt("42", &v));
+    EXPECT_EQ(v, 42);
+    EXPECT_TRUE(parseInt("-28", &v));
+    EXPECT_EQ(v, -28);
+    EXPECT_TRUE(parseInt("0x1F", &v));
+    EXPECT_EQ(v, 31);
+    EXPECT_TRUE(parseInt("0b101", &v));
+    EXPECT_EQ(v, 5);
+    EXPECT_FALSE(parseInt("12a", &v));
+    EXPECT_FALSE(parseInt("", &v));
+    EXPECT_FALSE(parseInt("-", &v));
+}
+
+TEST(Types, CycleConversionsRoundOnGrid)
+{
+    EXPECT_EQ(nsToCycles(20.0), 5u);   // 1q gate
+    EXPECT_EQ(nsToCycles(40.0), 10u);  // 2q gate
+    EXPECT_EQ(nsToCycles(300.0), 75u); // measurement
+    EXPECT_EQ(nsToCycles(1.0), 1u);    // rounds up
+    EXPECT_EQ(cyclesToNs(75), 300.0);
+    EXPECT_EQ(usToCycles(1.0), 250u);
+}
+
+TEST(Types, SyncTargetEncodesRouterFlag)
+{
+    const auto c = SyncTarget::controller(5);
+    const auto r = SyncTarget::router(5);
+    EXPECT_FALSE(c.isRouter());
+    EXPECT_TRUE(r.isRouter());
+    EXPECT_EQ(c.index(), 5u);
+    EXPECT_EQ(r.index(), 5u);
+    EXPECT_NE(c, r);
+    EXPECT_EQ(toString(c), "C5");
+    EXPECT_EQ(toString(r), "R5");
+}
+
+TEST(Config, TypedGettersWithDefaults)
+{
+    Config cfg;
+    cfg.set("a", std::int64_t(7));
+    cfg.set("b", 2.5);
+    cfg.set("c", true);
+    cfg.set("d", "hello");
+    EXPECT_EQ(cfg.getInt("a"), 7);
+    EXPECT_DOUBLE_EQ(cfg.getDouble("b"), 2.5);
+    EXPECT_TRUE(cfg.getBool("c"));
+    EXPECT_EQ(cfg.getString("d"), "hello");
+    EXPECT_EQ(cfg.getInt("missing", -1), -1);
+    EXPECT_FALSE(cfg.has("missing"));
+}
+
+TEST(Config, ParseLinesAcceptsCommentsAndRejectsGarbage)
+{
+    Config cfg;
+    std::string err;
+    EXPECT_TRUE(cfg.parseLines("x = 3 # comment\n\n# whole line\ny=4\n",
+                               &err));
+    EXPECT_EQ(cfg.getInt("x"), 3);
+    EXPECT_EQ(cfg.getInt("y"), 4);
+    EXPECT_FALSE(cfg.parseLines("novalue\n", &err));
+    EXPECT_NE(err.find("line 1"), std::string::npos);
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123), c(456);
+    bool all_equal = true;
+    bool any_diff_from_c = false;
+    for (int i = 0; i < 100; ++i) {
+        const auto va = a.next();
+        all_equal = all_equal && (va == b.next());
+        any_diff_from_c = any_diff_from_c || (va != c.next());
+    }
+    EXPECT_TRUE(all_equal);
+    EXPECT_TRUE(any_diff_from_c);
+}
+
+TEST(Rng, UniformInUnitIntervalAndRoughlyCentred)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, RangeIsInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.range(3, 5);
+        ASSERT_GE(v, 3);
+        ASSERT_LE(v, 5);
+        saw_lo = saw_lo || v == 3;
+        saw_hi = saw_hi || v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Telf, FilterAndCountsWork)
+{
+    TelfLog log;
+    log.record(10, "C0", TelfKind::CodewordCommit, 3, 7);
+    log.record(12, "C1", TelfKind::CodewordCommit, 3, 7);
+    log.record(15, "C0", TelfKind::SyncBook, -1, 1);
+    EXPECT_EQ(log.size(), 3u);
+    EXPECT_EQ(log.countOf(TelfKind::CodewordCommit), 2u);
+    EXPECT_EQ(log.ofKind(TelfKind::CodewordCommit, "C0").size(), 1u);
+    EXPECT_EQ(log.lastCycle(), 15u);
+    EXPECT_NE(log.toText().find("sync_book"), std::string::npos);
+}
+
+TEST(Stats, CountersAndScalarsAccumulate)
+{
+    StatSet s;
+    s.inc("n");
+    s.inc("n", 4);
+    s.sample("lat", 2.0);
+    s.sample("lat", 4.0);
+    EXPECT_EQ(s.counter("n"), 5u);
+    EXPECT_DOUBLE_EQ(s.scalar("lat").mean(), 3.0);
+    EXPECT_DOUBLE_EQ(s.scalar("lat").min, 2.0);
+    EXPECT_DOUBLE_EQ(s.scalar("lat").max, 4.0);
+}
+
+TEST(Stats, MergeAddsCountersAndCombinesScalars)
+{
+    StatSet a, b;
+    a.inc("x", 2);
+    b.inc("x", 3);
+    a.sample("s", 1.0);
+    b.sample("s", 5.0);
+    a.mergeFrom(b);
+    EXPECT_EQ(a.counter("x"), 5u);
+    EXPECT_DOUBLE_EQ(a.scalar("s").min, 1.0);
+    EXPECT_DOUBLE_EQ(a.scalar("s").max, 5.0);
+    EXPECT_EQ(a.scalar("s").samples, 2u);
+}
+
+} // namespace
+} // namespace dhisq

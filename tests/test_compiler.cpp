@@ -1,0 +1,368 @@
+/**
+ * @file
+ * Compiler end-to-end tests: circuits compiled to HISQ binaries run on the
+ * full machine (cores + TCU + SyncU + fabric + routers + quantum device)
+ * and must (a) reproduce the reference quantum state, (b) never violate
+ * two-qubit coincidence, and (c) show the expected scheme ordering
+ * (BISP <= demand-driven <= lock-step runtimes on feedback workloads).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compiler/compiler.hpp"
+#include "quantum/state_vector.hpp"
+#include "runtime/machine.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/lrcnot.hpp"
+
+namespace dhisq::compiler {
+namespace {
+
+using q::Gate;
+using q::StateVector;
+using runtime::Machine;
+using runtime::RunReport;
+
+struct RunOutcome
+{
+    RunReport report;
+    StateVector state{1};
+    std::vector<q::QuantumDevice::MeasurementRecord> measurements;
+    StatSet compile_stats;
+};
+
+net::TopologyConfig
+lineTopo(unsigned n)
+{
+    net::TopologyConfig topo;
+    topo.width = n;
+    topo.height = 1;
+    topo.tree_arity = 4;
+    topo.neighbor_latency = 2;
+    topo.hop_latency = 4;
+    return topo;
+}
+
+/** Compile + run a circuit; returns report, final state, measurements. */
+RunOutcome
+compileAndRun(const Circuit &circuit, SyncScheme scheme,
+              std::uint64_t device_seed = 1, unsigned repetitions = 1,
+              unsigned qubits_per_controller = 1)
+{
+    CompilerConfig cc;
+    cc.scheme = scheme;
+    cc.repetitions = repetitions;
+    cc.qubits_per_controller = qubits_per_controller;
+
+    const unsigned controllers =
+        (circuit.numQubits() + qubits_per_controller - 1) /
+        qubits_per_controller;
+    const auto topo_cfg = lineTopo(controllers);
+    net::Topology topo = net::Topology::grid(topo_cfg);
+
+    Compiler compiler(topo, cc);
+    auto compiled = compiler.compile(circuit);
+
+    auto mc = machineConfigFor(topo_cfg, cc, circuit.numQubits(),
+                               /*state_vector=*/true, device_seed);
+    mc.fabric.star_messages = (scheme == SyncScheme::kLockStep);
+    Machine machine(mc);
+    compiled.applyTo(machine);
+
+    RunOutcome out;
+    out.report = machine.run();
+    out.state = machine.device().state();
+    out.measurements = machine.device().measurements();
+    out.compile_stats = compiled.stats;
+    return out;
+}
+
+/** Reference state with ancilla qubits set to the machine's outcomes. */
+StateVector
+referenceWithOutcomes(const Circuit &reference_circuit,
+                      const RunOutcome &run, std::uint64_t seed = 99)
+{
+    Rng rng(seed);
+    auto ref = simulateCircuit(reference_circuit, rng);
+    return std::move(ref.state);
+}
+
+const std::vector<SyncScheme> kAllSchemes = {
+    SyncScheme::kBisp, SyncScheme::kDemand, SyncScheme::kLockStep};
+
+// ---------------------------------------------------------------------------
+// Deterministic circuits: exact state checks for every scheme.
+// ---------------------------------------------------------------------------
+
+class AllSchemes : public ::testing::TestWithParam<SyncScheme>
+{
+};
+
+TEST_P(AllSchemes, GhzChainMatchesReference)
+{
+    const auto circuit = workloads::ghz(6);
+    auto run = compileAndRun(circuit, GetParam());
+    ASSERT_FALSE(run.report.deadlock);
+    EXPECT_EQ(run.report.timing_violations, 0u);
+    EXPECT_EQ(run.report.coincidence_violations, 0u);
+
+    auto ref = referenceWithOutcomes(circuit, run);
+    EXPECT_NEAR(run.state.fidelityWith(ref), 1.0, 1e-9);
+}
+
+TEST_P(AllSchemes, AdderProducesTheCorrectSum)
+{
+    workloads::AdderOptions opt;
+    opt.seed = 77;
+    const auto circuit = workloads::adder(8, opt); // 3-bit adder
+    // Four qubits per controller keep the CDKM's distance-<=3 operands on
+    // the same or neighbouring controllers without dynamic-circuit routing.
+    auto run = compileAndRun(circuit, GetParam(), 1, 1, 4);
+    ASSERT_FALSE(run.report.deadlock);
+    EXPECT_EQ(run.report.coincidence_violations, 0u);
+    EXPECT_EQ(run.report.timing_violations, 0u);
+
+    // Reproduce the seeded inputs and compare the measured sum.
+    Rng check(opt.seed);
+    unsigned a = 0, b = 0;
+    for (unsigned i = 0; i < 3; ++i) {
+        if (check.coin(0.5))
+            a |= 1u << i;
+        if (check.coin(0.5))
+            b |= 1u << i;
+    }
+    // Measurement records are (qubit, bit): sum bit i lives on qubit 2+2i,
+    // carry-out on the last qubit.
+    unsigned measured = 0;
+    for (const auto &m : run.measurements) {
+        if (m.qubit == 7)
+            measured |= unsigned(m.bit) << 3;
+        else
+            measured |= unsigned(m.bit) << ((m.qubit - 2) / 2);
+    }
+    EXPECT_EQ(measured, a + b);
+}
+
+TEST_P(AllSchemes, LongRangeCnotConvergesToDirectCnot)
+{
+    // The headline dynamic circuit: every measurement branch must converge
+    // to CNOT thanks to the feed-forward corrections (Figure 14).
+    const unsigned n = 5;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        Circuit circuit(n, "lrcnot_e2e");
+        circuit.gate(Gate::kRy, 0, 0.7);
+        circuit.gate(Gate::kT, 0);
+        circuit.gate(Gate::kRy, n - 1, 1.3);
+        circuit.gate(Gate::kS, n - 1);
+        workloads::appendLongRangeCnotLine(circuit, 0, n - 1);
+
+        auto run = compileAndRun(circuit, GetParam(), seed);
+        ASSERT_FALSE(run.report.deadlock) << "seed " << seed;
+        EXPECT_EQ(run.report.coincidence_violations, 0u);
+        EXPECT_EQ(run.report.timing_violations, 0u);
+
+        // Reference: direct CNOT with ancillas forced to the outcomes the
+        // machine actually measured.
+        StateVector ref(n);
+        ref.apply1q(Gate::kRy, 0, 0.7);
+        ref.apply1q(Gate::kT, 0);
+        ref.apply1q(Gate::kRy, n - 1, 1.3);
+        ref.apply1q(Gate::kS, n - 1);
+        ref.apply2q(Gate::kCNOT, 0, n - 1);
+        for (const auto &m : run.measurements) {
+            if (m.bit)
+                ref.apply1q(Gate::kX, m.qubit);
+        }
+        EXPECT_NEAR(run.state.fidelityWith(ref), 1.0, 1e-9)
+            << toString(GetParam()) << " seed " << seed;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, AllSchemes,
+                         ::testing::ValuesIn(kAllSchemes),
+                         [](const auto &info) {
+                             return std::string(toString(info.param));
+                         });
+
+// ---------------------------------------------------------------------------
+// Scheme-specific behaviour.
+// ---------------------------------------------------------------------------
+
+TEST(CompilerBisp, NoSyncsWithoutFeedback)
+{
+    const auto circuit = workloads::ghz(8);
+    net::Topology topo = net::Topology::grid(lineTopo(8));
+    CompilerConfig cc;
+    Compiler compiler(topo, cc);
+    auto compiled = compiler.compile(circuit);
+    EXPECT_EQ(compiled.stats.counter("syncs_inserted"), 0u);
+    EXPECT_EQ(compiled.stats.counter("feedback_sends"), 0u);
+}
+
+TEST(CompilerBisp, SyncInsertedForPostFeedbackTwoQubitGate)
+{
+    // Conditional on q0 (feedback) then CZ(0,1): epochs diverge, so a
+    // nearby sync pair must be inserted.
+    Circuit circuit(2, "feedback_then_gate");
+    circuit.gate(Gate::kH, 0);
+    const CbitId bit = circuit.measure(0);
+    circuit.conditionalGate(Gate::kX, 0, {bit});
+    circuit.gate2(Gate::kCZ, 0, 1);
+
+    net::Topology topo = net::Topology::grid(lineTopo(2));
+    CompilerConfig cc;
+    Compiler compiler(topo, cc);
+    auto compiled = compiler.compile(circuit);
+    EXPECT_EQ(compiled.stats.counter("syncs_inserted"), 2u);
+
+    auto run = compileAndRun(circuit, SyncScheme::kBisp);
+    ASSERT_FALSE(run.report.deadlock);
+    EXPECT_EQ(run.report.coincidence_violations, 0u);
+    EXPECT_EQ(run.report.syncs_completed, 2u);
+}
+
+TEST(CompilerBisp, SameEpochGateNeedsNoSyncEvenAcrossControllers)
+{
+    Circuit circuit(2, "pure_gate");
+    circuit.gate(Gate::kH, 0);
+    circuit.gate2(Gate::kCZ, 0, 1);
+    auto run = compileAndRun(circuit, SyncScheme::kBisp);
+    EXPECT_EQ(run.report.syncs_completed, 0u);
+    EXPECT_EQ(run.report.coincidence_violations, 0u);
+}
+
+TEST(CompilerBisp, QubitsPerControllerTwoMakesGatesLocal)
+{
+    // With 2 qubits per controller the CZ(0,1) is board-local: whole-gate
+    // action, no halves, no sync.
+    Circuit circuit(4, "local_pairs");
+    circuit.gate(Gate::kH, 0);
+    circuit.gate2(Gate::kCZ, 0, 1);
+    circuit.gate2(Gate::kCZ, 2, 3);
+    auto run = compileAndRun(circuit, SyncScheme::kBisp, 1, 1, 2);
+    ASSERT_FALSE(run.report.deadlock);
+    EXPECT_EQ(run.report.syncs_completed, 0u);
+    EXPECT_EQ(run.report.coincidence_violations, 0u);
+}
+
+TEST(CompilerBisp, RepetitionsInsertRegionSyncs)
+{
+    const auto circuit = workloads::ghz(4);
+    auto run = compileAndRun(circuit, SyncScheme::kBisp, 1, 3);
+    ASSERT_FALSE(run.report.deadlock);
+    EXPECT_EQ(run.report.timing_violations, 0u);
+    // 2 extra repetitions x 4 controllers region syncs.
+    EXPECT_EQ(run.report.syncs_completed, 8u);
+}
+
+TEST(CompilerSchemes, RuntimeOrderingOnFeedbackWorkload)
+{
+    // A feedback-heavy dynamic circuit: BISP must beat demand-driven,
+    // which must beat lock-step (Figure 15's direction).
+    workloads::RandomDynamicOptions opt;
+    opt.qubits = 8;
+    opt.layers = 12;
+    opt.feedback_fraction = 0.5;
+    opt.feedback_span = 3;
+    opt.seed = 9;
+    auto circuit = workloads::randomDynamic(opt);
+    Rng er(2);
+    auto dyn = workloads::expandNonAdjacentGates(circuit, 1.0, er);
+
+    Cycle makespans[3] = {};
+    int i = 0;
+    for (auto scheme : kAllSchemes) {
+        auto run = compileAndRun(dyn, scheme, /*device_seed=*/3);
+        ASSERT_FALSE(run.report.deadlock) << toString(scheme);
+        EXPECT_EQ(run.report.coincidence_violations, 0u)
+            << toString(scheme);
+        EXPECT_EQ(run.report.timing_violations, 0u) << toString(scheme);
+        makespans[i++] = run.report.makespan;
+    }
+    // Measurement outcomes differ between schemes (draw order differs), so
+    // allow a few cycles of branch-path noise on the BISP/demand pair; the
+    // lock-step gap must be decisive.
+    EXPECT_LE(makespans[0], makespans[1] + 5) << "BISP vs demand";
+    EXPECT_LT(makespans[0], makespans[2]) << "BISP vs lock-step";
+}
+
+TEST(CompilerSchemes, BispMasksLatencyThatDemandPays)
+{
+    // One feedback then a two-qubit gate with plenty of deterministic work
+    // after the booking point: BISP should sync with zero overhead while
+    // demand-driven pays the bounce.
+    Circuit circuit(2, "mask");
+    circuit.gate(Gate::kH, 0);
+    const CbitId bit = circuit.measure(0);
+    circuit.conditionalGate(Gate::kX, 0, {bit});
+    // Deterministic padding on both controllers.
+    for (int i = 0; i < 6; ++i) {
+        circuit.gate(Gate::kT, 0);
+        circuit.gate(Gate::kT, 1);
+    }
+    circuit.gate2(Gate::kCZ, 0, 1);
+
+    auto bisp = compileAndRun(circuit, SyncScheme::kBisp);
+    auto demand = compileAndRun(circuit, SyncScheme::kDemand);
+    ASSERT_FALSE(bisp.report.deadlock);
+    ASSERT_FALSE(demand.report.deadlock);
+    // The synchronized CZ is the last committed codeword: with enough
+    // deterministic lead, BISP commits it exactly N cycles earlier than
+    // the demand-driven scheme, which always pays the signal bounce.
+    EXPECT_EQ(bisp.report.makespan + 2, demand.report.makespan)
+        << "demand-driven should pay exactly the N-cycle bounce";
+}
+
+TEST(CompilerLockStep, EveryMeasurementBroadcasts)
+{
+    Circuit circuit(3, "bcast");
+    circuit.gate(Gate::kH, 0);
+    const CbitId bit = circuit.measure(0);
+    circuit.conditionalGate(Gate::kX, 2, {bit});
+    circuit.measure(2);
+
+    net::Topology topo = net::Topology::grid(lineTopo(3));
+    CompilerConfig cc;
+    cc.scheme = SyncScheme::kLockStep;
+    Compiler compiler(topo, cc);
+    auto compiled = compiler.compile(circuit);
+    EXPECT_EQ(compiled.stats.counter("broadcasts"), 2u);
+    EXPECT_EQ(compiled.stats.counter("syncs_inserted"), 0u);
+}
+
+TEST(CompilerOutput, ProgramsAreWellFormedBinaries)
+{
+    const auto circuit = workloads::ghz(4);
+    net::Topology topo = net::Topology::grid(lineTopo(4));
+    Compiler compiler(topo, CompilerConfig{});
+    auto compiled = compiler.compile(circuit);
+    EXPECT_EQ(compiled.usedControllers(), 4u);
+    EXPECT_GT(compiled.totalInstructions(), 0u);
+    for (ControllerId c = 0; c < 4; ++c) {
+        ASSERT_TRUE(compiled.used[c]);
+        const auto &p = compiled.programs[c];
+        ASSERT_FALSE(p.empty());
+        // Every program ends with halt and has matching encodings.
+        EXPECT_EQ(p.instructions.back().op, isa::Op::kHalt);
+        EXPECT_EQ(p.words.size(), p.instructions.size());
+    }
+}
+
+TEST(CompilerOutput, MeasRoutesCoverMeasuredQubits)
+{
+    Circuit circuit(3, "routes");
+    circuit.measure(0);
+    circuit.measure(2);
+    net::Topology topo = net::Topology::grid(lineTopo(3));
+    Compiler compiler(topo, CompilerConfig{});
+    auto compiled = compiler.compile(circuit);
+    ASSERT_EQ(compiled.meas_routes.size(), 2u);
+    EXPECT_EQ(compiled.meas_routes[0].first, 0u);
+    EXPECT_EQ(compiled.meas_routes[0].second, 0u);
+    EXPECT_EQ(compiled.meas_routes[1].first, 2u);
+    EXPECT_EQ(compiled.meas_routes[1].second, 2u);
+}
+
+} // namespace
+} // namespace dhisq::compiler

@@ -1,0 +1,471 @@
+/**
+ * @file
+ * Single-core tests: RV32I semantics, queue-based timing control,
+ * backpressure, messaging, trigger waits and issue-rate violations.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/telf.hpp"
+#include "core/core.hpp"
+#include "core/msgu.hpp"
+#include "isa/assembler.hpp"
+#include "sim/scheduler.hpp"
+
+namespace dhisq::core {
+namespace {
+
+/** Captured codeword issue. */
+struct Issue
+{
+    PortId port;
+    Codeword cw;
+    Cycle wall;
+};
+
+/** One core wired to a capture buffer instead of a board. */
+class SingleCoreHarness
+{
+  public:
+    explicit SingleCoreHarness(const CoreConfig &config = CoreConfig{})
+    {
+        CoreHooks hooks;
+        hooks.on_codeword = [this](PortId p, Codeword cw, Cycle wall) {
+            issues.push_back(Issue{p, cw, wall});
+        };
+        hooks.on_send = [this](ControllerId dst, std::uint32_t payload) {
+            sends.emplace_back(dst, payload);
+        };
+        core = std::make_unique<HisqCore>(config, sched, &telf,
+                                          std::move(hooks));
+    }
+
+    void
+    runProgram(const char *src)
+    {
+        core->loadProgram(isa::assembleOrDie(src));
+        core->start();
+        sched.run();
+    }
+
+    sim::Scheduler sched;
+    TelfLog telf;
+    std::unique_ptr<HisqCore> core;
+    std::vector<Issue> issues;
+    std::vector<std::pair<ControllerId, std::uint32_t>> sends;
+};
+
+CoreConfig
+portsConfig(unsigned ports, std::size_t queue_cap = 1024)
+{
+    CoreConfig cfg;
+    cfg.num_ports = ports;
+    cfg.queue_capacity = queue_cap;
+    return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Classical semantics.
+// ---------------------------------------------------------------------------
+
+TEST(CoreClassical, ArithmeticLoopComputesSum)
+{
+    SingleCoreHarness h;
+    // Sum 1..10 into $3.
+    h.runProgram(R"(
+            addi $1, $0, 10
+            addi $2, $0, 0
+            addi $3, $0, 0
+        loop:
+            add $3, $3, $1
+            addi $1, $1, -1
+            bne $1, $2, loop
+            halt
+    )");
+    EXPECT_TRUE(h.core->halted());
+    EXPECT_EQ(h.core->reg(3), 55u);
+}
+
+TEST(CoreClassical, ShiftAndLogicOps)
+{
+    SingleCoreHarness h;
+    h.runProgram(R"(
+        li $1, 0b1100
+        slli $2, $1, 2
+        srli $3, $1, 2
+        xori $4, $1, 0b1010
+        andi $5, $1, 0b0110
+        ori  $6, $1, 0b0001
+        li $7, -8
+        srai $8, $7, 1
+        sub $9, $1, $5
+        halt
+    )");
+    EXPECT_EQ(h.core->reg(2), 0b110000u);
+    EXPECT_EQ(h.core->reg(3), 0b11u);
+    EXPECT_EQ(h.core->reg(4), 0b0110u);
+    EXPECT_EQ(h.core->reg(5), 0b0100u);
+    EXPECT_EQ(h.core->reg(6), 0b1101u);
+    EXPECT_EQ(std::int32_t(h.core->reg(8)), -4);
+    EXPECT_EQ(h.core->reg(9), 0b1000u);
+}
+
+TEST(CoreClassical, ComparisonsAndBranches)
+{
+    SingleCoreHarness h;
+    h.runProgram(R"(
+        li $1, -5
+        li $2, 3
+        slt $3, $1, $2      # signed: -5 < 3 -> 1
+        sltu $4, $1, $2     # unsigned: huge < 3 -> 0
+        slti $5, $2, 10
+        sltiu $6, $2, 2
+        blt $1, $2, over
+        li $7, 111
+    over:
+        bge $2, $1, over2
+        li $8, 222
+    over2:
+        halt
+    )");
+    EXPECT_EQ(h.core->reg(3), 1u);
+    EXPECT_EQ(h.core->reg(4), 0u);
+    EXPECT_EQ(h.core->reg(5), 1u);
+    EXPECT_EQ(h.core->reg(6), 0u);
+    EXPECT_EQ(h.core->reg(7), 0u); // skipped
+    EXPECT_EQ(h.core->reg(8), 0u); // skipped
+}
+
+TEST(CoreClassical, LoadsAndStoresRoundTrip)
+{
+    SingleCoreHarness h;
+    h.runProgram(R"(
+        li $1, 0x12345678
+        li $2, 64
+        sw $1, 0($2)
+        lw $3, 0($2)
+        lh $4, 0($2)
+        lhu $5, 2($2)
+        lb $6, 3($2)
+        lbu $7, 0($2)
+        sb $1, 8($2)
+        lw $8, 8($2)
+        halt
+    )");
+    EXPECT_EQ(h.core->reg(3), 0x12345678u);
+    EXPECT_EQ(h.core->reg(4), 0x5678u);
+    EXPECT_EQ(h.core->reg(5), 0x1234u);
+    EXPECT_EQ(h.core->reg(6), 0x12u);
+    EXPECT_EQ(h.core->reg(7), 0x78u);
+    EXPECT_EQ(h.core->reg(8), 0x78u);
+}
+
+TEST(CoreClassical, SignExtensionOnLoads)
+{
+    SingleCoreHarness h;
+    h.runProgram(R"(
+        li $1, 0xFFFF8080
+        li $2, 32
+        sw $1, 0($2)
+        lb $3, 0($2)
+        lbu $4, 0($2)
+        lh $5, 0($2)
+        lhu $6, 0($2)
+        halt
+    )");
+    EXPECT_EQ(std::int32_t(h.core->reg(3)), -128);
+    EXPECT_EQ(h.core->reg(4), 0x80u);
+    EXPECT_EQ(std::int32_t(h.core->reg(5)), std::int32_t(0xFFFF8080));
+    EXPECT_EQ(h.core->reg(6), 0x8080u);
+}
+
+TEST(CoreClassical, JalAndJalrLinkCorrectly)
+{
+    SingleCoreHarness h;
+    h.runProgram(R"(
+        jal $1, sub           # pc=0, link=4
+        li $3, 7              # runs after return
+        halt
+    sub:
+        addi $4, $0, 9
+        jalr $0, $1, 0
+    )");
+    EXPECT_EQ(h.core->reg(1), 4u);
+    EXPECT_EQ(h.core->reg(3), 7u);
+    EXPECT_EQ(h.core->reg(4), 9u);
+}
+
+TEST(CoreClassical, X0IsHardwiredZero)
+{
+    SingleCoreHarness h;
+    h.runProgram(R"(
+        addi $0, $0, 55
+        add $1, $0, $0
+        halt
+    )");
+    EXPECT_EQ(h.core->reg(0), 0u);
+    EXPECT_EQ(h.core->reg(1), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Timing control.
+// ---------------------------------------------------------------------------
+
+TEST(CoreTiming, WaitiPlacesCodewordAtCursor)
+{
+    SingleCoreHarness h(portsConfig(4));
+    h.runProgram(R"(
+        waiti 100
+        cw.i.i 0, 7
+        waiti 20
+        cw.i.i 1, 9
+        halt
+    )");
+    ASSERT_EQ(h.issues.size(), 2u);
+    EXPECT_EQ(h.issues[0].wall, 100u);
+    EXPECT_EQ(h.issues[0].port, 0u);
+    EXPECT_EQ(h.issues[0].cw, 7u);
+    EXPECT_EQ(h.issues[1].wall, 120u);
+    EXPECT_EQ(h.issues[1].port, 1u);
+}
+
+TEST(CoreTiming, SameCursorCodewordsIssueTogether)
+{
+    SingleCoreHarness h(portsConfig(4));
+    h.runProgram(R"(
+        waiti 50
+        cw.i.i 0, 1
+        cw.i.i 1, 2
+        cw.i.i 2, 3
+        halt
+    )");
+    ASSERT_EQ(h.issues.size(), 3u);
+    for (const auto &issue : h.issues)
+        EXPECT_EQ(issue.wall, 50u);
+}
+
+TEST(CoreTiming, WaitrUsesRegisterValue)
+{
+    SingleCoreHarness h(portsConfig(2));
+    h.runProgram(R"(
+        addi $1, $0, 0
+        addi $2, $0, 360
+    loop:
+        addi $1, $1, 120
+        waitr $1
+        cw.i.i 0, 5
+        bne $1, $2, loop
+        halt
+    )");
+    // Cursor accumulates 120, then 240 more, then 360 more.
+    ASSERT_EQ(h.issues.size(), 3u);
+    EXPECT_EQ(h.issues[0].wall, 120u);
+    EXPECT_EQ(h.issues[1].wall, 360u);
+    EXPECT_EQ(h.issues[2].wall, 720u);
+}
+
+TEST(CoreTiming, RegisterCodewordAndPortForms)
+{
+    SingleCoreHarness h(portsConfig(8));
+    h.runProgram(R"(
+        li $1, 5
+        li $2, 999
+        waiti 10
+        cw.i.r 3, $2
+        cw.r.i $1, 44
+        cw.r.r $1, $2
+        halt
+    )");
+    ASSERT_EQ(h.issues.size(), 3u);
+    EXPECT_EQ(h.issues[0].port, 3u);
+    EXPECT_EQ(h.issues[0].cw, 999u);
+    EXPECT_EQ(h.issues[1].port, 5u);
+    EXPECT_EQ(h.issues[1].cw, 44u);
+    EXPECT_EQ(h.issues[2].port, 5u);
+    EXPECT_EQ(h.issues[2].cw, 999u);
+}
+
+TEST(CoreTiming, PipelineRunsAheadOfTimingDomain)
+{
+    // The pipeline finishes enqueueing long before events issue; the core
+    // halts (classically) while the TCU keeps draining — halt cycle is
+    // early, last issue is late.
+    SingleCoreHarness h(portsConfig(1));
+    h.runProgram(R"(
+        waiti 4000
+        cw.i.i 0, 1
+        halt
+    )");
+    EXPECT_TRUE(h.core->halted());
+    EXPECT_LT(h.core->haltCycle(), 10u);
+    ASSERT_EQ(h.issues.size(), 1u);
+    EXPECT_EQ(h.issues[0].wall, 4000u);
+    EXPECT_TRUE(h.core->quiescent());
+}
+
+TEST(CoreTiming, QueueBackpressureStallsPipeline)
+{
+    // Queue of 4: the fifth enqueue must wait until an event issues.
+    SingleCoreHarness h(portsConfig(1, 4));
+    h.runProgram(R"(
+        waiti 1000
+        cw.i.i 0, 1
+        cw.i.i 0, 2
+        cw.i.i 0, 3
+        cw.i.i 0, 4
+        cw.i.i 0, 5
+        halt
+    )");
+    EXPECT_TRUE(h.core->halted());
+    ASSERT_EQ(h.issues.size(), 5u);
+    // All five still issue at the same designated time-point.
+    for (const auto &issue : h.issues)
+        EXPECT_EQ(issue.wall, 1000u);
+    EXPECT_GE(h.core->stats().counter("pipeline_stalls_queue"), 1u);
+    // The pipeline could not halt before the queue drained enough.
+    EXPECT_GE(h.core->haltCycle(), 1000u);
+}
+
+TEST(CoreTiming, LateEnqueueIsAViolationThatSlips)
+{
+    // Dense timeline: cursor advances 1 cycle per codeword but the pipeline
+    // needs 2 instructions (cw + waiti) per point -> it falls behind and
+    // events slip (Section 7.1's issue-rate bottleneck).
+    SingleCoreHarness h(portsConfig(1));
+    std::string src;
+    for (int i = 0; i < 50; ++i)
+        src += "cw.i.i 0, 1\nwaiti 1\n";
+    src += "halt\n";
+    h.core->loadProgram(isa::assembleOrDie(src));
+    h.core->start();
+    h.sched.run();
+    EXPECT_GT(h.core->tcu().stats().counter("timing_violations"), 0u);
+    EXPECT_EQ(h.issues.size(), 50u);
+}
+
+// ---------------------------------------------------------------------------
+// Messaging.
+// ---------------------------------------------------------------------------
+
+TEST(CoreMessage, SendInvokesFabricHook)
+{
+    SingleCoreHarness h;
+    h.runProgram(R"(
+        li $1, 77
+        send 4, $1
+        halt
+    )");
+    ASSERT_EQ(h.sends.size(), 1u);
+    EXPECT_EQ(h.sends[0].first, 4u);
+    EXPECT_EQ(h.sends[0].second, 77u);
+}
+
+TEST(CoreMessage, RecvBlocksUntilDelivery)
+{
+    SingleCoreHarness h;
+    h.core->loadProgram(isa::assembleOrDie(R"(
+        recv $1, 2
+        addi $2, $1, 1
+        halt
+    )"));
+    h.core->start();
+    h.sched.schedule(500, [&] { h.core->deliverMessage(2, 41); });
+    h.sched.run();
+    EXPECT_TRUE(h.core->halted());
+    EXPECT_EQ(h.core->reg(1), 41u);
+    EXPECT_EQ(h.core->reg(2), 42u);
+    EXPECT_GE(h.core->haltCycle(), 500u);
+}
+
+TEST(CoreMessage, RecvSourceFilterSkipsOtherSources)
+{
+    SingleCoreHarness h;
+    h.core->loadProgram(isa::assembleOrDie(R"(
+        recv $1, 2
+        recv $2, 9
+        halt
+    )"));
+    h.core->start();
+    h.sched.schedule(10, [&] { h.core->deliverMessage(9, 100); });
+    h.sched.schedule(20, [&] { h.core->deliverMessage(2, 200); });
+    h.sched.run();
+    EXPECT_EQ(h.core->reg(1), 200u); // filtered by source, not order
+    EXPECT_EQ(h.core->reg(2), 100u);
+}
+
+TEST(CoreMessage, RecvAnyTakesArrivalOrder)
+{
+    SingleCoreHarness h;
+    h.core->loadProgram(isa::assembleOrDie(R"(
+        recv $1
+        recv $2
+        halt
+    )"));
+    h.core->start();
+    h.sched.schedule(10, [&] { h.core->deliverMessage(7, 70); });
+    h.sched.schedule(20, [&] { h.core->deliverMessage(3, 30); });
+    h.sched.run();
+    EXPECT_EQ(h.core->reg(1), 70u);
+    EXPECT_EQ(h.core->reg(2), 30u);
+}
+
+TEST(CoreMessage, UndeliveredRecvDeadlocks)
+{
+    SingleCoreHarness h;
+    h.core->loadProgram(isa::assembleOrDie("recv $1, 3\nhalt\n"));
+    h.core->start();
+    h.sched.run();
+    EXPECT_FALSE(h.core->halted());
+    EXPECT_TRUE(h.core->stalled());
+}
+
+// ---------------------------------------------------------------------------
+// Trigger waits (wtrig): non-deterministic feedback timing.
+// ---------------------------------------------------------------------------
+
+TEST(CoreTrigger, WtrigReanchorsTimingToArrival)
+{
+    SingleCoreHarness h(portsConfig(2));
+    h.core->loadProgram(isa::assembleOrDie(R"(
+        waiti 10
+        cw.i.i 0, 1      # deterministic op at local 10
+        waiti 1
+        wtrig 2          # pause timer at local 11 until trigger from 2
+        recv $1, 2       # pipeline picks up the payload
+        waiti 6
+        cw.i.i 1, 2      # feedback op: arrival + 6
+        halt
+    )"));
+    h.core->start();
+    h.sched.schedule(500, [&] { h.core->deliverMessage(2, 1); });
+    h.sched.run();
+    ASSERT_EQ(h.issues.size(), 2u);
+    EXPECT_EQ(h.issues[0].wall, 10u);
+    EXPECT_EQ(h.issues[1].wall, 506u);
+    EXPECT_EQ(h.core->reg(1), 1u);
+    EXPECT_EQ(h.core->tcu().stats().counter("pause_cycles"), 489u);
+}
+
+TEST(CoreTrigger, EarlyTriggerMeansNoPause)
+{
+    SingleCoreHarness h(portsConfig(2));
+    h.core->loadProgram(isa::assembleOrDie(R"(
+        waiti 100
+        wtrig 2
+        recv $1, 2
+        waiti 6
+        cw.i.i 0, 2
+        halt
+    )"));
+    h.core->start();
+    h.sched.schedule(5, [&] { h.core->deliverMessage(2, 1); });
+    h.sched.run();
+    ASSERT_EQ(h.issues.size(), 1u);
+    // Trigger arrived before the wait point: no pause, exact timing.
+    EXPECT_EQ(h.issues[0].wall, 106u);
+    EXPECT_EQ(h.core->tcu().stats().counter("timer_pauses"), 0u);
+}
+
+} // namespace
+} // namespace dhisq::core

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Quantum-device substrate tests: action dispatch, two-qubit coincidence
+ * checking, measurement callbacks, activity tracking, decoherence model.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quantum/device.hpp"
+#include "quantum/noise.hpp"
+
+namespace dhisq::q {
+namespace {
+
+DeviceConfig
+smallConfig()
+{
+    DeviceConfig cfg;
+    cfg.num_qubits = 3;
+    cfg.state_vector = true;
+    cfg.seed = 42;
+    return cfg;
+}
+
+TEST(Device, SingleQubitGateAppliesToState)
+{
+    QuantumDevice dev(smallConfig());
+    dev.trigger(Action::gate1q(Gate::kX, 1), 0);
+    EXPECT_NEAR(dev.state().probabilityOfOne(1), 1.0, 1e-12);
+    EXPECT_EQ(dev.stats().counter("gates_1q"), 1u);
+}
+
+TEST(Device, MatchedHalvesApplyTwoQubitGate)
+{
+    QuantumDevice dev(smallConfig());
+    dev.trigger(Action::gate1q(Gate::kH, 0), 0);
+    dev.trigger(Action::gate2qHalf(Gate::kCNOT, 0, 1), 10);
+    dev.trigger(Action::gate2qHalf(Gate::kCNOT, 1, 0), 10);
+    EXPECT_EQ(dev.finalize(), 0u);
+    EXPECT_EQ(dev.stats().counter("gates_2q"), 1u);
+    // Bell state formed.
+    EXPECT_NEAR(dev.state().probability(0b00), 0.5, 1e-12);
+    EXPECT_NEAR(dev.state().probability(0b11), 0.5, 1e-12);
+}
+
+TEST(Device, MismatchedHalvesAreViolations)
+{
+    QuantumDevice dev(smallConfig());
+    dev.trigger(Action::gate2qHalf(Gate::kCZ, 0, 1), 10);
+    dev.trigger(Action::gate2qHalf(Gate::kCZ, 1, 0), 12);
+    EXPECT_EQ(dev.finalize(), 1u);
+    ASSERT_EQ(dev.violations().size(), 1u);
+    EXPECT_EQ(dev.violations()[0].first_half, 10u);
+    EXPECT_EQ(dev.violations()[0].second_half, 12u);
+}
+
+TEST(Device, UnmatchedHalfIsAViolationAtFinalize)
+{
+    QuantumDevice dev(smallConfig());
+    dev.trigger(Action::gate2qHalf(Gate::kCZ, 0, 1), 10);
+    EXPECT_EQ(dev.finalize(), 1u);
+    EXPECT_EQ(dev.violations()[0].second_half, kNoCycle);
+}
+
+TEST(Device, WholeGateNeedsNoCoincidence)
+{
+    QuantumDevice dev(smallConfig());
+    dev.trigger(Action::gate2qWhole(Gate::kCZ, 0, 1), 10);
+    EXPECT_EQ(dev.finalize(), 0u);
+    EXPECT_EQ(dev.stats().counter("gates_2q"), 1u);
+}
+
+TEST(Device, MeasurementInvokesCallbackAtReadyTime)
+{
+    QuantumDevice dev(smallConfig());
+    dev.trigger(Action::gate1q(Gate::kX, 2), 0);
+    QubitId got_qubit = kNoQubit;
+    int got_bit = -1;
+    Cycle got_ready = 0;
+    dev.setResultCallback([&](QubitId qubit, int bit, Cycle ready) {
+        got_qubit = qubit;
+        got_bit = bit;
+        got_ready = ready;
+    });
+    dev.trigger(Action::measure(2), 100);
+    EXPECT_EQ(got_qubit, 2u);
+    EXPECT_EQ(got_bit, 1); // |1> measures 1 deterministically
+    EXPECT_EQ(got_ready, 100u + dev.config().measure_cycles);
+    ASSERT_EQ(dev.measurements().size(), 1u);
+    EXPECT_EQ(dev.measurements()[0].bit, 1);
+}
+
+TEST(Device, StochasticModeUsesSeededDraws)
+{
+    DeviceConfig cfg;
+    cfg.num_qubits = 1;
+    cfg.state_vector = false;
+    cfg.seed = 7;
+    cfg.stochastic_p1 = 0.5;
+
+    QuantumDevice a(cfg), b(cfg);
+    for (int i = 0; i < 20; ++i) {
+        a.trigger(Action::measure(0), Cycle(i) * 100);
+        b.trigger(Action::measure(0), Cycle(i) * 100);
+    }
+    ASSERT_EQ(a.measurements().size(), 20u);
+    for (std::size_t i = 0; i < 20; ++i)
+        EXPECT_EQ(a.measurements()[i].bit, b.measurements()[i].bit);
+    EXPECT_FALSE(a.hasState());
+}
+
+TEST(Device, ActivityWindowsTrackFirstAndLast)
+{
+    QuantumDevice dev(smallConfig());
+    dev.trigger(Action::gate1q(Gate::kX, 0), 100);
+    dev.trigger(Action::gate1q(Gate::kX, 0), 300);
+    const auto &a = dev.activity().activity(0);
+    EXPECT_EQ(a.first, 100u);
+    EXPECT_EQ(a.last, 300u + dev.config().gate1q_cycles);
+    EXPECT_EQ(a.busy, 2 * dev.config().gate1q_cycles);
+    EXPECT_EQ(dev.activity().activity(1).used(), false);
+}
+
+TEST(Device, ResetRestoresInitialState)
+{
+    QuantumDevice dev(smallConfig());
+    dev.trigger(Action::gate1q(Gate::kX, 0), 0);
+    dev.trigger(Action::gate2qHalf(Gate::kCZ, 0, 1), 5);
+    dev.reset();
+    EXPECT_EQ(dev.finalize(), 0u);
+    EXPECT_NEAR(dev.state().probability(0), 1.0, 1e-12);
+    EXPECT_EQ(dev.stats().counter("gates_1q"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Decoherence model.
+// ---------------------------------------------------------------------------
+
+TEST(Noise, InfidelityMatchesClosedForm)
+{
+    ActivityTracker tracker(2);
+    tracker.record(0, 0, 250);   // 1 us live
+    tracker.record(1, 0, 500);   // 2 us live
+    const double t1_us = 100.0;
+    const double expected = 1.0 - std::exp(-(1.0 + 2.0) / t1_us);
+    EXPECT_NEAR(decoherenceInfidelity(tracker, t1_us), expected, 1e-12);
+}
+
+TEST(Noise, UnusedQubitsDoNotDecohere)
+{
+    ActivityTracker tracker(5);
+    tracker.record(2, 0, 250);
+    const double inf_one = decoherenceInfidelity(tracker, 50.0);
+    ActivityTracker tracker2(1);
+    tracker2.record(0, 0, 250);
+    EXPECT_NEAR(inf_one, decoherenceInfidelity(tracker2, 50.0), 1e-12);
+}
+
+TEST(Noise, InfidelityScalesInverselyWithT1)
+{
+    ActivityTracker tracker(1);
+    tracker.record(0, 0, 2500); // 10 us live
+    const double i30 = decoherenceInfidelity(tracker, 30.0);
+    const double i300 = decoherenceInfidelity(tracker, 300.0);
+    EXPECT_GT(i30, i300);
+    // Exact closed form: (1 - e^{-1/3}) / (1 - e^{-1/30}).
+    const double expected = (1.0 - std::exp(-10.0 / 30.0)) /
+                            (1.0 - std::exp(-10.0 / 300.0));
+    EXPECT_NEAR(i30 / i300, expected, 1e-9);
+}
+
+TEST(Noise, LiveSpanGapsCount)
+{
+    // The live-window model charges idle gaps between first and last op.
+    ActivityTracker tracker(1);
+    tracker.record(0, 0, 5);
+    tracker.record(0, 1000, 5);
+    EXPECT_EQ(tracker.activity(0).liveSpan(), 1005u);
+    EXPECT_EQ(tracker.activity(0).busy, 10u);
+    EXPECT_EQ(tracker.totalLiveCycles(), 1005u);
+}
+
+} // namespace
+} // namespace dhisq::q

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * End-to-end property sweeps across the whole stack: for many seeds,
+ * spans and schemes, compiled executions must (a) terminate, (b) keep
+ * cycle-level gate coincidence, (c) stay violation-free, and (d) agree
+ * with reference state-vector semantics wherever the final state is
+ * branch-independent.
+ */
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "compiler/compiler.hpp"
+#include "quantum/state_vector.hpp"
+#include "runtime/machine.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/lrcnot.hpp"
+
+namespace dhisq {
+namespace {
+
+using compiler::Circuit;
+using compiler::CompilerConfig;
+using compiler::SyncScheme;
+using runtime::Machine;
+
+struct RunResult
+{
+    runtime::RunReport report;
+    q::StateVector state{1};
+    std::vector<q::QuantumDevice::MeasurementRecord> measurements;
+};
+
+RunResult
+run(const Circuit &circuit, SyncScheme scheme, std::uint64_t seed,
+    unsigned repetitions = 1)
+{
+    net::TopologyConfig topo_cfg;
+    topo_cfg.width = circuit.numQubits();
+    net::Topology topo = net::Topology::grid(topo_cfg);
+    CompilerConfig cc;
+    cc.scheme = scheme;
+    cc.repetitions = repetitions;
+    compiler::Compiler comp(topo, cc);
+    auto compiled = comp.compile(circuit);
+
+    auto mc = compiler::machineConfigFor(topo_cfg, cc,
+                                         circuit.numQubits(), true, seed);
+    mc.fabric.star_messages = (scheme == SyncScheme::kLockStep);
+    Machine machine(mc);
+    compiled.applyTo(machine);
+    RunResult out;
+    out.report = machine.run();
+    out.state = machine.device().state();
+    out.measurements = machine.device().measurements();
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Property: the long-range CNOT converges on every branch, for every span,
+// seed and scheme combination.
+// ---------------------------------------------------------------------------
+
+using LrParam = std::tuple<unsigned, std::uint64_t, SyncScheme>;
+
+class LrCnotEverywhere : public ::testing::TestWithParam<LrParam>
+{
+};
+
+TEST_P(LrCnotEverywhere, ConvergesToDirectCnot)
+{
+    const auto [span, seed, scheme] = GetParam();
+    const unsigned n = span + 1;
+    Circuit circuit(n, "sweep");
+    circuit.gate(q::Gate::kH, 0);
+    circuit.gate(q::Gate::kT, 0);
+    workloads::appendLongRangeCnotLine(circuit, 0, n - 1);
+
+    auto result = run(circuit, scheme, seed);
+    ASSERT_FALSE(result.report.deadlock);
+    ASSERT_EQ(result.report.coincidence_violations, 0u);
+    ASSERT_EQ(result.report.timing_violations, 0u);
+
+    q::StateVector ref(n);
+    ref.apply1q(q::Gate::kH, 0);
+    ref.apply1q(q::Gate::kT, 0);
+    ref.apply2q(q::Gate::kCNOT, 0, n - 1);
+    for (const auto &m : result.measurements) {
+        if (m.bit)
+            ref.apply1q(q::Gate::kX, m.qubit);
+    }
+    EXPECT_NEAR(result.state.fidelityWith(ref), 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LrCnotEverywhere,
+    ::testing::Combine(::testing::Values(2u, 3u, 5u, 8u),
+                       ::testing::Values(1ull, 2ull, 3ull),
+                       ::testing::Values(SyncScheme::kBisp,
+                                         SyncScheme::kDemand,
+                                         SyncScheme::kLockStep)),
+    [](const auto &info) {
+        return "span" + std::to_string(std::get<0>(info.param)) + "_seed" +
+               std::to_string(std::get<1>(info.param)) + "_" +
+               std::string(compiler::toString(std::get<2>(info.param)));
+    });
+
+// ---------------------------------------------------------------------------
+// Property: random dynamic circuits never deadlock, never break timing or
+// coincidence, under every scheme.
+// ---------------------------------------------------------------------------
+
+using RdParam = std::tuple<std::uint64_t, SyncScheme>;
+
+class RandomDynamicHealthy : public ::testing::TestWithParam<RdParam>
+{
+};
+
+TEST_P(RandomDynamicHealthy, RunsCleanly)
+{
+    const auto [seed, scheme] = GetParam();
+    workloads::RandomDynamicOptions opt;
+    opt.qubits = 10;
+    opt.layers = 10;
+    opt.feedback_fraction = 0.5;
+    opt.feedback_span = 4;
+    opt.seed = seed;
+    auto circuit = workloads::randomDynamic(opt);
+    Rng er(seed + 100);
+    auto dyn = workloads::expandNonAdjacentGates(circuit, 1.0, er);
+
+    auto result = run(dyn, scheme, seed);
+    EXPECT_FALSE(result.report.deadlock);
+    EXPECT_EQ(result.report.coincidence_violations, 0u);
+    EXPECT_EQ(result.report.timing_violations, 0u);
+    EXPECT_EQ(result.report.halted_cores,
+              net::Topology::grid({.width = dyn.numQubits()})
+                      .numControllers() > 0
+                  ? result.report.halted_cores
+                  : 0u);
+    EXPECT_NEAR(result.state.norm(), 1.0, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomDynamicHealthy,
+    ::testing::Combine(::testing::Values(1ull, 7ull, 13ull, 29ull),
+                       ::testing::Values(SyncScheme::kBisp,
+                                         SyncScheme::kDemand,
+                                         SyncScheme::kLockStep)),
+    [](const auto &info) {
+        return "seed" + std::to_string(std::get<0>(info.param)) + "_" +
+               std::string(compiler::toString(std::get<1>(info.param)));
+    });
+
+// ---------------------------------------------------------------------------
+// Property: repetitions preserve health and multiply sync counts.
+// ---------------------------------------------------------------------------
+
+class RepetitionSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(RepetitionSweep, RegionBarriersScaleWithReps)
+{
+    const unsigned reps = GetParam();
+    auto circuit = workloads::ghz(5);
+    auto result = run(circuit, SyncScheme::kBisp, 1, reps);
+    ASSERT_FALSE(result.report.deadlock);
+    EXPECT_EQ(result.report.timing_violations, 0u);
+    EXPECT_EQ(result.report.coincidence_violations, 0u);
+    // (reps - 1) barriers x 5 controllers region syncs.
+    EXPECT_EQ(result.report.syncs_completed, (reps - 1) * 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Reps, RepetitionSweep,
+                         ::testing::Values(1u, 2u, 4u, 6u),
+                         [](const auto &info) {
+                             return "reps" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Property: deterministic workloads give identical measurement outcomes
+// under every scheme (the adder's sum is input-determined).
+// ---------------------------------------------------------------------------
+
+TEST(SchemeEquivalence, AdderSumAgreesAcrossSchemes)
+{
+    workloads::AdderOptions opt;
+    for (std::uint64_t input_seed : {5ull, 9ull, 21ull}) {
+        opt.seed = input_seed;
+        const auto circuit = workloads::adder(8, opt);
+
+        std::vector<unsigned> sums;
+        for (auto scheme : {SyncScheme::kBisp, SyncScheme::kDemand,
+                            SyncScheme::kLockStep}) {
+            net::TopologyConfig topo_cfg;
+            topo_cfg.width = 2;
+            net::Topology topo = net::Topology::grid(topo_cfg);
+            CompilerConfig cc;
+            cc.scheme = scheme;
+            cc.qubits_per_controller = 4;
+            compiler::Compiler comp(topo, cc);
+            auto compiled = comp.compile(circuit);
+            auto mc = compiler::machineConfigFor(topo_cfg, cc, 8, true, 3);
+            mc.fabric.star_messages = (scheme == SyncScheme::kLockStep);
+            Machine machine(mc);
+            compiled.applyTo(machine);
+            auto report = machine.run();
+            ASSERT_FALSE(report.deadlock);
+
+            unsigned sum = 0;
+            for (const auto &m : machine.device().measurements()) {
+                if (m.qubit == 7)
+                    sum |= unsigned(m.bit) << 3;
+                else
+                    sum |= unsigned(m.bit) << ((m.qubit - 2) / 2);
+            }
+            sums.push_back(sum);
+        }
+        EXPECT_EQ(sums[0], sums[1]) << "seed " << input_seed;
+        EXPECT_EQ(sums[1], sums[2]) << "seed " << input_seed;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property: BISP beats or matches demand-driven, which beats lock-step,
+// across feedback densities (tolerating small branch-path noise).
+// ---------------------------------------------------------------------------
+
+TEST(SchemeOrdering, HoldsAcrossFeedbackDensities)
+{
+    for (double frac : {0.25, 0.5, 0.75}) {
+        workloads::RandomDynamicOptions opt;
+        opt.qubits = 8;
+        opt.layers = 10;
+        opt.feedback_fraction = frac;
+        opt.seed = 17;
+        auto circuit = workloads::randomDynamic(opt);
+        Rng er(2);
+        auto dyn = workloads::expandNonAdjacentGates(circuit, 1.0, er);
+
+        const auto bisp = run(dyn, SyncScheme::kBisp, 4);
+        const auto demand = run(dyn, SyncScheme::kDemand, 4);
+        const auto lockstep = run(dyn, SyncScheme::kLockStep, 4);
+        EXPECT_LE(bisp.report.makespan, demand.report.makespan + 10)
+            << "feedback " << frac;
+        EXPECT_LT(bisp.report.makespan, lockstep.report.makespan)
+            << "feedback " << frac;
+    }
+}
+
+} // namespace
+} // namespace dhisq

@@ -1,0 +1,315 @@
+/**
+ * @file
+ * ISA tests: encode/decode round trips (parameterized across the whole
+ * operation vocabulary), assembler syntax/diagnostics, disassembler
+ * round trips, and the paper's Figure-12 programs.
+ */
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "isa/assembler.hpp"
+#include "isa/disassembler.hpp"
+#include "isa/encoding.hpp"
+
+namespace dhisq::isa {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Encode/decode round trips.
+// ---------------------------------------------------------------------------
+
+struct RoundTripCase
+{
+    const char *label;
+    Instruction ins;
+};
+
+class EncodingRoundTrip : public ::testing::TestWithParam<RoundTripCase>
+{
+};
+
+TEST_P(EncodingRoundTrip, DecodeOfEncodeIsIdentity)
+{
+    const Instruction &ins = GetParam().ins;
+    const std::uint32_t word = encode(ins);
+    const Instruction back = decode(word);
+    EXPECT_EQ(back, ins) << GetParam().label << " word=0x" << std::hex
+                         << word;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, EncodingRoundTrip,
+    ::testing::Values(
+        RoundTripCase{"add", {Op::kAdd, 1, 2, 3, 0, 0}},
+        RoundTripCase{"sub", {Op::kSub, 31, 30, 29, 0, 0}},
+        RoundTripCase{"sll", {Op::kSll, 4, 5, 6, 0, 0}},
+        RoundTripCase{"slt", {Op::kSlt, 7, 8, 9, 0, 0}},
+        RoundTripCase{"sltu", {Op::kSltu, 10, 11, 12, 0, 0}},
+        RoundTripCase{"xor", {Op::kXor, 13, 14, 15, 0, 0}},
+        RoundTripCase{"srl", {Op::kSrl, 16, 17, 18, 0, 0}},
+        RoundTripCase{"sra", {Op::kSra, 19, 20, 21, 0, 0}},
+        RoundTripCase{"or", {Op::kOr, 22, 23, 24, 0, 0}},
+        RoundTripCase{"and", {Op::kAnd, 25, 26, 27, 0, 0}},
+        RoundTripCase{"addi", {Op::kAddi, 1, 2, 0, -2048, 0}},
+        RoundTripCase{"addi_max", {Op::kAddi, 1, 2, 0, 2047, 0}},
+        RoundTripCase{"slti", {Op::kSlti, 3, 4, 0, -7, 0}},
+        RoundTripCase{"sltiu", {Op::kSltiu, 5, 6, 0, 99, 0}},
+        RoundTripCase{"xori", {Op::kXori, 7, 8, 0, 0x55, 0}},
+        RoundTripCase{"ori", {Op::kOri, 9, 10, 0, 0xFF, 0}},
+        RoundTripCase{"andi", {Op::kAndi, 11, 12, 0, 0x0F, 0}},
+        RoundTripCase{"slli", {Op::kSlli, 13, 14, 0, 31, 0}},
+        RoundTripCase{"srli", {Op::kSrli, 15, 16, 0, 1, 0}},
+        RoundTripCase{"srai", {Op::kSrai, 17, 18, 0, 15, 0}},
+        RoundTripCase{"lui", {Op::kLui, 19, 0, 0, std::int32_t(0xABCDE000),
+                              0}},
+        RoundTripCase{"auipc", {Op::kAuipc, 20, 0, 0, 0x1000, 0}},
+        RoundTripCase{"lb", {Op::kLb, 1, 2, 0, -4, 0}},
+        RoundTripCase{"lh", {Op::kLh, 3, 4, 0, 8, 0}},
+        RoundTripCase{"lw", {Op::kLw, 5, 6, 0, 12, 0}},
+        RoundTripCase{"lbu", {Op::kLbu, 7, 8, 0, 16, 0}},
+        RoundTripCase{"lhu", {Op::kLhu, 9, 10, 0, 20, 0}},
+        RoundTripCase{"sb", {Op::kSb, 0, 2, 1, -8, 0}},
+        RoundTripCase{"sh", {Op::kSh, 0, 4, 3, 24, 0}},
+        RoundTripCase{"sw", {Op::kSw, 0, 6, 5, 28, 0}},
+        RoundTripCase{"jal", {Op::kJal, 1, 0, 0, -44, 0}},
+        RoundTripCase{"jalr", {Op::kJalr, 2, 3, 0, 4, 0}},
+        RoundTripCase{"beq", {Op::kBeq, 0, 1, 2, -28, 0}},
+        RoundTripCase{"bne", {Op::kBne, 0, 3, 4, 4094, 0}},
+        RoundTripCase{"blt", {Op::kBlt, 0, 5, 6, -4096, 0}},
+        RoundTripCase{"bge", {Op::kBge, 0, 7, 8, 100, 0}},
+        RoundTripCase{"bltu", {Op::kBltu, 0, 9, 10, 2, 0}},
+        RoundTripCase{"bgeu", {Op::kBgeu, 0, 11, 12, -2, 0}},
+        RoundTripCase{"cwii", {Op::kCwII, 0, 0, 0, 21, 2}},
+        RoundTripCase{"cwii_max", {Op::kCwII, 0, 0, 0, 2047, 1023}},
+        RoundTripCase{"cwir", {Op::kCwIR, 0, 0, 7, 3, 0}},
+        RoundTripCase{"cwri", {Op::kCwRI, 0, 8, 0, 0, 44}},
+        RoundTripCase{"cwrr", {Op::kCwRR, 0, 9, 10, 0, 0}},
+        RoundTripCase{"waiti", {Op::kWaitI, 0, 0, 0, 4095, 0}},
+        RoundTripCase{"waitr", {Op::kWaitR, 0, 11, 0, 0, 0}},
+        RoundTripCase{"sync_ctl", {Op::kSync, 0, 0, 0, 2, 0}},
+        RoundTripCase{"sync_rtr",
+                      {Op::kSync, 0, 0, 0, kSyncRouterFlag | 3, 16}},
+        RoundTripCase{"wtrig", {Op::kWtrig, 0, 0, 0, 0xFFE, 0}},
+        RoundTripCase{"send", {Op::kSend, 0, 0, 12, 4, 0}},
+        RoundTripCase{"recv_any", {Op::kRecv, 13, 0, 0, kRecvAnySource, 0}},
+        RoundTripCase{"recv_src", {Op::kRecv, 14, 0, 0, 2, 0}},
+        RoundTripCase{"halt", {Op::kHalt, 0, 0, 0, 0, 0}}),
+    [](const auto &info) { return std::string(info.param.label); });
+
+// ---------------------------------------------------------------------------
+// Assembler.
+// ---------------------------------------------------------------------------
+
+TEST(Assembler, AssemblesTheFigure12ControlBoardProgram)
+{
+    // Verbatim structure from the paper (bounded by labels, not raw
+    // offsets, to keep the test readable; raw offsets are tested below).
+    const char *src = R"(
+        outer:
+            addi $2, $0, 120
+            addi $1, $0, 0
+        inner:
+            waiti 1
+            cw.i.i 21, 2
+            addi $1, $1, 40
+            cw.i.i 20, 2
+            waitr $1
+            sync 2
+            waiti 8
+            cw.i.i 7, 1
+            waiti 50
+            bne $1, $2, inner
+            jal $0, outer
+    )";
+    auto result = assemble(src, "control");
+    ASSERT_TRUE(result.isOk()) << result.message();
+    const Program &p = result.value();
+    EXPECT_EQ(p.size(), 13u);
+    EXPECT_EQ(p.instructions[0].op, Op::kAddi);
+    EXPECT_EQ(p.instructions[7].op, Op::kSync);
+    EXPECT_EQ(p.instructions[7].imm, 2);
+    // bne $1,$2,inner: inner is instruction 2, bne is instruction 11.
+    EXPECT_EQ(p.instructions[11].imm, (2 - 11) * 4);
+    // jal $0,outer: outer is instruction 0, jal is instruction 12.
+    EXPECT_EQ(p.instructions[12].imm, (0 - 12) * 4);
+}
+
+TEST(Assembler, AcceptsRawByteOffsetsLikeThePaper)
+{
+    const char *src = R"(
+        waiti 2
+        sync 1
+        waiti 6
+        waiti 57
+        cw.i.i 5, 1
+        jal $0, -20
+    )";
+    auto result = assemble(src, "readout");
+    ASSERT_TRUE(result.isOk()) << result.message();
+    EXPECT_EQ(result.value().instructions[5].imm, -20);
+}
+
+TEST(Assembler, SupportsAbiAndDollarAndXRegisterNames)
+{
+    auto result = assemble("add a0, x1, $2\nhalt\n");
+    ASSERT_TRUE(result.isOk()) << result.message();
+    const auto &ins = result.value().instructions[0];
+    EXPECT_EQ(ins.rd, 10);
+    EXPECT_EQ(ins.rs1, 1);
+    EXPECT_EQ(ins.rs2, 2);
+}
+
+TEST(Assembler, PseudoInstructionsExpand)
+{
+    auto result = assemble(R"(
+        nop
+        mv $3, $4
+        li $5, 100
+        li $6, 70000
+        j end
+        end: halt
+    )");
+    ASSERT_TRUE(result.isOk()) << result.message();
+    const Program &p = result.value();
+    // nop, mv, li(small)=1, li(large)=2, j, halt = 7 instructions.
+    ASSERT_EQ(p.size(), 7u);
+    EXPECT_EQ(p.instructions[0].op, Op::kAddi);
+    EXPECT_EQ(p.instructions[3].op, Op::kLui);
+    EXPECT_EQ(p.instructions[4].op, Op::kAddi);
+    EXPECT_EQ(p.instructions[5].op, Op::kJal);
+    EXPECT_EQ(p.instructions[5].imm, 4);
+}
+
+TEST(Assembler, LiLargeValueReconstructs)
+{
+    auto result = assemble("li $7, 70000\nhalt\n");
+    ASSERT_TRUE(result.isOk());
+    const auto &lui = result.value().instructions[0];
+    const auto &addi = result.value().instructions[1];
+    const std::int32_t reconstructed = lui.imm + addi.imm;
+    EXPECT_EQ(reconstructed, 70000);
+}
+
+TEST(Assembler, SyncRouterTargetAndResidual)
+{
+    auto result = assemble("sync r3, 16\nsync 2\nhalt\n");
+    ASSERT_TRUE(result.isOk()) << result.message();
+    EXPECT_EQ(result.value().instructions[0].imm, kSyncRouterFlag | 3);
+    EXPECT_EQ(result.value().instructions[0].imm2, 16);
+    EXPECT_EQ(result.value().instructions[1].imm, 2);
+    EXPECT_EQ(result.value().instructions[1].imm2, 0);
+}
+
+TEST(Assembler, MemoryOperands)
+{
+    auto result = assemble("lw $1, 8($2)\nsw $3, -4($4)\nhalt\n");
+    ASSERT_TRUE(result.isOk()) << result.message();
+    EXPECT_EQ(result.value().instructions[0].imm, 8);
+    EXPECT_EQ(result.value().instructions[0].rs1, 2);
+    EXPECT_EQ(result.value().instructions[1].imm, -4);
+    EXPECT_EQ(result.value().instructions[1].rs2, 3);
+}
+
+struct BadSourceCase
+{
+    const char *label;
+    const char *src;
+    const char *expect_in_message;
+};
+
+class AssemblerDiagnostics : public ::testing::TestWithParam<BadSourceCase>
+{
+};
+
+TEST_P(AssemblerDiagnostics, RejectsWithUsefulMessage)
+{
+    auto result = assemble(GetParam().src);
+    ASSERT_FALSE(result.isOk()) << "should reject: " << GetParam().src;
+    EXPECT_NE(result.message().find(GetParam().expect_in_message),
+              std::string::npos)
+        << "actual message: " << result.message();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, AssemblerDiagnostics,
+    ::testing::Values(
+        BadSourceCase{"unknown_mnemonic", "frobnicate $1\n", "unknown"},
+        BadSourceCase{"bad_register", "add $1, $2, $99\n", "register"},
+        BadSourceCase{"missing_operand", "addi $1, $2\n", "operand count"},
+        BadSourceCase{"imm_range", "addi $1, $2, 5000\n", "out of range"},
+        BadSourceCase{"wait_range", "waiti 5000\n", "out of range"},
+        BadSourceCase{"cw_range", "cw.i.i 1, 2000\n", "out of range"},
+        BadSourceCase{"unknown_label", "jal $0, nowhere\n", "unknown label"},
+        BadSourceCase{"dup_label", "a: nop\na: nop\n", "duplicate"},
+        BadSourceCase{"bad_sync", "sync -1\n", "sync target"},
+        BadSourceCase{"shift_range", "slli $1, $2, 32\n", "out of range"}),
+    [](const auto &info) { return std::string(info.param.label); });
+
+// ---------------------------------------------------------------------------
+// Disassembler round trip: disassemble then reassemble every instruction.
+// ---------------------------------------------------------------------------
+
+TEST(Disassembler, ReassemblyRoundTrip)
+{
+    const char *src = R"(
+        addi $1, $0, 40
+        cw.i.i 21, 2
+        cw.i.r 3, $3
+        cw.r.i $4, 9
+        cw.r.r $5, $6
+        waiti 8
+        waitr $1
+        sync 2
+        sync r1, 12
+        wtrig 4094
+        send 3, $7
+        recv $8
+        recv $9, 2
+        lw $10, 4($11)
+        sw $12, -8($13)
+        jal $0, -44
+        halt
+    )";
+    const Program p = assembleOrDie(src);
+    // Disassemble each instruction and assemble the result again.
+    std::string round;
+    for (const auto &ins : p.instructions)
+        round += disassemble(ins) + "\n";
+    const Program p2 = assembleOrDie(round);
+    ASSERT_EQ(p2.size(), p.size());
+    for (std::size_t i = 0; i < p.size(); ++i)
+        EXPECT_EQ(p2.instructions[i], p.instructions[i])
+            << "instruction " << i << ": " << disassemble(p.instructions[i]);
+    EXPECT_EQ(p2.words, p.words);
+}
+
+TEST(Disassembler, ProgramListingHasPcPrefixes)
+{
+    const Program p = assembleOrDie("nop\nhalt\n");
+    const std::string text = disassemble(p);
+    EXPECT_NE(text.find("0:"), std::string::npos);
+    EXPECT_NE(text.find("4:"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz-ish property: random words never crash the decoder, and valid decodes
+// re-encode to the same word class.
+// ---------------------------------------------------------------------------
+
+TEST(Decoder, RandomWordsNeverCrash)
+{
+    Rng rng(2025);
+    int valid = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const auto word = std::uint32_t(rng.next());
+        const Instruction ins = decode(word);
+        if (ins.op != Op::kInvalid)
+            ++valid;
+    }
+    // Sanity: some random words decode, many do not.
+    EXPECT_GT(valid, 0);
+    EXPECT_LT(valid, 20000);
+}
+
+} // namespace
+} // namespace dhisq::isa

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Machine runtime tests: board bindings and trigger delays, measurement
+ * routing, deadlock detection, quiescence and run reports.
+ */
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "quantum/device.hpp"
+#include "runtime/machine.hpp"
+
+namespace dhisq::runtime {
+namespace {
+
+MachineConfig
+smallConfig(unsigned controllers = 2, unsigned qubits = 2)
+{
+    MachineConfig cfg;
+    cfg.topology.width = controllers;
+    cfg.device.num_qubits = qubits;
+    cfg.ports_per_controller = 2;
+    return cfg;
+}
+
+TEST(Machine, BoardBindingTriggersDeviceAction)
+{
+    Machine m(smallConfig(1, 1));
+    m.bind(0, 0, 5, q::Action::gate1q(q::Gate::kX, 0));
+    m.loadProgram(0, isa::assembleOrDie(R"(
+        waiti 8
+        cw.i.i 0, 5
+        halt
+    )"));
+    const auto report = m.run();
+    EXPECT_FALSE(report.deadlock);
+    EXPECT_NEAR(m.device().state().probabilityOfOne(0), 1.0, 1e-12);
+    EXPECT_EQ(m.device().stats().counter("gates_1q"), 1u);
+}
+
+TEST(Machine, UnboundCodewordIsAMarker)
+{
+    Machine m(smallConfig(1, 1));
+    m.loadProgram(0, isa::assembleOrDie(R"(
+        waiti 8
+        cw.i.i 0, 999
+        halt
+    )"));
+    const auto report = m.run();
+    EXPECT_FALSE(report.deadlock);
+    EXPECT_EQ(m.board(0).stats().counter("unbound_codewords"), 1u);
+    EXPECT_NEAR(m.device().state().probability(0), 1.0, 1e-12);
+}
+
+TEST(Machine, TriggerDelayShiftsCommitCycle)
+{
+    Machine m(smallConfig(1, 1));
+    m.board(0).setTriggerDelay(0, 57);
+    m.loadProgram(0, isa::assembleOrDie(R"(
+        waiti 100
+        cw.i.i 0, 1
+        halt
+    )"));
+    m.run();
+    const auto commits = m.telf().ofKind(TelfKind::CodewordCommit, "B0");
+    ASSERT_EQ(commits.size(), 1u);
+    EXPECT_EQ(commits[0].cycle, 157u);
+}
+
+TEST(Machine, MeasResultRoutedToConfiguredController)
+{
+    // Qubit 0 measured by controller 0 but its result routed to
+    // controller 1 (a readout-board arrangement).
+    Machine m(smallConfig(2, 2));
+    m.bind(0, 0, 1, q::Action::measure(0));
+    m.routeMeasResult(0, 1);
+    m.loadProgram(0, isa::assembleOrDie(R"(
+        waiti 8
+        cw.i.i 0, 1
+        halt
+    )"));
+    m.loadProgram(1, isa::assembleOrDie(R"(
+        recv $5, 4094
+        halt
+    )"));
+    const auto report = m.run();
+    EXPECT_FALSE(report.deadlock);
+    EXPECT_EQ(report.halted_cores, 2u);
+    // Payload packs (qubit << 1) | bit; qubit 0 in |0> measures 0.
+    EXPECT_EQ(m.core(1).reg(5), 0u);
+}
+
+TEST(Machine, DeadlockReportedWhenRecvNeverSatisfied)
+{
+    Machine m(smallConfig(1, 1));
+    m.loadProgram(0, isa::assembleOrDie("recv $1, 9\nhalt\n"));
+    const auto report = m.run();
+    EXPECT_TRUE(report.deadlock);
+    EXPECT_EQ(report.halted_cores, 0u);
+}
+
+TEST(Machine, OnlyLoadedControllersParticipate)
+{
+    Machine m(smallConfig(3, 3));
+    m.loadProgram(1, isa::assembleOrDie("waiti 8\nhalt\n"));
+    const auto report = m.run();
+    EXPECT_FALSE(report.deadlock);
+    EXPECT_EQ(report.halted_cores, 1u);
+}
+
+TEST(Machine, SendBetweenControllersUsesTopologyLatency)
+{
+    auto cfg = smallConfig(2, 2);
+    cfg.topology.neighbor_latency = 5;
+    Machine m(cfg);
+    m.loadProgram(0, isa::assembleOrDie(R"(
+        li $1, 42
+        send 1, $1
+        halt
+    )"));
+    m.loadProgram(1, isa::assembleOrDie(R"(
+        recv $2, 0
+        halt
+    )"));
+    const auto report = m.run();
+    EXPECT_FALSE(report.deadlock);
+    EXPECT_EQ(m.core(1).reg(2), 42u);
+    // send executes at cycle 1 (after li), +5 link, recv completes then.
+    EXPECT_GE(m.core(1).haltCycle(), 6u);
+}
+
+TEST(Machine, ReportAggregatesPerCoreCounters)
+{
+    Machine m(smallConfig(2, 2));
+    m.loadProgram(0, isa::assembleOrDie(R"(
+        waiti 10
+        sync 1
+        waiti 8
+        cw.i.i 0, 9
+        halt
+    )"));
+    m.loadProgram(1, isa::assembleOrDie(R"(
+        waiti 30
+        sync 0
+        waiti 8
+        cw.i.i 0, 9
+        halt
+    )"));
+    const auto report = m.run();
+    EXPECT_EQ(report.syncs_completed, 2u);
+    EXPECT_GT(report.pause_cycles, 0u); // C0 waits for C1's booking
+    EXPECT_EQ(report.timing_violations, 0u);
+    EXPECT_GT(report.events_executed, 0u);
+    EXPECT_NE(report.summary().find("syncs=2"), std::string::npos);
+}
+
+TEST(Machine, MakespanCoversLastCommit)
+{
+    Machine m(smallConfig(1, 1));
+    m.loadProgram(0, isa::assembleOrDie(R"(
+        waiti 4000
+        cw.i.i 0, 1
+        halt
+    )"));
+    const auto report = m.run();
+    EXPECT_GE(report.makespan, 4000u);
+}
+
+TEST(Machine, RunLimitStopsEarly)
+{
+    Machine m(smallConfig(1, 1));
+    m.loadProgram(0, isa::assembleOrDie(R"(
+        waiti 4000
+        cw.i.i 0, 1
+        halt
+    )"));
+    const auto report = m.run(/*limit=*/100);
+    EXPECT_LE(report.makespan, 100u);
+}
+
+} // namespace
+} // namespace dhisq::runtime

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Analog/qubit physics and fitting tests: the calibration experiments of
+ * Figure 11 must recover the configured physical parameters.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quantum/fitting.hpp"
+#include "quantum/physics.hpp"
+
+namespace dhisq::q {
+namespace {
+
+TEST(Physics, SpectroscopyPeaksAtQubitFrequency)
+{
+    PhysicsConfig cfg;
+    cfg.f01_ghz = 4.62;
+    QubitPhysics qp(cfg);
+
+    std::vector<double> freqs, pops;
+    for (double f = 4.5; f <= 4.75; f += 0.001) {
+        freqs.push_back(f);
+        pops.push_back(qp.drivenPopulation(f, 0.5, M_PI / (50.0 * 0.5)));
+    }
+    const double peak = fitPeak(freqs, pops);
+    EXPECT_NEAR(peak, 4.62, 0.002);
+}
+
+TEST(Physics, RabiOscillationPeriodMatchesRate)
+{
+    PhysicsConfig cfg;
+    QubitPhysics qp(cfg);
+    // On resonance: P(e) = sin^2(k A t / 2) = 0.5(1 - cos(k t A)).
+    const double t_us = 0.05;
+    std::vector<double> amps, pops;
+    for (double a = 0.0; a <= 4.0; a += 0.02) {
+        amps.push_back(a);
+        pops.push_back(qp.drivenPopulation(cfg.f01_ghz, a, t_us));
+    }
+    const auto fit = fitRabi(amps, pops, 0.5, 10.0);
+    EXPECT_NEAR(fit.omega, cfg.rabi_rate_per_amp * t_us, 0.05);
+    EXPECT_LT(fit.rms_error, 1e-6);
+}
+
+TEST(Physics, T1DecayRecoversConfiguredRelaxation)
+{
+    PhysicsConfig cfg;
+    cfg.t1_us = 9.9;
+    QubitPhysics qp(cfg);
+    std::vector<double> delays, pops;
+    for (double d = 0.0; d <= 40.0; d += 0.5) {
+        delays.push_back(d);
+        pops.push_back(qp.decayedPopulation(1.0, d));
+    }
+    const auto fit = fitExponentialDecay(delays, pops);
+    EXPECT_NEAR(fit.tau, 9.9, 0.01);
+    EXPECT_NEAR(fit.amplitude, 1.0, 1e-9);
+}
+
+TEST(Physics, ReadoutCircleHasExpectedRadiusAndWobble)
+{
+    PhysicsConfig cfg;
+    cfg.readout_radius = 1000.0;
+    cfg.interference = 0.06;
+    QubitPhysics qp(cfg);
+
+    double min_r = 1e18, max_r = 0.0;
+    for (int i = 0; i < 360; ++i) {
+        const double phi = 2.0 * M_PI * i / 360.0;
+        const IQPoint p = qp.readoutIQ(phi);
+        const double r = std::hypot(p.i, p.q);
+        min_r = std::min(min_r, r);
+        max_r = std::max(max_r, r);
+    }
+    // Circle of radius ~1000 with +-6% neighbour-interference deviation —
+    // the shape of Figure 11(a).
+    EXPECT_NEAR(max_r, 1060.0, 1.0);
+    EXPECT_NEAR(min_r, 940.0, 1.0);
+}
+
+TEST(Physics, DetunedDriveHasReducedContrast)
+{
+    PhysicsConfig cfg;
+    QubitPhysics qp(cfg);
+    const double on = qp.drivenPopulation(cfg.f01_ghz, 1.0, 0.0314);
+    const double off = qp.drivenPopulation(cfg.f01_ghz + 0.05, 1.0, 0.0314);
+    EXPECT_GT(on, 10.0 * off);
+}
+
+TEST(Physics, DiscriminationIsSeededAndFollowsPopulation)
+{
+    PhysicsConfig cfg;
+    QubitPhysics qp(cfg, 99);
+    int ones = 0;
+    for (int i = 0; i < 2000; ++i)
+        ones += qp.discriminate(0.8);
+    EXPECT_NEAR(ones / 2000.0, 0.8, 0.04);
+    EXPECT_EQ(qp.discriminate(0.0), 0);
+    EXPECT_EQ(qp.discriminate(1.0), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Fitting toolbox edge cases.
+// ---------------------------------------------------------------------------
+
+TEST(Fitting, PeakInteriorRefinement)
+{
+    // Parabola peaking at x = 1.3 sampled on a coarse grid.
+    std::vector<double> x, y;
+    for (double v = 0.0; v <= 3.0; v += 0.25) {
+        x.push_back(v);
+        y.push_back(10.0 - (v - 1.3) * (v - 1.3));
+    }
+    EXPECT_NEAR(fitPeak(x, y), 1.3, 1e-9);
+}
+
+TEST(Fitting, PeakAtBoundaryReturnsBoundary)
+{
+    std::vector<double> x{0, 1, 2}, y{5, 3, 1};
+    EXPECT_DOUBLE_EQ(fitPeak(x, y), 0.0);
+}
+
+TEST(Fitting, ExponentialFitIgnoresNonPositiveSamples)
+{
+    std::vector<double> x{0, 1, 2, 3, 100};
+    std::vector<double> y{1.0, std::exp(-0.5), std::exp(-1.0),
+                          std::exp(-1.5), 0.0};
+    const auto fit = fitExponentialDecay(x, y);
+    EXPECT_NEAR(fit.tau, 2.0, 1e-6);
+}
+
+TEST(Fitting, RmsErrorZeroForExactModel)
+{
+    std::vector<double> y{1, 2, 3};
+    EXPECT_DOUBLE_EQ(rmsError(y, y), 0.0);
+}
+
+} // namespace
+} // namespace dhisq::q

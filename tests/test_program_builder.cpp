@@ -1,0 +1,155 @@
+/**
+ * @file
+ * ProgramBuilder tests: emission helpers, label fixups, large-value
+ * handling (li, waiti splitting) and equivalence with assembler output.
+ */
+#include <gtest/gtest.h>
+
+#include "compiler/program_builder.hpp"
+#include "isa/assembler.hpp"
+#include "isa/disassembler.hpp"
+#include "isa/encoding.hpp"
+
+namespace dhisq::compiler {
+namespace {
+
+TEST(ProgramBuilder, EmitsEncodedWords)
+{
+    ProgramBuilder b("t");
+    b.addi(1, 0, 40);
+    b.cwii(3, 7);
+    b.halt();
+    auto p = b.finish();
+    ASSERT_EQ(p.size(), 3u);
+    EXPECT_EQ(p.words.size(), 3u);
+    for (std::size_t i = 0; i < p.size(); ++i)
+        EXPECT_EQ(isa::decode(p.words[i]), p.instructions[i]);
+}
+
+TEST(ProgramBuilder, LabelsResolveForwardAndBackward)
+{
+    ProgramBuilder b("t");
+    Label top = b.newLabel();
+    Label end = b.newLabel();
+    b.bind(top);               // index 0
+    b.addi(1, 1, 1);           // 0
+    b.beq(1, 2, end);          // 1 -> forward to 3
+    b.jal(top);                // 2 -> backward to 0
+    b.bind(end);
+    b.halt();                  // 3
+    auto p = b.finish();
+    EXPECT_EQ(p.instructions[1].imm, (3 - 1) * 4);
+    EXPECT_EQ(p.instructions[2].imm, (0 - 2) * 4);
+}
+
+TEST(ProgramBuilder, WaitiSplitsLargeDurations)
+{
+    ProgramBuilder b("t");
+    b.waiti(10000); // > 4095: must split
+    b.halt();
+    auto p = b.finish();
+    Cycle total = 0;
+    for (const auto &ins : p.instructions) {
+        if (ins.op == isa::Op::kWaitI)
+            total += Cycle(ins.imm);
+    }
+    EXPECT_EQ(total, 10000u);
+    EXPECT_GE(p.size(), 4u); // 3 waits + halt
+}
+
+TEST(ProgramBuilder, WaitiZeroEmitsNothing)
+{
+    ProgramBuilder b("t");
+    b.waiti(0);
+    b.halt();
+    EXPECT_EQ(b.size(), 0u + 1u);
+}
+
+TEST(ProgramBuilder, LiHandlesFullRange)
+{
+    for (std::int32_t v : {0, 1, -1, 2047, -2048, 2048, 70000, -70000,
+                           std::int32_t(0x7FFFFFFF),
+                           std::int32_t(0x80000000)}) {
+        ProgramBuilder b("t");
+        b.li(5, v);
+        b.halt();
+        auto p = b.finish();
+        // Reconstruct the value the core would compute.
+        std::int32_t got = 0;
+        for (const auto &ins : p.instructions) {
+            if (ins.op == isa::Op::kLui)
+                got = ins.imm;
+            else if (ins.op == isa::Op::kAddi && ins.rd == 5)
+                got += ins.imm;
+        }
+        EXPECT_EQ(got, v) << "li " << v;
+    }
+}
+
+TEST(ProgramBuilder, SyncHelpersEncodeTargets)
+{
+    ProgramBuilder b("t");
+    b.syncController(7);
+    b.syncRouter(3, 40);
+    b.wtrig(0xFFE);
+    b.halt();
+    auto p = b.finish();
+    EXPECT_EQ(p.instructions[0].op, isa::Op::kSync);
+    EXPECT_EQ(p.instructions[0].imm, 7);
+    EXPECT_EQ(p.instructions[1].imm, 3 | isa::kSyncRouterFlag);
+    EXPECT_EQ(p.instructions[1].imm2, 40);
+    EXPECT_EQ(p.instructions[2].op, isa::Op::kWtrig);
+}
+
+TEST(ProgramBuilder, MatchesAssemblerForEquivalentSource)
+{
+    ProgramBuilder b("t");
+    Label skip = b.newLabel();
+    b.waiti(8);
+    b.cwii(0, 1);
+    b.recv(5, 2);
+    b.andi(5, 5, 1);
+    b.sw(5, 0, 16);
+    b.lw(6, 0, 16);
+    b.beq(6, 0, skip);
+    b.cwii(0, 2);
+    b.bind(skip);
+    b.send(3, 5);
+    b.halt();
+    auto built = b.finish();
+
+    auto assembled = isa::assembleOrDie(R"(
+        waiti 8
+        cw.i.i 0, 1
+        recv $5, 2
+        andi $5, $5, 1
+        sw $5, 16($0)
+        lw $6, 16($0)
+        beq $6, $0, skip
+        cw.i.i 0, 2
+    skip:
+        send 3, $5
+        halt
+    )");
+    ASSERT_EQ(built.size(), assembled.size());
+    EXPECT_EQ(built.words, assembled.words);
+}
+
+TEST(ProgramBuilder, DisassemblesToReassemblableText)
+{
+    ProgramBuilder b("t");
+    b.li(7, 123456);
+    b.xorReg(8, 7, 7);
+    b.waiti(5000);
+    b.syncController(1);
+    b.halt();
+    auto p = b.finish();
+    std::string text;
+    for (const auto &ins : p.instructions)
+        text += isa::disassemble(ins) + "\n";
+    auto round = isa::assembleOrDie(text);
+    EXPECT_EQ(round.words, p.words);
+}
+
+} // namespace
+} // namespace dhisq::compiler

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * FPGA resource model tests: the calibrated linear model must reproduce
+ * Table 1 exactly and extrapolate sensibly.
+ */
+#include <gtest/gtest.h>
+
+#include "hwmodel/resources.hpp"
+
+namespace dhisq::hw {
+namespace {
+
+TEST(Resources, Table1ControlBoardExact)
+{
+    ResourceModel model;
+    const auto r = model.board(kControlBoardQueues);
+    EXPECT_EQ(r.luts, 4155u);
+    EXPECT_EQ(r.ffs, 6392u);
+    EXPECT_DOUBLE_EQ(r.bram_blocks, 75.0);
+}
+
+TEST(Resources, Table1ReadoutBoardExact)
+{
+    ResourceModel model;
+    const auto r = model.board(kReadoutBoardQueues);
+    EXPECT_EQ(r.luts, 2435u);
+    EXPECT_EQ(r.ffs, 3192u);
+    EXPECT_DOUBLE_EQ(r.bram_blocks, 45.0);
+}
+
+TEST(Resources, Table1EventQueueExact)
+{
+    ResourceModel model;
+    EXPECT_EQ(model.event_queue.luts, 86u);
+    EXPECT_EQ(model.event_queue.ffs, 160u);
+    EXPECT_DOUBLE_EQ(model.event_queue.bram_blocks, 1.5);
+}
+
+TEST(Resources, BramMegabitsMatchPaperText)
+{
+    // Paper: control board ~2.46 Mb? 75 blocks x 32 Kb = 2.34 Mb;
+    // readout: 45 x 32 Kb = 1.41 Mb (~1.47 in text; rounding differences).
+    ResourceModel model;
+    EXPECT_NEAR(model.board(kControlBoardQueues).bramMegabits(), 2.34,
+                0.01);
+    EXPECT_NEAR(model.board(kReadoutBoardQueues).bramMegabits(), 1.41,
+                0.01);
+}
+
+TEST(Resources, SyncUnitIsTiny)
+{
+    // Section 4.1: the SyncU costs 13 LUTs — negligible vs the board.
+    ResourceModel model;
+    EXPECT_EQ(model.sync_unit.luts, 13u);
+    EXPECT_LT(double(model.sync_unit.luts),
+              0.01 * double(model.board(kControlBoardQueues).luts));
+}
+
+TEST(Resources, MultiCoreBoardReplicatesBaseOnly)
+{
+    ResourceModel model;
+    const auto single = model.board(28, 1);
+    const auto quad = model.board(28, 4);
+    EXPECT_EQ(quad.luts - single.luts, 3u * model.core_base.luts);
+    EXPECT_EQ(quad.ffs - single.ffs, 3u * model.core_base.ffs);
+}
+
+TEST(Resources, QueueDepthScalesBramOnly)
+{
+    ResourceModel model;
+    const auto deep = model.eventQueueWithDepth(2048);
+    EXPECT_EQ(deep.luts, model.event_queue.luts);
+    EXPECT_DOUBLE_EQ(deep.bram_blocks, 3.0);
+}
+
+TEST(Resources, RenderedTableContainsAllRows)
+{
+    ResourceModel model;
+    const auto text = renderTable1(model);
+    EXPECT_NE(text.find("4155"), std::string::npos);
+    EXPECT_NE(text.find("2435"), std::string::npos);
+    EXPECT_NE(text.find("86"), std::string::npos);
+    EXPECT_NE(text.find("6392"), std::string::npos);
+}
+
+} // namespace
+} // namespace dhisq::hw

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * SyncRouter unit tests (Figure 8's algorithm in isolation): buffering
+ * until all children report, max aggregation, upward forwarding,
+ * downward broadcast, policy variants and round pipelining.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/router.hpp"
+#include "net/topology.hpp"
+#include "sim/scheduler.hpp"
+
+namespace dhisq::net {
+namespace {
+
+/** Harness around one router of a 16-controller arity-4 tree. */
+class RouterHarness
+{
+  public:
+    explicit RouterHarness(RouterId id,
+                           RouterPolicy policy = RouterPolicy::Robust)
+        : topo(Topology::grid(config())),
+          router(topo.router(id), topo, sched, nullptr, policy)
+    {
+        router.setNotifyControllerFn(
+            [this](ControllerId child, Cycle t) {
+                notified.emplace_back(child, t);
+            });
+        router.setForwardUpFn(
+            [this](RouterId parent, RouterId target, Cycle t) {
+                forwarded.emplace_back(parent, target, t);
+            });
+        router.setBroadcastDownFn([this](RouterId child, Cycle t) {
+            broadcast_down.emplace_back(child, t);
+        });
+    }
+
+    static TopologyConfig
+    config()
+    {
+        TopologyConfig cfg;
+        cfg.width = 16;
+        cfg.height = 1;
+        cfg.tree_arity = 4;
+        cfg.hop_latency = 4;
+        return cfg;
+    }
+
+    sim::Scheduler sched;
+    Topology topo;
+    SyncRouter router;
+    std::vector<std::pair<ControllerId, Cycle>> notified;
+    std::vector<std::tuple<RouterId, RouterId, Cycle>> forwarded;
+    std::vector<std::pair<RouterId, Cycle>> broadcast_down;
+};
+
+TEST(SyncRouter, WaitsForAllChildrenBeforeActing)
+{
+    RouterHarness h(0); // leaf router parenting controllers 0..3
+    h.router.onControllerRequest(0, 0, 100);
+    h.router.onControllerRequest(1, 0, 120);
+    h.router.onControllerRequest(2, 0, 90);
+    EXPECT_TRUE(h.notified.empty()) << "must wait for the fourth child";
+    h.router.onControllerRequest(3, 0, 110);
+    ASSERT_EQ(h.notified.size(), 4u);
+}
+
+TEST(SyncRouter, BroadcastsTheMaximumWhenItIsTheDestination)
+{
+    RouterHarness h(0);
+    for (ControllerId c = 0; c < 4; ++c)
+        h.router.onControllerRequest(c, 0, 100 + 10 * c);
+    ASSERT_EQ(h.notified.size(), 4u);
+    for (const auto &[child, t] : h.notified)
+        EXPECT_EQ(t, 130u) << "child " << child;
+}
+
+TEST(SyncRouter, ForwardsMaxUpwardWhenDestinationIsAncestor)
+{
+    RouterHarness h(0);
+    for (ControllerId c = 0; c < 4; ++c)
+        h.router.onControllerRequest(c, /*target=*/4, 100 + 10 * c);
+    EXPECT_TRUE(h.notified.empty());
+    ASSERT_EQ(h.forwarded.size(), 1u);
+    const auto &[parent, target, t] = h.forwarded[0];
+    EXPECT_EQ(parent, 4u); // root of the 16-controller tree
+    EXPECT_EQ(target, 4u);
+    EXPECT_EQ(t, 130u);
+}
+
+TEST(SyncRouter, RootAggregatesChildRoutersAndBroadcastsDown)
+{
+    RouterHarness h(4); // the root: children are routers 0..3
+    h.router.onRouterRequest(0, 4, 210);
+    h.router.onRouterRequest(1, 4, 250);
+    h.router.onRouterRequest(2, 4, 230);
+    EXPECT_TRUE(h.broadcast_down.empty());
+    h.router.onRouterRequest(3, 4, 220);
+    ASSERT_EQ(h.broadcast_down.size(), 4u);
+    for (const auto &[child, t] : h.broadcast_down)
+        EXPECT_GE(t, 250u);
+}
+
+TEST(SyncRouter, RobustPolicyAddsWorstArrivalMargin)
+{
+    RouterHarness h(0, RouterPolicy::Robust);
+    // All T_i in the past relative to the decision time: the robust
+    // notification floors at now + worst downstream latency.
+    h.sched.schedule(1000, [&] {
+        for (ControllerId c = 0; c < 4; ++c)
+            h.router.onControllerRequest(c, 0, 50);
+    });
+    h.sched.run();
+    ASSERT_EQ(h.notified.size(), 4u);
+    EXPECT_EQ(h.notified[0].second, 1000u + 4u); // now + hop to leaf
+    EXPECT_GT(h.router.stats().counter("robust_margin_cycles"), 0u);
+}
+
+TEST(SyncRouter, PaperPolicyBroadcastsRawMaximum)
+{
+    RouterHarness h(0, RouterPolicy::Paper);
+    h.sched.schedule(1000, [&] {
+        for (ControllerId c = 0; c < 4; ++c)
+            h.router.onControllerRequest(c, 0, 50);
+    });
+    h.sched.run();
+    ASSERT_EQ(h.notified.size(), 4u);
+    EXPECT_EQ(h.notified[0].second, 50u) << "paper policy: T_m as-is";
+}
+
+TEST(SyncRouter, ParentNotifyRebroadcastsToChildren)
+{
+    RouterHarness h(0);
+    h.router.onParentNotify(777);
+    ASSERT_EQ(h.notified.size(), 4u);
+    for (const auto &[child, t] : h.notified)
+        EXPECT_EQ(t, 777u);
+}
+
+TEST(SyncRouter, PipelinedRoundsStayFifoPerChild)
+{
+    // A fast child may deliver its round-k+1 request before a slow child
+    // delivered round k; per-child FIFOs must keep rounds separate.
+    RouterHarness h(0);
+    h.router.onControllerRequest(0, 0, 100); // round 1
+    h.router.onControllerRequest(0, 0, 500); // round 2 (early)
+    h.router.onControllerRequest(1, 0, 110);
+    h.router.onControllerRequest(2, 0, 120);
+    h.router.onControllerRequest(3, 0, 130);
+    // Round 1 completes with max 130 (NOT 500).
+    ASSERT_EQ(h.notified.size(), 4u);
+    EXPECT_EQ(h.notified[0].second, 130u);
+    h.notified.clear();
+
+    h.router.onControllerRequest(1, 0, 510);
+    h.router.onControllerRequest(2, 0, 520);
+    h.router.onControllerRequest(3, 0, 530);
+    ASSERT_EQ(h.notified.size(), 4u);
+    EXPECT_EQ(h.notified[0].second, 530u);
+}
+
+TEST(SyncRouter, StatsTrackRounds)
+{
+    RouterHarness h(0);
+    for (int round = 0; round < 3; ++round) {
+        for (ControllerId c = 0; c < 4; ++c)
+            h.router.onControllerRequest(c, 0, 100 * (round + 1));
+    }
+    EXPECT_EQ(h.router.stats().counter("rounds_completed"), 3u);
+    EXPECT_EQ(h.router.stats().counter("controller_requests"), 12u);
+    EXPECT_EQ(h.router.stats().counter("broadcasts"), 3u);
+}
+
+} // namespace
+} // namespace dhisq::net

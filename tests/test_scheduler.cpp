@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel: ordering, determinism,
+ * cancellation, run limits.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace dhisq::sim {
+namespace {
+
+TEST(Scheduler, FiresInTimeOrder)
+{
+    Scheduler s;
+    std::vector<int> order;
+    s.schedule(30, [&] { order.push_back(3); });
+    s.schedule(10, [&] { order.push_back(1); });
+    s.schedule(20, [&] { order.push_back(2); });
+    s.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(s.now(), 30u);
+}
+
+TEST(Scheduler, SameCycleFiresInScheduleOrder)
+{
+    Scheduler s;
+    std::vector<int> order;
+    s.schedule(5, [&] { order.push_back(1); });
+    s.schedule(5, [&] { order.push_back(2); });
+    s.schedule(5, [&] { order.push_back(3); });
+    s.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, EventsMayScheduleMoreEvents)
+{
+    Scheduler s;
+    int fired = 0;
+    s.schedule(1, [&] {
+        ++fired;
+        s.scheduleIn(4, [&] { ++fired; });
+    });
+    s.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(s.now(), 5u);
+}
+
+TEST(Scheduler, CancelPreventsExecution)
+{
+    Scheduler s;
+    int fired = 0;
+    const EventId id = s.schedule(10, [&] { ++fired; });
+    s.schedule(5, [&] { s.cancel(id); });
+    s.run();
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(Scheduler, CancelAfterFireIsHarmless)
+{
+    Scheduler s;
+    int fired = 0;
+    const EventId id = s.schedule(1, [&] { ++fired; });
+    s.run();
+    s.cancel(id); // no-op
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(Scheduler, RunWithLimitStopsBeforeLaterEvents)
+{
+    Scheduler s;
+    int fired = 0;
+    s.schedule(10, [&] { ++fired; });
+    s.schedule(100, [&] { ++fired; });
+    s.run(50);
+    EXPECT_EQ(fired, 1);
+    // Remaining event still runs afterwards.
+    s.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(s.now(), 100u);
+}
+
+TEST(Scheduler, ExecutedCountsOnlyRealEvents)
+{
+    Scheduler s;
+    const EventId id = s.schedule(2, [] {});
+    s.schedule(3, [] {});
+    s.cancel(id);
+    s.run();
+    EXPECT_EQ(s.executed(), 1u);
+}
+
+TEST(Scheduler, SameCycleScheduledFromEventRunsThisCycle)
+{
+    Scheduler s;
+    std::vector<int> order;
+    s.schedule(7, [&] {
+        order.push_back(1);
+        s.scheduleIn(0, [&] { order.push_back(2); });
+    });
+    s.schedule(7, [&] { order.push_back(3); });
+    s.run();
+    // The zero-delay event lands after already-queued same-cycle events.
+    EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+    EXPECT_EQ(s.now(), 7u);
+}
+
+TEST(Scheduler, ResetDropsPendingEvents)
+{
+    Scheduler s;
+    int fired = 0;
+    s.schedule(10, [&] { ++fired; });
+    s.reset();
+    s.run();
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(s.now(), 0u);
+}
+
+} // namespace
+} // namespace dhisq::sim

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * State-vector simulator tests: gate algebra identities, measurement
+ * collapse, postselection, entanglement, norm preservation.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "quantum/state_vector.hpp"
+
+namespace dhisq::q {
+namespace {
+
+constexpr double kTol = 1e-10;
+
+TEST(StateVector, StartsInAllZero)
+{
+    StateVector sv(3);
+    EXPECT_NEAR(sv.probability(0), 1.0, kTol);
+    EXPECT_NEAR(sv.norm(), 1.0, kTol);
+}
+
+TEST(StateVector, XFlipsAQubit)
+{
+    StateVector sv(2);
+    sv.apply1q(Gate::kX, 1);
+    EXPECT_NEAR(sv.probability(0b10), 1.0, kTol);
+    EXPECT_NEAR(sv.probabilityOfOne(1), 1.0, kTol);
+    EXPECT_NEAR(sv.probabilityOfOne(0), 0.0, kTol);
+}
+
+TEST(StateVector, HadamardSquaredIsIdentity)
+{
+    StateVector sv(1);
+    sv.apply1q(Gate::kH, 0);
+    EXPECT_NEAR(sv.probabilityOfOne(0), 0.5, kTol);
+    sv.apply1q(Gate::kH, 0);
+    EXPECT_NEAR(sv.probability(0), 1.0, kTol);
+}
+
+TEST(StateVector, BellStateViaHAndCnot)
+{
+    StateVector sv(2);
+    sv.apply1q(Gate::kH, 0);
+    sv.apply2q(Gate::kCNOT, 0, 1); // control = q0, target = q1
+    EXPECT_NEAR(sv.probability(0b00), 0.5, kTol);
+    EXPECT_NEAR(sv.probability(0b11), 0.5, kTol);
+    EXPECT_NEAR(sv.probability(0b01), 0.0, kTol);
+    EXPECT_NEAR(sv.probability(0b10), 0.0, kTol);
+}
+
+TEST(StateVector, CnotEqualsHczH)
+{
+    // CNOT(c=0, t=1) == H(1) CZ H(1).
+    StateVector a(2), b(2);
+    a.apply1q(Gate::kH, 0); // some non-trivial input
+    b.apply1q(Gate::kH, 0);
+    a.apply1q(Gate::kT, 0);
+    b.apply1q(Gate::kT, 0);
+
+    a.apply2q(Gate::kCNOT, 0, 1);
+
+    b.apply1q(Gate::kH, 1);
+    b.apply2q(Gate::kCZ, 0, 1);
+    b.apply1q(Gate::kH, 1);
+
+    EXPECT_NEAR(a.fidelityWith(b), 1.0, kTol);
+}
+
+TEST(StateVector, SIsSqrtZ)
+{
+    StateVector a(1), b(1);
+    a.apply1q(Gate::kH, 0);
+    b.apply1q(Gate::kH, 0);
+    a.apply1q(Gate::kS, 0);
+    a.apply1q(Gate::kS, 0);
+    b.apply1q(Gate::kZ, 0);
+    EXPECT_NEAR(a.fidelityWith(b), 1.0, kTol);
+}
+
+TEST(StateVector, TIsSqrtS)
+{
+    StateVector a(1), b(1);
+    a.apply1q(Gate::kH, 0);
+    b.apply1q(Gate::kH, 0);
+    a.apply1q(Gate::kT, 0);
+    a.apply1q(Gate::kT, 0);
+    b.apply1q(Gate::kS, 0);
+    EXPECT_NEAR(a.fidelityWith(b), 1.0, kTol);
+}
+
+TEST(StateVector, SdgUndoesS)
+{
+    StateVector sv(1);
+    sv.apply1q(Gate::kH, 0);
+    sv.apply1q(Gate::kS, 0);
+    sv.apply1q(Gate::kSdg, 0);
+    sv.apply1q(Gate::kH, 0);
+    EXPECT_NEAR(sv.probability(0), 1.0, kTol);
+}
+
+TEST(StateVector, RotationComposition)
+{
+    // Rx(pi) == X up to global phase.
+    StateVector a(1), b(1);
+    a.apply1q(Gate::kRx, 0, M_PI);
+    b.apply1q(Gate::kX, 0);
+    EXPECT_NEAR(a.fidelityWith(b), 1.0, kTol);
+    // Two X90 pulses == X up to global phase (the Rabi calibration fact).
+    StateVector c(1);
+    c.apply1q(Gate::kX90, 0);
+    c.apply1q(Gate::kX90, 0);
+    EXPECT_NEAR(c.fidelityWith(b), 1.0, kTol);
+}
+
+TEST(StateVector, CphaseAtPiIsCz)
+{
+    StateVector a(2), b(2);
+    for (auto *sv : {&a, &b}) {
+        sv->apply1q(Gate::kH, 0);
+        sv->apply1q(Gate::kH, 1);
+    }
+    a.apply2q(Gate::kCPhase, 0, 1, M_PI);
+    b.apply2q(Gate::kCZ, 0, 1);
+    EXPECT_NEAR(a.fidelityWith(b), 1.0, kTol);
+}
+
+TEST(StateVector, SwapExchangesQubits)
+{
+    StateVector sv(2);
+    sv.apply1q(Gate::kX, 0);
+    sv.apply2q(Gate::kSwap, 0, 1);
+    EXPECT_NEAR(sv.probability(0b10), 1.0, kTol);
+}
+
+TEST(StateVector, MeasurementCollapses)
+{
+    Rng rng(5);
+    StateVector sv(2);
+    sv.apply1q(Gate::kH, 0);
+    sv.apply2q(Gate::kCNOT, 0, 1);
+    const int bit = sv.measure(0, rng);
+    // After measuring one half of a Bell pair, the other is determined.
+    EXPECT_NEAR(sv.probabilityOfOne(1), double(bit), kTol);
+    EXPECT_NEAR(sv.norm(), 1.0, kTol);
+}
+
+TEST(StateVector, MeasurementStatisticsAreFair)
+{
+    Rng rng(11);
+    int ones = 0;
+    const int shots = 4000;
+    for (int i = 0; i < shots; ++i) {
+        StateVector sv(1);
+        sv.apply1q(Gate::kH, 0);
+        ones += sv.measure(0, rng);
+    }
+    EXPECT_NEAR(double(ones) / shots, 0.5, 0.03);
+}
+
+TEST(StateVector, PostselectReturnsBranchProbability)
+{
+    StateVector sv(1);
+    sv.apply1q(Gate::kRy, 0, M_PI / 3); // P(1) = sin^2(pi/6) = 0.25
+    const double p1 = sv.probabilityOfOne(0);
+    EXPECT_NEAR(p1, 0.25, kTol);
+    const double p = sv.postselect(0, 1);
+    EXPECT_NEAR(p, 0.25, kTol);
+    EXPECT_NEAR(sv.probabilityOfOne(0), 1.0, kTol);
+}
+
+TEST(StateVector, ResetQubitGivesZero)
+{
+    Rng rng(3);
+    StateVector sv(2);
+    sv.apply1q(Gate::kH, 0);
+    sv.apply1q(Gate::kX, 1);
+    sv.resetQubit(0, rng);
+    EXPECT_NEAR(sv.probabilityOfOne(0), 0.0, kTol);
+    EXPECT_NEAR(sv.probabilityOfOne(1), 1.0, kTol);
+}
+
+TEST(StateVector, NormPreservedUnderLongRandomCircuit)
+{
+    Rng rng(17);
+    StateVector sv(5);
+    const Gate pool[] = {Gate::kH, Gate::kX, Gate::kS, Gate::kT,
+                         Gate::kX90, Gate::kY90};
+    for (int i = 0; i < 300; ++i) {
+        if (rng.coin(0.3)) {
+            const auto q0 = QubitId(rng.below(5));
+            auto q1 = QubitId(rng.below(5));
+            while (q1 == q0)
+                q1 = QubitId(rng.below(5));
+            sv.apply2q(Gate::kCZ, q0, q1);
+        } else {
+            sv.apply1q(pool[rng.below(6)], QubitId(rng.below(5)));
+        }
+    }
+    EXPECT_NEAR(sv.norm(), 1.0, 1e-8);
+}
+
+TEST(StateVector, SampleBasisMatchesProbabilities)
+{
+    Rng rng(23);
+    StateVector sv(2);
+    sv.apply1q(Gate::kH, 0);
+    sv.apply2q(Gate::kCNOT, 0, 1);
+    int counts[4] = {};
+    for (int i = 0; i < 4000; ++i)
+        ++counts[sv.sampleBasis(rng)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_EQ(counts[2], 0);
+    EXPECT_NEAR(double(counts[0]) / 4000, 0.5, 0.04);
+    EXPECT_NEAR(double(counts[3]) / 4000, 0.5, 0.04);
+}
+
+} // namespace
+} // namespace dhisq::q

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * SyncU unit tests driving the BISP conditions directly (Figure 4's
+ * hardware behaviour without the rest of the machine): booking, Condition
+ * I countdown, sticky Condition II flags, region time-points and trigger
+ * waits.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/syncu.hpp"
+#include "core/tcu.hpp"
+#include "isa/instruction.hpp"
+#include "sim/scheduler.hpp"
+
+namespace dhisq::core {
+namespace {
+
+class SyncUHarness
+{
+  public:
+    SyncUHarness()
+    {
+        TcuConfig cfg;
+        cfg.num_ports = 1;
+        tcu = std::make_unique<Tcu>(cfg, sched, nullptr, "T");
+        tcu->setIssueFn([this](PortId, Codeword cw, Cycle wall) {
+            issues.emplace_back(cw, wall);
+        });
+        syncu = std::make_unique<SyncU>(*tcu, sched, nullptr, "S");
+        tcu->setControlFn([this](const TimedEvent &ev, Cycle wall) {
+            syncu->onControlEvent(ev, wall);
+        });
+        SyncUplinks uplinks;
+        uplinks.send_nearby_signal = [this](ControllerId peer) {
+            signals_sent.push_back(peer);
+        };
+        uplinks.send_region_request = [this](RouterId router, Cycle t_i) {
+            requests.emplace_back(router, t_i);
+        };
+        uplinks.link_latency = [this](ControllerId) { return latency; };
+        syncu->setUplinks(uplinks);
+    }
+
+    /** Book a nearby sync at local cursor time `at`, task at `at + res`. */
+    void
+    programNearby(Cycle at, ControllerId peer, Cycle res)
+    {
+        tcu->advanceCursor(at);
+        TimedEvent ev;
+        ev.kind = TimedEventKind::Sync;
+        ev.target = std::int32_t(peer);
+        tcu->enqueueControl(ev);
+        tcu->advanceCursor(res);
+        tcu->enqueueCodeword(0, 9);
+    }
+
+    sim::Scheduler sched;
+    std::unique_ptr<Tcu> tcu;
+    std::unique_ptr<SyncU> syncu;
+    Cycle latency = 4;
+    std::vector<std::pair<Codeword, Cycle>> issues;
+    std::vector<ControllerId> signals_sent;
+    std::vector<std::pair<RouterId, Cycle>> requests;
+};
+
+TEST(SyncU, BookingSendsTheSignalImmediately)
+{
+    SyncUHarness h;
+    h.programNearby(10, 2, 8);
+    h.sched.schedule(12, [&] { h.syncu->onNearbySignal(2); });
+    h.sched.run();
+    ASSERT_EQ(h.signals_sent.size(), 1u);
+    EXPECT_EQ(h.signals_sent[0], 2u);
+    EXPECT_FALSE(h.syncu->busy());
+}
+
+TEST(SyncU, EarlySignalMeansNoPause)
+{
+    SyncUHarness h;
+    h.programNearby(10, 2, 8);
+    // Peer's signal arrives before Condition I completes (10 + 4).
+    h.sched.schedule(12, [&] { h.syncu->onNearbySignal(2); });
+    h.sched.run();
+    ASSERT_EQ(h.issues.size(), 1u);
+    EXPECT_EQ(h.issues[0].second, 18u); // no pause: local 18 == wall 18
+    EXPECT_EQ(h.tcu->stats().counter("timer_pauses"), 0u);
+}
+
+TEST(SyncU, LateSignalPausesUntilArrival)
+{
+    SyncUHarness h;
+    h.programNearby(10, 2, 8);
+    h.sched.schedule(50, [&] { h.syncu->onNearbySignal(2); });
+    h.sched.run();
+    ASSERT_EQ(h.issues.size(), 1u);
+    // Barrier at 14, released at 50: task at local 18 -> wall 54.
+    EXPECT_EQ(h.issues[0].second, 54u);
+    EXPECT_EQ(h.tcu->stats().counter("pause_cycles"), 36u);
+}
+
+TEST(SyncU, SignalAtConditionOneCycleCountsAsReceived)
+{
+    SyncUHarness h;
+    h.programNearby(10, 2, 8);
+    h.sched.schedule(14, [&] { h.syncu->onNearbySignal(2); });
+    h.sched.run();
+    ASSERT_EQ(h.issues.size(), 1u);
+    EXPECT_EQ(h.issues[0].second, 18u);
+}
+
+TEST(SyncU, FlagsAreStickyAcrossBookings)
+{
+    // The peer's signal for round 2 arrives while round 1 is in flight;
+    // the per-neighbour flag keeps it until consumed (Figure 4's stacked
+    // flag boxes).
+    SyncUHarness h;
+    h.programNearby(10, 2, 8);         // round 1: booking 10, task 18
+    h.tcu->advanceCursor(10);          // cursor 28
+    {
+        TimedEvent ev;
+        ev.kind = TimedEventKind::Sync;
+        ev.target = 2;
+        h.tcu->enqueueControl(ev);     // round 2: booking 28
+    }
+    h.tcu->advanceCursor(6);
+    h.tcu->enqueueCodeword(0, 8);      // round 2 task at 34
+    h.sched.schedule(11, [&] { h.syncu->onNearbySignal(2); }); // round 1
+    h.sched.schedule(12, [&] { h.syncu->onNearbySignal(2); }); // round 2!
+    h.sched.run();
+    ASSERT_EQ(h.issues.size(), 2u);
+    EXPECT_EQ(h.issues[0].second, 18u);
+    EXPECT_EQ(h.issues[1].second, 34u); // flag consumed, zero overhead
+    EXPECT_EQ(h.tcu->stats().counter("timer_pauses"), 0u);
+}
+
+TEST(SyncU, RegionRequestCarriesAbsoluteTimePoint)
+{
+    SyncUHarness h;
+    h.tcu->advanceCursor(20);
+    TimedEvent ev;
+    ev.kind = TimedEventKind::Sync;
+    ev.target = 3 | isa::kSyncRouterFlag;
+    ev.residual = 30;
+    h.tcu->enqueueControl(ev);
+    h.tcu->advanceCursor(30);
+    h.tcu->enqueueCodeword(0, 9);
+    h.sched.schedule(30, [&] { h.syncu->onRegionNotify(60); });
+    h.sched.run();
+    ASSERT_EQ(h.requests.size(), 1u);
+    EXPECT_EQ(h.requests[0].first, 3u);
+    EXPECT_EQ(h.requests[0].second, 50u); // T_i = wall(20) + 30
+    ASSERT_EQ(h.issues.size(), 1u);
+    EXPECT_EQ(h.issues[0].second, 60u);   // held until T_final
+}
+
+TEST(SyncU, RegionNotifyAtExactlyTiMeansZeroOverhead)
+{
+    SyncUHarness h;
+    h.tcu->advanceCursor(20);
+    TimedEvent ev;
+    ev.kind = TimedEventKind::Sync;
+    ev.target = isa::kSyncRouterFlag; // router 0
+    ev.residual = 30;
+    h.tcu->enqueueControl(ev);
+    h.tcu->advanceCursor(30);
+    h.tcu->enqueueCodeword(0, 9);
+    h.sched.schedule(40, [&] { h.syncu->onRegionNotify(50); });
+    h.sched.run();
+    ASSERT_EQ(h.issues.size(), 1u);
+    EXPECT_EQ(h.issues[0].second, 50u);
+    EXPECT_EQ(h.tcu->stats().counter("timer_pauses"), 0u);
+    EXPECT_EQ(h.syncu->stats().scalar("sync_overhead_cycles").max, 0.0);
+}
+
+TEST(SyncU, TriggerWaitAnchorsAtArrival)
+{
+    SyncUHarness h;
+    h.tcu->advanceCursor(10);
+    TimedEvent ev;
+    ev.kind = TimedEventKind::Wtrig;
+    ev.target = 7;
+    h.tcu->enqueueControl(ev);
+    h.tcu->advanceCursor(6);
+    h.tcu->enqueueCodeword(0, 9);
+    h.sched.schedule(200, [&] { h.syncu->onTrigger(7); });
+    h.sched.run();
+    ASSERT_EQ(h.issues.size(), 1u);
+    EXPECT_EQ(h.issues[0].second, 206u); // arrival + 6
+}
+
+TEST(SyncU, EarlyTriggerIsConsumedWithoutPause)
+{
+    SyncUHarness h;
+    h.syncu->onTrigger(7); // arrives before the wtrig is even booked
+    h.tcu->advanceCursor(10);
+    TimedEvent ev;
+    ev.kind = TimedEventKind::Wtrig;
+    ev.target = 7;
+    h.tcu->enqueueControl(ev);
+    h.tcu->advanceCursor(6);
+    h.tcu->enqueueCodeword(0, 9);
+    h.sched.run();
+    ASSERT_EQ(h.issues.size(), 1u);
+    EXPECT_EQ(h.issues[0].second, 16u);
+    EXPECT_EQ(h.tcu->stats().counter("timer_pauses"), 0u);
+}
+
+TEST(SyncU, OverheadSamplesTrackPauses)
+{
+    SyncUHarness h;
+    h.programNearby(10, 2, 8);
+    h.sched.schedule(30, [&] { h.syncu->onNearbySignal(2); });
+    h.sched.run();
+    const auto overhead =
+        h.syncu->stats().scalar("sync_overhead_cycles");
+    EXPECT_EQ(overhead.samples, 1u);
+    EXPECT_EQ(overhead.max, 16.0); // 30 - (10 + 4)
+}
+
+} // namespace
+} // namespace dhisq::core

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Timing Control Unit tests in isolation: queue-based precise issue,
+ * cursor semantics, barrier hold/release with offset absorption, capacity
+ * backpressure and violation slips — the QuMA mechanism of Section 3.2
+ * plus the BISP barrier of Section 4.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/tcu.hpp"
+#include "sim/scheduler.hpp"
+
+namespace dhisq::core {
+namespace {
+
+struct Captured
+{
+    PortId port;
+    Codeword cw;
+    Cycle wall;
+};
+
+class TcuHarness
+{
+  public:
+    explicit TcuHarness(unsigned ports = 2, std::size_t capacity = 1024)
+    {
+        TcuConfig cfg;
+        cfg.num_ports = ports;
+        cfg.queue_capacity = capacity;
+        tcu = std::make_unique<Tcu>(cfg, sched, nullptr, "T");
+        tcu->setIssueFn([this](PortId p, Codeword cw, Cycle wall) {
+            issues.push_back(Captured{p, cw, wall});
+        });
+        tcu->setControlFn([this](const TimedEvent &ev, Cycle wall) {
+            control.emplace_back(ev, wall);
+        });
+    }
+
+    sim::Scheduler sched;
+    std::unique_ptr<Tcu> tcu;
+    std::vector<Captured> issues;
+    std::vector<std::pair<TimedEvent, Cycle>> control;
+};
+
+TEST(Tcu, IssuesAtDesignatedCycles)
+{
+    TcuHarness h;
+    h.tcu->advanceCursor(10);
+    h.tcu->enqueueCodeword(0, 1);
+    h.tcu->advanceCursor(15);
+    h.tcu->enqueueCodeword(1, 2);
+    h.sched.run();
+    ASSERT_EQ(h.issues.size(), 2u);
+    EXPECT_EQ(h.issues[0].wall, 10u);
+    EXPECT_EQ(h.issues[1].wall, 25u);
+    EXPECT_TRUE(h.tcu->drained());
+}
+
+TEST(Tcu, SameCursorEventsShareACycle)
+{
+    TcuHarness h(4);
+    h.tcu->advanceCursor(20);
+    for (PortId p = 0; p < 4; ++p)
+        h.tcu->enqueueCodeword(p, p);
+    h.sched.run();
+    ASSERT_EQ(h.issues.size(), 4u);
+    for (const auto &issue : h.issues)
+        EXPECT_EQ(issue.wall, 20u);
+}
+
+TEST(Tcu, OutOfOrderEnqueueAcrossPortsStillIssuesInTimeOrder)
+{
+    TcuHarness h(2);
+    h.tcu->advanceCursor(50);
+    h.tcu->enqueueCodeword(0, 1); // ts 50
+    // Port 1's event is enqueued later in *pipeline* order but stamps the
+    // same cursor; per-port queues keep both precise.
+    h.tcu->enqueueCodeword(1, 2); // ts 50
+    h.sched.run();
+    ASSERT_EQ(h.issues.size(), 2u);
+    EXPECT_EQ(h.issues[0].wall, 50u);
+    EXPECT_EQ(h.issues[1].wall, 50u);
+}
+
+TEST(Tcu, LateEnqueueSlipsAndCounts)
+{
+    TcuHarness h;
+    h.tcu->advanceCursor(5);
+    h.tcu->enqueueCodeword(0, 1);
+    h.sched.run(); // now = 5
+    // Cursor still 5; enqueue at wall 5 an event for ts 5: fine. Then move
+    // the wall forward and enqueue an event whose ts is already past.
+    h.sched.schedule(100, [&] { h.tcu->enqueueCodeword(0, 2); });
+    h.sched.run();
+    ASSERT_EQ(h.issues.size(), 2u);
+    EXPECT_EQ(h.issues[1].wall, 100u); // slipped to "now"
+    EXPECT_EQ(h.tcu->stats().counter("timing_violations"), 1u);
+}
+
+TEST(Tcu, BarrierHoldsEventsAtOrAfterIt)
+{
+    TcuHarness h;
+    h.tcu->advanceCursor(10);
+    h.tcu->enqueueCodeword(0, 1); // ts 10 < barrier: issues
+    h.tcu->advanceCursor(10);
+    h.tcu->enqueueCodeword(0, 2); // ts 20 >= barrier: held
+    h.tcu->setBarrier(15);
+    h.sched.schedule(500, [&] { h.tcu->releaseBarrier(500); });
+    h.sched.run();
+    ASSERT_EQ(h.issues.size(), 2u);
+    EXPECT_EQ(h.issues[0].wall, 10u);
+    // Release at 500 for barrier at 15: event at local 20 commits at
+    // 500 + (20 - 15) = 505.
+    EXPECT_EQ(h.issues[1].wall, 505u);
+    EXPECT_EQ(h.tcu->stats().counter("pause_cycles"), 500u - 15u);
+}
+
+TEST(Tcu, ReleaseWithoutPauseKeepsOffset)
+{
+    TcuHarness h;
+    h.tcu->advanceCursor(10);
+    h.tcu->setBarrier(10);
+    h.tcu->enqueueCodeword(0, 1); // ts 10, held
+    h.sched.schedule(10, [&] { h.tcu->releaseBarrier(10); });
+    h.sched.run();
+    ASSERT_EQ(h.issues.size(), 1u);
+    EXPECT_EQ(h.issues[0].wall, 10u);
+    EXPECT_EQ(h.tcu->stats().counter("timer_pauses"), 0u);
+}
+
+TEST(Tcu, ControlEventsDispatchToSyncUnitAtTheirStamp)
+{
+    TcuHarness h;
+    h.tcu->advanceCursor(30);
+    TimedEvent ev;
+    ev.kind = TimedEventKind::Sync;
+    ev.target = 1;
+    h.tcu->enqueueControl(ev);
+    h.sched.run();
+    ASSERT_EQ(h.control.size(), 1u);
+    EXPECT_EQ(h.control[0].second, 30u);
+    EXPECT_EQ(h.control[0].first.ts, 30u);
+}
+
+TEST(Tcu, ControlProcessedBeforeCodewordsOfSameStamp)
+{
+    // A barrier established by a control event at cycle T must hold
+    // codewords stamped at T (the synchronous task waits for release).
+    TcuHarness h;
+    h.tcu->setControlFn([&h](const TimedEvent &ev, Cycle) {
+        if (ev.kind == TimedEventKind::Wtrig)
+            h.tcu->setBarrier(ev.ts);
+    });
+    h.tcu->advanceCursor(40);
+    TimedEvent ev;
+    ev.kind = TimedEventKind::Wtrig;
+    ev.target = 1;
+    h.tcu->enqueueControl(ev);
+    h.tcu->enqueueCodeword(0, 9); // same stamp: must be held
+    h.sched.schedule(300, [&] { h.tcu->releaseBarrier(300); });
+    h.sched.run();
+    ASSERT_EQ(h.issues.size(), 1u);
+    EXPECT_EQ(h.issues[0].wall, 300u);
+}
+
+TEST(Tcu, CapacityBackpressureSignalsSpace)
+{
+    TcuHarness h(1, 2);
+    int space_calls = 0;
+    h.tcu->setSpaceFn([&] { ++space_calls; });
+    h.tcu->advanceCursor(100);
+    h.tcu->enqueueCodeword(0, 1);
+    h.tcu->enqueueCodeword(0, 2);
+    EXPECT_FALSE(h.tcu->canEnqueueCodeword(0));
+    h.sched.run();
+    EXPECT_TRUE(h.tcu->canEnqueueCodeword(0));
+    EXPECT_GE(space_calls, 1);
+}
+
+TEST(Tcu, LocalNowTracksOffsetAfterRelease)
+{
+    TcuHarness h;
+    h.tcu->advanceCursor(10);
+    h.tcu->setBarrier(10);
+    h.sched.schedule(110, [&] { h.tcu->releaseBarrier(110); });
+    h.sched.run();
+    // Offset is now 100: wall 110 == local 10.
+    EXPECT_EQ(h.tcu->wallAt(10), 110u);
+    EXPECT_EQ(h.tcu->localNow(), 10u);
+}
+
+TEST(Tcu, CursorAccumulatesWaits)
+{
+    TcuHarness h;
+    EXPECT_EQ(h.tcu->cursor(), 0u);
+    h.tcu->advanceCursor(7);
+    h.tcu->advanceCursor(3);
+    EXPECT_EQ(h.tcu->cursor(), 10u);
+}
+
+} // namespace
+} // namespace dhisq::core

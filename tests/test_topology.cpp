@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Hybrid-topology tests: mesh adjacency, balanced router tree, latencies,
+ * subtree queries — the structural properties Section 5.1 argues for.
+ */
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+
+namespace dhisq::net {
+namespace {
+
+TEST(Topology, LineNeighborsAreAdjacentOnly)
+{
+    auto topo = Topology::line(5);
+    EXPECT_TRUE(topo.areNeighbors(0, 1));
+    EXPECT_TRUE(topo.areNeighbors(3, 4));
+    EXPECT_FALSE(topo.areNeighbors(0, 2));
+    EXPECT_FALSE(topo.areNeighbors(2, 2));
+    EXPECT_EQ(topo.neighborsOf(0).size(), 1u);
+    EXPECT_EQ(topo.neighborsOf(2).size(), 2u);
+}
+
+TEST(Topology, GridNeighborsAreFourConnected)
+{
+    TopologyConfig cfg;
+    cfg.width = 3;
+    cfg.height = 3;
+    auto topo = Topology::grid(cfg);
+    // Centre of 3x3 = controller 4.
+    auto n = topo.neighborsOf(4);
+    EXPECT_EQ(n.size(), 4u);
+    EXPECT_TRUE(topo.areNeighbors(4, 1));
+    EXPECT_TRUE(topo.areNeighbors(4, 3));
+    EXPECT_TRUE(topo.areNeighbors(4, 5));
+    EXPECT_TRUE(topo.areNeighbors(4, 7));
+    EXPECT_FALSE(topo.areNeighbors(0, 4)); // diagonal
+    EXPECT_FALSE(topo.areNeighbors(2, 3)); // row wrap must not connect
+}
+
+TEST(Topology, SingleRouterForSmallSystems)
+{
+    TopologyConfig cfg;
+    cfg.width = 4;
+    cfg.height = 1;
+    cfg.tree_arity = 4;
+    auto topo = Topology::grid(cfg);
+    EXPECT_EQ(topo.numRouters(), 1u);
+    EXPECT_EQ(topo.rootRouter(), 0u);
+    for (ControllerId c = 0; c < 4; ++c)
+        EXPECT_EQ(topo.parentRouter(c), 0u);
+    EXPECT_EQ(topo.maxDepthBelow(0), 1u);
+}
+
+TEST(Topology, TwoLevelTreeFor16ControllersArity4)
+{
+    TopologyConfig cfg;
+    cfg.width = 16;
+    cfg.height = 1;
+    cfg.tree_arity = 4;
+    auto topo = Topology::grid(cfg);
+    // 4 leaf routers + 1 root.
+    EXPECT_EQ(topo.numRouters(), 5u);
+    const auto &root = topo.router(topo.rootRouter());
+    EXPECT_EQ(root.child_routers.size(), 4u);
+    EXPECT_TRUE(root.child_controllers.empty());
+    EXPECT_EQ(root.parent, kNoRouter);
+    EXPECT_EQ(topo.maxDepthBelow(topo.rootRouter()), 2u);
+    // Every leaf router parents 4 consecutive controllers.
+    for (RouterId r = 0; r < 4; ++r) {
+        EXPECT_EQ(topo.router(r).child_controllers.size(), 4u);
+        EXPECT_EQ(topo.router(r).parent, topo.rootRouter());
+    }
+}
+
+TEST(Topology, UnevenControllerCountStillCovered)
+{
+    TopologyConfig cfg;
+    cfg.width = 5;
+    cfg.height = 1;
+    cfg.tree_arity = 4;
+    auto topo = Topology::grid(cfg);
+    // R0 has c0..c3, R1 has c4, root above both.
+    EXPECT_EQ(topo.numRouters(), 3u);
+    EXPECT_EQ(topo.parentRouter(4), 1u);
+    auto under_root = topo.controllersUnder(topo.rootRouter());
+    EXPECT_EQ(under_root.size(), 5u);
+    EXPECT_TRUE(topo.inSubtree(4, topo.rootRouter()));
+    EXPECT_FALSE(topo.inSubtree(4, 0));
+    EXPECT_TRUE(topo.inSubtree(2, 0));
+}
+
+TEST(Topology, TreeHopsViaLowestCommonAncestor)
+{
+    TopologyConfig cfg;
+    cfg.width = 16;
+    cfg.height = 1;
+    cfg.tree_arity = 4;
+    auto topo = Topology::grid(cfg);
+    // Same leaf router: up 1, down 1.
+    EXPECT_EQ(topo.treeHops(0, 3), 2u);
+    // Different leaf routers: up 2 to root, down 2.
+    EXPECT_EQ(topo.treeHops(0, 15), 4u);
+}
+
+TEST(Topology, MessageLatencyPrefersNeighborLink)
+{
+    TopologyConfig cfg;
+    cfg.width = 16;
+    cfg.height = 1;
+    cfg.neighbor_latency = 2;
+    cfg.hop_latency = 4;
+    auto topo = Topology::grid(cfg);
+    EXPECT_EQ(topo.messageLatency(3, 4), 2u); // adjacent (despite routers)
+    EXPECT_EQ(topo.messageLatency(0, 2), 2u * 4u);  // same leaf router
+    EXPECT_EQ(topo.messageLatency(0, 15), 4u * 4u); // via root
+}
+
+TEST(Topology, RouterCountGrowsLogarithmically)
+{
+    // Balanced tree: routers ~ n/(arity-1); height ~ log_arity(n).
+    TopologyConfig cfg;
+    cfg.width = 256;
+    cfg.height = 1;
+    cfg.tree_arity = 4;
+    auto topo = Topology::grid(cfg);
+    EXPECT_EQ(topo.maxDepthBelow(topo.rootRouter()), 4u); // 4^4 = 256
+    EXPECT_LT(topo.numRouters(), 256u / 3 + 2);
+}
+
+TEST(Topology, ControllersUnderLeafRouterAreItsBlock)
+{
+    TopologyConfig cfg;
+    cfg.width = 12;
+    cfg.height = 1;
+    cfg.tree_arity = 4;
+    auto topo = Topology::grid(cfg);
+    auto block = topo.controllersUnder(1);
+    ASSERT_EQ(block.size(), 4u);
+    EXPECT_EQ(block[0], 4u);
+    EXPECT_EQ(block[3], 7u);
+}
+
+TEST(Topology, GridDistanceIsManhattan)
+{
+    TopologyConfig cfg;
+    cfg.width = 4;
+    cfg.height = 4;
+    auto topo = Topology::grid(cfg);
+    EXPECT_EQ(topo.gridDistance(0, 15), 6u);
+    EXPECT_EQ(topo.gridDistance(5, 6), 1u);
+    EXPECT_EQ(topo.gridDistance(5, 5), 0u);
+}
+
+} // namespace
+} // namespace dhisq::net

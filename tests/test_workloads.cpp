@@ -1,0 +1,390 @@
+/**
+ * @file
+ * Workload-generator tests: the long-range CNOT construction is verified
+ * functionally (every random run must converge to the direct CNOT — the
+ * corrections make all measurement branches equivalent), the converted
+ * circuits are checked structurally, and the arithmetic benchmarks are
+ * checked for semantic correctness.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workloads/generators.hpp"
+#include "workloads/lrcnot.hpp"
+
+namespace dhisq::workloads {
+namespace {
+
+using compiler::Circuit;
+using compiler::simulateCircuit;
+using q::Gate;
+using q::StateVector;
+
+/** Prepare a non-trivial product state on control/target. */
+void
+prepEnds(Circuit &c, QubitId control, QubitId target)
+{
+    c.gate(Gate::kRy, control, 0.7);
+    c.gate(Gate::kT, control);
+    c.gate(Gate::kRy, target, 1.3);
+    c.gate(Gate::kS, target);
+}
+
+/** Reference state: same prep + direct CNOT, ancillas forced to the
+ *  dynamic run's measured values. */
+StateVector
+referenceFor(unsigned n, QubitId control, QubitId target,
+             const std::vector<int> &cbits,
+             const std::vector<QubitId> &ancilla_qubits)
+{
+    StateVector ref(n);
+    ref.apply1q(Gate::kRy, control, 0.7);
+    ref.apply1q(Gate::kT, control);
+    ref.apply1q(Gate::kRy, target, 1.3);
+    ref.apply1q(Gate::kS, target);
+    ref.apply2q(Gate::kCNOT, control, target);
+    for (std::size_t i = 0; i < ancilla_qubits.size(); ++i) {
+        if (cbits[i])
+            ref.apply1q(Gate::kX, ancilla_qubits[i]);
+    }
+    return ref;
+}
+
+class LongRangeCnotChain : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(LongRangeCnotChain, EveryBranchImplementsCnot)
+{
+    const unsigned span = GetParam(); // distance between control and target
+    const unsigned n = span + 1;
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        Circuit c(n, "lrcnot");
+        prepEnds(c, 0, n - 1);
+        appendLongRangeCnotLine(c, 0, n - 1);
+        Rng rng(seed);
+        auto result = simulateCircuit(c, rng);
+
+        std::vector<QubitId> ancillas;
+        for (QubitId q = 1; q + 1 < n; ++q)
+            ancillas.push_back(q);
+        // Measurement order in the construction is ancilla order a1..ak
+        // for even k; odd k measures a2..ak first, then a1 — map cbits by
+        // re-reading the circuit's measure ops.
+        std::vector<int> bits_by_qubit(n, 0);
+        for (const auto &op : c.ops()) {
+            if (op.isMeasure())
+                bits_by_qubit[op.qubits[0]] = result.cbits[op.result];
+        }
+        std::vector<int> anc_bits;
+        for (QubitId q : ancillas)
+            anc_bits.push_back(bits_by_qubit[q]);
+
+        const auto ref =
+            referenceFor(n, 0, n - 1, anc_bits, ancillas);
+        EXPECT_NEAR(result.state.fidelityWith(ref), 1.0, 1e-9)
+            << "span=" << span << " seed=" << seed;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Spans, LongRangeCnotChain,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u),
+                         [](const auto &info) {
+                             return "span" + std::to_string(info.param);
+                         });
+
+TEST(LongRangeCnot, ReversedDirectionWorks)
+{
+    // Control above target on the line.
+    const unsigned n = 5;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        Circuit c(n, "lrcnot_rev");
+        prepEnds(c, n - 1, 0);
+        appendLongRangeCnotLine(c, n - 1, 0);
+        Rng rng(seed);
+        auto result = simulateCircuit(c, rng);
+
+        StateVector ref(n);
+        ref.apply1q(Gate::kRy, n - 1, 0.7);
+        ref.apply1q(Gate::kT, n - 1);
+        ref.apply1q(Gate::kRy, 0, 1.3);
+        ref.apply1q(Gate::kS, 0);
+        ref.apply2q(Gate::kCNOT, n - 1, 0);
+        for (const auto &op : c.ops()) {
+            if (op.isMeasure() && result.cbits[op.result])
+                ref.apply1q(Gate::kX, op.qubits[0]);
+        }
+        EXPECT_NEAR(result.state.fidelityWith(ref), 1.0, 1e-9)
+            << "seed=" << seed;
+    }
+}
+
+TEST(LongRangeCnot, ConstantDepthMeasurementCount)
+{
+    // The construction measures exactly the path ancillas, once each.
+    for (unsigned span : {2u, 4u, 6u, 8u}) {
+        Circuit c(span + 1, "x");
+        appendLongRangeCnotLine(c, 0, span);
+        EXPECT_EQ(c.countMeasurements(), span - 1) << "span=" << span;
+        EXPECT_LE(c.countConditionals(), 2u);
+    }
+}
+
+TEST(ExpandNonAdjacent, CzAndCphaseDecomposeCorrectly)
+{
+    // Non-adjacent CZ / CPhase on a 4-qubit line. CPhase expands into TWO
+    // long-range CNOTs over the same path, so the ancillas must be reset
+    // between uses (reset_ancillas) — exactly the mid-circuit reuse mode.
+    for (auto gate : {Gate::kCZ, Gate::kCPhase}) {
+        Circuit c(4, "expand");
+        prepEnds(c, 0, 3);
+        if (gate == Gate::kCPhase)
+            c.gate2(gate, 0, 3, M_PI / 4);
+        else
+            c.gate2(gate, 0, 3);
+
+        Rng expand_rng(1);
+        LrCnotOptions lr;
+        lr.reset_ancillas = true;
+        auto dyn = expandNonAdjacentGates(c, 1.0, expand_rng, lr);
+        EXPECT_GT(dyn.countMeasurements(), 0u);
+        // Park the ancillas in |0> so the comparison is deterministic.
+        for (QubitId q : {1u, 2u}) {
+            compiler::CircuitOp reset;
+            reset.gate = Gate::kPrepZ;
+            reset.qubits = {q};
+            dyn.append(reset);
+        }
+
+        Rng rng(5);
+        auto result = simulateCircuit(dyn, rng);
+
+        StateVector ref(4);
+        ref.apply1q(Gate::kRy, 0, 0.7);
+        ref.apply1q(Gate::kT, 0);
+        ref.apply1q(Gate::kRy, 3, 1.3);
+        ref.apply1q(Gate::kS, 3);
+        if (gate == Gate::kCPhase)
+            ref.apply2q(gate, 0, 3, M_PI / 4);
+        else
+            ref.apply2q(gate, 0, 3);
+        EXPECT_NEAR(result.state.fidelityWith(ref), 1.0, 1e-9)
+            << q::gateName(gate);
+    }
+}
+
+TEST(ExpandNonAdjacent, AdjacentGatesPassThrough)
+{
+    Circuit c(3, "local");
+    c.gate2(Gate::kCNOT, 0, 1);
+    c.gate2(Gate::kCZ, 1, 2);
+    Rng rng(1);
+    auto dyn = expandNonAdjacentGates(c, 1.0, rng);
+    EXPECT_EQ(dyn.size(), 2u);
+    EXPECT_EQ(dyn.countMeasurements(), 0u);
+}
+
+TEST(ExpandNonAdjacent, ProbabilityZeroKeepsDirectGates)
+{
+    Circuit c(5, "far");
+    c.gate2(Gate::kCNOT, 0, 4);
+    Rng rng(1);
+    auto dyn = expandNonAdjacentGates(c, 0.0, rng);
+    EXPECT_EQ(dyn.countMeasurements(), 0u);
+    EXPECT_EQ(dyn.size(), 1u);
+}
+
+TEST(ExpandNonAdjacent, ConditionRemappingSurvivesExpansion)
+{
+    // measure -> long-range CNOT -> conditional on the original bit.
+    Circuit c(5, "remap");
+    c.gate(Gate::kX, 0);
+    const CbitId b = c.measure(0);
+    c.gate2(Gate::kCNOT, 0, 4); // will insert ancilla measurements
+    c.conditionalGate(Gate::kX, 4, {b});
+    Rng er(1);
+    auto dyn = expandNonAdjacentGates(c, 1.0, er);
+
+    // The final conditional must reference the *first* measurement.
+    const auto &ops = dyn.ops();
+    const auto &last = ops.back();
+    ASSERT_TRUE(last.isConditional());
+    ASSERT_EQ(last.condition.size(), 1u);
+    // First measurement in the expanded circuit is still qubit 0's.
+    CbitId first_meas = compiler::kNoCbit;
+    for (const auto &op : ops) {
+        if (op.isMeasure()) {
+            first_meas = op.result;
+            break;
+        }
+    }
+    EXPECT_EQ(last.condition[0], first_meas);
+}
+
+// ---------------------------------------------------------------------------
+// Generators.
+// ---------------------------------------------------------------------------
+
+TEST(Generators, GhzStateIsCorrect)
+{
+    Rng rng(1);
+    auto result = simulateCircuit(ghz(4), rng);
+    EXPECT_NEAR(result.state.probability(0b0000), 0.5, 1e-12);
+    EXPECT_NEAR(result.state.probability(0b1111), 0.5, 1e-12);
+}
+
+TEST(Generators, QftMatchesFullQftWithinWindow)
+{
+    // With window >= n the approximate QFT is the exact QFT; check the
+    // state against the analytic QFT of |q> for a computational input.
+    QftOptions opt;
+    opt.approx_window = 8;
+    opt.measure_all = false;
+    const unsigned n = 4;
+    Circuit c(n, "qft_in");
+    c.gate(Gate::kX, 1); // input |0100> -> value 2 (qubit 1 set)
+    const auto qft_circuit = qft(n, opt);
+    for (const auto &op : qft_circuit.ops())
+        c.append(op);
+    Rng rng(1);
+    auto result = simulateCircuit(c, rng);
+    // QFT|x> = (1/sqrt(2^n)) sum_y exp(2 pi i x y / 2^n) |y> up to qubit
+    // ordering conventions: all basis probabilities equal 1/16.
+    for (std::size_t basis = 0; basis < 16; ++basis)
+        EXPECT_NEAR(result.state.probability(basis), 1.0 / 16, 1e-9);
+}
+
+TEST(Generators, QftWindowLimitsGateDistance)
+{
+    QftOptions opt;
+    opt.approx_window = 3;
+    auto c = qft(12, opt);
+    unsigned max_span = 0;
+    for (const auto &op : c.ops()) {
+        if (op.isTwoQubit()) {
+            const auto d = op.qubits[0] > op.qubits[1]
+                               ? op.qubits[0] - op.qubits[1]
+                               : op.qubits[1] - op.qubits[0];
+            max_span = std::max(max_span, d);
+        }
+    }
+    EXPECT_EQ(max_span, 3u);
+}
+
+TEST(Generators, BvHiddenStringIsRecovered)
+{
+    // BV measures the hidden string exactly (deterministically).
+    BvOptions opt;
+    opt.seed = 42;
+    auto c = bernsteinVazirani(8, opt);
+    Rng rng(9);
+    auto result = simulateCircuit(c, rng);
+
+    // Reconstruct the string from the generator's seeded draws.
+    Rng check(opt.seed);
+    for (unsigned i = 0; i < 7; ++i) {
+        const int expected = check.coin(opt.string_density) ? 1 : 0;
+        EXPECT_EQ(result.cbits[i], expected) << "bit " << i;
+    }
+}
+
+TEST(Generators, AdderComputesTheSum)
+{
+    AdderOptions opt;
+    opt.seed = 123;
+    const unsigned total = 8; // 3 bits
+    auto c = adder(total, opt);
+    Rng rng(1);
+    auto result = simulateCircuit(c, rng);
+
+    // Reproduce the seeded inputs.
+    Rng check(opt.seed);
+    unsigned a = 0, b = 0;
+    for (unsigned i = 0; i < 3; ++i) {
+        if (check.coin(0.5))
+            a |= 1u << i;
+        if (check.coin(0.5))
+            b |= 1u << i;
+    }
+    const unsigned sum = a + b;
+    // Measured: b bits (sum mod 8) then cout.
+    unsigned measured = 0;
+    for (unsigned i = 0; i < 3; ++i)
+        measured |= unsigned(result.cbits[i]) << i;
+    measured |= unsigned(result.cbits[3]) << 3;
+    EXPECT_EQ(measured, sum) << "a=" << a << " b=" << b;
+}
+
+TEST(Generators, WStateHasSingleSharedExcitation)
+{
+    auto c = wState(4);
+    Rng rng(1);
+    auto result = simulateCircuit(c, rng);
+    for (unsigned q = 0; q < 4; ++q) {
+        EXPECT_NEAR(result.state.probability(std::size_t(1) << q), 0.25,
+                    1e-9)
+            << "qubit " << q;
+    }
+    EXPECT_NEAR(result.state.probability(0), 0.0, 1e-9);
+}
+
+TEST(Generators, LogicalTStructure)
+{
+    LogicalTOptions opt;
+    opt.distance = 4;
+    opt.patches = 3;
+    opt.t_gates = 2;
+    auto c = logicalT(opt);
+    EXPECT_EQ(c.numQubits(), logicalTQubits(opt));
+    // Conditional logical-S: 2d conditional ops per T gate.
+    EXPECT_EQ(c.countConditionals(), std::size_t(2 * 4 * 2));
+    EXPECT_GT(c.countMeasurements(), std::size_t(opt.t_gates * 3 *
+                                                 (opt.distance - 1)));
+}
+
+TEST(Generators, RandomDynamicIsSeedDeterministic)
+{
+    RandomDynamicOptions opt;
+    opt.seed = 5;
+    auto a = randomDynamic(opt);
+    auto b = randomDynamic(opt);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.ops()[i].gate, b.ops()[i].gate);
+        EXPECT_EQ(a.ops()[i].qubits, b.ops()[i].qubits);
+    }
+    opt.seed = 6;
+    auto d = randomDynamic(opt);
+    bool differs = d.size() != a.size();
+    for (std::size_t i = 0; !differs && i < std::min(a.size(), d.size());
+         ++i) {
+        differs = !(a.ops()[i].gate == d.ops()[i].gate &&
+                    a.ops()[i].qubits == d.ops()[i].qubits);
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(Generators, Figure15NamesResolve)
+{
+    for (const auto &name : figure15Names()) {
+        SCOPED_TRACE(name);
+        // Use small stand-ins to keep the test quick: replace the size.
+        std::string small = name.substr(0, name.find("_n") + 2);
+        if (small == "logical_t_n") {
+            auto c = figure15Benchmark("logical_t_n45");
+            EXPECT_GT(c.size(), 0u);
+        } else if (small == "adder_n") {
+            EXPECT_GT(figure15Benchmark("adder_n8").size(), 0u);
+        } else if (small == "bv_n") {
+            EXPECT_GT(figure15Benchmark("bv_n8").size(), 0u);
+        } else if (small == "qft_n") {
+            EXPECT_GT(figure15Benchmark("qft_n8").size(), 0u);
+        } else {
+            EXPECT_GT(figure15Benchmark("w_state_n8").size(), 0u);
+        }
+    }
+}
+
+} // namespace
+} // namespace dhisq::workloads
