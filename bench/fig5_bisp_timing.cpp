@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <string>
 
+#include "common/strings.hpp"
 #include "isa/assembler.hpp"
 #include "runtime/machine.hpp"
 
@@ -40,10 +41,10 @@ lineConfig(unsigned n, Cycle neighbor_latency, Cycle hop_latency)
 std::string
 syncProgram(Cycle booking, const std::string &tgt, Cycle residual)
 {
-    std::string src = "waiti " + std::to_string(booking) + "\n";
+    std::string src = prefixedNumber("waiti ", booking) + "\n";
     src += "sync " + tgt;
     if (tgt[0] == 'r')
-        src += ", " + std::to_string(residual);
+        src += prefixedNumber(", ", residual);
     src += "\nwaiti " + std::to_string(residual) + "\ncw.i.i 0, 9\nhalt\n";
     return src;
 }
@@ -84,10 +85,10 @@ main()
         m.loadProgram(1, isa::assembleOrDie(syncProgram(b1, "0", res)));
         m.run();
         for (unsigned c = 0; c < 2; ++c) {
-            const std::string core = "C" + std::to_string(c);
+            const std::string core = prefixedNumber("C", c);
             const Cycle book = syncBookCycle(m.telf(), core);
             const Cycle commit =
-                commitCycle(m.telf(), "B" + std::to_string(c));
+                commitCycle(m.telf(), prefixedNumber("B", c));
             std::printf("%6s %10llu %10llu %10llu %10llu\n", core.c_str(),
                         (unsigned long long)book,
                         (unsigned long long)(book + latency),
@@ -113,9 +114,9 @@ main()
         m.run();
         for (unsigned c = 0; c < 3; ++c) {
             const Cycle commit =
-                commitCycle(m.telf(), "B" + std::to_string(c));
+                commitCycle(m.telf(), prefixedNumber("B", c));
             std::printf("%6s %10llu %10llu %10llu\n",
-                        ("C" + std::to_string(c)).c_str(),
+                        (prefixedNumber("C", c)).c_str(),
                         (unsigned long long)bookings[c],
                         (unsigned long long)(bookings[c] + res),
                         (unsigned long long)commit);

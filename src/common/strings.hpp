@@ -4,8 +4,10 @@
  */
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <vector>
 
 namespace dhisq {
@@ -30,5 +32,21 @@ std::string toLower(std::string_view s);
  * @return true on success with *out set; false leaves *out untouched.
  */
 bool parseInt(std::string_view s, std::int64_t *out);
+
+/**
+ * `prefix` followed by the decimal rendering of `n` — the idiom for unit
+ * names like "C3"/"R1"/"B0". Built by append rather than
+ * `operator+(const char*, std::string&&)`, whose insert path trips a GCC 12
+ * -Wrestrict false positive (GCC PR105651).
+ */
+template <typename Int>
+std::string
+prefixedNumber(std::string_view prefix, Int n)
+{
+    static_assert(std::is_integral_v<Int>);
+    std::string out(prefix);
+    out += std::to_string(n);
+    return out;
+}
 
 } // namespace dhisq

@@ -12,6 +12,8 @@
 #include <limits>
 #include <string>
 
+#include "common/strings.hpp"
+
 namespace dhisq {
 
 /** Simulation time in TCU clock cycles (4 ns grid). */
@@ -109,7 +111,7 @@ std::string toString(const SyncTarget &tgt);
 inline std::string
 toString(const SyncTarget &tgt)
 {
-    return (tgt.isRouter() ? "R" : "C") + std::to_string(tgt.index());
+    return prefixedNumber(tgt.isRouter() ? "R" : "C", tgt.index());
 }
 
 } // namespace dhisq

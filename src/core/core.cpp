@@ -1,6 +1,7 @@
 #include "core/core.hpp"
 
 #include "common/logging.hpp"
+#include "common/strings.hpp"
 
 namespace dhisq::core {
 
@@ -21,7 +22,7 @@ makeTcuConfig(const CoreConfig &config)
 HisqCore::HisqCore(const CoreConfig &config, sim::Scheduler &sched,
                    TelfLog *telf, CoreHooks hooks)
     : _config(config), _sched(sched), _telf(telf),
-      _name("C" + std::to_string(config.id)), _hooks(std::move(hooks)),
+      _name(prefixedNumber("C", config.id)), _hooks(std::move(hooks)),
       _tcu(makeTcuConfig(config), sched, telf, _name),
       _syncu(_tcu, sched, telf, _name), _mem(config.data_mem_bytes, 0)
 {
@@ -188,7 +189,7 @@ HisqCore::execute(const isa::Instruction &ins)
             if (_telf) {
                 _telf->record(_sched.now(), _name, TelfKind::MsgSend, -1,
                               _regs[ins.rs2],
-                              "dst=" + std::to_string(ins.imm));
+                              prefixedNumber("dst=", ins.imm));
             }
             _pc += 4;
             return true;
@@ -202,7 +203,7 @@ HisqCore::execute(const isa::Instruction &ins)
         writeReg(ins.rd, msg.payload);
         if (_telf) {
             _telf->record(_sched.now(), _name, TelfKind::MsgRecv, -1,
-                          msg.payload, "src=" + std::to_string(msg.src));
+                          msg.payload, prefixedNumber("src=", msg.src));
         }
         _pc += 4;
         return true;

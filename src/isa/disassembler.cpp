@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "common/strings.hpp"
 #include "isa/encoding.hpp"
 
 namespace dhisq::isa {
@@ -11,14 +12,14 @@ namespace {
 std::string
 reg(std::uint8_t r)
 {
-    return "$" + std::to_string(r);
+    return prefixedNumber("$", r);
 }
 
 std::string
 syncTargetText(std::int32_t imm)
 {
     if (imm & kSyncRouterFlag)
-        return "r" + std::to_string(imm & ~kSyncRouterFlag);
+        return prefixedNumber("r", imm & ~kSyncRouterFlag);
     return std::to_string(imm);
 }
 

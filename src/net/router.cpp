@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "common/strings.hpp"
 
 namespace dhisq::net {
 
@@ -10,7 +11,7 @@ SyncRouter::SyncRouter(const RouterNode &node, const Topology &topo,
                        sim::Scheduler &sched, TelfLog *telf,
                        RouterPolicy policy)
     : _node(node), _topo(topo), _sched(sched), _telf(telf), _policy(policy),
-      _name("R" + std::to_string(node.id)),
+      _name(prefixedNumber("R", node.id)),
       _pending(node.child_controllers.size() + node.child_routers.size())
 {
 }

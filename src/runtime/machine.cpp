@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/logging.hpp"
+#include "common/strings.hpp"
 #include "core/msgu.hpp"
 
 namespace dhisq::runtime {
@@ -36,7 +37,7 @@ Machine::Machine(const MachineConfig &config)
 
     for (ControllerId id = 0; id < n; ++id) {
         core::BoardConfig bc;
-        bc.name = "B" + std::to_string(id);
+        bc.name = prefixedNumber("B", id);
         bc.num_ports = config.ports_per_controller;
         _boards.push_back(std::make_unique<core::Board>(bc, _sched, &_telf,
                                                         _device.get()));

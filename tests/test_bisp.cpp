@@ -10,6 +10,7 @@
 
 #include <string>
 
+#include "common/strings.hpp"
 #include "isa/assembler.hpp"
 #include "runtime/machine.hpp"
 
@@ -38,12 +39,12 @@ std::string
 syncProgram(Cycle booking, const std::string &tgt, Cycle residual)
 {
     std::string src;
-    src += "waiti " + std::to_string(booking) + "\n";
+    src += prefixedNumber("waiti ", booking) + "\n";
     src += "sync " + tgt;
     if (tgt[0] == 'r')
-        src += ", " + std::to_string(residual);
+        src += prefixedNumber(", ", residual);
     src += "\n";
-    src += "waiti " + std::to_string(residual) + "\n";
+    src += prefixedNumber("waiti ", residual) + "\n";
     src += "cw.i.i 0, 9\n";
     src += "halt\n";
     return src;
@@ -235,7 +236,7 @@ TEST(RegionSync, FourControllersMeetAtTheLatestBooking)
     for (ControllerId c = 0; c < 4; ++c) {
         m.loadProgram(c, isa::assembleOrDie(
                              syncProgram(bookings[c], "r0", residual),
-                             "c" + std::to_string(c)));
+                             prefixedNumber("c", c)));
     }
     const auto report = m.run();
     ASSERT_FALSE(report.deadlock);
@@ -244,7 +245,7 @@ TEST(RegionSync, FourControllersMeetAtTheLatestBooking)
     // T_i = B_i + residual; all requests reach R0 by max(B)+hop = 44,
     // worst notify arrival 48 < T_max = 70: zero overhead.
     for (ControllerId c = 0; c < 4; ++c) {
-        EXPECT_EQ(markerCycle(m.telf(), "B" + std::to_string(c)), 70u)
+        EXPECT_EQ(markerCycle(m.telf(), prefixedNumber("B", c)), 70u)
             << "controller " << c;
     }
 }
@@ -257,7 +258,7 @@ TEST(RegionSync, InsufficientLeadAddsUniformDelayButKeepsAlignment)
     for (ControllerId c = 0; c < 4; ++c) {
         m.loadProgram(c, isa::assembleOrDie(
                              syncProgram(bookings[c], "r0", residual),
-                             "c" + std::to_string(c)));
+                             prefixedNumber("c", c)));
     }
     const auto report = m.run();
     ASSERT_FALSE(report.deadlock);
@@ -267,7 +268,7 @@ TEST(RegionSync, InsufficientLeadAddsUniformDelayButKeepsAlignment)
     Cycle first = markerCycle(m.telf(), "B0");
     EXPECT_EQ(first, 48u);
     for (ControllerId c = 1; c < 4; ++c)
-        EXPECT_EQ(markerCycle(m.telf(), "B" + std::to_string(c)), first);
+        EXPECT_EQ(markerCycle(m.telf(), prefixedNumber("B", c)), first);
     EXPECT_GT(report.pause_cycles, 0u);
 }
 
@@ -278,7 +279,7 @@ TEST(RegionSync, TwoLevelTreeAlignsAllSixteen)
     for (ControllerId c = 0; c < 16; ++c) {
         m.loadProgram(c, isa::assembleOrDie(
                              syncProgram(10 + 3 * c, "r4", residual),
-                             "c" + std::to_string(c)));
+                             prefixedNumber("c", c)));
     }
     const auto report = m.run();
     ASSERT_FALSE(report.deadlock);
@@ -286,7 +287,7 @@ TEST(RegionSync, TwoLevelTreeAlignsAllSixteen)
     // Root router for 16 controllers with arity 4 is R4.
     const Cycle expected = (10 + 3 * 15) + residual; // latest T_i = 115
     for (ControllerId c = 0; c < 16; ++c) {
-        EXPECT_EQ(markerCycle(m.telf(), "B" + std::to_string(c)),
+        EXPECT_EQ(markerCycle(m.telf(), prefixedNumber("B", c)),
                   expected)
             << "controller " << c;
     }
@@ -303,13 +304,13 @@ TEST(RegionSync, PaperPolicyStaysAlignedOnBalancedTree)
     for (ControllerId c = 0; c < 4; ++c) {
         m.loadProgram(c, isa::assembleOrDie(
                              syncProgram(10 + 10 * c, "r0", 5),
-                             "c" + std::to_string(c)));
+                             prefixedNumber("c", c)));
     }
     const auto report = m.run();
     ASSERT_FALSE(report.deadlock);
     const Cycle first = markerCycle(m.telf(), "B0");
     for (ControllerId c = 1; c < 4; ++c)
-        EXPECT_EQ(markerCycle(m.telf(), "B" + std::to_string(c)), first);
+        EXPECT_EQ(markerCycle(m.telf(), prefixedNumber("B", c)), first);
     // Notifications arrived after T_m = 45: late-notify counter fires.
     std::uint64_t late = 0;
     for (ControllerId c = 0; c < 4; ++c)
@@ -324,13 +325,13 @@ TEST(RegionSync, RepeatedRoundsKeepAlignment)
     for (ControllerId c = 0; c < 4; ++c) {
         std::string src;
         for (int round = 0; round < 3; ++round) {
-            src += "waiti " + std::to_string(10 + 7 * c) + "\n";
+            src += prefixedNumber("waiti ", 10 + 7 * c) + "\n";
             src += "sync r0, 40\n";
             src += "waiti 40\n";
             src += "cw.i.i 0, 9\n";
         }
         src += "halt\n";
-        m.loadProgram(c, isa::assembleOrDie(src, "c" + std::to_string(c)));
+        m.loadProgram(c, isa::assembleOrDie(src, prefixedNumber("c", c)));
     }
     const auto report = m.run();
     ASSERT_FALSE(report.deadlock);
@@ -340,7 +341,7 @@ TEST(RegionSync, RepeatedRoundsKeepAlignment)
         for (ControllerId c = 0; c < 4; ++c) {
             const auto commits = m.telf().filter([&](const TelfRecord &r) {
                 return r.kind == TelfKind::CodewordCommit &&
-                       r.source == "B" + std::to_string(c);
+                       r.source == prefixedNumber("B", c);
             });
             ASSERT_EQ(commits.size(), 3u);
             if (c == 0)

@@ -78,10 +78,14 @@ compileAndRun(const Circuit &circuit, SyncScheme scheme,
     return out;
 }
 
-/** Reference state with ancilla qubits set to the machine's outcomes. */
+/**
+ * Reference state for comparing against a machine run. The RunOutcome is
+ * unused for now: these callers are deterministic circuits, so the
+ * reference does not need to replay the machine's measurement outcomes.
+ */
 StateVector
 referenceWithOutcomes(const Circuit &reference_circuit,
-                      const RunOutcome &run, std::uint64_t seed = 99)
+                      const RunOutcome & /*run*/, std::uint64_t seed = 99)
 {
     Rng rng(seed);
     auto ref = simulateCircuit(reference_circuit, rng);
