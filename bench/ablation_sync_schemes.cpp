@@ -6,47 +6,96 @@
  * serialization penalties grow linearly, demand-driven pays a bounce per
  * re-synchronization, and BISP masks what the booking lead allows — the
  * quantitative version of Section 2.1's qualitative comparison.
+ *
+ * Sweep-harness port: the (feedback density x scheme) grid runs on the
+ * SweepRunner (--threads) and serializes with --json.
  */
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hpp"
-#include "workloads/generators.hpp"
-#include "workloads/lrcnot.hpp"
+#include "sweep/cli.hpp"
+#include "sweep/grid.hpp"
+#include "sweep/report.hpp"
 
 using namespace dhisq;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto cli = sweep::parseCliOrExit(argc, argv);
+
+    const std::vector<double> fractions =
+        cli.quick ? std::vector<double>{0.0, 0.4, 1.0}
+                  : std::vector<double>{0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+
+    sweep::GridSpec grid;
+    for (const double frac : fractions) {
+        sweep::CircuitSpec spec;
+        spec.kind = sweep::CircuitSpec::Kind::kRandomDynamic;
+        spec.random.qubits = cli.quick ? 12 : 24;
+        spec.random.layers = cli.quick ? 15 : 30;
+        spec.random.feedback_fraction = frac;
+        spec.random.feedback_span = 4;
+        spec.random.seed = 11;
+        spec.expand_fraction = 1.0;
+        spec.expand_seed = 3;
+        grid.circuits.push_back(std::move(spec));
+    }
+    grid.schemes = {compiler::SyncScheme::kBisp,
+                    compiler::SyncScheme::kDemand,
+                    compiler::SyncScheme::kLockStep};
+
+    sweep::SweepRunner::Options ropt;
+    ropt.threads = cli.threads;
+    sweep::SweepRunner runner(ropt);
+    const auto results =
+        runner.run(sweep::makeTasks(sweep::expandGrid(grid)));
+
     bench::headline("Ablation: sync schemes vs feedback density");
     std::printf("%10s %12s %12s %12s %18s\n", "feedback", "bisp(us)",
                 "demand(us)", "lockstep(us)", "lockstep/bisp");
 
-    for (double frac : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
-        workloads::RandomDynamicOptions opt;
-        opt.qubits = 24;
-        opt.layers = 30;
-        opt.feedback_fraction = frac;
-        opt.feedback_span = 4;
-        opt.seed = 11;
-        auto circuit = workloads::randomDynamic(opt);
-        Rng er(3);
-        auto dyn = workloads::expandNonAdjacentGates(circuit, 1.0, er);
+    sweep::BenchReport report;
+    report.bench = "ablation_sync_schemes";
+    report.config["suite"] = cli.quick ? "quick" : "paper";
+    report.points = results;
 
+    Json ratios = Json::array();
+    const std::size_t schemes = grid.schemes.size();
+    for (std::size_t row = 0; row * schemes < results.size(); ++row) {
+        const double frac = fractions[row];
         double us[3] = {};
-        int i = 0;
-        for (auto scheme :
-             {compiler::SyncScheme::kBisp, compiler::SyncScheme::kDemand,
-              compiler::SyncScheme::kLockStep}) {
-            const auto r = bench::execute(dyn, scheme);
-            if (r.deadlock || r.violations) {
-                std::printf("UNHEALTHY run (%s)\n",
-                            compiler::toString(scheme));
+        for (std::size_t s = 0; s < schemes; ++s) {
+            const auto &r = results[row * schemes + s];
+            if (!r.healthy ||
+                r.metrics.find("violations")->asInt() != 0) {
+                std::printf(
+                    "UNHEALTHY run (%s)\n",
+                    r.params.find("scheme")->asString().c_str());
             }
-            us[i++] = r.makespan_us;
+            us[s] = r.metrics.find("makespan_us")->asDouble();
         }
-        std::printf("%10.1f %12.2f %12.2f %12.2f %17.2fx\n", frac, us[0],
-                    us[1], us[2], us[2] / us[0]);
+        Json entry = Json::object();
+        entry["feedback_fraction"] = frac;
+        if (us[0] > 0.0) {
+            std::printf("%10.1f %12.2f %12.2f %12.2f %17.2fx\n", frac,
+                        us[0], us[1], us[2], us[2] / us[0]);
+            entry["lockstep_over_bisp"] = us[2] / us[0];
+        } else {
+            std::printf("%10.1f %12.2f %12.2f %12.2f %18s\n", frac,
+                        us[0], us[1], us[2], "n/a");
+            entry["lockstep_over_bisp"] = nullptr;
+        }
+        ratios.push(std::move(entry));
     }
-    return 0;
+    report.derived["lockstep_over_bisp"] = std::move(ratios);
+
+    if (!cli.json_path.empty()) {
+        if (auto st = sweep::writeBenchJson(cli.json_path, report); !st) {
+            std::fprintf(stderr, "%s\n", st.message().c_str());
+            return 1;
+        }
+    }
+    return report.allHealthy() ? 0 : 1;
 }

@@ -5,19 +5,35 @@
  * router notification policy (paper's T_m broadcast vs the robust
  * worst-arrival guard). Measures the wall-clock release time of a global
  * region sync relative to the theoretical earliest start.
+ *
+ * Sweep-harness port: every (arity x lead x policy) cell and every
+ * scaling row is a custom sweep task (raw machine runs), parallelized
+ * with --threads and serialized with --json. A broken cycle alignment
+ * marks the point unhealthy ("misaligned") and fails the binary.
  */
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "isa/assembler.hpp"
 #include "runtime/machine.hpp"
+#include "sweep/cli.hpp"
+#include "sweep/report.hpp"
+#include "sweep/runner.hpp"
 
 using namespace dhisq;
 
 namespace {
 
-/** Run one region-sync storm; return (commit - ideal) overhead. */
-long long
+const char *
+policyName(net::RouterPolicy policy)
+{
+    return policy == net::RouterPolicy::Paper ? "paper" : "robust";
+}
+
+/** Run one region-sync storm; report (commit - ideal) overhead. */
+sweep::PointResult
 regionOverhead(unsigned controllers, unsigned arity, Cycle residual,
                net::RouterPolicy policy)
 {
@@ -47,7 +63,7 @@ regionOverhead(unsigned controllers, unsigned arity, Cycle residual,
         src += "cw.i.i 0, 9\nhalt\n";
         m.loadProgram(c, isa::assembleOrDie(src));
     }
-    m.run();
+    const auto run_report = m.run();
 
     Cycle commit = 0;
     bool aligned = true;
@@ -60,36 +76,101 @@ regionOverhead(unsigned controllers, unsigned arity, Cycle residual,
         aligned = aligned && (r.cycle == first);
         commit = std::max(commit, r.cycle);
     }
-    if (!aligned)
-        return -1; // cycle alignment broken — must never happen
-    return (long long)commit - (long long)ideal;
+
+    sweep::PointResult out;
+    out.label = "n" + std::to_string(controllers) + "/arity" +
+                std::to_string(arity) + "/lead" +
+                std::to_string(residual) + "/" + policyName(policy);
+    out.params["controllers"] = controllers;
+    out.params["arity"] = arity;
+    out.params["lead"] = residual;
+    out.params["policy"] = policyName(policy);
+    out.metrics["overhead_cycles"] =
+        (long long)commit - (long long)ideal;
+    out.metrics["aligned"] = aligned;
+    out.metrics["events"] = run_report.events_executed;
+    if (run_report.deadlock) {
+        out.healthy = false;
+        out.health = "deadlock";
+    } else if (!aligned) {
+        // Cycle alignment of the committed codewords must never break.
+        out.healthy = false;
+        out.health = "misaligned";
+    }
+    return out;
+}
+
+long long
+overheadOf(const sweep::PointResult &r)
+{
+    return r.healthy ? r.metrics.find("overhead_cycles")->asInt() : -1;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto cli = sweep::parseCliOrExit(argc, argv);
+
+    const unsigned grid_controllers = cli.quick ? 16 : 64;
+    const std::vector<unsigned> arities =
+        cli.quick ? std::vector<unsigned>{2u, 4u}
+                  : std::vector<unsigned>{2u, 4u, 8u, 16u};
+    const std::vector<Cycle> leads = {16u, 96u};
+    const std::vector<net::RouterPolicy> policies = {
+        net::RouterPolicy::Paper, net::RouterPolicy::Robust};
+    const std::vector<unsigned> scaling =
+        cli.quick ? std::vector<unsigned>{4u, 16u}
+                  : std::vector<unsigned>{4u, 16u, 64u, 256u};
+
+    // Arity cells first, then the scaling rows, all on one task list.
+    std::vector<sweep::SweepTask> tasks;
+    for (const unsigned arity : arities) {
+        for (const Cycle lead : leads) {
+            for (const net::RouterPolicy policy : policies) {
+                tasks.push_back(sweep::SweepTask{
+                    "arity" + std::to_string(arity) + "/lead" +
+                        std::to_string(lead) + "/" + policyName(policy),
+                    [=] {
+                        return regionOverhead(grid_controllers, arity,
+                                              lead, policy);
+                    }});
+            }
+        }
+    }
+    const std::size_t scaling_offset = tasks.size();
+    for (const unsigned n : scaling) {
+        tasks.push_back(sweep::SweepTask{
+            "scaling/n" + std::to_string(n), [=] {
+                return regionOverhead(n, 4, 16,
+                                      net::RouterPolicy::Robust);
+            }});
+    }
+
+    sweep::SweepRunner::Options ropt;
+    ropt.threads = cli.threads;
+    sweep::SweepRunner runner(ropt);
+    const auto results = runner.run(tasks);
+
     std::printf("==== Ablation: region sync vs tree arity ====\n");
-    std::printf("(64 controllers; overhead = release - max(T_i); lead "
-                "residual swept)\n");
+    std::printf("(%u controllers; overhead = release - max(T_i); lead "
+                "residual swept)\n",
+                grid_controllers);
     std::printf("%6s %6s | %22s | %22s\n", "arity", "height",
                 "lead=16 paper/robust", "lead=96 paper/robust");
-    for (unsigned arity : {2u, 4u, 8u, 16u}) {
+    std::size_t i = 0;
+    for (const unsigned arity : arities) {
         runtime::MachineConfig probe;
-        probe.topology.width = 64;
+        probe.topology.width = grid_controllers;
         probe.topology.tree_arity = arity;
         net::Topology topo = net::Topology::grid(probe.topology);
         const unsigned height = topo.maxDepthBelow(topo.rootRouter());
 
-        long long small_p =
-            regionOverhead(64, arity, 16, net::RouterPolicy::Paper);
-        long long small_r =
-            regionOverhead(64, arity, 16, net::RouterPolicy::Robust);
-        long long big_p =
-            regionOverhead(64, arity, 96, net::RouterPolicy::Paper);
-        long long big_r =
-            regionOverhead(64, arity, 96, net::RouterPolicy::Robust);
+        const long long small_p = overheadOf(results[i++]);
+        const long long small_r = overheadOf(results[i++]);
+        const long long big_p = overheadOf(results[i++]);
+        const long long big_r = overheadOf(results[i++]);
         std::printf("%6u %6u | %10lld %11lld | %10lld %11lld\n", arity,
                     height, small_p, small_r, big_p, big_r);
     }
@@ -102,9 +183,22 @@ main()
     std::printf("\n==== Scaling: controllers vs region-sync overhead "
                 "(arity 4, lead 16) ====\n");
     std::printf("%12s %10s\n", "controllers", "overhead");
-    for (unsigned n : {4u, 16u, 64u, 256u}) {
-        std::printf("%12u %10lld\n", n,
-                    regionOverhead(n, 4, 16, net::RouterPolicy::Robust));
+    for (std::size_t s = 0; s < scaling.size(); ++s) {
+        std::printf("%12u %10lld\n", scaling[s],
+                    overheadOf(results[scaling_offset + s]));
     }
-    return 0;
+
+    sweep::BenchReport report;
+    report.bench = "ablation_topology";
+    report.config["suite"] = cli.quick ? "quick" : "paper";
+    report.config["grid_controllers"] = grid_controllers;
+    report.points = results;
+
+    if (!cli.json_path.empty()) {
+        if (auto st = sweep::writeBenchJson(cli.json_path, report); !st) {
+            std::fprintf(stderr, "%s\n", st.message().c_str());
+            return 1;
+        }
+    }
+    return report.allHealthy() ? 0 : 1;
 }

@@ -1,98 +1,16 @@
 /**
  * @file
- * Shared helpers for the figure/table reproduction benches: compile a
- * circuit under a given sync scheme, run it on a matching machine and
- * report the end-to-end execution time plus health counters.
+ * Shared presentation helpers for the figure/table reproduction benches.
+ * The execution logic that used to live here was promoted into the sweep
+ * library (src/sweep/exec.hpp) so the parallel sweep harness, the tests
+ * and the bench binaries share one definition.
  */
 #pragma once
 
 #include <cstdio>
 #include <string>
 
-#include "compiler/compiler.hpp"
-#include "net/topology.hpp"
-#include "quantum/noise.hpp"
-#include "runtime/machine.hpp"
-
 namespace dhisq::bench {
-
-/** Result of one compiled-and-simulated execution. */
-struct ExecResult
-{
-    Cycle makespan = 0;
-    double makespan_us = 0.0;
-    std::uint64_t violations = 0;       ///< timing slips + coincidence
-    std::uint64_t coincidence = 0;      ///< two-qubit half misalignments
-    std::uint64_t syncs = 0;
-    bool deadlock = false;
-    /** Per-qubit live-window activity for the fidelity model. */
-    q::ActivityTracker activity{0};
-    std::uint64_t events = 0;
-};
-
-/** Standard line-topology config for n controllers. */
-inline net::TopologyConfig
-lineTopology(unsigned controllers)
-{
-    net::TopologyConfig topo;
-    topo.width = controllers;
-    topo.height = 1;
-    topo.tree_arity = 4;
-    topo.neighbor_latency = 2;
-    topo.hop_latency = 4;
-    return topo;
-}
-
-/** Compile + run with an explicit compiler configuration. */
-inline ExecResult
-executeWith(const compiler::Circuit &circuit,
-            const compiler::CompilerConfig &cc, bool state_vector = false,
-            std::uint64_t seed = 1)
-{
-    const unsigned controllers =
-        (circuit.numQubits() + cc.qubits_per_controller - 1) /
-        cc.qubits_per_controller;
-    const auto topo_cfg = lineTopology(controllers);
-    net::Topology topo = net::Topology::grid(topo_cfg);
-
-    compiler::Compiler comp(topo, cc);
-    auto compiled = comp.compile(circuit);
-
-    auto mc = compiler::machineConfigFor(topo_cfg, cc, circuit.numQubits(),
-                                         state_vector, seed);
-    mc.fabric.star_messages =
-        (cc.scheme == compiler::SyncScheme::kLockStep);
-    runtime::Machine machine(mc);
-    compiled.applyTo(machine);
-
-    const auto report = machine.run();
-    ExecResult result;
-    result.makespan = report.makespan;
-    result.makespan_us = cyclesToNs(report.makespan) / 1000.0;
-    result.violations =
-        report.timing_violations + report.coincidence_violations;
-    result.coincidence = report.coincidence_violations;
-    result.syncs = report.syncs_completed;
-    result.deadlock = report.deadlock;
-    result.activity = machine.device().activity();
-    result.events = report.events_executed;
-    return result;
-}
-
-/**
- * Compile `circuit` for `scheme` with default knobs and execute it.
- * @param state_vector functional device (small circuits only).
- */
-inline ExecResult
-execute(const compiler::Circuit &circuit, compiler::SyncScheme scheme,
-        bool state_vector = false, std::uint64_t seed = 1,
-        unsigned qubits_per_controller = 1)
-{
-    compiler::CompilerConfig cc;
-    cc.scheme = scheme;
-    cc.qubits_per_controller = qubits_per_controller;
-    return executeWith(circuit, cc, state_vector, seed);
-}
 
 /** Print a separator headline. */
 inline void

@@ -6,72 +6,142 @@
  * sizes). The paper reports an average normalized runtime of 0.772
  * (a 22.8% reduction), with `bv` the one case the baseline wins because of
  * its optimistic constant-latency broadcast assumption.
+ *
+ * Runs on the parallel sweep harness: `--threads N` distributes the grid
+ * across workers (results are asserted identical to a serial run),
+ * `--json <path>` emits the dhisq-bench-v1 report, `--quick` shrinks the
+ * instances for the CI smoke job. Exits nonzero on deadlock or a BISP
+ * coincidence (commitment-guarantee) break.
  */
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
-#include "workloads/generators.hpp"
-#include "workloads/lrcnot.hpp"
+#include "sweep/cli.hpp"
+#include "sweep/grid.hpp"
+#include "sweep/report.hpp"
 
 using namespace dhisq;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto cli = sweep::parseCliOrExit(argc, argv);
+
+    const std::vector<std::string> names =
+        cli.quick ? std::vector<std::string>{"adder_n97", "bv_n60",
+                                             "logical_t_n108", "qft_n30",
+                                             "w_state_n80"}
+                  : workloads::figure15Names();
+
+    sweep::GridSpec grid;
+    for (const auto &name : names) {
+        sweep::CircuitSpec spec;
+        spec.kind = sweep::CircuitSpec::Kind::kFigure15;
+        spec.name = name;
+        spec.expand_fraction = 1.0;
+        spec.expand_seed = 2025;
+        grid.circuits.push_back(std::move(spec));
+    }
+    // Scheme is the inner axis: points land as [baseline, dhisq] pairs.
+    grid.schemes = {compiler::SyncScheme::kLockStep,
+                    compiler::SyncScheme::kBisp};
+
+    sweep::SweepRunner::Options ropt;
+    ropt.threads = cli.threads;
+    sweep::SweepRunner runner(ropt);
+    const auto results =
+        runner.run(sweep::makeTasks(sweep::expandGrid(grid)));
+
     bench::headline(
         "Figure 15: normalized runtime, Distributed-HISQ vs lock-step");
     std::printf("%-16s %14s %14s %12s %20s\n", "benchmark",
-                "baseline(us)", "dhisq(us)", "normalized", "b-slip/b-coin/d-slip");
+                "baseline(us)", "dhisq(us)", "normalized",
+                "b-slip/b-coin/d-slip");
 
+    sweep::BenchReport report;
+    report.bench = "fig15_runtime";
+    report.config["suite"] = cli.quick ? "quick" : "paper";
+    report.points = results;
+
+    Json normalized = Json::array();
     double sum_norm = 0.0;
     unsigned count = 0;
+    bool unhealthy = false;
 
-    for (const auto &name : workloads::figure15Names()) {
-        auto circuit = workloads::figure15Benchmark(name);
-        Rng expand_rng(2025);
-        auto dyn =
-            workloads::expandNonAdjacentGates(circuit, 1.0, expand_rng);
+    for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
+        const auto &base = results[i];
+        const auto &hisq = results[i + 1];
+        const std::string &name =
+            base.params.find("workload")->asString();
+        const double base_us =
+            base.metrics.find("makespan_us")->asDouble();
+        const double hisq_us =
+            hisq.metrics.find("makespan_us")->asDouble();
 
-        const auto base =
-            bench::execute(dyn, compiler::SyncScheme::kLockStep);
-        const auto hisq = bench::execute(dyn, compiler::SyncScheme::kBisp);
-
-        const double norm = hisq.makespan_us / base.makespan_us;
-        sum_norm += norm;
-        ++count;
-        // BISP must be violation-free; the baseline's slips are the
-        // issue-rate pressure the paper's Section 1.1 attributes to
-        // lock-step result distribution.
         char health[48];
-        if (hisq.deadlock || base.deadlock) {
-            std::snprintf(health, sizeof(health), "DEADLOCK");
-        } else if (hisq.coincidence != 0) {
-            // BISP's cycle-level commitment guarantee must never break.
-            std::snprintf(health, sizeof(health), "DHISQ-COINC!");
+        char norm_text[24];
+        Json norm_value; // null = n/a
+        if (!base.healthy || !hisq.healthy) {
+            // BISP's cycle-level commitment guarantee must never break,
+            // and nothing may deadlock.
+            std::snprintf(health, sizeof(health), "%s",
+                          !hisq.healthy ? hisq.health.c_str()
+                                        : base.health.c_str());
+            std::snprintf(norm_text, sizeof(norm_text), "n/a");
+            unhealthy = true;
+        } else if (base_us <= 0.0) {
+            // An empty baseline makespan makes "normalized" meaningless;
+            // report n/a instead of printing inf/nan.
+            std::snprintf(health, sizeof(health), "empty-baseline");
+            std::snprintf(norm_text, sizeof(norm_text), "n/a");
         } else {
-            std::snprintf(health, sizeof(health), "%llu/%llu/%llu",
-                          (unsigned long long)(base.violations -
-                                               base.coincidence),
-                          (unsigned long long)base.coincidence,
-                          (unsigned long long)(hisq.violations -
-                                               hisq.coincidence));
+            const double norm = hisq_us / base_us;
+            sum_norm += norm;
+            ++count;
+            norm_value = norm;
+            std::snprintf(norm_text, sizeof(norm_text), "%.3f", norm);
+            // The baseline's slips are the issue-rate pressure the
+            // paper's Section 1.1 attributes to lock-step distribution.
+            const auto slips = [](const sweep::PointResult &r) {
+                return (unsigned long long)(r.metrics.find("violations")
+                                                ->asInt() -
+                                            r.metrics.find("coincidence")
+                                                ->asInt());
+            };
+            std::snprintf(
+                health, sizeof(health), "%llu/%llu/%llu", slips(base),
+                (unsigned long long)base.metrics.find("coincidence")
+                    ->asInt(),
+                slips(hisq));
         }
-        std::printf("%-16s %14.2f %14.2f %12.3f %20s\n", name.c_str(),
-                    base.makespan_us, hisq.makespan_us, norm, health);
+        std::printf("%-16s %14.2f %14.2f %12s %20s\n", name.c_str(),
+                    base_us, hisq_us, norm_text, health);
+
+        Json entry = Json::object();
+        entry["workload"] = name;
+        entry["normalized"] = norm_value;
+        normalized.push(std::move(entry));
     }
 
-    std::printf("%-16s %14s %14s %12.3f\n", "avg", "", "",
-                sum_norm / count);
-    std::printf(
-        "(b-slip/b-coin/d-slip = baseline issue-rate slips, baseline\n"
-        "two-qubit coincidence breaks, dhisq issue-rate slips. BISP's\n"
-        "coincidence violations are asserted zero: cycle-level gate\n"
-        "alignment holds even when bv's machine-spanning parity\n"
-        "feed-forward saturates the classical issue rate — bv is the\n"
-        "paper's anomalous benchmark too.)\n");
+    if (count > 0) {
+        std::printf("%-16s %14s %14s %12.3f\n", "avg", "", "",
+                    sum_norm / count);
+        report.derived["avg_normalized"] = sum_norm / count;
+    } else {
+        std::printf("%-16s %14s %14s %12s\n", "avg", "", "", "n/a");
+        report.derived["avg_normalized"] = nullptr;
+    }
+    report.derived["normalized"] = std::move(normalized);
     std::printf("\npaper: avg normalized runtime 0.772 "
                 "(22.8%% reduction); bv favours the baseline\n");
-    return 0;
+
+    if (!cli.json_path.empty()) {
+        if (auto st = sweep::writeBenchJson(cli.json_path, report); !st) {
+            std::fprintf(stderr, "%s\n", st.message().c_str());
+            return 1;
+        }
+    }
+    return (unhealthy || !report.allHealthy()) ? 1 : 0;
 }

@@ -12,68 +12,139 @@
  * messages. Infidelity follows the live-window decoherence model
  * 1 - prod_q exp(-live_q / T1), so the reduction tracks the live-time
  * ratio; the paper reports a roughly constant ~5x.
+ *
+ * Sweep-harness port: the two scheme points run on the SweepRunner
+ * (--threads), the per-T1 infidelities are computed inside each point from
+ * the per-qubit activity and serialized with --json.
  */
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hpp"
-#include "workloads/lrcnot.hpp"
+#include "sweep/cli.hpp"
+#include "sweep/grid.hpp"
+#include "sweep/report.hpp"
 
 using namespace dhisq;
 
-int
-main()
-{
-    // The Figure 14 scenario: a teleportation-based long-range CNOT chain
-    // (three back-to-back long-range CNOTs across a 9-qubit line, as in a
-    // distributed-QFT slice) — multiple measurement+feed-forward rounds.
-    const unsigned n = 9;
-    compiler::Circuit circuit(n, "fig14_lrcnot_chain");
-    circuit.gate(q::Gate::kH, 0);
-    circuit.gate(q::Gate::kH, 4);
-    // Ancilla reuse without active reset (Pauli-frame corrected), as in
-    // the paper's dynamic-circuit conversion: the timing structure is what
-    // matters for the fidelity comparison.
-    workloads::appendLongRangeCnotLine(circuit, 0, 4);
-    workloads::appendLongRangeCnotLine(circuit, 4, 8);
-    workloads::appendLongRangeCnotLine(circuit, 8, 0);
+namespace {
 
-    compiler::CompilerConfig base_cc;
-    base_cc.scheme = compiler::SyncScheme::kLockStep;
+std::vector<double>
+t1Sweep()
+{
+    std::vector<double> t1s;
+    for (double t1 = 30.0; t1 <= 300.0 + 1e-9; t1 += 30.0)
+        t1s.push_back(t1);
+    return t1s;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto cli = sweep::parseCliOrExit(argc, argv);
+    const std::vector<double> t1s = t1Sweep();
+
+    // The Figure 14 scenario: three back-to-back long-range CNOTs across
+    // a 9-qubit line (a distributed-QFT slice) — multiple measurement +
+    // feed-forward rounds. Ancillas are reused without active reset
+    // (Pauli-frame corrected), as in the paper's conversion.
+    sweep::CircuitSpec chain;
+    chain.kind = sweep::CircuitSpec::Kind::kLrCnotChain;
+    chain.qubits = 9;
+
+    sweep::ExperimentPoint base_point;
+    base_point.circuit = chain;
+    base_point.config.scheme = compiler::SyncScheme::kLockStep;
     // Superconducting feedback chains cost O(1.5 us) round trip through
     // a central controller; 175 cycles = 700 ns each way.
-    base_cc.star_latency = 175;
-    compiler::CompilerConfig hisq_cc;
-    hisq_cc.scheme = compiler::SyncScheme::kBisp;
+    base_point.config.star_latency = 175;
+    base_point.state_vector = true;
 
-    const auto base = bench::executeWith(circuit, base_cc,
-                                         /*state_vector=*/true);
-    const auto hisq = bench::executeWith(circuit, hisq_cc,
-                                         /*state_vector=*/true);
+    sweep::ExperimentPoint hisq_point;
+    hisq_point.circuit = chain;
+    hisq_point.config.scheme = compiler::SyncScheme::kBisp;
+    hisq_point.state_vector = true;
+
+    // Each point computes its own T1 -> infidelity curve from the
+    // per-qubit live windows (which are not serialized wholesale).
+    const sweep::MetricsHook infidelities =
+        [&t1s](const sweep::ExecResult &r, sweep::PointResult &out) {
+            Json curve = Json::array();
+            for (const double t1 : t1s) {
+                Json sample = Json::object();
+                sample["t1_us"] = t1;
+                sample["infidelity"] =
+                    q::decoherenceInfidelity(r.activity, t1);
+                curve.push(std::move(sample));
+            }
+            out.metrics["infidelity_vs_t1"] = std::move(curve);
+        };
+
+    sweep::SweepRunner::Options ropt;
+    ropt.threads = cli.threads;
+    sweep::SweepRunner runner(ropt);
+    const auto results = runner.run(
+        sweep::makeTasks({base_point, hisq_point}, infidelities));
+    const auto &base = results[0];
+    const auto &hisq = results[1];
 
     bench::headline("Figure 16: infidelity vs relaxation time");
     std::printf("execution: baseline %.2f us, dhisq %.2f us "
-                "(live-window cycles: %llu vs %llu)\n",
-                base.makespan_us, hisq.makespan_us,
-                (unsigned long long)base.activity.totalLiveCycles(),
-                (unsigned long long)hisq.activity.totalLiveCycles());
-    std::printf("health: baseline %llu violations, dhisq %llu "
-                "(coincidence %llu/%llu)\n\n",
-                (unsigned long long)base.violations,
-                (unsigned long long)hisq.violations,
-                (unsigned long long)base.coincidence,
-                (unsigned long long)hisq.coincidence);
-    std::printf("%10s %16s %16s %12s\n", "T1 (us)", "baseline",
-                "dhisq", "reduction");
+                "(live-window cycles: %lld vs %lld)\n",
+                base.metrics.find("makespan_us")->asDouble(),
+                hisq.metrics.find("makespan_us")->asDouble(),
+                (long long)base.metrics.find("live_cycles")->asInt(),
+                (long long)hisq.metrics.find("live_cycles")->asInt());
+    std::printf("health: baseline %lld violations, dhisq %lld "
+                "(coincidence %lld/%lld)\n\n",
+                (long long)base.metrics.find("violations")->asInt(),
+                (long long)hisq.metrics.find("violations")->asInt(),
+                (long long)base.metrics.find("coincidence")->asInt(),
+                (long long)hisq.metrics.find("coincidence")->asInt());
+    std::printf("%10s %16s %16s %12s\n", "T1 (us)", "baseline", "dhisq",
+                "reduction");
 
-    for (double t1 = 30.0; t1 <= 300.0 + 1e-9; t1 += 30.0) {
+    sweep::BenchReport report;
+    report.bench = "fig16_infidelity";
+    report.config["circuit"] = chain.id();
+    report.config["baseline_star_latency"] =
+        base_point.config.star_latency;
+    report.points = results;
+
+    Json reductions = Json::array();
+    const auto &base_curve =
+        base.metrics.find("infidelity_vs_t1")->asArray();
+    const auto &hisq_curve =
+        hisq.metrics.find("infidelity_vs_t1")->asArray();
+    for (std::size_t i = 0; i < t1s.size(); ++i) {
         const double inf_base =
-            q::decoherenceInfidelity(base.activity, t1);
+            base_curve[i].find("infidelity")->asDouble();
         const double inf_hisq =
-            q::decoherenceInfidelity(hisq.activity, t1);
-        std::printf("%10.0f %16.3e %16.3e %11.2fx\n", t1, inf_base,
-                    inf_hisq, inf_base / inf_hisq);
+            hisq_curve[i].find("infidelity")->asDouble();
+        Json entry = Json::object();
+        entry["t1_us"] = t1s[i];
+        if (inf_hisq > 0.0) {
+            std::printf("%10.0f %16.3e %16.3e %11.2fx\n", t1s[i],
+                        inf_base, inf_hisq, inf_base / inf_hisq);
+            entry["reduction"] = inf_base / inf_hisq;
+        } else {
+            std::printf("%10.0f %16.3e %16.3e %12s\n", t1s[i], inf_base,
+                        inf_hisq, "n/a");
+            entry["reduction"] = nullptr;
+        }
+        reductions.push(std::move(entry));
     }
+    report.derived["reduction_vs_t1"] = std::move(reductions);
     std::printf("\npaper: ~5x constant infidelity reduction across the "
                 "sweep\n");
-    return 0;
+
+    if (!cli.json_path.empty()) {
+        if (auto st = sweep::writeBenchJson(cli.json_path, report); !st) {
+            std::fprintf(stderr, "%s\n", st.message().c_str());
+            return 1;
+        }
+    }
+    return report.allHealthy() ? 0 : 1;
 }

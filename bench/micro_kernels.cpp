@@ -36,6 +36,35 @@ BM_SchedulerEventThroughput(benchmark::State &state)
 BENCHMARK(BM_SchedulerEventThroughput);
 
 static void
+BM_SchedulerCancelHeavy(benchmark::State &state)
+{
+    // The sync-guard pattern that dominates large sweeps: every controller
+    // schedules a far-future timeout guard, then cancels it when the real
+    // event arrives. The kernel stresses cancellation bookkeeping: n live
+    // guards are cancelled while n foreground events drain.
+    const int n = int(state.range(0));
+    std::vector<sim::EventId> guards(std::size_t(n), sim::kNoEvent);
+    for (auto _ : state) {
+        sim::Scheduler sched;
+        std::uint64_t fired = 0;
+        for (int i = 0; i < n; ++i) {
+            guards[std::size_t(i)] = sched.schedule(
+                Cycle(1000000 + i), [&fired] { ++fired; });
+        }
+        for (int i = 0; i < n; ++i) {
+            sched.schedule(Cycle(i), [&sched, &guards, &fired, i] {
+                ++fired;
+                sched.cancel(guards[std::size_t(i)]);
+            });
+        }
+        sched.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(state.iterations() * uint64_t(n) * 2);
+}
+BENCHMARK(BM_SchedulerCancelHeavy)->Arg(1000)->Arg(10000);
+
+static void
 BM_StateVectorGate(benchmark::State &state)
 {
     const unsigned n = unsigned(state.range(0));

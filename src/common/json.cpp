@@ -1,0 +1,453 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace dhisq {
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c; // UTF-8 bytes pass through unmodified
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+void
+appendNumber(std::string &out, double v)
+{
+    if (!std::isfinite(v)) {
+        // JSON has no inf/nan; emit null (the reader treats it as "n/a").
+        out += "null";
+        return;
+    }
+    char buf[32];
+    // %.17g round-trips every double; trim to the shortest representation
+    // that still parses back equal so output stays tidy and deterministic.
+    for (int precision : {15, 16, 17}) {
+        std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    out += buf;
+    // Keep a marker so the value re-parses as a double, not an integer.
+    if (out.find_first_of(".eE", out.size() - std::strlen(buf)) ==
+        std::string::npos) {
+        out += ".0";
+    }
+}
+
+void
+dumpTo(const Json &j, std::string &out, int indent, int depth)
+{
+    const auto newline = [&](int d) {
+        if (indent >= 0) {
+            out += '\n';
+            out.append(std::size_t(indent) * std::size_t(d), ' ');
+        }
+    };
+    switch (j.type()) {
+      case Json::Type::Null: out += "null"; break;
+      case Json::Type::Bool: out += j.asBool() ? "true" : "false"; break;
+      case Json::Type::Int: out += std::to_string(j.asInt()); break;
+      case Json::Type::Double: appendNumber(out, j.asDouble()); break;
+      case Json::Type::String:
+        out += '"';
+        out += jsonEscape(j.asString());
+        out += '"';
+        break;
+      case Json::Type::Array: {
+        const auto &elements = j.asArray();
+        if (elements.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        for (std::size_t i = 0; i < elements.size(); ++i) {
+            if (i != 0)
+                out += ',';
+            newline(depth + 1);
+            dumpTo(elements[i], out, indent, depth + 1);
+        }
+        newline(depth);
+        out += ']';
+        break;
+      }
+      case Json::Type::Object: {
+        const auto &members = j.asObject();
+        if (members.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        for (std::size_t i = 0; i < members.size(); ++i) {
+            if (i != 0)
+                out += ',';
+            newline(depth + 1);
+            out += '"';
+            out += jsonEscape(members[i].first);
+            out += "\":";
+            if (indent >= 0)
+                out += ' ';
+            dumpTo(members[i].second, out, indent, depth + 1);
+        }
+        newline(depth);
+        out += '}';
+        break;
+      }
+    }
+}
+
+} // namespace
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(*this, out, indent, 0);
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser (recursive descent)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : _text(text) {}
+
+    Result<Json>
+    parseDocument()
+    {
+        Json value;
+        if (auto st = parseValue(value, 0); !st)
+            return Result<Json>::error(st.message());
+        skipWhitespace();
+        if (_pos != _text.size())
+            return Result<Json>::error(errorAt("trailing characters"));
+        return value;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 128;
+
+    std::string
+    errorAt(const std::string &what) const
+    {
+        return "json: " + what + " at offset " + std::to_string(_pos);
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (_pos < _text.size() &&
+               (_text[_pos] == ' ' || _text[_pos] == '\t' ||
+                _text[_pos] == '\n' || _text[_pos] == '\r')) {
+            ++_pos;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        if (_pos < _text.size() && _text[_pos] == c) {
+            ++_pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    consumeLiteral(std::string_view lit)
+    {
+        if (_text.substr(_pos, lit.size()) == lit) {
+            _pos += lit.size();
+            return true;
+        }
+        return false;
+    }
+
+    Status
+    parseValue(Json &out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return Status::error(errorAt("nesting too deep"));
+        skipWhitespace();
+        if (_pos >= _text.size())
+            return Status::error(errorAt("unexpected end of input"));
+        switch (_text[_pos]) {
+          case '{': return parseObject(out, depth);
+          case '[': return parseArray(out, depth);
+          case '"': return parseString(out);
+          case 't':
+            if (consumeLiteral("true")) {
+                out = Json(true);
+                return Status::ok();
+            }
+            return Status::error(errorAt("invalid literal"));
+          case 'f':
+            if (consumeLiteral("false")) {
+                out = Json(false);
+                return Status::ok();
+            }
+            return Status::error(errorAt("invalid literal"));
+          case 'n':
+            if (consumeLiteral("null")) {
+                out = Json(nullptr);
+                return Status::ok();
+            }
+            return Status::error(errorAt("invalid literal"));
+          default: return parseNumber(out);
+        }
+    }
+
+    Status
+    parseObject(Json &out, int depth)
+    {
+        ++_pos; // '{'
+        out = Json::object();
+        skipWhitespace();
+        if (consume('}'))
+            return Status::ok();
+        for (;;) {
+            skipWhitespace();
+            Json key;
+            if (_pos >= _text.size() || _text[_pos] != '"')
+                return Status::error(errorAt("expected object key"));
+            if (auto st = parseString(key); !st)
+                return st;
+            skipWhitespace();
+            if (!consume(':'))
+                return Status::error(errorAt("expected ':'"));
+            Json value;
+            if (auto st = parseValue(value, depth + 1); !st)
+                return st;
+            out[key.asString()] = std::move(value);
+            skipWhitespace();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return Status::ok();
+            return Status::error(errorAt("expected ',' or '}'"));
+        }
+    }
+
+    Status
+    parseArray(Json &out, int depth)
+    {
+        ++_pos; // '['
+        out = Json::array();
+        skipWhitespace();
+        if (consume(']'))
+            return Status::ok();
+        for (;;) {
+            Json element;
+            if (auto st = parseValue(element, depth + 1); !st)
+                return st;
+            out.push(std::move(element));
+            skipWhitespace();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return Status::ok();
+            return Status::error(errorAt("expected ',' or ']'"));
+        }
+    }
+
+    static void
+    appendUtf8(std::string &s, unsigned code_point)
+    {
+        if (code_point < 0x80) {
+            s += char(code_point);
+        } else if (code_point < 0x800) {
+            s += char(0xC0 | (code_point >> 6));
+            s += char(0x80 | (code_point & 0x3F));
+        } else if (code_point < 0x10000) {
+            s += char(0xE0 | (code_point >> 12));
+            s += char(0x80 | ((code_point >> 6) & 0x3F));
+            s += char(0x80 | (code_point & 0x3F));
+        } else {
+            s += char(0xF0 | (code_point >> 18));
+            s += char(0x80 | ((code_point >> 12) & 0x3F));
+            s += char(0x80 | ((code_point >> 6) & 0x3F));
+            s += char(0x80 | (code_point & 0x3F));
+        }
+    }
+
+    Status
+    parseHex4(unsigned &out)
+    {
+        if (_pos + 4 > _text.size())
+            return Status::error(errorAt("truncated \\u escape"));
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = _text[_pos + std::size_t(i)];
+            out <<= 4;
+            if (c >= '0' && c <= '9')
+                out |= unsigned(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                out |= unsigned(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                out |= unsigned(c - 'A' + 10);
+            else
+                return Status::error(errorAt("invalid \\u escape"));
+        }
+        _pos += 4;
+        return Status::ok();
+    }
+
+    Status
+    parseString(Json &out)
+    {
+        ++_pos; // '"'
+        std::string s;
+        for (;;) {
+            if (_pos >= _text.size())
+                return Status::error(errorAt("unterminated string"));
+            const char c = _text[_pos++];
+            if (c == '"')
+                break;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return Status::error(
+                    errorAt("raw control character in string"));
+            if (c != '\\') {
+                s += c;
+                continue;
+            }
+            if (_pos >= _text.size())
+                return Status::error(errorAt("truncated escape"));
+            const char esc = _text[_pos++];
+            switch (esc) {
+              case '"': s += '"'; break;
+              case '\\': s += '\\'; break;
+              case '/': s += '/'; break;
+              case 'b': s += '\b'; break;
+              case 'f': s += '\f'; break;
+              case 'n': s += '\n'; break;
+              case 'r': s += '\r'; break;
+              case 't': s += '\t'; break;
+              case 'u': {
+                unsigned code_point = 0;
+                if (auto st = parseHex4(code_point); !st)
+                    return st;
+                // Surrogate pair: combine \uD800-\uDBFF + \uDC00-\uDFFF.
+                if (code_point >= 0xD800 && code_point <= 0xDBFF &&
+                    consumeLiteral("\\u")) {
+                    unsigned low = 0;
+                    if (auto st = parseHex4(low); !st)
+                        return st;
+                    if (low < 0xDC00 || low > 0xDFFF)
+                        return Status::error(
+                            errorAt("invalid low surrogate"));
+                    code_point = 0x10000 +
+                                 ((code_point - 0xD800) << 10) +
+                                 (low - 0xDC00);
+                }
+                appendUtf8(s, code_point);
+                break;
+              }
+              default:
+                return Status::error(errorAt("invalid escape"));
+            }
+        }
+        out = Json(std::move(s));
+        return Status::ok();
+    }
+
+    Status
+    parseNumber(Json &out)
+    {
+        const std::size_t start = _pos;
+        consume('-');
+        while (_pos < _text.size() &&
+               std::isdigit(static_cast<unsigned char>(_text[_pos]))) {
+            ++_pos;
+        }
+        bool is_double = false;
+        if (consume('.')) {
+            is_double = true;
+            while (_pos < _text.size() &&
+                   std::isdigit(static_cast<unsigned char>(_text[_pos]))) {
+                ++_pos;
+            }
+        }
+        if (_pos < _text.size() &&
+            (_text[_pos] == 'e' || _text[_pos] == 'E')) {
+            is_double = true;
+            ++_pos;
+            if (_pos < _text.size() &&
+                (_text[_pos] == '+' || _text[_pos] == '-')) {
+                ++_pos;
+            }
+            while (_pos < _text.size() &&
+                   std::isdigit(static_cast<unsigned char>(_text[_pos]))) {
+                ++_pos;
+            }
+        }
+        const std::string_view token = _text.substr(start, _pos - start);
+        if (token.empty() || token == "-")
+            return Status::error(errorAt("invalid number"));
+        if (!is_double) {
+            std::int64_t value = 0;
+            const auto [ptr, ec] = std::from_chars(
+                token.data(), token.data() + token.size(), value);
+            if (ec == std::errc() && ptr == token.data() + token.size()) {
+                out = Json(value);
+                return Status::ok();
+            }
+            // Out-of-int64-range integers degrade to double below.
+        }
+        double value = 0.0;
+        const auto [ptr, ec] = std::from_chars(
+            token.data(), token.data() + token.size(), value);
+        if (ec != std::errc() || ptr != token.data() + token.size())
+            return Status::error(errorAt("invalid number"));
+        out = Json(value);
+        return Status::ok();
+    }
+
+    std::string_view _text;
+    std::size_t _pos = 0;
+};
+
+} // namespace
+
+Result<Json>
+Json::parse(std::string_view text)
+{
+    return Parser(text).parseDocument();
+}
+
+} // namespace dhisq

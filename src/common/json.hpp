@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Minimal JSON value model, writer and parser for benchmark emission.
+ *
+ * The sweep harness serializes every experiment grid to `BENCH_<name>.json`
+ * so CI can track the performance trajectory across commits; the parser
+ * exists so tests can round-trip what the writer emits and so tools can
+ * validate artifacts without a Python dependency.
+ *
+ * Design constraints:
+ *  - Deterministic output: objects preserve insertion order and numbers
+ *    are printed identically for identical values, so two runs of the same
+ *    grid produce byte-identical files regardless of thread count.
+ *  - Integers are kept distinct from doubles (cycle counts exceed float
+ *    precision long before they exceed int64), and round-trip exactly.
+ *  - No exceptions across module boundaries: parse returns Result<Json>.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace dhisq {
+
+/** One JSON value: null, bool, integer, double, string, array or object. */
+class Json
+{
+  public:
+    using Array = std::vector<Json>;
+    /** Insertion-ordered key/value list (deterministic serialization). */
+    using Object = std::vector<std::pair<std::string, Json>>;
+
+    enum class Type { Null, Bool, Int, Double, String, Array, Object };
+
+    Json() = default;
+    Json(std::nullptr_t) {}
+    Json(bool b) : _value(b) {}
+    Json(int v) : _value(std::int64_t(v)) {}
+    Json(unsigned v) : _value(std::int64_t(v)) {}
+    Json(long v) : _value(std::int64_t(v)) {}
+    Json(unsigned long v) : _value(std::int64_t(v)) {}
+    Json(long long v) : _value(std::int64_t(v)) {}
+    Json(unsigned long long v) : _value(std::int64_t(v)) {}
+    Json(double v) : _value(v) {}
+    Json(const char *s) : _value(std::string(s)) {}
+    Json(std::string s) : _value(std::move(s)) {}
+    Json(std::string_view s) : _value(std::string(s)) {}
+
+    /** An empty array (distinct from null). */
+    static Json
+    array()
+    {
+        Json j;
+        j._value = Array{};
+        return j;
+    }
+
+    /** An empty object (distinct from null). */
+    static Json
+    object()
+    {
+        Json j;
+        j._value = Object{};
+        return j;
+    }
+
+    Type
+    type() const
+    {
+        return static_cast<Type>(_value.index());
+    }
+
+    bool isNull() const { return type() == Type::Null; }
+    bool isBool() const { return type() == Type::Bool; }
+    bool isInt() const { return type() == Type::Int; }
+    bool isDouble() const { return type() == Type::Double; }
+    bool isNumber() const { return isInt() || isDouble(); }
+    bool isString() const { return type() == Type::String; }
+    bool isArray() const { return type() == Type::Array; }
+    bool isObject() const { return type() == Type::Object; }
+
+    bool asBool() const { return std::get<bool>(_value); }
+    std::int64_t asInt() const { return std::get<std::int64_t>(_value); }
+
+    /** Numeric value as double (works for Int and Double). */
+    double
+    asDouble() const
+    {
+        return isInt() ? double(std::get<std::int64_t>(_value))
+                       : std::get<double>(_value);
+    }
+
+    const std::string &asString() const
+    {
+        return std::get<std::string>(_value);
+    }
+    const Array &asArray() const { return std::get<Array>(_value); }
+    const Object &asObject() const { return std::get<Object>(_value); }
+
+    /** Elements in an array or members in an object; 0 otherwise. */
+    std::size_t
+    size() const
+    {
+        if (isArray())
+            return asArray().size();
+        if (isObject())
+            return asObject().size();
+        return 0;
+    }
+
+    /** Append to an array (null values become an array first). */
+    void
+    push(Json element)
+    {
+        if (isNull())
+            _value = Array{};
+        std::get<Array>(_value).push_back(std::move(element));
+    }
+
+    /**
+     * Object member access, inserting a null member if absent (null values
+     * become an object first). Preserves insertion order.
+     */
+    Json &
+    operator[](std::string_view key)
+    {
+        if (isNull())
+            _value = Object{};
+        auto &members = std::get<Object>(_value);
+        for (auto &[k, v] : members) {
+            if (k == key)
+                return v;
+        }
+        members.emplace_back(std::string(key), Json());
+        return members.back().second;
+    }
+
+    /** Member lookup; nullptr when absent or not an object. */
+    const Json *
+    find(std::string_view key) const
+    {
+        if (!isObject())
+            return nullptr;
+        for (const auto &[k, v] : asObject()) {
+            if (k == key)
+                return &v;
+        }
+        return nullptr;
+    }
+
+    bool contains(std::string_view key) const
+    {
+        return find(key) != nullptr;
+    }
+
+    /** Array element access (bounds-checked panic, like vector::at). */
+    const Json &at(std::size_t index) const { return asArray().at(index); }
+
+    /**
+     * Serialize. `indent` < 0 emits a compact single line; >= 0 pretty
+     * prints with that many spaces per level. Output is deterministic.
+     */
+    std::string dump(int indent = -1) const;
+
+    /** Parse a complete JSON document (trailing junk is an error). */
+    static Result<Json> parse(std::string_view text);
+
+    bool operator==(const Json &other) const = default;
+
+  private:
+    std::variant<std::nullptr_t, bool, std::int64_t, double, std::string,
+                 Array, Object>
+        _value = nullptr;
+};
+
+/** Escape `s` as the *inside* of a JSON string literal (no quotes). */
+std::string jsonEscape(std::string_view s);
+
+} // namespace dhisq

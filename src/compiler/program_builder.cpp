@@ -48,12 +48,16 @@ ProgramBuilder::li(unsigned rd, std::int32_t value)
         addi(rd, 0, value);
         return;
     }
-    std::int32_t hi = value & ~0xFFF;
+    // Compute the split in uint32 space: near INT32_MAX the +4096
+    // carry-fixup overflows a signed int (UB caught by UBSan); the wrap
+    // is exactly the lui+addi semantics we want.
+    std::uint32_t hi_bits = std::uint32_t(value) & ~0xFFFu;
     std::int32_t lo = value & 0xFFF;
     if (lo >= 2048) {
         lo -= 4096;
-        hi += 4096;
+        hi_bits += 4096u;
     }
+    const std::int32_t hi = std::int32_t(hi_bits);
     emit(isa::Instruction{isa::Op::kLui, std::uint8_t(rd), 0, 0, hi, 0});
     addi(rd, rd, lo);
 }

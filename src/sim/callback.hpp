@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Small-buffer callback type for the discrete-event kernel.
+ *
+ * Every scheduled event used to carry a `std::function<void()>`, whose
+ * capture state lives on the heap for anything bigger than two pointers
+ * (libstdc++'s inline buffer). The simulator schedules millions of events
+ * per run, and nearly all captures are `this` plus a couple of scalars, so
+ * the allocation and the pointer chase dominated the event hot path.
+ *
+ * sim::Callback is a move-only type-erased `void()` callable with a
+ * 48-byte inline buffer: every lambda in the codebase fits inline, and
+ * oversized or throwing-move captures fall back to a single heap cell.
+ */
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dhisq::sim {
+
+/** Move-only `void()` callable with small-buffer-optimized storage. */
+class Callback
+{
+  public:
+    /** Inline capture budget; larger callables are heap-allocated. */
+    static constexpr std::size_t kInlineSize = 48;
+
+    Callback() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, Callback> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    Callback(F &&fn) // NOLINT: implicit by design, mirrors std::function
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void *>(_storage)) Fn(std::forward<F>(fn));
+            _ops = inlineOps<Fn>();
+        } else {
+            ::new (static_cast<void *>(_storage))
+                Fn *(new Fn(std::forward<F>(fn)));
+            _ops = heapOps<Fn>();
+        }
+    }
+
+    Callback(Callback &&other) noexcept { moveFrom(other); }
+
+    Callback &
+    operator=(Callback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    Callback(const Callback &) = delete;
+    Callback &operator=(const Callback &) = delete;
+
+    ~Callback() { reset(); }
+
+    /** True if a callable is held. */
+    explicit operator bool() const { return _ops != nullptr; }
+
+    /** Invoke the held callable (undefined if empty). */
+    void operator()() { _ops->invoke(_storage); }
+
+    /** Destroy the held callable, leaving the Callback empty. */
+    void
+    reset()
+    {
+        if (_ops != nullptr) {
+            _ops->destroy(_storage);
+            _ops = nullptr;
+        }
+    }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(unsigned char *);
+        void (*relocate)(unsigned char *dst, unsigned char *src);
+        void (*destroy)(unsigned char *);
+    };
+
+    template <typename Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fn) <= kInlineSize &&
+               alignof(Fn) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+    template <typename Fn>
+    static Fn *
+    inlinePtr(unsigned char *s)
+    {
+        return std::launder(reinterpret_cast<Fn *>(s));
+    }
+
+    template <typename Fn>
+    static Fn *&
+    heapPtr(unsigned char *s)
+    {
+        return *std::launder(reinterpret_cast<Fn **>(s));
+    }
+
+    template <typename Fn>
+    static const Ops *
+    inlineOps()
+    {
+        static constexpr Ops ops{
+            [](unsigned char *s) { (*inlinePtr<Fn>(s))(); },
+            [](unsigned char *dst, unsigned char *src) {
+                Fn *f = inlinePtr<Fn>(src);
+                ::new (static_cast<void *>(dst)) Fn(std::move(*f));
+                f->~Fn();
+            },
+            [](unsigned char *s) { inlinePtr<Fn>(s)->~Fn(); },
+        };
+        return &ops;
+    }
+
+    template <typename Fn>
+    static const Ops *
+    heapOps()
+    {
+        static constexpr Ops ops{
+            [](unsigned char *s) { (*heapPtr<Fn>(s))(); },
+            [](unsigned char *dst, unsigned char *src) {
+                ::new (static_cast<void *>(dst)) Fn *(heapPtr<Fn>(src));
+            },
+            [](unsigned char *s) { delete heapPtr<Fn>(s); },
+        };
+        return &ops;
+    }
+
+    void
+    moveFrom(Callback &other)
+    {
+        _ops = other._ops;
+        if (_ops != nullptr) {
+            _ops->relocate(_storage, other._storage);
+            other._ops = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char _storage[kInlineSize];
+    const Ops *_ops = nullptr;
+};
+
+} // namespace dhisq::sim

@@ -10,16 +10,35 @@
  * Determinism: events at the same cycle fire in schedule order (a strictly
  * increasing sequence number breaks ties), so a given program + seed always
  * produces the same trace.
+ *
+ * Hot-path design (reworked for the sweep harness, which runs thousands of
+ * points per process):
+ *
+ *  - Callback state lives in a slot pool ("buckets"): each pending event
+ *    owns one slot holding its sim::Callback (small-buffer, no per-event
+ *    heap allocation for ordinary captures) plus a generation counter.
+ *  - The priority queue is a 4-ary min-heap of 24-byte POD entries
+ *    {when, seq, slot, generation}; sift operations move PODs, never
+ *    callbacks.
+ *  - cancel() is O(1): it validates the id's generation against the slot,
+ *    destroys the callback and recycles the slot immediately. The heap
+ *    entry stays behind and is discarded on pop by a single generation
+ *    compare — there is no cancelled-id list to scan, so cancel-heavy
+ *    workloads (one outstanding sync guard per controller) stay linear.
+ *
+ * EventId packs (slot index << 32 | generation); generations start at 1 so
+ * the kNoEvent sentinel 0 is never produced, and a stale id (slot since
+ * recycled, or scheduler reset) simply fails the generation compare, which
+ * keeps "cancel after fire is a harmless no-op" true by construction.
  */
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/logging.hpp"
 #include "common/types.hpp"
+#include "sim/callback.hpp"
 
 namespace dhisq::sim {
 
@@ -33,7 +52,7 @@ inline constexpr EventId kNoEvent = 0;
 class Scheduler
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = sim::Callback;
 
     Scheduler() = default;
     Scheduler(const Scheduler &) = delete;
@@ -51,10 +70,12 @@ class Scheduler
     {
         DHISQ_ASSERT(when >= _now, "scheduling event in the past: when=",
                      when, " now=", _now);
-        const EventId id = ++_next_id;
-        _queue.push(Event{when, id, std::move(cb)});
+        const std::uint32_t slot = acquireSlot();
+        _slots[slot].cb = std::move(cb);
+        heapPush(HeapEntry{when, ++_next_seq, slot,
+                           _slots[slot].generation});
         ++_pending;
-        return id;
+        return makeId(slot, _slots[slot].generation);
     }
 
     /** Schedule `cb` after `delay` cycles. */
@@ -65,14 +86,20 @@ class Scheduler
     }
 
     /**
-     * Cancel a previously scheduled event. Cancelling an already-fired or
-     * already-cancelled event is a harmless no-op.
+     * Cancel a previously scheduled event in O(1). Cancelling an
+     * already-fired or already-cancelled event is a harmless no-op.
      */
     void
     cancel(EventId id)
     {
-        if (id != kNoEvent)
-            _cancelled.push_back(id);
+        const std::uint32_t slot = slotOf(id);
+        if (id == kNoEvent || slot >= _slots.size() ||
+            _slots[slot].generation != generationOf(id)) {
+            return;
+        }
+        _slots[slot].cb.reset();
+        releaseSlot(slot);
+        --_pending;
     }
 
     /** True if no runnable events remain. */
@@ -97,27 +124,57 @@ class Scheduler
     void reset();
 
   private:
-    struct Event
+    /** POD heap entry; the callback stays in its slot. */
+    struct HeapEntry
     {
         Cycle when;
-        EventId id;
-        Callback cb;
+        std::uint64_t seq;
+        std::uint32_t slot;
+        std::uint32_t generation;
 
         bool
-        operator>(const Event &other) const
+        before(const HeapEntry &other) const
         {
             if (when != other.when)
-                return when > other.when;
-            return id > other.id;
+                return when < other.when;
+            return seq < other.seq;
         }
     };
 
-    bool isCancelled(EventId id);
+    /** One pending event's state. Generation 0 is never issued. */
+    struct Slot
+    {
+        Callback cb;
+        std::uint32_t generation = 1;
+    };
 
-    std::priority_queue<Event, std::vector<Event>, std::greater<>> _queue;
-    std::vector<EventId> _cancelled;
+    static EventId
+    makeId(std::uint32_t slot, std::uint32_t generation)
+    {
+        return (EventId(slot) << 32) | EventId(generation);
+    }
+    static std::uint32_t slotOf(EventId id)
+    {
+        return std::uint32_t(id >> 32);
+    }
+    static std::uint32_t generationOf(EventId id)
+    {
+        return std::uint32_t(id);
+    }
+
+    std::uint32_t acquireSlot();
+    void releaseSlot(std::uint32_t slot);
+
+    void heapPush(HeapEntry entry);
+    void heapPopMin();
+    /** Drop heap entries whose slot generation moved on (cancelled). */
+    void dropStaleTop();
+
+    std::vector<HeapEntry> _heap; ///< 4-ary min-heap (when, seq).
+    std::vector<Slot> _slots;
+    std::vector<std::uint32_t> _free_slots;
     Cycle _now = 0;
-    EventId _next_id = kNoEvent;
+    std::uint64_t _next_seq = 0;
     std::uint64_t _pending = 0;
     std::uint64_t _executed = 0;
 };

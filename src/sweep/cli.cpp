@@ -1,0 +1,67 @@
+#include "sweep/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+namespace dhisq::sweep {
+
+Result<CliOptions>
+parseCli(int argc, char **argv)
+{
+    CliOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "--json") {
+            if (i + 1 >= argc)
+                return Result<CliOptions>::error("--json needs a path");
+            opts.json_path = argv[++i];
+        } else if (arg == "--threads") {
+            if (i + 1 >= argc)
+                return Result<CliOptions>::error("--threads needs a count");
+            char *end = nullptr;
+            const long n = std::strtol(argv[++i], &end, 10);
+            if (end == nullptr || *end != '\0' || n < 1 || n > 1024) {
+                return Result<CliOptions>::error(
+                    std::string("bad --threads value: ") + argv[i]);
+            }
+            opts.threads = static_cast<unsigned>(n);
+        } else if (arg == "--quick") {
+            opts.quick = true;
+        } else if (arg == "--help" || arg == "-h") {
+            return Result<CliOptions>::error("help");
+        } else {
+            return Result<CliOptions>::error(std::string("unknown flag: ") +
+                                             std::string(arg));
+        }
+    }
+    return opts;
+}
+
+void
+printUsage(const char *prog)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--json <path>] [--threads N] [--quick]\n"
+                 "  --json <path>  write the dhisq-bench-v1 report "
+                 "(\"-\" = stdout)\n"
+                 "  --threads N    sweep worker threads (default 1)\n"
+                 "  --quick        reduced grid for CI smoke runs\n",
+                 prog);
+}
+
+CliOptions
+parseCliOrExit(int argc, char **argv)
+{
+    auto parsed = parseCli(argc, argv);
+    if (!parsed) {
+        if (parsed.message() != "help")
+            std::fprintf(stderr, "%s: %s\n", argv[0],
+                         parsed.message().c_str());
+        printUsage(argv[0]);
+        std::exit(parsed.message() == "help" ? 0 : 2);
+    }
+    return parsed.take();
+}
+
+} // namespace dhisq::sweep

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Shared command-line handling for the sweep-based bench binaries:
+ * `--json <path>` (emit BENCH json, "-" = stdout), `--threads N`
+ * (worker pool size), `--quick` (reduced grid for the CI smoke run).
+ */
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+
+namespace dhisq::sweep {
+
+/** Parsed common bench flags. */
+struct CliOptions
+{
+    /** Output path for the JSON report; empty = no JSON. */
+    std::string json_path;
+    /** Worker threads for the sweep pool. */
+    unsigned threads = 1;
+    /** Run a reduced grid (CI smoke). */
+    bool quick = false;
+};
+
+/**
+ * Parse the common flags. Unknown flags or malformed values produce an
+ * error naming the offending argument; the caller should print usage and
+ * exit nonzero.
+ */
+Result<CliOptions> parseCli(int argc, char **argv);
+
+/** Print the standard usage block for a sweep bench. */
+void printUsage(const char *prog);
+
+/**
+ * Convenience main-helper: parse or exit(2) with usage on stderr.
+ */
+CliOptions parseCliOrExit(int argc, char **argv);
+
+} // namespace dhisq::sweep

@@ -1,0 +1,66 @@
+#include "sweep/exec.hpp"
+
+#include "runtime/machine.hpp"
+
+namespace dhisq::sweep {
+
+net::TopologyConfig
+lineTopology(unsigned controllers)
+{
+    net::TopologyConfig topo;
+    topo.width = controllers;
+    topo.height = 1;
+    topo.tree_arity = 4;
+    topo.neighbor_latency = 2;
+    topo.hop_latency = 4;
+    return topo;
+}
+
+ExecResult
+executeWith(const compiler::Circuit &circuit,
+            const compiler::CompilerConfig &cc, bool state_vector,
+            std::uint64_t seed)
+{
+    const unsigned controllers =
+        (circuit.numQubits() + cc.qubits_per_controller - 1) /
+        cc.qubits_per_controller;
+    const auto topo_cfg = lineTopology(controllers);
+    net::Topology topo = net::Topology::grid(topo_cfg);
+
+    compiler::Compiler comp(topo, cc);
+    auto compiled = comp.compile(circuit);
+
+    auto mc = compiler::machineConfigFor(topo_cfg, cc, circuit.numQubits(),
+                                         state_vector, seed);
+    mc.fabric.star_messages =
+        (cc.scheme == compiler::SyncScheme::kLockStep);
+    runtime::Machine machine(mc);
+    compiled.applyTo(machine);
+
+    const auto report = machine.run();
+    ExecResult result;
+    result.makespan = report.makespan;
+    result.makespan_us = cyclesToNs(report.makespan) / 1000.0;
+    result.violations =
+        report.timing_violations + report.coincidence_violations;
+    result.coincidence = report.coincidence_violations;
+    result.syncs = report.syncs_completed;
+    result.deadlock = report.deadlock;
+    result.activity = machine.device().activity();
+    result.events = report.events_executed;
+    result.controllers = compiled.usedControllers();
+    return result;
+}
+
+ExecResult
+execute(const compiler::Circuit &circuit, compiler::SyncScheme scheme,
+        bool state_vector, std::uint64_t seed,
+        unsigned qubits_per_controller)
+{
+    compiler::CompilerConfig cc;
+    cc.scheme = scheme;
+    cc.qubits_per_controller = qubits_per_controller;
+    return executeWith(circuit, cc, state_vector, seed);
+}
+
+} // namespace dhisq::sweep

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Compile-and-simulate execution helpers for one experiment point.
+ *
+ * Promoted from bench/bench_util.hpp so the sweep runner, the tests and
+ * every bench binary share one definition of "run this circuit under this
+ * sync scheme and report the paper's health counters".
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "compiler/compiler.hpp"
+#include "net/topology.hpp"
+#include "quantum/noise.hpp"
+
+namespace dhisq::sweep {
+
+/** Result of one compiled-and-simulated execution. */
+struct ExecResult
+{
+    Cycle makespan = 0;
+    double makespan_us = 0.0;
+    std::uint64_t violations = 0;  ///< timing slips + coincidence
+    std::uint64_t coincidence = 0; ///< two-qubit half misalignments
+    std::uint64_t syncs = 0;
+    bool deadlock = false;
+    /** Per-qubit live-window activity for the fidelity model. */
+    q::ActivityTracker activity{0};
+    std::uint64_t events = 0;
+    /** Controllers that executed code. */
+    unsigned controllers = 0;
+
+    /** True when the run completed with the paper's guarantees intact. */
+    bool healthy() const { return !deadlock && coincidence == 0; }
+};
+
+/** Standard line-topology config for n controllers. */
+net::TopologyConfig lineTopology(unsigned controllers);
+
+/** Compile + run with an explicit compiler configuration. */
+ExecResult executeWith(const compiler::Circuit &circuit,
+                       const compiler::CompilerConfig &cc,
+                       bool state_vector = false, std::uint64_t seed = 1);
+
+/**
+ * Compile `circuit` for `scheme` with default knobs and execute it.
+ * @param state_vector functional device (small circuits only).
+ */
+ExecResult execute(const compiler::Circuit &circuit,
+                   compiler::SyncScheme scheme, bool state_vector = false,
+                   std::uint64_t seed = 1,
+                   unsigned qubits_per_controller = 1);
+
+} // namespace dhisq::sweep

@@ -1,0 +1,168 @@
+#include "sweep/grid.hpp"
+
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "workloads/lrcnot.hpp"
+
+namespace dhisq::sweep {
+
+namespace {
+
+std::string
+fractionTag(double f)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", f);
+    return buf;
+}
+
+} // namespace
+
+std::string
+CircuitSpec::id() const
+{
+    switch (kind) {
+      case Kind::kFigure15: return name;
+      case Kind::kRandomDynamic:
+        return "rand_q" + std::to_string(random.qubits) + "_l" +
+               std::to_string(random.layers) + "_f" +
+               fractionTag(random.feedback_fraction) + "_s" +
+               std::to_string(random.seed);
+      case Kind::kLrCnotChain:
+        return "lrcnot_chain_n" + std::to_string(qubits);
+    }
+    return "unknown";
+}
+
+compiler::Circuit
+CircuitSpec::build() const
+{
+    compiler::Circuit circuit(0, "empty");
+    switch (kind) {
+      case Kind::kFigure15:
+        circuit = workloads::figure15Benchmark(name);
+        break;
+      case Kind::kRandomDynamic:
+        circuit = workloads::randomDynamic(random);
+        break;
+      case Kind::kLrCnotChain: {
+        // The Figure 14 scenario: back-to-back long-range CNOTs across a
+        // line (a distributed-QFT slice) — measurement + feed-forward
+        // rounds whose serialization the schemes handle differently.
+        DHISQ_ASSERT(qubits >= 3, "lrcnot chain needs >= 3 qubits");
+        const unsigned mid = (qubits - 1) / 2;
+        compiler::Circuit chain(qubits, id());
+        chain.gate(q::Gate::kH, 0);
+        chain.gate(q::Gate::kH, mid);
+        workloads::appendLongRangeCnotLine(chain, 0, mid);
+        workloads::appendLongRangeCnotLine(chain, mid, qubits - 1);
+        workloads::appendLongRangeCnotLine(chain, qubits - 1, 0);
+        circuit = std::move(chain);
+        break;
+      }
+    }
+    if (expand_fraction > 0.0) {
+        Rng rng(expand_seed);
+        circuit = workloads::expandNonAdjacentGates(
+            circuit, expand_fraction, rng);
+    }
+    return circuit;
+}
+
+std::string
+ExperimentPoint::label() const
+{
+    std::string label = circuit.id();
+    label += '/';
+    label += compiler::toString(config.scheme);
+    if (config.qubits_per_controller != 1)
+        label += "/qpc" + std::to_string(config.qubits_per_controller);
+    if (seed != 1)
+        label += "/s" + std::to_string(seed);
+    return label;
+}
+
+std::vector<ExperimentPoint>
+expandGrid(const GridSpec &grid)
+{
+    std::vector<ExperimentPoint> points;
+    points.reserve(grid.circuits.size() * grid.schemes.size() *
+                   grid.qubits_per_controller.size() * grid.seeds.size());
+    for (const auto &circuit : grid.circuits) {
+        for (const auto scheme : grid.schemes) {
+            for (const unsigned qpc : grid.qubits_per_controller) {
+                for (const std::uint64_t seed : grid.seeds) {
+                    ExperimentPoint p;
+                    p.circuit = circuit;
+                    p.config = grid.base_config;
+                    p.config.scheme = scheme;
+                    p.config.qubits_per_controller = qpc;
+                    p.seed = seed;
+                    p.state_vector = grid.state_vector;
+                    points.push_back(std::move(p));
+                }
+            }
+        }
+    }
+    return points;
+}
+
+PointResult
+runPoint(const ExperimentPoint &point, const MetricsHook &extend)
+{
+    const compiler::Circuit circuit = point.circuit.build();
+    const ExecResult r = executeWith(circuit, point.config,
+                                     point.state_vector, point.seed);
+
+    PointResult out;
+    out.label = point.label();
+    out.params["workload"] = point.circuit.id();
+    out.params["scheme"] = compiler::toString(point.config.scheme);
+    out.params["qubits"] = circuit.numQubits();
+    out.params["qubits_per_controller"] =
+        point.config.qubits_per_controller;
+    out.params["seed"] = point.seed;
+    out.params["state_vector"] = point.state_vector;
+
+    out.metrics["makespan_cycles"] = r.makespan;
+    out.metrics["makespan_us"] = r.makespan_us;
+    out.metrics["violations"] = r.violations;
+    out.metrics["coincidence"] = r.coincidence;
+    out.metrics["syncs"] = r.syncs;
+    out.metrics["deadlock"] = r.deadlock;
+    out.metrics["events"] = r.events;
+    out.metrics["controllers"] = r.controllers;
+    out.metrics["live_cycles"] = r.activity.totalLiveCycles();
+
+    // Coincidence breaks under the lock-step baseline are *data* (the
+    // paper's Section 1.1 issue-rate argument); under BISP or demand
+    // sync they violate the cycle-level commitment guarantee and fail
+    // the run. Deadlock always fails.
+    const bool coincidence_ok =
+        r.coincidence == 0 ||
+        point.config.scheme == compiler::SyncScheme::kLockStep;
+    out.healthy = !r.deadlock && coincidence_ok;
+    out.health = r.deadlock         ? "deadlock"
+                 : !coincidence_ok  ? "coincidence"
+                                    : "ok";
+    if (extend)
+        extend(r, out);
+    return out;
+}
+
+std::vector<SweepTask>
+makeTasks(const std::vector<ExperimentPoint> &points,
+          const MetricsHook &extend)
+{
+    std::vector<SweepTask> tasks;
+    tasks.reserve(points.size());
+    for (const auto &point : points) {
+        tasks.push_back(SweepTask{point.label(), [point, extend] {
+                                      return runPoint(point, extend);
+                                  }});
+    }
+    return tasks;
+}
+
+} // namespace dhisq::sweep

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Declarative experiment grids: a data-only description of (circuit
+ * generator x sync scheme x seed x qubits-per-controller) points that
+ * expands into SweepTasks for the runner.
+ *
+ * Points are data, not closures, so a grid can be echoed verbatim into the
+ * emitted JSON and a point's identity never depends on ambient state —
+ * the foundation of the thread-count-independence guarantee.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compiler/compiler.hpp"
+#include "sweep/exec.hpp"
+#include "sweep/runner.hpp"
+#include "workloads/generators.hpp"
+
+namespace dhisq::sweep {
+
+/** How to produce the circuit for one experiment point. */
+struct CircuitSpec
+{
+    enum class Kind
+    {
+        kFigure15,      ///< named Figure 15 benchmark (adder_n577, ...)
+        kRandomDynamic, ///< workloads::randomDynamic(random)
+        kLrCnotChain,   ///< Figure 14 long-range-CNOT chain on `qubits`
+    };
+
+    Kind kind = Kind::kFigure15;
+    /** Figure 15 benchmark name (kFigure15). */
+    std::string name;
+    /** Options for kRandomDynamic. */
+    workloads::RandomDynamicOptions random;
+    /** Line length for kLrCnotChain. */
+    unsigned qubits = 9;
+    /** If > 0, expandNonAdjacentGates(fraction) with `expand_seed`. */
+    double expand_fraction = 0.0;
+    std::uint64_t expand_seed = 2025;
+
+    /** Stable human-readable identity ("adder_n577", "rand_q24_f0.4"). */
+    std::string id() const;
+
+    /** Materialize the (dynamic) circuit. Deterministic. */
+    compiler::Circuit build() const;
+};
+
+/** One fully-specified experiment point. */
+struct ExperimentPoint
+{
+    CircuitSpec circuit;
+    /** Scheme, qubits_per_controller, latencies... (scheme included). */
+    compiler::CompilerConfig config;
+    std::uint64_t seed = 1;
+    bool state_vector = false;
+
+    std::string label() const;
+};
+
+/** Cartesian grid over the declarative axes. */
+struct GridSpec
+{
+    std::vector<CircuitSpec> circuits;
+    std::vector<compiler::SyncScheme> schemes;
+    std::vector<std::uint64_t> seeds = {1};
+    std::vector<unsigned> qubits_per_controller = {1};
+    /** Base knobs applied to every point before the axes override. */
+    compiler::CompilerConfig base_config;
+    bool state_vector = false;
+};
+
+/**
+ * Expand a grid in deterministic order: circuit-major, then scheme, then
+ * qubits-per-controller, then seed.
+ */
+std::vector<ExperimentPoint> expandGrid(const GridSpec &grid);
+
+/** Hook to derive extra metrics from the raw execution of a point. */
+using MetricsHook =
+    std::function<void(const ExecResult &, PointResult &)>;
+
+/**
+ * Execute one point and package the standard metrics. `extend` (optional)
+ * runs after the standard metrics are filled and may add bench-specific
+ * ones (e.g. the Figure 16 infidelity sweep needs per-qubit activity,
+ * which is not serialized by default).
+ */
+PointResult runPoint(const ExperimentPoint &point,
+                     const MetricsHook &extend = nullptr);
+
+/** Wrap points into SweepTasks for SweepRunner::run. */
+std::vector<SweepTask> makeTasks(const std::vector<ExperimentPoint> &points,
+                                 const MetricsHook &extend = nullptr);
+
+} // namespace dhisq::sweep

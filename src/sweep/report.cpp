@@ -1,0 +1,47 @@
+#include "sweep/report.hpp"
+
+#include <cstdio>
+
+namespace dhisq::sweep {
+
+bool
+BenchReport::allHealthy() const
+{
+    return SweepRunner::allHealthy(points);
+}
+
+Json
+BenchReport::toJson() const
+{
+    Json j = Json::object();
+    j["schema"] = "dhisq-bench-v1";
+    j["bench"] = bench;
+    j["config"] = config;
+    Json point_array = Json::array();
+    for (const auto &p : points)
+        point_array.push(p.toJson());
+    j["points"] = std::move(point_array);
+    j["derived"] = derived;
+    j["healthy"] = allHealthy();
+    return j;
+}
+
+Status
+writeBenchJson(const std::string &path, const BenchReport &report)
+{
+    const std::string text = report.toJson().dump(2) + "\n";
+    if (path == "-") {
+        std::fwrite(text.data(), 1, text.size(), stdout);
+        return Status::ok();
+    }
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return Status::error("cannot open " + path + " for writing");
+    const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+    const bool closed = (std::fclose(f) == 0);
+    if (written != text.size() || !closed)
+        return Status::error("short write to " + path);
+    return Status::ok();
+}
+
+} // namespace dhisq::sweep

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * BENCH_<name>.json emission: the machine-readable benchmark artifact CI
+ * uploads and tracks across commits.
+ *
+ * Schema "dhisq-bench-v1" (see bench/README.md):
+ *
+ * {
+ *   "schema":  "dhisq-bench-v1",
+ *   "bench":   "<benchmark name>",
+ *   "config":  { ...free-form grid echo... },
+ *   "points":  [ {"label", "params", "metrics", "healthy", "health"} ],
+ *   "derived": { ...benchmark-level summary values... },
+ *   "healthy": true
+ * }
+ *
+ * Everything in the file is a pure function of the grid, so a file written
+ * with --threads 8 is byte-identical to one written with --threads 1 — CI
+ * diffs rely on this.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/status.hpp"
+#include "sweep/runner.hpp"
+
+namespace dhisq::sweep {
+
+/** One benchmark's complete, serializable outcome. */
+struct BenchReport
+{
+    std::string bench;
+    /** Free-form echo of the grid / fixed knobs. */
+    Json config = Json::object();
+    std::vector<PointResult> points;
+    /** Benchmark-level summary (averages, ratios...). */
+    Json derived = Json::object();
+
+    bool allHealthy() const;
+    Json toJson() const;
+};
+
+/** Pretty-print `report` to `path` ("-" writes to stdout). */
+Status writeBenchJson(const std::string &path, const BenchReport &report);
+
+} // namespace dhisq::sweep

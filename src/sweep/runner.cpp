@@ -1,0 +1,103 @@
+#include "sweep/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "common/logging.hpp"
+
+namespace dhisq::sweep {
+
+Json
+PointResult::toJson() const
+{
+    Json j = Json::object();
+    j["label"] = label;
+    j["params"] = params;
+    j["metrics"] = metrics;
+    j["healthy"] = healthy;
+    j["health"] = health;
+    return j;
+}
+
+std::vector<PointResult>
+SweepRunner::run(const std::vector<SweepTask> &tasks)
+{
+    std::vector<PointResult> results(tasks.size());
+    std::vector<char> done(tasks.size(), 0);
+
+    const unsigned workers = std::min<unsigned>(
+        std::max(1u, _options.threads),
+        static_cast<unsigned>(std::max<std::size_t>(1, tasks.size())));
+
+    const auto runOne = [&](std::size_t i) {
+        results[i] = tasks[i].fn();
+        if (results[i].label.empty())
+            results[i].label = tasks[i].label;
+        done[i] = 1;
+        if (_options.progress) {
+            std::fprintf(stderr, "[sweep] %zu/%zu %s (%s)\n", i + 1,
+                         tasks.size(), results[i].label.c_str(),
+                         results[i].health.c_str());
+        }
+    };
+
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < tasks.size(); ++i)
+            runOne(i);
+    } else {
+        // Workers pull indices from a shared counter; each index is
+        // claimed exactly once, so each result slot is written exactly
+        // once and the aggregate order equals the grid order.
+        std::atomic<std::size_t> next{0};
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w) {
+            pool.emplace_back([&] {
+                for (;;) {
+                    const std::size_t i =
+                        next.fetch_add(1, std::memory_order_relaxed);
+                    if (i >= tasks.size())
+                        return;
+                    runOne(i);
+                }
+            });
+        }
+        for (auto &t : pool)
+            t.join();
+
+        // Determinism assertion: a point must not care which thread (or
+        // how many siblings) ran it. Re-run a prefix serially and demand
+        // bit-identical serialized results.
+        const std::size_t verify = std::min<std::size_t>(
+            _options.verify_points, tasks.size());
+        for (std::size_t i = 0; i < verify; ++i) {
+            PointResult again = tasks[i].fn();
+            if (again.label.empty())
+                again.label = tasks[i].label;
+            DHISQ_ASSERT(
+                again.toJson().dump() == results[i].toJson().dump(),
+                "non-deterministic sweep point '", tasks[i].label,
+                "': parallel run disagrees with serial re-run");
+        }
+    }
+
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        DHISQ_ASSERT(done[i] != 0, "sweep task ", i, " ('",
+                     tasks[i].label, "') never ran");
+    }
+    return results;
+}
+
+bool
+SweepRunner::allHealthy(const std::vector<PointResult> &results)
+{
+    for (const auto &r : results) {
+        if (!r.healthy)
+            return false;
+    }
+    return true;
+}
+
+} // namespace dhisq::sweep

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Parallel sweep harness (the tentpole of the CI benchmark platform).
+ *
+ * The paper's evaluation is a grid of (workload x sync-scheme x topology x
+ * seed) simulations. Each point owns an independent Machine + Scheduler,
+ * so the grid is embarrassingly parallel — but the *output* must not
+ * depend on the thread count:
+ *
+ *  - results land in a pre-sized vector indexed by task order, so
+ *    aggregation order is the grid order no matter which worker ran what;
+ *  - no wall-clock or environment data enters a PointResult;
+ *  - determinism is *asserted*, not assumed: after a parallel run the
+ *    runner re-executes the first `verify_points` tasks serially and
+ *    panics if any metric differs from what the pool produced.
+ */
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace dhisq::sweep {
+
+/** Serializable outcome of one experiment point. */
+struct PointResult
+{
+    std::string label;
+    /** Echo of the point's grid coordinates (workload, scheme, seed...). */
+    Json params = Json::object();
+    /** Measured values (makespan, violations, events...). */
+    Json metrics = Json::object();
+    /** False on deadlock or a coincidence (commitment-guarantee) break. */
+    bool healthy = true;
+    /** "ok", "deadlock" or "coincidence". */
+    std::string health = "ok";
+
+    Json toJson() const;
+};
+
+/** One schedulable unit of a sweep. */
+struct SweepTask
+{
+    std::string label;
+    std::function<PointResult()> fn;
+};
+
+/** Executes a sweep across a worker pool with deterministic aggregation. */
+class SweepRunner
+{
+  public:
+    struct Options
+    {
+        /** Worker threads; 0 or 1 runs inline on the caller's thread. */
+        unsigned threads = 1;
+        /**
+         * After a parallel run, re-run this many leading tasks serially
+         * and assert the results are identical (0 disables the check).
+         */
+        unsigned verify_points = 1;
+        /** Print one progress line per completed point to stderr. */
+        bool progress = false;
+    };
+
+    SweepRunner();
+    explicit SweepRunner(Options options);
+
+    /**
+     * Run every task; returns results in task order regardless of the
+     * thread count. Panics if a worker leaves a hole or the determinism
+     * re-check fails.
+     */
+    std::vector<PointResult> run(const std::vector<SweepTask> &tasks);
+
+    /** True if every result in `results` is healthy. */
+    static bool allHealthy(const std::vector<PointResult> &results);
+
+  private:
+    Options _options;
+};
+
+// Out-of-line so the nested Options' default member initializers are
+// complete when first used (GCC rejects them in in-class default args).
+inline SweepRunner::SweepRunner() : _options(Options{}) {}
+inline SweepRunner::SweepRunner(Options options) : _options(options) {}
+
+} // namespace dhisq::sweep

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Unit tests for the common JSON writer/parser: construction, escaping,
+ * number fidelity, deterministic serialization and round-trips.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "common/json.hpp"
+
+namespace dhisq {
+namespace {
+
+TEST(Json, DefaultIsNull)
+{
+    Json j;
+    EXPECT_TRUE(j.isNull());
+    EXPECT_EQ(j.dump(), "null");
+}
+
+TEST(Json, Scalars)
+{
+    EXPECT_EQ(Json(true).dump(), "true");
+    EXPECT_EQ(Json(false).dump(), "false");
+    EXPECT_EQ(Json(42).dump(), "42");
+    EXPECT_EQ(Json(-7).dump(), "-7");
+    EXPECT_EQ(Json(3.5).dump(), "3.5");
+    EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, IntegerKeepsFullInt64Precision)
+{
+    const std::int64_t big = (std::int64_t(1) << 62) + 12345;
+    const Json j(big);
+    EXPECT_TRUE(j.isInt());
+    EXPECT_EQ(j.asInt(), big);
+
+    auto parsed = Json::parse(j.dump());
+    ASSERT_TRUE(parsed.isOk());
+    EXPECT_TRUE(parsed.value().isInt());
+    EXPECT_EQ(parsed.value().asInt(), big);
+}
+
+TEST(Json, DoubleAlwaysReparsesAsDouble)
+{
+    // A double that happens to hold an integral value must not silently
+    // become an integer across a round-trip.
+    const Json j(2.0);
+    EXPECT_EQ(j.dump(), "2.0");
+    auto parsed = Json::parse(j.dump());
+    ASSERT_TRUE(parsed.isOk());
+    EXPECT_TRUE(parsed.value().isDouble());
+}
+
+TEST(Json, NonFiniteDoublesSerializeAsNull)
+{
+    EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(),
+              "null");
+    EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(),
+              "null");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder)
+{
+    Json j = Json::object();
+    j["zebra"] = 1;
+    j["alpha"] = 2;
+    j["mid"] = 3;
+    EXPECT_EQ(j.dump(), "{\"zebra\":1,\"alpha\":2,\"mid\":3}");
+    // Overwriting does not move the key.
+    j["zebra"] = 9;
+    EXPECT_EQ(j.dump(), "{\"zebra\":9,\"alpha\":2,\"mid\":3}");
+}
+
+TEST(Json, ArrayPush)
+{
+    Json j; // null promotes to array on push
+    j.push(1);
+    j.push("two");
+    j.push(Json::array());
+    EXPECT_EQ(j.dump(), "[1,\"two\",[]]");
+    EXPECT_EQ(j.size(), 3u);
+    EXPECT_EQ(j.at(1).asString(), "two");
+}
+
+TEST(Json, EscapingAllSpecialCharacters)
+{
+    const std::string nasty = "q\"b\\s\b\f\n\r\tx\x01y";
+    const Json j(nasty);
+    EXPECT_EQ(j.dump(),
+              "\"q\\\"b\\\\s\\b\\f\\n\\r\\tx\\u0001y\"");
+    auto parsed = Json::parse(j.dump());
+    ASSERT_TRUE(parsed.isOk());
+    EXPECT_EQ(parsed.value().asString(), nasty);
+}
+
+TEST(Json, Utf8PassThrough)
+{
+    const std::string s = "q\xC3\xBC"
+                          "bit \xE2\x9C\x93";
+    auto parsed = Json::parse(Json(s).dump());
+    ASSERT_TRUE(parsed.isOk());
+    EXPECT_EQ(parsed.value().asString(), s);
+}
+
+TEST(Json, ParseUnicodeEscapes)
+{
+    auto parsed = Json::parse("\"\\u0041\\u00e9\\u20ac\"");
+    ASSERT_TRUE(parsed.isOk());
+    EXPECT_EQ(parsed.value().asString(), "A\xC3\xA9\xE2\x82\xAC");
+    // Surrogate pair: U+1F600.
+    auto emoji = Json::parse("\"\\ud83d\\ude00\"");
+    ASSERT_TRUE(emoji.isOk());
+    EXPECT_EQ(emoji.value().asString(), "\xF0\x9F\x98\x80");
+}
+
+TEST(Json, NestedRoundTrip)
+{
+    Json j = Json::object();
+    j["name"] = "fig15";
+    j["healthy"] = true;
+    j["nothing"] = nullptr;
+    Json point = Json::object();
+    point["makespan_cycles"] = std::int64_t(123456789012345);
+    point["makespan_us"] = 493.827156;
+    Json arr = Json::array();
+    arr.push(point);
+    arr.push(Json::object());
+    j["points"] = std::move(arr);
+
+    for (const int indent : {-1, 0, 2}) {
+        auto parsed = Json::parse(j.dump(indent));
+        ASSERT_TRUE(parsed.isOk()) << parsed.message();
+        EXPECT_EQ(parsed.value(), j) << "indent=" << indent;
+        // Serialization is a pure function of the value.
+        EXPECT_EQ(parsed.value().dump(indent), j.dump(indent));
+    }
+}
+
+TEST(Json, PrettyPrintShape)
+{
+    Json j = Json::object();
+    j["a"] = 1;
+    Json arr = Json::array();
+    arr.push(2);
+    j["b"] = std::move(arr);
+    EXPECT_EQ(j.dump(2), "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}");
+}
+
+TEST(Json, FindAndContains)
+{
+    Json j = Json::object();
+    j["x"] = 5;
+    EXPECT_TRUE(j.contains("x"));
+    EXPECT_FALSE(j.contains("y"));
+    ASSERT_NE(j.find("x"), nullptr);
+    EXPECT_EQ(j.find("x")->asInt(), 5);
+    EXPECT_EQ(Json(3).find("x"), nullptr); // non-objects have no members
+}
+
+TEST(Json, ParseWhitespaceAndLiterals)
+{
+    auto parsed = Json::parse(" \t\r\n { \"k\" : [ true , false , null ] } ");
+    ASSERT_TRUE(parsed.isOk());
+    EXPECT_EQ(parsed.value().dump(), "{\"k\":[true,false,null]}");
+}
+
+TEST(Json, ParseNumbers)
+{
+    auto parsed = Json::parse("[0, -1, 12.25, 1e3, -2.5e-2, 9007199254740993]");
+    ASSERT_TRUE(parsed.isOk());
+    const auto &a = parsed.value().asArray();
+    EXPECT_TRUE(a[0].isInt());
+    EXPECT_EQ(a[1].asInt(), -1);
+    EXPECT_DOUBLE_EQ(a[2].asDouble(), 12.25);
+    EXPECT_DOUBLE_EQ(a[3].asDouble(), 1000.0);
+    EXPECT_DOUBLE_EQ(a[4].asDouble(), -0.025);
+    // Larger than 2^53: must stay exact via the int64 path.
+    EXPECT_EQ(a[5].asInt(), 9007199254740993LL);
+}
+
+TEST(Json, ParseErrors)
+{
+    const char *bad[] = {
+        "",          "{",         "[1,",       "\"unterminated",
+        "tru",       "nul",       "01x",       "{\"a\" 1}",
+        "[1] junk",  "\"\\q\"",   "\"\\u12\"", "-",
+    };
+    for (const char *text : bad) {
+        auto parsed = Json::parse(text);
+        EXPECT_FALSE(parsed.isOk()) << "should reject: " << text;
+        EXPECT_NE(parsed.message(), "") << text;
+    }
+}
+
+TEST(Json, ParseRejectsRawControlCharInString)
+{
+    const std::string text = std::string("\"a\nb\"");
+    EXPECT_FALSE(Json::parse(text).isOk());
+}
+
+TEST(Json, DeepNestingIsRejectedNotCrashed)
+{
+    std::string deep(1000, '[');
+    deep += std::string(1000, ']');
+    EXPECT_FALSE(Json::parse(deep).isOk());
+}
+
+TEST(JsonEscape, Identity)
+{
+    EXPECT_EQ(jsonEscape("plain ascii 123"), "plain ascii 123");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+}
+
+} // namespace
+} // namespace dhisq

@@ -80,7 +80,8 @@ TEST(ProgramBuilder, LiHandlesFullRange)
             if (ins.op == isa::Op::kLui)
                 got = ins.imm;
             else if (ins.op == isa::Op::kAddi && ins.rd == 5)
-                got += ins.imm;
+                got = std::int32_t(std::uint32_t(got) +
+                                   std::uint32_t(ins.imm));
         }
         EXPECT_EQ(got, v) << "li " << v;
     }

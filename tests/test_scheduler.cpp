@@ -1,12 +1,16 @@
 /**
  * @file
  * Unit tests for the discrete-event kernel: ordering, determinism,
- * cancellation, run limits.
+ * cancellation, run limits, the slot-pool id lifecycle, the cancel-heavy
+ * stress path and the small-buffer callback type.
  */
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
 #include <vector>
 
+#include "sim/callback.hpp"
 #include "sim/scheduler.hpp"
 
 namespace dhisq::sim {
@@ -116,6 +120,175 @@ TEST(Scheduler, ResetDropsPendingEvents)
     s.run();
     EXPECT_EQ(fired, 0);
     EXPECT_EQ(s.now(), 0u);
+}
+
+TEST(Scheduler, StaleIdAfterResetCannotCancelNewEvent)
+{
+    Scheduler s;
+    int fired = 0;
+    const EventId stale = s.schedule(10, [&] { ++fired; });
+    s.reset();
+    // The recycled slot may be handed to the new event; the stale id's
+    // generation must not match it.
+    s.schedule(5, [&] { ++fired; });
+    s.cancel(stale);
+    s.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(Scheduler, StaleIdAfterFireCannotCancelSlotReuse)
+{
+    Scheduler s;
+    int fired = 0;
+    const EventId first = s.schedule(1, [&] { ++fired; });
+    s.run();
+    // The slot of `first` is free again; the next event likely reuses it.
+    s.schedule(2, [&] { ++fired; });
+    s.cancel(first); // must be a no-op, not kill the new event
+    s.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, DoubleCancelIsHarmless)
+{
+    Scheduler s;
+    int fired = 0;
+    const EventId id = s.schedule(10, [&] { ++fired; });
+    s.schedule(10, [&] { ++fired; });
+    s.cancel(id);
+    s.cancel(id);
+    s.cancel(kNoEvent);
+    s.cancel(EventId(0xFFFF) << 32); // out-of-range slot
+    s.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(s.executed(), 1u);
+}
+
+TEST(Scheduler, IdleTracksCancellation)
+{
+    Scheduler s;
+    const EventId id = s.schedule(10, [] {});
+    EXPECT_FALSE(s.idle());
+    s.cancel(id);
+    EXPECT_TRUE(s.idle());
+    EXPECT_FALSE(s.step());
+    EXPECT_EQ(s.executed(), 0u);
+}
+
+/**
+ * The satellite stress test: schedule/cancel 100k events and assert the
+ * executed() count and the ordering invariants survive a cancel-heavy
+ * interleaving (the pattern that was O(pending) per pop before the
+ * slot-pool rework).
+ */
+TEST(Scheduler, CancelHeavyStress100k)
+{
+    constexpr int kEvents = 100000;
+    Scheduler s;
+    std::vector<EventId> guards;
+    guards.reserve(kEvents);
+    std::uint64_t guard_fired = 0;
+    for (int i = 0; i < kEvents; ++i) {
+        guards.push_back(s.schedule(Cycle(1000000 + i),
+                                    [&guard_fired] { ++guard_fired; }));
+    }
+    // Foreground events cancel their guard; every third guard survives.
+    std::uint64_t foreground_fired = 0;
+    Cycle last_when = 0;
+    bool ordered = true;
+    for (int i = 0; i < kEvents; ++i) {
+        s.schedule(Cycle(i), [&, i] {
+            ++foreground_fired;
+            ordered = ordered && s.now() >= last_when &&
+                      s.now() == Cycle(i);
+            last_when = s.now();
+            if (i % 3 != 0)
+                s.cancel(guards[std::size_t(i)]);
+        });
+    }
+    s.run();
+    EXPECT_TRUE(ordered);
+    EXPECT_EQ(foreground_fired, std::uint64_t(kEvents));
+    // Guards at i % 3 == 0 survive: ceil(100000 / 3).
+    EXPECT_EQ(guard_fired, std::uint64_t((kEvents + 2) / 3));
+    EXPECT_EQ(s.executed(), foreground_fired + guard_fired);
+    EXPECT_TRUE(s.idle());
+    // The last surviving guard is i = 99999 (divisible by 3).
+    EXPECT_EQ(s.now(), Cycle(1000000 + kEvents - 1));
+}
+
+TEST(Scheduler, ManySameCycleEventsKeepScheduleOrder)
+{
+    Scheduler s;
+    std::vector<int> order;
+    for (int i = 0; i < 1000; ++i)
+        s.schedule(42, [&order, i] { order.push_back(i); });
+    s.run();
+    ASSERT_EQ(order.size(), 1000u);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(order[std::size_t(i)], i);
+}
+
+TEST(Scheduler, LargeCaptureCallbacksWork)
+{
+    // Bigger than Callback::kInlineSize: exercises the heap fallback.
+    std::array<std::uint64_t, 32> payload{};
+    payload[0] = 7;
+    payload[31] = 9;
+    Scheduler s;
+    std::uint64_t sum = 0;
+    s.schedule(1, [payload, &sum] { sum = payload[0] + payload[31]; });
+    s.run();
+    EXPECT_EQ(sum, 16u);
+}
+
+TEST(Callback, InlineAndHeapLifecycle)
+{
+    // Inline path.
+    int hits = 0;
+    Callback small([&hits] { ++hits; });
+    EXPECT_TRUE(bool(small));
+    small();
+    EXPECT_EQ(hits, 1);
+
+    // Move transfers the callable.
+    Callback moved(std::move(small));
+    moved();
+    EXPECT_EQ(hits, 2);
+    EXPECT_FALSE(bool(small)); // NOLINT: post-move state is specified
+
+    // Heap path with a destructor-tracking capture.
+    auto token = std::make_shared<int>(5);
+    std::weak_ptr<int> watch = token;
+    std::array<char, 200> ballast{};
+    {
+        Callback big([token, ballast, &hits] {
+            hits += *token + int(ballast.size()) / 100;
+        });
+        token.reset();
+        EXPECT_FALSE(watch.expired());
+        big();
+        EXPECT_EQ(hits, 9);
+
+        Callback big2(std::move(big));
+        big2();
+        EXPECT_EQ(hits, 16);
+    } // both wrappers destroyed
+    EXPECT_TRUE(watch.expired());
+}
+
+TEST(Callback, MoveAssignReleasesPrevious)
+{
+    auto a = std::make_shared<int>(1);
+    std::weak_ptr<int> watch_a = a;
+    Callback cb([a] { (void)a; });
+    a.reset();
+    EXPECT_FALSE(watch_a.expired());
+    cb = Callback([] {});
+    EXPECT_TRUE(watch_a.expired()); // old capture destroyed on assign
+    cb();
+    cb.reset();
+    EXPECT_FALSE(bool(cb));
 }
 
 } // namespace

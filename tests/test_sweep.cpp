@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Tests for the parallel sweep harness: grid expansion order, runner
+ * aggregation and thread-count independence, point health semantics, and
+ * the BENCH_*.json report writer.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+#include "sweep/cli.hpp"
+#include "sweep/grid.hpp"
+#include "sweep/report.hpp"
+#include "sweep/runner.hpp"
+
+namespace dhisq::sweep {
+namespace {
+
+GridSpec
+smallGrid()
+{
+    GridSpec grid;
+    CircuitSpec rand_circuit;
+    rand_circuit.kind = CircuitSpec::Kind::kRandomDynamic;
+    rand_circuit.random.qubits = 6;
+    rand_circuit.random.layers = 4;
+    rand_circuit.random.feedback_fraction = 0.5;
+    rand_circuit.random.seed = 11;
+    rand_circuit.expand_fraction = 1.0;
+    rand_circuit.expand_seed = 3;
+    grid.circuits.push_back(rand_circuit);
+
+    CircuitSpec chain;
+    chain.kind = CircuitSpec::Kind::kLrCnotChain;
+    chain.qubits = 5;
+    grid.circuits.push_back(chain);
+
+    grid.schemes = {compiler::SyncScheme::kLockStep,
+                    compiler::SyncScheme::kBisp};
+    grid.seeds = {1, 7};
+    return grid;
+}
+
+TEST(Grid, ExpandOrderIsCircuitMajor)
+{
+    const auto points = expandGrid(smallGrid());
+    ASSERT_EQ(points.size(), 2u * 2u * 2u);
+    // circuit-major, then scheme, then qpc, then seed.
+    EXPECT_EQ(points[0].label(), "rand_q6_l4_f0.5_s11/lockstep");
+    EXPECT_EQ(points[1].label(), "rand_q6_l4_f0.5_s11/lockstep/s7");
+    EXPECT_EQ(points[2].label(), "rand_q6_l4_f0.5_s11/bisp");
+    EXPECT_EQ(points[4].label(), "lrcnot_chain_n5/lockstep");
+    EXPECT_EQ(points[7].label(), "lrcnot_chain_n5/bisp/s7");
+}
+
+TEST(Grid, CircuitSpecBuildIsDeterministic)
+{
+    const auto spec = smallGrid().circuits[0];
+    const auto a = spec.build();
+    const auto b = spec.build();
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(a.numQubits(), b.numQubits());
+}
+
+TEST(Grid, RunPointFillsStandardMetrics)
+{
+    ExperimentPoint point;
+    point.circuit.kind = CircuitSpec::Kind::kLrCnotChain;
+    point.circuit.qubits = 5;
+    point.config.scheme = compiler::SyncScheme::kBisp;
+    const auto r = runPoint(point);
+    EXPECT_TRUE(r.healthy);
+    EXPECT_EQ(r.health, "ok");
+    for (const char *key :
+         {"makespan_cycles", "makespan_us", "violations", "coincidence",
+          "syncs", "deadlock", "events", "controllers", "live_cycles"}) {
+        EXPECT_TRUE(r.metrics.contains(key)) << key;
+    }
+    EXPECT_GT(r.metrics.find("makespan_cycles")->asInt(), 0);
+    EXPECT_EQ(r.params.find("scheme")->asString(), "bisp");
+}
+
+TEST(Grid, MetricsHookExtends)
+{
+    ExperimentPoint point;
+    point.circuit.kind = CircuitSpec::Kind::kLrCnotChain;
+    point.circuit.qubits = 5;
+    const auto r = runPoint(point, [](const ExecResult &exec,
+                                      PointResult &out) {
+        out.metrics["extra_live"] = exec.activity.totalLiveCycles();
+    });
+    ASSERT_TRUE(r.metrics.contains("extra_live"));
+    EXPECT_EQ(r.metrics.find("extra_live")->asInt(),
+              r.metrics.find("live_cycles")->asInt());
+}
+
+TEST(Runner, ResultsArriveInTaskOrder)
+{
+    std::vector<SweepTask> tasks;
+    for (int i = 0; i < 20; ++i) {
+        tasks.push_back(SweepTask{"t" + std::to_string(i), [i] {
+                                      PointResult r;
+                                      r.label =
+                                          "t" + std::to_string(i);
+                                      r.metrics["i"] = i;
+                                      return r;
+                                  }});
+    }
+    SweepRunner::Options opt;
+    opt.threads = 8;
+    opt.verify_points = 2;
+    const auto results = SweepRunner(opt).run(tasks);
+    ASSERT_EQ(results.size(), tasks.size());
+    for (int i = 0; i < 20; ++i) {
+        EXPECT_EQ(results[std::size_t(i)].metrics.find("i")->asInt(), i);
+    }
+}
+
+TEST(Runner, EveryTaskRunsExactlyOnceAcrossThreads)
+{
+    std::atomic<int> calls{0};
+    std::vector<SweepTask> tasks;
+    for (int i = 0; i < 50; ++i) {
+        tasks.push_back(SweepTask{"c" + std::to_string(i), [&calls] {
+                                      calls.fetch_add(1);
+                                      return PointResult{};
+                                  }});
+    }
+    SweepRunner::Options opt;
+    opt.threads = 4;
+    opt.verify_points = 0; // a verify re-run would double-count
+    SweepRunner(opt).run(tasks);
+    EXPECT_EQ(calls.load(), 50);
+}
+
+/** The acceptance property: same grid, same results, any thread count. */
+TEST(Runner, ThreadCountDoesNotChangeResults)
+{
+    const auto points = expandGrid(smallGrid());
+    const auto tasks = makeTasks(points);
+
+    SweepRunner::Options serial;
+    serial.threads = 1;
+    const auto r1 = SweepRunner(serial).run(tasks);
+
+    SweepRunner::Options parallel;
+    parallel.threads = 8;
+    parallel.verify_points = unsigned(tasks.size()); // re-check them all
+    const auto r8 = SweepRunner(parallel).run(tasks);
+
+    ASSERT_EQ(r1.size(), r8.size());
+    for (std::size_t i = 0; i < r1.size(); ++i) {
+        EXPECT_EQ(r1[i].toJson().dump(), r8[i].toJson().dump())
+            << "point " << i << " differs with threads=8";
+    }
+}
+
+TEST(Runner, AllHealthy)
+{
+    std::vector<PointResult> results(2);
+    EXPECT_TRUE(SweepRunner::allHealthy(results));
+    results[1].healthy = false;
+    EXPECT_FALSE(SweepRunner::allHealthy(results));
+}
+
+TEST(Report, ToJsonSchema)
+{
+    BenchReport report;
+    report.bench = "unit_test";
+    report.config["knob"] = 3;
+    PointResult p;
+    p.label = "p0";
+    p.metrics["makespan_cycles"] = 17;
+    report.points.push_back(p);
+    report.derived["avg"] = 1.5;
+
+    const Json j = report.toJson();
+    EXPECT_EQ(j.find("schema")->asString(), "dhisq-bench-v1");
+    EXPECT_EQ(j.find("bench")->asString(), "unit_test");
+    EXPECT_EQ(j.find("points")->size(), 1u);
+    EXPECT_TRUE(j.find("healthy")->asBool());
+    EXPECT_EQ(j.find("points")
+                  ->at(0)
+                  .find("metrics")
+                  ->find("makespan_cycles")
+                  ->asInt(),
+              17);
+}
+
+TEST(Report, WriteAndReparse)
+{
+    BenchReport report;
+    report.bench = "roundtrip";
+    PointResult p;
+    p.label = "only";
+    p.params["scheme"] = "bisp";
+    p.metrics["makespan_us"] = 12.5;
+    report.points.push_back(p);
+
+    const std::string path =
+        ::testing::TempDir() + "dhisq_test_report.json";
+    ASSERT_TRUE(writeBenchJson(path, report).isOk());
+
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    std::string text(1 << 16, '\0');
+    text.resize(std::fread(text.data(), 1, text.size(), f));
+    std::fclose(f);
+    std::remove(path.c_str());
+
+    auto parsed = Json::parse(text);
+    ASSERT_TRUE(parsed.isOk()) << parsed.message();
+    EXPECT_EQ(*parsed.value().find("bench"), Json("roundtrip"));
+    EXPECT_EQ(parsed.value()
+                  .find("points")
+                  ->at(0)
+                  .find("params")
+                  ->find("scheme")
+                  ->asString(),
+              "bisp");
+}
+
+TEST(Report, WriteFailsOnBadPath)
+{
+    BenchReport report;
+    report.bench = "x";
+    EXPECT_FALSE(
+        writeBenchJson("/nonexistent-dir/nope/x.json", report).isOk());
+}
+
+TEST(Cli, ParsesFlags)
+{
+    const char *argv[] = {"bench", "--json", "out.json", "--threads", "8",
+                          "--quick"};
+    auto parsed = parseCli(6, const_cast<char **>(argv));
+    ASSERT_TRUE(parsed.isOk());
+    EXPECT_EQ(parsed.value().json_path, "out.json");
+    EXPECT_EQ(parsed.value().threads, 8u);
+    EXPECT_TRUE(parsed.value().quick);
+}
+
+TEST(Cli, RejectsBadInput)
+{
+    {
+        const char *argv[] = {"bench", "--threads", "zero"};
+        EXPECT_FALSE(parseCli(3, const_cast<char **>(argv)).isOk());
+    }
+    {
+        const char *argv[] = {"bench", "--threads"};
+        EXPECT_FALSE(parseCli(2, const_cast<char **>(argv)).isOk());
+    }
+    {
+        const char *argv[] = {"bench", "--wat"};
+        EXPECT_FALSE(parseCli(2, const_cast<char **>(argv)).isOk());
+    }
+    {
+        const char *argv[] = {"bench"};
+        auto parsed = parseCli(1, const_cast<char **>(argv));
+        ASSERT_TRUE(parsed.isOk());
+        EXPECT_EQ(parsed.value().threads, 1u);
+        EXPECT_TRUE(parsed.value().json_path.empty());
+    }
+}
+
+} // namespace
+} // namespace dhisq::sweep
