@@ -102,6 +102,11 @@ main(int argc, char **argv)
         }
     }
 
+    if (cli.list) {
+        sweep::listTasks(tasks);
+        return 0;
+    }
+
     sweep::SweepRunner::Options ropt;
     ropt.threads = cli.threads;
     sweep::SweepRunner runner(ropt);

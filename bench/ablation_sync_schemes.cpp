@@ -45,12 +45,19 @@ main(int argc, char **argv)
     grid.schemes = {compiler::SyncScheme::kBisp,
                     compiler::SyncScheme::kDemand,
                     compiler::SyncScheme::kLockStep};
+    if (!cli.topologies.empty())
+        grid.topologies = cli.topologies;
+
+    const auto tasks = sweep::makeTasks(sweep::expandGrid(grid));
+    if (cli.list) {
+        sweep::listTasks(tasks);
+        return 0;
+    }
 
     sweep::SweepRunner::Options ropt;
     ropt.threads = cli.threads;
     sweep::SweepRunner runner(ropt);
-    const auto results =
-        runner.run(sweep::makeTasks(sweep::expandGrid(grid)));
+    const auto results = runner.run(tasks);
 
     bench::headline("Ablation: sync schemes vs feedback density");
     std::printf("%10s %12s %12s %12s %18s\n", "feedback", "bisp(us)",
@@ -61,33 +68,51 @@ main(int argc, char **argv)
     report.config["suite"] = cli.quick ? "quick" : "paper";
     report.points = results;
 
+    // Axis order is circuit > scheme > topology: each feedback fraction
+    // contributes a block of schemes x topologies points, with the
+    // scheme's partner for a given topology one topology-stride apart.
     Json ratios = Json::array();
     const std::size_t schemes = grid.schemes.size();
-    for (std::size_t row = 0; row * schemes < results.size(); ++row) {
+    const std::size_t stride = grid.topologies.size();
+    for (std::size_t row = 0; row * schemes * stride < results.size();
+         ++row) {
         const double frac = fractions[row];
-        double us[3] = {};
-        for (std::size_t s = 0; s < schemes; ++s) {
-            const auto &r = results[row * schemes + s];
-            if (!r.healthy ||
-                r.metrics.find("violations")->asInt() != 0) {
-                std::printf(
-                    "UNHEALTHY run (%s)\n",
-                    r.params.find("scheme")->asString().c_str());
+        for (std::size_t t = 0; t < stride; ++t) {
+            double us[3] = {};
+            const std::string &topo_name =
+                results[row * schemes * stride + t]
+                    .params.find("topology")
+                    ->asString();
+            for (std::size_t s = 0; s < schemes; ++s) {
+                const auto &r =
+                    results[(row * schemes + s) * stride + t];
+                if (!r.healthy ||
+                    r.metrics.find("violations")->asInt() != 0) {
+                    std::printf("UNHEALTHY run (%s)\n",
+                                r.label.c_str());
+                }
+                us[s] = r.metrics.find("makespan_us")->asDouble();
             }
-            us[s] = r.metrics.find("makespan_us")->asDouble();
+            char frac_text[16];
+            std::snprintf(frac_text, sizeof(frac_text), "%.1f", frac);
+            std::string row_name = frac_text;
+            if (topo_name != "line")
+                row_name += "/" + topo_name;
+            Json entry = Json::object();
+            entry["feedback_fraction"] = frac;
+            entry["topology"] = topo_name;
+            if (us[0] > 0.0) {
+                std::printf("%10s %12.2f %12.2f %12.2f %17.2fx\n",
+                            row_name.c_str(), us[0], us[1], us[2],
+                            us[2] / us[0]);
+                entry["lockstep_over_bisp"] = us[2] / us[0];
+            } else {
+                std::printf("%10s %12.2f %12.2f %12.2f %18s\n",
+                            row_name.c_str(), us[0], us[1], us[2], "n/a");
+                entry["lockstep_over_bisp"] = nullptr;
+            }
+            ratios.push(std::move(entry));
         }
-        Json entry = Json::object();
-        entry["feedback_fraction"] = frac;
-        if (us[0] > 0.0) {
-            std::printf("%10.1f %12.2f %12.2f %12.2f %17.2fx\n", frac,
-                        us[0], us[1], us[2], us[2] / us[0]);
-            entry["lockstep_over_bisp"] = us[2] / us[0];
-        } else {
-            std::printf("%10.1f %12.2f %12.2f %12.2f %18s\n", frac,
-                        us[0], us[1], us[2], "n/a");
-            entry["lockstep_over_bisp"] = nullptr;
-        }
-        ratios.push(std::move(entry));
     }
     report.derived["lockstep_over_bisp"] = std::move(ratios);
 

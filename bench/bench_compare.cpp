@@ -1,0 +1,113 @@
+/**
+ * @file
+ * CI regression gate CLI: compares a freshly-emitted BENCH_*.json against
+ * the committed baseline under bench/baselines/ and exits nonzero when a
+ * tracked metric regressed past the threshold (default 15%).
+ *
+ *   bench_compare <baseline.json> <current.json> [--threshold 0.15]
+ *
+ * Exit codes: 0 ok, 1 regression found, 2 usage/IO/parse error.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "common/json.hpp"
+#include "sweep/regress.hpp"
+
+using namespace dhisq;
+
+namespace {
+
+int
+usage(const char *prog)
+{
+    std::fprintf(stderr,
+                 "usage: %s <baseline.json> <current.json> "
+                 "[--threshold F]\n"
+                 "  --threshold F  tolerated relative worsening "
+                 "(default 0.15 = 15%%)\n",
+                 prog);
+    return 2;
+}
+
+Result<Json>
+loadJson(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return Result<Json>::error("cannot open " + path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    auto parsed = Json::parse(text.str());
+    if (!parsed)
+        return Result<Json>::error(path + ": " + parsed.message());
+    return parsed;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string baseline_path, current_path;
+    double threshold = 0.15;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "--threshold") {
+            if (i + 1 >= argc)
+                return usage(argv[0]);
+            char *end = nullptr;
+            threshold = std::strtod(argv[++i], &end);
+            if (end == nullptr || *end != '\0' || threshold < 0.0) {
+                std::fprintf(stderr, "bad --threshold value: %s\n",
+                             argv[i]);
+                return 2;
+            }
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (baseline_path.empty()) {
+            baseline_path = arg;
+        } else if (current_path.empty()) {
+            current_path = arg;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (baseline_path.empty() || current_path.empty())
+        return usage(argv[0]);
+
+    auto baseline = loadJson(baseline_path);
+    if (!baseline) {
+        std::fprintf(stderr, "%s\n", baseline.message().c_str());
+        return 2;
+    }
+    auto current = loadJson(current_path);
+    if (!current) {
+        std::fprintf(stderr, "%s\n", current.message().c_str());
+        return 2;
+    }
+
+    auto compared = sweep::compareBenchReports(baseline.value(),
+                                               current.value(), threshold);
+    if (!compared) {
+        std::fprintf(stderr, "%s\n", compared.message().c_str());
+        return 2;
+    }
+
+    const auto &report = compared.value();
+    for (const auto &note : report.notes)
+        std::printf("note: %s\n", note.c_str());
+    for (const auto &finding : report.regressions)
+        std::printf("REGRESSION: %s\n", finding.describe().c_str());
+    std::printf("%s vs %s: %zu points, %zu metrics compared, "
+                "%zu regression(s) at %+.0f%% threshold\n",
+                baseline_path.c_str(), current_path.c_str(),
+                report.compared_points, report.compared_metrics,
+                report.regressions.size(), threshold * 100.0);
+    return report.ok() ? 0 : 1;
+}

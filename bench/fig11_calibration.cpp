@@ -2,89 +2,214 @@
  * @file
  * Figure 11 reproduction: the four qubit-calibration experiments run
  * against the analog-frontend/qubit-physics substitute for the paper's
- * superconducting test bed. Each experiment prints its data series (CSV)
- * and the fitted physical parameter, which must match the paper's values:
- * readout circle with neighbour-interference deviation (a), qubit
- * frequency 4.62 GHz (b), Rabi oscillation (c), T1 = 9.9 us (d).
+ * superconducting test bed. Each experiment is one sweep task whose
+ * fitted physical parameter must match the paper's value: readout circle
+ * with neighbour-interference deviation (a), qubit frequency 4.62 GHz
+ * (b), Rabi oscillation (c), T1 = 9.9 us (d). A fit outside tolerance
+ * marks the point unhealthy ("misfit") and fails the binary; --json
+ * serializes the fitted values, --quick coarsens the sampling.
  */
 #include <cmath>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "quantum/fitting.hpp"
 #include "quantum/physics.hpp"
+#include "sweep/cli.hpp"
+#include "sweep/report.hpp"
+#include "sweep/runner.hpp"
 
 using namespace dhisq;
 
-int
-main()
+namespace {
+
+q::PhysicsConfig
+paperQubit()
 {
     q::PhysicsConfig cfg;
     cfg.f01_ghz = 4.62;
     cfg.t1_us = 9.9;
     cfg.noise = 0.01;
-    q::QubitPhysics qubit(cfg, /*seed=*/2025);
+    return cfg;
+}
 
-    // ---- (a) Draw circle ---------------------------------------------------
-    std::printf("==== Figure 11(a): draw circle (IQ locus) ====\n");
-    std::printf("phase_deg,I,Q\n");
+void
+check(sweep::PointResult &out, double fitted, double expected,
+      double tolerance)
+{
+    if (std::abs(fitted - expected) > tolerance) {
+        out.healthy = false;
+        out.health = "misfit";
+    }
+}
+
+/** (a) Readout IQ locus: a circle whose radius wobbles with interference. */
+sweep::PointResult
+drawCircle(int step_deg)
+{
+    const auto cfg = paperQubit();
+    q::QubitPhysics qubit(cfg, /*seed=*/2025);
     double min_r = 1e18, max_r = 0;
-    for (int deg = 0; deg < 360; deg += 15) {
+    for (int deg = 0; deg < 360; deg += step_deg) {
         const double phi = deg * M_PI / 180.0;
         const auto p = qubit.readoutIQ(phi);
         const double r = std::hypot(p.i, p.q);
         min_r = std::min(min_r, r);
         max_r = std::max(max_r, r);
-        std::printf("%d,%.1f,%.1f\n", deg, p.i, p.q);
     }
-    std::printf("-> circular locus, radius %.0f..%.0f (deviation from "
-                "feedline neighbours)\n\n",
-                min_r, max_r);
 
-    // ---- (b) Qubit frequency ----------------------------------------------
-    std::printf("==== Figure 11(b): qubit spectroscopy ====\n");
-    std::printf("freq_GHz,P(e)\n");
+    sweep::PointResult out;
+    out.label = "fig11a/draw_circle";
+    out.params["experiment"] = "draw_circle";
+    out.params["step_deg"] = step_deg;
+    out.metrics["radius_min"] = min_r;
+    out.metrics["radius_max"] = max_r;
+    // A circular locus: the interference deviation stays a fraction of
+    // the radius (the paper's panel shows a mild wobble, not a blob).
+    if (!(min_r > 0.0) || max_r > 2.0 * min_r) {
+        out.healthy = false;
+        out.health = "misfit";
+    }
+    return out;
+}
+
+/** (b) Spectroscopy: fitted f01 must be the paper's 4.62 GHz. */
+sweep::PointResult
+spectroscopy(double step_ghz)
+{
+    const auto cfg = paperQubit();
+    q::QubitPhysics qubit(cfg, /*seed=*/2025);
     std::vector<double> freqs, pops;
     const double pi_pulse_us = M_PI / (cfg.rabi_rate_per_amp * 0.5);
-    for (double f = 4.52; f <= 4.72 + 1e-9; f += 0.002) {
-        const double p = qubit.drivenPopulation(f, 0.5, pi_pulse_us);
+    for (double f = 4.52; f <= 4.72 + 1e-9; f += step_ghz) {
         freqs.push_back(f);
-        pops.push_back(p);
-        std::printf("%.3f,%.4f\n", f, p);
+        pops.push_back(qubit.drivenPopulation(f, 0.5, pi_pulse_us));
     }
     const double f01 = q::fitPeak(freqs, pops);
-    std::printf("-> fitted f01 = %.3f GHz (paper: 4.62 GHz)\n\n", f01);
 
-    // ---- (c) Rabi oscillation ----------------------------------------------
-    std::printf("==== Figure 11(c): Rabi oscillation ====\n");
-    std::printf("amplitude,P(e)\n");
-    std::vector<double> amps, rabi;
+    sweep::PointResult out;
+    out.label = "fig11b/spectroscopy";
+    out.params["experiment"] = "spectroscopy";
+    out.params["samples"] = (long long)freqs.size();
+    out.metrics["f01_ghz"] = f01;
+    out.metrics["f01_expected_ghz"] = cfg.f01_ghz;
+    check(out, f01, cfg.f01_ghz, 2.5 * step_ghz);
+    return out;
+}
+
+/** (c) Rabi oscillation: fitted rate and pi-pulse amplitude. */
+sweep::PointResult
+rabi(double step_amp)
+{
+    const auto cfg = paperQubit();
+    q::QubitPhysics qubit(cfg, /*seed=*/2025);
+    std::vector<double> amps, pops;
     const double t_us = 0.05;
-    for (double a = 0.0; a <= 4.0 + 1e-9; a += 0.05) {
-        const double p = qubit.drivenPopulation(cfg.f01_ghz, a, t_us);
+    for (double a = 0.0; a <= 4.0 + 1e-9; a += step_amp) {
         amps.push_back(a);
-        rabi.push_back(p);
-        std::printf("%.2f,%.4f\n", a, p);
+        pops.push_back(qubit.drivenPopulation(cfg.f01_ghz, a, t_us));
     }
-    const auto rabi_fit = q::fitRabi(amps, rabi, 0.5, 10.0);
-    std::printf("-> Rabi rate %.3f rad/amp (expected %.3f); pi-pulse "
-                "amplitude = %.3f\n\n",
-                rabi_fit.omega, cfg.rabi_rate_per_amp * t_us,
-                M_PI / rabi_fit.omega);
+    const auto fit = q::fitRabi(amps, pops, 0.5, 10.0);
+    const double expected = cfg.rabi_rate_per_amp * t_us;
 
-    // ---- (d) Relaxation time T1 --------------------------------------------
-    std::printf("==== Figure 11(d): relaxation time (T1) ====\n");
-    std::printf("delay_us,P(e)\n");
-    std::vector<double> delays, decays;
-    for (double d = 0.0; d <= 40.0 + 1e-9; d += 1.0) {
-        const double p = qubit.decayedPopulation(1.0, d);
+    sweep::PointResult out;
+    out.label = "fig11c/rabi";
+    out.params["experiment"] = "rabi";
+    out.params["samples"] = (long long)amps.size();
+    out.metrics["omega_rad_per_amp"] = fit.omega;
+    out.metrics["omega_expected"] = expected;
+    out.metrics["pi_pulse_amp"] = M_PI / fit.omega;
+    check(out, fit.omega, expected, 0.05 * expected);
+    return out;
+}
+
+/** (d) Relaxation: fitted T1 must be the paper's 9.9 us. */
+sweep::PointResult
+relaxation(double step_us)
+{
+    const auto cfg = paperQubit();
+    q::QubitPhysics qubit(cfg, /*seed=*/2025);
+    std::vector<double> delays, pops;
+    for (double d = 0.0; d <= 40.0 + 1e-9; d += step_us) {
         delays.push_back(d);
-        decays.push_back(p);
-        std::printf("%.1f,%.4f\n", d, p);
+        pops.push_back(qubit.decayedPopulation(1.0, d));
     }
-    const auto t1_fit = q::fitExponentialDecay(delays, decays);
-    std::printf("-> fitted T1 = %.2f us (paper: 9.9 us; reference stack "
-                "measured 10.2 us)\n",
-                t1_fit.tau);
-    return 0;
+    const auto fit = q::fitExponentialDecay(delays, pops);
+
+    sweep::PointResult out;
+    out.label = "fig11d/t1";
+    out.params["experiment"] = "t1";
+    out.params["samples"] = (long long)delays.size();
+    out.metrics["t1_us"] = fit.tau;
+    out.metrics["t1_expected_us"] = cfg.t1_us;
+    check(out, fit.tau, cfg.t1_us, 0.1 * cfg.t1_us);
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto cli = sweep::parseCliOrExit(argc, argv);
+
+    const int circle_step = cli.quick ? 30 : 15;
+    const double spec_step = cli.quick ? 0.004 : 0.002;
+    const double rabi_step = cli.quick ? 0.1 : 0.05;
+    const double t1_step = cli.quick ? 2.0 : 1.0;
+
+    std::vector<sweep::SweepTask> tasks = {
+        {"fig11a/draw_circle",
+         [circle_step] { return drawCircle(circle_step); }},
+        {"fig11b/spectroscopy",
+         [spec_step] { return spectroscopy(spec_step); }},
+        {"fig11c/rabi", [rabi_step] { return rabi(rabi_step); }},
+        {"fig11d/t1", [t1_step] { return relaxation(t1_step); }},
+    };
+
+    if (cli.list) {
+        sweep::listTasks(tasks);
+        return 0;
+    }
+
+    sweep::SweepRunner::Options ropt;
+    ropt.threads = cli.threads;
+    sweep::SweepRunner runner(ropt);
+    const auto results = runner.run(tasks);
+
+    std::printf("==== Figure 11: qubit-calibration experiments ====\n");
+    std::printf("(a) draw circle:  radius %.0f..%.0f [%s]\n",
+                results[0].metrics.find("radius_min")->asDouble(),
+                results[0].metrics.find("radius_max")->asDouble(),
+                results[0].health.c_str());
+    std::printf("(b) spectroscopy: f01 = %.3f GHz (paper: %.2f GHz) "
+                "[%s]\n",
+                results[1].metrics.find("f01_ghz")->asDouble(),
+                results[1].metrics.find("f01_expected_ghz")->asDouble(),
+                results[1].health.c_str());
+    std::printf("(c) Rabi:         omega = %.3f rad/amp (expected %.3f), "
+                "pi-pulse amp %.3f [%s]\n",
+                results[2].metrics.find("omega_rad_per_amp")->asDouble(),
+                results[2].metrics.find("omega_expected")->asDouble(),
+                results[2].metrics.find("pi_pulse_amp")->asDouble(),
+                results[2].health.c_str());
+    std::printf("(d) relaxation:   T1 = %.2f us (paper: %.1f us; "
+                "reference stack measured 10.2 us) [%s]\n",
+                results[3].metrics.find("t1_us")->asDouble(),
+                results[3].metrics.find("t1_expected_us")->asDouble(),
+                results[3].health.c_str());
+
+    sweep::BenchReport report;
+    report.bench = "fig11_calibration";
+    report.config["suite"] = cli.quick ? "quick" : "paper";
+    report.points = results;
+
+    if (!cli.json_path.empty()) {
+        if (auto st = sweep::writeBenchJson(cli.json_path, report); !st) {
+            std::fprintf(stderr, "%s\n", st.message().c_str());
+            return 1;
+        }
+    }
+    return report.allHealthy() ? 0 : 1;
 }

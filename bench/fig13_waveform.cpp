@@ -6,26 +6,42 @@
  * board. The control board's inner loop grows by 120 ns each iteration via
  * `waitr $1` — unpredictable to the readout board — yet the synchronized
  * pulses (yellow = control port 0, blue = readout port 0) must commit in
- * the same cycle every iteration. The bench prints the committed pulse
- * edges as an ASCII "oscilloscope" plus the raw TELF trace.
+ * the same cycle every iteration. Each iteration count is one sweep task;
+ * any misaligned pulse pair marks the point unhealthy ("misaligned") and
+ * fails the binary. The console output keeps the per-iteration table and
+ * the ASCII "oscilloscope" for the largest run.
  */
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "isa/assembler.hpp"
 #include "runtime/machine.hpp"
+#include "sweep/cli.hpp"
+#include "sweep/report.hpp"
+#include "sweep/runner.hpp"
 
 using namespace dhisq;
 
-int
-main()
+namespace {
+
+struct WaveformRun
 {
-    // Figure 12 programs, loop bounded to 4 iterations for the bench.
+    runtime::RunReport report;
+    std::vector<Cycle> yellow; ///< control-board pulse commits
+    std::vector<Cycle> blue;   ///< readout-board pulse commits
+    Cycle last_cycle = 0;
+};
+
+/** Figure 12's programs, loop bounded to `iterations`. */
+WaveformRun
+runWaveform(unsigned iterations)
+{
     // $1 grows by 30 cycles (120 ns on the 4 ns grid) per iteration.
-    const char *control = R"(
+    const std::string control = R"(
             waiti 8           # pipeline-fill prologue
-            addi $2, $0, 120
+            addi $2, $0, )" + std::to_string(30 * iterations) + R"(
             addi $1, $0, 0
         inner:
             waiti 1
@@ -40,9 +56,9 @@ main()
             bne $1, $2, inner
             halt
     )";
-    const char *readout = R"(
+    const std::string readout = R"(
             waiti 8           # pipeline-fill prologue
-            addi $3, $0, 4
+            addi $3, $0, )" + std::to_string(iterations) + R"(
             addi $4, $0, 0
         inner:
             waiti 2
@@ -64,34 +80,111 @@ main()
     runtime::Machine m(cfg);
     m.loadProgram(0, isa::assembleOrDie(control, "control_board"));
     m.loadProgram(1, isa::assembleOrDie(readout, "readout_board"));
-    const auto report = m.run();
 
-    std::printf("==== Figure 13: two-board synchronization waveform ====\n");
-    std::printf("run: %s\n\n", report.summary().c_str());
-
-    std::vector<Cycle> yellow, blue;
+    WaveformRun run;
+    run.report = m.run();
     for (const auto &r : m.telf().records()) {
         if (r.kind != TelfKind::CodewordCommit || r.port != 0)
             continue;
-        (r.source == "B0" ? yellow : blue).push_back(r.cycle);
+        (r.source == "B0" ? run.yellow : run.blue).push_back(r.cycle);
+    }
+    run.last_cycle = m.telf().lastCycle();
+    return run;
+}
+
+sweep::PointResult
+waveformPoint(unsigned iterations)
+{
+    const WaveformRun run = runWaveform(iterations);
+
+    unsigned aligned = 0;
+    for (std::size_t i = 0;
+         i < run.yellow.size() && i < run.blue.size(); ++i) {
+        aligned += run.yellow[i] == run.blue[i] ? 1 : 0;
     }
 
+    sweep::PointResult out;
+    out.label = "fig13/iters" + std::to_string(iterations);
+    out.params["iterations"] = iterations;
+    out.metrics["pulse_pairs"] = (long long)run.yellow.size();
+    out.metrics["aligned_pairs"] = aligned;
+    out.metrics["makespan_cycles"] = run.report.makespan;
+    out.metrics["events"] = run.report.events_executed;
+    if (run.report.deadlock) {
+        out.healthy = false;
+        out.health = "deadlock";
+    } else if (run.yellow.size() != iterations ||
+               run.blue.size() != iterations ||
+               aligned != iterations) {
+        out.healthy = false;
+        out.health = "misaligned";
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto cli = sweep::parseCliOrExit(argc, argv);
+
+    const std::vector<unsigned> iteration_counts =
+        cli.quick ? std::vector<unsigned>{2u, 4u}
+                  : std::vector<unsigned>{2u, 4u, 8u, 16u};
+
+    std::vector<sweep::SweepTask> tasks;
+    for (const unsigned iters : iteration_counts) {
+        tasks.push_back(sweep::SweepTask{
+            "fig13/iters" + std::to_string(iters),
+            [iters] { return waveformPoint(iters); }});
+    }
+
+    if (cli.list) {
+        sweep::listTasks(tasks);
+        return 0;
+    }
+
+    sweep::SweepRunner::Options ropt;
+    ropt.threads = cli.threads;
+    sweep::SweepRunner runner(ropt);
+    const auto results = runner.run(tasks);
+
+    std::printf("==== Figure 13: two-board synchronization waveform ====\n");
+    std::printf("%6s %12s %12s %10s\n", "iters", "pulse pairs", "aligned",
+                "health");
+    for (const auto &r : results) {
+        std::printf("%6lld %12lld %12lld %10s\n",
+                    (long long)r.params.find("iterations")->asInt(),
+                    (long long)r.metrics.find("pulse_pairs")->asInt(),
+                    (long long)r.metrics.find("aligned_pairs")->asInt(),
+                    r.health.c_str());
+    }
+
+    // Detail view for the largest run: per-iteration commits + the ASCII
+    // scope (deterministic re-run, so the table matches the swept point).
+    const unsigned detail_iters = iteration_counts.back();
+    const WaveformRun detail = runWaveform(detail_iters);
+    std::printf("\nrun (%u iterations): %s\n\n", detail_iters,
+                detail.report.summary().c_str());
     std::printf("%6s %16s %16s %10s %12s\n", "iter", "ctrl pulse(cy)",
                 "ro pulse(cy)", "aligned", "period(ns)");
-    for (std::size_t i = 0; i < yellow.size() && i < blue.size(); ++i) {
+    for (std::size_t i = 0;
+         i < detail.yellow.size() && i < detail.blue.size(); ++i) {
         const double period =
-            i ? cyclesToNs(yellow[i] - yellow[i - 1]) : 0.0;
+            i ? cyclesToNs(detail.yellow[i] - detail.yellow[i - 1]) : 0.0;
         std::printf("%6zu %16llu %16llu %10s %12.0f\n", i,
-                    (unsigned long long)yellow[i],
-                    (unsigned long long)blue[i],
-                    yellow[i] == blue[i] ? "YES" : "NO", period);
+                    (unsigned long long)detail.yellow[i],
+                    (unsigned long long)detail.blue[i],
+                    detail.yellow[i] == detail.blue[i] ? "YES" : "NO",
+                    period);
     }
     std::printf("\nperiod grows by 120 ns per iteration (the waitr $1 "
                 "increment),\nyet the yellow/blue pulses stay cycle-"
                 "aligned — Figure 13's result.\n");
 
     // ASCII scope: one row per channel, '|' at pulse cycles (scaled).
-    const Cycle last = m.telf().lastCycle();
+    const Cycle last = detail.last_cycle;
     const int width = 100;
     auto lane = [&](const std::vector<Cycle> &edges, const char *name) {
         std::string row(width, '-');
@@ -102,7 +195,19 @@ main()
         std::printf("%-8s %s\n", name, row.c_str());
     };
     std::printf("\n");
-    lane(yellow, "ctrl");
-    lane(blue, "readout");
-    return 0;
+    lane(detail.yellow, "ctrl");
+    lane(detail.blue, "readout");
+
+    sweep::BenchReport report;
+    report.bench = "fig13_waveform";
+    report.config["suite"] = cli.quick ? "quick" : "paper";
+    report.points = results;
+
+    if (!cli.json_path.empty()) {
+        if (auto st = sweep::writeBenchJson(cli.json_path, report); !st) {
+            std::fprintf(stderr, "%s\n", st.message().c_str());
+            return 1;
+        }
+    }
+    return report.allHealthy() ? 0 : 1;
 }

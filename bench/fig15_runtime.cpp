@@ -47,12 +47,19 @@ main(int argc, char **argv)
     // Scheme is the inner axis: points land as [baseline, dhisq] pairs.
     grid.schemes = {compiler::SyncScheme::kLockStep,
                     compiler::SyncScheme::kBisp};
+    if (!cli.topologies.empty())
+        grid.topologies = cli.topologies;
+
+    const auto tasks = sweep::makeTasks(sweep::expandGrid(grid));
+    if (cli.list) {
+        sweep::listTasks(tasks);
+        return 0;
+    }
 
     sweep::SweepRunner::Options ropt;
     ropt.threads = cli.threads;
     sweep::SweepRunner runner(ropt);
-    const auto results =
-        runner.run(sweep::makeTasks(sweep::expandGrid(grid)));
+    const auto results = runner.run(tasks);
 
     bench::headline(
         "Figure 15: normalized runtime, Distributed-HISQ vs lock-step");
@@ -70,11 +77,24 @@ main(int argc, char **argv)
     unsigned count = 0;
     bool unhealthy = false;
 
-    for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
-        const auto &base = results[i];
-        const auto &hisq = results[i + 1];
-        const std::string &name =
-            base.params.find("workload")->asString();
+    // Axis order is circuit > scheme > topology: each circuit contributes
+    // a block of [lockstep x topologies..., bisp x topologies...], so the
+    // baseline/dhisq partner sits one topology-axis stride apart.
+    const std::size_t stride = grid.topologies.size();
+    std::vector<std::pair<std::size_t, std::size_t>> pairs;
+    for (std::size_t block = 0; block + 2 * stride <= results.size();
+         block += 2 * stride) {
+        for (std::size_t t = 0; t < stride; ++t)
+            pairs.emplace_back(block + t, block + stride + t);
+    }
+    for (const auto &[base_i, hisq_i] : pairs) {
+        const auto &base = results[base_i];
+        const auto &hisq = results[hisq_i];
+        std::string name = base.params.find("workload")->asString();
+        const std::string &topo =
+            base.params.find("topology")->asString();
+        if (topo != "line")
+            name += "/" + topo;
         const double base_us =
             base.metrics.find("makespan_us")->asDouble();
         const double hisq_us =

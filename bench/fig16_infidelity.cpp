@@ -82,11 +82,17 @@ main(int argc, char **argv)
             out.metrics["infidelity_vs_t1"] = std::move(curve);
         };
 
+    const auto tasks =
+        sweep::makeTasks({base_point, hisq_point}, infidelities);
+    if (cli.list) {
+        sweep::listTasks(tasks);
+        return 0;
+    }
+
     sweep::SweepRunner::Options ropt;
     ropt.threads = cli.threads;
     sweep::SweepRunner runner(ropt);
-    const auto results = runner.run(
-        sweep::makeTasks({base_point, hisq_point}, infidelities));
+    const auto results = runner.run(tasks);
     const auto &base = results[0];
     const auto &hisq = results[1];
 

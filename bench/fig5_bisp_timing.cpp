@@ -12,13 +12,23 @@
  * (c) Figure 7's non-zero-overhead case: the booking lead D2 of the last
  *     controller is swept below the communication latency L2; the measured
  *     overhead follows max(0, L2 - D2).
+ *
+ * Sweep-harness port: each scenario and each lead value is one sweep task
+ * (parallelized with --threads, serialized with --json). Misaligned
+ * commits or overheads off the max(0, L-D) law mark the point unhealthy
+ * and fail the binary.
  */
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "common/strings.hpp"
 #include "isa/assembler.hpp"
 #include "runtime/machine.hpp"
+#include "sweep/cli.hpp"
+#include "sweep/report.hpp"
+#include "sweep/runner.hpp"
 
 using namespace dhisq;
 
@@ -69,89 +79,202 @@ syncBookCycle(const TelfLog &telf, const std::string &core)
     return kNoCycle;
 }
 
+/** Figure 5(a): two controllers, nearby sync; both commit at max(T0,T1). */
+sweep::PointResult
+nearbyPoint()
+{
+    const Cycle b0 = 10, b1 = 24, res = 8, latency = 2;
+    runtime::Machine m(lineConfig(2, latency, 4));
+    m.loadProgram(0, isa::assembleOrDie(syncProgram(b0, "1", res)));
+    m.loadProgram(1, isa::assembleOrDie(syncProgram(b1, "0", res)));
+    const auto run = m.run();
+
+    sweep::PointResult out;
+    out.label = "fig5a/nearby";
+    out.params["scenario"] = "nearby";
+    out.params["latency"] = latency;
+    const Cycle expect = std::max(b0, b1) + res;
+    Cycle commits[2];
+    for (unsigned c = 0; c < 2; ++c) {
+        const std::string core = prefixedNumber("C", c);
+        commits[c] = commitCycle(m.telf(), prefixedNumber("B", c));
+        out.metrics[prefixedNumber("booking_c", c)] =
+            syncBookCycle(m.telf(), core);
+        out.metrics[prefixedNumber("commit_c", c)] = commits[c];
+    }
+    out.metrics["expected_commit"] = expect;
+    out.metrics["events"] = run.events_executed;
+    if (run.deadlock) {
+        out.healthy = false;
+        out.health = "deadlock";
+    } else if (commits[0] != commits[1] || commits[0] != expect) {
+        out.healthy = false;
+        out.health = "misaligned";
+    }
+    return out;
+}
+
+/** Figure 5(b): three controllers sync via the root router. */
+sweep::PointResult
+remotePoint()
+{
+    const Cycle bookings[3] = {10, 22, 34};
+    const Cycle res = 40;
+    runtime::Machine m(lineConfig(3, 2, 4));
+    for (unsigned c = 0; c < 3; ++c) {
+        m.loadProgram(c, isa::assembleOrDie(
+                             syncProgram(bookings[c], "r0", res)));
+    }
+    const auto run = m.run();
+
+    sweep::PointResult out;
+    out.label = "fig5b/remote";
+    out.params["scenario"] = "remote";
+    const Cycle expect = bookings[2] + res; // T_m = max(T_i)
+    bool aligned = true;
+    for (unsigned c = 0; c < 3; ++c) {
+        const Cycle commit = commitCycle(m.telf(), prefixedNumber("B", c));
+        out.metrics[prefixedNumber("commit_c", c)] = commit;
+        aligned = aligned && commit == expect;
+    }
+    out.metrics["expected_commit"] = expect;
+    out.metrics["events"] = run.events_executed;
+    if (run.deadlock) {
+        out.healthy = false;
+        out.health = "deadlock";
+    } else if (!aligned) {
+        out.healthy = false;
+        out.health = "misaligned";
+    }
+    return out;
+}
+
+/** Figure 7: one lead value D against link latency L; overhead = L - D. */
+sweep::PointResult
+leadPoint(Cycle lead, Cycle latency)
+{
+    // The compiler pads the residual to at least N; the pad is the
+    // overhead L - D when D < L.
+    const Cycle res = std::max(lead, latency);
+    runtime::Machine m(lineConfig(2, latency, 4));
+    m.loadProgram(0, isa::assembleOrDie(syncProgram(100, "1", res)));
+    m.loadProgram(1, isa::assembleOrDie(syncProgram(100, "0", res)));
+    const auto run = m.run();
+
+    const Cycle actual = commitCycle(m.telf(), "B0");
+    const Cycle ideal = 100 + lead;
+    const long long overhead = (long long)actual - (long long)ideal;
+    const long long expect =
+        lead < latency ? (long long)(latency - lead) : 0;
+
+    sweep::PointResult out;
+    out.label = "fig7/lead" + std::to_string(lead);
+    out.params["scenario"] = "lead_sweep";
+    out.params["lead"] = lead;
+    out.params["latency"] = latency;
+    out.metrics["ideal"] = ideal;
+    out.metrics["actual"] = actual;
+    out.metrics["overhead_cycles"] = overhead;
+    out.metrics["events"] = run.events_executed;
+    if (run.deadlock) {
+        out.healthy = false;
+        out.health = "deadlock";
+    } else if (overhead != expect) {
+        // Zero-cycle overhead iff D >= L (Section 4.4) must hold exactly.
+        out.healthy = false;
+        out.health = "off-law";
+    }
+    return out;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    // ---- Figure 5(a): nearby synchronization ------------------------------
+    const auto cli = sweep::parseCliOrExit(argc, argv);
+
+    const Cycle fig7_latency = 8;
+    const Cycle max_lead = cli.quick ? 6 : 12;
+
+    std::vector<sweep::SweepTask> tasks;
+    tasks.push_back(sweep::SweepTask{"fig5a/nearby", nearbyPoint});
+    tasks.push_back(sweep::SweepTask{"fig5b/remote", remotePoint});
+    for (Cycle lead = 1; lead <= max_lead; ++lead) {
+        tasks.push_back(sweep::SweepTask{
+            "fig7/lead" + std::to_string(lead),
+            [lead, fig7_latency] { return leadPoint(lead, fig7_latency); }});
+    }
+
+    if (cli.list) {
+        sweep::listTasks(tasks);
+        return 0;
+    }
+
+    sweep::SweepRunner::Options ropt;
+    ropt.threads = cli.threads;
+    sweep::SweepRunner runner(ropt);
+    const auto results = runner.run(tasks);
+
     std::printf("==== Figure 5(a): nearby synchronization (N = 2) ====\n");
-    std::printf("%6s %10s %10s %10s %10s\n", "ctrl", "booking", "cond_I",
-                "T_i", "commit");
     {
-        const Cycle b0 = 10, b1 = 24, res = 8, latency = 2;
-        runtime::Machine m(lineConfig(2, latency, 4));
-        m.loadProgram(0, isa::assembleOrDie(syncProgram(b0, "1", res)));
-        m.loadProgram(1, isa::assembleOrDie(syncProgram(b1, "0", res)));
-        m.run();
+        const auto &r = results[0];
         for (unsigned c = 0; c < 2; ++c) {
-            const std::string core = prefixedNumber("C", c);
-            const Cycle book = syncBookCycle(m.telf(), core);
-            const Cycle commit =
-                commitCycle(m.telf(), prefixedNumber("B", c));
-            std::printf("%6s %10llu %10llu %10llu %10llu\n", core.c_str(),
-                        (unsigned long long)book,
-                        (unsigned long long)(book + latency),
-                        (unsigned long long)(book + res),
-                        (unsigned long long)commit);
+            std::printf("C%u: booking=%lld commit=%lld\n", c,
+                        (long long)r.metrics
+                            .find(prefixedNumber("booking_c", c))
+                            ->asInt(),
+                        (long long)r.metrics
+                            .find(prefixedNumber("commit_c", c))
+                            ->asInt());
         }
-        std::printf("both commit at max(T0, T1) = %llu -> zero-cycle "
-                    "overhead\n\n",
-                    (unsigned long long)(std::max(b0, b1) + res));
+        std::printf("both commit at max(T0, T1) = %lld -> zero-cycle "
+                    "overhead [%s]\n\n",
+                    (long long)r.metrics.find("expected_commit")->asInt(),
+                    r.health.c_str());
     }
 
-    // ---- Figure 5(b): remote synchronization -------------------------------
     std::printf("==== Figure 5(b): remote synchronization via router ====\n");
-    std::printf("%6s %10s %10s %10s\n", "ctrl", "booking", "T_i", "commit");
     {
-        const Cycle bookings[3] = {10, 22, 34};
-        const Cycle res = 40;
-        runtime::Machine m(lineConfig(3, 2, 4));
+        const auto &r = results[1];
         for (unsigned c = 0; c < 3; ++c) {
-            m.loadProgram(c, isa::assembleOrDie(
-                                 syncProgram(bookings[c], "r0", res)));
+            std::printf("C%u: commit=%lld\n", c,
+                        (long long)r.metrics
+                            .find(prefixedNumber("commit_c", c))
+                            ->asInt());
         }
-        m.run();
-        for (unsigned c = 0; c < 3; ++c) {
-            const Cycle commit =
-                commitCycle(m.telf(), prefixedNumber("B", c));
-            std::printf("%6s %10llu %10llu %10llu\n",
-                        (prefixedNumber("C", c)).c_str(),
-                        (unsigned long long)bookings[c],
-                        (unsigned long long)(bookings[c] + res),
-                        (unsigned long long)commit);
-        }
-        std::printf("all commit at T_m = max(T_i) = %llu\n\n",
-                    (unsigned long long)(bookings[2] + res));
+        std::printf("all commit at T_m = max(T_i) = %lld [%s]\n\n",
+                    (long long)r.metrics.find("expected_commit")->asInt(),
+                    r.health.c_str());
     }
 
-    // ---- Figure 7: overhead when the booking lead is too small -------------
     std::printf("==== Figure 7: sync overhead vs deterministic lead ====\n");
-    std::printf("(two controllers, link latency L = 8; lead D swept)\n");
+    std::printf("(two controllers, link latency L = %llu; lead D swept)\n",
+                (unsigned long long)fig7_latency);
     std::printf("%6s %12s %12s %14s\n", "D", "ideal", "actual",
                 "overhead(L-D)");
-    {
-        const Cycle latency = 8;
-        for (Cycle lead = 1; lead <= 12; ++lead) {
-            // The compiler pads the residual to at least N; the pad is the
-            // overhead L - D when D < L.
-            const Cycle res = std::max(lead, latency);
-            runtime::Machine m(lineConfig(2, latency, 4));
-            m.loadProgram(0,
-                          isa::assembleOrDie(syncProgram(100, "1", res)));
-            m.loadProgram(1,
-                          isa::assembleOrDie(syncProgram(100, "0", res)));
-            m.run();
-            const Cycle actual = commitCycle(m.telf(), "B0");
-            const Cycle ideal = 100 + lead;
-            std::printf("%6llu %12llu %12llu %14lld\n",
-                        (unsigned long long)lead,
-                        (unsigned long long)ideal,
-                        (unsigned long long)actual,
-                        (long long)(actual - ideal));
-        }
-        std::printf("zero-cycle overhead iff D >= L "
-                    "(max(B_i + L_i) = max(T_i), Section 4.4)\n");
+    for (std::size_t i = 2; i < results.size(); ++i) {
+        const auto &r = results[i];
+        std::printf("%6lld %12lld %12lld %14lld\n",
+                    (long long)r.params.find("lead")->asInt(),
+                    (long long)r.metrics.find("ideal")->asInt(),
+                    (long long)r.metrics.find("actual")->asInt(),
+                    (long long)r.metrics.find("overhead_cycles")->asInt());
     }
-    return 0;
+    std::printf("zero-cycle overhead iff D >= L "
+                "(max(B_i + L_i) = max(T_i), Section 4.4)\n");
+
+    sweep::BenchReport report;
+    report.bench = "fig5_bisp_timing";
+    report.config["suite"] = cli.quick ? "quick" : "paper";
+    report.config["fig7_latency"] = fig7_latency;
+    report.points = results;
+
+    if (!cli.json_path.empty()) {
+        if (auto st = sweep::writeBenchJson(cli.json_path, report); !st) {
+            std::fprintf(stderr, "%s\n", st.message().c_str());
+            return 1;
+        }
+    }
+    return report.allHealthy() ? 0 : 1;
 }

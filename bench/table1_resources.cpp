@@ -5,40 +5,179 @@
  * (src/hwmodel). The three paper rows are reproduced exactly; the bench
  * additionally extrapolates to multi-core boards (Section 7.1) and deeper
  * event queues to show the model's scaling behaviour.
+ *
+ * Sweep-harness port: every table row and extrapolation cell is one sweep
+ * task. The three paper rows must match the published numbers exactly —
+ * a mismatch marks the point unhealthy ("mismatch") and fails the binary.
  */
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "hwmodel/resources.hpp"
+#include "sweep/cli.hpp"
+#include "sweep/report.hpp"
+#include "sweep/runner.hpp"
 
 using namespace dhisq;
 
-int
-main()
+namespace {
+
+/** Paper reference row for the exact-match check. */
+struct PaperRow
 {
+    const char *name;
+    unsigned queues;
+    std::uint64_t luts;
+    double bram;
+    std::uint64_t ffs;
+};
+
+constexpr PaperRow kPaperRows[] = {
+    {"control_board", hw::kControlBoardQueues, 4155, 75.0, 6392},
+    {"readout_board", hw::kReadoutBoardQueues, 2435, 45.0, 3192},
+};
+
+sweep::PointResult
+paperRowPoint(const PaperRow &row)
+{
+    hw::ResourceModel model;
+    const auto r = model.board(row.queues);
+
+    sweep::PointResult out;
+    out.label = std::string("table1/") + row.name;
+    out.params["row"] = row.name;
+    out.params["queues"] = row.queues;
+    out.metrics["luts"] = (long long)r.luts;
+    out.metrics["ffs"] = (long long)r.ffs;
+    out.metrics["bram_blocks"] = r.bram_blocks;
+    if (r.luts != row.luts || r.ffs != row.ffs ||
+        r.bram_blocks != row.bram) {
+        out.healthy = false;
+        out.health = "mismatch";
+    }
+    return out;
+}
+
+sweep::PointResult
+eventQueuePoint()
+{
+    hw::ResourceModel model;
+    const auto q = model.event_queue;
+
+    sweep::PointResult out;
+    out.label = "table1/event_queue";
+    out.params["row"] = "event_queue";
+    out.metrics["luts"] = (long long)q.luts;
+    out.metrics["ffs"] = (long long)q.ffs;
+    out.metrics["bram_blocks"] = q.bram_blocks;
+    if (q.luts != 86 || q.ffs != 160 || q.bram_blocks != 1.5) {
+        out.healthy = false;
+        out.health = "mismatch";
+    }
+    return out;
+}
+
+sweep::PointResult
+multiCorePoint(unsigned cores)
+{
+    hw::ResourceModel model;
+    const auto r = model.board(hw::kControlBoardQueues, cores);
+
+    sweep::PointResult out;
+    out.label = "extrapolate/cores" + std::to_string(cores);
+    out.params["cores"] = cores;
+    out.metrics["luts"] = (long long)r.luts;
+    out.metrics["ffs"] = (long long)r.ffs;
+    out.metrics["bram_blocks"] = r.bram_blocks;
+    return out;
+}
+
+sweep::PointResult
+queueDepthPoint(unsigned depth)
+{
+    hw::ResourceModel model;
+    const auto q = model.eventQueueWithDepth(depth);
+
+    sweep::PointResult out;
+    out.label = "extrapolate/depth" + std::to_string(depth);
+    out.params["depth"] = depth;
+    out.metrics["luts"] = (long long)q.luts;
+    out.metrics["bram_blocks"] = q.bram_blocks;
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto cli = sweep::parseCliOrExit(argc, argv);
+
+    const std::vector<unsigned> core_counts = {1u, 2u, 4u, 7u};
+    const std::vector<unsigned> depths = {256u, 1024u, 4096u};
+
+    std::vector<sweep::SweepTask> tasks;
+    for (const auto &row : kPaperRows) {
+        tasks.push_back(sweep::SweepTask{
+            std::string("table1/") + row.name,
+            [&row] { return paperRowPoint(row); }});
+    }
+    tasks.push_back(sweep::SweepTask{"table1/event_queue", eventQueuePoint});
+    for (const unsigned cores : core_counts) {
+        tasks.push_back(sweep::SweepTask{
+            "extrapolate/cores" + std::to_string(cores),
+            [cores] { return multiCorePoint(cores); }});
+    }
+    for (const unsigned depth : depths) {
+        tasks.push_back(sweep::SweepTask{
+            "extrapolate/depth" + std::to_string(depth),
+            [depth] { return queueDepthPoint(depth); }});
+    }
+
+    if (cli.list) {
+        sweep::listTasks(tasks);
+        return 0;
+    }
+
+    sweep::SweepRunner::Options ropt;
+    ropt.threads = cli.threads;
+    sweep::SweepRunner runner(ropt);
+    const auto results = runner.run(tasks);
+
     hw::ResourceModel model;
     std::printf("%s\n", hw::renderTable1(model).c_str());
 
     std::printf("paper reference rows:\n");
-    std::printf("  Control Board  4155 LUTs, 75 BRAM blocks, 6392 FFs\n");
-    std::printf("  Readout Board  2435 LUTs, 45 BRAM blocks, 3192 FFs\n");
-    std::printf("  Event Queue    86 LUTs, 1.5 BRAM blocks, 160 FFs\n");
+    std::printf("  Control Board  4155 LUTs, 75 BRAM blocks, 6392 FFs "
+                "[%s]\n",
+                results[0].health.c_str());
+    std::printf("  Readout Board  2435 LUTs, 45 BRAM blocks, 3192 FFs "
+                "[%s]\n",
+                results[1].health.c_str());
+    std::printf("  Event Queue    86 LUTs, 1.5 BRAM blocks, 160 FFs "
+                "[%s]\n",
+                results[2].health.c_str());
 
     std::printf("\nExtrapolation: multi-core control boards (Section 7.1)\n");
     std::printf("%8s %10s %10s %12s\n", "cores", "#LUTs", "#FFs",
                 "#BRAM(32Kb)");
-    for (unsigned cores : {1u, 2u, 4u, 7u}) {
-        const auto r = model.board(hw::kControlBoardQueues, cores);
-        std::printf("%8u %10llu %10llu %12.1f\n", cores,
-                    (unsigned long long)r.luts, (unsigned long long)r.ffs,
-                    r.bram_blocks);
+    std::size_t i = 3;
+    for (const unsigned cores : core_counts) {
+        const auto &r = results[i++];
+        std::printf("%8u %10lld %10lld %12.1f\n", cores,
+                    (long long)r.metrics.find("luts")->asInt(),
+                    (long long)r.metrics.find("ffs")->asInt(),
+                    r.metrics.find("bram_blocks")->asDouble());
     }
 
     std::printf("\nExtrapolation: event-queue depth scaling\n");
     std::printf("%8s %10s %12s\n", "depth", "#LUTs", "#BRAM(32Kb)");
-    for (unsigned depth : {256u, 1024u, 4096u}) {
-        const auto q = model.eventQueueWithDepth(depth);
-        std::printf("%8u %10llu %12.2f\n", depth,
-                    (unsigned long long)q.luts, q.bram_blocks);
+    for (const unsigned depth : depths) {
+        const auto &r = results[i++];
+        std::printf("%8u %10lld %12.2f\n", depth,
+                    (long long)r.metrics.find("luts")->asInt(),
+                    r.metrics.find("bram_blocks")->asDouble());
     }
 
     std::printf("\nSyncU cost (Section 4.1): %llu LUTs — %.3f%% of a "
@@ -46,5 +185,17 @@ main()
                 (unsigned long long)model.sync_unit.luts,
                 100.0 * double(model.sync_unit.luts) /
                     double(model.board(hw::kControlBoardQueues).luts));
-    return 0;
+
+    sweep::BenchReport report;
+    report.bench = "table1_resources";
+    report.config["suite"] = cli.quick ? "quick" : "paper";
+    report.points = results;
+
+    if (!cli.json_path.empty()) {
+        if (auto st = sweep::writeBenchJson(cli.json_path, report); !st) {
+            std::fprintf(stderr, "%s\n", st.message().c_str());
+            return 1;
+        }
+    }
+    return report.allHealthy() ? 0 : 1;
 }

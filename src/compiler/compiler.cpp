@@ -100,6 +100,15 @@ class CodeGen
             circuit.numQubits() <= nc * config.qubits_per_controller,
             "not enough controllers: ", circuit.numQubits(), " qubits on ",
             nc, " controllers x ", config.qubits_per_controller);
+        // Consecutive qubit blocks go along the topology's placement
+        // order, which embeds a path into the graph as far as the shape
+        // allows (identity on a line, snake on grids/tori, ...).
+        _order = topo.placementOrder();
+        DHISQ_ASSERT(_order.size() == nc, "placement order is not a"
+                                          " controller permutation");
+        _slot_of.assign(nc, 0);
+        for (unsigned slot = 0; slot < nc; ++slot)
+            _slot_of[_order[slot]] = slot;
         _ctrls.resize(nc);
         for (ControllerId c = 0; c < nc; ++c) {
             _ctrls[c].builder = std::make_unique<ProgramBuilder>(
@@ -164,7 +173,14 @@ class CodeGen
     ControllerId
     ctrlOf(QubitId q) const
     {
-        return q / _config.qubits_per_controller;
+        return _order[q / _config.qubits_per_controller];
+    }
+
+    /** First qubit hosted by controller `c`. */
+    QubitId
+    firstQubitOf(ControllerId c) const
+    {
+        return QubitId(_slot_of[c]) * _config.qubits_per_controller;
     }
 
     PortId
@@ -411,7 +427,7 @@ class CodeGen
         ctrl.cursor = 0;
         ctrl.sched_floor = _config.pipeline_slack;
         ctrl.last_meas_start = 0;
-        const QubitId lo = c * _config.qubits_per_controller;
+        const QubitId lo = firstQubitOf(c);
         const QubitId hi =
             std::min<QubitId>(lo + _config.qubits_per_controller,
                               _circuit.numQubits());
@@ -431,7 +447,7 @@ class CodeGen
         ctrl.cursor = 0;
         ctrl.sched_floor = _config.pipeline_slack;
         ctrl.last_meas_start = 0;
-        const QubitId lo = c * _config.qubits_per_controller;
+        const QubitId lo = firstQubitOf(c);
         const QubitId hi =
             std::min<QubitId>(lo + _config.qubits_per_controller,
                               _circuit.numQubits());
@@ -445,7 +461,7 @@ class CodeGen
     Cycle
     maxLocalReady(ControllerId c) const
     {
-        const QubitId lo = c * _config.qubits_per_controller;
+        const QubitId lo = firstQubitOf(c);
         const QubitId hi =
             std::min<QubitId>(lo + _config.qubits_per_controller,
                               _circuit.numQubits());
@@ -565,16 +581,30 @@ class CodeGen
             return;
         }
 
-        DHISQ_ASSERT(_topo.areNeighbors(a, b),
-                     "two-qubit gate between non-neighbour controllers C",
-                     a, " and C", b,
-                     " — route long-range gates through the dynamic-circuit"
-                     " pass first");
         Ctrl &ca = touch(a);
         Ctrl &cb = touch(b);
 
+        bool subtree_synced = false;
+        if (ca.epoch != cb.epoch && !_topo.areNeighbors(a, b)) {
+            // No direct link to bounce BISP's 1-bit signal over: merge the
+            // diverged timelines with a region synchronization on the
+            // smallest router subtree covering both controllers. Costlier
+            // than a nearby sync (everyone under the subtree stalls), which
+            // is exactly the penalty the topology ablation measures for
+            // shapes that lack the edge.
+            regionSyncOver({a, b});
+            _stats.inc("subtree_syncs");
+            subtree_synced = true;
+        }
+
         if (ca.epoch == cb.epoch) {
             // Deterministic relative timing: co-schedule without a sync.
+            // Inside a common epoch this needs no link at all — both
+            // timelines are wall-aligned by construction whatever the
+            // graph (the device's coincidence checker enforces it), so
+            // the interconnect is only charged at epoch divergence.
+            if (!subtree_synced && !_topo.areNeighbors(a, b))
+                _stats.inc("nonadjacent_coscheduled");
             const Cycle t = lockstepFlow(std::max(
                 {_qready[q0], _qready[q1], floorOf(ca), floorOf(cb)}));
             pushHalves(op, a, b, q0, q1, t);
@@ -868,30 +898,18 @@ class CodeGen
         }
     }
 
-    /** Region-level barrier between repetitions (Section 2.1.4). */
+    /**
+     * Region synchronization over the smallest router subtree covering
+     * `anchors`: every controller under that router flushes, books a
+     * region sync and is rebased into one fresh common epoch.
+     */
     void
-    repetitionBarrier()
+    regionSyncOver(const std::vector<ControllerId> &anchors)
     {
-        if (_config.scheme == SyncScheme::kLockStep) {
-            // The static global timeline continues; a barrier is implicit.
-            for (auto &info : _cbits)
-                info.measured = false;
-            for (auto &ctrl : _ctrls)
-                ctrl.have.clear();
-            _uses_left = _uses_total;
-            return;
-        }
-
-        // Smallest router whose subtree covers every used controller.
-        std::vector<ControllerId> used;
-        for (ControllerId c = 0; c < _ctrls.size(); ++c) {
-            if (_ctrls[c].used)
-                used.push_back(c);
-        }
-        DHISQ_ASSERT(!used.empty(), "barrier with no used controllers");
-        RouterId region = _topo.parentRouter(used.front());
+        DHISQ_ASSERT(!anchors.empty(), "region sync with no anchors");
+        RouterId region = _topo.parentRouter(anchors.front());
         auto covers = [&](RouterId r) {
-            for (ControllerId c : used) {
+            for (ControllerId c : anchors) {
                 if (!_topo.inSubtree(c, r))
                     return false;
             }
@@ -918,6 +936,24 @@ class CodeGen
             _stats.inc("region_syncs");
             rebaseEpoch(c, epoch, f + _config.region_residual);
         }
+    }
+
+    /** Region-level barrier between repetitions (Section 2.1.4). */
+    void
+    repetitionBarrier()
+    {
+        if (_config.scheme != SyncScheme::kLockStep) {
+            // The lock-step baseline's static global timeline continues
+            // (its barrier is implicit); the dynamic schemes synchronize
+            // every used controller through the router tree.
+            std::vector<ControllerId> used;
+            for (ControllerId c = 0; c < _ctrls.size(); ++c) {
+                if (_ctrls[c].used)
+                    used.push_back(c);
+            }
+            DHISQ_ASSERT(!used.empty(), "barrier with no used controllers");
+            regionSyncOver(used);
+        }
 
         for (auto &info : _cbits)
             info.measured = false;
@@ -929,6 +965,11 @@ class CodeGen
     const net::Topology &_topo;
     CompilerConfig _config;
     const Circuit &_circuit;
+
+    /** Placement slot -> controller (the topology's path embedding). */
+    std::vector<ControllerId> _order;
+    /** Controller -> placement slot (inverse of _order). */
+    std::vector<unsigned> _slot_of;
 
     std::vector<Ctrl> _ctrls;
     std::vector<Cycle> _qready;
@@ -968,6 +1009,10 @@ machineConfigFor(const net::TopologyConfig &topo,
 {
     runtime::MachineConfig cfg;
     cfg.topology = topo;
+    // The lock-step schedule floors feedback at the compiler's hub
+    // constant; an explicit star topology must deliver at the same
+    // latency or broadcasts land after the ops that depend on them.
+    cfg.topology.hub_latency = compiler.star_latency;
     cfg.fabric.star_latency = compiler.star_latency;
     cfg.device.num_qubits = num_qubits;
     cfg.device.state_vector = state_vector;

@@ -50,8 +50,7 @@ SyncU::beginNearby(const TimedEvent &ev, Cycle wall)
     }
 
     _cond1_wall = wall + latency;
-    const std::uint64_t gen = ++_generation;
-    _sched.schedule(_cond1_wall, [this, gen] { onCondITimer(gen); });
+    _cond1_event = _sched.schedule(_cond1_wall, [this] { onCondITimer(); });
 }
 
 void
@@ -73,8 +72,7 @@ SyncU::beginRegion(const TimedEvent &ev, Cycle wall)
     }
 
     _cond1_wall = t_i;
-    const std::uint64_t gen = ++_generation;
-    _sched.schedule(_cond1_wall, [this, gen] { onCondITimer(gen); });
+    _cond1_event = _sched.schedule(_cond1_wall, [this] { onCondITimer(); });
 }
 
 void
@@ -90,7 +88,6 @@ SyncU::beginTrig(const TimedEvent &ev, Cycle wall)
     }
     // Condition I is immediate: the barrier sits at the event's own stamp.
     _cond1_wall = wall;
-    ++_generation;
     _cond1_met = true;
     auto it = _trigger_counts.find(_trig_src);
     if (it != _trigger_counts.end() && it->second > 0) {
@@ -100,10 +97,9 @@ SyncU::beginTrig(const TimedEvent &ev, Cycle wall)
 }
 
 void
-SyncU::onCondITimer(std::uint64_t generation)
+SyncU::onCondITimer()
 {
-    if (generation != _generation)
-        return;
+    _cond1_event = sim::kNoEvent;
     _cond1_met = true;
     switch (_state) {
       case State::Nearby: {
@@ -146,7 +142,7 @@ SyncU::onRegionNotify(Cycle t_final)
 void
 SyncU::maybeFinishRegion()
 {
-    if (_finish_scheduled || _region_notifies.empty())
+    if (_finish_event != sim::kNoEvent || _region_notifies.empty())
         return;
     const Cycle t_final = _region_notifies.front();
     _region_notifies.pop_front();
@@ -156,11 +152,8 @@ SyncU::maybeFinishRegion()
             _stats.inc("late_region_notifies");
         finish();
     } else {
-        _finish_scheduled = true;
-        const std::uint64_t gen = ++_generation;
-        _sched.schedule(t_final, [this, gen] {
-            if (gen != _generation)
-                return;
+        _finish_event = _sched.schedule(t_final, [this] {
+            _finish_event = sim::kNoEvent;
             finish();
         });
     }
@@ -188,8 +181,12 @@ SyncU::finish()
                       std::int64_t(now - _cond1_wall));
     }
     _state = State::Idle;
-    _finish_scheduled = false;
-    ++_generation;
+    // Both guard events are consumed or obsolete at this point; cancelling
+    // an already-fired handle is a no-op, so this is pure cleanup.
+    _sched.cancel(_cond1_event);
+    _cond1_event = sim::kNoEvent;
+    _sched.cancel(_finish_event);
+    _finish_event = sim::kNoEvent;
     _tcu.releaseBarrier(now);
 }
 

@@ -77,7 +77,7 @@ class SyncU
     void beginNearby(const TimedEvent &ev, Cycle wall);
     void beginRegion(const TimedEvent &ev, Cycle wall);
     void beginTrig(const TimedEvent &ev, Cycle wall);
-    void onCondITimer(std::uint64_t generation);
+    void onCondITimer();
     void maybeFinishRegion();
     void finish();
 
@@ -97,8 +97,11 @@ class SyncU
     std::map<std::uint32_t, std::uint32_t> _trigger_counts;
     std::deque<Cycle> _region_notifies;
 
-    std::uint64_t _generation = 0;
-    bool _finish_scheduled = false;
+    /** Outstanding Condition-I countdown, cancellable in O(1). */
+    sim::EventId _cond1_event = sim::kNoEvent;
+    /** Scheduled region finish (Abs. Timer Buffer reaching T_m); doubles
+     *  as the "finish already scheduled" guard while non-sentinel. */
+    sim::EventId _finish_event = sim::kNoEvent;
     StatSet _stats;
 };
 

@@ -128,29 +128,25 @@ Tcu::armPump()
 {
     const auto min_ts = minPendingTs();
     if (!min_ts || (_barrier && *min_ts >= *_barrier)) {
-        // Nothing issuable; stale wakes die via the generation check.
-        ++_pump_generation;
-        _armed = false;
+        // Nothing issuable; cancel any armed wake so it never dispatches.
+        _sched.cancel(_pump_event);
+        _pump_event = sim::kNoEvent;
         return;
     }
 
     const Cycle when = std::max(*min_ts + _offset, _sched.now());
-    if (_armed && when == _armed_wall)
+    if (_pump_event != sim::kNoEvent && when == _armed_wall)
         return; // Already armed for the right cycle.
 
-    ++_pump_generation;
-    _armed = true;
+    _sched.cancel(_pump_event);
     _armed_wall = when;
-    const std::uint64_t gen = _pump_generation;
-    _sched.schedule(when, [this, gen] { onWake(gen); });
+    _pump_event = _sched.schedule(when, [this] { onWake(); });
 }
 
 void
-Tcu::onWake(std::uint64_t generation)
+Tcu::onWake()
 {
-    if (generation != _pump_generation)
-        return;
-    _armed = false;
+    _pump_event = sim::kNoEvent;
     issueBatch();
     armPump();
 }

@@ -135,7 +135,7 @@ class Tcu
     void armPump();
 
     /** Issue every event that is due at the current wall cycle. */
-    void onWake(std::uint64_t generation);
+    void onWake();
 
     void issueBatch();
 
@@ -155,8 +155,8 @@ class Tcu
     Cycle _offset = 0;
     std::optional<Cycle> _barrier;
 
-    std::uint64_t _pump_generation = 0;
-    bool _armed = false;
+    /** Armed pump wake, cancelled in O(1) whenever it goes stale. */
+    sim::EventId _pump_event = sim::kNoEvent;
     Cycle _armed_wall = 0;
 
     StatSet _stats;

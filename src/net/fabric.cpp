@@ -94,12 +94,22 @@ Fabric::hooksFor(ControllerId id)
     return hooks;
 }
 
+Cycle
+Fabric::hubLatency() const
+{
+    // With an explicit star topology the hub's spoke links carry the
+    // latency; otherwise fall back to the configured abstract-hub constant
+    // (the paper's optimistic baseline assumption, Section 6.4.3).
+    return _topo.shape() == TopologyShape::kStar ? _topo.config().hub_latency
+                                                 : _config.star_latency;
+}
+
 void
 Fabric::sendMessage(ControllerId src, ControllerId dst,
                     std::uint32_t payload)
 {
     const Cycle latency = _config.star_messages
-                              ? 2 * _config.star_latency
+                              ? 2 * hubLatency()
                               : _topo.messageLatency(src, dst);
     _stats.inc("messages");
     _stats.sample("message_latency", double(latency));
@@ -111,7 +121,7 @@ Fabric::sendMessage(ControllerId src, ControllerId dst,
 void
 Fabric::broadcast(ControllerId src, std::uint32_t payload)
 {
-    const Cycle latency = 2 * _config.star_latency;
+    const Cycle latency = 2 * hubLatency();
     _stats.inc("broadcasts");
     _sched.scheduleIn(latency, [this, src, payload] {
         for (core::HisqCore *c : _cores) {

@@ -1,14 +1,16 @@
 /**
  * @file
- * The communication fabric: wires HISQ cores to the mesh links, the router
- * tree and (for the lock-step baseline) a star-topology central hub.
+ * The communication fabric: wires HISQ cores to the topology's graph
+ * links, the router tree and (for the lock-step baseline) a central hub.
  *
  * Latency model:
- *  - nearest-neighbour mesh link: topology.neighbor_latency (BISP's N);
+ *  - direct graph link: the link's calibrated latency (BISP's N);
  *  - router-tree path: hops * hop_latency;
- *  - central hub broadcast: constant 2 * star_latency regardless of system
- *    size — deliberately matching the paper's optimistic baseline
- *    assumption (Section 6.4.3).
+ *  - central hub broadcast: constant 2 * (hub latency) regardless of
+ *    system size — deliberately matching the paper's optimistic baseline
+ *    assumption (Section 6.4.3). With an explicit `star` topology the hub
+ *    latency is the spoke links'; otherwise FabricConfig::star_latency
+ *    models the abstract hub.
  */
 #pragma once
 
@@ -79,6 +81,9 @@ class Fabric
 
   private:
     core::HisqCore *coreAt(ControllerId id);
+
+    /** One-way hub latency: explicit star spoke links, else the constant. */
+    Cycle hubLatency() const;
 
     const Topology &_topo;
     sim::Scheduler &_sched;

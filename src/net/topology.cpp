@@ -2,63 +2,184 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 
 #include "common/logging.hpp"
 
 namespace dhisq::net {
 
-Topology
-Topology::grid(const TopologyConfig &config)
+const char *
+toString(TopologyShape shape)
 {
-    DHISQ_ASSERT(config.width >= 1 && config.height >= 1,
-                 "empty controller grid");
-    DHISQ_ASSERT(config.tree_arity >= 2, "tree arity must be >= 2");
+    switch (shape) {
+      case TopologyShape::kLine: return "line";
+      case TopologyShape::kGrid: return "grid";
+      case TopologyShape::kRing: return "ring";
+      case TopologyShape::kTorus: return "torus";
+      case TopologyShape::kHeavyHex: return "heavy_hex";
+      case TopologyShape::kStar: return "star";
+    }
+    return "?";
+}
 
-    Topology topo;
-    topo._config = config;
+bool
+parseTopologyShape(std::string_view text, TopologyShape &out)
+{
+    for (TopologyShape shape : allTopologyShapes()) {
+        if (text == toString(shape)) {
+            out = shape;
+            return true;
+        }
+    }
+    return false;
+}
 
-    const unsigned n = config.width * config.height;
-    topo._controller_parent.assign(n, kNoRouter);
+const std::vector<TopologyShape> &
+allTopologyShapes()
+{
+    static const std::vector<TopologyShape> shapes = {
+        TopologyShape::kLine,     TopologyShape::kGrid,
+        TopologyShape::kRing,     TopologyShape::kTorus,
+        TopologyShape::kHeavyHex, TopologyShape::kStar,
+    };
+    return shapes;
+}
+
+void
+Topology::allocControllers(unsigned n)
+{
+    DHISQ_ASSERT(n >= 1, "empty controller set");
+    _links.assign(n, {});
+    _controller_parent.assign(n, kNoRouter);
+}
+
+void
+Topology::addLink(ControllerId a, ControllerId b, Cycle latency)
+{
+    DHISQ_ASSERT(a < _links.size() && b < _links.size() && a != b,
+                 "bad link ", a, " <-> ", b);
+    DHISQ_ASSERT(latency > 0, "zero link latency");
+    _links[a].push_back(Link{b, latency});
+    _links[b].push_back(Link{a, latency});
+}
+
+void
+Topology::buildRouterTree()
+{
+    DHISQ_ASSERT(_config.tree_arity >= 2, "tree arity must be >= 2");
+    const unsigned n = numControllers();
+    const unsigned arity = _config.tree_arity;
 
     // Level-0 routers parent groups of `arity` consecutive controllers
-    // (grouping by grid blocks keeps regions spatially local on the line /
-    // row-major grid, which is what Insight #2 asks of the topology).
+    // (grouping by id blocks keeps regions spatially local along the
+    // placement order, which is what Insight #2 asks of the topology).
     std::vector<RouterId> level;
-    for (unsigned base = 0; base < n; base += config.tree_arity) {
+    for (unsigned base = 0; base < n; base += arity) {
         RouterNode node;
-        node.id = RouterId(topo._routers.size());
+        node.id = RouterId(_routers.size());
         node.level = 0;
-        for (unsigned c = base; c < std::min(n, base + config.tree_arity);
-             ++c) {
+        for (unsigned c = base; c < std::min(n, base + arity); ++c) {
             node.child_controllers.push_back(c);
-            topo._controller_parent[c] = node.id;
+            _controller_parent[c] = node.id;
         }
         level.push_back(node.id);
-        topo._routers.push_back(std::move(node));
+        _routers.push_back(std::move(node));
     }
 
     // Stack balanced levels of routers until a single root remains.
     unsigned depth = 1;
     while (level.size() > 1) {
         std::vector<RouterId> next;
-        for (std::size_t base = 0; base < level.size();
-             base += config.tree_arity) {
+        for (std::size_t base = 0; base < level.size(); base += arity) {
             RouterNode node;
-            node.id = RouterId(topo._routers.size());
+            node.id = RouterId(_routers.size());
             node.level = depth;
             for (std::size_t i = base;
-                 i < std::min(level.size(), base + config.tree_arity); ++i) {
+                 i < std::min(level.size(), base + arity); ++i) {
                 node.child_routers.push_back(level[i]);
             }
             next.push_back(node.id);
-            topo._routers.push_back(std::move(node));
-            for (RouterId child : topo._routers.back().child_routers)
-                topo._routers[child].parent = topo._routers.back().id;
+            _routers.push_back(std::move(node));
+            for (RouterId child : _routers.back().child_routers)
+                _routers[child].parent = _routers.back().id;
         }
         level = std::move(next);
         ++depth;
     }
-    topo._root = level.front();
+    _root = level.front();
+}
+
+Topology
+Topology::build(const TopologyConfig &config)
+{
+    switch (config.shape) {
+      case TopologyShape::kLine:
+        return line(config.width * config.height, config);
+      case TopologyShape::kGrid:
+        return grid(config);
+      case TopologyShape::kRing:
+        return ring(config.width * config.height, config);
+      case TopologyShape::kTorus:
+        return torus(config);
+      case TopologyShape::kHeavyHex:
+        return heavyHex(config);
+      case TopologyShape::kStar:
+        return star(config.width * config.height, config);
+    }
+    DHISQ_PANIC("unknown topology shape");
+}
+
+namespace {
+
+/** Boustrophedon snake over a W x H row-major grid. */
+std::vector<ControllerId>
+snakeOrder(unsigned w, unsigned h)
+{
+    std::vector<ControllerId> order;
+    order.reserve(std::size_t(w) * h);
+    for (unsigned y = 0; y < h; ++y) {
+        for (unsigned x = 0; x < w; ++x) {
+            const unsigned col = (y % 2 == 0) ? x : w - 1 - x;
+            order.push_back(y * w + col);
+        }
+    }
+    return order;
+}
+
+} // namespace
+
+Topology
+Topology::grid(const TopologyConfig &config)
+{
+    DHISQ_ASSERT(config.width >= 1 && config.height >= 1,
+                 "empty controller grid");
+
+    Topology topo;
+    topo._config = config;
+    topo._config.shape = TopologyShape::kGrid;
+
+    const unsigned w = config.width;
+    const unsigned h = config.height;
+    topo.allocControllers(w * h);
+
+    // 4-neighbourhood in the legacy left/right/up/down adjacency order;
+    // per-node construction keeps neighborsOf() bit-identical to the
+    // implicit-mesh implementation this replaced.
+    for (ControllerId c = 0; c < w * h; ++c) {
+        const unsigned x = c % w;
+        const unsigned y = c / w;
+        auto &links = topo._links[c];
+        if (x > 0)
+            links.push_back(Link{c - 1, config.neighbor_latency});
+        if (x + 1 < w)
+            links.push_back(Link{c + 1, config.neighbor_latency});
+        if (y > 0)
+            links.push_back(Link{c - w, config.neighbor_latency});
+        if (y + 1 < h)
+            links.push_back(Link{c + w, config.neighbor_latency});
+    }
+    topo._placement = snakeOrder(w, h);
+    topo.buildRouterTree();
     return topo;
 }
 
@@ -68,42 +189,183 @@ Topology::line(unsigned n, const TopologyConfig &base)
     TopologyConfig config = base;
     config.width = n;
     config.height = 1;
-    return grid(config);
+    Topology topo = grid(config);
+    topo._config.shape = TopologyShape::kLine;
+    return topo;
+}
+
+Topology
+Topology::ring(unsigned n, const TopologyConfig &base)
+{
+    TopologyConfig config = base;
+    config.width = n;
+    config.height = 1;
+    // n < 3 has no wraparound edge to add: the ring degrades to a line.
+    Topology topo = grid(config);
+    topo._config.shape = TopologyShape::kRing;
+    if (n >= 3)
+        topo.addLink(n - 1, 0, config.neighbor_latency);
+    return topo;
+}
+
+Topology
+Topology::torus(const TopologyConfig &config)
+{
+    Topology topo = grid(config);
+    topo._config.shape = TopologyShape::kTorus;
+    const unsigned w = config.width;
+    const unsigned h = config.height;
+    // Wraparound edges only where they join non-adjacent endpoints
+    // (w or h of 2 already has the direct edge).
+    if (w >= 3) {
+        for (unsigned y = 0; y < h; ++y)
+            topo.addLink(y * w + w - 1, y * w, config.neighbor_latency);
+    }
+    if (h >= 3) {
+        for (unsigned x = 0; x < w; ++x)
+            topo.addLink((h - 1) * w + x, x, config.neighbor_latency);
+    }
+    return topo;
+}
+
+Topology
+Topology::heavyHex(const TopologyConfig &config)
+{
+    const unsigned w = config.width;
+    const unsigned h = config.height;
+    DHISQ_ASSERT(w >= 1 && h >= 1, "empty heavy-hex lattice");
+
+    // Bridge coupler between rows r and r+1 at column x (IBM pattern:
+    // every fourth column, offset alternating 0/2 per row pair). Narrow
+    // lattices clamp the offset into range so every row pair keeps at
+    // least one bridge — the graph must stay connected.
+    auto bridge_at = [&](unsigned r, unsigned x) {
+        const unsigned offset =
+            (r % 2 == 0) ? 0 : std::min(2u, w - 1);
+        return x >= offset && (x - offset) % 4 == 0;
+    };
+
+    unsigned bridges = 0;
+    for (unsigned r = 0; r + 1 < h; ++r) {
+        for (unsigned x = 0; x < w; ++x)
+            bridges += bridge_at(r, x) ? 1 : 0;
+    }
+
+    Topology topo;
+    topo._config = config;
+    topo._config.shape = TopologyShape::kHeavyHex;
+    topo.allocControllers(w * h + bridges);
+
+    for (unsigned r = 0; r < h; ++r) {
+        for (unsigned x = 0; x + 1 < w; ++x) {
+            topo.addLink(r * w + x, r * w + x + 1,
+                         config.neighbor_latency);
+        }
+    }
+    // Bridge ids follow the row controllers, allocated row-major; remember
+    // each one so the placement snake can descend through it.
+    std::vector<std::vector<ControllerId>> bridge_of(
+        std::size_t(h), std::vector<ControllerId>(w, kNoController));
+    ControllerId next_bridge = w * h;
+    for (unsigned r = 0; r + 1 < h; ++r) {
+        for (unsigned x = 0; x < w; ++x) {
+            if (!bridge_at(r, x))
+                continue;
+            const ControllerId b = next_bridge++;
+            bridge_of[r][x] = b;
+            topo.addLink(r * w + x, b, config.neighbor_latency);
+            topo.addLink(b, (r + 1) * w + x, config.neighbor_latency);
+        }
+    }
+
+    // Placement: snake the rows, descending through the turning column's
+    // bridge when the pattern provides one; leftover bridges go last.
+    std::vector<bool> placed(topo.numControllers(), false);
+    auto &order = topo._placement;
+    order.reserve(topo.numControllers());
+    for (unsigned r = 0; r < h; ++r) {
+        for (unsigned x = 0; x < w; ++x) {
+            const unsigned col = (r % 2 == 0) ? x : w - 1 - x;
+            order.push_back(r * w + col);
+            placed[order.back()] = true;
+        }
+        const unsigned turn = (r % 2 == 0) ? w - 1 : 0;
+        if (r + 1 < h && bridge_of[r][turn] != kNoController) {
+            order.push_back(bridge_of[r][turn]);
+            placed[order.back()] = true;
+        }
+    }
+    for (ControllerId c = 0; c < topo.numControllers(); ++c) {
+        if (!placed[c])
+            order.push_back(c);
+    }
+
+    topo.buildRouterTree();
+    return topo;
+}
+
+Topology
+Topology::star(unsigned n, const TopologyConfig &base)
+{
+    TopologyConfig config = base;
+    config.shape = TopologyShape::kStar;
+    config.width = n;
+    config.height = 1;
+
+    Topology topo;
+    topo._config = config;
+    topo.allocControllers(n);
+    for (ControllerId spoke = 1; spoke < n; ++spoke)
+        topo.addLink(0, spoke, config.hub_latency);
+    topo._placement.resize(n);
+    for (ControllerId c = 0; c < n; ++c)
+        topo._placement[c] = c;
+    topo.buildRouterTree();
+    return topo;
 }
 
 bool
 Topology::areNeighbors(ControllerId a, ControllerId b) const
 {
+    DHISQ_ASSERT(a < numControllers() && b < numControllers(),
+                 "controller out of range");
     if (a == b)
         return false;
-    return gridDistance(a, b) == 1;
+    for (const Link &link : _links[a]) {
+        if (link.peer == b)
+            return true;
+    }
+    return false;
 }
 
 std::vector<ControllerId>
 Topology::neighborsOf(ControllerId c) const
 {
     DHISQ_ASSERT(c < numControllers(), "controller out of range");
-    const unsigned w = _config.width;
-    const unsigned x = c % w;
-    const unsigned y = c / w;
     std::vector<ControllerId> out;
-    if (x > 0)
-        out.push_back(c - 1);
-    if (x + 1 < w)
-        out.push_back(c + 1);
-    if (y > 0)
-        out.push_back(c - w);
-    if (y + 1 < _config.height)
-        out.push_back(c + w);
+    out.reserve(_links[c].size());
+    for (const Link &link : _links[c])
+        out.push_back(link.peer);
     return out;
+}
+
+const std::vector<Topology::Link> &
+Topology::linksOf(ControllerId c) const
+{
+    DHISQ_ASSERT(c < numControllers(), "controller out of range");
+    return _links[c];
 }
 
 Cycle
 Topology::neighborLatency(ControllerId a, ControllerId b) const
 {
-    DHISQ_ASSERT(areNeighbors(a, b), "controllers ", a, " and ", b,
-                 " are not mesh neighbours");
-    return _config.neighbor_latency;
+    DHISQ_ASSERT(a < numControllers() && b < numControllers(),
+                 "controller out of range");
+    for (const Link &link : _links[a]) {
+        if (link.peer == b)
+            return link.latency;
+    }
+    DHISQ_PANIC("controllers ", a, " and ", b, " share no link");
 }
 
 RouterId
@@ -191,9 +453,36 @@ Topology::messageLatency(ControllerId a, ControllerId b) const
 {
     if (a == b)
         return 1;
-    if (areNeighbors(a, b))
-        return _config.neighbor_latency;
+    for (const Link &link : _links[a]) {
+        if (link.peer == b)
+            return link.latency;
+    }
     return treeHops(a, b) * _config.hop_latency;
+}
+
+unsigned
+Topology::graphDistance(ControllerId a, ControllerId b) const
+{
+    DHISQ_ASSERT(a < numControllers() && b < numControllers(),
+                 "controller out of range");
+    if (a == b)
+        return 0;
+    std::vector<unsigned> dist(numControllers(), unsigned(-1));
+    std::deque<ControllerId> queue{a};
+    dist[a] = 0;
+    while (!queue.empty()) {
+        const ControllerId cur = queue.front();
+        queue.pop_front();
+        for (const Link &link : _links[cur]) {
+            if (dist[link.peer] != unsigned(-1))
+                continue;
+            dist[link.peer] = dist[cur] + 1;
+            if (link.peer == b)
+                return dist[link.peer];
+            queue.push_back(link.peer);
+        }
+    }
+    DHISQ_PANIC("controllers ", a, " and ", b, " are graph-disconnected");
 }
 
 unsigned
@@ -201,6 +490,10 @@ Topology::gridDistance(ControllerId a, ControllerId b) const
 {
     DHISQ_ASSERT(a < numControllers() && b < numControllers(),
                  "controller out of range");
+    DHISQ_ASSERT(_config.shape == TopologyShape::kGrid ||
+                     _config.shape == TopologyShape::kLine,
+                 "gridDistance needs a grid-family shape, not ",
+                 toString(_config.shape));
     const unsigned w = _config.width;
     const int ax = int(a % w), ay = int(a / w);
     const int bx = int(b % w), by = int(b / w);

@@ -1,14 +1,28 @@
 /**
  * @file
- * Hybrid network topology (Section 5.1): a mesh-like intra-layer topology
- * that mirrors the qubit grid (nearest-neighbour links carry BISP's 1-bit
- * sync signals and neighbour feedback), plus a balanced tree of routers
- * (minimum edges, 2*h diameter) for region-level synchronization and
- * long-distance messages.
+ * Hybrid network topology (Section 5.1), generalized to arbitrary graphs.
+ *
+ * The intra-layer network is an explicit adjacency graph: every controller
+ * keeps a list of (peer, link latency) edges carrying BISP's 1-bit sync
+ * signals and neighbour feedback. Named shape generators build the graphs
+ * the paper and related distributed-QC work evaluate — `line`, `grid`
+ * (the original implicit W x H mesh, bit-compatible), `ring`, `torus`,
+ * `heavy_hex` (IBM-style bridged rows) and `star` (an explicit central hub
+ * for the lock-step baseline). On top of any controller set a balanced
+ * tree of routers (minimum edges, 2*h diameter) provides region-level
+ * synchronization and long-distance messages.
+ *
+ * Each topology also exposes a *placement order*: a permutation of the
+ * controllers that embeds a path into the graph as far as the shape allows
+ * (identity on a line, boustrophedon snake on grids/tori, row snake through
+ * descending bridges on heavy-hex). The compiler maps consecutive qubit
+ * blocks along this order so line-coupled circuits land on adjacent
+ * controllers wherever the shape has the edges for it.
  */
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "common/types.hpp"
@@ -18,14 +32,36 @@ namespace dhisq::net {
 /** Sentinel router id (root's parent). */
 inline constexpr RouterId kNoRouter = 0xFFFFFFFF;
 
+/** Named intra-layer graph shapes. */
+enum class TopologyShape : std::uint8_t
+{
+    kLine,     ///< 1 x n chain
+    kGrid,     ///< W x H mesh, 4-connected (the paper's qubit-grid mirror)
+    kRing,     ///< n-cycle (line + wraparound edge)
+    kTorus,    ///< W x H mesh with wraparound in both dimensions
+    kHeavyHex, ///< IBM-style rows bridged by degree-2 coupler nodes
+    kStar,     ///< explicit central hub (lock-step baseline interconnect)
+};
+
+/** Human-readable shape name ("line", "heavy_hex", ...). */
+const char *toString(TopologyShape shape);
+
+/** Parse a shape name; false when `text` names no shape. */
+bool parseTopologyShape(std::string_view text, TopologyShape &out);
+
+/** Every shape in canonical sweep order. */
+const std::vector<TopologyShape> &allTopologyShapes();
+
 /** Topology parameters. */
 struct TopologyConfig
 {
-    unsigned width = 1;        ///< Controller-grid width.
-    unsigned height = 1;       ///< Controller-grid height.
+    TopologyShape shape = TopologyShape::kGrid;
+    unsigned width = 1;        ///< Columns (line/ring/star: width*height = n).
+    unsigned height = 1;       ///< Rows (heavy_hex: data rows).
     unsigned tree_arity = 4;   ///< Router fan-out.
     Cycle neighbor_latency = 2; ///< Nearest-neighbour link latency (N).
     Cycle hop_latency = 4;      ///< Tree-edge latency per hop.
+    Cycle hub_latency = 25;     ///< Star spoke-link latency (shape kStar).
 };
 
 /** One router of the inter-layer tree. */
@@ -38,32 +74,72 @@ struct RouterNode
     unsigned level = 0;       ///< 0 = leaf-adjacent routers.
 };
 
-/** Immutable topology: controller mesh + balanced router tree. */
+/** Immutable topology: controller graph + balanced router tree. */
 class Topology
 {
   public:
+    /** One directed half of an intra-layer link. */
+    struct Link
+    {
+        ControllerId peer = kNoController;
+        Cycle latency = 0;
+    };
+
+    /** Build the shape selected by `config.shape`. */
+    static Topology build(const TopologyConfig &config);
+
     /** Build a width x height controller grid with its router tree. */
     static Topology grid(const TopologyConfig &config);
 
     /** Convenience: a 1 x n line of controllers. */
     static Topology line(unsigned n, const TopologyConfig &base = {});
 
-    const TopologyConfig &config() const { return _config; }
+    /** An n-cycle (wraparound line; n < 3 degrades to a line). */
+    static Topology ring(unsigned n, const TopologyConfig &base = {});
 
-    unsigned numControllers() const { return _config.width * _config.height; }
+    /** A width x height torus (wraparound only where it adds an edge). */
+    static Topology torus(const TopologyConfig &config);
+
+    /**
+     * A heavy-hex-style lattice: `height` rows of `width` line-coupled
+     * controllers, consecutive rows joined by degree-2 bridge controllers
+     * at every fourth column (offset alternating 0/2 per row pair, the
+     * IBM pattern). Bridges get ids after the row controllers.
+     */
+    static Topology heavyHex(const TopologyConfig &config);
+
+    /** A star: controller 0 is the hub, 1..n-1 are spokes. */
+    static Topology star(unsigned n, const TopologyConfig &base = {});
+
+    const TopologyConfig &config() const { return _config; }
+    TopologyShape shape() const { return _config.shape; }
+
+    unsigned numControllers() const { return unsigned(_links.size()); }
     unsigned numRouters() const { return unsigned(_routers.size()); }
     RouterId rootRouter() const { return _root; }
 
-    /** 4-neighbourhood adjacency on the controller grid. */
+    /** True when an intra-layer link joins `a` and `b`. */
     bool areNeighbors(ControllerId a, ControllerId b) const;
 
-    /** All mesh neighbours of a controller. */
+    /** All graph neighbours of a controller, in generator order. */
     std::vector<ControllerId> neighborsOf(ControllerId c) const;
 
-    /** Calibrated nearest-neighbour link latency (BISP's N). */
+    /** The adjacency list of a controller (peers + link latencies). */
+    const std::vector<Link> &linksOf(ControllerId c) const;
+
+    /** Calibrated link latency between two adjacent controllers (BISP's N). */
     Cycle neighborLatency(ControllerId a, ControllerId b) const;
 
     Cycle hopLatency() const { return _config.hop_latency; }
+
+    /**
+     * Qubit-placement embedding: a permutation of the controllers whose
+     * consecutive entries are graph-adjacent wherever the shape allows.
+     */
+    const std::vector<ControllerId> &placementOrder() const
+    {
+        return _placement;
+    }
 
     /** Leaf router that parents a controller. */
     RouterId parentRouter(ControllerId c) const;
@@ -89,18 +165,32 @@ class Topology
     unsigned treeHops(ControllerId a, ControllerId b) const;
 
     /**
-     * Point-to-point message latency: neighbour link when adjacent in the
-     * mesh, otherwise the router-tree path.
+     * Point-to-point message latency: the direct link when adjacent in the
+     * graph, otherwise the router-tree path.
      */
     Cycle messageLatency(ControllerId a, ControllerId b) const;
 
-    /** Manhattan distance on the controller grid. */
+    /** Graph (BFS hop) distance between two controllers. */
+    unsigned graphDistance(ControllerId a, ControllerId b) const;
+
+    /** Manhattan distance on grid-family shapes (line/grid only). */
     unsigned gridDistance(ControllerId a, ControllerId b) const;
 
   private:
     Topology() = default;
 
+    /** Size the graph to `n` isolated controllers. */
+    void allocControllers(unsigned n);
+
+    /** Append the directed halves of an undirected link. */
+    void addLink(ControllerId a, ControllerId b, Cycle latency);
+
+    /** Build the balanced router tree over all controllers. */
+    void buildRouterTree();
+
     TopologyConfig _config;
+    std::vector<std::vector<Link>> _links;
+    std::vector<ControllerId> _placement;
     std::vector<RouterNode> _routers;
     std::vector<RouterId> _controller_parent;
     RouterId _root = kNoRouter;

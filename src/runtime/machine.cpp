@@ -23,7 +23,7 @@ RunReport::summary() const
 }
 
 Machine::Machine(const MachineConfig &config)
-    : _config(config), _topology(net::Topology::grid(config.topology))
+    : _config(config), _topology(net::Topology::build(config.topology))
 {
     _device = std::make_unique<q::QuantumDevice>(config.device);
     _fabric = std::make_unique<net::Fabric>(_topology, _sched, &_telf,

@@ -1,5 +1,6 @@
 #include "sweep/cli.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string_view>
@@ -26,8 +27,27 @@ parseCli(int argc, char **argv)
                     std::string("bad --threads value: ") + argv[i]);
             }
             opts.threads = static_cast<unsigned>(n);
+        } else if (arg == "--topology") {
+            if (i + 1 >= argc)
+                return Result<CliOptions>::error("--topology needs a shape");
+            const std::string_view name = argv[++i];
+            if (name == "all") {
+                opts.topologies = net::allTopologyShapes();
+                continue;
+            }
+            net::TopologyShape shape;
+            if (!net::parseTopologyShape(name, shape)) {
+                return Result<CliOptions>::error(
+                    std::string("unknown --topology shape: ") + argv[i]);
+            }
+            if (std::find(opts.topologies.begin(), opts.topologies.end(),
+                          shape) == opts.topologies.end()) {
+                opts.topologies.push_back(shape);
+            }
         } else if (arg == "--quick") {
             opts.quick = true;
+        } else if (arg == "--list") {
+            opts.list = true;
         } else if (arg == "--help" || arg == "-h") {
             return Result<CliOptions>::error("help");
         } else {
@@ -41,13 +61,22 @@ parseCli(int argc, char **argv)
 void
 printUsage(const char *prog)
 {
-    std::fprintf(stderr,
-                 "usage: %s [--json <path>] [--threads N] [--quick]\n"
-                 "  --json <path>  write the dhisq-bench-v1 report "
-                 "(\"-\" = stdout)\n"
-                 "  --threads N    sweep worker threads (default 1)\n"
-                 "  --quick        reduced grid for CI smoke runs\n",
-                 prog);
+    std::fprintf(
+        stderr,
+        "usage: %s [--json <path>] [--threads N] [--quick]\n"
+        "          [--topology <shape>]... [--list]\n"
+        "  --json <path>      write the dhisq-bench-v1 report "
+        "(\"-\" = stdout)\n"
+        "  --threads N        sweep worker threads (default 1)\n"
+        "  --quick            reduced grid for CI smoke runs\n"
+        "  --topology <shape> restrict the topology axis (line, grid, "
+        "ring,\n"
+        "                     torus, heavy_hex, star or \"all\"; "
+        "repeatable;\n"
+        "                     grids without the axis ignore it)\n"
+        "  --list             print the expanded grid points, run "
+        "nothing\n",
+        prog);
 }
 
 CliOptions

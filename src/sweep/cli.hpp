@@ -2,13 +2,18 @@
  * @file
  * Shared command-line handling for the sweep-based bench binaries:
  * `--json <path>` (emit BENCH json, "-" = stdout), `--threads N`
- * (worker pool size), `--quick` (reduced grid for the CI smoke run).
+ * (worker pool size), `--quick` (reduced grid for the CI smoke run),
+ * `--topology <shape>` (restrict a grid's topology axis; repeatable,
+ * "all" selects every shape) and `--list` (print the expanded grid
+ * points without executing them).
  */
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "common/status.hpp"
+#include "net/topology.hpp"
 
 namespace dhisq::sweep {
 
@@ -21,6 +26,10 @@ struct CliOptions
     unsigned threads = 1;
     /** Run a reduced grid (CI smoke). */
     bool quick = false;
+    /** Print the expanded grid points and exit without running. */
+    bool list = false;
+    /** Topology-axis selection; empty keeps the bench's default axis. */
+    std::vector<net::TopologyShape> topologies;
 };
 
 /**

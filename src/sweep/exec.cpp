@@ -16,16 +16,46 @@ lineTopology(unsigned controllers)
     return topo;
 }
 
+net::TopologyConfig
+shapeTopology(net::TopologyShape shape, unsigned controllers)
+{
+    net::TopologyConfig topo = lineTopology(controllers);
+    topo.shape = shape;
+    switch (shape) {
+      case net::TopologyShape::kLine:
+      case net::TopologyShape::kRing:
+      case net::TopologyShape::kStar:
+        break; // width * height == controllers already
+      case net::TopologyShape::kGrid:
+      case net::TopologyShape::kTorus:
+      case net::TopologyShape::kHeavyHex: {
+        // Square the count up: width x height >= controllers with the
+        // smallest near-square footprint (heavy-hex bridges come on top).
+        unsigned w = 1;
+        while (w * w < controllers)
+            ++w;
+        topo.width = w;
+        topo.height = (controllers + w - 1) / w;
+        break;
+      }
+    }
+    return topo;
+}
+
 ExecResult
 executeWith(const compiler::Circuit &circuit,
             const compiler::CompilerConfig &cc, bool state_vector,
-            std::uint64_t seed)
+            std::uint64_t seed, net::TopologyShape topology)
 {
     const unsigned controllers =
         (circuit.numQubits() + cc.qubits_per_controller - 1) /
         cc.qubits_per_controller;
-    const auto topo_cfg = lineTopology(controllers);
-    net::Topology topo = net::Topology::grid(topo_cfg);
+    auto topo_cfg = shapeTopology(topology, controllers);
+    // The compiler's static lock-step schedule floors feedback at the
+    // configured hub constant; the explicit star's spoke links must carry
+    // the same latency or every broadcast lands later than scheduled.
+    topo_cfg.hub_latency = cc.star_latency;
+    net::Topology topo = net::Topology::build(topo_cfg);
 
     compiler::Compiler comp(topo, cc);
     auto compiled = comp.compile(circuit);

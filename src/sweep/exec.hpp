@@ -38,10 +38,19 @@ struct ExecResult
 /** Standard line-topology config for n controllers. */
 net::TopologyConfig lineTopology(unsigned controllers);
 
+/**
+ * Topology config of `shape` sized to host at least `controllers`
+ * controllers with the standard latencies (grids/tori are squared up,
+ * heavy-hex rows are filled column-first).
+ */
+net::TopologyConfig shapeTopology(net::TopologyShape shape,
+                                  unsigned controllers);
+
 /** Compile + run with an explicit compiler configuration. */
-ExecResult executeWith(const compiler::Circuit &circuit,
-                       const compiler::CompilerConfig &cc,
-                       bool state_vector = false, std::uint64_t seed = 1);
+ExecResult executeWith(
+    const compiler::Circuit &circuit, const compiler::CompilerConfig &cc,
+    bool state_vector = false, std::uint64_t seed = 1,
+    net::TopologyShape topology = net::TopologyShape::kLine);
 
 /**
  * Compile `circuit` for `scheme` with default knobs and execute it.

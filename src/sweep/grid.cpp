@@ -76,6 +76,10 @@ ExperimentPoint::label() const
     std::string label = circuit.id();
     label += '/';
     label += compiler::toString(config.scheme);
+    if (topology != net::TopologyShape::kLine) {
+        label += '/';
+        label += net::toString(topology);
+    }
     if (config.qubits_per_controller != 1)
         label += "/qpc" + std::to_string(config.qubits_per_controller);
     if (seed != 1)
@@ -88,19 +92,23 @@ expandGrid(const GridSpec &grid)
 {
     std::vector<ExperimentPoint> points;
     points.reserve(grid.circuits.size() * grid.schemes.size() *
+                   grid.topologies.size() *
                    grid.qubits_per_controller.size() * grid.seeds.size());
     for (const auto &circuit : grid.circuits) {
         for (const auto scheme : grid.schemes) {
-            for (const unsigned qpc : grid.qubits_per_controller) {
-                for (const std::uint64_t seed : grid.seeds) {
-                    ExperimentPoint p;
-                    p.circuit = circuit;
-                    p.config = grid.base_config;
-                    p.config.scheme = scheme;
-                    p.config.qubits_per_controller = qpc;
-                    p.seed = seed;
-                    p.state_vector = grid.state_vector;
-                    points.push_back(std::move(p));
+            for (const auto topology : grid.topologies) {
+                for (const unsigned qpc : grid.qubits_per_controller) {
+                    for (const std::uint64_t seed : grid.seeds) {
+                        ExperimentPoint p;
+                        p.circuit = circuit;
+                        p.config = grid.base_config;
+                        p.config.scheme = scheme;
+                        p.config.qubits_per_controller = qpc;
+                        p.topology = topology;
+                        p.seed = seed;
+                        p.state_vector = grid.state_vector;
+                        points.push_back(std::move(p));
+                    }
                 }
             }
         }
@@ -112,13 +120,15 @@ PointResult
 runPoint(const ExperimentPoint &point, const MetricsHook &extend)
 {
     const compiler::Circuit circuit = point.circuit.build();
-    const ExecResult r = executeWith(circuit, point.config,
-                                     point.state_vector, point.seed);
+    const ExecResult r =
+        executeWith(circuit, point.config, point.state_vector, point.seed,
+                    point.topology);
 
     PointResult out;
     out.label = point.label();
     out.params["workload"] = point.circuit.id();
     out.params["scheme"] = compiler::toString(point.config.scheme);
+    out.params["topology"] = net::toString(point.topology);
     out.params["qubits"] = circuit.numQubits();
     out.params["qubits_per_controller"] =
         point.config.qubits_per_controller;

@@ -55,6 +55,8 @@ struct ExperimentPoint
     CircuitSpec circuit;
     /** Scheme, qubits_per_controller, latencies... (scheme included). */
     compiler::CompilerConfig config;
+    /** Interconnect shape the point runs on. */
+    net::TopologyShape topology = net::TopologyShape::kLine;
     std::uint64_t seed = 1;
     bool state_vector = false;
 
@@ -66,6 +68,8 @@ struct GridSpec
 {
     std::vector<CircuitSpec> circuits;
     std::vector<compiler::SyncScheme> schemes;
+    /** Interconnect shapes (the topology axis). */
+    std::vector<net::TopologyShape> topologies = {net::TopologyShape::kLine};
     std::vector<std::uint64_t> seeds = {1};
     std::vector<unsigned> qubits_per_controller = {1};
     /** Base knobs applied to every point before the axes override. */
@@ -75,7 +79,7 @@ struct GridSpec
 
 /**
  * Expand a grid in deterministic order: circuit-major, then scheme, then
- * qubits-per-controller, then seed.
+ * topology shape, then qubits-per-controller, then seed.
  */
 std::vector<ExperimentPoint> expandGrid(const GridSpec &grid);
 

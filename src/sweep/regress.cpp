@@ -1,0 +1,163 @@
+#include "sweep/regress.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dhisq::sweep {
+
+namespace {
+
+/** A tracked metric and the direction in which it regresses. */
+struct TrackedMetric
+{
+    const char *key;
+    bool higher_is_worse;
+};
+
+constexpr TrackedMetric kTracked[] = {
+    {"makespan_cycles", true}, {"makespan_us", true},
+    {"overhead_cycles", true}, {"points_per_sec", false},
+    {"throughput", false},
+};
+
+Status
+checkSchema(const Json &doc, const char *which)
+{
+    if (!doc.isObject())
+        return Status::error(std::string(which) + ": not a JSON object");
+    const Json *schema = doc.find("schema");
+    if (schema == nullptr || !schema->isString() ||
+        schema->asString() != "dhisq-bench-v1") {
+        return Status::error(std::string(which) +
+                             ": schema is not dhisq-bench-v1");
+    }
+    const Json *points = doc.find("points");
+    if (points == nullptr || !points->isArray())
+        return Status::error(std::string(which) + ": no points array");
+    return Status::ok();
+}
+
+const Json *
+pointByLabel(const Json &points, const std::string &label)
+{
+    for (const Json &p : points.asArray()) {
+        const Json *l = p.find("label");
+        if (l != nullptr && l->isString() && l->asString() == label)
+            return &p;
+    }
+    return nullptr;
+}
+
+bool
+isHealthy(const Json &point)
+{
+    const Json *h = point.find("healthy");
+    return h != nullptr && h->isBool() && h->asBool();
+}
+
+} // namespace
+
+std::string
+RegressFinding::describe() const
+{
+    char buf[256];
+    if (ratio > 0.0) {
+        std::snprintf(buf, sizeof(buf), "%s: %s %.6g -> %.6g (%+.1f%%)",
+                      label.empty() ? "<report>" : label.c_str(),
+                      metric.c_str(), baseline, current,
+                      (ratio - 1.0) * 100.0);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%s: %s",
+                      label.empty() ? "<report>" : label.c_str(),
+                      metric.c_str());
+    }
+    return buf;
+}
+
+Result<RegressReport>
+compareBenchReports(const Json &baseline, const Json &current,
+                    double threshold)
+{
+    if (!(threshold >= 0.0)) {
+        return Result<RegressReport>::error(
+            "threshold must be non-negative");
+    }
+    if (auto st = checkSchema(baseline, "baseline"); !st)
+        return Result<RegressReport>::error(st.message());
+    if (auto st = checkSchema(current, "current"); !st)
+        return Result<RegressReport>::error(st.message());
+
+    RegressReport out;
+    const Json &base_points = *baseline.find("points");
+    const Json &cur_points = *current.find("points");
+
+    for (const Json &base_point : base_points.asArray()) {
+        const Json *label_value = base_point.find("label");
+        if (label_value == nullptr || !label_value->isString()) {
+            return Result<RegressReport>::error(
+                "baseline point without a label");
+        }
+        const std::string &label = label_value->asString();
+        const Json *cur_point = pointByLabel(cur_points, label);
+        if (cur_point == nullptr) {
+            out.regressions.push_back(
+                RegressFinding{label, "point missing from current run"});
+            continue;
+        }
+        ++out.compared_points;
+
+        if (isHealthy(base_point) && !isHealthy(*cur_point)) {
+            out.regressions.push_back(
+                RegressFinding{label, "healthy -> unhealthy"});
+            continue;
+        }
+
+        const Json *base_metrics = base_point.find("metrics");
+        const Json *cur_metrics = cur_point->find("metrics");
+        if (base_metrics == nullptr || cur_metrics == nullptr)
+            continue;
+        for (const TrackedMetric &tracked : kTracked) {
+            const Json *b = base_metrics->find(tracked.key);
+            const Json *c = cur_metrics->find(tracked.key);
+            if (b == nullptr || c == nullptr || !b->isNumber() ||
+                !c->isNumber()) {
+                continue;
+            }
+            const double bv = b->asDouble();
+            const double cv = c->asDouble();
+            ++out.compared_metrics;
+            // A relative gate needs a positive denominator; tiny or
+            // negative baselines (zero-overhead cells) are skipped, which
+            // the note trail makes visible.
+            if (!(bv > 0.0)) {
+                if (cv > bv) {
+                    out.notes.push_back(
+                        label + ": " + tracked.key +
+                        " moved off a non-positive baseline (" +
+                        std::to_string(bv) + " -> " + std::to_string(cv) +
+                        "), not gated");
+                }
+                continue;
+            }
+            const double ratio =
+                tracked.higher_is_worse ? cv / bv : bv / cv;
+            if (ratio > 1.0 + threshold) {
+                out.regressions.push_back(
+                    RegressFinding{label, tracked.key, bv, cv, ratio});
+            }
+        }
+    }
+
+    for (const Json &cur_point : cur_points.asArray()) {
+        const Json *label_value = cur_point.find("label");
+        if (label_value == nullptr || !label_value->isString())
+            continue;
+        if (pointByLabel(base_points, label_value->asString()) == nullptr) {
+            out.notes.push_back("new point (no baseline): " +
+                                label_value->asString());
+        }
+    }
+    return out;
+}
+
+} // namespace dhisq::sweep

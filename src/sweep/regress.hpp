@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Benchmark regression gate: compares a freshly-emitted dhisq-bench-v1
+ * document against a committed baseline and flags points whose tracked
+ * metrics moved past a relative threshold in the bad direction.
+ *
+ * The simulator is deterministic, so baseline and current values are
+ * normally identical; the threshold exists to absorb intentional small
+ * scheduling changes while catching real makespan/throughput regressions.
+ *
+ * Tracked metrics (compared only when present in both points):
+ *   - makespan_cycles, makespan_us, overhead_cycles: higher is worse
+ *   - points_per_sec, throughput: lower is worse
+ * A point that is healthy in the baseline but unhealthy in the current
+ * run, or missing from the current run, is always a regression. Points
+ * new in the current run are reported as notes, never failures.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/status.hpp"
+
+namespace dhisq::sweep {
+
+/** One metric that moved past the threshold in the bad direction. */
+struct RegressFinding
+{
+    std::string label;  ///< point label ("" for document-level findings)
+    std::string metric; ///< metric key or the failure kind
+    double baseline = 0.0;
+    double current = 0.0;
+    /** current/baseline (or its inverse for lower-is-worse metrics). */
+    double ratio = 0.0;
+
+    std::string describe() const;
+};
+
+/** Outcome of one baseline comparison. */
+struct RegressReport
+{
+    std::vector<RegressFinding> regressions;
+    /** Informational only: new points, skipped metrics... */
+    std::vector<std::string> notes;
+    /** Points matched between baseline and current. */
+    std::size_t compared_points = 0;
+    /** Metric values compared across all matched points. */
+    std::size_t compared_metrics = 0;
+
+    bool ok() const { return regressions.empty(); }
+};
+
+/**
+ * Compare two parsed dhisq-bench-v1 documents. `threshold` is the
+ * tolerated relative worsening (0.15 = +15%). Errors on schema mismatch
+ * or structurally invalid documents.
+ */
+Result<RegressReport> compareBenchReports(const Json &baseline,
+                                          const Json &current,
+                                          double threshold);
+
+} // namespace dhisq::sweep

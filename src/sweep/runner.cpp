@@ -9,6 +9,14 @@
 
 namespace dhisq::sweep {
 
+void
+listTasks(const std::vector<SweepTask> &tasks)
+{
+    for (const auto &task : tasks)
+        std::printf("%s\n", task.label.c_str());
+    std::printf("(%zu points)\n", tasks.size());
+}
+
 Json
 PointResult::toJson() const
 {

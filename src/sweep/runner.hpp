@@ -47,6 +47,9 @@ struct SweepTask
     std::function<PointResult()> fn;
 };
 
+/** Print one task label per line (the --list dry run; nothing executes). */
+void listTasks(const std::vector<SweepTask> &tasks);
+
 /** Executes a sweep across a worker pool with deterministic aggregation. */
 class SweepRunner
 {

@@ -12,6 +12,7 @@
 
 #include "sweep/cli.hpp"
 #include "sweep/grid.hpp"
+#include "sweep/regress.hpp"
 #include "sweep/report.hpp"
 #include "sweep/runner.hpp"
 
@@ -100,10 +101,10 @@ TEST(Runner, ResultsArriveInTaskOrder)
 {
     std::vector<SweepTask> tasks;
     for (int i = 0; i < 20; ++i) {
-        tasks.push_back(SweepTask{"t" + std::to_string(i), [i] {
+        tasks.push_back(SweepTask{prefixedNumber("t", unsigned(i)), [i] {
                                       PointResult r;
                                       r.label =
-                                          "t" + std::to_string(i);
+                                          prefixedNumber("t", unsigned(i));
                                       r.metrics["i"] = i;
                                       return r;
                                   }});
@@ -123,7 +124,8 @@ TEST(Runner, EveryTaskRunsExactlyOnceAcrossThreads)
     std::atomic<int> calls{0};
     std::vector<SweepTask> tasks;
     for (int i = 0; i < 50; ++i) {
-        tasks.push_back(SweepTask{"c" + std::to_string(i), [&calls] {
+        tasks.push_back(SweepTask{prefixedNumber("c", unsigned(i)),
+                                  [&calls] {
                                       calls.fetch_add(1);
                                       return PointResult{};
                                   }});
@@ -241,6 +243,55 @@ TEST(Cli, ParsesFlags)
     EXPECT_TRUE(parsed.value().quick);
 }
 
+TEST(Grid, TopologyAxisExpandsBetweenSchemeAndQpc)
+{
+    GridSpec grid;
+    CircuitSpec chain;
+    chain.kind = CircuitSpec::Kind::kLrCnotChain;
+    chain.qubits = 5;
+    grid.circuits.push_back(chain);
+    grid.schemes = {compiler::SyncScheme::kBisp};
+    grid.topologies = {net::TopologyShape::kLine,
+                       net::TopologyShape::kRing,
+                       net::TopologyShape::kStar};
+    grid.qubits_per_controller = {1, 2};
+
+    const auto points = expandGrid(grid);
+    ASSERT_EQ(points.size(), 6u);
+    EXPECT_EQ(points[0].label(), "lrcnot_chain_n5/bisp");
+    EXPECT_EQ(points[1].label(), "lrcnot_chain_n5/bisp/qpc2");
+    EXPECT_EQ(points[2].label(), "lrcnot_chain_n5/bisp/ring");
+    EXPECT_EQ(points[3].label(), "lrcnot_chain_n5/bisp/ring/qpc2");
+    EXPECT_EQ(points[4].label(), "lrcnot_chain_n5/bisp/star");
+    EXPECT_EQ(points[5].label(), "lrcnot_chain_n5/bisp/star/qpc2");
+}
+
+TEST(Grid, RunPointRecordsTopologyParam)
+{
+    ExperimentPoint point;
+    point.circuit.kind = CircuitSpec::Kind::kLrCnotChain;
+    point.circuit.qubits = 5;
+    point.topology = net::TopologyShape::kRing;
+    const auto r = runPoint(point);
+    EXPECT_TRUE(r.healthy);
+    EXPECT_EQ(r.params.find("topology")->asString(), "ring");
+}
+
+TEST(Grid, EveryShapeRunsHealthy)
+{
+    for (const auto shape : net::allTopologyShapes()) {
+        ExperimentPoint point;
+        point.circuit.kind = CircuitSpec::Kind::kLrCnotChain;
+        point.circuit.qubits = 7;
+        point.config.repetitions = 2;
+        point.topology = shape;
+        const auto r = runPoint(point);
+        EXPECT_TRUE(r.healthy) << net::toString(shape) << ": " << r.health;
+        EXPECT_GT(r.metrics.find("syncs")->asInt(), 0)
+            << net::toString(shape);
+    }
+}
+
 TEST(Cli, RejectsBadInput)
 {
     {
@@ -261,7 +312,141 @@ TEST(Cli, RejectsBadInput)
         ASSERT_TRUE(parsed.isOk());
         EXPECT_EQ(parsed.value().threads, 1u);
         EXPECT_TRUE(parsed.value().json_path.empty());
+        EXPECT_FALSE(parsed.value().list);
+        EXPECT_TRUE(parsed.value().topologies.empty());
     }
+}
+
+TEST(Cli, ParsesTopologyAxisSelection)
+{
+    {
+        const char *argv[] = {"bench", "--topology", "ring", "--topology",
+                              "star", "--topology", "ring"};
+        auto parsed = parseCli(7, const_cast<char **>(argv));
+        ASSERT_TRUE(parsed.isOk());
+        // Duplicates collapse; order of first mention is kept.
+        ASSERT_EQ(parsed.value().topologies.size(), 2u);
+        EXPECT_EQ(parsed.value().topologies[0],
+                  net::TopologyShape::kRing);
+        EXPECT_EQ(parsed.value().topologies[1],
+                  net::TopologyShape::kStar);
+    }
+    {
+        const char *argv[] = {"bench", "--topology", "all"};
+        auto parsed = parseCli(3, const_cast<char **>(argv));
+        ASSERT_TRUE(parsed.isOk());
+        EXPECT_EQ(parsed.value().topologies.size(),
+                  net::allTopologyShapes().size());
+    }
+    {
+        const char *argv[] = {"bench", "--topology", "moebius"};
+        EXPECT_FALSE(parseCli(3, const_cast<char **>(argv)).isOk());
+    }
+    {
+        const char *argv[] = {"bench", "--topology"};
+        EXPECT_FALSE(parseCli(2, const_cast<char **>(argv)).isOk());
+    }
+}
+
+TEST(Cli, ParsesListFlag)
+{
+    const char *argv[] = {"bench", "--list", "--quick"};
+    auto parsed = parseCli(3, const_cast<char **>(argv));
+    ASSERT_TRUE(parsed.isOk());
+    EXPECT_TRUE(parsed.value().list);
+    EXPECT_TRUE(parsed.value().quick);
+}
+
+// ---- Baseline regression gate -------------------------------------------
+
+namespace {
+
+Json
+benchDoc(long long makespan, bool healthy = true,
+         const char *label = "p0")
+{
+    BenchReport report;
+    report.bench = "regress_test";
+    PointResult p;
+    p.label = label;
+    p.metrics["makespan_cycles"] = makespan;
+    p.healthy = healthy;
+    p.health = healthy ? "ok" : "deadlock";
+    report.points.push_back(std::move(p));
+    return report.toJson();
+}
+
+} // namespace
+
+TEST(Regress, IdenticalReportsPass)
+{
+    const Json doc = benchDoc(1000);
+    auto r = compareBenchReports(doc, doc, 0.15);
+    ASSERT_TRUE(r.isOk()) << r.message();
+    EXPECT_TRUE(r.value().ok());
+    EXPECT_EQ(r.value().compared_points, 1u);
+    EXPECT_GE(r.value().compared_metrics, 1u);
+}
+
+TEST(Regress, WithinThresholdPasses)
+{
+    auto r = compareBenchReports(benchDoc(1000), benchDoc(1100), 0.15);
+    ASSERT_TRUE(r.isOk());
+    EXPECT_TRUE(r.value().ok());
+}
+
+TEST(Regress, BeyondThresholdFails)
+{
+    auto r = compareBenchReports(benchDoc(1000), benchDoc(1200), 0.15);
+    ASSERT_TRUE(r.isOk());
+    ASSERT_EQ(r.value().regressions.size(), 1u);
+    EXPECT_EQ(r.value().regressions[0].metric, "makespan_cycles");
+    EXPECT_DOUBLE_EQ(r.value().regressions[0].ratio, 1.2);
+}
+
+TEST(Regress, ThresholdIsOverridable)
+{
+    auto r = compareBenchReports(benchDoc(1000), benchDoc(1200), 0.30);
+    ASSERT_TRUE(r.isOk());
+    EXPECT_TRUE(r.value().ok());
+}
+
+TEST(Regress, ImprovementNeverFails)
+{
+    auto r = compareBenchReports(benchDoc(1000), benchDoc(400), 0.15);
+    ASSERT_TRUE(r.isOk());
+    EXPECT_TRUE(r.value().ok());
+}
+
+TEST(Regress, HealthyToUnhealthyFails)
+{
+    auto r = compareBenchReports(benchDoc(1000),
+                                 benchDoc(1000, /*healthy=*/false), 0.15);
+    ASSERT_TRUE(r.isOk());
+    ASSERT_EQ(r.value().regressions.size(), 1u);
+    EXPECT_EQ(r.value().regressions[0].metric, "healthy -> unhealthy");
+}
+
+TEST(Regress, MissingPointFailsNewPointIsANote)
+{
+    const Json baseline = benchDoc(1000, true, "old_point");
+    const Json current = benchDoc(1000, true, "new_point");
+    auto r = compareBenchReports(baseline, current, 0.15);
+    ASSERT_TRUE(r.isOk());
+    ASSERT_EQ(r.value().regressions.size(), 1u);
+    EXPECT_EQ(r.value().regressions[0].label, "old_point");
+    ASSERT_EQ(r.value().notes.size(), 1u);
+    EXPECT_NE(r.value().notes[0].find("new_point"), std::string::npos);
+}
+
+TEST(Regress, RejectsWrongSchema)
+{
+    Json bogus = Json::object();
+    bogus["schema"] = "not-a-bench";
+    EXPECT_FALSE(compareBenchReports(bogus, benchDoc(1), 0.15).isOk());
+    EXPECT_FALSE(compareBenchReports(benchDoc(1), bogus, 0.15).isOk());
+    EXPECT_FALSE(
+        compareBenchReports(benchDoc(1), benchDoc(1), -0.5).isOk());
 }
 
 } // namespace

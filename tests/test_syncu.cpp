@@ -219,5 +219,69 @@ TEST(SyncU, OverheadSamplesTrackPauses)
     EXPECT_EQ(overhead.max, 16.0); // 30 - (10 + 4)
 }
 
+// ---- Guard-event lifecycle (the O(1) scheduler-cancel migration) --------
+
+TEST(SyncU, CompletedSyncLeavesNoPendingGuardEvents)
+{
+    // After a sync finishes, neither the Condition-I countdown nor a
+    // scheduled region finish may linger in the scheduler: the machine's
+    // quiescence detection relies on a truly empty queue.
+    SyncUHarness h;
+    h.programNearby(10, 2, 8);
+    h.sched.schedule(12, [&] { h.syncu->onNearbySignal(2); });
+    h.sched.run();
+    EXPECT_FALSE(h.syncu->busy());
+    EXPECT_TRUE(h.sched.idle());
+}
+
+TEST(SyncU, BackToBackSyncsReArmTheCountdown)
+{
+    // A second booking on the same unit must schedule a fresh Condition-I
+    // countdown after the first one was consumed (handle re-arm, not a
+    // stale-generation carcass).
+    SyncUHarness h;
+    h.programNearby(10, 2, 8);          // round 1: cond I at 14
+    h.tcu->advanceCursor(20);           // cursor 38
+    {
+        TimedEvent ev;
+        ev.kind = TimedEventKind::Sync;
+        ev.target = 2;
+        h.tcu->enqueueControl(ev);      // round 2: cond I at 42
+    }
+    h.tcu->advanceCursor(8);
+    h.tcu->enqueueCodeword(0, 8);
+    h.sched.schedule(12, [&] { h.syncu->onNearbySignal(2); });
+    h.sched.schedule(100, [&] { h.syncu->onNearbySignal(2); });
+    h.sched.run();
+    ASSERT_EQ(h.issues.size(), 2u);
+    EXPECT_EQ(h.issues[0].second, 18u);
+    EXPECT_EQ(h.issues[1].second, 104u); // paused until the late signal
+    EXPECT_EQ(h.syncu->stats().counter("syncs_completed"), 2u);
+    EXPECT_TRUE(h.sched.idle());
+}
+
+TEST(SyncU, LateRegionNotifyCancelsNothingAndFinishesOnce)
+{
+    // T_final in the future schedules a finish event; once it fires the
+    // sync is complete exactly once and no guard remains pending.
+    SyncUHarness h;
+    h.tcu->advanceCursor(20);
+    TimedEvent ev;
+    ev.kind = TimedEventKind::Sync;
+    ev.target = isa::kSyncRouterFlag; // router 0
+    ev.residual = 10;
+    h.tcu->enqueueControl(ev);
+    h.tcu->advanceCursor(10);
+    h.tcu->enqueueCodeword(0, 9);
+    // Notify arrives before Condition I (T_i = 30) with T_final = 80.
+    h.sched.schedule(25, [&] { h.syncu->onRegionNotify(80); });
+    h.sched.run();
+    ASSERT_EQ(h.issues.size(), 1u);
+    EXPECT_EQ(h.issues[0].second, 80u);
+    EXPECT_EQ(h.syncu->stats().counter("syncs_completed"), 1u);
+    EXPECT_FALSE(h.syncu->busy());
+    EXPECT_TRUE(h.sched.idle());
+}
+
 } // namespace
 } // namespace dhisq::core

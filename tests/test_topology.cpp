@@ -5,6 +5,10 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
 #include "net/topology.hpp"
 
 namespace dhisq::net {
@@ -150,6 +154,299 @@ TEST(Topology, GridDistanceIsManhattan)
     EXPECT_EQ(topo.gridDistance(0, 15), 6u);
     EXPECT_EQ(topo.gridDistance(5, 6), 1u);
     EXPECT_EQ(topo.gridDistance(5, 5), 0u);
+}
+
+// ---- Shape generators (the adjacency-graph generalization) --------------
+
+namespace {
+
+/** Every shape at a representative size, via the build() dispatch. */
+std::vector<Topology>
+sampleShapes()
+{
+    std::vector<Topology> out;
+    for (TopologyShape shape : allTopologyShapes()) {
+        TopologyConfig cfg;
+        cfg.shape = shape;
+        cfg.width = 5;
+        cfg.height = 3;
+        out.push_back(Topology::build(cfg));
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(TopologyShapes, NamesRoundTrip)
+{
+    for (TopologyShape shape : allTopologyShapes()) {
+        TopologyShape parsed;
+        ASSERT_TRUE(parseTopologyShape(toString(shape), parsed))
+            << toString(shape);
+        EXPECT_EQ(parsed, shape);
+    }
+    TopologyShape ignored;
+    EXPECT_FALSE(parseTopologyShape("moebius", ignored));
+    EXPECT_FALSE(parseTopologyShape("", ignored));
+}
+
+TEST(TopologyShapes, NeighborSymmetryAndLatencySymmetry)
+{
+    for (const Topology &topo : sampleShapes()) {
+        for (ControllerId c = 0; c < topo.numControllers(); ++c) {
+            EXPECT_FALSE(topo.areNeighbors(c, c));
+            for (ControllerId peer : topo.neighborsOf(c)) {
+                EXPECT_TRUE(topo.areNeighbors(c, peer))
+                    << toString(topo.shape());
+                EXPECT_TRUE(topo.areNeighbors(peer, c))
+                    << toString(topo.shape());
+                EXPECT_EQ(topo.neighborLatency(c, peer),
+                          topo.neighborLatency(peer, c))
+                    << toString(topo.shape());
+            }
+        }
+    }
+}
+
+TEST(TopologyShapes, EveryControllerParentedByExactlyOneLeafRouter)
+{
+    for (const Topology &topo : sampleShapes()) {
+        std::vector<unsigned> parent_count(topo.numControllers(), 0);
+        for (RouterId r = 0; r < topo.numRouters(); ++r) {
+            for (ControllerId c : topo.router(r).child_controllers)
+                ++parent_count[c];
+        }
+        for (ControllerId c = 0; c < topo.numControllers(); ++c) {
+            EXPECT_EQ(parent_count[c], 1u) << toString(topo.shape())
+                                           << " controller " << c;
+            const RouterId parent = topo.parentRouter(c);
+            ASSERT_NE(parent, kNoRouter);
+            EXPECT_EQ(topo.router(parent).level, 0u);
+            const auto &children = topo.router(parent).child_controllers;
+            EXPECT_NE(std::find(children.begin(), children.end(), c),
+                      children.end());
+        }
+    }
+}
+
+TEST(TopologyShapes, PlacementOrderIsAPermutation)
+{
+    for (const Topology &topo : sampleShapes()) {
+        const auto &order = topo.placementOrder();
+        ASSERT_EQ(order.size(), topo.numControllers())
+            << toString(topo.shape());
+        std::vector<bool> seen(order.size(), false);
+        for (ControllerId c : order) {
+            ASSERT_LT(c, order.size());
+            EXPECT_FALSE(seen[c]) << toString(topo.shape());
+            seen[c] = true;
+        }
+    }
+}
+
+TEST(TopologyShapes, RingWraparoundLatency)
+{
+    TopologyConfig base;
+    base.neighbor_latency = 3;
+    auto topo = Topology::ring(6, base);
+    EXPECT_EQ(topo.shape(), TopologyShape::kRing);
+    EXPECT_EQ(topo.numControllers(), 6u);
+    EXPECT_TRUE(topo.areNeighbors(5, 0));
+    EXPECT_EQ(topo.neighborLatency(5, 0), 3u);
+    EXPECT_EQ(topo.messageLatency(5, 0), 3u);
+    EXPECT_EQ(topo.graphDistance(0, 5), 1u); // around the wrap
+    EXPECT_EQ(topo.graphDistance(0, 3), 3u); // either way round
+    // Every ring node has exactly two neighbours.
+    for (ControllerId c = 0; c < 6; ++c)
+        EXPECT_EQ(topo.neighborsOf(c).size(), 2u);
+}
+
+TEST(TopologyShapes, TinyRingDegradesToALine)
+{
+    auto topo = Topology::ring(2);
+    EXPECT_EQ(topo.shape(), TopologyShape::kRing);
+    EXPECT_TRUE(topo.areNeighbors(0, 1));
+    EXPECT_EQ(topo.neighborsOf(0).size(), 1u); // no duplicate edge
+}
+
+TEST(TopologyShapes, TorusWraparoundLatencies)
+{
+    TopologyConfig cfg;
+    cfg.shape = TopologyShape::kTorus;
+    cfg.width = 4;
+    cfg.height = 3;
+    cfg.neighbor_latency = 5;
+    auto topo = Topology::build(cfg);
+    EXPECT_EQ(topo.numControllers(), 12u);
+    // Row wrap: (3,0) of every row; column wrap: bottom row to top row.
+    EXPECT_TRUE(topo.areNeighbors(3, 0));
+    EXPECT_TRUE(topo.areNeighbors(7, 4));
+    EXPECT_TRUE(topo.areNeighbors(8, 0));
+    EXPECT_TRUE(topo.areNeighbors(11, 3));
+    EXPECT_FALSE(topo.areNeighbors(3, 4)); // row boundary stays open
+    EXPECT_EQ(topo.neighborLatency(3, 0), 5u);
+    EXPECT_EQ(topo.neighborLatency(8, 0), 5u);
+    // Every torus node has exactly four neighbours.
+    for (ControllerId c = 0; c < 12; ++c)
+        EXPECT_EQ(topo.neighborsOf(c).size(), 4u) << c;
+}
+
+TEST(TopologyShapes, TorusWithWidthTwoAddsNoDuplicateEdges)
+{
+    TopologyConfig cfg;
+    cfg.shape = TopologyShape::kTorus;
+    cfg.width = 2;
+    cfg.height = 4;
+    auto topo = Topology::build(cfg);
+    // Width-2 rows already have the direct edge; only columns wrap.
+    EXPECT_EQ(topo.neighborsOf(0).size(), 3u); // right, down, column wrap
+}
+
+TEST(TopologyShapes, StarHubAndSpokes)
+{
+    TopologyConfig base;
+    base.hub_latency = 30;
+    auto topo = Topology::star(7, base);
+    EXPECT_EQ(topo.shape(), TopologyShape::kStar);
+    EXPECT_EQ(topo.numControllers(), 7u);
+    EXPECT_EQ(topo.neighborsOf(0).size(), 6u); // the hub
+    for (ControllerId spoke = 1; spoke < 7; ++spoke) {
+        EXPECT_EQ(topo.neighborsOf(spoke).size(), 1u);
+        EXPECT_TRUE(topo.areNeighbors(0, spoke));
+        EXPECT_EQ(topo.neighborLatency(0, spoke), 30u);
+        EXPECT_EQ(topo.graphDistance(spoke, (spoke % 6) + 1), 2u);
+    }
+}
+
+TEST(TopologyShapes, HeavyHexBridgesAreDegreeTwo)
+{
+    TopologyConfig cfg;
+    cfg.shape = TopologyShape::kHeavyHex;
+    cfg.width = 5;
+    cfg.height = 3;
+    auto topo = Topology::build(cfg);
+    // 15 row controllers plus the bridge couplers.
+    ASSERT_GT(topo.numControllers(), 15u);
+    for (ControllerId b = 15; b < topo.numControllers(); ++b) {
+        const auto peers = topo.neighborsOf(b);
+        ASSERT_EQ(peers.size(), 2u) << "bridge " << b;
+        // A bridge joins the same column of two consecutive rows.
+        EXPECT_EQ(peers[0] % 5, peers[1] % 5);
+        EXPECT_EQ(peers[0] / 5 + 1, peers[1] / 5);
+    }
+    // Row-pair 0 bridges sit at columns 0 and 4; row-pair 1 at column 2.
+    EXPECT_EQ(topo.numControllers(), 15u + 2u + 1u);
+}
+
+TEST(TopologyShapes, EveryShapeIsConnectedEvenWhenNarrow)
+{
+    // Narrow heavy-hex lattices historically lost all bridges on offset-2
+    // row pairs; graphDistance panics on a disconnected pair, so walking
+    // every pair doubles as a connectivity proof.
+    for (TopologyShape shape : allTopologyShapes()) {
+        for (unsigned w : {1u, 2u, 3u}) {
+            for (unsigned h : {1u, 3u, 4u}) {
+                TopologyConfig cfg;
+                cfg.shape = shape;
+                cfg.width = w;
+                cfg.height = h;
+                auto topo = Topology::build(cfg);
+                for (ControllerId c = 1; c < topo.numControllers(); ++c) {
+                    EXPECT_GT(topo.graphDistance(0, c), 0u)
+                        << toString(shape) << " " << w << "x" << h;
+                }
+            }
+        }
+    }
+}
+
+TEST(TopologyShapes, GraphDistanceMatchesManhattanOnGrids)
+{
+    TopologyConfig cfg;
+    cfg.width = 4;
+    cfg.height = 4;
+    auto topo = Topology::grid(cfg);
+    for (ControllerId a = 0; a < 16; ++a) {
+        for (ControllerId b = 0; b < 16; ++b)
+            EXPECT_EQ(topo.graphDistance(a, b), topo.gridDistance(a, b));
+    }
+}
+
+TEST(TopologyShapes, SnakePlacementIsPathEmbedded)
+{
+    for (TopologyShape shape :
+         {TopologyShape::kLine, TopologyShape::kGrid, TopologyShape::kRing,
+          TopologyShape::kTorus}) {
+        TopologyConfig cfg;
+        cfg.shape = shape;
+        cfg.width = shape == TopologyShape::kGrid ||
+                            shape == TopologyShape::kTorus
+                        ? 4
+                        : 12;
+        cfg.height = shape == TopologyShape::kGrid ||
+                             shape == TopologyShape::kTorus
+                         ? 3
+                         : 1;
+        auto topo = Topology::build(cfg);
+        const auto &order = topo.placementOrder();
+        for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+            EXPECT_TRUE(topo.areNeighbors(order[i], order[i + 1]))
+                << toString(shape) << " slots " << i << "," << i + 1;
+        }
+    }
+}
+
+/**
+ * The refactor's compatibility contract: the grid generator must produce
+ * exactly the structure of the old implicit W x H implementation —
+ * coordinate-formula neighbours in left/right/up/down order, uniform
+ * latencies, arity-blocked router tree.
+ */
+TEST(TopologyShapes, GridIsBitCompatibleWithImplicitMesh)
+{
+    for (const auto &[w, h, arity] :
+         {std::tuple<unsigned, unsigned, unsigned>{16, 1, 4},
+          std::tuple<unsigned, unsigned, unsigned>{5, 1, 4},
+          std::tuple<unsigned, unsigned, unsigned>{4, 4, 2},
+          std::tuple<unsigned, unsigned, unsigned>{3, 7, 3}}) {
+        TopologyConfig cfg;
+        cfg.width = w;
+        cfg.height = h;
+        cfg.tree_arity = arity;
+        cfg.neighbor_latency = 2;
+        cfg.hop_latency = 4;
+        auto topo = Topology::grid(cfg);
+
+        ASSERT_EQ(topo.numControllers(), w * h);
+        for (ControllerId c = 0; c < w * h; ++c) {
+            // Legacy neighbour enumeration: left, right, up, down.
+            const unsigned x = c % w;
+            const unsigned y = c / w;
+            std::vector<ControllerId> expect;
+            if (x > 0)
+                expect.push_back(c - 1);
+            if (x + 1 < w)
+                expect.push_back(c + 1);
+            if (y > 0)
+                expect.push_back(c - w);
+            if (y + 1 < h)
+                expect.push_back(c + w);
+            EXPECT_EQ(topo.neighborsOf(c), expect) << w << "x" << h;
+
+            // Legacy leaf-router grouping: arity-sized id blocks.
+            EXPECT_EQ(topo.parentRouter(c), c / arity);
+        }
+        for (ControllerId a = 0; a < w * h; ++a) {
+            for (ControllerId b = 0; b < w * h; ++b) {
+                const Cycle expect =
+                    a == b ? 1
+                    : topo.gridDistance(a, b) == 1
+                        ? cfg.neighbor_latency
+                        : topo.treeHops(a, b) * cfg.hop_latency;
+                EXPECT_EQ(topo.messageLatency(a, b), expect);
+            }
+        }
+    }
 }
 
 } // namespace
