@@ -7,10 +7,19 @@
  * re-synchronization, and BISP masks what the booking lead allows — the
  * quantitative version of Section 2.1's qualitative comparison.
  *
- * Sweep-harness port: the (feedback density x scheme) grid runs on the
- * SweepRunner (--threads) and serializes with --json.
+ * The router design space rides along as first-class grid axes: the
+ * region-sync notification policy (`--policy paper|robust`) and the tree
+ * fan-out (`--tree-arity N`) sweep jointly with the schemes, showing that
+ * the scheme ordering is invariant to the inter-layer tree design while
+ * the absolute sync cost tracks tree height.
+ *
+ * Sweep-harness port: the (feedback density x scheme x policy x arity)
+ * grid runs on the SweepRunner (--threads) and serializes with --json.
  */
 #include <cstdio>
+#include <map>
+#include <string>
+#include <tuple>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -30,6 +39,7 @@ main(int argc, char **argv)
                   : std::vector<double>{0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
 
     sweep::GridSpec grid;
+    std::map<std::string, double> fraction_of; // workload id -> fraction
     for (const double frac : fractions) {
         sweep::CircuitSpec spec;
         spec.kind = sweep::CircuitSpec::Kind::kRandomDynamic;
@@ -40,13 +50,20 @@ main(int argc, char **argv)
         spec.random.seed = 11;
         spec.expand_fraction = 1.0;
         spec.expand_seed = 3;
+        fraction_of[spec.id()] = frac;
         grid.circuits.push_back(std::move(spec));
     }
     grid.schemes = {compiler::SyncScheme::kBisp,
                     compiler::SyncScheme::kDemand,
                     compiler::SyncScheme::kLockStep};
+    grid.policies = {net::RouterPolicy::Robust, net::RouterPolicy::Paper};
+    grid.tree_arities = {4, 2};
     if (!cli.topologies.empty())
         grid.topologies = cli.topologies;
+    if (!cli.policies.empty())
+        grid.policies = cli.policies;
+    if (!cli.tree_arities.empty())
+        grid.tree_arities = cli.tree_arities;
 
     const auto tasks = sweep::makeTasks(sweep::expandGrid(grid));
     if (cli.list) {
@@ -60,7 +77,7 @@ main(int argc, char **argv)
     const auto results = runner.run(tasks);
 
     bench::headline("Ablation: sync schemes vs feedback density");
-    std::printf("%10s %12s %12s %12s %18s\n", "feedback", "bisp(us)",
+    std::printf("%22s %12s %12s %12s %18s\n", "feedback/cell", "bisp(us)",
                 "demand(us)", "lockstep(us)", "lockstep/bisp");
 
     sweep::BenchReport report;
@@ -68,51 +85,76 @@ main(int argc, char **argv)
     report.config["suite"] = cli.quick ? "quick" : "paper";
     report.points = results;
 
-    // Axis order is circuit > scheme > topology: each feedback fraction
-    // contributes a block of schemes x topologies points, with the
-    // scheme's partner for a given topology one topology-stride apart.
+    // Group cells by every axis but the scheme (keyed lookups: axis
+    // restrictions or new axes cannot skew the pairing).
+    using CellKey = std::tuple<std::string, std::string, std::string,
+                               long long>;
+    std::map<CellKey, std::map<std::string, double>> cells;
+    std::vector<CellKey> cell_order;
+    const std::string default_policy =
+        net::toString(net::RouterPolicy::Robust);
+    for (const auto &r : results) {
+        // Fallbacks are the axis defaults the emission omits — spelled
+        // via toString(default) so they can never drift apart.
+        auto param = [&r](const char *key, const char *fallback) {
+            const Json *v = r.params.find(key);
+            return v != nullptr ? v->asString() : std::string(fallback);
+        };
+        const Json *arity = r.params.find("tree_arity");
+        const CellKey key{
+            r.params.find("workload")->asString(),
+            param("topology", net::toString(net::TopologyShape::kLine)),
+            param("policy", default_policy.c_str()),
+            arity != nullptr ? arity->asInt()
+                             : (long long)sweep::kDefaultTreeArity};
+        if (cells.find(key) == cells.end())
+            cell_order.push_back(key);
+        if (!r.healthy || r.metrics.find("violations")->asInt() != 0)
+            std::printf("UNHEALTHY run (%s)\n", r.label.c_str());
+        cells[key][r.params.find("scheme")->asString()] =
+            r.metrics.find("makespan_us")->asDouble();
+    }
+
     Json ratios = Json::array();
-    const std::size_t schemes = grid.schemes.size();
-    const std::size_t stride = grid.topologies.size();
-    for (std::size_t row = 0; row * schemes * stride < results.size();
-         ++row) {
-        const double frac = fractions[row];
-        for (std::size_t t = 0; t < stride; ++t) {
-            double us[3] = {};
-            const std::string &topo_name =
-                results[row * schemes * stride + t]
-                    .params.find("topology")
-                    ->asString();
-            for (std::size_t s = 0; s < schemes; ++s) {
-                const auto &r =
-                    results[(row * schemes + s) * stride + t];
-                if (!r.healthy ||
-                    r.metrics.find("violations")->asInt() != 0) {
-                    std::printf("UNHEALTHY run (%s)\n",
-                                r.label.c_str());
-                }
-                us[s] = r.metrics.find("makespan_us")->asDouble();
-            }
-            char frac_text[16];
-            std::snprintf(frac_text, sizeof(frac_text), "%.1f", frac);
-            std::string row_name = frac_text;
-            if (topo_name != "line")
-                row_name += "/" + topo_name;
-            Json entry = Json::object();
-            entry["feedback_fraction"] = frac;
-            entry["topology"] = topo_name;
-            if (us[0] > 0.0) {
-                std::printf("%10s %12.2f %12.2f %12.2f %17.2fx\n",
-                            row_name.c_str(), us[0], us[1], us[2],
-                            us[2] / us[0]);
-                entry["lockstep_over_bisp"] = us[2] / us[0];
-            } else {
-                std::printf("%10s %12.2f %12.2f %12.2f %18s\n",
-                            row_name.c_str(), us[0], us[1], us[2], "n/a");
-                entry["lockstep_over_bisp"] = nullptr;
-            }
-            ratios.push(std::move(entry));
+    for (const auto &key : cell_order) {
+        const auto &[workload, topology, policy, arity] = key;
+        const auto &by_scheme = cells[key];
+        const double bisp = by_scheme.count("bisp") ? by_scheme.at("bisp")
+                                                    : 0.0;
+        const double demand =
+            by_scheme.count("demand") ? by_scheme.at("demand") : 0.0;
+        const double lockstep =
+            by_scheme.count("lockstep") ? by_scheme.at("lockstep") : 0.0;
+
+        char frac_text[16];
+        std::snprintf(frac_text, sizeof(frac_text), "%.1f",
+                      fraction_of.count(workload) ? fraction_of[workload]
+                                                  : -1.0);
+        std::string row_name = frac_text;
+        if (topology != net::toString(net::TopologyShape::kLine))
+            row_name += "/" + topology;
+        if (policy != default_policy)
+            row_name += "/" + policy;
+        if (arity != sweep::kDefaultTreeArity)
+            row_name += "/arity" + std::to_string(arity);
+
+        Json entry = Json::object();
+        entry["feedback_fraction"] =
+            fraction_of.count(workload) ? fraction_of[workload] : -1.0;
+        entry["topology"] = topology;
+        entry["policy"] = policy;
+        entry["tree_arity"] = arity;
+        if (bisp > 0.0) {
+            std::printf("%22s %12.2f %12.2f %12.2f %17.2fx\n",
+                        row_name.c_str(), bisp, demand, lockstep,
+                        lockstep / bisp);
+            entry["lockstep_over_bisp"] = lockstep / bisp;
+        } else {
+            std::printf("%22s %12.2f %12.2f %12.2f %18s\n",
+                        row_name.c_str(), bisp, demand, lockstep, "n/a");
+            entry["lockstep_over_bisp"] = nullptr;
         }
+        ratios.push(std::move(entry));
     }
     report.derived["lockstep_over_bisp"] = std::move(ratios);
 

@@ -36,12 +36,6 @@ using namespace dhisq;
 
 namespace {
 
-const char *
-policyName(net::RouterPolicy policy)
-{
-    return policy == net::RouterPolicy::Paper ? "paper" : "robust";
-}
-
 /** Run one region-sync storm; report (commit - ideal) overhead. */
 sweep::PointResult
 regionOverhead(unsigned controllers, unsigned arity, Cycle residual,
@@ -90,11 +84,11 @@ regionOverhead(unsigned controllers, unsigned arity, Cycle residual,
     sweep::PointResult out;
     out.label = "n" + std::to_string(controllers) + "/arity" +
                 std::to_string(arity) + "/lead" +
-                std::to_string(residual) + "/" + policyName(policy);
+                std::to_string(residual) + "/" + net::toString(policy);
     out.params["controllers"] = controllers;
     out.params["arity"] = arity;
     out.params["lead"] = residual;
-    out.params["policy"] = policyName(policy);
+    out.params["policy"] = net::toString(policy);
     out.metrics["overhead_cycles"] =
         (long long)commit - (long long)ideal;
     out.metrics["aligned"] = aligned;
@@ -169,7 +163,7 @@ main(int argc, char **argv)
             for (const net::RouterPolicy policy : policies) {
                 tasks.push_back(sweep::SweepTask{
                     "arity" + std::to_string(arity) + "/lead" +
-                        std::to_string(lead) + "/" + policyName(policy),
+                        std::to_string(lead) + "/" + net::toString(policy),
                     [=] {
                         return regionOverhead(grid_controllers, arity,
                                               lead, policy);

@@ -58,8 +58,9 @@ main(int argc, char **argv)
     base_point.circuit = chain;
     base_point.config.scheme = compiler::SyncScheme::kLockStep;
     // Superconducting feedback chains cost O(1.5 us) round trip through
-    // a central controller; 175 cycles = 700 ns each way.
-    base_point.config.star_latency = 175;
+    // a central controller; 175 cycles = 700 ns each way. The topology's
+    // hub latency is the single source of truth for that constant.
+    base_point.hub_latency = 175;
     base_point.state_vector = true;
 
     sweep::ExperimentPoint hisq_point;
@@ -115,8 +116,7 @@ main(int argc, char **argv)
     sweep::BenchReport report;
     report.bench = "fig16_infidelity";
     report.config["circuit"] = chain.id();
-    report.config["baseline_star_latency"] =
-        base_point.config.star_latency;
+    report.config["baseline_star_latency"] = base_point.hub_latency;
     report.points = results;
 
     Json reductions = Json::array();

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Placement strategies side by side on one workload.
+ *
+ * A 12-qubit GHZ state is prepared by fan-out — every CNOT long-range
+ * from the root — and converted to dynamic-circuit form, so mid-chain
+ * measurements feed parity corrections back to the root and each leaf.
+ * On a heavy-hex interconnect with distance-scaled link latencies the
+ * fixed path embedding strands that star-shaped traffic across the
+ * lattice; the topology-aware strategies (src/place) pull the hot blocks
+ * together and the end-to-end makespan drops.
+ *
+ * Build & run:  ./build/examples/placement_compare
+ */
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "sweep/exec.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/lrcnot.hpp"
+
+using namespace dhisq;
+
+int
+main()
+{
+    compiler::Circuit fanout = workloads::ghzFanout(12, /*measure_all=*/true);
+    Rng rng(2025);
+    const compiler::Circuit dyn =
+        workloads::expandNonAdjacentGates(fanout, 1.0, rng);
+
+    std::printf("GHZ fan-out, %u qubits -> dynamic form: %zu ops\n",
+                dyn.numQubits(), dyn.size());
+    std::printf("heavy-hex interconnect, distance-scaled link latencies\n\n");
+    std::printf("%-18s %14s %10s %12s\n", "placement", "makespan (cyc)",
+                "syncs", "vs path");
+
+    sweep::ExecOptions opts;
+    opts.topology = net::TopologyShape::kHeavyHex;
+    opts.latency_model = net::LinkLatencyModel::kDistanceScaled;
+
+    long long path_makespan = 0;
+    bool all_healthy = true;
+    for (const auto strategy : place::allPlacementStrategies()) {
+        compiler::CompilerConfig cc;
+        cc.scheme = compiler::SyncScheme::kBisp;
+        cc.placement = strategy;
+        cc.repetitions = 2;
+        const sweep::ExecResult r = sweep::executeWith(dyn, cc, opts);
+        all_healthy = all_healthy && r.healthy();
+
+        const long long makespan = (long long)r.makespan;
+        if (strategy == place::PlacementStrategy::kPath)
+            path_makespan = makespan;
+        std::printf("%-18s %14lld %10llu %11.1f%%\n",
+                    place::toString(strategy), makespan,
+                    (unsigned long long)r.syncs,
+                    path_makespan > 0
+                        ? 100.0 * double(makespan) / double(path_makespan) -
+                              100.0
+                        : 0.0);
+    }
+
+    std::printf("\nThe optimizers win exactly where Insight #2 predicts: "
+                "the interaction graph\nis a star, the path embedding is a "
+                "line, and every percent above is traffic\nthat stopped "
+                "crossing the lattice.\n");
+    return all_healthy ? 0 : 1;
+}

@@ -7,6 +7,7 @@
 #include <tuple>
 
 #include "common/logging.hpp"
+#include "compiler/interaction.hpp"
 #include "compiler/program_builder.hpp"
 #include "core/msgu.hpp"
 #include "isa/encoding.hpp"
@@ -100,15 +101,16 @@ class CodeGen
             circuit.numQubits() <= nc * config.qubits_per_controller,
             "not enough controllers: ", circuit.numQubits(), " qubits on ",
             nc, " controllers x ", config.qubits_per_controller);
-        // Consecutive qubit blocks go along the topology's placement
-        // order, which embeds a path into the graph as far as the shape
-        // allows (identity on a line, snake on grids/tori, ...).
-        _order = topo.placementOrder();
-        DHISQ_ASSERT(_order.size() == nc, "placement order is not a"
-                                          " controller permutation");
-        _slot_of.assign(nc, 0);
-        for (unsigned slot = 0; slot < nc; ++slot)
-            _slot_of[_order[slot]] = slot;
+        // Qubit-block -> controller mapping comes from the placement
+        // subsystem: the configured strategy (path embedding by default,
+        // affinity/min-cut optimizers otherwise) assigns consecutive
+        // qubit blocks to controllers against the circuit's interaction
+        // graph and the topology's real link costs.
+        const place::PlacementPlan plan = place::makePlacement(
+            topo, interactionGraphOf(circuit, config.qubits_per_controller),
+            config.placement);
+        _order = plan.order;
+        _slot_of = plan.slot_of;
         _ctrls.resize(nc);
         for (ControllerId c = 0; c < nc; ++c) {
             _ctrls[c].builder = std::make_unique<ProgramBuilder>(
@@ -187,6 +189,17 @@ class CodeGen
     portOf(QubitId q) const
     {
         return q % _config.qubits_per_controller;
+    }
+
+    /**
+     * One-way central-hub latency the lock-step baseline broadcasts
+     * through — owned by the topology (single source of truth), so the
+     * static schedule and the fabric can never disagree.
+     */
+    Cycle
+    hubLatency() const
+    {
+        return _topo.config().hub_latency;
     }
 
     Cycle
@@ -537,13 +550,13 @@ class CodeGen
         // The static estimate pads the sender's tail processing with
         // 2x the decode margin; deeper sender-side debt shows up as the
         // baseline's issue-rate slips (the Section 1.1 critique).
-        info.avail = ready + 2 * _config.star_latency +
-                     2 * _config.feedback_margin;
+        info.avail =
+            ready + 2 * hubLatency() + 2 * _config.feedback_margin;
         _stats.inc("measurements");
         if (_config.scheme == SyncScheme::kLockStep) {
             // Shared program flow: everything after this measurement in
             // flow order waits for its hub broadcast (Section 2.1.2).
-            const Cycle floor = ready + 2 * _config.star_latency + 4;
+            const Cycle floor = ready + 2 * hubLatency() + 4;
             if (floor > _lockstep_flow_floor) {
                 _lockstep_flow_floor = floor;
                 _flow_src_start = t;
@@ -1008,12 +1021,10 @@ machineConfigFor(const net::TopologyConfig &topo,
                  bool state_vector, std::uint64_t seed)
 {
     runtime::MachineConfig cfg;
+    // The lock-step schedule floors feedback at the topology's hub
+    // latency and the fabric broadcasts at the same constant — both read
+    // `topo.hub_latency`, so they agree by construction.
     cfg.topology = topo;
-    // The lock-step schedule floors feedback at the compiler's hub
-    // constant; an explicit star topology must deliver at the same
-    // latency or broadcasts land after the ops that depend on them.
-    cfg.topology.hub_latency = compiler.star_latency;
-    cfg.fabric.star_latency = compiler.star_latency;
     cfg.device.num_qubits = num_qubits;
     cfg.device.state_vector = state_vector;
     cfg.device.seed = seed;

@@ -42,6 +42,7 @@
 #include "common/types.hpp"
 #include "compiler/ir.hpp"
 #include "net/topology.hpp"
+#include "place/placement.hpp"
 #include "quantum/device.hpp"
 #include "runtime/machine.hpp"
 
@@ -59,6 +60,10 @@ struct CompilerConfig
     SyncScheme scheme = SyncScheme::kBisp;
     /** Consecutive qubits per controller (1 = the Figure 1 setting). */
     unsigned qubits_per_controller = 1;
+    /** Qubit-block -> controller mapping strategy (src/place). kPath is
+     *  the topology's path embedding, bit-compatible with the
+     *  pre-placement compiler. */
+    place::PlacementStrategy placement = place::PlacementStrategy::kPath;
     /** Operation durations in cycles (paper: 20/40/300 ns). */
     Cycle gate1q = 5;
     Cycle gate2q = 10;
@@ -73,9 +78,6 @@ struct CompilerConfig
      * Section 7.1).
      */
     Cycle pipeline_slack = 8;
-    /** One-way hub latency assumed by the lock-step baseline (kept
-     *  deliberately optimistic, Section 6.4.3). */
-    Cycle star_latency = 12;
     /** Booking lead used for region syncs at repetition boundaries. */
     Cycle region_residual = 64;
     /** Program repetitions, separated by region-level synchronization. */
@@ -129,9 +131,10 @@ class Compiler
 };
 
 /**
- * Machine configuration matching a compilation: same topology, durations,
- * hub latency and enough qubits/ports. `state_vector` selects functional
- * (small) vs timing-only (large) device mode.
+ * Machine configuration matching a compilation: same topology (whose
+ * `hub_latency` is the single source of truth for the lock-step hub),
+ * same durations and enough qubits/ports. `state_vector` selects
+ * functional (small) vs timing-only (large) device mode.
  */
 runtime::MachineConfig machineConfigFor(const net::TopologyConfig &topo,
                                         const CompilerConfig &compiler,

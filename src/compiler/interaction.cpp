@@ -1,0 +1,62 @@
+#include "compiler/interaction.hpp"
+
+#include "common/logging.hpp"
+
+namespace dhisq::compiler {
+
+place::InteractionGraph
+interactionGraphOf(const Circuit &circuit, unsigned qubits_per_controller)
+{
+    DHISQ_ASSERT(qubits_per_controller >= 1,
+                 "qubits_per_controller must be >= 1");
+    const unsigned blocks =
+        (circuit.numQubits() + qubits_per_controller - 1) /
+        qubits_per_controller;
+    place::InteractionGraph graph(blocks);
+    auto block_of = [&](QubitId q) { return q / qubits_per_controller; };
+
+    // Where each classical bit is measured, in program order (later
+    // measurements into the same bit overwrite, matching codegen), and a
+    // replay of codegen's epoch tracking: only traffic at epoch
+    // divergence prices the interconnect.
+    std::vector<unsigned> measurer(circuit.numCbits(), unsigned(-1));
+    std::vector<std::uint64_t> epoch(blocks, 0);
+    std::uint64_t next_epoch = 1;
+    for (const auto &op : circuit.ops()) {
+        if (op.isConditional()) {
+            const unsigned consumer = block_of(op.qubits[0]);
+            for (CbitId bit : op.condition) {
+                const unsigned src = measurer.at(bit);
+                DHISQ_ASSERT(src != unsigned(-1),
+                             "condition on not-yet-measured cbit ", bit);
+                graph.addMessageWeight(src, consumer, kFeedbackWeight);
+            }
+            // The branch makes the consumer's timeline private.
+            epoch.at(consumer) = next_epoch++;
+            continue;
+        }
+        if (op.isMeasure()) {
+            measurer.at(op.result) = block_of(op.qubits[0]);
+            continue;
+        }
+        if (op.isTwoQubit()) {
+            const unsigned a = block_of(op.qubits[0]);
+            const unsigned b = block_of(op.qubits[1]);
+            if (a == b)
+                continue;
+            if (epoch[a] == epoch[b]) {
+                // Co-scheduled for free inside the common epoch; the tiny
+                // weight only breaks placement ties toward locality.
+                graph.addSyncWeight(a, b, kCoscheduleWeight);
+            } else {
+                // Diverged timelines: codegen books a sync here (a region
+                // sync when the controllers share no link).
+                graph.addSyncWeight(a, b, kSyncWeight);
+                epoch[a] = epoch[b] = next_epoch++;
+            }
+        }
+    }
+    return graph;
+}
+
+} // namespace dhisq::compiler

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Circuit -> qubit-block interaction graph: the compiler-side input of the
+ * placement optimizer. Block k holds qubits [k*qpc, (k+1)*qpc); an edge's
+ * weight counts how often the two blocks must talk over the interconnect.
+ */
+#pragma once
+
+#include "compiler/ir.hpp"
+#include "place/placement.hpp"
+
+namespace dhisq::compiler {
+
+/**
+ * Weight constants of the interaction model. Inside a common epoch a
+ * cross-block two-qubit gate is co-scheduled for free whatever the graph,
+ * so it only contributes the tiny kCoscheduleWeight tie-breaker; what
+ * actually prices the interconnect is the traffic codegen emits at epoch
+ * divergence. The builder replays the compiler's own epoch tracking:
+ * a conditional gives its consumer a private epoch, and a two-qubit gate
+ * between diverged blocks books a sync (kSyncWeight — a region sync over
+ * the covering subtree when the pair has no link, which is exactly what
+ * the CostModel's non-adjacency penalty prices). A remote feedback
+ * dependency contributes kFeedbackWeight: the result message the consumer
+ * stalls on.
+ */
+inline constexpr double kCoscheduleWeight = 0.05;
+inline constexpr double kSyncWeight = 2.0;
+inline constexpr double kFeedbackWeight = 2.0;
+
+/**
+ * Build the interaction graph of `circuit` under a given blocking factor.
+ * Deterministic; conditional cross-block two-qubit gates (unsupported by
+ * codegen under every placement) contribute nothing.
+ */
+place::InteractionGraph interactionGraphOf(const Circuit &circuit,
+                                           unsigned qubits_per_controller);
+
+} // namespace dhisq::compiler

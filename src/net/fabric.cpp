@@ -97,11 +97,10 @@ Fabric::hooksFor(ControllerId id)
 Cycle
 Fabric::hubLatency() const
 {
-    // With an explicit star topology the hub's spoke links carry the
-    // latency; otherwise fall back to the configured abstract-hub constant
-    // (the paper's optimistic baseline assumption, Section 6.4.3).
-    return _topo.shape() == TopologyShape::kStar ? _topo.config().hub_latency
-                                                 : _config.star_latency;
+    // The topology owns the hub constant (the paper's optimistic baseline
+    // assumption, Section 6.4.3): explicit star spokes are generated from
+    // the same field, so abstract and explicit hubs always agree.
+    return _topo.config().hub_latency;
 }
 
 void

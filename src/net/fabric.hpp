@@ -6,11 +6,12 @@
  * Latency model:
  *  - direct graph link: the link's calibrated latency (BISP's N);
  *  - router-tree path: hops * hop_latency;
- *  - central hub broadcast: constant 2 * (hub latency) regardless of
- *    system size — deliberately matching the paper's optimistic baseline
- *    assumption (Section 6.4.3). With an explicit `star` topology the hub
- *    latency is the spoke links'; otherwise FabricConfig::star_latency
- *    models the abstract hub.
+ *  - central hub broadcast: constant 2 * TopologyConfig::hub_latency
+ *    regardless of system size — deliberately matching the paper's
+ *    optimistic baseline assumption (Section 6.4.3). The topology is the
+ *    single source of truth: on an explicit `star` shape the spoke links
+ *    carry the same constant, and the compiler's static lock-step
+ *    schedule reads the identical field.
  */
 #pragma once
 
@@ -35,9 +36,8 @@ inline constexpr ControllerId kBroadcastDst = 0xFFD;
 struct FabricConfig
 {
     RouterPolicy policy = RouterPolicy::Robust;
-    /** One-way latency to the central hub (baseline star topology). */
-    Cycle star_latency = 25;
-    /** Route every point-to-point message via the hub (baseline mode). */
+    /** Route every point-to-point message via the hub (baseline mode);
+     *  the hub's latency is TopologyConfig::hub_latency. */
     bool star_messages = false;
     /**
      * Calibration error injected into the SyncU's notion of the nearby link
@@ -82,7 +82,7 @@ class Fabric
   private:
     core::HisqCore *coreAt(ControllerId id);
 
-    /** One-way hub latency: explicit star spoke links, else the constant. */
+    /** One-way hub latency (TopologyConfig::hub_latency on every shape). */
     Cycle hubLatency() const;
 
     const Topology &_topo;

@@ -7,6 +7,28 @@
 
 namespace dhisq::net {
 
+const char *
+toString(RouterPolicy policy)
+{
+    switch (policy) {
+      case RouterPolicy::Paper: return "paper";
+      case RouterPolicy::Robust: return "robust";
+    }
+    return "?";
+}
+
+bool
+parseRouterPolicy(std::string_view text, RouterPolicy &out)
+{
+    for (RouterPolicy policy : {RouterPolicy::Paper, RouterPolicy::Robust}) {
+        if (text == toString(policy)) {
+            out = policy;
+            return true;
+        }
+    }
+    return false;
+}
+
 SyncRouter::SyncRouter(const RouterNode &node, const Topology &topo,
                        sim::Scheduler &sched, TelfLog *telf,
                        RouterPolicy policy)

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string_view>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -33,6 +34,12 @@ namespace dhisq::net {
 
 /** Notification policy for region synchronization. */
 enum class RouterPolicy : std::uint8_t { Paper, Robust };
+
+/** Human-readable policy name ("paper", "robust"). */
+const char *toString(RouterPolicy policy);
+
+/** Parse a policy name; false when `text` names no policy. */
+bool parseRouterPolicy(std::string_view text, RouterPolicy &out);
 
 /** One router of the inter-layer tree. */
 class SyncRouter

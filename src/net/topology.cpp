@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <queue>
 
 #include "common/logging.hpp"
 
@@ -45,6 +46,63 @@ allTopologyShapes()
     return shapes;
 }
 
+const char *
+toString(LinkLatencyModel model)
+{
+    switch (model) {
+      case LinkLatencyModel::kUniform: return "uniform";
+      case LinkLatencyModel::kDistanceScaled: return "distance_scaled";
+      case LinkLatencyModel::kSeededJitter: return "jitter";
+    }
+    return "?";
+}
+
+bool
+parseLinkLatencyModel(std::string_view text, LinkLatencyModel &out)
+{
+    for (LinkLatencyModel model : allLinkLatencyModels()) {
+        if (text == toString(model)) {
+            out = model;
+            return true;
+        }
+    }
+    return false;
+}
+
+const std::vector<LinkLatencyModel> &
+allLinkLatencyModels()
+{
+    static const std::vector<LinkLatencyModel> models = {
+        LinkLatencyModel::kUniform,
+        LinkLatencyModel::kDistanceScaled,
+        LinkLatencyModel::kSeededJitter,
+    };
+    return models;
+}
+
+const char *
+toString(RouterClustering clustering)
+{
+    switch (clustering) {
+      case RouterClustering::kIdBlocks: return "id_blocks";
+      case RouterClustering::kLocality: return "locality";
+    }
+    return "?";
+}
+
+bool
+parseRouterClustering(std::string_view text, RouterClustering &out)
+{
+    for (RouterClustering c :
+         {RouterClustering::kIdBlocks, RouterClustering::kLocality}) {
+        if (text == toString(c)) {
+            out = c;
+            return true;
+        }
+    }
+    return false;
+}
+
 void
 Topology::allocControllers(unsigned n)
 {
@@ -63,10 +121,199 @@ Topology::addLink(ControllerId a, ControllerId b, Cycle latency)
     _links[b].push_back(Link{a, latency});
 }
 
+Cycle
+Topology::modeledLatency(Cycle base, unsigned distance, ControllerId a,
+                         ControllerId b) const
+{
+    DHISQ_ASSERT(distance >= 1, "link of zero physical length");
+    switch (_config.latency_model) {
+      case LinkLatencyModel::kUniform:
+        return base;
+      case LinkLatencyModel::kDistanceScaled:
+        return base * Cycle(std::min(distance, 4u));
+      case LinkLatencyModel::kSeededJitter: {
+        // SplitMix64 over (seed, undirected edge id): deterministic,
+        // order-independent, in [base, 2 * base).
+        const std::uint64_t lo = std::min(a, b);
+        const std::uint64_t hi = std::max(a, b);
+        std::uint64_t x = _config.latency_seed + (lo << 32 | hi);
+        x += 0x9E3779B97F4A7C15ull;
+        x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+        x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+        x ^= x >> 31;
+        return base + Cycle(x % base);
+      }
+    }
+    DHISQ_PANIC("unknown link latency model");
+}
+
+namespace {
+
+/**
+ * Greedy compact-region clustering: partition items 0..n-1 into groups of
+ * up to `arity` members. Each group grows from the lowest-indexed
+ * unassigned item by repeatedly absorbing the frontier item with the most
+ * edges into the region so far (ties to the lowest index) — BFS regions
+ * with a compactness bias, so grids grow squares instead of snakes.
+ * Every group is a connected region of `adjacency` whenever the graph has
+ * the edges for it. Deterministic.
+ */
+std::vector<std::vector<unsigned>>
+clusterByBfsRegions(const std::vector<std::vector<unsigned>> &adjacency,
+                    unsigned arity)
+{
+    const unsigned n = unsigned(adjacency.size());
+    std::vector<char> grouped(n, 0);
+    // Edges from each item into the region currently being grown; reset
+    // lazily via a generation stamp.
+    std::vector<unsigned> region_links(n, 0);
+    std::vector<unsigned> stamp(n, 0);
+    unsigned generation = 0;
+    std::vector<std::vector<unsigned>> groups;
+    for (unsigned seed = 0; seed < n; ++seed) {
+        if (grouped[seed])
+            continue;
+        ++generation;
+        std::vector<unsigned> members;
+        std::vector<unsigned> frontier;
+        auto absorb = [&](unsigned item) {
+            grouped[item] = 1;
+            members.push_back(item);
+            for (unsigned peer : adjacency[item]) {
+                if (grouped[peer])
+                    continue;
+                if (stamp[peer] != generation) {
+                    stamp[peer] = generation;
+                    region_links[peer] = 0;
+                    frontier.push_back(peer);
+                }
+                ++region_links[peer];
+            }
+        };
+        absorb(seed);
+        while (members.size() < arity && !frontier.empty()) {
+            unsigned best = unsigned(-1);
+            unsigned best_links = 0;
+            for (unsigned cand : frontier) {
+                if (grouped[cand])
+                    continue;
+                if (region_links[cand] > best_links ||
+                    (region_links[cand] == best_links && cand < best)) {
+                    best = cand;
+                    best_links = region_links[cand];
+                }
+            }
+            if (best == unsigned(-1))
+                break;
+            absorb(best);
+        }
+        groups.push_back(std::move(members));
+    }
+    return groups;
+}
+
+} // namespace
+
+void
+Topology::buildLocalityRouterTree()
+{
+    const unsigned n = numControllers();
+    const unsigned arity = _config.tree_arity;
+
+    // Level 0: BFS regions of the controller graph.
+    std::vector<std::vector<unsigned>> adjacency(n);
+    for (ControllerId c = 0; c < n; ++c) {
+        for (const Link &link : _links[c])
+            adjacency[c].push_back(link.peer);
+    }
+    const auto regions = clusterByBfsRegions(adjacency, arity);
+
+    std::vector<RouterId> level;
+    // Which level-router currently tops each controller (for adjacency
+    // between upper-level groups).
+    std::vector<unsigned> top_of(n, 0);
+    for (const auto &region : regions) {
+        RouterNode node;
+        node.id = RouterId(_routers.size());
+        node.level = 0;
+        for (unsigned c : region) {
+            node.child_controllers.push_back(c);
+            _controller_parent[c] = node.id;
+            top_of[c] = unsigned(level.size());
+        }
+        level.push_back(node.id);
+        _routers.push_back(std::move(node));
+    }
+
+    // Upper levels: group routers whose regions share a graph edge.
+    unsigned depth = 1;
+    while (level.size() > 1) {
+        const unsigned m = unsigned(level.size());
+        std::vector<std::vector<unsigned>> router_adj(m);
+        for (ControllerId c = 0; c < n; ++c) {
+            for (const Link &link : _links[c]) {
+                const unsigned ga = top_of[c];
+                const unsigned gb = top_of[link.peer];
+                if (ga == gb)
+                    continue;
+                auto &row = router_adj[ga];
+                if (std::find(row.begin(), row.end(), gb) == row.end())
+                    row.push_back(gb);
+            }
+        }
+        auto clusters = clusterByBfsRegions(router_adj, arity);
+        if (clusters.size() >= m) {
+            // Degenerate (edge-less) router graph: group consecutively so
+            // the level still shrinks. Unreachable on connected shapes.
+            clusters.clear();
+            for (unsigned base = 0; base < m; base += arity) {
+                std::vector<unsigned> run;
+                for (unsigned i = base; i < std::min(m, base + arity); ++i)
+                    run.push_back(i);
+                clusters.push_back(std::move(run));
+            }
+        }
+
+        std::vector<RouterId> next;
+        std::vector<unsigned> next_top_group(m, 0);
+        for (const auto &cluster : clusters) {
+            RouterNode node;
+            node.id = RouterId(_routers.size());
+            node.level = depth;
+            for (unsigned i : cluster) {
+                node.child_routers.push_back(level[i]);
+                next_top_group[i] = unsigned(next.size());
+            }
+            next.push_back(node.id);
+            _routers.push_back(std::move(node));
+            for (RouterId child : _routers.back().child_routers)
+                _routers[child].parent = _routers.back().id;
+        }
+        for (ControllerId c = 0; c < n; ++c)
+            top_of[c] = next_top_group[top_of[c]];
+        level = std::move(next);
+        ++depth;
+    }
+    _root = level.front();
+}
+
+void
+Topology::rebuildRouterTree()
+{
+    _routers.clear();
+    _controller_parent.assign(numControllers(), kNoRouter);
+    _root = kNoRouter;
+    buildRouterTree();
+}
+
 void
 Topology::buildRouterTree()
 {
     DHISQ_ASSERT(_config.tree_arity >= 2, "tree arity must be >= 2");
+    if (_config.clustering == RouterClustering::kLocality) {
+        buildLocalityRouterTree();
+        return;
+    }
     const unsigned n = numControllers();
     const unsigned arity = _config.tree_arity;
 
@@ -164,19 +411,23 @@ Topology::grid(const TopologyConfig &config)
 
     // 4-neighbourhood in the legacy left/right/up/down adjacency order;
     // per-node construction keeps neighborsOf() bit-identical to the
-    // implicit-mesh implementation this replaced.
+    // implicit-mesh implementation this replaced. Lattice neighbours sit
+    // one unit apart, so only the jitter model changes their latencies.
+    auto lat = [&](ControllerId a, ControllerId b) {
+        return topo.modeledLatency(config.neighbor_latency, 1, a, b);
+    };
     for (ControllerId c = 0; c < w * h; ++c) {
         const unsigned x = c % w;
         const unsigned y = c / w;
         auto &links = topo._links[c];
         if (x > 0)
-            links.push_back(Link{c - 1, config.neighbor_latency});
+            links.push_back(Link{c - 1, lat(c, c - 1)});
         if (x + 1 < w)
-            links.push_back(Link{c + 1, config.neighbor_latency});
+            links.push_back(Link{c + 1, lat(c, c + 1)});
         if (y > 0)
-            links.push_back(Link{c - w, config.neighbor_latency});
+            links.push_back(Link{c - w, lat(c, c - w)});
         if (y + 1 < h)
-            links.push_back(Link{c + w, config.neighbor_latency});
+            links.push_back(Link{c + w, lat(c, c + w)});
     }
     topo._placement = snakeOrder(w, h);
     topo.buildRouterTree();
@@ -203,8 +454,15 @@ Topology::ring(unsigned n, const TopologyConfig &base)
     // n < 3 has no wraparound edge to add: the ring degrades to a line.
     Topology topo = grid(config);
     topo._config.shape = TopologyShape::kRing;
-    if (n >= 3)
-        topo.addLink(n - 1, 0, config.neighbor_latency);
+    if (n >= 3) {
+        // The wraparound cable spans the whole row of the rack.
+        topo.addLink(n - 1, 0,
+                     topo.modeledLatency(config.neighbor_latency, n - 1,
+                                         n - 1, 0));
+        // grid() already built the tree; locality clustering must see
+        // the wrap edge.
+        topo.rebuildRouterTree();
+    }
     return topo;
 }
 
@@ -216,15 +474,26 @@ Topology::torus(const TopologyConfig &config)
     const unsigned w = config.width;
     const unsigned h = config.height;
     // Wraparound edges only where they join non-adjacent endpoints
-    // (w or h of 2 already has the direct edge).
+    // (w or h of 2 already has the direct edge); their cables span the
+    // full row/column under the distance-scaled model.
     if (w >= 3) {
-        for (unsigned y = 0; y < h; ++y)
-            topo.addLink(y * w + w - 1, y * w, config.neighbor_latency);
+        for (unsigned y = 0; y < h; ++y) {
+            topo.addLink(y * w + w - 1, y * w,
+                         topo.modeledLatency(config.neighbor_latency,
+                                             w - 1, y * w + w - 1, y * w));
+        }
     }
     if (h >= 3) {
-        for (unsigned x = 0; x < w; ++x)
-            topo.addLink((h - 1) * w + x, x, config.neighbor_latency);
+        for (unsigned x = 0; x < w; ++x) {
+            topo.addLink((h - 1) * w + x, x,
+                         topo.modeledLatency(config.neighbor_latency,
+                                             h - 1, (h - 1) * w + x, x));
+        }
     }
+    // grid() built the tree before the wraparounds existed; locality
+    // clustering must see the final graph.
+    if (w >= 3 || h >= 3)
+        topo.rebuildRouterTree();
     return topo;
 }
 
@@ -259,7 +528,8 @@ Topology::heavyHex(const TopologyConfig &config)
     for (unsigned r = 0; r < h; ++r) {
         for (unsigned x = 0; x + 1 < w; ++x) {
             topo.addLink(r * w + x, r * w + x + 1,
-                         config.neighbor_latency);
+                         topo.modeledLatency(config.neighbor_latency, 1,
+                                             r * w + x, r * w + x + 1));
         }
     }
     // Bridge ids follow the row controllers, allocated row-major; remember
@@ -273,8 +543,12 @@ Topology::heavyHex(const TopologyConfig &config)
                 continue;
             const ControllerId b = next_bridge++;
             bridge_of[r][x] = b;
-            topo.addLink(r * w + x, b, config.neighbor_latency);
-            topo.addLink(b, (r + 1) * w + x, config.neighbor_latency);
+            topo.addLink(r * w + x, b,
+                         topo.modeledLatency(config.neighbor_latency, 1,
+                                             r * w + x, b));
+            topo.addLink(b, (r + 1) * w + x,
+                         topo.modeledLatency(config.neighbor_latency, 1, b,
+                                             (r + 1) * w + x));
         }
     }
 
@@ -315,8 +589,10 @@ Topology::star(unsigned n, const TopologyConfig &base)
     Topology topo;
     topo._config = config;
     topo.allocControllers(n);
-    for (ControllerId spoke = 1; spoke < n; ++spoke)
-        topo.addLink(0, spoke, config.hub_latency);
+    for (ControllerId spoke = 1; spoke < n; ++spoke) {
+        topo.addLink(0, spoke,
+                     topo.modeledLatency(config.hub_latency, 1, 0, spoke));
+    }
     topo._placement.resize(n);
     for (ControllerId c = 0; c < n; ++c)
         topo._placement[c] = c;
@@ -480,6 +756,37 @@ Topology::graphDistance(ControllerId a, ControllerId b) const
             if (link.peer == b)
                 return dist[link.peer];
             queue.push_back(link.peer);
+        }
+    }
+    DHISQ_PANIC("controllers ", a, " and ", b, " are graph-disconnected");
+}
+
+Cycle
+Topology::latencyDistance(ControllerId a, ControllerId b) const
+{
+    DHISQ_ASSERT(a < numControllers() && b < numControllers(),
+                 "controller out of range");
+    if (a == b)
+        return 0;
+    std::vector<Cycle> dist(numControllers(), kNoCycle);
+    using Entry = std::pair<Cycle, ControllerId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+        frontier;
+    dist[a] = 0;
+    frontier.emplace(0, a);
+    while (!frontier.empty()) {
+        const auto [d, cur] = frontier.top();
+        frontier.pop();
+        if (d > dist[cur])
+            continue;
+        if (cur == b)
+            return d;
+        for (const Link &link : _links[cur]) {
+            const Cycle cand = d + link.latency;
+            if (cand < dist[link.peer]) {
+                dist[link.peer] = cand;
+                frontier.emplace(cand, link.peer);
+            }
         }
     }
     DHISQ_PANIC("controllers ", a, " and ", b, " are graph-disconnected");

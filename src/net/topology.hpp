@@ -52,6 +52,53 @@ bool parseTopologyShape(std::string_view text, TopologyShape &out);
 /** Every shape in canonical sweep order. */
 const std::vector<TopologyShape> &allTopologyShapes();
 
+/**
+ * Per-link latency heterogeneity applied by the shape generators.
+ *
+ *  - kUniform         every link carries its base latency (the PR 3
+ *                     behaviour, bit-compatible).
+ *  - kDistanceScaled  a link's latency scales with its physical cable
+ *                     length in lattice units (wraparound links on
+ *                     rings/tori span the whole row/column), capped at
+ *                     4x the base so the model stays in BISP's regime.
+ *  - kSeededJitter    deterministic per-link calibration spread in
+ *                     [base, 2*base), seeded by `latency_seed` — models a
+ *                     rack whose cables were cut, not designed.
+ */
+enum class LinkLatencyModel : std::uint8_t
+{
+    kUniform,
+    kDistanceScaled,
+    kSeededJitter,
+};
+
+/** Human-readable model name ("uniform", "distance_scaled", "jitter"). */
+const char *toString(LinkLatencyModel model);
+
+/** Parse a latency-model name; false when `text` names no model. */
+bool parseLinkLatencyModel(std::string_view text, LinkLatencyModel &out);
+
+/** Every latency model in canonical sweep order. */
+const std::vector<LinkLatencyModel> &allLinkLatencyModels();
+
+/**
+ * How level-0 routers group controllers (and upper levels group routers).
+ *
+ *  - kIdBlocks  consecutive-id blocks of `tree_arity` (the PR 3 behaviour,
+ *               bit-compatible; spatially local only along the id order).
+ *  - kLocality  BFS regions over the controller graph: each leaf router
+ *               parents a connected neighbourhood, and upper levels group
+ *               routers whose regions share a graph edge — subtree syncs
+ *               on non-line shapes stop spanning the whole machine.
+ */
+enum class RouterClustering : std::uint8_t { kIdBlocks, kLocality };
+
+/** Human-readable clustering name ("id_blocks", "locality"). */
+const char *toString(RouterClustering clustering);
+
+/** Parse a clustering name; false when `text` names no clustering. */
+bool parseRouterClustering(std::string_view text, RouterClustering &out);
+
 /** Topology parameters. */
 struct TopologyConfig
 {
@@ -61,7 +108,13 @@ struct TopologyConfig
     unsigned tree_arity = 4;   ///< Router fan-out.
     Cycle neighbor_latency = 2; ///< Nearest-neighbour link latency (N).
     Cycle hop_latency = 4;      ///< Tree-edge latency per hop.
-    Cycle hub_latency = 25;     ///< Star spoke-link latency (shape kStar).
+    Cycle hub_latency = 25;     ///< Star spoke-link latency; also the
+                                ///< abstract central-hub constant the
+                                ///< lock-step baseline broadcasts through
+                                ///< on every shape (single source of truth).
+    LinkLatencyModel latency_model = LinkLatencyModel::kUniform;
+    std::uint64_t latency_seed = 2025; ///< Seed for kSeededJitter.
+    RouterClustering clustering = RouterClustering::kIdBlocks;
 };
 
 /** One router of the inter-layer tree. */
@@ -173,6 +226,14 @@ class Topology
     /** Graph (BFS hop) distance between two controllers. */
     unsigned graphDistance(ControllerId a, ControllerId b) const;
 
+    /**
+     * Cheapest sum of link latencies between two controllers (Dijkstra
+     * over the intra-layer graph). Equals graphDistance * neighbor
+     * latency under the uniform model; with heterogeneous links this is
+     * the cost the placement optimizer prices a cut edge at.
+     */
+    Cycle latencyDistance(ControllerId a, ControllerId b) const;
+
     /** Manhattan distance on grid-family shapes (line/grid only). */
     unsigned gridDistance(ControllerId a, ControllerId b) const;
 
@@ -185,8 +246,26 @@ class Topology
     /** Append the directed halves of an undirected link. */
     void addLink(ControllerId a, ControllerId b, Cycle latency);
 
+    /**
+     * Latency of the (a, b) link under the configured model; `base` is the
+     * shape's nominal latency for the link and `distance` its physical
+     * length in lattice units (1 for lattice neighbours, the span for
+     * wraparounds).
+     */
+    Cycle modeledLatency(Cycle base, unsigned distance, ControllerId a,
+                         ControllerId b) const;
+
     /** Build the balanced router tree over all controllers. */
     void buildRouterTree();
+
+    /** Discard and rebuild the router tree (for generators that add
+     *  links after a base shape already built one — locality clustering
+     *  must see the final graph). */
+    void rebuildRouterTree();
+
+    /** Locality variant: BFS-region leaf groups, adjacency-clustered
+     *  upper levels. */
+    void buildLocalityRouterTree();
 
     TopologyConfig _config;
     std::vector<std::vector<Link>> _links;

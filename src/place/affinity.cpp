@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Greedy affinity placement: an interaction-weighted variant of the
+ * classic "place the most-connected module next to its placed partners"
+ * constructive heuristic (cf. the partitioning stage of distributed-QC
+ * compilers). Produces the seed assignment kl-mincut refines.
+ */
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "place/placement.hpp"
+
+namespace dhisq::place {
+
+std::vector<ControllerId>
+greedyAffinityOrder(const CostModel &model, const InteractionGraph &graph)
+{
+    const unsigned n = model.numControllers();
+    const unsigned blocks = graph.numBlocks();
+    DHISQ_ASSERT(blocks <= n, "more blocks than controllers");
+
+    std::vector<ControllerId> assignment(blocks, kNoController);
+    std::vector<char> block_placed(blocks, 0);
+    std::vector<char> ctrl_used(n, 0);
+
+    // Affinity of each unplaced block to the placed set, kept incrementally.
+    std::vector<double> affinity(blocks, 0.0);
+
+    for (unsigned step = 0; step < blocks; ++step) {
+        // Pick the block: strongest pull toward the placed set; the first
+        // step (and zero-affinity ties) falls back to the heaviest total
+        // weight, then the lowest index — fully deterministic.
+        unsigned best_block = unsigned(-1);
+        double best_aff = -1.0;
+        double best_total = -1.0;
+        for (unsigned b = 0; b < blocks; ++b) {
+            if (block_placed[b])
+                continue;
+            const double total = graph.totalWeightOf(b);
+            if (affinity[b] > best_aff ||
+                (affinity[b] == best_aff && total > best_total)) {
+                best_block = b;
+                best_aff = affinity[b];
+                best_total = total;
+            }
+        }
+
+        // Pick the controller: minimize the weighted cost to the placed
+        // partners; when the block has none (the seed, or an isolated
+        // block), minimize the total cost to every controller so heavy
+        // blocks start from the graph median. Ties break on lowest id.
+        ControllerId best_ctrl = kNoController;
+        double best_cost = 0.0;
+        for (ControllerId c = 0; c < n; ++c) {
+            if (ctrl_used[c])
+                continue;
+            double cost = 0.0;
+            if (best_aff > 0.0) {
+                for (const auto &edge : graph.edgesOf(best_block)) {
+                    if (block_placed[edge.peer]) {
+                        cost += model.edgeCost(edge, c,
+                                               assignment[edge.peer]);
+                    }
+                }
+            } else {
+                for (ControllerId other = 0; other < n; ++other)
+                    cost += model.syncCost(c, other);
+            }
+            if (best_ctrl == kNoController || cost < best_cost) {
+                best_ctrl = c;
+                best_cost = cost;
+            }
+        }
+
+        assignment[best_block] = best_ctrl;
+        block_placed[best_block] = 1;
+        ctrl_used[best_ctrl] = 1;
+        for (const auto &edge : graph.edgesOf(best_block)) {
+            if (!block_placed[edge.peer])
+                affinity[edge.peer] += edge.sync_weight + edge.msg_weight;
+        }
+    }
+
+    // Fill the slots beyond the block count with the unused controllers in
+    // ascending id order so the result is a full permutation.
+    std::vector<ControllerId> order(assignment.begin(), assignment.end());
+    for (ControllerId c = 0; c < n; ++c) {
+        if (!ctrl_used[c])
+            order.push_back(c);
+    }
+    return order;
+}
+
+} // namespace dhisq::place

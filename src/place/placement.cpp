@@ -1,0 +1,251 @@
+#include "place/placement.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "common/logging.hpp"
+
+namespace dhisq::place {
+
+const char *
+toString(PlacementStrategy strategy)
+{
+    switch (strategy) {
+      case PlacementStrategy::kPath: return "path";
+      case PlacementStrategy::kGreedyAffinity: return "greedy-affinity";
+      case PlacementStrategy::kKlMincut: return "kl-mincut";
+    }
+    return "?";
+}
+
+bool
+parsePlacementStrategy(std::string_view text, PlacementStrategy &out)
+{
+    for (PlacementStrategy strategy : allPlacementStrategies()) {
+        if (text == toString(strategy)) {
+            out = strategy;
+            return true;
+        }
+    }
+    return false;
+}
+
+const std::vector<PlacementStrategy> &
+allPlacementStrategies()
+{
+    static const std::vector<PlacementStrategy> strategies = {
+        PlacementStrategy::kPath,
+        PlacementStrategy::kGreedyAffinity,
+        PlacementStrategy::kKlMincut,
+    };
+    return strategies;
+}
+
+void
+InteractionGraph::bump(unsigned a, unsigned b, double sync_w, double msg_w)
+{
+    DHISQ_ASSERT(a < numBlocks() && b < numBlocks(),
+                 "interaction block out of range: ", a, ", ", b);
+    DHISQ_ASSERT(sync_w >= 0.0 && msg_w >= 0.0,
+                 "negative interaction weight");
+    if (a == b || (sync_w == 0.0 && msg_w == 0.0))
+        return;
+    auto accumulate = [this](unsigned from, unsigned to, double s,
+                             double m) {
+        for (Edge &edge : _edges[from]) {
+            if (edge.peer == to) {
+                edge.sync_weight += s;
+                edge.msg_weight += m;
+                return;
+            }
+        }
+        _edges[from].push_back(Edge{to, s, m});
+    };
+    accumulate(a, b, sync_w, msg_w);
+    accumulate(b, a, sync_w, msg_w);
+}
+
+void
+InteractionGraph::addSyncWeight(unsigned a, unsigned b, double weight)
+{
+    bump(a, b, weight, 0.0);
+}
+
+void
+InteractionGraph::addMessageWeight(unsigned a, unsigned b, double weight)
+{
+    bump(a, b, 0.0, weight);
+}
+
+double
+InteractionGraph::weight(unsigned a, unsigned b) const
+{
+    DHISQ_ASSERT(a < numBlocks() && b < numBlocks(),
+                 "interaction block out of range");
+    for (const Edge &edge : _edges[a]) {
+        if (edge.peer == b)
+            return edge.sync_weight + edge.msg_weight;
+    }
+    return 0.0;
+}
+
+const std::vector<InteractionGraph::Edge> &
+InteractionGraph::edgesOf(unsigned block) const
+{
+    DHISQ_ASSERT(block < numBlocks(), "interaction block out of range");
+    return _edges[block];
+}
+
+double
+InteractionGraph::totalWeightOf(unsigned block) const
+{
+    const auto &edges = edgesOf(block);
+    return std::accumulate(edges.begin(), edges.end(), 0.0,
+                           [](double acc, const Edge &edge) {
+                               return acc + edge.sync_weight +
+                                      edge.msg_weight;
+                           });
+}
+
+CostModel::CostModel(const net::Topology &topo) : _n(topo.numControllers())
+{
+    _sync_cost.assign(std::size_t(_n) * _n, 0.0);
+    _msg_cost.assign(std::size_t(_n) * _n, 0.0);
+    // One single-source Dijkstra per controller fills a whole row of
+    // cheapest latency paths (point-to-point queries would cost an
+    // extra factor of n).
+    std::vector<Cycle> dist;
+    for (ControllerId a = 0; a < _n; ++a) {
+        dist.assign(_n, kNoCycle);
+        using Entry = std::pair<Cycle, ControllerId>;
+        std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+            frontier;
+        dist[a] = 0;
+        frontier.emplace(0, a);
+        while (!frontier.empty()) {
+            const auto [d, cur] = frontier.top();
+            frontier.pop();
+            if (d > dist[cur])
+                continue;
+            for (const auto &link : topo.linksOf(cur)) {
+                const Cycle cand = d + link.latency;
+                if (cand < dist[link.peer]) {
+                    dist[link.peer] = cand;
+                    frontier.emplace(cand, link.peer);
+                }
+            }
+        }
+        for (ControllerId b = 0; b < _n; ++b) {
+            if (b == a)
+                continue;
+            double sync, msg;
+            if (topo.areNeighbors(a, b)) {
+                // A nearby BISP bounce (and a direct message) costs
+                // exactly the link latency.
+                sync = msg = double(topo.neighborLatency(a, b));
+            } else {
+                DHISQ_ASSERT(dist[b] != kNoCycle,
+                             "controllers ", a, " and ", b,
+                             " are graph-disconnected");
+                // Syncs escalate to a region sync whose covering subtree
+                // stalls: cheapest latency path plus the priced stall.
+                sync = double(dist[b]) +
+                       kRegionSyncFactor * double(topo.treeHops(a, b)) *
+                           double(topo.hopLatency());
+                // Messages just ride the router tree.
+                msg = double(topo.treeHops(a, b)) *
+                      double(topo.hopLatency());
+            }
+            _sync_cost[std::size_t(a) * _n + b] = sync;
+            _msg_cost[std::size_t(a) * _n + b] = msg;
+        }
+    }
+}
+
+double
+weightedCutCost(const CostModel &model, const InteractionGraph &graph,
+                const std::vector<ControllerId> &order)
+{
+    DHISQ_ASSERT(graph.numBlocks() <= order.size(),
+                 "more interaction blocks than placement slots");
+    double total = 0.0;
+    for (unsigned block = 0; block < graph.numBlocks(); ++block) {
+        for (const auto &edge : graph.edgesOf(block)) {
+            if (edge.peer < block)
+                continue; // count each undirected edge once
+            total += model.edgeCost(edge, order[block], order[edge.peer]);
+        }
+    }
+    return total;
+}
+
+double
+weightedCutCost(const net::Topology &topo, const InteractionGraph &graph,
+                const std::vector<ControllerId> &order)
+{
+    return weightedCutCost(CostModel(topo), graph, order);
+}
+
+namespace {
+
+/** Validate `order` as a controller permutation and build the inverse. */
+std::vector<unsigned>
+inverseOf(const std::vector<ControllerId> &order, unsigned controllers)
+{
+    DHISQ_ASSERT(order.size() == controllers,
+                 "placement order is not a controller permutation");
+    std::vector<unsigned> slot_of(controllers, unsigned(-1));
+    for (unsigned slot = 0; slot < controllers; ++slot) {
+        const ControllerId c = order[slot];
+        DHISQ_ASSERT(c < controllers, "placement names controller ", c,
+                     " outside the topology");
+        DHISQ_ASSERT(slot_of[c] == unsigned(-1),
+                     "placement assigns controller ", c, " twice");
+        slot_of[c] = slot;
+    }
+    return slot_of;
+}
+
+} // namespace
+
+PlacementPlan
+makePlacement(const net::Topology &topo, const InteractionGraph &graph,
+              PlacementStrategy strategy)
+{
+    DHISQ_ASSERT(graph.numBlocks() <= topo.numControllers(),
+                 "not enough controllers: ", graph.numBlocks(),
+                 " qubit blocks on ", topo.numControllers(), " controllers");
+    PlacementPlan plan;
+    plan.strategy = strategy;
+    switch (strategy) {
+      case PlacementStrategy::kPath:
+        plan.order = topo.placementOrder();
+        break;
+      case PlacementStrategy::kGreedyAffinity: {
+        const CostModel model(topo);
+        plan.order = greedyAffinityOrder(model, graph);
+        break;
+      }
+      case PlacementStrategy::kKlMincut: {
+        // Refine from two seeds — the greedy-affinity assignment and the
+        // topology's path embedding — and keep the cheaper cut. Refinement
+        // is monotone, so the result never cuts worse than greedy (and
+        // never worse than what refinement makes of the path).
+        const CostModel model(topo);
+        plan.order = greedyAffinityOrder(model, graph);
+        klRefine(model, graph, plan.order);
+        std::vector<ControllerId> from_path = topo.placementOrder();
+        klRefine(model, graph, from_path);
+        if (weightedCutCost(model, graph, from_path) <
+            weightedCutCost(model, graph, plan.order)) {
+            plan.order = std::move(from_path);
+        }
+        break;
+      }
+    }
+    plan.slot_of = inverseOf(plan.order, topo.numControllers());
+    return plan;
+}
+
+} // namespace dhisq::place

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Topology-aware qubit-block placement (Insight #2).
+ *
+ * The compiler maps consecutive qubit blocks onto controllers; *which*
+ * controller hosts which block decides where every cross-controller gate
+ * lands on the interconnect. This layer extracts that mapping into a
+ * `PlacementPlan` produced by pluggable strategies:
+ *
+ *  - kPath           the topology's path embedding (identity on a line,
+ *                    snake on grids/tori) — bit-compatible with the
+ *                    pre-placement compiler.
+ *  - kGreedyAffinity grow the assignment block-by-block, placing the
+ *                    block with the strongest affinity to the already-
+ *                    placed set onto the controller that minimizes its
+ *                    weighted communication cost.
+ *  - kKlMincut       Kernighan–Lin-style pairwise-swap refinement of the
+ *                    greedy seed over the circuit's qubit-interaction
+ *                    graph, priced against real per-link latencies and
+ *                    router-subtree spans; monotone, so its weighted cut
+ *                    never exceeds the greedy one.
+ *
+ * The cost a strategy optimizes is `CostModel`: adjacent controllers pay
+ * their calibrated link latency, non-adjacent pairs pay the cheapest
+ * latency path plus the router-tree span a region-sync fallback would
+ * stall (the PR 3 compiler's non-adjacent penalty).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/topology.hpp"
+
+namespace dhisq::place {
+
+/** Placement strategies in canonical sweep order. */
+enum class PlacementStrategy : std::uint8_t
+{
+    kPath,
+    kGreedyAffinity,
+    kKlMincut,
+};
+
+/** Human-readable name ("path", "greedy-affinity", "kl-mincut"). */
+const char *toString(PlacementStrategy strategy);
+
+/** Parse a strategy name; false when `text` names no strategy. */
+bool parsePlacementStrategy(std::string_view text, PlacementStrategy &out);
+
+/** Every strategy in canonical sweep order. */
+const std::vector<PlacementStrategy> &allPlacementStrategies();
+
+/**
+ * Weighted interaction graph over qubit blocks: edge (a, b) accumulates
+ * how often blocks a and b must communicate. Block indices are placement
+ * slots — block k holds qubits [k*qpc, (k+1)*qpc). Two weight channels
+ * per edge, because the two traffic kinds price differently:
+ *
+ *  - sync weight     timeline merges (two-qubit gates across diverged
+ *                    epochs); non-adjacent controllers escalate these to
+ *                    region syncs that stall a whole router subtree.
+ *  - message weight  measurement-feedback payloads; non-adjacent
+ *                    controllers just ride the router tree.
+ */
+class InteractionGraph
+{
+  public:
+    struct Edge
+    {
+        unsigned peer = 0;
+        double sync_weight = 0.0;
+        double msg_weight = 0.0;
+    };
+
+    explicit InteractionGraph(unsigned blocks) : _edges(blocks) {}
+
+    unsigned numBlocks() const { return unsigned(_edges.size()); }
+
+    /** Accumulate undirected sync weight between two blocks (self-edges
+     *  are dropped — intra-block traffic never crosses the interconnect). */
+    void addSyncWeight(unsigned a, unsigned b, double weight);
+
+    /** Accumulate undirected message weight between two blocks. */
+    void addMessageWeight(unsigned a, unsigned b, double weight);
+
+    /** Combined (sync + message) weight between two blocks. */
+    double weight(unsigned a, unsigned b) const;
+
+    /** All weighted peers of a block, in first-mention order. */
+    const std::vector<Edge> &edgesOf(unsigned block) const;
+
+    /** Sum of a block's incident combined edge weights. */
+    double totalWeightOf(unsigned block) const;
+
+  private:
+    void bump(unsigned a, unsigned b, double sync_w, double msg_w);
+
+    std::vector<std::vector<Edge>> _edges;
+};
+
+/**
+ * Dense controller-pair communication costs, precomputed once per
+ * topology. Adjacent pairs pay their calibrated link latency on both
+ * channels. Non-adjacent pairs pay, on the sync channel, the cheapest
+ * latency path plus a region-sync span penalty (the covering subtree
+ * stalls — priced at kRegionSyncFactor tree hops); on the message
+ * channel, just the router-tree path the fabric actually routes.
+ */
+class CostModel
+{
+  public:
+    /** Hop multiplier pricing the subtree stall of a region sync. */
+    static constexpr double kRegionSyncFactor = 4.0;
+
+    explicit CostModel(const net::Topology &topo);
+
+    double syncCost(ControllerId a, ControllerId b) const
+    {
+        return _sync_cost[std::size_t(a) * _n + b];
+    }
+
+    double messageCost(ControllerId a, ControllerId b) const
+    {
+        return _msg_cost[std::size_t(a) * _n + b];
+    }
+
+    /** Cost of one interaction edge placed on controllers (a, b). */
+    double edgeCost(const InteractionGraph::Edge &edge, ControllerId a,
+                    ControllerId b) const
+    {
+        return edge.sync_weight * syncCost(a, b) +
+               edge.msg_weight * messageCost(a, b);
+    }
+
+    unsigned numControllers() const { return _n; }
+
+  private:
+    unsigned _n;
+    std::vector<double> _sync_cost;
+    std::vector<double> _msg_cost;
+};
+
+/** A placement: slot -> controller assignment plus its inverse. */
+struct PlacementPlan
+{
+    PlacementStrategy strategy = PlacementStrategy::kPath;
+    /** Placement slot -> controller; always a controller permutation. */
+    std::vector<ControllerId> order;
+    /** Controller -> placement slot (inverse of `order`). */
+    std::vector<unsigned> slot_of;
+};
+
+/**
+ * Total weighted communication cost of an assignment:
+ * sum over interaction edges (a, b) of weight * cost(order[a], order[b]).
+ */
+double weightedCutCost(const CostModel &model, const InteractionGraph &graph,
+                       const std::vector<ControllerId> &order);
+
+/** Convenience overload building the cost model from the topology. */
+double weightedCutCost(const net::Topology &topo,
+                       const InteractionGraph &graph,
+                       const std::vector<ControllerId> &order);
+
+/**
+ * Produce a placement of `graph.numBlocks()` qubit blocks onto the
+ * topology's controllers (blocks must fit). The result is always a full
+ * controller permutation; slots beyond the block count carry the unused
+ * controllers. Deterministic for fixed inputs.
+ */
+PlacementPlan makePlacement(const net::Topology &topo,
+                            const InteractionGraph &graph,
+                            PlacementStrategy strategy);
+
+// ---- Strategy internals (separate translation units) ---------------------
+
+/** Greedy affinity assignment (see PlacementStrategy::kGreedyAffinity). */
+std::vector<ControllerId> greedyAffinityOrder(const CostModel &model,
+                                              const InteractionGraph &graph);
+
+/**
+ * Kernighan–Lin-style refinement: steepest-descent pairwise swaps of the
+ * controllers assigned to two slots, applied while any swap strictly
+ * reduces the weighted cut. Monotone in `weightedCutCost`.
+ */
+void klRefine(const CostModel &model, const InteractionGraph &graph,
+              std::vector<ControllerId> &order);
+
+} // namespace dhisq::place

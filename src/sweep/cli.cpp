@@ -44,6 +44,77 @@ parseCli(int argc, char **argv)
                           shape) == opts.topologies.end()) {
                 opts.topologies.push_back(shape);
             }
+        } else if (arg == "--placement") {
+            if (i + 1 >= argc) {
+                return Result<CliOptions>::error(
+                    "--placement needs a strategy");
+            }
+            const std::string_view name = argv[++i];
+            if (name == "all") {
+                opts.placements = place::allPlacementStrategies();
+                continue;
+            }
+            place::PlacementStrategy strategy;
+            if (!place::parsePlacementStrategy(name, strategy)) {
+                return Result<CliOptions>::error(
+                    std::string("unknown --placement strategy: ") + argv[i]);
+            }
+            if (std::find(opts.placements.begin(), opts.placements.end(),
+                          strategy) == opts.placements.end()) {
+                opts.placements.push_back(strategy);
+            }
+        } else if (arg == "--latency-model") {
+            if (i + 1 >= argc) {
+                return Result<CliOptions>::error(
+                    "--latency-model needs a model");
+            }
+            const std::string_view name = argv[++i];
+            if (name == "all") {
+                opts.latency_models = net::allLinkLatencyModels();
+                continue;
+            }
+            net::LinkLatencyModel model;
+            if (!net::parseLinkLatencyModel(name, model)) {
+                return Result<CliOptions>::error(
+                    std::string("unknown --latency-model: ") + argv[i]);
+            }
+            if (std::find(opts.latency_models.begin(),
+                          opts.latency_models.end(),
+                          model) == opts.latency_models.end()) {
+                opts.latency_models.push_back(model);
+            }
+        } else if (arg == "--policy") {
+            if (i + 1 >= argc)
+                return Result<CliOptions>::error("--policy needs a policy");
+            const std::string_view name = argv[++i];
+            if (name == "all") {
+                opts.policies = {net::RouterPolicy::Paper,
+                                 net::RouterPolicy::Robust};
+                continue;
+            }
+            net::RouterPolicy policy;
+            if (!net::parseRouterPolicy(name, policy)) {
+                return Result<CliOptions>::error(
+                    std::string("unknown --policy: ") + argv[i]);
+            }
+            if (std::find(opts.policies.begin(), opts.policies.end(),
+                          policy) == opts.policies.end()) {
+                opts.policies.push_back(policy);
+            }
+        } else if (arg == "--tree-arity") {
+            if (i + 1 >= argc)
+                return Result<CliOptions>::error("--tree-arity needs a count");
+            char *end = nullptr;
+            const long n = std::strtol(argv[++i], &end, 10);
+            if (end == nullptr || *end != '\0' || n < 2 || n > 256) {
+                return Result<CliOptions>::error(
+                    std::string("bad --tree-arity value: ") + argv[i]);
+            }
+            const unsigned arity = static_cast<unsigned>(n);
+            if (std::find(opts.tree_arities.begin(), opts.tree_arities.end(),
+                          arity) == opts.tree_arities.end()) {
+                opts.tree_arities.push_back(arity);
+            }
         } else if (arg == "--quick") {
             opts.quick = true;
         } else if (arg == "--list") {
@@ -64,7 +135,9 @@ printUsage(const char *prog)
     std::fprintf(
         stderr,
         "usage: %s [--json <path>] [--threads N] [--quick]\n"
-        "          [--topology <shape>]... [--list]\n"
+        "          [--topology <shape>]... [--placement <strategy>]...\n"
+        "          [--latency-model <model>]... [--policy <policy>]...\n"
+        "          [--tree-arity N]... [--list]\n"
         "  --json <path>      write the dhisq-bench-v1 report "
         "(\"-\" = stdout)\n"
         "  --threads N        sweep worker threads (default 1)\n"
@@ -74,8 +147,21 @@ printUsage(const char *prog)
         "                     torus, heavy_hex, star or \"all\"; "
         "repeatable;\n"
         "                     grids without the axis ignore it)\n"
+        "  --placement <s>    restrict the placement axis (path,\n"
+        "                     greedy-affinity, kl-mincut or \"all\"; "
+        "repeatable)\n"
+        "  --latency-model <m> restrict the link-latency axis (uniform,\n"
+        "                     distance_scaled, jitter or \"all\"; "
+        "repeatable)\n"
+        "  --policy <p>       restrict the router-policy axis (paper, "
+        "robust\n"
+        "                     or \"all\"; repeatable)\n"
+        "  --tree-arity N     restrict the router fan-out axis "
+        "(repeatable)\n"
         "  --list             print the expanded grid points, run "
-        "nothing\n",
+        "nothing\n"
+        "Axis flags only restrict grids that sweep that axis; a bench\n"
+        "whose grid fixes an axis ignores the flag (check --list).\n",
         prog);
 }
 

@@ -3,9 +3,10 @@
  * Shared command-line handling for the sweep-based bench binaries:
  * `--json <path>` (emit BENCH json, "-" = stdout), `--threads N`
  * (worker pool size), `--quick` (reduced grid for the CI smoke run),
- * `--topology <shape>` (restrict a grid's topology axis; repeatable,
- * "all" selects every shape) and `--list` (print the expanded grid
- * points without executing them).
+ * axis-selection flags — `--topology <shape>`, `--placement <strategy>`,
+ * `--latency-model <model>`, `--policy <policy>`, `--tree-arity N` (all
+ * repeatable; the enum-valued ones accept "all") — and `--list` (print
+ * the expanded grid points without executing them).
  */
 #pragma once
 
@@ -13,7 +14,9 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "net/router.hpp"
 #include "net/topology.hpp"
+#include "place/placement.hpp"
 
 namespace dhisq::sweep {
 
@@ -30,6 +33,14 @@ struct CliOptions
     bool list = false;
     /** Topology-axis selection; empty keeps the bench's default axis. */
     std::vector<net::TopologyShape> topologies;
+    /** Placement-axis selection; empty keeps the bench's default axis. */
+    std::vector<place::PlacementStrategy> placements;
+    /** Latency-model-axis selection; empty keeps the bench's default. */
+    std::vector<net::LinkLatencyModel> latency_models;
+    /** Router-policy-axis selection; empty keeps the bench's default. */
+    std::vector<net::RouterPolicy> policies;
+    /** Tree-arity-axis selection; empty keeps the bench's default. */
+    std::vector<unsigned> tree_arities;
 };
 
 /**

@@ -44,24 +44,27 @@ shapeTopology(net::TopologyShape shape, unsigned controllers)
 
 ExecResult
 executeWith(const compiler::Circuit &circuit,
-            const compiler::CompilerConfig &cc, bool state_vector,
-            std::uint64_t seed, net::TopologyShape topology)
+            const compiler::CompilerConfig &cc, const ExecOptions &opts)
 {
     const unsigned controllers =
         (circuit.numQubits() + cc.qubits_per_controller - 1) /
         cc.qubits_per_controller;
-    auto topo_cfg = shapeTopology(topology, controllers);
-    // The compiler's static lock-step schedule floors feedback at the
-    // configured hub constant; the explicit star's spoke links must carry
-    // the same latency or every broadcast lands later than scheduled.
-    topo_cfg.hub_latency = cc.star_latency;
+    auto topo_cfg = shapeTopology(opts.topology, controllers);
+    // The topology owns the hub constant: the compiler's static lock-step
+    // schedule and the fabric's broadcast both read it from here.
+    topo_cfg.hub_latency = opts.hub_latency;
+    topo_cfg.latency_model = opts.latency_model;
+    topo_cfg.latency_seed = opts.latency_seed;
+    topo_cfg.clustering = opts.clustering;
+    topo_cfg.tree_arity = opts.tree_arity;
     net::Topology topo = net::Topology::build(topo_cfg);
 
     compiler::Compiler comp(topo, cc);
     auto compiled = comp.compile(circuit);
 
     auto mc = compiler::machineConfigFor(topo_cfg, cc, circuit.numQubits(),
-                                         state_vector, seed);
+                                         opts.state_vector, opts.seed);
+    mc.fabric.policy = opts.policy;
     mc.fabric.star_messages =
         (cc.scheme == compiler::SyncScheme::kLockStep);
     runtime::Machine machine(mc);
@@ -80,6 +83,18 @@ executeWith(const compiler::Circuit &circuit,
     result.events = report.events_executed;
     result.controllers = compiled.usedControllers();
     return result;
+}
+
+ExecResult
+executeWith(const compiler::Circuit &circuit,
+            const compiler::CompilerConfig &cc, bool state_vector,
+            std::uint64_t seed, net::TopologyShape topology)
+{
+    ExecOptions opts;
+    opts.state_vector = state_vector;
+    opts.seed = seed;
+    opts.topology = topology;
+    return executeWith(circuit, cc, opts);
 }
 
 ExecResult

@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "compiler/compiler.hpp"
+#include "net/router.hpp"
 #include "net/topology.hpp"
 #include "quantum/noise.hpp"
 
@@ -46,7 +47,31 @@ net::TopologyConfig lineTopology(unsigned controllers);
 net::TopologyConfig shapeTopology(net::TopologyShape shape,
                                   unsigned controllers);
 
-/** Compile + run with an explicit compiler configuration. */
+/**
+ * Interconnect + machine knobs of one execution beyond the compiler
+ * config. Defaults reproduce the PR 3 bench environment exactly.
+ */
+struct ExecOptions
+{
+    bool state_vector = false;
+    std::uint64_t seed = 1;
+    net::TopologyShape topology = net::TopologyShape::kLine;
+    net::LinkLatencyModel latency_model = net::LinkLatencyModel::kUniform;
+    net::RouterClustering clustering = net::RouterClustering::kIdBlocks;
+    net::RouterPolicy policy = net::RouterPolicy::Robust;
+    unsigned tree_arity = 4;
+    /** One-way central-hub constant (TopologyConfig::hub_latency); 12 is
+     *  the paper's deliberately-optimistic baseline (Section 6.4.3). */
+    Cycle hub_latency = 12;
+    std::uint64_t latency_seed = 2025; ///< Seed for the jitter model.
+};
+
+/** Compile + run with explicit compiler and interconnect configuration. */
+ExecResult executeWith(const compiler::Circuit &circuit,
+                       const compiler::CompilerConfig &cc,
+                       const ExecOptions &opts);
+
+/** Legacy signature (standard interconnect knobs). */
 ExecResult executeWith(
     const compiler::Circuit &circuit, const compiler::CompilerConfig &cc,
     bool state_vector = false, std::uint64_t seed = 1,

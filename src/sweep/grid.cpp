@@ -31,6 +31,8 @@ CircuitSpec::id() const
                std::to_string(random.seed);
       case Kind::kLrCnotChain:
         return "lrcnot_chain_n" + std::to_string(qubits);
+      case Kind::kGhzFanout:
+        return "ghz_fanout_n" + std::to_string(qubits);
     }
     return "unknown";
 }
@@ -61,6 +63,9 @@ CircuitSpec::build() const
         circuit = std::move(chain);
         break;
       }
+      case Kind::kGhzFanout:
+        circuit = workloads::ghzFanout(qubits, /*measure_all=*/true);
+        break;
     }
     if (expand_fraction > 0.0) {
         Rng rng(expand_seed);
@@ -73,6 +78,8 @@ CircuitSpec::build() const
 std::string
 ExperimentPoint::label() const
 {
+    // Non-default axis values only, so labels (and the BENCH json keyed
+    // by them) are byte-stable when a new axis is introduced.
     std::string label = circuit.id();
     label += '/';
     label += compiler::toString(config.scheme);
@@ -80,6 +87,24 @@ ExperimentPoint::label() const
         label += '/';
         label += net::toString(topology);
     }
+    if (config.placement != place::PlacementStrategy::kPath) {
+        label += '/';
+        label += place::toString(config.placement);
+    }
+    if (latency_model != net::LinkLatencyModel::kUniform) {
+        label += '/';
+        label += net::toString(latency_model);
+    }
+    if (clustering != net::RouterClustering::kIdBlocks) {
+        label += '/';
+        label += net::toString(clustering);
+    }
+    if (policy != net::RouterPolicy::Robust) {
+        label += '/';
+        label += net::toString(policy);
+    }
+    if (tree_arity != kDefaultTreeArity)
+        label += "/arity" + std::to_string(tree_arity);
     if (config.qubits_per_controller != 1)
         label += "/qpc" + std::to_string(config.qubits_per_controller);
     if (seed != 1)
@@ -92,26 +117,43 @@ expandGrid(const GridSpec &grid)
 {
     std::vector<ExperimentPoint> points;
     points.reserve(grid.circuits.size() * grid.schemes.size() *
-                   grid.topologies.size() *
+                   grid.topologies.size() * grid.placements.size() *
+                   grid.latency_models.size() * grid.clusterings.size() *
+                   grid.policies.size() * grid.tree_arities.size() *
                    grid.qubits_per_controller.size() * grid.seeds.size());
     for (const auto &circuit : grid.circuits) {
-        for (const auto scheme : grid.schemes) {
-            for (const auto topology : grid.topologies) {
-                for (const unsigned qpc : grid.qubits_per_controller) {
-                    for (const std::uint64_t seed : grid.seeds) {
+      for (const auto scheme : grid.schemes) {
+        for (const auto topology : grid.topologies) {
+          for (const auto placement : grid.placements) {
+            for (const auto latency_model : grid.latency_models) {
+              for (const auto clustering : grid.clusterings) {
+                for (const auto policy : grid.policies) {
+                  for (const unsigned arity : grid.tree_arities) {
+                    for (const unsigned qpc : grid.qubits_per_controller) {
+                      for (const std::uint64_t seed : grid.seeds) {
                         ExperimentPoint p;
                         p.circuit = circuit;
                         p.config = grid.base_config;
                         p.config.scheme = scheme;
+                        p.config.placement = placement;
                         p.config.qubits_per_controller = qpc;
                         p.topology = topology;
+                        p.latency_model = latency_model;
+                        p.clustering = clustering;
+                        p.policy = policy;
+                        p.tree_arity = arity;
                         p.seed = seed;
                         p.state_vector = grid.state_vector;
                         points.push_back(std::move(p));
+                      }
                     }
+                  }
                 }
+              }
             }
+          }
         }
+      }
     }
     return points;
 }
@@ -120,15 +162,36 @@ PointResult
 runPoint(const ExperimentPoint &point, const MetricsHook &extend)
 {
     const compiler::Circuit circuit = point.circuit.build();
-    const ExecResult r =
-        executeWith(circuit, point.config, point.state_vector, point.seed,
-                    point.topology);
+    ExecOptions opts;
+    opts.state_vector = point.state_vector;
+    opts.seed = point.seed;
+    opts.topology = point.topology;
+    opts.latency_model = point.latency_model;
+    opts.clustering = point.clustering;
+    opts.policy = point.policy;
+    opts.tree_arity = point.tree_arity;
+    opts.hub_latency = point.hub_latency;
+    const ExecResult r = executeWith(circuit, point.config, opts);
 
     PointResult out;
     out.label = point.label();
     out.params["workload"] = point.circuit.id();
     out.params["scheme"] = compiler::toString(point.config.scheme);
     out.params["topology"] = net::toString(point.topology);
+    // New axes are serialized only at non-default values so BENCH json
+    // stays byte-identical for grids that do not use them.
+    if (point.config.placement != place::PlacementStrategy::kPath) {
+        out.params["placement"] =
+            place::toString(point.config.placement);
+    }
+    if (point.latency_model != net::LinkLatencyModel::kUniform)
+        out.params["latency_model"] = net::toString(point.latency_model);
+    if (point.clustering != net::RouterClustering::kIdBlocks)
+        out.params["clustering"] = net::toString(point.clustering);
+    if (point.policy != net::RouterPolicy::Robust)
+        out.params["policy"] = net::toString(point.policy);
+    if (point.tree_arity != kDefaultTreeArity)
+        out.params["tree_arity"] = point.tree_arity;
     out.params["qubits"] = circuit.numQubits();
     out.params["qubits_per_controller"] =
         point.config.qubits_per_controller;

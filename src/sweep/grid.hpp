@@ -21,6 +21,13 @@
 
 namespace dhisq::sweep {
 
+/**
+ * Default router fan-out. Labels and emitted params omit axis values at
+ * their defaults (byte-stable json), so cell-grouping code in benches
+ * must fall back to the same constants — keep them shared.
+ */
+inline constexpr unsigned kDefaultTreeArity = 4;
+
 /** How to produce the circuit for one experiment point. */
 struct CircuitSpec
 {
@@ -29,6 +36,7 @@ struct CircuitSpec
         kFigure15,      ///< named Figure 15 benchmark (adder_n577, ...)
         kRandomDynamic, ///< workloads::randomDynamic(random)
         kLrCnotChain,   ///< Figure 14 long-range-CNOT chain on `qubits`
+        kGhzFanout,     ///< star-shaped GHZ fan-out on `qubits`
     };
 
     Kind kind = Kind::kFigure15;
@@ -36,7 +44,7 @@ struct CircuitSpec
     std::string name;
     /** Options for kRandomDynamic. */
     workloads::RandomDynamicOptions random;
-    /** Line length for kLrCnotChain. */
+    /** Line length for kLrCnotChain / kGhzFanout. */
     unsigned qubits = 9;
     /** If > 0, expandNonAdjacentGates(fraction) with `expand_seed`. */
     double expand_fraction = 0.0;
@@ -53,10 +61,20 @@ struct CircuitSpec
 struct ExperimentPoint
 {
     CircuitSpec circuit;
-    /** Scheme, qubits_per_controller, latencies... (scheme included). */
+    /** Scheme, placement, qubits_per_controller... (scheme included). */
     compiler::CompilerConfig config;
     /** Interconnect shape the point runs on. */
     net::TopologyShape topology = net::TopologyShape::kLine;
+    /** Per-link latency heterogeneity of the interconnect. */
+    net::LinkLatencyModel latency_model = net::LinkLatencyModel::kUniform;
+    /** Router-tree construction (id blocks vs graph locality). */
+    net::RouterClustering clustering = net::RouterClustering::kIdBlocks;
+    /** Region-sync notification policy. */
+    net::RouterPolicy policy = net::RouterPolicy::Robust;
+    /** Router fan-out. */
+    unsigned tree_arity = kDefaultTreeArity;
+    /** One-way central-hub constant (12 = the paper's baseline). */
+    Cycle hub_latency = 12;
     std::uint64_t seed = 1;
     bool state_vector = false;
 
@@ -70,6 +88,19 @@ struct GridSpec
     std::vector<compiler::SyncScheme> schemes;
     /** Interconnect shapes (the topology axis). */
     std::vector<net::TopologyShape> topologies = {net::TopologyShape::kLine};
+    /** Placement strategies (compiler mapping axis). */
+    std::vector<place::PlacementStrategy> placements = {
+        place::PlacementStrategy::kPath};
+    /** Link-latency heterogeneity models. */
+    std::vector<net::LinkLatencyModel> latency_models = {
+        net::LinkLatencyModel::kUniform};
+    /** Router-tree clusterings. */
+    std::vector<net::RouterClustering> clusterings = {
+        net::RouterClustering::kIdBlocks};
+    /** Region-sync notification policies. */
+    std::vector<net::RouterPolicy> policies = {net::RouterPolicy::Robust};
+    /** Router fan-outs. */
+    std::vector<unsigned> tree_arities = {kDefaultTreeArity};
     std::vector<std::uint64_t> seeds = {1};
     std::vector<unsigned> qubits_per_controller = {1};
     /** Base knobs applied to every point before the axes override. */
@@ -78,8 +109,9 @@ struct GridSpec
 };
 
 /**
- * Expand a grid in deterministic order: circuit-major, then scheme, then
- * topology shape, then qubits-per-controller, then seed.
+ * Expand a grid in deterministic order: circuit-major, then scheme,
+ * topology shape, placement, latency model, clustering, policy, tree
+ * arity, qubits-per-controller, seed.
  */
 std::vector<ExperimentPoint> expandGrid(const GridSpec &grid);
 

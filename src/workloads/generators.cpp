@@ -26,6 +26,21 @@ ghz(unsigned n, bool measure_all)
 }
 
 compiler::Circuit
+ghzFanout(unsigned n, bool measure_all)
+{
+    DHISQ_ASSERT(n >= 2, "ghzFanout needs >= 2 qubits");
+    Circuit c(n, "ghz_fanout_n" + std::to_string(n));
+    c.gate(Gate::kH, 0);
+    for (QubitId q = 1; q < n; ++q)
+        c.gate2(Gate::kCNOT, 0, q);
+    if (measure_all) {
+        for (QubitId q = 0; q < n; ++q)
+            c.measure(q);
+    }
+    return c;
+}
+
+compiler::Circuit
 qft(unsigned n, const QftOptions &options)
 {
     DHISQ_ASSERT(n >= 2, "qft needs >= 2 qubits");

@@ -22,6 +22,15 @@ namespace dhisq::workloads {
 /** GHZ chain: H + adjacent-CNOT ladder (local; correctness baseline). */
 compiler::Circuit ghz(unsigned n, bool measure_all = false);
 
+/**
+ * GHZ via fan-out: H(0) then CNOT(0, q) for every other qubit — the
+ * star-shaped interaction graph of a distributed GHZ preparation, every
+ * fanned CNOT long-range. Run expandNonAdjacentGates() for the dynamic
+ * (hardware-runnable) version whose mid-chain measurements feed parity
+ * corrections back to the root and leaves.
+ */
+compiler::Circuit ghzFanout(unsigned n, bool measure_all = false);
+
 /** Textbook QFT with an approximation window (controlled-phase range). */
 struct QftOptions
 {

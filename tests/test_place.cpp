@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Placement-subsystem invariants: every strategy yields a controller
+ * permutation on every shape, the path strategy is exactly the topology's
+ * embedding (the PR 3 bit-compatibility contract), kl-mincut never cuts
+ * worse than greedy-affinity on the property-test circuit corpus, and the
+ * interaction-graph builder replays codegen's epoch semantics.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "compiler/interaction.hpp"
+#include "place/placement.hpp"
+#include "runtime/machine.hpp"
+#include "sweep/exec.hpp"
+#include "workloads/generators.hpp"
+
+namespace dhisq {
+namespace {
+
+using place::InteractionGraph;
+using place::PlacementStrategy;
+
+net::Topology
+shapeAt(net::TopologyShape shape, unsigned w = 5, unsigned h = 3)
+{
+    net::TopologyConfig cfg;
+    cfg.shape = shape;
+    cfg.width = w;
+    cfg.height = h;
+    return net::Topology::build(cfg);
+}
+
+/** A small feedback-heavy circuit's graph, blocked at one qubit each. */
+InteractionGraph
+corpusGraph(std::uint64_t seed, unsigned qubits = 10)
+{
+    workloads::RandomDynamicOptions opt;
+    opt.qubits = qubits;
+    opt.layers = 10;
+    opt.feedback_fraction = 0.5;
+    opt.feedback_span = 5;
+    opt.seed = seed;
+    return compiler::interactionGraphOf(workloads::randomDynamic(opt), 1);
+}
+
+void
+expectPermutation(const place::PlacementPlan &plan, unsigned controllers,
+                  const char *context)
+{
+    ASSERT_EQ(plan.order.size(), controllers) << context;
+    ASSERT_EQ(plan.slot_of.size(), controllers) << context;
+    std::vector<bool> seen(controllers, false);
+    for (unsigned slot = 0; slot < controllers; ++slot) {
+        const ControllerId c = plan.order[slot];
+        ASSERT_LT(c, controllers) << context;
+        EXPECT_FALSE(seen[c]) << context << " duplicates controller " << c;
+        seen[c] = true;
+        EXPECT_EQ(plan.slot_of[c], slot) << context;
+    }
+}
+
+TEST(Placement, StrategyNamesRoundTrip)
+{
+    for (PlacementStrategy strategy : place::allPlacementStrategies()) {
+        PlacementStrategy parsed;
+        ASSERT_TRUE(
+            place::parsePlacementStrategy(toString(strategy), parsed))
+            << place::toString(strategy);
+        EXPECT_EQ(parsed, strategy);
+    }
+    PlacementStrategy ignored;
+    EXPECT_FALSE(place::parsePlacementStrategy("annealing", ignored));
+    EXPECT_FALSE(place::parsePlacementStrategy("", ignored));
+}
+
+TEST(Placement, PathIsExactlyTheTopologyEmbeddingOnAllShapes)
+{
+    const InteractionGraph graph = corpusGraph(3);
+    for (net::TopologyShape shape : net::allTopologyShapes()) {
+        const net::Topology topo = shapeAt(shape);
+        const auto plan =
+            place::makePlacement(topo, graph, PlacementStrategy::kPath);
+        EXPECT_EQ(plan.order, topo.placementOrder())
+            << net::toString(shape);
+    }
+}
+
+TEST(Placement, EveryStrategyYieldsAControllerPermutation)
+{
+    // Fewer blocks than controllers: the unused tail must still complete
+    // the permutation on every shape (heavy-hex adds bridge controllers).
+    const InteractionGraph graph = corpusGraph(7, /*qubits=*/8);
+    for (net::TopologyShape shape : net::allTopologyShapes()) {
+        const net::Topology topo = shapeAt(shape);
+        for (PlacementStrategy strategy : place::allPlacementStrategies()) {
+            const auto plan = place::makePlacement(topo, graph, strategy);
+            expectPermutation(plan, topo.numControllers(),
+                              net::toString(shape));
+        }
+    }
+}
+
+TEST(Placement, DeterministicForFixedInputs)
+{
+    const InteractionGraph graph = corpusGraph(11);
+    const net::Topology topo = shapeAt(net::TopologyShape::kTorus, 4, 3);
+    for (PlacementStrategy strategy : place::allPlacementStrategies()) {
+        const auto a = place::makePlacement(topo, graph, strategy);
+        const auto b = place::makePlacement(topo, graph, strategy);
+        EXPECT_EQ(a.order, b.order) << place::toString(strategy);
+    }
+}
+
+TEST(Placement, KlNeverCutsWorseThanGreedyOnTheCorpus)
+{
+    for (const std::uint64_t seed : {1ull, 7ull, 13ull, 29ull}) {
+        const InteractionGraph graph = corpusGraph(seed);
+        for (net::TopologyShape shape :
+             {net::TopologyShape::kGrid, net::TopologyShape::kTorus,
+              net::TopologyShape::kHeavyHex, net::TopologyShape::kRing}) {
+            for (net::LinkLatencyModel model :
+                 net::allLinkLatencyModels()) {
+                net::TopologyConfig cfg;
+                cfg.shape = shape;
+                cfg.width = 5;
+                cfg.height = 3;
+                cfg.latency_model = model;
+                const net::Topology topo = net::Topology::build(cfg);
+                const place::CostModel cost(topo);
+                const auto greedy = place::makePlacement(
+                    topo, graph, PlacementStrategy::kGreedyAffinity);
+                const auto kl = place::makePlacement(
+                    topo, graph, PlacementStrategy::kKlMincut);
+                EXPECT_LE(place::weightedCutCost(cost, graph, kl.order),
+                          place::weightedCutCost(cost, graph,
+                                                 greedy.order) +
+                              1e-9)
+                    << net::toString(shape) << "/" << net::toString(model)
+                    << " seed " << seed;
+            }
+        }
+    }
+}
+
+TEST(Placement, KlBeatsThePathOnAStarInteractionGraph)
+{
+    // A star-shaped interaction graph (every block talks to block 0) on a
+    // grid (not a torus — those are vertex-transitive, so every hub
+    // position costs the same): the path embedding strands block 0 in a
+    // corner; min-cut must place it centrally and strictly lower the cut.
+    InteractionGraph star(12);
+    for (unsigned b = 1; b < 12; ++b)
+        star.addSyncWeight(0, b, 2.0);
+    const net::Topology topo = shapeAt(net::TopologyShape::kGrid, 4, 3);
+    const place::CostModel cost(topo);
+    const auto path =
+        place::makePlacement(topo, star, PlacementStrategy::kPath);
+    const auto kl =
+        place::makePlacement(topo, star, PlacementStrategy::kKlMincut);
+    EXPECT_LT(place::weightedCutCost(cost, star, kl.order),
+              place::weightedCutCost(cost, star, path.order));
+}
+
+TEST(Placement, CostModelPricesAdjacencyBelowRegionSync)
+{
+    const net::Topology topo = shapeAt(net::TopologyShape::kGrid, 4, 4);
+    const place::CostModel model(topo);
+    // Adjacent pair: the calibrated link latency, on both channels.
+    EXPECT_DOUBLE_EQ(model.syncCost(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(model.messageCost(0, 1), 2.0);
+    // Distant pair: the sync channel must dominate the message channel
+    // (region-sync span vs a routed payload).
+    EXPECT_GT(model.syncCost(0, 15), model.messageCost(0, 15));
+    EXPECT_GT(model.syncCost(0, 15), model.syncCost(0, 1));
+    // Symmetry.
+    EXPECT_DOUBLE_EQ(model.syncCost(3, 12), model.syncCost(12, 3));
+}
+
+TEST(InteractionGraph, AccumulatesUndirectedWeights)
+{
+    InteractionGraph graph(4);
+    graph.addSyncWeight(0, 1, 1.5);
+    graph.addSyncWeight(1, 0, 0.5);
+    graph.addMessageWeight(0, 1, 2.0);
+    graph.addSyncWeight(2, 2, 9.0); // self-edge: dropped
+    EXPECT_DOUBLE_EQ(graph.weight(0, 1), 4.0);
+    EXPECT_DOUBLE_EQ(graph.weight(1, 0), 4.0);
+    EXPECT_DOUBLE_EQ(graph.weight(2, 2), 0.0);
+    EXPECT_DOUBLE_EQ(graph.weight(2, 3), 0.0);
+    EXPECT_DOUBLE_EQ(graph.totalWeightOf(0), 4.0);
+    ASSERT_EQ(graph.edgesOf(0).size(), 1u);
+    EXPECT_DOUBLE_EQ(graph.edgesOf(0)[0].sync_weight, 2.0);
+    EXPECT_DOUBLE_EQ(graph.edgesOf(0)[0].msg_weight, 2.0);
+}
+
+TEST(InteractionGraph, BuilderReplaysEpochSemantics)
+{
+    using compiler::kCoscheduleWeight;
+    using compiler::kFeedbackWeight;
+    using compiler::kSyncWeight;
+
+    compiler::Circuit c(4, "epochs");
+    c.gate2(q::Gate::kCNOT, 0, 1); // common epoch: co-schedule weight only
+    const CbitId bit = c.measure(2);
+    c.conditionalGate(q::Gate::kX, 3, {bit}); // message 2 -> 3; 3 diverges
+    c.gate2(q::Gate::kCNOT, 3, 0);            // diverged: sync weight
+    c.gate2(q::Gate::kCNOT, 3, 0);            // merged again: co-schedule
+
+    const auto graph = compiler::interactionGraphOf(c, 1);
+    EXPECT_DOUBLE_EQ(graph.weight(0, 1), kCoscheduleWeight);
+    EXPECT_DOUBLE_EQ(graph.weight(2, 3), kFeedbackWeight);
+    EXPECT_DOUBLE_EQ(graph.weight(3, 0),
+                     kSyncWeight + kCoscheduleWeight);
+    ASSERT_EQ(graph.edgesOf(2).size(), 1u);
+    EXPECT_DOUBLE_EQ(graph.edgesOf(2)[0].msg_weight, kFeedbackWeight);
+    EXPECT_DOUBLE_EQ(graph.edgesOf(2)[0].sync_weight, 0.0);
+}
+
+TEST(InteractionGraph, BlocksFollowQubitsPerController)
+{
+    compiler::Circuit c(4, "blocked");
+    c.gate2(q::Gate::kCNOT, 0, 1); // same block under qpc=2
+    c.gate2(q::Gate::kCNOT, 1, 2); // cross-block
+    const auto graph = compiler::interactionGraphOf(c, 2);
+    ASSERT_EQ(graph.numBlocks(), 2u);
+    EXPECT_DOUBLE_EQ(graph.weight(0, 1), compiler::kCoscheduleWeight);
+}
+
+// ---- End-to-end: optimized placements stay correct and healthy ----------
+
+TEST(PlacementE2e, OptimizedPlacementsRunHealthyOnEveryShape)
+{
+    workloads::RandomDynamicOptions opt;
+    opt.qubits = 9;
+    opt.layers = 8;
+    opt.feedback_fraction = 0.5;
+    opt.seed = 21;
+    const auto circuit = workloads::randomDynamic(opt);
+    for (net::TopologyShape shape : net::allTopologyShapes()) {
+        for (PlacementStrategy strategy : place::allPlacementStrategies()) {
+            compiler::CompilerConfig cc;
+            cc.placement = strategy;
+            cc.repetitions = 2;
+            sweep::ExecOptions opts;
+            opts.topology = shape;
+            const auto r = sweep::executeWith(circuit, cc, opts);
+            EXPECT_TRUE(r.healthy())
+                << net::toString(shape) << "/"
+                << place::toString(strategy);
+            EXPECT_GT(r.makespan, 0u);
+        }
+    }
+}
+
+TEST(PlacementE2e, AdderSumAgreesAcrossStrategies)
+{
+    // The ripple-carry adder's outputs are input-determined: permuting
+    // the block -> controller assignment must not change the sum.
+    workloads::AdderOptions opt;
+    opt.seed = 9;
+    const auto circuit = workloads::adder(8, opt);
+    std::vector<unsigned> sums;
+    for (PlacementStrategy strategy : place::allPlacementStrategies()) {
+        net::TopologyConfig topo_cfg;
+        topo_cfg.shape = net::TopologyShape::kGrid;
+        topo_cfg.width = 2;
+        topo_cfg.height = 2;
+        const net::Topology topo = net::Topology::build(topo_cfg);
+        compiler::CompilerConfig cc;
+        cc.placement = strategy;
+        cc.qubits_per_controller = 2;
+        compiler::Compiler comp(topo, cc);
+        auto compiled = comp.compile(circuit);
+        auto mc = compiler::machineConfigFor(topo_cfg, cc, 8, true, 3);
+        runtime::Machine machine(mc);
+        compiled.applyTo(machine);
+        const auto report = machine.run();
+        ASSERT_FALSE(report.deadlock) << place::toString(strategy);
+        unsigned sum = 0;
+        for (const auto &m : machine.device().measurements()) {
+            if (m.qubit == 7)
+                sum |= unsigned(m.bit) << 3;
+            else
+                sum |= unsigned(m.bit) << ((m.qubit - 2) / 2);
+        }
+        sums.push_back(sum);
+    }
+    ASSERT_EQ(sums.size(), 3u);
+    EXPECT_EQ(sums[0], sums[1]);
+    EXPECT_EQ(sums[1], sums[2]);
+}
+
+TEST(PlacementE2e, HeterogeneousLatenciesRunHealthy)
+{
+    workloads::RandomDynamicOptions opt;
+    opt.qubits = 8;
+    opt.layers = 6;
+    opt.feedback_fraction = 0.4;
+    opt.seed = 5;
+    const auto circuit = workloads::randomDynamic(opt);
+    for (net::LinkLatencyModel model : net::allLinkLatencyModels()) {
+        for (net::RouterClustering clustering :
+             {net::RouterClustering::kIdBlocks,
+              net::RouterClustering::kLocality}) {
+            compiler::CompilerConfig cc;
+            cc.placement = PlacementStrategy::kKlMincut;
+            sweep::ExecOptions opts;
+            opts.topology = net::TopologyShape::kTorus;
+            opts.latency_model = model;
+            opts.clustering = clustering;
+            const auto r = sweep::executeWith(circuit, cc, opts);
+            EXPECT_TRUE(r.healthy())
+                << net::toString(model) << "/" << net::toString(clustering);
+        }
+    }
+}
+
+} // namespace
+} // namespace dhisq

@@ -348,6 +348,151 @@ TEST(Cli, ParsesTopologyAxisSelection)
     }
 }
 
+TEST(Cli, ParsesPlacementAndLatencyModelAxes)
+{
+    {
+        const char *argv[] = {"bench",           "--placement",
+                              "kl-mincut",       "--placement",
+                              "greedy-affinity", "--placement",
+                              "kl-mincut"};
+        auto parsed = parseCli(7, const_cast<char **>(argv));
+        ASSERT_TRUE(parsed.isOk());
+        ASSERT_EQ(parsed.value().placements.size(), 2u);
+        EXPECT_EQ(parsed.value().placements[0],
+                  place::PlacementStrategy::kKlMincut);
+        EXPECT_EQ(parsed.value().placements[1],
+                  place::PlacementStrategy::kGreedyAffinity);
+    }
+    {
+        const char *argv[] = {"bench", "--placement", "all",
+                              "--latency-model", "all"};
+        auto parsed = parseCli(5, const_cast<char **>(argv));
+        ASSERT_TRUE(parsed.isOk());
+        EXPECT_EQ(parsed.value().placements.size(),
+                  place::allPlacementStrategies().size());
+        EXPECT_EQ(parsed.value().latency_models.size(),
+                  net::allLinkLatencyModels().size());
+    }
+    {
+        const char *argv[] = {"bench", "--latency-model", "jitter"};
+        auto parsed = parseCli(3, const_cast<char **>(argv));
+        ASSERT_TRUE(parsed.isOk());
+        ASSERT_EQ(parsed.value().latency_models.size(), 1u);
+        EXPECT_EQ(parsed.value().latency_models[0],
+                  net::LinkLatencyModel::kSeededJitter);
+    }
+    {
+        const char *argv[] = {"bench", "--placement", "anneal"};
+        EXPECT_FALSE(parseCli(3, const_cast<char **>(argv)).isOk());
+    }
+    {
+        const char *argv[] = {"bench", "--latency-model"};
+        EXPECT_FALSE(parseCli(2, const_cast<char **>(argv)).isOk());
+    }
+}
+
+TEST(Cli, ParsesPolicyAndTreeArityAxes)
+{
+    {
+        const char *argv[] = {"bench",  "--policy",     "paper",
+                              "--tree-arity", "8", "--tree-arity", "2"};
+        auto parsed = parseCli(7, const_cast<char **>(argv));
+        ASSERT_TRUE(parsed.isOk());
+        ASSERT_EQ(parsed.value().policies.size(), 1u);
+        EXPECT_EQ(parsed.value().policies[0], net::RouterPolicy::Paper);
+        ASSERT_EQ(parsed.value().tree_arities.size(), 2u);
+        EXPECT_EQ(parsed.value().tree_arities[0], 8u);
+        EXPECT_EQ(parsed.value().tree_arities[1], 2u);
+    }
+    {
+        const char *argv[] = {"bench", "--policy", "all"};
+        auto parsed = parseCli(3, const_cast<char **>(argv));
+        ASSERT_TRUE(parsed.isOk());
+        EXPECT_EQ(parsed.value().policies.size(), 2u);
+    }
+    {
+        const char *argv[] = {"bench", "--tree-arity", "1"};
+        EXPECT_FALSE(parseCli(3, const_cast<char **>(argv)).isOk());
+    }
+    {
+        const char *argv[] = {"bench", "--policy", "fastest"};
+        EXPECT_FALSE(parseCli(3, const_cast<char **>(argv)).isOk());
+    }
+}
+
+TEST(Grid, PlacementAxisExpandsAndLabels)
+{
+    GridSpec grid;
+    CircuitSpec chain;
+    chain.kind = CircuitSpec::Kind::kLrCnotChain;
+    chain.qubits = 5;
+    grid.circuits.push_back(chain);
+    grid.schemes = {compiler::SyncScheme::kBisp};
+    grid.topologies = {net::TopologyShape::kTorus};
+    grid.placements = place::allPlacementStrategies();
+    grid.latency_models = {net::LinkLatencyModel::kUniform,
+                           net::LinkLatencyModel::kDistanceScaled};
+    grid.policies = {net::RouterPolicy::Robust, net::RouterPolicy::Paper};
+    grid.tree_arities = {4, 2};
+
+    const auto points = expandGrid(grid);
+    ASSERT_EQ(points.size(), 3u * 2u * 2u * 2u);
+    EXPECT_EQ(points[0].label(), "lrcnot_chain_n5/bisp/torus");
+    EXPECT_EQ(points[1].label(), "lrcnot_chain_n5/bisp/torus/arity2");
+    EXPECT_EQ(points[2].label(), "lrcnot_chain_n5/bisp/torus/paper");
+    EXPECT_EQ(points[4].label(),
+              "lrcnot_chain_n5/bisp/torus/distance_scaled");
+    EXPECT_EQ(points[8].label(),
+              "lrcnot_chain_n5/bisp/torus/greedy-affinity");
+    EXPECT_EQ(
+        points[15].label(),
+        "lrcnot_chain_n5/bisp/torus/greedy-affinity/distance_scaled/"
+        "paper/arity2");
+}
+
+TEST(Grid, RunPointOmitsDefaultAxisParams)
+{
+    // Byte-compat contract: grids that do not use the new axes must emit
+    // exactly the PR 3 params.
+    ExperimentPoint point;
+    point.circuit.kind = CircuitSpec::Kind::kLrCnotChain;
+    point.circuit.qubits = 5;
+    const auto r = runPoint(point);
+    for (const char *key :
+         {"placement", "latency_model", "clustering", "policy",
+          "tree_arity"}) {
+        EXPECT_FALSE(r.params.contains(key)) << key;
+    }
+
+    ExperimentPoint tuned = point;
+    tuned.config.placement = place::PlacementStrategy::kKlMincut;
+    tuned.latency_model = net::LinkLatencyModel::kDistanceScaled;
+    tuned.clustering = net::RouterClustering::kLocality;
+    tuned.policy = net::RouterPolicy::Paper;
+    tuned.tree_arity = 2;
+    tuned.topology = net::TopologyShape::kTorus;
+    const auto t = runPoint(tuned);
+    EXPECT_TRUE(t.healthy);
+    EXPECT_EQ(t.params.find("placement")->asString(), "kl-mincut");
+    EXPECT_EQ(t.params.find("latency_model")->asString(),
+              "distance_scaled");
+    EXPECT_EQ(t.params.find("clustering")->asString(), "locality");
+    EXPECT_EQ(t.params.find("policy")->asString(), "paper");
+    EXPECT_EQ(t.params.find("tree_arity")->asInt(), 2);
+}
+
+TEST(Grid, GhzFanoutCircuitSpecBuilds)
+{
+    CircuitSpec spec;
+    spec.kind = CircuitSpec::Kind::kGhzFanout;
+    spec.qubits = 8;
+    spec.expand_fraction = 1.0;
+    EXPECT_EQ(spec.id(), "ghz_fanout_n8");
+    const auto circuit = spec.build();
+    EXPECT_EQ(circuit.numQubits(), 8u);
+    EXPECT_GT(circuit.size(), 8u); // expansion adds the dynamic chains
+}
+
 TEST(Cli, ParsesListFlag)
 {
     const char *argv[] = {"bench", "--list", "--quick"};

@@ -396,6 +396,239 @@ TEST(TopologyShapes, SnakePlacementIsPathEmbedded)
     }
 }
 
+// ---- Link-latency heterogeneity -----------------------------------------
+
+TEST(LinkLatency, ModelNamesRoundTrip)
+{
+    for (LinkLatencyModel model : allLinkLatencyModels()) {
+        LinkLatencyModel parsed;
+        ASSERT_TRUE(parseLinkLatencyModel(toString(model), parsed));
+        EXPECT_EQ(parsed, model);
+    }
+    LinkLatencyModel ignored;
+    EXPECT_FALSE(parseLinkLatencyModel("congestion", ignored));
+    RouterClustering cluster;
+    EXPECT_TRUE(parseRouterClustering("locality", cluster));
+    EXPECT_EQ(cluster, RouterClustering::kLocality);
+    EXPECT_FALSE(parseRouterClustering("blocks", cluster));
+}
+
+TEST(LinkLatency, DistanceScaledSlowsOnlyWraparounds)
+{
+    TopologyConfig cfg;
+    cfg.shape = TopologyShape::kTorus;
+    cfg.width = 5;
+    cfg.height = 4;
+    cfg.neighbor_latency = 2;
+    cfg.latency_model = LinkLatencyModel::kDistanceScaled;
+    auto topo = Topology::build(cfg);
+    // Lattice neighbours stay at the base latency.
+    EXPECT_EQ(topo.neighborLatency(0, 1), 2u);
+    EXPECT_EQ(topo.neighborLatency(0, 5), 2u);
+    // Row wrap spans w-1 = 4 lattice units (capped at 4x).
+    EXPECT_EQ(topo.neighborLatency(4, 0), 2u * 4u);
+    // Column wrap spans h-1 = 3 units.
+    EXPECT_EQ(topo.neighborLatency(15, 0), 2u * 3u);
+
+    // A long ring's wraparound hits the 4x cap.
+    TopologyConfig ring_cfg;
+    ring_cfg.neighbor_latency = 3;
+    ring_cfg.latency_model = LinkLatencyModel::kDistanceScaled;
+    auto ring = Topology::ring(12, ring_cfg);
+    EXPECT_EQ(ring.neighborLatency(11, 0), 3u * 4u);
+    EXPECT_EQ(ring.neighborLatency(3, 4), 3u);
+}
+
+TEST(LinkLatency, JitterIsBoundedSymmetricAndSeeded)
+{
+    TopologyConfig cfg;
+    cfg.shape = TopologyShape::kGrid;
+    cfg.width = 4;
+    cfg.height = 4;
+    cfg.neighbor_latency = 8;
+    cfg.latency_model = LinkLatencyModel::kSeededJitter;
+    cfg.latency_seed = 7;
+    auto topo = Topology::build(cfg);
+    bool any_jittered = false;
+    for (ControllerId c = 0; c < topo.numControllers(); ++c) {
+        for (const auto peer : topo.neighborsOf(c)) {
+            const Cycle lat = topo.neighborLatency(c, peer);
+            EXPECT_GE(lat, 8u);
+            EXPECT_LT(lat, 16u);
+            EXPECT_EQ(lat, topo.neighborLatency(peer, c));
+            any_jittered = any_jittered || lat != 8u;
+        }
+    }
+    EXPECT_TRUE(any_jittered);
+
+    // Same seed -> same calibration; different seed -> a different one.
+    auto again = Topology::build(cfg);
+    cfg.latency_seed = 8;
+    auto other = Topology::build(cfg);
+    bool any_differs = false;
+    for (ControllerId c = 0; c < topo.numControllers(); ++c) {
+        for (const auto peer : topo.neighborsOf(c)) {
+            EXPECT_EQ(topo.neighborLatency(c, peer),
+                      again.neighborLatency(c, peer));
+            any_differs = any_differs || topo.neighborLatency(c, peer) !=
+                                             other.neighborLatency(c, peer);
+        }
+    }
+    EXPECT_TRUE(any_differs);
+}
+
+TEST(LinkLatency, LatencyDistanceTakesTheCheapestPath)
+{
+    // Uniform grid: latency distance = hop distance * base.
+    TopologyConfig cfg;
+    cfg.width = 4;
+    cfg.height = 4;
+    cfg.neighbor_latency = 2;
+    auto uniform = Topology::grid(cfg);
+    for (ControllerId a = 0; a < 16; ++a) {
+        for (ControllerId b = 0; b < 16; ++b) {
+            EXPECT_EQ(uniform.latencyDistance(a, b),
+                      2u * uniform.graphDistance(a, b));
+        }
+    }
+
+    // Distance-scaled ring: the slow wraparound is bypassed when walking
+    // the cheap interior links costs less.
+    TopologyConfig ring_cfg;
+    ring_cfg.neighbor_latency = 2;
+    ring_cfg.latency_model = LinkLatencyModel::kDistanceScaled;
+    auto ring = Topology::ring(12, ring_cfg);
+    // Wrap link costs 8; 0 -> 11 via the wrap is 8, via interior 22.
+    EXPECT_EQ(ring.latencyDistance(0, 11), 8u);
+    // 0 -> 6: interior walk costs 12, wrap + walk costs 8 + 10 = 18.
+    EXPECT_EQ(ring.latencyDistance(0, 6), 12u);
+    EXPECT_EQ(ring.latencyDistance(6, 0), 12u);
+    EXPECT_EQ(ring.latencyDistance(5, 5), 0u);
+}
+
+// ---- Locality router clustering -----------------------------------------
+
+namespace {
+
+/** True when `members` induces a connected subgraph of `topo`. */
+bool
+isConnectedSubset(const Topology &topo,
+                  const std::vector<ControllerId> &members)
+{
+    if (members.empty())
+        return true;
+    std::vector<ControllerId> stack{members.front()};
+    std::vector<bool> in_set(topo.numControllers(), false);
+    std::vector<bool> seen(topo.numControllers(), false);
+    for (ControllerId c : members)
+        in_set[c] = true;
+    seen[members.front()] = true;
+    std::size_t reached = 1;
+    while (!stack.empty()) {
+        const ControllerId cur = stack.back();
+        stack.pop_back();
+        for (ControllerId peer : topo.neighborsOf(cur)) {
+            if (in_set[peer] && !seen[peer]) {
+                seen[peer] = true;
+                ++reached;
+                stack.push_back(peer);
+            }
+        }
+    }
+    return reached == members.size();
+}
+
+} // namespace
+
+TEST(LocalityClustering, LeafRegionsAreConnectedOnEveryShape)
+{
+    for (TopologyShape shape : allTopologyShapes()) {
+        TopologyConfig cfg;
+        cfg.shape = shape;
+        cfg.width = 5;
+        cfg.height = 4;
+        cfg.clustering = RouterClustering::kLocality;
+        auto topo = Topology::build(cfg);
+        for (RouterId r = 0; r < topo.numRouters(); ++r) {
+            const auto &node = topo.router(r);
+            if (node.child_controllers.empty())
+                continue;
+            EXPECT_TRUE(isConnectedSubset(topo, node.child_controllers))
+                << toString(shape) << " router " << r;
+        }
+    }
+}
+
+TEST(LocalityClustering, EveryControllerParentedOnceAndRootCovers)
+{
+    for (TopologyShape shape : allTopologyShapes()) {
+        TopologyConfig cfg;
+        cfg.shape = shape;
+        cfg.width = 5;
+        cfg.height = 3;
+        cfg.clustering = RouterClustering::kLocality;
+        auto topo = Topology::build(cfg);
+        std::vector<unsigned> parent_count(topo.numControllers(), 0);
+        for (RouterId r = 0; r < topo.numRouters(); ++r) {
+            for (ControllerId c : topo.router(r).child_controllers)
+                ++parent_count[c];
+        }
+        for (ControllerId c = 0; c < topo.numControllers(); ++c) {
+            EXPECT_EQ(parent_count[c], 1u) << toString(shape);
+            EXPECT_TRUE(topo.inSubtree(c, topo.rootRouter()))
+                << toString(shape);
+        }
+        // treeHops must resolve for every pair (shared ancestor exists).
+        for (ControllerId a = 0; a < topo.numControllers(); ++a) {
+            for (ControllerId b = a + 1; b < topo.numControllers(); ++b)
+                EXPECT_GE(topo.treeHops(a, b), 2u) << toString(shape);
+        }
+    }
+}
+
+TEST(LocalityClustering, MatchesIdBlocksOnALine)
+{
+    TopologyConfig cfg;
+    cfg.tree_arity = 4;
+    auto id_blocks = Topology::line(13, cfg);
+    cfg.clustering = RouterClustering::kLocality;
+    auto locality = Topology::line(13, cfg);
+    // BFS regions grown along a line from ascending seeds are exactly the
+    // consecutive id blocks.
+    ASSERT_EQ(locality.numRouters(), id_blocks.numRouters());
+    for (ControllerId c = 0; c < 13; ++c)
+        EXPECT_EQ(locality.parentRouter(c), id_blocks.parentRouter(c));
+}
+
+TEST(LocalityClustering, ShrinksAdjacentPairSubtreesOnATorus)
+{
+    // The payoff Insight #2 asks of the tree: the covering subtree of a
+    // graph-adjacent pair should stall fewer controllers under locality
+    // clustering than under id blocks (summed over all adjacent pairs).
+    TopologyConfig cfg;
+    cfg.shape = TopologyShape::kTorus;
+    cfg.width = 6;
+    cfg.height = 6;
+    auto coverSum = [](const Topology &topo) {
+        std::size_t sum = 0;
+        for (ControllerId a = 0; a < topo.numControllers(); ++a) {
+            for (ControllerId b : topo.neighborsOf(a)) {
+                if (b < a)
+                    continue;
+                RouterId r = topo.parentRouter(a);
+                while (!topo.inSubtree(b, r))
+                    r = topo.router(r).parent;
+                sum += topo.controllersUnder(r).size();
+            }
+        }
+        return sum;
+    };
+    auto id_blocks = Topology::build(cfg);
+    cfg.clustering = RouterClustering::kLocality;
+    auto locality = Topology::build(cfg);
+    EXPECT_LT(coverSum(locality), coverSum(id_blocks));
+}
+
 /**
  * The refactor's compatibility contract: the grid generator must produce
  * exactly the structure of the old implicit W x H implementation —
