@@ -16,8 +16,9 @@
  * baseline additionally gates the per-point makespans via
  * `bench_compare`.
  *
- * `--placement`, `--latency-model` and `--topology` restrict the axes;
- * every cell is a sweep task (--threads) serialized with --json.
+ * `--placement`, `--latency-model`, `--clustering` and `--topology`
+ * restrict the axes; every cell is a sweep task (--threads) serialized
+ * with --json.
  */
 #include <cstdio>
 #include <map>
@@ -78,8 +79,7 @@ main(int argc, char **argv)
     grid.placements = place::allPlacementStrategies();
     grid.latency_models = {net::LinkLatencyModel::kUniform,
                            net::LinkLatencyModel::kDistanceScaled};
-    grid.clusterings = {net::RouterClustering::kIdBlocks,
-                        net::RouterClustering::kLocality};
+    grid.clusterings = net::allRouterClusterings();
     grid.base_config.repetitions = 2;
     if (!cli.topologies.empty())
         grid.topologies = cli.topologies;
@@ -87,6 +87,8 @@ main(int argc, char **argv)
         grid.placements = cli.placements;
     if (!cli.latency_models.empty())
         grid.latency_models = cli.latency_models;
+    if (!cli.clusterings.empty())
+        grid.clusterings = cli.clusterings;
 
     const auto points = sweep::expandGrid(grid);
     const auto tasks = sweep::makeTasks(points);

@@ -36,9 +36,12 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/stats.hpp"
+#include "common/status.hpp"
 #include "common/types.hpp"
 #include "compiler/ir.hpp"
 #include "net/topology.hpp"
@@ -54,6 +57,32 @@ enum class SyncScheme : std::uint8_t { kBisp, kDemand, kLockStep };
 /** Human-readable scheme name. */
 const char *toString(SyncScheme scheme);
 
+/**
+ * Qubit-routing mode of the Route pass.
+ *
+ *  - kNone  no routing: qubits stay on their placed slots for the whole
+ *           program (bit-compatible with the pre-pipeline compiler) and
+ *           circuits larger than the block capacity are rejected with a
+ *           structured diagnostic.
+ *  - kSwap  SWAP-insertion routing: two-qubit gates between non-adjacent
+ *           controllers with diverged timelines (and conditional gates
+ *           whose operands ended up on different controllers) are made
+ *           local/adjacent by SWAP chains along the cheapest latency
+ *           path, and circuits larger than the block capacity map in the
+ *           oversubscribed mode (consecutive qubit blocks folded onto
+ *           one controller).
+ */
+enum class RoutingMode : std::uint8_t { kNone, kSwap };
+
+/** Human-readable routing-mode name ("none", "swap"). */
+const char *toString(RoutingMode mode);
+
+/** Parse a routing-mode name; false when `text` names no mode. */
+bool parseRoutingMode(std::string_view text, RoutingMode &out);
+
+/** Every routing mode in canonical sweep order. */
+const std::vector<RoutingMode> &allRoutingModes();
+
 /** Compiler knobs. */
 struct CompilerConfig
 {
@@ -64,6 +93,9 @@ struct CompilerConfig
      *  the topology's path embedding, bit-compatible with the
      *  pre-placement compiler. */
     place::PlacementStrategy placement = place::PlacementStrategy::kPath;
+    /** Qubit routing (SWAP insertion + oversubscribed mapping). kNone is
+     *  bit-compatible with the pre-pipeline compiler. */
+    RoutingMode routing = RoutingMode::kNone;
     /** Operation durations in cycles (paper: 20/40/300 ns). */
     Cycle gate1q = 5;
     Cycle gate2q = 10;
@@ -103,9 +135,32 @@ struct CompiledProgram
     /** qubit -> controller that receives its measurement results. */
     std::vector<std::pair<QubitId, ControllerId>> meas_routes;
     StatSet stats;
+    /**
+     * Physical-slot geometry of the compiled program. Without routing
+     * these equal `qubits_per_controller` and the circuit's qubit count;
+     * SWAP routing can widen both (oversubscribed blocks, empty routing
+     * slots). The machine must provide at least this many ports per
+     * controller / device qubits.
+     */
+    unsigned ports_per_controller = 0;
+    unsigned device_qubits = 0;
+    /**
+     * (physical slot, logical qubit) per measurement, in program order —
+     * the map from the device's slot-keyed measurement records back to
+     * circuit qubits once routing has moved them.
+     */
+    std::vector<std::pair<QubitId, QubitId>> meas_log;
 
     /** Number of controllers that execute code. */
     unsigned usedControllers() const;
+
+    /**
+     * Logical qubit behind the `occurrence`-th measurement committed on
+     * physical slot/device-qubit `physical` (0-based, in program order).
+     * Identity when routing is off. kNoQubit when no such measurement.
+     */
+    QubitId logicalMeasQubit(QubitId physical,
+                             std::size_t occurrence = 0) const;
 
     /** Total compiled instructions across all controllers. */
     std::size_t totalInstructions() const;
@@ -114,13 +169,20 @@ struct CompiledProgram
     void applyTo(runtime::Machine &machine) const;
 };
 
-/** Circuit -> HISQ compiler. */
+/** Circuit -> HISQ compiler (runs the pass pipeline, see passes/). */
 class Compiler
 {
   public:
     Compiler(const net::Topology &topo, const CompilerConfig &config);
 
-    /** Compile one dynamic circuit. */
+    /**
+     * Compile one dynamic circuit, reporting recoverable problems (e.g.
+     * a circuit exceeding the block capacity with routing disabled) as
+     * a structured error naming the workload and the capacity.
+     */
+    Result<CompiledProgram> tryCompile(const Circuit &circuit);
+
+    /** Compile one dynamic circuit; fatal on a compile error. */
     CompiledProgram compile(const Circuit &circuit);
 
     const CompilerConfig &config() const { return _config; }
@@ -139,6 +201,18 @@ class Compiler
 runtime::MachineConfig machineConfigFor(const net::TopologyConfig &topo,
                                         const CompilerConfig &compiler,
                                         unsigned num_qubits,
+                                        bool state_vector,
+                                        std::uint64_t seed = 1);
+
+/**
+ * Machine configuration sized for a specific compiled program: same as
+ * above but takes ports-per-controller and device qubits from the
+ * program's recorded slot geometry, which SWAP routing may have widened
+ * beyond the circuit's own qubit count.
+ */
+runtime::MachineConfig machineConfigFor(const net::TopologyConfig &topo,
+                                        const CompilerConfig &compiler,
+                                        const CompiledProgram &compiled,
                                         bool state_vector,
                                         std::uint64_t seed = 1);
 

@@ -1,0 +1,35 @@
+#include "compiler/passes/codegen.hpp"
+
+#include <string>
+
+#include "compiler/program_builder.hpp"
+
+namespace dhisq::compiler::passes {
+
+Status
+CodegenPass::run(PassContext &ctx)
+{
+    const unsigned nc = ctx.topo.numControllers();
+    CompiledProgram out;
+    out.programs.resize(nc);
+    out.used.assign(nc, false);
+    for (ControllerId c = 0; c < nc; ++c) {
+        if (!ctx.used[c])
+            continue;
+        out.used[c] = true;
+        ProgramBuilder builder(ctx.circuit.name() + ".C" +
+                               std::to_string(c));
+        ctx.streams[c].replay(builder);
+        out.programs[c] = builder.finish();
+    }
+    out.bindings = std::move(ctx.bindings);
+    out.meas_routes = std::move(ctx.meas_routes);
+    out.stats = std::move(ctx.stats);
+    out.ports_per_controller = ctx.slots_per_controller;
+    out.device_qubits = ctx.device_qubits;
+    out.meas_log = std::move(ctx.meas_log);
+    ctx.out = std::move(out);
+    return Status::ok();
+}
+
+} // namespace dhisq::compiler::passes

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Codegen pass: per-controller ISA emission.
+ *
+ * Replays each used controller's recorded CodeStream through a
+ * ProgramBuilder (label fixups, waiti chunking, word encoding) and
+ * assembles the final CompiledProgram: binaries, bindings, measurement
+ * routes, the compiled slot geometry and the measurement log.
+ */
+#pragma once
+
+#include "compiler/passes/pass.hpp"
+
+namespace dhisq::compiler::passes {
+
+class CodegenPass : public Pass
+{
+  public:
+    const char *name() const override { return "codegen"; }
+    Status run(PassContext &ctx) override;
+};
+
+} // namespace dhisq::compiler::passes

@@ -1,0 +1,195 @@
+#include "compiler/passes/codestream.hpp"
+
+#include "common/logging.hpp"
+#include "compiler/program_builder.hpp"
+#include "isa/encoding.hpp"
+
+namespace dhisq::compiler::passes {
+
+std::size_t
+CodeStream::newLabel()
+{
+    return _labels++;
+}
+
+void
+CodeStream::bind(std::size_t label)
+{
+    DHISQ_ASSERT(label < _labels, "unknown label ", label);
+    _ops.push_back(Op{Kind::kBind, label, 0, 0});
+}
+
+void
+CodeStream::waiti(Cycle cycles)
+{
+    if (cycles == 0)
+        return;
+    // Mirror ProgramBuilder::waiti's chunking so size() stays exact.
+    Cycle remaining = cycles;
+    while (remaining > Cycle(isa::kMaxWaitImmediate)) {
+        ++_instructions;
+        remaining -= Cycle(isa::kMaxWaitImmediate);
+    }
+    if (remaining > 0)
+        ++_instructions;
+    _ops.push_back(Op{Kind::kWaiti, cycles, 0, 0});
+}
+
+void
+CodeStream::cwii(PortId port, Codeword cw)
+{
+    ++_instructions;
+    _ops.push_back(Op{Kind::kCwii, port, std::int64_t(cw), 0});
+}
+
+void
+CodeStream::syncController(ControllerId peer)
+{
+    ++_instructions;
+    _ops.push_back(Op{Kind::kSyncController, peer, 0, 0});
+}
+
+void
+CodeStream::syncRouter(RouterId router, Cycle residual)
+{
+    ++_instructions;
+    _ops.push_back(Op{Kind::kSyncRouter, router, std::int64_t(residual), 0});
+}
+
+void
+CodeStream::wtrig(std::uint32_t src)
+{
+    ++_instructions;
+    _ops.push_back(Op{Kind::kWtrig, src, 0, 0});
+}
+
+void
+CodeStream::send(ControllerId dst, unsigned rs2)
+{
+    ++_instructions;
+    _ops.push_back(Op{Kind::kSend, dst, std::int64_t(rs2), 0});
+}
+
+void
+CodeStream::recv(unsigned rd, std::uint32_t src)
+{
+    ++_instructions;
+    _ops.push_back(Op{Kind::kRecv, rd, std::int64_t(src), 0});
+}
+
+void
+CodeStream::andi(unsigned rd, unsigned rs1, std::int32_t imm)
+{
+    ++_instructions;
+    _ops.push_back(Op{Kind::kAndi, rd, std::int64_t(rs1),
+                      std::int64_t(imm)});
+}
+
+void
+CodeStream::lw(unsigned rd, unsigned base, std::int32_t offset)
+{
+    ++_instructions;
+    _ops.push_back(Op{Kind::kLw, rd, std::int64_t(base),
+                      std::int64_t(offset)});
+}
+
+void
+CodeStream::sw(unsigned rs2, unsigned base, std::int32_t offset)
+{
+    ++_instructions;
+    _ops.push_back(Op{Kind::kSw, rs2, std::int64_t(base),
+                      std::int64_t(offset)});
+}
+
+void
+CodeStream::xorReg(unsigned rd, unsigned rs1, unsigned rs2)
+{
+    ++_instructions;
+    _ops.push_back(Op{Kind::kXor, rd, std::int64_t(rs1),
+                      std::int64_t(rs2)});
+}
+
+void
+CodeStream::beq(unsigned rs1, unsigned rs2, std::size_t label)
+{
+    DHISQ_ASSERT(label < _labels, "unknown label ", label);
+    ++_instructions;
+    _ops.push_back(Op{Kind::kBeq, rs1, std::int64_t(rs2),
+                      std::int64_t(label)});
+}
+
+void
+CodeStream::halt()
+{
+    ++_instructions;
+    _ops.push_back(Op{Kind::kHalt, 0, 0, 0});
+}
+
+void
+CodeStream::replay(ProgramBuilder &builder) const
+{
+    // Labels carry no instructions, so creating them all up front (in id
+    // order, matching allocation order) is emission-equivalent.
+    std::vector<Label> labels;
+    labels.reserve(_labels);
+    for (std::size_t i = 0; i < _labels; ++i)
+        labels.push_back(builder.newLabel());
+
+    for (const Op &op : _ops) {
+        switch (op.kind) {
+          case Kind::kBind:
+            builder.bind(labels.at(op.a));
+            break;
+          case Kind::kWaiti:
+            builder.waiti(Cycle(op.a));
+            break;
+          case Kind::kCwii:
+            builder.cwii(PortId(op.a), Codeword(op.b));
+            break;
+          case Kind::kSyncController:
+            builder.syncController(ControllerId(op.a));
+            break;
+          case Kind::kSyncRouter:
+            builder.syncRouter(RouterId(op.a), Cycle(op.b));
+            break;
+          case Kind::kWtrig:
+            builder.wtrig(std::uint32_t(op.a));
+            break;
+          case Kind::kSend:
+            builder.send(ControllerId(op.a), unsigned(op.b));
+            break;
+          case Kind::kRecv:
+            builder.recv(unsigned(op.a), std::uint32_t(op.b));
+            break;
+          case Kind::kAndi:
+            builder.andi(unsigned(op.a), unsigned(op.b),
+                         std::int32_t(op.c));
+            break;
+          case Kind::kLw:
+            builder.lw(unsigned(op.a), unsigned(op.b),
+                       std::int32_t(op.c));
+            break;
+          case Kind::kSw:
+            builder.sw(unsigned(op.a), unsigned(op.b),
+                       std::int32_t(op.c));
+            break;
+          case Kind::kXor:
+            builder.xorReg(unsigned(op.a), unsigned(op.b),
+                           unsigned(op.c));
+            break;
+          case Kind::kBeq:
+            builder.beq(unsigned(op.a), unsigned(op.b),
+                        labels.at(std::size_t(op.c)));
+            break;
+          case Kind::kHalt:
+            builder.halt();
+            break;
+        }
+    }
+    DHISQ_ASSERT(builder.size() == _instructions,
+                 "CodeStream size mirror drifted from ProgramBuilder: ",
+                 _instructions, " recorded vs ", builder.size(),
+                 " replayed");
+}
+
+} // namespace dhisq::compiler::passes

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Recorded per-controller emission stream: the interface between the
+ * ScheduleEpochs pass (which decides *what* to emit and *when*) and the
+ * Codegen pass (which lowers the decisions to ISA instructions).
+ *
+ * A CodeStream mirrors exactly the ProgramBuilder calls the scheduler
+ * makes, including the builder's instruction count (`size()` — the
+ * lock-step scheme prices conditional blocks by their instruction
+ * footprint), so replaying a stream through a real ProgramBuilder
+ * reproduces the monolithic compiler's output bit-identically. Codegen
+ * asserts the replayed builder size matches the recorded size, so any
+ * drift between the mirror and the builder fails loudly.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dhisq::compiler {
+
+class ProgramBuilder;
+
+namespace passes {
+
+/** Records ProgramBuilder calls for later replay. */
+class CodeStream
+{
+  public:
+    /** Allocate a branch label; ids are dense from 0. */
+    std::size_t newLabel();
+
+    /** Bind a label to the next emission point. */
+    void bind(std::size_t label);
+
+    void waiti(Cycle cycles);
+    void cwii(PortId port, Codeword cw);
+    void syncController(ControllerId peer);
+    void syncRouter(RouterId router, Cycle residual);
+    void wtrig(std::uint32_t src);
+    void send(ControllerId dst, unsigned rs2);
+    void recv(unsigned rd, std::uint32_t src);
+    void andi(unsigned rd, unsigned rs1, std::int32_t imm);
+    void lw(unsigned rd, unsigned base, std::int32_t offset);
+    void sw(unsigned rs2, unsigned base, std::int32_t offset);
+    void xorReg(unsigned rd, unsigned rs1, unsigned rs2);
+    void beq(unsigned rs1, unsigned rs2, std::size_t label);
+    void halt();
+
+    /** Instruction count the replayed builder will report (mirrored). */
+    std::size_t size() const { return _instructions; }
+
+    /** Recorded call count (labels and multi-chunk waits fold in). */
+    std::size_t opCount() const { return _ops.size(); }
+
+    /** Replay every recorded call into `builder`, in order. */
+    void replay(ProgramBuilder &builder) const;
+
+  private:
+    enum class Kind : std::uint8_t
+    {
+        kBind,
+        kWaiti,
+        kCwii,
+        kSyncController,
+        kSyncRouter,
+        kWtrig,
+        kSend,
+        kRecv,
+        kAndi,
+        kLw,
+        kSw,
+        kXor,
+        kBeq,
+        kHalt,
+    };
+
+    struct Op
+    {
+        Kind kind;
+        std::uint64_t a = 0;
+        std::int64_t b = 0;
+        std::int64_t c = 0;
+    };
+
+    std::vector<Op> _ops;
+    std::size_t _instructions = 0;
+    std::size_t _labels = 0;
+};
+
+} // namespace passes
+} // namespace dhisq::compiler

@@ -1,0 +1,72 @@
+#include "compiler/passes/lower.hpp"
+
+#include <string>
+
+namespace dhisq::compiler::passes {
+
+Status
+LowerPass::run(PassContext &ctx)
+{
+    const unsigned nc = ctx.topo.numControllers();
+    const unsigned qpc = ctx.config.qubits_per_controller;
+    if (qpc == 0)
+        return Status::error("qubits_per_controller must be >= 1");
+    if (ctx.circuit.numQubits() == 0) {
+        return Status::error("circuit '" + ctx.circuit.name() +
+                             "' has no qubits");
+    }
+
+    ctx.blocks = (ctx.circuit.numQubits() + qpc - 1) / qpc;
+    if (ctx.blocks > nc) {
+        if (ctx.config.routing == RoutingMode::kNone) {
+            return Status::error(
+                "circuit '" + ctx.circuit.name() + "' needs " +
+                std::to_string(ctx.circuit.numQubits()) + " qubits (" +
+                std::to_string(ctx.blocks) + " blocks of " +
+                std::to_string(qpc) + "), but the " +
+                std::string(net::toString(ctx.topo.shape())) +
+                " topology offers only " + std::to_string(nc) +
+                " controllers x " + std::to_string(qpc) + " = " +
+                std::to_string(nc * qpc) +
+                " qubits of block capacity; enable SWAP routing "
+                "(CompilerConfig::routing = kSwap / --routing swap) to "
+                "map it oversubscribed");
+        }
+        // Oversubscribed: fold the smallest uniform group of consecutive
+        // blocks onto each controller that makes the circuit fit.
+        ctx.group = (ctx.circuit.numQubits() + qpc * nc - 1) / (qpc * nc);
+    } else {
+        ctx.group = 1;
+    }
+    ctx.slots_per_controller = qpc * ctx.group;
+
+    // Lower the op stream (logical qubit ids; the Route pass rewrites
+    // them into physical slots) and validate condition well-formedness
+    // here, where a malformed circuit can still be reported per-op.
+    ctx.ops.reserve(ctx.circuit.size());
+    std::vector<bool> measured(ctx.circuit.numCbits(), false);
+    for (const CircuitOp &op : ctx.circuit.ops()) {
+        for (QubitId q : op.qubits) {
+            if (q >= ctx.circuit.numQubits()) {
+                return Status::error(
+                    "circuit '" + ctx.circuit.name() + "' references qubit " +
+                    std::to_string(q) + " but declares only " +
+                    std::to_string(ctx.circuit.numQubits()));
+            }
+        }
+        if (op.isMeasure())
+            measured.at(op.result) = true;
+        for (CbitId bit : op.condition) {
+            if (bit >= measured.size() || !measured[bit]) {
+                return Status::error(
+                    "circuit '" + ctx.circuit.name() +
+                    "' conditions on cbit " + std::to_string(bit) +
+                    " before any measurement writes it");
+            }
+        }
+        ctx.ops.push_back(op);
+    }
+    return Status::ok();
+}
+
+} // namespace dhisq::compiler::passes

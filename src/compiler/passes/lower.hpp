@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Lower pass: circuit -> compiler IR.
+ *
+ * Copies the circuit's op stream into the context, validates it against
+ * the machine (capacity, well-formed conditions) and derives the block
+ * geometry: the number of qubit blocks, and — when the circuit exceeds
+ * `controllers x qubits_per_controller` under RoutingMode::kSwap — the
+ * oversubscribed grouping factor that folds consecutive blocks onto one
+ * controller. With routing disabled an over-capacity circuit is a
+ * structured error naming the workload and the capacity (not an assert).
+ */
+#pragma once
+
+#include "compiler/passes/pass.hpp"
+
+namespace dhisq::compiler::passes {
+
+class LowerPass : public Pass
+{
+  public:
+    const char *name() const override { return "lower"; }
+    Status run(PassContext &ctx) override;
+};
+
+} // namespace dhisq::compiler::passes

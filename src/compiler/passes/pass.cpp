@@ -1,0 +1,42 @@
+#include "compiler/passes/pass.hpp"
+
+#include "compiler/passes/codegen.hpp"
+#include "compiler/passes/lower.hpp"
+#include "compiler/passes/place_pass.hpp"
+#include "compiler/passes/route.hpp"
+#include "compiler/passes/schedule.hpp"
+
+namespace dhisq::compiler::passes {
+
+std::vector<std::unique_ptr<Pass>>
+standardPipeline()
+{
+    std::vector<std::unique_ptr<Pass>> pipeline;
+    pipeline.push_back(std::make_unique<LowerPass>());
+    pipeline.push_back(std::make_unique<PlacePass>());
+    pipeline.push_back(std::make_unique<RoutePass>());
+    pipeline.push_back(std::make_unique<ScheduleEpochsPass>());
+    pipeline.push_back(std::make_unique<CodegenPass>());
+    return pipeline;
+}
+
+Status
+runPipeline(PassContext &ctx,
+            const std::vector<std::unique_ptr<Pass>> &pipeline)
+{
+    for (const auto &pass : pipeline) {
+        if (Status status = pass->run(ctx); !status) {
+            return Status::error(std::string(pass->name()) + ": " +
+                                 status.message());
+        }
+    }
+    return Status::ok();
+}
+
+Status
+runPipeline(PassContext &ctx)
+{
+    return runPipeline(ctx, standardPipeline());
+}
+
+} // namespace dhisq::compiler::passes

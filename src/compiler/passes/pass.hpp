@@ -1,0 +1,190 @@
+/**
+ * @file
+ * The compiler pass pipeline (Section 5, restructured).
+ *
+ * Compilation is an explicit sequence of named passes over one shared
+ * `PassContext`:
+ *
+ *   Lower          circuit -> compiler IR; capacity validation and the
+ *                  oversubscribed blocking factor (structured Status
+ *                  diagnostics instead of asserts).
+ *   Place          qubit-block -> controller assignment via the
+ *                  src/place strategies (path / greedy-affinity /
+ *                  kl-mincut over the circuit's interaction graph).
+ *   Route          SWAP-insertion qubit routing: rewrites the op stream
+ *                  from logical qubits into physical slots, inserting
+ *                  SWAP chains along cheapest latency paths wherever a
+ *                  two-qubit gate's operands sit on non-adjacent
+ *                  controllers with diverged timelines. A no-op (the
+ *                  identity slot map) when routing is disabled.
+ *   ScheduleEpochs the epoch/sync/feedback core: walks the routed op
+ *                  stream and records per-controller code streams,
+ *                  bindings, measurement routes and stats.
+ *   Codegen        per-controller ISA emission: replays each code
+ *                  stream through a ProgramBuilder and assembles the
+ *                  final CompiledProgram.
+ *
+ * Each pass is independently testable; `runPipeline` is what
+ * `Compiler::tryCompile` executes. With routing disabled and capacity
+ * sufficient the pipeline reproduces the pre-split monolith
+ * bit-identically (proven against the committed bench baselines).
+ */
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/status.hpp"
+#include "compiler/compiler.hpp"
+#include "compiler/ir.hpp"
+#include "compiler/passes/codestream.hpp"
+#include "net/topology.hpp"
+#include "place/placement.hpp"
+
+namespace dhisq::compiler::passes {
+
+/** One op of the routed stream: qubit operands are PHYSICAL SLOTS. */
+struct RoutedOp
+{
+    CircuitOp op;
+    /** True for SWAPs the routing pass inserted (not in the source). */
+    bool inserted = false;
+};
+
+/** Shared state threaded through the pass pipeline. */
+struct PassContext
+{
+    PassContext(const net::Topology &topology,
+                const CompilerConfig &compiler_config,
+                const Circuit &source)
+        : topo(topology), config(compiler_config), circuit(source)
+    {
+    }
+
+    const net::Topology &topo;
+    const CompilerConfig &config;
+    const Circuit &circuit;
+
+    // ---- Lower ------------------------------------------------------------
+    /** Lowered op stream (logical qubit ids). */
+    std::vector<CircuitOp> ops;
+    /** Qubit blocks of `config.qubits_per_controller` qubits. */
+    unsigned blocks = 0;
+    /** Blocks folded onto one controller (1 unless oversubscribed). */
+    unsigned group = 1;
+    /** Physical slots per controller: qubits_per_controller * group. */
+    unsigned slots_per_controller = 0;
+
+    // ---- Place ------------------------------------------------------------
+    /** Placement-slot -> controller permutation (+ inverse). */
+    place::PlacementPlan plan;
+
+    // ---- Route ------------------------------------------------------------
+    /** Op stream rewritten into physical-slot space (the single stream
+     *  every repetition replays — empty when `routed_reps` is used). */
+    std::vector<RoutedOp> routed;
+    /**
+     * Per-repetition routed streams. Non-empty only when SWAP routing
+     * is active across multiple repetitions: the live map evolves as
+     * SWAPs execute, so each repetition's slot rewrite differs — a
+     * repetition must see the positions the previous one left behind,
+     * or its gates would hit the wrong logical qubits.
+     */
+    std::vector<std::vector<RoutedOp>> routed_reps;
+    /** Final logical qubit -> physical slot map after routing. */
+    std::vector<QubitId> final_slot_of;
+
+    /** The routed stream repetition `rep` executes. Once routing
+     *  stabilizes (a repetition inserts no SWAPs, so the live map is a
+     *  fixed point), later repetitions reuse the last stream. */
+    const std::vector<RoutedOp> &
+    routedFor(unsigned rep) const
+    {
+        if (routed_reps.empty())
+            return routed;
+        return routed_reps[std::min<std::size_t>(
+            rep, routed_reps.size() - 1)];
+    }
+    /** (physical slot, logical qubit) per measurement, in program order. */
+    std::vector<std::pair<QubitId, QubitId>> meas_log;
+    /** 1 + highest physical slot any routed op touches. */
+    unsigned device_qubits = 0;
+
+    // ---- ScheduleEpochs ---------------------------------------------------
+    /** Per-controller recorded emission streams. */
+    std::vector<CodeStream> streams;
+    /** Controllers that execute code. */
+    std::vector<bool> used;
+    std::vector<Binding> bindings;
+    /** physical slot -> controller receiving its measurement results. */
+    std::vector<std::pair<QubitId, ControllerId>> meas_routes;
+    /** Shared counters (routing + scheduling write disjoint keys). */
+    StatSet stats;
+
+    // ---- Codegen ----------------------------------------------------------
+    CompiledProgram out;
+
+    // ---- Slot-space helpers -----------------------------------------------
+
+    /** Total physical slot space (controllers x slots_per_controller). */
+    unsigned
+    slotSpace() const
+    {
+        return topo.numControllers() * slots_per_controller;
+    }
+
+    /** Controller hosting a physical slot (static for the whole run). */
+    ControllerId
+    controllerOfSlot(QubitId slot) const
+    {
+        return plan.order[slot / slots_per_controller];
+    }
+
+    /** Board port a physical slot is wired to. */
+    PortId
+    portOfSlot(QubitId slot) const
+    {
+        return slot % slots_per_controller;
+    }
+
+    /**
+     * The [lo, hi) physical-slot range hosted by controller `c` — the
+     * one definition of "this controller's block" shared by every
+     * epoch-reset/rebase/ready scan (previously spelled three times as
+     * an inline clamp in the monolith).
+     */
+    std::pair<QubitId, QubitId>
+    blockRangeOf(ControllerId c) const
+    {
+        const QubitId lo =
+            QubitId(plan.slot_of[c]) * slots_per_controller;
+        return {lo, lo + slots_per_controller};
+    }
+};
+
+/** One named compilation pass. */
+class Pass
+{
+  public:
+    virtual ~Pass() = default;
+
+    /** Stable pass name ("lower", "place", "route", ...). */
+    virtual const char *name() const = 0;
+
+    /** Run over the shared context; an error Status aborts the pipeline. */
+    virtual Status run(PassContext &ctx) = 0;
+};
+
+/** The standard Lower -> Place -> Route -> ScheduleEpochs -> Codegen. */
+std::vector<std::unique_ptr<Pass>> standardPipeline();
+
+/** Run `pipeline` over `ctx`, stopping at the first error. */
+Status runPipeline(PassContext &ctx,
+                   const std::vector<std::unique_ptr<Pass>> &pipeline);
+
+/** Convenience: run the standard pipeline. */
+Status runPipeline(PassContext &ctx);
+
+} // namespace dhisq::compiler::passes

@@ -1,0 +1,21 @@
+#include "compiler/passes/place_pass.hpp"
+
+#include "compiler/interaction.hpp"
+
+namespace dhisq::compiler::passes {
+
+Status
+PlacePass::run(PassContext &ctx)
+{
+    // The interaction graph is built at super-block granularity: one
+    // node per controller-sized slot block, so the strategies place
+    // exactly what the slot map will host (with group == 1 this is the
+    // plain qubits_per_controller blocking, bit-compatible).
+    const place::InteractionGraph graph =
+        interactionGraphOf(ctx.circuit, ctx.slots_per_controller);
+    ctx.plan =
+        place::makePlacement(ctx.topo, graph, ctx.config.placement);
+    return Status::ok();
+}
+
+} // namespace dhisq::compiler::passes

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Place pass: qubit-block -> controller assignment.
+ *
+ * Builds the circuit's interaction graph at the effective blocking
+ * factor (qubits_per_controller, widened by the oversubscribed group
+ * when the Lower pass engaged it) and delegates to the `src/place`
+ * strategies. The resulting PlacementPlan defines the physical slot
+ * space every later pass works in.
+ */
+#pragma once
+
+#include "compiler/passes/pass.hpp"
+
+namespace dhisq::compiler::passes {
+
+class PlacePass : public Pass
+{
+  public:
+    const char *name() const override { return "place"; }
+    Status run(PassContext &ctx) override;
+};
+
+} // namespace dhisq::compiler::passes

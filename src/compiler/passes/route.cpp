@@ -1,0 +1,287 @@
+#include "compiler/passes/route.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/logging.hpp"
+
+namespace dhisq::compiler::passes {
+
+namespace {
+
+/** Chain cost of walking `path` up to (not into) its last node. */
+double
+chainCost(const place::CostModel &cost,
+          const std::vector<ControllerId> &path)
+{
+    double total = 0.0;
+    for (std::size_t i = 0; i + 2 < path.size(); ++i)
+        total += cost.syncCost(path[i], path[i + 1]);
+    return total;
+}
+
+} // namespace
+
+Status
+RoutePass::run(PassContext &ctx)
+{
+    const unsigned num_qubits = ctx.circuit.numQubits();
+    ctx.routed.clear();
+    ctx.routed.reserve(ctx.ops.size());
+    ctx.meas_log.clear();
+
+    if (ctx.config.routing == RoutingMode::kNone) {
+        // Identity rewrite: logical qubit q is physical slot q.
+        for (const CircuitOp &op : ctx.ops) {
+            if (op.isMeasure())
+                ctx.meas_log.emplace_back(op.qubits[0], op.qubits[0]);
+            ctx.routed.push_back(RoutedOp{op, false});
+        }
+        // The scheduler replays the same stream once per repetition;
+        // the measurement log covers every repetition's commits so
+        // occurrence-based decoding works identically to the routed
+        // modes.
+        const std::size_t per_rep = ctx.meas_log.size();
+        for (unsigned rep = 1; rep < ctx.config.repetitions; ++rep) {
+            for (std::size_t i = 0; i < per_rep; ++i)
+                ctx.meas_log.push_back(ctx.meas_log[i]);
+        }
+        ctx.final_slot_of.resize(num_qubits);
+        for (QubitId q = 0; q < num_qubits; ++q)
+            ctx.final_slot_of[q] = q;
+        ctx.device_qubits = num_qubits;
+        return Status::ok();
+    }
+
+    place::LiveMap live(num_qubits, ctx.slotSpace());
+    const place::CostModel cost(ctx.topo);
+    const unsigned nc = ctx.topo.numControllers();
+
+    // Replay of the scheduler's epoch tracking, including its
+    // repetition barriers: routing decisions must mirror exactly the
+    // epoch state the scheduler will see when it walks these streams.
+    std::vector<std::uint64_t> epoch(nc, 0);
+    std::uint64_t next_epoch = 1;
+    const bool lockstep = ctx.config.scheme == SyncScheme::kLockStep;
+    // Mirror of the scheduler's touch() set: which controllers any
+    // emitted op (or barrier region sync) has involved so far.
+    std::vector<bool> used(nc, false);
+
+    QubitId max_slot = num_qubits > 0 ? num_qubits - 1 : 0;
+    std::vector<RoutedOp> *out = &ctx.routed;
+    auto emit = [&](CircuitOp op, bool inserted) {
+        for (QubitId slot : op.qubits) {
+            max_slot = std::max(max_slot, slot);
+            used[ctx.controllerOfSlot(slot)] = true;
+        }
+        out->push_back(RoutedOp{std::move(op), inserted});
+    };
+
+    /** Epoch effect of the scheduler's repetition barrier: a region
+     *  sync over the smallest router subtree covering every used
+     *  controller merges all its members into one fresh epoch (the
+     *  lock-step baseline's barrier is implicit — no epoch change). */
+    auto barrier = [&]() {
+        if (lockstep)
+            return;
+        ControllerId first = kNoController;
+        for (ControllerId c = 0; c < nc; ++c) {
+            if (used[c]) {
+                first = c;
+                break;
+            }
+        }
+        DHISQ_ASSERT(first != kNoController,
+                     "repetition barrier with no used controllers");
+        RouterId region = ctx.topo.parentRouter(first);
+        auto covers = [&](RouterId r) {
+            for (ControllerId c = 0; c < nc; ++c) {
+                if (used[c] && !ctx.topo.inSubtree(c, r))
+                    return false;
+            }
+            return true;
+        };
+        while (!covers(region))
+            region = ctx.topo.router(region).parent;
+        const std::uint64_t merged = next_epoch++;
+        for (ControllerId c : ctx.topo.controllersUnder(region)) {
+            epoch[c] = merged;
+            used[c] = true;
+        }
+    };
+
+    /** Epoch effect of an emitted cross-controller two-qubit gate: the
+     *  scheduler books a sync at divergence, merging the pair. */
+    auto mergeEpochs = [&](ControllerId a, ControllerId b) {
+        if (a != b && epoch[a] != epoch[b])
+            epoch[a] = epoch[b] = next_epoch++;
+    };
+
+    /** Victim slot on `c`: empty capacity first, else the lowest slot
+     *  not holding either gate operand. kNoQubit when none exists. */
+    auto pickVictim = [&](ControllerId c, QubitId exclude_a,
+                          QubitId exclude_b) -> QubitId {
+        const auto [lo, hi] = ctx.blockRangeOf(c);
+        for (QubitId s = lo; s < hi; ++s) {
+            if (s != exclude_a && s != exclude_b &&
+                live.logicalAt(s) == kNoQubit) {
+                return s;
+            }
+        }
+        for (QubitId s = lo; s < hi; ++s) {
+            if (s != exclude_a && s != exclude_b)
+                return s;
+        }
+        return kNoQubit;
+    };
+
+    /**
+     * SWAP-walk the qubit on `slot` along `path` (the cheapest latency
+     * walk from its controller toward the partner's), stopping when
+     * adjacent to the far end (or, with `colocate`, on it). A shortest
+     * path's suffix is itself shortest, so walking the precomputed path
+     * equals re-running Dijkstra per hop. Returns the final slot, or
+     * kNoQubit when no victim slot exists (single-slot controllers).
+     */
+    auto swapToward = [&](QubitId slot,
+                          const std::vector<ControllerId> &path,
+                          QubitId partner_slot,
+                          bool colocate) -> QubitId {
+        DHISQ_ASSERT(path.size() >= 2, "path too short");
+        const ControllerId dst = path.back();
+        for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+            const ControllerId cur = path[i];
+            DHISQ_ASSERT(ctx.controllerOfSlot(slot) == cur,
+                         "swap walk left its path");
+            if (!colocate && ctx.topo.areNeighbors(cur, dst))
+                break;
+            const ControllerId next = path[i + 1];
+            const QubitId victim = pickVictim(next, partner_slot, slot);
+            if (victim == kNoQubit)
+                return kNoQubit;
+            CircuitOp swap;
+            swap.gate = q::Gate::kSwap;
+            swap.qubits = {slot, victim};
+            emit(std::move(swap), /*inserted=*/true);
+            mergeEpochs(cur, next);
+            live.swapSlots(slot, victim);
+            ctx.stats.inc("swaps_inserted");
+            ctx.stats.sample("routing_swap_cost",
+                             cost.syncCost(cur, next));
+            slot = victim;
+        }
+        return slot;
+    };
+
+    const unsigned reps = ctx.config.repetitions > 0
+                              ? ctx.config.repetitions
+                              : 1;
+    const bool multi = reps > 1;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+      if (rep > 0)
+          barrier();
+      if (multi)
+          ctx.routed_reps.emplace_back();
+      out = multi ? &ctx.routed_reps.back() : &ctx.routed;
+      const std::uint64_t swaps_before =
+          ctx.stats.counter("swaps_inserted");
+      const std::size_t log_before = ctx.meas_log.size();
+      for (const CircuitOp &source : ctx.ops) {
+        CircuitOp op = source;
+        for (QubitId &q : op.qubits)
+            q = live.slotOf(q);
+
+        if (op.isConditional()) {
+            if (op.qubits.size() == 2 &&
+                ctx.controllerOfSlot(op.qubits[0]) !=
+                    ctx.controllerOfSlot(op.qubits[1])) {
+                // The scheduler requires both halves of a conditional
+                // two-qubit gate on one controller: co-locate.
+                const QubitId moved = swapToward(
+                    op.qubits[1],
+                    ctx.topo.cheapestPath(
+                        ctx.controllerOfSlot(op.qubits[1]),
+                        ctx.controllerOfSlot(op.qubits[0])),
+                    op.qubits[0], /*colocate=*/true);
+                if (moved == kNoQubit) {
+                    return Status::error(
+                        "circuit '" + ctx.circuit.name() +
+                        "' cannot co-locate a conditional two-qubit "
+                        "gate: controllers host only one slot each "
+                        "(need qubits_per_controller >= 2 for routed "
+                        "conditional 2q gates)");
+                }
+                op.qubits[1] = moved;
+                ctx.stats.inc("routed_gates");
+            }
+            const ControllerId consumer =
+                ctx.controllerOfSlot(op.qubits[0]);
+            emit(std::move(op), false);
+            // Branches make the consumer's timeline private (dynamic
+            // schemes only; lock-step keeps one static timeline).
+            if (!lockstep)
+                epoch[consumer] = next_epoch++;
+        } else if (op.isMeasure()) {
+            ctx.meas_log.emplace_back(op.qubits[0], source.qubits[0]);
+            emit(std::move(op), false);
+        } else if (op.isTwoQubit()) {
+            const ControllerId a = ctx.controllerOfSlot(op.qubits[0]);
+            const ControllerId b = ctx.controllerOfSlot(op.qubits[1]);
+            if (a != b && epoch[a] != epoch[b] &&
+                !ctx.topo.areNeighbors(a, b)) {
+                // Not adjacent-or-cheap: route the cheaper operand (by
+                // the cost model the placement optimized) until the
+                // pair shares a link.
+                const auto path_ab = ctx.topo.cheapestPath(a, b);
+                const auto path_ba = ctx.topo.cheapestPath(b, a);
+                QubitId moved;
+                if (chainCost(cost, path_ab) <=
+                    chainCost(cost, path_ba)) {
+                    moved = swapToward(op.qubits[0], path_ab,
+                                       op.qubits[1], false);
+                    if (moved != kNoQubit)
+                        op.qubits[0] = moved;
+                } else {
+                    moved = swapToward(op.qubits[1], path_ba,
+                                       op.qubits[0], false);
+                    if (moved != kNoQubit)
+                        op.qubits[1] = moved;
+                }
+                if (moved == kNoQubit) {
+                    return Status::error(
+                        "circuit '" + ctx.circuit.name() +
+                        "' cannot route a two-qubit gate: no victim "
+                        "slot available along the SWAP chain");
+                }
+                ctx.stats.inc("routed_gates");
+            }
+            const ControllerId fa = ctx.controllerOfSlot(op.qubits[0]);
+            const ControllerId fb = ctx.controllerOfSlot(op.qubits[1]);
+            emit(std::move(op), false);
+            mergeEpochs(fa, fb);
+        } else {
+            emit(std::move(op), false);
+        }
+      }
+
+      // Fixed point: a post-barrier repetition that inserted no SWAPs
+      // left the live map unchanged, so every later repetition would
+      // route to the identical stream — reuse this one (routedFor
+      // clamps) and just extend the measurement log to cover them.
+      if (rep > 0 && rep + 1 < reps &&
+          ctx.stats.counter("swaps_inserted") == swaps_before) {
+          const std::size_t log_per_rep = ctx.meas_log.size() - log_before;
+          for (unsigned later = rep + 1; later < reps; ++later) {
+              for (std::size_t i = 0; i < log_per_rep; ++i)
+                  ctx.meas_log.push_back(ctx.meas_log[log_before + i]);
+          }
+          break;
+      }
+    }
+
+    ctx.final_slot_of = live.slots();
+    ctx.device_qubits = max_slot + 1;
+    return Status::ok();
+}
+
+} // namespace dhisq::compiler::passes

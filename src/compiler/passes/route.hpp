@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Route pass: SWAP-insertion qubit routing.
+ *
+ * Rewrites the lowered op stream from logical qubits into physical
+ * slots against the live `place::LiveMap`. With RoutingMode::kNone the
+ * rewrite is the identity (logical qubit q IS slot q) — bit-compatible
+ * with the pre-pipeline compiler. With RoutingMode::kSwap the pass
+ * replays the scheduler's epoch semantics over the stream and, whenever
+ * a two-qubit gate's operands sit on controllers the placement could
+ * not make adjacent-or-cheap — non-adjacent controllers whose timelines
+ * have diverged (a same-epoch pair co-schedules for free on any shape,
+ * and an adjacent pair pays only a nearby sync) — moves one operand
+ * along the `Topology::cheapestPath` SWAP chain until the pair is
+ * adjacent. Conditional two-qubit gates are co-located outright (the
+ * scheduler requires both operands on one controller). Inserted SWAPs
+ * are priced through the `place::CostModel` the placement strategies
+ * optimize (`routing_swap_cost`), so a better placement directly buys
+ * cheaper routing.
+ *
+ * Victim slots prefer empty capacity (oversubscribed/unused slots) over
+ * displacing live qubits. The live map is updated per SWAP, so every
+ * later pass sees routed positions; the final map and a per-measurement
+ * (slot, logical) log are published for result decoding.
+ */
+#pragma once
+
+#include "compiler/passes/pass.hpp"
+
+namespace dhisq::compiler::passes {
+
+class RoutePass : public Pass
+{
+  public:
+    const char *name() const override { return "route"; }
+    Status run(PassContext &ctx) override;
+};
+
+} // namespace dhisq::compiler::passes

@@ -1,0 +1,941 @@
+#include "compiler/passes/schedule.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "common/logging.hpp"
+#include "core/msgu.hpp"
+#include "isa/encoding.hpp"
+
+namespace dhisq::compiler::passes {
+
+namespace {
+
+/** Scratch register conventions used by generated code. */
+constexpr unsigned kRegResult = 5; ///< freshly received payload
+constexpr unsigned kRegParity = 6; ///< parity accumulator
+
+/** Chronological rank of a measurement inside its controller's stream. */
+struct MeasRank
+{
+    std::uint32_t flush_no = 0;
+    Cycle ready = 0;
+    PortId port = 0;
+
+    bool
+    operator<(const MeasRank &other) const
+    {
+        return std::tie(flush_no, ready, port) <
+               std::tie(other.flush_no, other.ready, other.port);
+    }
+};
+
+/** Static per-cbit information collected during the walk. */
+struct CbitInfo
+{
+    QubitId qubit = kNoQubit;
+    ControllerId measurer = kNoController;
+    MeasRank rank;
+    /** Static availability time for the lock-step schedule. */
+    Cycle avail = 0;
+    bool measured = false;
+};
+
+/**
+ * The scheduling engine. Op qubit operands are PHYSICAL SLOTS (the
+ * Route pass rewrote them); a slot's controller and port are static
+ * for the whole program, so the walk needs no liveness tracking.
+ */
+class Scheduler
+{
+  public:
+    explicit Scheduler(PassContext &ctx) : _ctx(ctx), _topo(ctx.topo)
+    {
+        const unsigned nc = _topo.numControllers();
+        _ctx.streams.assign(nc, CodeStream());
+        _ctx.used.assign(nc, false);
+        _ctrls.resize(nc);
+        for (ControllerId c = 0; c < nc; ++c)
+            _ctrls[c].sched_floor = _ctx.config.pipeline_slack;
+        _qready.assign(_ctx.slotSpace(), 0);
+        _cbits.resize(_ctx.circuit.numCbits());
+        _users.resize(_ctx.circuit.numCbits());
+        _uses_left.assign(_ctx.circuit.numCbits(), 0);
+        computeUsers(_ctx.routedFor(0));
+    }
+
+    void
+    run()
+    {
+        for (unsigned rep = 0; rep < _ctx.config.repetitions; ++rep) {
+            if (rep > 0) {
+                repetitionBarrier();
+                // Per-repetition routed streams can shift a conditional
+                // consumer's controller (its target qubit moved), so the
+                // consumer sets must match the stream about to execute.
+                computeUsers(_ctx.routedFor(rep));
+            }
+            for (const RoutedOp &r : _ctx.routedFor(rep))
+                handleOp(r);
+        }
+
+        // Final flush + halt on every participating controller.
+        for (ControllerId c = 0; c < _ctrls.size(); ++c) {
+            if (!_ctx.used[c])
+                continue;
+            flushEpoch(c);
+            stream(c).halt();
+        }
+
+        _ctx.bindings = std::move(_bindings);
+        _ctx.meas_routes = std::move(_meas_routes);
+    }
+
+  private:
+    // ---- Mapping ----------------------------------------------------------
+
+    ControllerId
+    ctrlOf(QubitId slot) const
+    {
+        return _ctx.controllerOfSlot(slot);
+    }
+
+    /** Pre-pass over one repetition's stream: which controllers consume
+     *  each classical bit, and how many conditional uses remain (for
+     *  storage recycling)? */
+    void
+    computeUsers(const std::vector<RoutedOp> &stream)
+    {
+        for (auto &users : _users)
+            users.clear();
+        std::fill(_uses_left.begin(), _uses_left.end(), 0);
+        for (const RoutedOp &r : stream) {
+            if (!r.op.isConditional())
+                continue;
+            for (CbitId b : r.op.condition) {
+                _users.at(b).insert(ctrlOf(r.op.qubits[0]));
+                ++_uses_left.at(b);
+            }
+        }
+        _uses_total = _uses_left;
+    }
+
+    PortId
+    portOf(QubitId slot) const
+    {
+        return _ctx.portOfSlot(slot);
+    }
+
+    CodeStream &
+    stream(ControllerId c)
+    {
+        return _ctx.streams[c];
+    }
+
+    /**
+     * One-way central-hub latency the lock-step baseline broadcasts
+     * through — owned by the topology (single source of truth), so the
+     * static schedule and the fabric can never disagree.
+     */
+    Cycle
+    hubLatency() const
+    {
+        return _topo.config().hub_latency;
+    }
+
+    Cycle
+    durationOf(const CircuitOp &op) const
+    {
+        if (op.isMeasure() || op.gate == q::Gate::kPrepZ)
+            return _ctx.config.measure;
+        if (op.isTwoQubit())
+            return _ctx.config.gate2q;
+        return _ctx.config.gate1q;
+    }
+
+    // ---- Per-controller state ---------------------------------------------
+
+    struct TimedCw
+    {
+        Cycle start;
+        PortId port;
+        Codeword cw;
+    };
+
+    struct MeasTail
+    {
+        Cycle ready;
+        PortId port;
+        QubitId qubit;
+        CbitId cbit;
+    };
+
+    struct Ctrl
+    {
+        std::uint64_t epoch = 0;
+        Cycle cursor = 0; ///< emitted-cursor position inside the epoch
+        Cycle sched_floor = 0; ///< pipeline-slack floor for event starts
+        Cycle pipe_pos = 0; ///< lock-step pipeline-position estimate
+        std::uint32_t flush_no = 0;
+        Cycle last_meas_start = 0;
+        std::vector<TimedCw> pending;
+        std::vector<MeasTail> tails;
+        std::map<CbitId, std::int32_t> cbit_addr;
+        std::int32_t next_addr = 0;
+        std::vector<std::int32_t> free_addrs;
+        std::set<CbitId> have;
+        /** (port, kind, gate, q0, q1, fixed-point angle) -> codeword. */
+        using ActionKey = std::tuple<PortId, std::uint8_t, std::uint8_t,
+                                     QubitId, QubitId, std::int64_t>;
+        std::map<ActionKey, Codeword> cw_alloc;
+        std::map<PortId, Codeword> next_cw;
+    };
+
+    Ctrl &
+    touch(ControllerId c)
+    {
+        DHISQ_ASSERT(c < _ctrls.size(), "controller out of range");
+        _ctx.used[c] = true;
+        return _ctrls[c];
+    }
+
+    /** Earliest schedulable time-point on a controller. */
+    Cycle
+    floorOf(const Ctrl &ctrl) const
+    {
+        return std::max(ctrl.cursor, ctrl.sched_floor);
+    }
+
+    /**
+     * Lock-step shared-flow floor: an op naturally starting after a
+     * broadcast's source measurement cannot begin until that broadcast
+     * lands (Section 2.1.2). Ops concurrent with the measurement (the
+     * same syndrome round) are unaffected.
+     */
+    Cycle
+    lockstepFlow(Cycle natural) const
+    {
+        if (_ctx.config.scheme != SyncScheme::kLockStep)
+            return natural;
+        if (natural > _flow_src_start)
+            return std::max(natural, _lockstep_flow_floor);
+        return natural;
+    }
+
+    /** Allocate (or reuse) a codeword on (c, port) bound to `action`. */
+    Codeword
+    bindingFor(ControllerId c, PortId port, const q::Action &action)
+    {
+        // Key the action by its semantic identity (angle in fixed point —
+        // 2^-20 radians is far below any calibration resolution).
+        const Ctrl::ActionKey key{
+            port, std::uint8_t(action.kind), std::uint8_t(action.gate),
+            action.q0, action.q1,
+            std::int64_t(action.angle * double(1 << 20))};
+        auto &ctrl = _ctrls[c];
+        auto it = ctrl.cw_alloc.find(key);
+        if (it != ctrl.cw_alloc.end())
+            return it->second;
+        Codeword &next = ctrl.next_cw[port];
+        if (next == 0)
+            next = 1; // 0 is reserved for marker/no-op codewords
+        DHISQ_ASSERT(next <= Codeword(isa::kMaxCwImmediate),
+                     "codeword space exhausted on C", c, " port ", port);
+        const Codeword cw = next++;
+        ctrl.cw_alloc[key] = cw;
+        _bindings.push_back(Binding{c, port, cw, action});
+        return cw;
+    }
+
+    std::int32_t
+    cbitAddr(ControllerId c, CbitId b)
+    {
+        auto &ctrl = _ctrls[c];
+        auto it = ctrl.cbit_addr.find(b);
+        if (it != ctrl.cbit_addr.end())
+            return it->second;
+        std::int32_t addr;
+        if (!ctrl.free_addrs.empty()) {
+            addr = ctrl.free_addrs.back();
+            ctrl.free_addrs.pop_back();
+        } else {
+            addr = ctrl.next_addr;
+            ctrl.next_addr += 4;
+            DHISQ_ASSERT(addr <= isa::kMaxSImmediate,
+                         "per-controller classical-bit storage exhausted"
+                         " on C", c,
+                         " (too many simultaneously-live condition bits)");
+        }
+        ctrl.cbit_addr[b] = addr;
+        return addr;
+    }
+
+    /** Release a bit's storage once its last conditional consumed it. */
+    void
+    releaseCbit(ControllerId c, CbitId b)
+    {
+        auto &ctrl = _ctrls[c];
+        auto it = ctrl.cbit_addr.find(b);
+        if (it == ctrl.cbit_addr.end())
+            return;
+        ctrl.free_addrs.push_back(it->second);
+        ctrl.cbit_addr.erase(it);
+        ctrl.have.erase(b);
+    }
+
+    // ---- Emission ----------------------------------------------------------
+
+    /**
+     * Emit the epoch's buffered timed events (sorted) and measurement
+     * tails; returns the final cursor. Does NOT change the epoch.
+     */
+    Cycle
+    flushEpoch(ControllerId c)
+    {
+        Ctrl &ctrl = _ctrls[c];
+        auto &b = stream(c);
+
+        std::sort(ctrl.pending.begin(), ctrl.pending.end(),
+                  [](const TimedCw &x, const TimedCw &y) {
+                      return std::tie(x.start, x.port) <
+                             std::tie(y.start, y.port);
+                  });
+        for (const auto &ev : ctrl.pending) {
+            DHISQ_ASSERT(ev.start >= ctrl.cursor,
+                         "scheduled event before the emitted cursor");
+            if (ev.start > ctrl.cursor) {
+                b.waiti(ev.start - ctrl.cursor);
+                ctrl.cursor = ev.start;
+            }
+            b.cwii(ev.port, ev.cw);
+        }
+        ctrl.pending.clear();
+
+        if (!ctrl.tails.empty()) {
+            std::sort(ctrl.tails.begin(), ctrl.tails.end(),
+                      [](const MeasTail &x, const MeasTail &y) {
+                          return std::tie(x.ready, x.port) <
+                                 std::tie(y.ready, y.port);
+                      });
+            Cycle max_ready = 0;
+            std::size_t tail_len = 0;
+            for (const auto &tail : ctrl.tails) {
+                // Always consume the device result to keep the FIFO aligned.
+                b.recv(kRegResult, core::kMeasResultSource);
+                b.andi(kRegResult, kRegResult, 1);
+                tail_len += 2;
+                const bool local_use = _users[tail.cbit].count(c) != 0;
+                if (local_use) {
+                    b.sw(kRegResult, 0, cbitAddr(c, tail.cbit));
+                    ctrl.have.insert(tail.cbit);
+                    ++tail_len;
+                }
+                if (_ctx.config.scheme == SyncScheme::kLockStep) {
+                    // The IBM baseline broadcasts every outcome through
+                    // the central hub. The fabric's star mode already
+                    // charges the constant 2x hub latency on every
+                    // message, so we deliver point-to-point to consumers
+                    // (flooding every idle inbox would only burn simulator
+                    // memory, not model time).
+                    _ctx.stats.inc("broadcasts");
+                    for (ControllerId user : _users[tail.cbit]) {
+                        if (user == c)
+                            continue;
+                        b.send(user, kRegResult);
+                        ++tail_len;
+                    }
+                } else {
+                    for (ControllerId user : _users[tail.cbit]) {
+                        if (user == c)
+                            continue;
+                        b.send(user, kRegResult);
+                        ++tail_len;
+                        _ctx.stats.inc("feedback_sends");
+                    }
+                }
+                max_ready = std::max(max_ready, tail.ready);
+            }
+            ctrl.tails.clear();
+            // Later timing points must clear the pipeline tail: pad the
+            // cursor past the last result plus the tail's pipeline time.
+            const Cycle floor =
+                max_ready + Cycle(tail_len) * 1 + 6;
+            if (floor > ctrl.cursor) {
+                b.waiti(floor - ctrl.cursor);
+                ctrl.cursor = floor;
+            }
+        }
+        ++ctrl.flush_no;
+        return ctrl.cursor;
+    }
+
+    /** Start a fresh private epoch on `c` anchored at the current stream
+     *  point; all local slot ready times reset to the origin. */
+    void
+    resetEpoch(ControllerId c, std::uint64_t epoch)
+    {
+        Ctrl &ctrl = _ctrls[c];
+        ctrl.epoch = epoch;
+        ctrl.cursor = 0;
+        ctrl.sched_floor = _ctx.config.pipeline_slack;
+        ctrl.last_meas_start = 0;
+        const auto [lo, hi] = _ctx.blockRangeOf(c);
+        for (QubitId s = lo; s < hi; ++s)
+            _qready[s] = 0;
+    }
+
+    /** Rebase `c`'s slots onto a new epoch whose origin sits at
+     *  old-epoch offset `origin` (uniform-shift transitions: sync/wtrig). */
+    void
+    rebaseEpoch(ControllerId c, std::uint64_t epoch, Cycle origin)
+    {
+        Ctrl &ctrl = _ctrls[c];
+        ctrl.epoch = epoch;
+        ctrl.cursor = 0;
+        ctrl.sched_floor = _ctx.config.pipeline_slack;
+        ctrl.last_meas_start = 0;
+        const auto [lo, hi] = _ctx.blockRangeOf(c);
+        for (QubitId s = lo; s < hi; ++s)
+            _qready[s] = (_qready[s] > origin) ? _qready[s] - origin : 0;
+    }
+
+    /** Largest ready time across `c`'s local slots. */
+    Cycle
+    maxLocalReady(ControllerId c) const
+    {
+        const auto [lo, hi] = _ctx.blockRangeOf(c);
+        Cycle m = 0;
+        for (QubitId s = lo; s < hi; ++s)
+            m = std::max(m, _qready[s]);
+        return m;
+    }
+
+    // ---- Op handlers --------------------------------------------------------
+
+    void
+    handleOp(const RoutedOp &routed)
+    {
+        const CircuitOp &op = routed.op;
+        if (op.isConditional()) {
+            handleConditional(op);
+        } else if (op.isMeasure()) {
+            handleMeasure(op);
+        } else if (op.gate == q::Gate::kI) {
+            // Pure delay: advances the qubit timeline only.
+            const QubitId q = op.qubits[0];
+            const Ctrl &ctrl = touch(ctrlOf(q));
+            const Cycle d = nsToCycles(op.angle);
+            _qready[q] = std::max(_qready[q], floorOf(ctrl)) + d;
+        } else if (op.isTwoQubit()) {
+            handleTwoQubit(op, routed.inserted);
+        } else {
+            handleOneQubit(op);
+        }
+    }
+
+    void
+    handleOneQubit(const CircuitOp &op)
+    {
+        const QubitId q = op.qubits[0];
+        const ControllerId c = ctrlOf(q);
+        Ctrl &ctrl = touch(c);
+        const Cycle t =
+            lockstepFlow(std::max(_qready[q], floorOf(ctrl)));
+        const q::Action action = (op.gate == q::Gate::kPrepZ)
+                                     ? q::Action::prep(q)
+                                     : q::Action::gate1q(op.gate, q,
+                                                         op.angle);
+        const Codeword cw = bindingFor(c, portOf(q), action);
+        ctrl.pending.push_back(TimedCw{t, portOf(q), cw});
+        _qready[q] = t + durationOf(op);
+        _ctx.stats.inc("gates_1q");
+    }
+
+    void
+    handleMeasure(const CircuitOp &op)
+    {
+        const QubitId q = op.qubits[0];
+        const ControllerId c = ctrlOf(q);
+        Ctrl &ctrl = touch(c);
+        // Monotone per-controller measurement starts keep the device-result
+        // FIFO, the tail emission order and consumer recv order consistent.
+        const Cycle t = lockstepFlow(std::max(
+            {_qready[q], floorOf(ctrl), ctrl.last_meas_start}));
+        ctrl.last_meas_start = t;
+        const Codeword cw =
+            bindingFor(c, portOf(q), q::Action::measure(q));
+        ctrl.pending.push_back(TimedCw{t, portOf(q), cw});
+        const Cycle ready = t + _ctx.config.measure;
+        _qready[q] = ready;
+        ctrl.tails.push_back(MeasTail{ready, portOf(q), q, op.result});
+
+        auto &info = _cbits.at(op.result);
+        info.qubit = q;
+        info.measurer = c;
+        info.rank = MeasRank{ctrl.flush_no, ready, portOf(q)};
+        info.measured = true;
+        // The static estimate pads the sender's tail processing with
+        // 2x the decode margin; deeper sender-side debt shows up as the
+        // baseline's issue-rate slips (the Section 1.1 critique).
+        info.avail =
+            ready + 2 * hubLatency() + 2 * _ctx.config.feedback_margin;
+        _ctx.stats.inc("measurements");
+        if (_ctx.config.scheme == SyncScheme::kLockStep) {
+            // Shared program flow: everything after this measurement in
+            // flow order waits for its hub broadcast (Section 2.1.2).
+            const Cycle floor = ready + 2 * hubLatency() + 4;
+            if (floor > _lockstep_flow_floor) {
+                _lockstep_flow_floor = floor;
+                _flow_src_start = t;
+            }
+        }
+        // A locally-consumed bit will be stored by this controller's own
+        // tail, which is always emitted before any later conditional.
+        if (_users[op.result].count(c))
+            ctrl.have.insert(op.result);
+
+        if (!_routed_result[q]) {
+            _meas_routes.emplace_back(q, c);
+            _routed_result[q] = true;
+        }
+    }
+
+    void
+    handleTwoQubit(const CircuitOp &op, bool inserted)
+    {
+        const QubitId q0 = op.qubits[0];
+        const QubitId q1 = op.qubits[1];
+        const ControllerId a = ctrlOf(q0);
+        const ControllerId b = ctrlOf(q1);
+        if (!inserted)
+            _ctx.stats.inc("gates_2q");
+
+        if (a == b) {
+            Ctrl &ctrl = touch(a);
+            const Cycle t = lockstepFlow(
+                std::max({_qready[q0], _qready[q1], floorOf(ctrl)}));
+            const Codeword cw = bindingFor(
+                a, portOf(q0),
+                q::Action::gate2qWhole(op.gate, q0, q1, op.angle));
+            ctrl.pending.push_back(TimedCw{t, portOf(q0), cw});
+            _qready[q0] = _qready[q1] = t + durationOf(op);
+            return;
+        }
+
+        Ctrl &ca = touch(a);
+        Ctrl &cb = touch(b);
+
+        bool subtree_synced = false;
+        if (ca.epoch != cb.epoch && !_topo.areNeighbors(a, b)) {
+            // No direct link to bounce BISP's 1-bit signal over: merge the
+            // diverged timelines with a region synchronization on the
+            // smallest router subtree covering both controllers. Costlier
+            // than a nearby sync (everyone under the subtree stalls), which
+            // is exactly the penalty the topology ablation measures for
+            // shapes that lack the edge. (With SWAP routing enabled the
+            // Route pass guarantees adjacency here, so this fallback only
+            // fires in the unrouted modes.)
+            regionSyncOver({a, b});
+            _ctx.stats.inc("subtree_syncs");
+            subtree_synced = true;
+        }
+
+        if (ca.epoch == cb.epoch) {
+            // Deterministic relative timing: co-schedule without a sync.
+            // Inside a common epoch this needs no link at all — both
+            // timelines are wall-aligned by construction whatever the
+            // graph (the device's coincidence checker enforces it), so
+            // the interconnect is only charged at epoch divergence.
+            if (!subtree_synced && !_topo.areNeighbors(a, b))
+                _ctx.stats.inc("nonadjacent_coscheduled");
+            const Cycle t = lockstepFlow(std::max(
+                {_qready[q0], _qready[q1], floorOf(ca), floorOf(cb)}));
+            pushHalves(op, a, b, q0, q1, t);
+            _qready[q0] = _qready[q1] = t + durationOf(op);
+            return;
+        }
+
+        // Epochs diverged (feedback happened): re-synchronize. The sync
+        // bookings must clear each pipeline's slack floor.
+        const Cycle n = _topo.neighborLatency(a, b);
+        Cycle fa = flushEpoch(a);
+        Cycle fb = flushEpoch(b);
+        if (floorOf(ca) > fa) {
+            stream(a).waiti(floorOf(ca) - fa);
+            fa = floorOf(ca);
+            ca.cursor = fa;
+        }
+        if (floorOf(cb) > fb) {
+            stream(b).waiti(floorOf(cb) - fb);
+            fb = floorOf(cb);
+            cb.cursor = fb;
+        }
+        const Cycle rem_a = (_qready[q0] > fa) ? _qready[q0] - fa : 0;
+        const Cycle rem_b = (_qready[q1] > fb) ? _qready[q1] - fb : 0;
+
+        Cycle residual;
+        if (_ctx.config.scheme == SyncScheme::kDemand) {
+            // Demand-driven: walk the cursor up to the gate-ready point
+            // first, then sync — pays the full bounce N every time.
+            if (rem_a > 0) {
+                stream(a).waiti(rem_a);
+                fa += rem_a;
+                ca.cursor = fa;
+            }
+            if (rem_b > 0) {
+                stream(b).waiti(rem_b);
+                fb += rem_b;
+                cb.cursor = fb;
+            }
+            residual = n;
+        } else {
+            // BISP: book now, mask the latency behind the remaining
+            // deterministic work (Insight #1).
+            residual = std::max({n, rem_a, rem_b});
+            if (residual > Cycle(isa::kMaxSyncResidual)) {
+                const Cycle pre = residual - Cycle(isa::kMaxSyncResidual);
+                stream(a).waiti(pre);
+                stream(b).waiti(pre);
+                fa += pre;
+                fb += pre;
+                residual = Cycle(isa::kMaxSyncResidual);
+            }
+        }
+
+        stream(a).syncController(b);
+        stream(b).syncController(a);
+        stream(a).waiti(residual);
+        stream(b).waiti(residual);
+        _ctx.stats.inc("syncs_inserted", 2);
+
+        const std::uint64_t epoch = _next_epoch++;
+        rebaseEpoch(a, epoch, fa + residual);
+        rebaseEpoch(b, epoch, fb + residual);
+
+        const Cycle t = std::max(floorOf(ca), floorOf(cb));
+        pushHalves(op, a, b, q0, q1, t);
+        _qready[q0] = _qready[q1] = t + durationOf(op);
+    }
+
+    void
+    pushHalves(const CircuitOp &op, ControllerId a, ControllerId b,
+               QubitId q0, QubitId q1, Cycle t)
+    {
+        // Both halves carry the gate's operands in canonical program
+        // order (q0 = first operand): the declared orientation is what
+        // the device applies, which matters for asymmetric gates (a
+        // cross-controller CNOT with control id > target id must not
+        // flip). Which controller drives which qubit is carried by the
+        // binding's (controller, port), not by the action payload.
+        const q::Action half =
+            q::Action::gate2qHalf(op.gate, q0, q1, op.angle);
+        const Codeword cw_a = bindingFor(a, portOf(q0), half);
+        const Codeword cw_b = bindingFor(b, portOf(q1), half);
+        _ctrls[a].pending.push_back(TimedCw{t, portOf(q0), cw_a});
+        _ctrls[b].pending.push_back(TimedCw{t, portOf(q1), cw_b});
+    }
+
+    void
+    handleConditional(const CircuitOp &op)
+    {
+        DHISQ_ASSERT(op.qubits.size() == 1 ||
+                         ctrlOf(op.qubits[0]) == ctrlOf(op.qubits[1]),
+                     "conditional cross-controller two-qubit gates are not"
+                     " supported; condition each half separately");
+        const QubitId q = op.qubits[0];
+        const ControllerId c = ctrlOf(q);
+        _ctx.stats.inc("conditionals");
+        for (CbitId bit : op.condition) {
+            DHISQ_ASSERT(_cbits.at(bit).measured,
+                         "condition on not-yet-measured cbit ", bit);
+        }
+
+        if (_ctx.config.scheme == SyncScheme::kLockStep)
+            emitLockStepConditional(op, c);
+        else
+            emitDynamicConditional(op, c);
+    }
+
+    /** BISP / demand-driven conditional: taken-branch-only timing. */
+    void
+    emitDynamicConditional(const CircuitOp &op, ControllerId c)
+    {
+        Ctrl &ctrl = touch(c);
+        auto &b = stream(c);
+
+        // Collect bits that still need to be received from remote
+        // measurers, ordered by the sender's emission rank so FIFO
+        // matching is unambiguous.
+        std::vector<CbitId> remote;
+        for (CbitId bit : op.condition) {
+            if (!ctrl.have.count(bit))
+                remote.push_back(bit);
+        }
+        std::sort(remote.begin(), remote.end(),
+                  [this](CbitId x, CbitId y) {
+                      const auto &cx = _cbits[x];
+                      const auto &cy = _cbits[y];
+                      return std::tie(cx.measurer, cx.rank) <
+                             std::tie(cy.measurer, cy.rank);
+                  });
+
+        Cycle cursor = flushEpoch(c);
+        // Branch transitions are not uniform shifts, so all in-flight local
+        // work must land before the block (see DESIGN.md Section 2); the
+        // wtrig bookings below must also sit past the pipeline-slack floor
+        // or they would be stamped behind the pipeline itself.
+        const Cycle pad_to = std::max(maxLocalReady(c), floorOf(ctrl));
+        if (pad_to > cursor) {
+            b.waiti(pad_to - cursor);
+            cursor = pad_to;
+        }
+        ctrl.cursor = cursor;
+
+        // wtrig events first: the pipeline must stamp the timing barriers
+        // into the TCU *before* blocking on the (pipeline-side) recvs, or
+        // the barriers would be enqueued past their own time-points.
+        for (CbitId bit : remote) {
+            const ControllerId src = _cbits[bit].measurer;
+            DHISQ_ASSERT(src != c, "remote bit measured locally?");
+            b.wtrig(src); // re-anchor the timing domain at the arrival
+        }
+        for (CbitId bit : remote) {
+            b.recv(kRegResult, _cbits[bit].measurer);
+            b.andi(kRegResult, kRegResult, 1);
+            b.sw(kRegResult, 0, cbitAddr(c, bit));
+            ctrl.have.insert(bit);
+            _ctx.stats.inc("feedback_recvs");
+        }
+
+        // Classical decode margin covering the block: 4 instructions per
+        // remote bit (wtrig + recv + andi + sw) plus 2 per parity term.
+        const Cycle margin = _ctx.config.feedback_margin +
+                             4 * Cycle(remote.size()) +
+                             2 * Cycle(op.condition.size()) + 4;
+        b.waiti(margin);
+
+        emitParityAndGate(op, c);
+        releaseDeadBits(op, c);
+
+        // Timeline is now branch-dependent: private epoch.
+        resetEpoch(c, _next_epoch++);
+    }
+
+    /** Lock-step conditional: reserved duration on the static timeline. */
+    void
+    emitLockStepConditional(const CircuitOp &op, ControllerId c)
+    {
+        Ctrl &ctrl = touch(c);
+        auto &b = stream(c);
+
+        std::vector<CbitId> remote;
+        Cycle deps_avail = 0;
+        for (CbitId bit : op.condition) {
+            deps_avail = std::max(deps_avail, _cbits[bit].avail);
+            if (!ctrl.have.count(bit))
+                remote.push_back(bit);
+        }
+        std::sort(remote.begin(), remote.end(),
+                  [this](CbitId x, CbitId y) {
+                      const auto &cx = _cbits[x];
+                      const auto &cy = _cbits[y];
+                      return std::tie(cx.measurer, cx.rank) <
+                             std::tie(cy.measurer, cy.rank);
+                  });
+
+        Cycle cursor = flushEpoch(c);
+        const std::size_t block_start = b.size();
+        for (CbitId bit : remote) {
+            b.recv(kRegResult, _cbits[bit].measurer);
+            b.andi(kRegResult, kRegResult, 1);
+            b.sw(kRegResult, 0, cbitAddr(c, bit));
+            ctrl.have.insert(bit);
+            _ctx.stats.inc("feedback_recvs");
+        }
+
+        // Single shared program flow: conditional blocks serialize against
+        // every other conditional in the program (Section 2.1.2); the
+        // owner's pipeline must also have caught up with earlier blocks.
+        const QubitId q = op.qubits[0];
+        const Cycle block_margin = 8 + 6 * Cycle(op.condition.size());
+        const Cycle t_cond = lockstepFlow(
+            std::max({deps_avail + block_margin, _qready[q], cursor,
+                      floorOf(ctrl) + block_margin,
+                      _lockstep_cond_end}));
+        if (t_cond > cursor) {
+            b.waiti(t_cond - cursor);
+            cursor = t_cond;
+        }
+        ctrl.cursor = cursor;
+
+        emitParityAndGate(op, c);
+        releaseDeadBits(op, c);
+        // Reservation: the duration is charged whether or not the branch
+        // is taken (Figure 1c); the single program flow also charges the
+        // block's classical processing time before the next conditional
+        // anywhere may start.
+        _qready[q] = t_cond + durationOf(op);
+        if (op.qubits.size() == 2)
+            _qready[op.qubits[1]] = _qready[q];
+        // Global single-flow chain advances by the reserved duration;
+        // the block's classical processing time only debts the owning
+        // controller's pipeline: its later time-points must clear the
+        // last dependency arrival plus the block's instruction count.
+        _lockstep_cond_end = t_cond + durationOf(op);
+        const Cycle arrival_max =
+            deps_avail > _ctx.config.feedback_margin
+                ? deps_avail - _ctx.config.feedback_margin
+                : 0;
+        const Cycle block_instrs = Cycle(b.size() - block_start);
+        // Pipeline debt accumulates across consecutive blocks: this block
+        // starts only once the pipeline reached it AND its inputs arrived.
+        ctrl.pipe_pos =
+            std::max(ctrl.pipe_pos, arrival_max) + block_instrs;
+        ctrl.sched_floor =
+            std::max(ctrl.sched_floor, ctrl.pipe_pos + 8);
+    }
+
+    /** Shared tail of both conditional forms: parity + branch + gate. */
+    void
+    emitParityAndGate(const CircuitOp &op, ControllerId c)
+    {
+        auto &b = stream(c);
+        const QubitId q = op.qubits[0];
+
+        bool first = true;
+        for (CbitId bit : op.condition) {
+            const std::int32_t addr = cbitAddr(c, bit);
+            if (first) {
+                b.lw(kRegParity, 0, addr);
+                first = false;
+            } else {
+                b.lw(kRegResult, 0, addr);
+                b.xorReg(kRegParity, kRegParity, kRegResult);
+            }
+        }
+
+        const std::size_t skip = b.newLabel();
+        b.beq(kRegParity, 0, skip);
+        Codeword cw;
+        if (op.qubits.size() == 2) {
+            cw = bindingFor(c, portOf(q),
+                            q::Action::gate2qWhole(op.gate, q,
+                                                   op.qubits[1], op.angle));
+        } else {
+            cw = bindingFor(c, portOf(q),
+                            q::Action::gate1q(op.gate, q, op.angle));
+        }
+        b.cwii(portOf(q), cw);
+        if (_ctx.config.scheme != SyncScheme::kLockStep) {
+            // Dynamic schemes advance the cursor only when taken.
+            b.waiti(durationOf(op));
+        }
+        b.bind(skip);
+    }
+
+    /** Free the storage of bits whose last conditional use this was. */
+    void
+    releaseDeadBits(const CircuitOp &op, ControllerId c)
+    {
+        for (CbitId bit : op.condition) {
+            DHISQ_ASSERT(_uses_left.at(bit) > 0, "use count underflow");
+            if (--_uses_left[bit] == 0)
+                releaseCbit(c, bit);
+        }
+    }
+
+    /**
+     * Region synchronization over the smallest router subtree covering
+     * `anchors`: every controller under that router flushes, books a
+     * region sync and is rebased into one fresh common epoch.
+     */
+    void
+    regionSyncOver(const std::vector<ControllerId> &anchors)
+    {
+        DHISQ_ASSERT(!anchors.empty(), "region sync with no anchors");
+        RouterId region = _topo.parentRouter(anchors.front());
+        auto covers = [&](RouterId r) {
+            for (ControllerId c : anchors) {
+                if (!_topo.inSubtree(c, r))
+                    return false;
+            }
+            return true;
+        };
+        while (!covers(region)) {
+            region = _topo.router(region).parent;
+            DHISQ_ASSERT(region != net::kNoRouter, "root does not cover?");
+        }
+
+        // Every controller under the region router participates.
+        const auto members = _topo.controllersUnder(region);
+        const std::uint64_t epoch = _next_epoch++;
+        for (ControllerId c : members) {
+            Ctrl &ctrl = touch(c);
+            Cycle f = flushEpoch(c);
+            if (floorOf(ctrl) > f) {
+                stream(c).waiti(floorOf(ctrl) - f);
+                f = floorOf(ctrl);
+                ctrl.cursor = f;
+            }
+            stream(c).syncRouter(region, _ctx.config.region_residual);
+            stream(c).waiti(_ctx.config.region_residual);
+            _ctx.stats.inc("region_syncs");
+            rebaseEpoch(c, epoch, f + _ctx.config.region_residual);
+        }
+    }
+
+    /** Region-level barrier between repetitions (Section 2.1.4). */
+    void
+    repetitionBarrier()
+    {
+        if (_ctx.config.scheme != SyncScheme::kLockStep) {
+            // The lock-step baseline's static global timeline continues
+            // (its barrier is implicit); the dynamic schemes synchronize
+            // every used controller through the router tree.
+            std::vector<ControllerId> used;
+            for (ControllerId c = 0; c < _ctrls.size(); ++c) {
+                if (_ctx.used[c])
+                    used.push_back(c);
+            }
+            DHISQ_ASSERT(!used.empty(), "barrier with no used controllers");
+            regionSyncOver(used);
+        }
+
+        for (auto &info : _cbits)
+            info.measured = false;
+        for (auto &ctrl : _ctrls)
+            ctrl.have.clear();
+        _uses_left = _uses_total;
+    }
+
+    PassContext &_ctx;
+    const net::Topology &_topo;
+
+    std::vector<Ctrl> _ctrls;
+    std::vector<Cycle> _qready; ///< per physical slot
+    std::vector<CbitInfo> _cbits;
+    std::vector<std::set<ControllerId>> _users;
+    std::vector<std::uint32_t> _uses_left;
+    std::vector<std::uint32_t> _uses_total;
+    std::map<QubitId, bool> _routed_result;
+    std::vector<Binding> _bindings;
+    std::vector<std::pair<QubitId, ControllerId>> _meas_routes;
+    std::uint64_t _next_epoch = 1;
+    Cycle _lockstep_cond_end = 0;
+    Cycle _lockstep_flow_floor = 0;
+    Cycle _flow_src_start = 0;
+};
+
+} // namespace
+
+Status
+ScheduleEpochsPass::run(PassContext &ctx)
+{
+    Scheduler scheduler(ctx);
+    scheduler.run();
+    return Status::ok();
+}
+
+} // namespace dhisq::compiler::passes

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * ScheduleEpochs pass: the epoch/sync/feedback core of the compiler.
+ *
+ * Walks the routed op stream (physical-slot space) once per repetition
+ * and decides *what* each controller does *when*: per-controller epochs
+ * and their merges (nearby sync pairs, region syncs over covering
+ * router subtrees), timed codeword events, measurement tails and
+ * feedback receive blocks, and the three sync schemes' timing rules
+ * (BISP booking leads, demand-driven bounces, the lock-step static
+ * timeline). Decisions are recorded as per-controller CodeStreams plus
+ * bindings, measurement routes and stats; the Codegen pass lowers the
+ * streams to ISA. The walk itself is the pre-split monolith's,
+ * reproduced call-for-call so the recorded streams replay to the exact
+ * same binaries.
+ */
+#pragma once
+
+#include "compiler/passes/pass.hpp"
+
+namespace dhisq::compiler::passes {
+
+class ScheduleEpochsPass : public Pass
+{
+  public:
+    const char *name() const override { return "schedule-epochs"; }
+    Status run(PassContext &ctx) override;
+};
+
+} // namespace dhisq::compiler::passes

@@ -93,14 +93,23 @@ toString(RouterClustering clustering)
 bool
 parseRouterClustering(std::string_view text, RouterClustering &out)
 {
-    for (RouterClustering c :
-         {RouterClustering::kIdBlocks, RouterClustering::kLocality}) {
+    for (RouterClustering c : allRouterClusterings()) {
         if (text == toString(c)) {
             out = c;
             return true;
         }
     }
     return false;
+}
+
+const std::vector<RouterClustering> &
+allRouterClusterings()
+{
+    static const std::vector<RouterClustering> clusterings = {
+        RouterClustering::kIdBlocks,
+        RouterClustering::kLocality,
+    };
+    return clusterings;
 }
 
 void
@@ -764,11 +773,32 @@ Topology::graphDistance(ControllerId a, ControllerId b) const
 Cycle
 Topology::latencyDistance(ControllerId a, ControllerId b) const
 {
+    return cheapestTo(a, b, nullptr);
+}
+
+std::vector<ControllerId>
+Topology::cheapestPath(ControllerId a, ControllerId b) const
+{
+    std::vector<ControllerId> path;
+    cheapestTo(a, b, &path);
+    return path;
+}
+
+Cycle
+Topology::cheapestTo(ControllerId a, ControllerId b,
+                     std::vector<ControllerId> *path) const
+{
     DHISQ_ASSERT(a < numControllers() && b < numControllers(),
                  "controller out of range");
-    if (a == b)
+    if (a == b) {
+        if (path != nullptr)
+            *path = {a};
         return 0;
+    }
+    // Dijkstra with parent tracking; strict relaxation keeps the first
+    // minimal predecessor (generator link order), so ties are stable.
     std::vector<Cycle> dist(numControllers(), kNoCycle);
+    std::vector<ControllerId> parent(numControllers(), kNoController);
     using Entry = std::pair<Cycle, ControllerId>;
     std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
         frontier;
@@ -780,16 +810,27 @@ Topology::latencyDistance(ControllerId a, ControllerId b) const
         if (d > dist[cur])
             continue;
         if (cur == b)
-            return d;
+            break;
         for (const Link &link : _links[cur]) {
             const Cycle cand = d + link.latency;
             if (cand < dist[link.peer]) {
                 dist[link.peer] = cand;
+                parent[link.peer] = cur;
                 frontier.emplace(cand, link.peer);
             }
         }
     }
-    DHISQ_PANIC("controllers ", a, " and ", b, " are graph-disconnected");
+    DHISQ_ASSERT(dist[b] != kNoCycle, "controllers ", a, " and ", b,
+                 " are graph-disconnected");
+    if (path != nullptr) {
+        path->clear();
+        for (ControllerId cur = b; cur != kNoController;
+             cur = parent[cur]) {
+            path->push_back(cur);
+        }
+        std::reverse(path->begin(), path->end());
+    }
+    return dist[b];
 }
 
 unsigned

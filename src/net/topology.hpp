@@ -99,6 +99,9 @@ const char *toString(RouterClustering clustering);
 /** Parse a clustering name; false when `text` names no clustering. */
 bool parseRouterClustering(std::string_view text, RouterClustering &out);
 
+/** Every clustering in canonical sweep order. */
+const std::vector<RouterClustering> &allRouterClusterings();
+
 /** Topology parameters. */
 struct TopologyConfig
 {
@@ -234,6 +237,17 @@ class Topology
      */
     Cycle latencyDistance(ControllerId a, ControllerId b) const;
 
+    /**
+     * The controller sequence (a, ..., b) realizing latencyDistance(a, b):
+     * consecutive entries are graph-adjacent and the summed link
+     * latencies equal the cheapest latency distance. Deterministic for
+     * fixed inputs (ties resolve toward the first-discovered relaxation
+     * in generator link order). The routing pass walks SWAP chains
+     * along this path.
+     */
+    std::vector<ControllerId> cheapestPath(ControllerId a,
+                                           ControllerId b) const;
+
     /** Manhattan distance on grid-family shapes (line/grid only). */
     unsigned gridDistance(ControllerId a, ControllerId b) const;
 
@@ -266,6 +280,12 @@ class Topology
     /** Locality variant: BFS-region leaf groups, adjacency-clustered
      *  upper levels. */
     void buildLocalityRouterTree();
+
+    /** Shared Dijkstra core of latencyDistance/cheapestPath: returns the
+     *  cheapest latency a -> b and, when `path` is non-null, fills the
+     *  realizing controller walk. */
+    Cycle cheapestTo(ControllerId a, ControllerId b,
+                     std::vector<ControllerId> *path) const;
 
     TopologyConfig _config;
     std::vector<std::vector<Link>> _links;

@@ -42,6 +42,35 @@ allPlacementStrategies()
     return strategies;
 }
 
+LiveMap::LiveMap(unsigned num_qubits, unsigned num_slots)
+{
+    DHISQ_ASSERT(num_qubits <= num_slots,
+                 "live map needs a slot per qubit: ", num_qubits,
+                 " qubits on ", num_slots, " slots");
+    _slot_of.resize(num_qubits);
+    _logical_at.assign(num_slots, kNoQubit);
+    for (QubitId q = 0; q < num_qubits; ++q) {
+        _slot_of[q] = q;
+        _logical_at[q] = q;
+    }
+}
+
+void
+LiveMap::swapSlots(QubitId slot_a, QubitId slot_b)
+{
+    DHISQ_ASSERT(slot_a < numSlots() && slot_b < numSlots(),
+                 "slot out of range: ", slot_a, ", ", slot_b);
+    DHISQ_ASSERT(slot_a != slot_b, "swap of a slot with itself");
+    const QubitId qa = _logical_at[slot_a];
+    const QubitId qb = _logical_at[slot_b];
+    _logical_at[slot_a] = qb;
+    _logical_at[slot_b] = qa;
+    if (qa != kNoQubit)
+        _slot_of[qa] = slot_b;
+    if (qb != kNoQubit)
+        _slot_of[qb] = slot_a;
+}
+
 void
 InteractionGraph::bump(unsigned a, unsigned b, double sync_w, double msg_w)
 {

@@ -143,6 +143,48 @@ class CostModel
     std::vector<double> _msg_cost;
 };
 
+/**
+ * Live logical-qubit -> physical-slot map. A placement fixes where each
+ * qubit *starts*; SWAP-insertion routing then moves qubits between
+ * slots at run time, and every pass downstream of the router must see
+ * the routed positions. The map is the routing pass's mutable state:
+ * identity at construction (logical qubit q starts on slot q), mutated
+ * by `swapSlots` per inserted SWAP. Slots beyond the circuit's qubit
+ * count (oversubscribed or unused capacity) start empty.
+ */
+class LiveMap
+{
+  public:
+    LiveMap(unsigned num_qubits, unsigned num_slots);
+
+    unsigned numQubits() const { return unsigned(_slot_of.size()); }
+    unsigned numSlots() const { return unsigned(_logical_at.size()); }
+
+    /** Physical slot currently holding logical qubit `q`. */
+    QubitId
+    slotOf(QubitId q) const
+    {
+        return _slot_of[q];
+    }
+
+    /** Logical qubit currently on `slot`; kNoQubit when empty. */
+    QubitId
+    logicalAt(QubitId slot) const
+    {
+        return _logical_at[slot];
+    }
+
+    /** Apply a SWAP between two slots (either side may be empty). */
+    void swapSlots(QubitId slot_a, QubitId slot_b);
+
+    /** The full logical -> slot assignment (e.g. for a final snapshot). */
+    const std::vector<QubitId> &slots() const { return _slot_of; }
+
+  private:
+    std::vector<QubitId> _slot_of;    ///< logical -> slot
+    std::vector<QubitId> _logical_at; ///< slot -> logical (or kNoQubit)
+};
+
 /** A placement: slot -> controller assignment plus its inverse. */
 struct PlacementPlan
 {

@@ -84,8 +84,14 @@ QuantumDevice::trigger(const Action &action, Cycle cycle)
             _stats.inc("coincidence_violations");
         }
         // The gate is applied at the later half's commit time either way;
-        // a violation marks the result as physically invalid.
-        apply2q(first.gate, first.angle, key.first, key.second,
+        // a violation marks the result as physically invalid. The unitary
+        // is oriented by the first half's *declared* operand order (both
+        // halves carry the same canonical order) — canonicalizing to the
+        // (min, max) pair key here would silently flip asymmetric gates
+        // such as a CNOT whose control id exceeds its target id.
+        const QubitId partner =
+            first.own == key.first ? key.second : key.first;
+        apply2q(first.gate, first.angle, first.own, partner,
                 std::max(first.cycle, cycle));
         return;
       }

@@ -63,10 +63,18 @@ struct Action
         return Action{ActionKind::Gate1q, g, angle, q, kNoQubit};
     }
 
+    /**
+     * One controller's half of a cross-controller two-qubit gate. Both
+     * halves of a pair must declare the SAME canonical operand order
+     * (q0 = the gate's first operand) — the device applies the unitary
+     * in the declared orientation, which matters for asymmetric gates
+     * like CNOT. Which qubit a controller drives is determined by the
+     * (controller, port) the codeword is bound on, not by this payload.
+     */
     static Action
-    gate2qHalf(Gate g, QubitId own, QubitId partner, double angle = 0.0)
+    gate2qHalf(Gate g, QubitId q0, QubitId q1, double angle = 0.0)
     {
-        return Action{ActionKind::Gate2qHalf, g, angle, own, partner};
+        return Action{ActionKind::Gate2qHalf, g, angle, q0, q1};
     }
 
     static Action
@@ -188,7 +196,7 @@ class QuantumDevice
         Cycle cycle;
         Gate gate;
         double angle;
-        QubitId own;
+        QubitId own; ///< the half's declared first operand (q0)
     };
     std::map<std::pair<QubitId, QubitId>, PendingHalf> _pending_halves;
 

@@ -83,6 +83,42 @@ parseCli(int argc, char **argv)
                           model) == opts.latency_models.end()) {
                 opts.latency_models.push_back(model);
             }
+        } else if (arg == "--clustering") {
+            if (i + 1 >= argc) {
+                return Result<CliOptions>::error(
+                    "--clustering needs a clustering");
+            }
+            const std::string_view name = argv[++i];
+            if (name == "all") {
+                opts.clusterings = net::allRouterClusterings();
+                continue;
+            }
+            net::RouterClustering clustering;
+            if (!net::parseRouterClustering(name, clustering)) {
+                return Result<CliOptions>::error(
+                    std::string("unknown --clustering: ") + argv[i]);
+            }
+            if (std::find(opts.clusterings.begin(), opts.clusterings.end(),
+                          clustering) == opts.clusterings.end()) {
+                opts.clusterings.push_back(clustering);
+            }
+        } else if (arg == "--routing") {
+            if (i + 1 >= argc)
+                return Result<CliOptions>::error("--routing needs a mode");
+            const std::string_view name = argv[++i];
+            if (name == "all") {
+                opts.routings = compiler::allRoutingModes();
+                continue;
+            }
+            compiler::RoutingMode mode;
+            if (!compiler::parseRoutingMode(name, mode)) {
+                return Result<CliOptions>::error(
+                    std::string("unknown --routing mode: ") + argv[i]);
+            }
+            if (std::find(opts.routings.begin(), opts.routings.end(),
+                          mode) == opts.routings.end()) {
+                opts.routings.push_back(mode);
+            }
         } else if (arg == "--policy") {
             if (i + 1 >= argc)
                 return Result<CliOptions>::error("--policy needs a policy");
@@ -136,7 +172,8 @@ printUsage(const char *prog)
         stderr,
         "usage: %s [--json <path>] [--threads N] [--quick]\n"
         "          [--topology <shape>]... [--placement <strategy>]...\n"
-        "          [--latency-model <model>]... [--policy <policy>]...\n"
+        "          [--routing <mode>]... [--latency-model <model>]...\n"
+        "          [--clustering <c>]... [--policy <policy>]...\n"
         "          [--tree-arity N]... [--list]\n"
         "  --json <path>      write the dhisq-bench-v1 report "
         "(\"-\" = stdout)\n"
@@ -150,9 +187,15 @@ printUsage(const char *prog)
         "  --placement <s>    restrict the placement axis (path,\n"
         "                     greedy-affinity, kl-mincut or \"all\"; "
         "repeatable)\n"
+        "  --routing <mode>   restrict the qubit-routing axis (none, "
+        "swap\n"
+        "                     or \"all\"; repeatable)\n"
         "  --latency-model <m> restrict the link-latency axis (uniform,\n"
         "                     distance_scaled, jitter or \"all\"; "
         "repeatable)\n"
+        "  --clustering <c>   restrict the router-clustering axis "
+        "(id_blocks,\n"
+        "                     locality or \"all\"; repeatable)\n"
         "  --policy <p>       restrict the router-policy axis (paper, "
         "robust\n"
         "                     or \"all\"; repeatable)\n"

@@ -4,9 +4,10 @@
  * `--json <path>` (emit BENCH json, "-" = stdout), `--threads N`
  * (worker pool size), `--quick` (reduced grid for the CI smoke run),
  * axis-selection flags — `--topology <shape>`, `--placement <strategy>`,
- * `--latency-model <model>`, `--policy <policy>`, `--tree-arity N` (all
- * repeatable; the enum-valued ones accept "all") — and `--list` (print
- * the expanded grid points without executing them).
+ * `--routing <mode>`, `--latency-model <model>`, `--clustering <c>`,
+ * `--policy <policy>`, `--tree-arity N` (all repeatable; the
+ * enum-valued ones accept "all") — and `--list` (print the expanded
+ * grid points without executing them).
  */
 #pragma once
 
@@ -14,6 +15,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "compiler/compiler.hpp"
 #include "net/router.hpp"
 #include "net/topology.hpp"
 #include "place/placement.hpp"
@@ -37,6 +39,10 @@ struct CliOptions
     std::vector<place::PlacementStrategy> placements;
     /** Latency-model-axis selection; empty keeps the bench's default. */
     std::vector<net::LinkLatencyModel> latency_models;
+    /** Router-clustering-axis selection; empty keeps the bench's default. */
+    std::vector<net::RouterClustering> clusterings;
+    /** Routing-mode-axis selection; empty keeps the bench's default. */
+    std::vector<compiler::RoutingMode> routings;
     /** Router-policy-axis selection; empty keeps the bench's default. */
     std::vector<net::RouterPolicy> policies;
     /** Tree-arity-axis selection; empty keeps the bench's default. */

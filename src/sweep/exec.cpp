@@ -47,8 +47,10 @@ executeWith(const compiler::Circuit &circuit,
             const compiler::CompilerConfig &cc, const ExecOptions &opts)
 {
     const unsigned controllers =
-        (circuit.numQubits() + cc.qubits_per_controller - 1) /
-        cc.qubits_per_controller;
+        opts.controllers != 0
+            ? opts.controllers
+            : (circuit.numQubits() + cc.qubits_per_controller - 1) /
+                  cc.qubits_per_controller;
     auto topo_cfg = shapeTopology(opts.topology, controllers);
     // The topology owns the hub constant: the compiler's static lock-step
     // schedule and the fabric's broadcast both read it from here.
@@ -60,9 +62,18 @@ executeWith(const compiler::Circuit &circuit,
     net::Topology topo = net::Topology::build(topo_cfg);
 
     compiler::Compiler comp(topo, cc);
-    auto compiled = comp.compile(circuit);
+    auto compile_result = comp.tryCompile(circuit);
+    if (!compile_result) {
+        ExecResult rejected;
+        rejected.rejected = true;
+        rejected.reject_reason = compile_result.message();
+        return rejected;
+    }
+    auto compiled = compile_result.take();
 
-    auto mc = compiler::machineConfigFor(topo_cfg, cc, circuit.numQubits(),
+    // Size the machine from the compiled slot geometry: SWAP routing may
+    // use more ports/device qubits than the circuit's own count.
+    auto mc = compiler::machineConfigFor(topo_cfg, cc, compiled,
                                          opts.state_vector, opts.seed);
     mc.fabric.policy = opts.policy;
     mc.fabric.star_messages =
@@ -82,6 +93,7 @@ executeWith(const compiler::Circuit &circuit,
     result.activity = machine.device().activity();
     result.events = report.events_executed;
     result.controllers = compiled.usedControllers();
+    result.swaps = compiled.stats.counter("swaps_inserted");
     return result;
 }
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "compiler/compiler.hpp"
 #include "net/router.hpp"
@@ -31,9 +32,19 @@ struct ExecResult
     std::uint64_t events = 0;
     /** Controllers that executed code. */
     unsigned controllers = 0;
+    /** SWAPs the routing pass inserted (0 with routing disabled). */
+    std::uint64_t swaps = 0;
+    /** True when the compiler rejected the point (e.g. over-capacity
+     *  with routing disabled); `reject_reason` carries the diagnostic
+     *  and no simulation ran. */
+    bool rejected = false;
+    std::string reject_reason;
 
     /** True when the run completed with the paper's guarantees intact. */
-    bool healthy() const { return !deadlock && coincidence == 0; }
+    bool healthy() const
+    {
+        return !rejected && !deadlock && coincidence == 0;
+    }
 };
 
 /** Standard line-topology config for n controllers. */
@@ -64,6 +75,13 @@ struct ExecOptions
      *  the paper's deliberately-optimistic baseline (Section 6.4.3). */
     Cycle hub_latency = 12;
     std::uint64_t latency_seed = 2025; ///< Seed for the jitter model.
+    /**
+     * Controller count of the machine; 0 (the default) sizes it to fit
+     * the circuit at qubits_per_controller. A non-zero value smaller
+     * than the fit makes the point over-capacity — compilable only
+     * under RoutingMode::kSwap's oversubscribed mapping.
+     */
+    unsigned controllers = 0;
 };
 
 /** Compile + run with explicit compiler and interconnect configuration. */

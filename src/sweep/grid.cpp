@@ -33,6 +33,10 @@ CircuitSpec::id() const
         return "lrcnot_chain_n" + std::to_string(qubits);
       case Kind::kGhzFanout:
         return "ghz_fanout_n" + std::to_string(qubits);
+      case Kind::kRoutingStress:
+        return "routing_stress_n" + std::to_string(routing_stress.qubits) +
+               "_d" + std::to_string(routing_stress.stride) + "_s" +
+               std::to_string(routing_stress.seed);
     }
     return "unknown";
 }
@@ -66,6 +70,9 @@ CircuitSpec::build() const
       case Kind::kGhzFanout:
         circuit = workloads::ghzFanout(qubits, /*measure_all=*/true);
         break;
+      case Kind::kRoutingStress:
+        circuit = workloads::routingStress(routing_stress);
+        break;
     }
     if (expand_fraction > 0.0) {
         Rng rng(expand_seed);
@@ -91,6 +98,10 @@ ExperimentPoint::label() const
         label += '/';
         label += place::toString(config.placement);
     }
+    if (config.routing != compiler::RoutingMode::kNone) {
+        label += "/routed-";
+        label += compiler::toString(config.routing);
+    }
     if (latency_model != net::LinkLatencyModel::kUniform) {
         label += '/';
         label += net::toString(latency_model);
@@ -107,6 +118,8 @@ ExperimentPoint::label() const
         label += "/arity" + std::to_string(tree_arity);
     if (config.qubits_per_controller != 1)
         label += "/qpc" + std::to_string(config.qubits_per_controller);
+    if (controllers != 0)
+        label += "/c" + std::to_string(controllers);
     if (seed != 1)
         label += "/s" + std::to_string(seed);
     return label;
@@ -118,33 +131,39 @@ expandGrid(const GridSpec &grid)
     std::vector<ExperimentPoint> points;
     points.reserve(grid.circuits.size() * grid.schemes.size() *
                    grid.topologies.size() * grid.placements.size() *
-                   grid.latency_models.size() * grid.clusterings.size() *
-                   grid.policies.size() * grid.tree_arities.size() *
+                   grid.routings.size() * grid.latency_models.size() *
+                   grid.clusterings.size() * grid.policies.size() *
+                   grid.tree_arities.size() *
                    grid.qubits_per_controller.size() * grid.seeds.size());
     for (const auto &circuit : grid.circuits) {
       for (const auto scheme : grid.schemes) {
         for (const auto topology : grid.topologies) {
           for (const auto placement : grid.placements) {
-            for (const auto latency_model : grid.latency_models) {
-              for (const auto clustering : grid.clusterings) {
-                for (const auto policy : grid.policies) {
-                  for (const unsigned arity : grid.tree_arities) {
-                    for (const unsigned qpc : grid.qubits_per_controller) {
-                      for (const std::uint64_t seed : grid.seeds) {
-                        ExperimentPoint p;
-                        p.circuit = circuit;
-                        p.config = grid.base_config;
-                        p.config.scheme = scheme;
-                        p.config.placement = placement;
-                        p.config.qubits_per_controller = qpc;
-                        p.topology = topology;
-                        p.latency_model = latency_model;
-                        p.clustering = clustering;
-                        p.policy = policy;
-                        p.tree_arity = arity;
-                        p.seed = seed;
-                        p.state_vector = grid.state_vector;
-                        points.push_back(std::move(p));
+            for (const auto routing : grid.routings) {
+              for (const auto latency_model : grid.latency_models) {
+                for (const auto clustering : grid.clusterings) {
+                  for (const auto policy : grid.policies) {
+                    for (const unsigned arity : grid.tree_arities) {
+                      for (const unsigned qpc :
+                           grid.qubits_per_controller) {
+                        for (const std::uint64_t seed : grid.seeds) {
+                          ExperimentPoint p;
+                          p.circuit = circuit;
+                          p.config = grid.base_config;
+                          p.config.scheme = scheme;
+                          p.config.placement = placement;
+                          p.config.routing = routing;
+                          p.config.qubits_per_controller = qpc;
+                          p.topology = topology;
+                          p.latency_model = latency_model;
+                          p.clustering = clustering;
+                          p.policy = policy;
+                          p.tree_arity = arity;
+                          p.controllers = grid.controllers;
+                          p.seed = seed;
+                          p.state_vector = grid.state_vector;
+                          points.push_back(std::move(p));
+                        }
                       }
                     }
                   }
@@ -171,6 +190,7 @@ runPoint(const ExperimentPoint &point, const MetricsHook &extend)
     opts.policy = point.policy;
     opts.tree_arity = point.tree_arity;
     opts.hub_latency = point.hub_latency;
+    opts.controllers = point.controllers;
     const ExecResult r = executeWith(circuit, point.config, opts);
 
     PointResult out;
@@ -184,6 +204,10 @@ runPoint(const ExperimentPoint &point, const MetricsHook &extend)
         out.params["placement"] =
             place::toString(point.config.placement);
     }
+    if (point.config.routing != compiler::RoutingMode::kNone)
+        out.params["routing"] = compiler::toString(point.config.routing);
+    if (point.controllers != 0)
+        out.params["controllers"] = point.controllers;
     if (point.latency_model != net::LinkLatencyModel::kUniform)
         out.params["latency_model"] = net::toString(point.latency_model);
     if (point.clustering != net::RouterClustering::kIdBlocks)
@@ -207,16 +231,22 @@ runPoint(const ExperimentPoint &point, const MetricsHook &extend)
     out.metrics["events"] = r.events;
     out.metrics["controllers"] = r.controllers;
     out.metrics["live_cycles"] = r.activity.totalLiveCycles();
+    // Serialized only when the routing axis is engaged, so grids that do
+    // not sweep it stay byte-identical.
+    if (point.config.routing != compiler::RoutingMode::kNone)
+        out.metrics["swaps_inserted"] = r.swaps;
 
     // Coincidence breaks under the lock-step baseline are *data* (the
     // paper's Section 1.1 issue-rate argument); under BISP or demand
     // sync they violate the cycle-level commitment guarantee and fail
-    // the run. Deadlock always fails.
+    // the run. Deadlock always fails. A compile rejection (over-capacity
+    // without routing) fails the point with the diagnostic as health.
     const bool coincidence_ok =
         r.coincidence == 0 ||
         point.config.scheme == compiler::SyncScheme::kLockStep;
-    out.healthy = !r.deadlock && coincidence_ok;
-    out.health = r.deadlock         ? "deadlock"
+    out.healthy = !r.rejected && !r.deadlock && coincidence_ok;
+    out.health = r.rejected         ? "rejected: " + r.reject_reason
+                 : r.deadlock       ? "deadlock"
                  : !coincidence_ok  ? "coincidence"
                                     : "ok";
     if (extend)

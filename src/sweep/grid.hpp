@@ -37,6 +37,7 @@ struct CircuitSpec
         kRandomDynamic, ///< workloads::randomDynamic(random)
         kLrCnotChain,   ///< Figure 14 long-range-CNOT chain on `qubits`
         kGhzFanout,     ///< star-shaped GHZ fan-out on `qubits`
+        kRoutingStress, ///< workloads::routingStress(routing_stress)
     };
 
     Kind kind = Kind::kFigure15;
@@ -44,6 +45,8 @@ struct CircuitSpec
     std::string name;
     /** Options for kRandomDynamic. */
     workloads::RandomDynamicOptions random;
+    /** Options for kRoutingStress. */
+    workloads::RoutingStressOptions routing_stress;
     /** Line length for kLrCnotChain / kGhzFanout. */
     unsigned qubits = 9;
     /** If > 0, expandNonAdjacentGates(fraction) with `expand_seed`. */
@@ -75,6 +78,9 @@ struct ExperimentPoint
     unsigned tree_arity = kDefaultTreeArity;
     /** One-way central-hub constant (12 = the paper's baseline). */
     Cycle hub_latency = 12;
+    /** Machine controller count; 0 = sized to fit the circuit. A value
+     *  below the fit makes the point over-capacity (needs routing). */
+    unsigned controllers = 0;
     std::uint64_t seed = 1;
     bool state_vector = false;
 
@@ -91,6 +97,9 @@ struct GridSpec
     /** Placement strategies (compiler mapping axis). */
     std::vector<place::PlacementStrategy> placements = {
         place::PlacementStrategy::kPath};
+    /** Qubit-routing modes (SWAP insertion axis). */
+    std::vector<compiler::RoutingMode> routings = {
+        compiler::RoutingMode::kNone};
     /** Link-latency heterogeneity models. */
     std::vector<net::LinkLatencyModel> latency_models = {
         net::LinkLatencyModel::kUniform};
@@ -105,13 +114,16 @@ struct GridSpec
     std::vector<unsigned> qubits_per_controller = {1};
     /** Base knobs applied to every point before the axes override. */
     compiler::CompilerConfig base_config;
+    /** Fixed machine controller count (0 = per-point fit; see
+     *  ExperimentPoint::controllers). Not an axis. */
+    unsigned controllers = 0;
     bool state_vector = false;
 };
 
 /**
  * Expand a grid in deterministic order: circuit-major, then scheme,
- * topology shape, placement, latency model, clustering, policy, tree
- * arity, qubits-per-controller, seed.
+ * topology shape, placement, routing mode, latency model, clustering,
+ * policy, tree arity, qubits-per-controller, seed.
  */
 std::vector<ExperimentPoint> expandGrid(const GridSpec &grid);
 

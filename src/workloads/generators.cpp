@@ -337,6 +337,47 @@ randomDynamic(const RandomDynamicOptions &options)
 }
 
 compiler::Circuit
+routingStress(const RoutingStressOptions &options)
+{
+    DHISQ_ASSERT(options.qubits >= 3, "routingStress needs >= 3 qubits");
+    DHISQ_ASSERT(options.stride >= 1, "routingStress needs stride >= 1");
+    DHISQ_ASSERT(options.stride % options.qubits != 0,
+                 "routingStress stride must not be a multiple of the "
+                 "qubit count (the entangler would self-couple)");
+    Circuit c(options.qubits,
+              "routing_stress_n" + std::to_string(options.qubits));
+    Rng rng(options.seed);
+    const Gate pool[] = {Gate::kH, Gate::kT, Gate::kS, Gate::kX90};
+
+    for (unsigned layer = 0; layer < options.layers; ++layer) {
+        for (QubitId q = 0; q < options.qubits; ++q) {
+            if (rng.coin(0.5))
+                c.gate(pool[rng.below(4)], q);
+        }
+        // Stride-coupled entanglers: operands `stride` apart wrap the
+        // register, so no 1D embedding keeps them all nearby.
+        const QubitId base = QubitId(rng.below(options.qubits));
+        c.gate2(Gate::kCZ, base, (base + options.stride) % options.qubits);
+
+        if (rng.coin(options.feedback_fraction)) {
+            // Measurement feedback onto the far side of the register:
+            // diverges the consumer's timeline so the next stride
+            // entangler that touches it cannot co-schedule for free —
+            // exactly the case SWAP routing must make adjacent.
+            const QubitId mq = QubitId(rng.below(options.qubits));
+            const CbitId bit = c.measure(mq);
+            const QubitId tq =
+                (mq + options.qubits / 2) % options.qubits;
+            c.conditionalGate(rng.coin(0.5) ? Gate::kX : Gate::kZ, tq,
+                              {bit});
+            c.gate2(Gate::kCZ, tq,
+                    (tq + options.stride) % options.qubits);
+        }
+    }
+    return c;
+}
+
+compiler::Circuit
 figure15Benchmark(const std::string &name)
 {
     auto parseSize = [&](const std::string &prefix) -> unsigned {

@@ -101,6 +101,28 @@ struct RandomDynamicOptions
 };
 compiler::Circuit randomDynamic(const RandomDynamicOptions &options = {});
 
+/**
+ * Routing/over-capacity stress generator: stride-coupled entangling
+ * layers (operands `stride` apart with wraparound, so no 1D embedding
+ * keeps them all adjacent) interleaved with far-side measurement
+ * feedback that diverges timelines. On a machine with fewer controllers
+ * than qubit blocks this is exactly the workload class the compiler
+ * rejected before SWAP routing: it needs the oversubscribed mapping AND
+ * produces non-adjacent post-feedback two-qubit gates that force SWAP
+ * chains.
+ */
+struct RoutingStressOptions
+{
+    unsigned qubits = 12;
+    unsigned layers = 8;
+    /** Entangler operand distance (wraps the register). */
+    unsigned stride = 5;
+    /** Fraction of layers followed by a far-side feedback block. */
+    double feedback_fraction = 0.4;
+    std::uint64_t seed = 13;
+};
+compiler::Circuit routingStress(const RoutingStressOptions &options = {});
+
 /** Named benchmark instances of Figure 15 ("adder_n577", "qft_n100", ...).
  *  Returns the *static* circuit; run expandNonAdjacentGates for dynamics. */
 compiler::Circuit figure15Benchmark(const std::string &name);

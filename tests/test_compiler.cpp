@@ -226,6 +226,28 @@ TEST(CompilerBisp, SyncInsertedForPostFeedbackTwoQubitGate)
     EXPECT_EQ(run.report.syncs_completed, 2u);
 }
 
+TEST(CompilerBisp, CrossControllerCnotKeepsItsOrientation)
+{
+    // A CNOT whose control id exceeds its target id, split into halves
+    // across two controllers: the device must apply the declared operand
+    // order, not the canonical (min, max) pair — the flipped gate maps
+    // |10> to |11> instead of leaving it untouched.
+    for (auto [ctrl, tgt] : {std::pair<QubitId, QubitId>{1, 0},
+                             std::pair<QubitId, QubitId>{0, 1}}) {
+        Circuit circuit(2, "oriented_cnot");
+        circuit.gate(Gate::kX, ctrl);
+        circuit.gate2(Gate::kCNOT, ctrl, tgt);
+        auto run = compileAndRun(circuit, SyncScheme::kBisp);
+        ASSERT_FALSE(run.report.deadlock);
+        EXPECT_EQ(run.report.coincidence_violations, 0u);
+        StateVector ref(2);
+        ref.apply1q(Gate::kX, ctrl);
+        ref.apply2q(Gate::kCNOT, ctrl, tgt);
+        EXPECT_NEAR(run.state.fidelityWith(ref), 1.0, 1e-9)
+            << "control " << ctrl << " target " << tgt;
+    }
+}
+
 TEST(CompilerBisp, SameEpochGateNeedsNoSyncEvenAcrossControllers)
 {
     Circuit circuit(2, "pure_gate");

@@ -1,0 +1,633 @@
+/**
+ * @file
+ * Pass-pipeline unit tests and SWAP-routing correctness:
+ *
+ *  - per-pass units: Lower capacity diagnostics + oversubscription
+ *    grouping, Route identity/no-op contract, Route SWAP-chain
+ *    adjacency invariants, CodeStream size mirror vs ProgramBuilder;
+ *  - pipeline == Compiler::compile (same binaries);
+ *  - routed-off vs routed-on bit-compatibility when capacity suffices
+ *    and nothing triggers;
+ *  - end-to-end: over-capacity adder-sum equivalence on all six
+ *    topology shapes (the oversubscribed mapping + SWAP chains must not
+ *    change the arithmetic), and over-capacity dynamic workloads that
+ *    the pre-routing compiler rejected now run healthy.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "compiler/compiler.hpp"
+#include "compiler/passes/codegen.hpp"
+#include "compiler/passes/codestream.hpp"
+#include "compiler/passes/lower.hpp"
+#include "compiler/passes/pass.hpp"
+#include "compiler/passes/place_pass.hpp"
+#include "compiler/passes/route.hpp"
+#include "compiler/program_builder.hpp"
+#include "runtime/machine.hpp"
+#include "sweep/exec.hpp"
+#include "workloads/generators.hpp"
+
+namespace dhisq::compiler {
+namespace {
+
+using passes::PassContext;
+
+net::Topology
+lineOf(unsigned n)
+{
+    net::TopologyConfig cfg;
+    cfg.width = n;
+    cfg.height = 1;
+    return net::Topology::build(cfg);
+}
+
+/** Run the pipeline prefix up to (and including) the Route pass. */
+Status
+runThroughRoute(PassContext &ctx)
+{
+    passes::LowerPass lower;
+    passes::PlacePass place;
+    passes::RoutePass route;
+    if (Status s = lower.run(ctx); !s)
+        return s;
+    if (Status s = place.run(ctx); !s)
+        return s;
+    return route.run(ctx);
+}
+
+// ---------------------------------------------------------------------------
+// Lower: capacity diagnostics + oversubscription grouping.
+// ---------------------------------------------------------------------------
+
+TEST(LowerPass, OverCapacityWithoutRoutingIsAStructuredError)
+{
+    Circuit circuit(10, "overcap_bench");
+    circuit.gate(q::Gate::kH, 0);
+    const net::Topology topo = lineOf(4);
+    CompilerConfig cc; // routing defaults to kNone, qpc = 1
+    Compiler compiler(topo, cc);
+    auto result = compiler.tryCompile(circuit);
+    ASSERT_FALSE(result.isOk());
+    // The diagnostic names the workload, its demand and the capacity.
+    EXPECT_NE(result.message().find("overcap_bench"), std::string::npos)
+        << result.message();
+    EXPECT_NE(result.message().find("10 qubits"), std::string::npos)
+        << result.message();
+    EXPECT_NE(result.message().find("4 controllers"), std::string::npos)
+        << result.message();
+    EXPECT_NE(result.message().find("--routing swap"), std::string::npos)
+        << result.message();
+}
+
+TEST(LowerPass, ComputesTheOversubscribedGroup)
+{
+    Circuit circuit(10, "grouped");
+    circuit.gate(q::Gate::kH, 0);
+    const net::Topology topo = lineOf(4);
+    CompilerConfig cc;
+    cc.routing = RoutingMode::kSwap;
+    PassContext ctx(topo, cc, circuit);
+    passes::LowerPass lower;
+    ASSERT_TRUE(lower.run(ctx).isOk());
+    EXPECT_EQ(ctx.blocks, 10u);
+    EXPECT_EQ(ctx.group, 3u); // ceil(10 / (1 * 4))
+    EXPECT_EQ(ctx.slots_per_controller, 3u);
+    EXPECT_EQ(ctx.slotSpace(), 12u);
+}
+
+TEST(LowerPass, CapacitySufficientKeepsGroupOne)
+{
+    Circuit circuit(6, "fits");
+    circuit.gate(q::Gate::kH, 0);
+    const net::Topology topo = lineOf(3);
+    CompilerConfig cc;
+    cc.qubits_per_controller = 2;
+    cc.routing = RoutingMode::kSwap;
+    PassContext ctx(topo, cc, circuit);
+    passes::LowerPass lower;
+    ASSERT_TRUE(lower.run(ctx).isOk());
+    EXPECT_EQ(ctx.group, 1u);
+    EXPECT_EQ(ctx.slots_per_controller, 2u);
+}
+
+TEST(LowerPass, RejectsConditionOnUnmeasuredCbit)
+{
+    Circuit circuit(2, "badcond");
+    CircuitOp op;
+    op.gate = q::Gate::kX;
+    op.qubits = {0};
+    op.condition = {5};
+    circuit.append(std::move(op));
+    const net::Topology topo = lineOf(2);
+    Compiler compiler(topo, CompilerConfig{});
+    auto result = compiler.tryCompile(circuit);
+    ASSERT_FALSE(result.isOk());
+    EXPECT_NE(result.message().find("cbit 5"), std::string::npos)
+        << result.message();
+}
+
+// ---------------------------------------------------------------------------
+// Route: identity contract, SWAP-chain invariants.
+// ---------------------------------------------------------------------------
+
+/** Feedback then a far two-qubit gate: the canonical routing trigger. */
+Circuit
+feedbackThenFarGate(unsigned n)
+{
+    Circuit circuit(n, "feedback_far");
+    circuit.gate(q::Gate::kH, 0);
+    const CbitId bit = circuit.measure(0);
+    circuit.conditionalGate(q::Gate::kX, 0, {bit});
+    circuit.gate2(q::Gate::kCZ, 0, n - 1);
+    return circuit;
+}
+
+TEST(RoutePass, IdentityWhenDisabled)
+{
+    const auto circuit = feedbackThenFarGate(5);
+    CompilerConfig cc; // routing off
+    const net::Topology topo = lineOf(5);
+    PassContext ctx(topo, cc, circuit);
+    ASSERT_TRUE(runThroughRoute(ctx).isOk());
+    ASSERT_EQ(ctx.routed.size(), circuit.size());
+    for (std::size_t i = 0; i < ctx.routed.size(); ++i) {
+        EXPECT_FALSE(ctx.routed[i].inserted);
+        EXPECT_EQ(ctx.routed[i].op.qubits, circuit.ops()[i].qubits);
+    }
+    EXPECT_EQ(ctx.stats.counter("swaps_inserted"), 0u);
+    EXPECT_EQ(ctx.device_qubits, 5u);
+    for (QubitId q = 0; q < 5; ++q)
+        EXPECT_EQ(ctx.final_slot_of[q], q);
+    ASSERT_EQ(ctx.meas_log.size(), 1u);
+    EXPECT_EQ(ctx.meas_log[0].first, ctx.meas_log[0].second);
+}
+
+TEST(RoutePass, InsertsAdjacentSwapChainForDivergedFarGate)
+{
+    const auto circuit = feedbackThenFarGate(5);
+    const net::Topology topo = lineOf(5);
+    CompilerConfig cc;
+    cc.routing = RoutingMode::kSwap;
+    PassContext ctx(topo, cc, circuit);
+    ASSERT_TRUE(runThroughRoute(ctx).isOk());
+    EXPECT_GT(ctx.stats.counter("swaps_inserted"), 0u);
+    EXPECT_EQ(ctx.stats.counter("routed_gates"), 1u);
+
+    // Every emitted cross-controller two-qubit op must be link-adjacent
+    // (that is the whole point of routing), and inserted ops are SWAPs.
+    for (const auto &r : ctx.routed) {
+        if (!r.op.isTwoQubit())
+            continue;
+        const ControllerId a = ctx.controllerOfSlot(r.op.qubits[0]);
+        const ControllerId b = ctx.controllerOfSlot(r.op.qubits[1]);
+        if (a != b) {
+            EXPECT_TRUE(topo.areNeighbors(a, b)) << a << " vs " << b;
+        }
+        if (r.inserted) {
+            EXPECT_EQ(r.op.gate, q::Gate::kSwap);
+        }
+    }
+
+    // The live map stays a consistent injection: every logical qubit on
+    // a distinct slot, and the map agrees with the routed positions.
+    std::map<QubitId, unsigned> slot_uses;
+    for (QubitId q = 0; q < circuit.numQubits(); ++q)
+        ++slot_uses[ctx.final_slot_of[q]];
+    for (const auto &[slot, uses] : slot_uses) {
+        EXPECT_LT(slot, ctx.slotSpace());
+        EXPECT_EQ(uses, 1u);
+    }
+}
+
+TEST(RoutePass, IdentityLogCoversEveryRepetition)
+{
+    // Routing off + repetitions: the same stream replays each rep, and
+    // the measurement log must cover every repetition's commits so
+    // occurrence-based decoding never runs off its end.
+    const auto circuit = feedbackThenFarGate(5);
+    CompilerConfig cc;
+    cc.repetitions = 3;
+    const net::Topology topo = lineOf(5);
+    PassContext ctx(topo, cc, circuit);
+    ASSERT_TRUE(runThroughRoute(ctx).isOk());
+    ASSERT_EQ(ctx.meas_log.size(), 3u); // one measure op x three reps
+    for (const auto &[slot, logical] : ctx.meas_log)
+        EXPECT_EQ(slot, logical);
+}
+
+TEST(RoutePass, StabilizedRepetitionsReuseTheLastStream)
+{
+    // Rep 0 routes the far gate; once a post-barrier repetition inserts
+    // no SWAPs the live map is a fixed point, so stream generation
+    // stops and routedFor clamps — while the measurement log still
+    // spans every repetition.
+    const auto circuit = feedbackThenFarGate(5);
+    CompilerConfig cc;
+    cc.routing = RoutingMode::kSwap;
+    cc.repetitions = 4;
+    const net::Topology topo = lineOf(5);
+    PassContext ctx(topo, cc, circuit);
+    ASSERT_TRUE(runThroughRoute(ctx).isOk());
+    EXPECT_GT(ctx.stats.counter("swaps_inserted"), 0u);
+    ASSERT_FALSE(ctx.routed_reps.empty());
+    EXPECT_LT(ctx.routed_reps.size(), 4u);
+    EXPECT_EQ(ctx.meas_log.size(), 4u);
+    EXPECT_EQ(&ctx.routedFor(3), &ctx.routed_reps.back());
+}
+
+TEST(RoutePass, SameEpochFarGateNeedsNoSwaps)
+{
+    // No feedback: the far CZ co-schedules for free inside the common
+    // epoch on any shape, so routing must not touch it.
+    Circuit circuit(5, "pure_far");
+    circuit.gate(q::Gate::kH, 0);
+    circuit.gate2(q::Gate::kCZ, 0, 4);
+    CompilerConfig cc;
+    cc.routing = RoutingMode::kSwap;
+    const net::Topology topo = lineOf(5);
+    PassContext ctx(topo, cc, circuit);
+    ASSERT_TRUE(runThroughRoute(ctx).isOk());
+    EXPECT_EQ(ctx.stats.counter("swaps_inserted"), 0u);
+    EXPECT_EQ(ctx.stats.counter("routed_gates"), 0u);
+}
+
+TEST(RoutePass, CoLocatesConditionalTwoQubitGates)
+{
+    // A conditional 2q gate whose operands sit on different controllers
+    // is unsupported by the scheduler; routing must co-locate them.
+    Circuit circuit(4, "cond2q");
+    circuit.gate(q::Gate::kH, 0);
+    const CbitId bit = circuit.measure(0);
+    CircuitOp op;
+    op.gate = q::Gate::kCZ;
+    op.qubits = {1, 2}; // slots 1 and 2: blocks 0 and 1, so two controllers
+    op.condition = {bit};
+    circuit.append(std::move(op));
+
+    CompilerConfig cc;
+    cc.qubits_per_controller = 2;
+    cc.routing = RoutingMode::kSwap;
+    const net::Topology topo = lineOf(2);
+    PassContext ctx(topo, cc, circuit);
+    ASSERT_TRUE(runThroughRoute(ctx).isOk());
+    bool found = false;
+    for (const auto &r : ctx.routed) {
+        if (!r.op.isConditional() || r.op.qubits.size() != 2)
+            continue;
+        found = true;
+        EXPECT_EQ(ctx.controllerOfSlot(r.op.qubits[0]),
+                  ctx.controllerOfSlot(r.op.qubits[1]));
+    }
+    EXPECT_TRUE(found);
+    EXPECT_GT(ctx.stats.counter("swaps_inserted"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// CodeStream: the size mirror and replay fidelity.
+// ---------------------------------------------------------------------------
+
+TEST(CodeStream, SizeMirrorsProgramBuilderExactly)
+{
+    passes::CodeStream stream;
+    const std::size_t skip = stream.newLabel();
+    stream.waiti(3);
+    stream.waiti(200000); // multi-chunk wait (kMaxWaitImmediate splits)
+    stream.cwii(2, 7);
+    stream.syncController(1);
+    stream.syncRouter(0, 64);
+    stream.wtrig(3);
+    stream.send(1, 5);
+    stream.recv(5, 9);
+    stream.andi(5, 5, 1);
+    stream.sw(5, 0, 8);
+    stream.lw(6, 0, 8);
+    stream.xorReg(6, 6, 5);
+    stream.beq(6, 0, skip);
+    stream.bind(skip);
+    stream.halt();
+
+    ProgramBuilder builder("mirror");
+    stream.replay(builder); // asserts builder.size() == stream.size()
+    EXPECT_EQ(builder.size(), stream.size());
+    const auto program = builder.finish();
+    EXPECT_EQ(program.instructions.size(), stream.size());
+    EXPECT_EQ(program.instructions.back().op, isa::Op::kHalt);
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline equivalences.
+// ---------------------------------------------------------------------------
+
+void
+expectSamePrograms(const CompiledProgram &a, const CompiledProgram &b)
+{
+    ASSERT_EQ(a.used, b.used);
+    for (std::size_t c = 0; c < a.programs.size(); ++c) {
+        ASSERT_EQ(a.programs[c].words, b.programs[c].words)
+            << "controller " << c;
+    }
+    EXPECT_EQ(a.bindings.size(), b.bindings.size());
+    EXPECT_EQ(a.meas_routes, b.meas_routes);
+}
+
+TEST(Pipeline, ManualPassRunEqualsCompile)
+{
+    const auto circuit = workloads::ghz(6, /*measure_all=*/true);
+    const net::Topology topo = lineOf(6);
+    CompilerConfig cc;
+    Compiler compiler(topo, cc);
+    const auto via_compile = compiler.compile(circuit);
+
+    PassContext ctx(topo, cc, circuit);
+    ASSERT_TRUE(passes::runPipeline(ctx).isOk());
+    expectSamePrograms(via_compile, ctx.out);
+    EXPECT_EQ(ctx.out.ports_per_controller, 1u);
+    EXPECT_EQ(ctx.out.device_qubits, 6u);
+}
+
+TEST(Pipeline, RoutingModeIsBitCompatibleWhenNothingTriggers)
+{
+    // Feedback exists, but every post-feedback two-qubit gate is
+    // link-adjacent: the swap router must leave the program untouched.
+    Circuit circuit(4, "adjacent_only");
+    circuit.gate(q::Gate::kH, 0);
+    const CbitId bit = circuit.measure(0);
+    circuit.conditionalGate(q::Gate::kX, 0, {bit});
+    circuit.gate2(q::Gate::kCZ, 0, 1);
+    circuit.gate2(q::Gate::kCZ, 2, 3);
+
+    const net::Topology topo = lineOf(4);
+    CompilerConfig off;
+    CompilerConfig on;
+    on.routing = RoutingMode::kSwap;
+    const auto p_off = Compiler(topo, off).compile(circuit);
+    const auto p_on = Compiler(topo, on).compile(circuit);
+    EXPECT_EQ(p_on.stats.counter("swaps_inserted"), 0u);
+    expectSamePrograms(p_off, p_on);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end routing correctness.
+// ---------------------------------------------------------------------------
+
+/**
+ * The 4-bit CDKM adder plus never-taken feedback blocks: measuring a
+ * fresh |0> ancilla yields 0 deterministically, so the conditionals
+ * never fire and the sum is unchanged — but at compile time they
+ * diverge their controllers' timelines, forcing real SWAP chains for
+ * the adder's cross-controller gates. 11 qubits on a 6-controller
+ * machine (capacity 6) exercises the oversubscribed mapping too.
+ */
+Circuit
+adderWithDivergence(unsigned *expected_sum,
+                    std::vector<QubitId> *sum_qubits)
+{
+    workloads::AdderOptions opt;
+    opt.seed = 9;
+    const auto adder = workloads::adder(10, opt);
+
+    Rng check(opt.seed);
+    unsigned a = 0, b = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+        if (check.coin(0.5))
+            a |= 1u << i;
+        if (check.coin(0.5))
+            b |= 1u << i;
+    }
+    *expected_sum = a + b;
+    // Sum bit i lives on qubit 2 + 2i, carry-out on qubit 9.
+    *sum_qubits = {2, 4, 6, 8, 9};
+
+    Circuit circuit(11, "adder_routed");
+    const CbitId anc = circuit.measure(10); // |0> ancilla: outcome 0
+    circuit.conditionalGate(q::Gate::kX, 1, {anc});
+    circuit.conditionalGate(q::Gate::kX, 5, {anc});
+    circuit.conditionalGate(q::Gate::kX, 8, {anc});
+    for (const auto &op : adder.ops()) {
+        if (op.isMeasure()) {
+            // Re-measure through the circuit API so cbit ids track.
+            circuit.measure(op.qubits[0]);
+        } else {
+            circuit.append(op);
+        }
+    }
+    return circuit;
+}
+
+TEST(RoutingE2e, OverCapacityAdderSumCorrectOnAllShapes)
+{
+    unsigned expected = 0;
+    std::vector<QubitId> sum_qubits;
+    const auto circuit = adderWithDivergence(&expected, &sum_qubits);
+
+    std::uint64_t total_swaps = 0;
+    for (net::TopologyShape shape : net::allTopologyShapes()) {
+        auto topo_cfg = sweep::shapeTopology(shape, 6);
+        const net::Topology topo = net::Topology::build(topo_cfg);
+        ASSERT_LT(topo.numControllers() * 1u, circuit.numQubits())
+            << net::toString(shape) << ": not over-capacity?";
+
+        CompilerConfig cc;
+        cc.routing = RoutingMode::kSwap;
+        Compiler compiler(topo, cc);
+        auto result = compiler.tryCompile(circuit);
+        ASSERT_TRUE(result.isOk())
+            << net::toString(shape) << ": " << result.message();
+        const auto compiled = result.take();
+        total_swaps += compiled.stats.counter("swaps_inserted");
+
+        auto mc = machineConfigFor(topo_cfg, cc, compiled,
+                                   /*state_vector=*/true, 3);
+        runtime::Machine machine(mc);
+        compiled.applyTo(machine);
+        const auto report = machine.run();
+        ASSERT_FALSE(report.deadlock) << net::toString(shape);
+        EXPECT_EQ(report.coincidence_violations, 0u)
+            << net::toString(shape);
+
+        // Decode via the measurement log: device records are keyed by
+        // physical slot; occurrences map them back to logical qubits.
+        std::map<QubitId, std::size_t> occurrence;
+        unsigned measured = 0;
+        for (const auto &m : machine.device().measurements()) {
+            const QubitId logical =
+                compiled.logicalMeasQubit(m.qubit, occurrence[m.qubit]++);
+            ASSERT_NE(logical, kNoQubit) << net::toString(shape);
+            if (logical == 10)
+                continue; // the divergence ancilla
+            for (std::size_t i = 0; i < sum_qubits.size(); ++i) {
+                if (logical == sum_qubits[i])
+                    measured |= unsigned(m.bit) << i;
+            }
+        }
+        EXPECT_EQ(measured, expected) << net::toString(shape);
+    }
+    // Across the six shapes the diverged adder must have routed for real.
+    EXPECT_GT(total_swaps, 0u);
+}
+
+TEST(RoutingE2e, PreviouslyRejectedWorkloadsRunHealthyOverCapacity)
+{
+    // 12 stride-coupled qubits with far-side feedback on an 8-controller
+    // machine: rejected without routing, healthy with it — on both the
+    // shapes the acceptance gate names.
+    workloads::RoutingStressOptions opt;
+    const auto circuit = workloads::routingStress(opt);
+    for (net::TopologyShape shape :
+         {net::TopologyShape::kTorus, net::TopologyShape::kHeavyHex}) {
+        sweep::ExecOptions opts;
+        opts.topology = shape;
+        opts.controllers = 8;
+
+        CompilerConfig off;
+        const auto rejected = sweep::executeWith(circuit, off, opts);
+        EXPECT_TRUE(rejected.rejected) << net::toString(shape);
+        EXPECT_FALSE(rejected.healthy()) << net::toString(shape);
+        EXPECT_NE(rejected.reject_reason.find("routing"),
+                  std::string::npos)
+            << rejected.reject_reason;
+
+        CompilerConfig on;
+        on.routing = RoutingMode::kSwap;
+        const auto routed = sweep::executeWith(circuit, on, opts);
+        EXPECT_TRUE(routed.healthy()) << net::toString(shape);
+        EXPECT_GT(routed.makespan, 0u) << net::toString(shape);
+        EXPECT_GT(routed.swaps, 0u) << net::toString(shape);
+    }
+}
+
+TEST(RoutingE2e, RoutedAndUnroutedAgreeWhenCapacitySuffices)
+{
+    // Capacity-sufficient feedback workload: both modes must run
+    // healthy; the routed one may insert swaps but must stay correct.
+    workloads::RandomDynamicOptions opt;
+    opt.qubits = 9;
+    opt.layers = 8;
+    opt.feedback_fraction = 0.5;
+    opt.feedback_span = 6;
+    opt.seed = 21;
+    const auto circuit = workloads::randomDynamic(opt);
+    for (net::TopologyShape shape :
+         {net::TopologyShape::kLine, net::TopologyShape::kTorus}) {
+        sweep::ExecOptions opts;
+        opts.topology = shape;
+        CompilerConfig off;
+        CompilerConfig on;
+        on.routing = RoutingMode::kSwap;
+        const auto r_off = sweep::executeWith(circuit, off, opts);
+        const auto r_on = sweep::executeWith(circuit, on, opts);
+        EXPECT_TRUE(r_off.healthy()) << net::toString(shape);
+        EXPECT_TRUE(r_on.healthy()) << net::toString(shape);
+    }
+}
+
+TEST(RoutingE2e, RepetitionsStayHealthyWithRouting)
+{
+    workloads::RoutingStressOptions opt;
+    opt.qubits = 10;
+    opt.layers = 5;
+    const auto circuit = workloads::routingStress(opt);
+    CompilerConfig cc;
+    cc.routing = RoutingMode::kSwap;
+    cc.repetitions = 3;
+    sweep::ExecOptions opts;
+    opts.topology = net::TopologyShape::kTorus;
+    opts.controllers = 6;
+    const auto r = sweep::executeWith(circuit, cc, opts);
+    EXPECT_TRUE(r.healthy());
+}
+
+TEST(RoutingE2e, RepetitionsActOnTheRightLogicalQubits)
+{
+    // Basis-state circuit whose per-repetition outcomes differ — the
+    // second repetition's measurement of q4 reads what the FIRST
+    // repetition's routed CNOT wrote, so any stale qubit->slot rewrite
+    // (repetition 2 replaying repetition 1's slots against the moved
+    // map) flips the expected bits. 5 qubits on a 3-controller line
+    // (capacity 3): oversubscribed AND the (c0, c2) pair is non-adjacent.
+    Circuit circuit(5, "rep_routed");
+    const CbitId anc = circuit.measure(4);
+    circuit.conditionalGate(q::Gate::kX, 0, {anc});
+    circuit.gate(q::Gate::kX, 0);
+    circuit.gate2(q::Gate::kCNOT, 0, 4);
+    circuit.measure(0);
+    circuit.measure(4);
+    // Logical evolution (all deterministic basis states):
+    //   rep 1: q4=0 -> cond skipped; q0: 0->1; q4 ^= q0 -> 1; read 1, 1
+    //   rep 2: q4=1 -> cond X(0): 1->0; X: 0->1; q4 ^= 1 -> 0; read 1, 0
+    const std::vector<int> expected_q4 = {0, 1, 1, 0};
+    const std::vector<int> expected_q0 = {1, 1};
+
+    auto topo_cfg = sweep::lineTopology(3);
+    const net::Topology topo = net::Topology::build(topo_cfg);
+    CompilerConfig cc;
+    cc.routing = RoutingMode::kSwap;
+    cc.repetitions = 2;
+    Compiler compiler(topo, cc);
+    auto result = compiler.tryCompile(circuit);
+    ASSERT_TRUE(result.isOk()) << result.message();
+    const auto compiled = result.take();
+    EXPECT_GT(compiled.stats.counter("swaps_inserted"), 0u);
+    // The live map moved between repetitions, so the second repetition
+    // must have been routed as its own stream: 2 reps x 3 measurements.
+    ASSERT_EQ(compiled.meas_log.size(), 6u);
+
+    auto mc = machineConfigFor(topo_cfg, cc, compiled,
+                               /*state_vector=*/true, 5);
+    runtime::Machine machine(mc);
+    compiled.applyTo(machine);
+    const auto report = machine.run();
+    ASSERT_FALSE(report.deadlock);
+    EXPECT_EQ(report.coincidence_violations, 0u);
+
+    std::map<QubitId, std::size_t> occurrence;
+    std::vector<int> got_q0, got_q4;
+    for (const auto &m : machine.device().measurements()) {
+        const QubitId logical =
+            compiled.logicalMeasQubit(m.qubit, occurrence[m.qubit]++);
+        ASSERT_NE(logical, kNoQubit);
+        if (logical == 0)
+            got_q0.push_back(m.bit);
+        else if (logical == 4)
+            got_q4.push_back(m.bit);
+    }
+    EXPECT_EQ(got_q0, expected_q0);
+    EXPECT_EQ(got_q4, expected_q4);
+}
+
+// ---------------------------------------------------------------------------
+// CompiledProgram helpers + LiveMap.
+// ---------------------------------------------------------------------------
+
+TEST(CompiledProgram, LogicalMeasQubitWalksOccurrences)
+{
+    CompiledProgram p;
+    p.meas_log = {{3, 7}, {3, 8}, {5, 5}};
+    EXPECT_EQ(p.logicalMeasQubit(3, 0), 7u);
+    EXPECT_EQ(p.logicalMeasQubit(3, 1), 8u);
+    EXPECT_EQ(p.logicalMeasQubit(5, 0), 5u);
+    EXPECT_EQ(p.logicalMeasQubit(3, 2), kNoQubit);
+    EXPECT_EQ(p.logicalMeasQubit(9, 0), kNoQubit);
+}
+
+TEST(LiveMap, SwapTracksBothDirectionsAndEmptySlots)
+{
+    place::LiveMap map(3, 5); // slots 3, 4 start empty
+    EXPECT_EQ(map.slotOf(2), 2u);
+    EXPECT_EQ(map.logicalAt(4), kNoQubit);
+    map.swapSlots(2, 4); // into an empty slot
+    EXPECT_EQ(map.slotOf(2), 4u);
+    EXPECT_EQ(map.logicalAt(2), kNoQubit);
+    EXPECT_EQ(map.logicalAt(4), 2u);
+    map.swapSlots(0, 4); // two occupied slots
+    EXPECT_EQ(map.slotOf(0), 4u);
+    EXPECT_EQ(map.slotOf(2), 0u);
+    EXPECT_EQ(map.logicalAt(0), 2u);
+    EXPECT_EQ(map.logicalAt(4), 0u);
+}
+
+} // namespace
+} // namespace dhisq::compiler

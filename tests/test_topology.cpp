@@ -506,6 +506,55 @@ TEST(LinkLatency, LatencyDistanceTakesTheCheapestPath)
     EXPECT_EQ(ring.latencyDistance(5, 5), 0u);
 }
 
+TEST(LinkLatency, CheapestPathRealizesTheLatencyDistance)
+{
+    // On every shape and latency model, cheapestPath must return a walk
+    // of graph-adjacent controllers whose summed link latencies equal
+    // latencyDistance — the contract the SWAP router relies on.
+    for (TopologyShape shape : allTopologyShapes()) {
+        for (LinkLatencyModel model : allLinkLatencyModels()) {
+            TopologyConfig cfg;
+            cfg.shape = shape;
+            cfg.width = 4;
+            cfg.height = 3;
+            cfg.latency_model = model;
+            const auto topo = Topology::build(cfg);
+            const unsigned n = topo.numControllers();
+            for (ControllerId a = 0; a < n; a += 3) {
+                for (ControllerId b = 0; b < n; b += 5) {
+                    const auto path = topo.cheapestPath(a, b);
+                    ASSERT_GE(path.size(), 1u);
+                    EXPECT_EQ(path.front(), a);
+                    EXPECT_EQ(path.back(), b);
+                    Cycle total = 0;
+                    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+                        ASSERT_TRUE(
+                            topo.areNeighbors(path[i], path[i + 1]))
+                            << toString(shape) << "/" << toString(model);
+                        total +=
+                            topo.neighborLatency(path[i], path[i + 1]);
+                    }
+                    EXPECT_EQ(total, topo.latencyDistance(a, b))
+                        << toString(shape) << "/" << toString(model);
+                }
+            }
+        }
+    }
+}
+
+TEST(LinkLatency, CheapestPathIsDeterministic)
+{
+    TopologyConfig cfg;
+    cfg.shape = TopologyShape::kTorus;
+    cfg.width = 4;
+    cfg.height = 4;
+    cfg.latency_model = LinkLatencyModel::kSeededJitter;
+    const auto topo = Topology::build(cfg);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(topo.cheapestPath(1, 14), topo.cheapestPath(1, 14));
+    EXPECT_EQ(topo.cheapestPath(5, 5), std::vector<ControllerId>{5});
+}
+
 // ---- Locality router clustering -----------------------------------------
 
 namespace {
