@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Backend-tier wall-clock kernels: the same Clifford shot (GHZ chain,
+ * repeated syndrome extraction) driven through the abstract q::Backend
+ * interface on the dense state vector and the stabilizer tableau, timed
+ * with std::chrono so the artifact needs no external benchmark library.
+ *
+ * The emitted BENCH_backend_kernels.json is regression-gated like every
+ * other bench, with one twist: wall times are inherently noisy, so they
+ * are stored under UNTRACKED metric keys (dense_ns_per_shot,
+ * tableau_ns_per_shot, speedup) that bench_compare never thresholds.
+ * What the gate does hold is the healthy flag of the largest-common-size
+ * point per kernel: it is true iff the tableau beats the dense backend
+ * outright there, and a healthy-in-baseline point turning unhealthy is
+ * always a regression. The margin is orders of magnitude (O(n) vs
+ * O(2^n) per gate), so scheduler noise cannot flip it.
+ *
+ * Unlike the sweep benches this binary runs its points serially and
+ * ignores --threads: concurrent timing runs would contend for cores and
+ * corrupt each other's numbers, and the sweep runner's determinism
+ * re-check rightly refuses wall-clock metrics.
+ */
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "quantum/backend.hpp"
+#include "quantum/state_vector.hpp"
+#include "quantum/tableau.hpp"
+#include "sweep/cli.hpp"
+#include "sweep/report.hpp"
+
+using namespace dhisq;
+
+namespace {
+
+/** One GHZ shot: H + CNOT chain + measure every qubit. */
+void
+ghzShot(q::Backend &b, Rng &rng)
+{
+    b.reset();
+    const unsigned n = b.numQubits();
+    b.apply1q(q::Gate::kH, 0);
+    for (QubitId i = 0; i + 1 < n; ++i)
+        b.apply2q(q::Gate::kCNOT, i, i + 1);
+    int parity = 0;
+    for (QubitId i = 0; i < n; ++i)
+        parity ^= b.measure(i, rng);
+    // Keep the measurement results observable so the loop cannot be
+    // optimized into nothing.
+    volatile int sink = parity;
+    (void)sink;
+}
+
+/**
+ * One syndrome-extraction shot: odd qubits are ancillas reading the ZZ
+ * parity of their even neighbours; four rounds of extract + active reset.
+ */
+void
+syndromeShot(q::Backend &b, Rng &rng)
+{
+    b.reset();
+    const unsigned n = b.numQubits();
+    for (QubitId d = 0; d < n; d += 2)
+        b.apply1q(q::Gate::kH, d);
+    for (int round = 0; round < 4; ++round) {
+        for (QubitId a = 1; a < n; a += 2) {
+            b.apply2q(q::Gate::kCNOT, a - 1, a);
+            if (a + 1 < n)
+                b.apply2q(q::Gate::kCNOT, a + 1, a);
+        }
+        for (QubitId a = 1; a < n; a += 2)
+            b.resetQubit(a, rng);
+    }
+}
+
+using ShotFn = void (*)(q::Backend &, Rng &);
+
+struct KernelSpec
+{
+    const char *name;
+    ShotFn shot;
+};
+
+/**
+ * Best-of-3 repetitions, nanoseconds per shot. Each repetition reseeds
+ * the Rng identically, so dense and tableau perform the same logical
+ * work (same circuits, same measurement outcomes) and the comparison is
+ * apples-to-apples.
+ */
+double
+nsPerShot(q::Backend &b, ShotFn shot, unsigned shots)
+{
+    using clock = std::chrono::steady_clock;
+    double best = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+        Rng rng(1000003u * unsigned(rep) + 17u);
+        const auto t0 = clock::now();
+        for (unsigned s = 0; s < shots; ++s)
+            shot(b, rng);
+        const auto t1 = clock::now();
+        const double ns =
+            double(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       t1 - t0)
+                       .count()) /
+            double(shots);
+        best = (rep == 0) ? ns : std::min(best, ns);
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto cli = sweep::parseCliOrExit(argc, argv);
+
+    // Common sizes run on both backends; the largest is the gated
+    // comparison point. The scaling size runs tableau-only — its dense
+    // equivalent would need 2^n amplitudes.
+    const std::vector<unsigned> common =
+        cli.quick ? std::vector<unsigned>{6, 10, 12}
+                  : std::vector<unsigned>{8, 12, 14};
+    const unsigned largest = common.back();
+    const unsigned scaling = cli.quick ? 128 : 512;
+    const unsigned shots = cli.quick ? 24 : 48;
+
+    const KernelSpec kernels[] = {{"ghz", ghzShot},
+                                  {"syndrome", syndromeShot}};
+
+    std::vector<sweep::PointResult> points;
+    if (cli.list) {
+        for (const auto &k : kernels) {
+            for (const unsigned n : common)
+                std::printf("%s/n%u\n", k.name, n);
+            std::printf("%s/n%u/tableau-only\n", k.name, scaling);
+        }
+        return 0;
+    }
+
+    std::printf("==== backend kernels: dense vs tableau wall time ====\n");
+    std::printf("(%u shots per point, best of 3 repetitions)\n", shots);
+    std::printf("%-16s %14s %14s %10s\n", "point", "dense ns/shot",
+                "tableau ns/shot", "speedup");
+    for (const auto &k : kernels) {
+        for (const unsigned n : common) {
+            q::StateVector dense(n);
+            q::TableauState tab(n);
+            const double dns = nsPerShot(dense, k.shot, shots);
+            const double tns = nsPerShot(tab, k.shot, shots);
+            const double speedup = tns > 0.0 ? dns / tns : 0.0;
+
+            sweep::PointResult out;
+            out.label = std::string(k.name) + "/n" + std::to_string(n);
+            out.params["kernel"] = k.name;
+            out.params["qubits"] = n;
+            out.params["shots"] = shots;
+            out.metrics["dense_ns_per_shot"] = dns;
+            out.metrics["tableau_ns_per_shot"] = tns;
+            out.metrics["speedup"] = speedup;
+            if (n == largest && !(tns < dns)) {
+                // The acceptance bar: at the largest size both backends
+                // can run, the tableau must win outright.
+                out.healthy = false;
+                out.health = "tableau-not-faster";
+            }
+            points.push_back(out);
+            std::printf("%-16s %14.0f %14.0f %9.1fx%s\n",
+                        out.label.c_str(), dns, tns, speedup,
+                        out.healthy ? "" : "  [REGRESSION]");
+        }
+        {
+            // Tableau-only scaling point: far beyond any dense limit.
+            q::TableauState tab(scaling);
+            const double tns = nsPerShot(tab, k.shot, shots);
+            sweep::PointResult out;
+            out.label = std::string(k.name) + "/n" +
+                        std::to_string(scaling) + "/tableau-only";
+            out.params["kernel"] = k.name;
+            out.params["qubits"] = scaling;
+            out.params["shots"] = shots;
+            out.metrics["tableau_ns_per_shot"] = tns;
+            points.push_back(out);
+            std::printf("%-16s %14s %14.0f %10s\n", out.label.c_str(),
+                        "-", tns, "-");
+        }
+    }
+
+    sweep::BenchReport report;
+    report.bench = "backend_kernels";
+    report.config["suite"] = cli.quick ? "quick" : "paper";
+    report.config["shots"] = shots;
+    report.config["largest_common_qubits"] = largest;
+    report.config["scaling_qubits"] = scaling;
+    report.points = points;
+
+    if (!cli.json_path.empty()) {
+        if (auto st = sweep::writeBenchJson(cli.json_path, report); !st) {
+            std::fprintf(stderr, "%s\n", st.message().c_str());
+            return 1;
+        }
+    }
+    return report.allHealthy() ? 0 : 1;
+}

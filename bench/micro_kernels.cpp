@@ -8,7 +8,9 @@
 
 #include "compiler/compiler.hpp"
 #include "isa/assembler.hpp"
+#include "common/rng.hpp"
 #include "quantum/state_vector.hpp"
+#include "quantum/tableau.hpp"
 #include "runtime/machine.hpp"
 #include "sim/scheduler.hpp"
 #include "workloads/generators.hpp"
@@ -91,6 +93,92 @@ BM_StateVectorCz(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_StateVectorCz)->Arg(8)->Arg(16);
+
+// -------------------------------------------------------------------------
+// Backend-tier kernels: the same Clifford shot driven through the abstract
+// q::Backend interface on both implementations, so the numbers include the
+// virtual dispatch the device actually pays. bench/backend_kernels.cpp runs
+// the same shots under the regression-gated dhisq-bench-v1 artifact.
+// -------------------------------------------------------------------------
+
+/** One GHZ shot: H + CNOT chain + measure every qubit. */
+static void
+ghzShot(q::Backend &b, Rng &rng)
+{
+    b.reset();
+    const unsigned n = b.numQubits();
+    b.apply1q(q::Gate::kH, 0);
+    for (QubitId i = 0; i + 1 < n; ++i)
+        b.apply2q(q::Gate::kCNOT, i, i + 1);
+    for (QubitId i = 0; i < n; ++i)
+        benchmark::DoNotOptimize(b.measure(i, rng));
+}
+
+/**
+ * One syndrome-extraction shot: odd qubits are ancillas reading the ZZ
+ * parity of their even neighbours; four rounds of extract + active reset.
+ */
+static void
+syndromeShot(q::Backend &b, Rng &rng)
+{
+    b.reset();
+    const unsigned n = b.numQubits();
+    for (QubitId d = 0; d < n; d += 2)
+        b.apply1q(q::Gate::kH, d);
+    for (int round = 0; round < 4; ++round) {
+        for (QubitId a = 1; a < n; a += 2) {
+            b.apply2q(q::Gate::kCNOT, a - 1, a);
+            if (a + 1 < n)
+                b.apply2q(q::Gate::kCNOT, a + 1, a);
+        }
+        for (QubitId a = 1; a < n; a += 2)
+            b.resetQubit(a, rng);
+    }
+}
+
+static void
+BM_BackendGhzDense(benchmark::State &state)
+{
+    q::StateVector sv(unsigned(state.range(0)));
+    Rng rng(1);
+    for (auto _ : state)
+        ghzShot(sv, rng);
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BackendGhzDense)->Arg(8)->Arg(14);
+
+static void
+BM_BackendGhzTableau(benchmark::State &state)
+{
+    q::TableauState tab(unsigned(state.range(0)));
+    Rng rng(1);
+    for (auto _ : state)
+        ghzShot(tab, rng);
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BackendGhzTableau)->Arg(8)->Arg(14)->Arg(256);
+
+static void
+BM_BackendSyndromeDense(benchmark::State &state)
+{
+    q::StateVector sv(unsigned(state.range(0)));
+    Rng rng(1);
+    for (auto _ : state)
+        syndromeShot(sv, rng);
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BackendSyndromeDense)->Arg(8)->Arg(14);
+
+static void
+BM_BackendSyndromeTableau(benchmark::State &state)
+{
+    q::TableauState tab(unsigned(state.range(0)));
+    Rng rng(1);
+    for (auto _ : state)
+        syndromeShot(tab, rng);
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BackendSyndromeTableau)->Arg(8)->Arg(14)->Arg(256);
 
 static void
 BM_Assembler(benchmark::State &state)

@@ -150,6 +150,10 @@ machineConfigFor(const net::TopologyConfig &topo,
     cfg.ports_per_controller =
         std::max(compiler.qubits_per_controller,
                  compiled.ports_per_controller);
+    // Tier selection: the program's gate census decides whether the
+    // functional device may run the stabilizer tableau.
+    cfg.device.backend =
+        q::resolveBackend(compiler.backend, compiled.clifford_only);
     return cfg;
 }
 

@@ -114,6 +114,13 @@ struct CompilerConfig
     Cycle region_residual = 64;
     /** Program repetitions, separated by region-level synchronization. */
     unsigned repetitions = 1;
+    /**
+     * Functional-backend tier for devices built from this compilation
+     * (machineConfigFor's compiled-program overload). kAuto picks the
+     * stabilizer tableau when the compiled op stream is Clifford-only
+     * and the dense state vector otherwise.
+     */
+    q::BackendTier backend = q::BackendTier::kAuto;
 };
 
 /** One board binding produced by compilation. */
@@ -144,6 +151,12 @@ struct CompiledProgram
      */
     unsigned ports_per_controller = 0;
     unsigned device_qubits = 0;
+    /**
+     * True when every bound device action is Clifford (gates from the
+     * H/S/Paulis/90-degree-rotations/CNOT/CZ/SWAP set, measurement,
+     * reset) — the census the backend tier selector resolves against.
+     */
+    bool clifford_only = false;
     /**
      * (physical slot, logical qubit) per measurement, in program order —
      * the map from the device's slot-keyed measurement records back to

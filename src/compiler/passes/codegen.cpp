@@ -23,6 +23,18 @@ CodegenPass::run(PassContext &ctx)
         out.programs[c] = builder.finish();
     }
     out.bindings = std::move(ctx.bindings);
+    // Gate census for the backend tier selector: the program is
+    // Clifford-only iff every bound gate action is. Measurement/reset
+    // pseudo-gates and nops are Clifford by definition.
+    out.clifford_only = true;
+    for (const Binding &b : out.bindings) {
+        if (b.action.kind == q::ActionKind::Nop)
+            continue;
+        if (!q::isCliffordGate(b.action.gate)) {
+            out.clifford_only = false;
+            break;
+        }
+    }
     out.meas_routes = std::move(ctx.meas_routes);
     out.stats = std::move(ctx.stats);
     out.ports_per_controller = ctx.slots_per_controller;

@@ -9,8 +9,11 @@ LowerPass::run(PassContext &ctx)
 {
     const unsigned nc = ctx.topo.numControllers();
     const unsigned qpc = ctx.config.qubits_per_controller;
-    if (qpc == 0)
-        return Status::error("qubits_per_controller must be >= 1");
+    if (qpc == 0) {
+        return Status::error("circuit '" + ctx.circuit.name() +
+                             "': qubits_per_controller must be >= 1 "
+                             "(got 0)");
+    }
     if (ctx.circuit.numQubits() == 0) {
         return Status::error("circuit '" + ctx.circuit.name() +
                              "' has no qubits");

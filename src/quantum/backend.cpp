@@ -1,0 +1,65 @@
+#include "quantum/backend.hpp"
+
+namespace dhisq::q {
+
+const char *
+toString(BackendKind kind)
+{
+    switch (kind) {
+      case BackendKind::kDense: return "dense";
+      case BackendKind::kTableau: return "tableau";
+    }
+    return "?";
+}
+
+const char *
+toString(BackendTier tier)
+{
+    switch (tier) {
+      case BackendTier::kAuto: return "auto";
+      case BackendTier::kDense: return "dense";
+      case BackendTier::kTableau: return "tableau";
+    }
+    return "?";
+}
+
+bool
+parseBackendTier(std::string_view text, BackendTier &out)
+{
+    for (BackendTier tier : allBackendTiers()) {
+        if (text == toString(tier)) {
+            out = tier;
+            return true;
+        }
+    }
+    return false;
+}
+
+const std::vector<BackendTier> &
+allBackendTiers()
+{
+    static const std::vector<BackendTier> tiers = {
+        BackendTier::kAuto,
+        BackendTier::kDense,
+        BackendTier::kTableau,
+    };
+    return tiers;
+}
+
+BackendKind
+resolveBackend(BackendTier tier, bool clifford_only)
+{
+    switch (tier) {
+      case BackendTier::kDense:
+        return BackendKind::kDense;
+      case BackendTier::kAuto:
+      case BackendTier::kTableau:
+        // An explicit tableau request still needs a Clifford program —
+        // the tableau cannot represent T/rotation states, so non-Clifford
+        // programs fall back to dense instead of failing the run.
+        return clifford_only ? BackendKind::kTableau : BackendKind::kDense;
+    }
+    return BackendKind::kDense;
+}
+
+} // namespace dhisq::q

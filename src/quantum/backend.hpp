@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The quantum-backend tier: one interface, two functional simulators.
+ *
+ * Every functional (non-stochastic) device run applies the same action
+ * vocabulary — 1q/2q Clifford-or-dense gates, projective Z measurement,
+ * active reset — so the device programs against this `Backend` interface
+ * and the machine picks the cheapest implementation that is exact for the
+ * compiled program:
+ *
+ *   - `StateVector`   dense 2^n amplitudes; exact for every gate, cost
+ *                     O(2^n) per gate (practical to ~20 qubits).
+ *   - `TableauState`  Aaronson-Gottesman stabilizer tableau; exact for
+ *                     Clifford circuits (H/S/X/Y/Z/CNOT/CZ/... plus
+ *                     measurement and feedback), cost O(n) per gate and
+ *                     O(n^2/64) per measurement — thousands of qubits.
+ *
+ * Measurement-outcome contract: both backends consume EXACTLY ONE draw
+ * from the caller's Rng per measure()/resetQubit() and produce the same
+ * bit for the same pre-measurement state and Rng stream. This is what the
+ * differential harness (test_backend_diff) asserts end-to-end: a compiled
+ * machine run is bit-identical — measurement records included — no matter
+ * which functional backend the tier selector picked.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "quantum/gates.hpp"
+
+namespace dhisq::q {
+
+/** Which functional backend implementation a device runs. */
+enum class BackendKind : std::uint8_t {
+    kDense,   ///< StateVector (exact for all gates)
+    kTableau, ///< TableauState (exact for Clifford-only programs)
+};
+
+/** Human-readable backend name ("dense", "tableau"). */
+const char *toString(BackendKind kind);
+
+/**
+ * Backend-selection tier of a compilation/sweep point.
+ *
+ *  - kAuto     scan the compiled program: all-Clifford -> tableau,
+ *              anything else (T, rotations, controlled phases) -> dense.
+ *  - kDense    always the dense state vector (amplitude access needed,
+ *              e.g. fidelity assertions).
+ *  - kTableau  request the stabilizer backend; programs with non-Clifford
+ *              gates still fall back to dense (the tableau cannot
+ *              represent them), so mixed sweeps stay healthy.
+ */
+enum class BackendTier : std::uint8_t { kAuto, kDense, kTableau };
+
+/** Human-readable tier name ("auto", "dense", "tableau"). */
+const char *toString(BackendTier tier);
+
+/** Parse a tier name; false when `text` names no tier. */
+bool parseBackendTier(std::string_view text, BackendTier &out);
+
+/** Every backend tier in canonical sweep order. */
+const std::vector<BackendTier> &allBackendTiers();
+
+/** Resolve a tier against a program's gate census. */
+BackendKind resolveBackend(BackendTier tier, bool clifford_only);
+
+/**
+ * Functional quantum state shared by the simulator backends.
+ *
+ * The device drives exactly this surface; everything richer (amplitudes,
+ * fidelity, stabilizer rows) lives on the concrete classes and is only
+ * reachable where the caller knows — or asserted — which tier runs.
+ */
+class Backend
+{
+  public:
+    virtual ~Backend() = default;
+
+    virtual BackendKind kind() const = 0;
+
+    virtual unsigned numQubits() const = 0;
+
+    /** Reset to |0...0>. */
+    virtual void reset() = 0;
+
+    /** Apply a single-qubit gate (angle used when parameterized). */
+    virtual void apply1q(Gate g, QubitId qubit, double angle = 0.0) = 0;
+
+    /** Apply a two-qubit gate; q0 is the gate's first operand (control
+     *  for CNOT), matching matrix2q's |q1 q0> basis convention. */
+    virtual void apply2q(Gate g, QubitId q0, QubitId q1,
+                         double angle = 0.0) = 0;
+
+    /**
+     * Projective Z measurement with collapse. Consumes exactly one draw
+     * from `rng`; for the same state and Rng stream every backend
+     * returns the same bit.
+     */
+    virtual int measure(QubitId qubit, Rng &rng) = 0;
+
+    /** Reset one qubit to |0> (measure + conditional X; one Rng draw). */
+    virtual void resetQubit(QubitId qubit, Rng &rng) = 0;
+
+    /** Probability of measuring `qubit` as 1 (diagnostics/tests). */
+    virtual double probabilityOfOne(QubitId qubit) const = 0;
+};
+
+} // namespace dhisq::q

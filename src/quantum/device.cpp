@@ -9,30 +9,54 @@ namespace dhisq::q {
 QuantumDevice::QuantumDevice(const DeviceConfig &config)
     : _config(config), _rng(config.seed), _activity(config.num_qubits)
 {
-    if (_config.state_vector)
-        _state = std::make_unique<StateVector>(_config.num_qubits);
+    if (_config.state_vector) {
+        if (_config.backend == BackendKind::kTableau)
+            _backend = std::make_unique<TableauState>(_config.num_qubits);
+        else
+            _backend = std::make_unique<StateVector>(_config.num_qubits);
+    }
 }
 
 StateVector &
 QuantumDevice::state()
 {
-    DHISQ_ASSERT(_state, "device is in stochastic mode; no state vector");
-    return *_state;
+    DHISQ_ASSERT(_backend, "device is in stochastic mode; no state vector");
+    DHISQ_ASSERT(_backend->kind() == BackendKind::kDense,
+                 "device runs the ", toString(_backend->kind()),
+                 " backend; amplitude access needs --backend dense");
+    return static_cast<StateVector &>(*_backend);
 }
 
 const StateVector &
 QuantumDevice::state() const
 {
-    DHISQ_ASSERT(_state, "device is in stochastic mode; no state vector");
-    return *_state;
+    DHISQ_ASSERT(_backend, "device is in stochastic mode; no state vector");
+    DHISQ_ASSERT(_backend->kind() == BackendKind::kDense,
+                 "device runs the ", toString(_backend->kind()),
+                 " backend; amplitude access needs --backend dense");
+    return static_cast<const StateVector &>(*_backend);
+}
+
+Backend &
+QuantumDevice::backend()
+{
+    DHISQ_ASSERT(_backend, "device is in stochastic mode; no backend");
+    return *_backend;
+}
+
+const Backend &
+QuantumDevice::backend() const
+{
+    DHISQ_ASSERT(_backend, "device is in stochastic mode; no backend");
+    return *_backend;
 }
 
 void
 QuantumDevice::reset()
 {
     _rng.reseed(_config.seed);
-    if (_state)
-        _state->reset();
+    if (_backend)
+        _backend->reset();
     _activity.resize(_config.num_qubits);
     _stats.clear();
     _pending_halves.clear();
@@ -52,8 +76,8 @@ QuantumDevice::trigger(const Action &action, Cycle cycle)
         DHISQ_ASSERT(action.q0 < _config.num_qubits, "qubit out of range");
         _activity.record(action.q0, cycle, _config.gate1q_cycles);
         _stats.inc("gates_1q");
-        if (_state)
-            _state->apply1q(action.gate, action.q0, action.angle);
+        if (_backend)
+            _backend->apply1q(action.gate, action.q0, action.angle);
         return;
       }
 
@@ -106,8 +130,8 @@ QuantumDevice::trigger(const Action &action, Cycle cycle)
         DHISQ_ASSERT(action.q0 < _config.num_qubits, "qubit out of range");
         _activity.record(action.q0, cycle, _config.measure_cycles);
         _stats.inc("preps");
-        if (_state)
-            _state->resetQubit(action.q0, _rng);
+        if (_backend)
+            _backend->resetQubit(action.q0, _rng);
         return;
       }
     }
@@ -122,8 +146,8 @@ QuantumDevice::apply2q(Gate gate, double angle, QubitId q0, QubitId q1,
     _activity.record(q0, cycle, _config.gate2q_cycles);
     _activity.record(q1, cycle, _config.gate2q_cycles);
     _stats.inc("gates_2q");
-    if (_state)
-        _state->apply2q(gate, q0, q1, angle);
+    if (_backend)
+        _backend->apply2q(gate, q0, q1, angle);
 }
 
 void
@@ -132,8 +156,8 @@ QuantumDevice::doMeasure(QubitId qubit, Cycle cycle)
     _activity.record(qubit, cycle, _config.measure_cycles);
     _stats.inc("measurements");
     int bit;
-    if (_state) {
-        bit = _state->measure(qubit, _rng);
+    if (_backend) {
+        bit = _backend->measure(qubit, _rng);
     } else {
         bit = _rng.coin(_config.stochastic_p1) ? 1 : 0;
     }

@@ -30,9 +30,11 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "quantum/backend.hpp"
 #include "quantum/gates.hpp"
 #include "quantum/noise.hpp"
 #include "quantum/state_vector.hpp"
+#include "quantum/tableau.hpp"
 
 namespace dhisq::q {
 
@@ -111,8 +113,12 @@ struct CoincidenceViolation
 struct DeviceConfig
 {
     unsigned num_qubits = 2;
-    /** Use the dense state vector (true) or stochastic timing mode. */
+    /** Run a functional backend (true) or stochastic timing mode. */
     bool state_vector = true;
+    /** Which functional backend to instantiate (when state_vector). The
+     *  tier selector resolves this from the compiled program; kTableau is
+     *  only valid for Clifford-only programs. */
+    BackendKind backend = BackendKind::kDense;
     /** Seed for measurement outcome draws. */
     std::uint64_t seed = 1;
     /** P(result == 1) for stochastic-mode measurements. */
@@ -154,10 +160,14 @@ class QuantumDevice
         return _violations;
     }
 
-    /** Direct access for correctness assertions (state-vector mode only). */
+    /** Direct access for correctness assertions (dense backend only). */
     StateVector &state();
     const StateVector &state() const;
-    bool hasState() const { return _state != nullptr; }
+    bool hasState() const { return _backend != nullptr; }
+
+    /** The functional backend (any kind); asserts functional mode. */
+    Backend &backend();
+    const Backend &backend() const;
 
     const ActivityTracker &activity() const { return _activity; }
     const StatSet &stats() const { return _stats; }
@@ -185,7 +195,7 @@ class QuantumDevice
 
     DeviceConfig _config;
     Rng _rng;
-    std::unique_ptr<StateVector> _state;
+    std::unique_ptr<Backend> _backend;
     ActivityTracker _activity;
     StatSet _stats;
     ResultCallback _on_result;

@@ -33,6 +33,26 @@ isParameterized(Gate g)
     }
 }
 
+bool
+isCliffordGate(Gate g)
+{
+    switch (g) {
+      case Gate::kI:
+      case Gate::kX: case Gate::kY: case Gate::kZ:
+      case Gate::kH:
+      case Gate::kS: case Gate::kSdg:
+      case Gate::kX90: case Gate::kY90: case Gate::kXm90: case Gate::kYm90:
+      case Gate::kCZ: case Gate::kCNOT: case Gate::kSwap:
+      case Gate::kMeasure: case Gate::kPrepZ:
+        return true;
+      default:
+        // T/Tdg, the parameterized rotations and CPhase leave the
+        // Clifford group (special angles notwithstanding — the selector
+        // is conservative).
+        return false;
+    }
+}
+
 std::string_view
 gateName(Gate g)
 {

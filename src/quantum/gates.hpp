@@ -41,6 +41,13 @@ bool isTwoQubit(Gate g);
 /** True for parameterized gates (Rx/Ry/Rz/CPhase). */
 bool isParameterized(Gate g);
 
+/**
+ * True for gates in the Clifford group (including the measurement and
+ * reset pseudo-gates): circuits built only from these are exactly
+ * simulable by the stabilizer-tableau backend.
+ */
+bool isCliffordGate(Gate g);
+
 /** Canonical lowercase name ("cz", "x90", ...). */
 std::string_view gateName(Gate g);
 

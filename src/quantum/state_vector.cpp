@@ -51,13 +51,18 @@ StateVector::applyMatrix1q(const std::array<Amp, 4> &m, QubitId qubit)
 {
     DHISQ_ASSERT(qubit < _num_qubits, "qubit out of range");
     const std::size_t bit = std::size_t(1) << qubit;
-    for (std::size_t i = 0; i < _amps.size(); ++i) {
-        if (i & bit)
-            continue;
-        const Amp a0 = _amps[i];
-        const Amp a1 = _amps[i | bit];
-        _amps[i] = m[0] * a0 + m[1] * a1;
-        _amps[i | bit] = m[2] * a0 + m[3] * a1;
+    // Blocked iteration: the inner loop walks `bit` contiguous pairs with
+    // no per-index branch, so the compiler can vectorize the complex
+    // multiply-adds across amplitudes.
+    Amp *const amps = _amps.data();
+    for (std::size_t base = 0; base < _amps.size(); base += 2 * bit) {
+        for (std::size_t off = 0; off < bit; ++off) {
+            const std::size_t i0 = base + off;
+            const Amp a0 = amps[i0];
+            const Amp a1 = amps[i0 + bit];
+            amps[i0] = m[0] * a0 + m[1] * a1;
+            amps[i0 + bit] = m[2] * a0 + m[3] * a1;
+        }
     }
 }
 
@@ -75,21 +80,28 @@ StateVector::applyMatrix2q(const std::array<Amp, 16> &m, QubitId q0,
                  "bad qubit pair ", q0, ",", q1);
     const std::size_t b0 = std::size_t(1) << q0;
     const std::size_t b1 = std::size_t(1) << q1;
-    for (std::size_t i = 0; i < _amps.size(); ++i) {
-        if (i & (b0 | b1))
-            continue;
-        // Gather the four basis states in |q1 q0> order.
-        Amp v[4] = {_amps[i], _amps[i | b0], _amps[i | b1],
-                    _amps[i | b0 | b1]};
-        Amp out[4] = {};
-        for (int r = 0; r < 4; ++r) {
-            for (int c = 0; c < 4; ++c)
-                out[r] += m[r * 4 + c] * v[c];
+    const std::size_t bl = b0 < b1 ? b0 : b1;
+    const std::size_t bh = b0 < b1 ? b1 : b0;
+    // Blocked over the two stride bits: the innermost loop runs `bl`
+    // contiguous, branch-free quads so the 4x4 apply vectorizes.
+    Amp *const amps = _amps.data();
+    for (std::size_t hi = 0; hi < _amps.size(); hi += 2 * bh) {
+        for (std::size_t mid = hi; mid < hi + bh; mid += 2 * bl) {
+            for (std::size_t i = mid; i < mid + bl; ++i) {
+                // Gather the four basis states in |q1 q0> order.
+                const Amp v[4] = {amps[i], amps[i | b0], amps[i | b1],
+                                  amps[i | b0 | b1]};
+                Amp out[4] = {};
+                for (int r = 0; r < 4; ++r) {
+                    for (int c = 0; c < 4; ++c)
+                        out[r] += m[r * 4 + c] * v[c];
+                }
+                amps[i] = out[0];
+                amps[i | b0] = out[1];
+                amps[i | b1] = out[2];
+                amps[i | b0 | b1] = out[3];
+            }
         }
-        _amps[i] = out[0];
-        _amps[i | b0] = out[1];
-        _amps[i | b1] = out[2];
-        _amps[i | b0 | b1] = out[3];
     }
 }
 

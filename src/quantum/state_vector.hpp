@@ -13,22 +13,24 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "quantum/backend.hpp"
 #include "quantum/gates.hpp"
 
 namespace dhisq::q {
 
 /** Dense 2^n state vector with gate application and projective measurement. */
-class StateVector
+class StateVector final : public Backend
 {
   public:
     /** Initialize |0...0> on `num_qubits` qubits. */
     explicit StateVector(unsigned num_qubits);
 
-    unsigned numQubits() const { return _num_qubits; }
+    BackendKind kind() const override { return BackendKind::kDense; }
+    unsigned numQubits() const override { return _num_qubits; }
     std::size_t dimension() const { return _amps.size(); }
 
     /** Reset to |0...0>. */
-    void reset();
+    void reset() override;
 
     /** Amplitude of a computational basis state. */
     Amp amplitude(std::size_t basis) const { return _amps[basis]; }
@@ -37,16 +39,17 @@ class StateVector
     double probability(std::size_t basis) const;
 
     /** Probability of measuring `qubit` as 1. */
-    double probabilityOfOne(QubitId qubit) const;
+    double probabilityOfOne(QubitId qubit) const override;
 
     /** Apply a single-qubit gate. */
-    void apply1q(Gate g, QubitId qubit, double angle = 0.0);
+    void apply1q(Gate g, QubitId qubit, double angle = 0.0) override;
 
     /** Apply an explicit 2x2 matrix to `qubit`. */
     void applyMatrix1q(const std::array<Amp, 4> &m, QubitId qubit);
 
     /** Apply a two-qubit gate; q0 is the low bit of the 4x4 basis. */
-    void apply2q(Gate g, QubitId q0, QubitId q1, double angle = 0.0);
+    void apply2q(Gate g, QubitId q0, QubitId q1,
+                 double angle = 0.0) override;
 
     /** Apply an explicit 4x4 matrix. */
     void applyMatrix2q(const std::array<Amp, 16> &m, QubitId q0, QubitId q1);
@@ -56,14 +59,14 @@ class StateVector
      * @param rng source of the outcome draw.
      * @return the measured bit.
      */
-    int measure(QubitId qubit, Rng &rng);
+    int measure(QubitId qubit, Rng &rng) override;
 
     /** Force a measurement outcome (for branch-by-branch verification).
      *  Returns the probability the outcome had; the state collapses. */
     double postselect(QubitId qubit, int outcome);
 
     /** Reset one qubit to |0> (measure + conditional X). */
-    void resetQubit(QubitId qubit, Rng &rng);
+    void resetQubit(QubitId qubit, Rng &rng) override;
 
     /** |<this|other>|^2; both states must have equal dimension. */
     double fidelityWith(const StateVector &other) const;

@@ -1,0 +1,394 @@
+#include "quantum/tableau.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.hpp"
+
+namespace dhisq::q {
+
+namespace {
+constexpr unsigned kMaxTableauQubits = 16384;
+} // namespace
+
+TableauState::TableauState(unsigned num_qubits) : _n(num_qubits)
+{
+    DHISQ_ASSERT(num_qubits >= 1 && num_qubits <= kMaxTableauQubits,
+                 "tableau size out of range: ", num_qubits, " qubits");
+    _words = (num_qubits + 63) / 64;
+    _x.assign(std::size_t(2 * _n + 1) * _words, 0);
+    _z.assign(std::size_t(2 * _n + 1) * _words, 0);
+    _r.assign(2 * _n + 1, 0);
+    reset();
+}
+
+void
+TableauState::reset()
+{
+    std::fill(_x.begin(), _x.end(), 0);
+    std::fill(_z.begin(), _z.end(), 0);
+    std::fill(_r.begin(), _r.end(), 0);
+    // Destabilizer i = X_i, stabilizer n+i = Z_i: the |0...0> tableau.
+    for (unsigned i = 0; i < _n; ++i) {
+        _x[std::size_t(i) * _words + i / 64] |= 1ull << (i % 64);
+        _z[std::size_t(_n + i) * _words + i / 64] |= 1ull << (i % 64);
+    }
+}
+
+bool
+TableauState::xbit(unsigned row, QubitId q) const
+{
+    return (_x[std::size_t(row) * _words + q / 64] >> (q % 64)) & 1u;
+}
+
+bool
+TableauState::zbit(unsigned row, QubitId q) const
+{
+    return (_z[std::size_t(row) * _words + q / 64] >> (q % 64)) & 1u;
+}
+
+void
+TableauState::zeroRow(unsigned row)
+{
+    const std::size_t base = std::size_t(row) * _words;
+    std::fill_n(_x.begin() + long(base), _words, 0);
+    std::fill_n(_z.begin() + long(base), _words, 0);
+    _r[row] = 0;
+}
+
+void
+TableauState::copyRow(unsigned dst, unsigned src)
+{
+    const std::size_t d = std::size_t(dst) * _words;
+    const std::size_t s = std::size_t(src) * _words;
+    std::copy_n(_x.begin() + long(s), _words, _x.begin() + long(d));
+    std::copy_n(_z.begin() + long(s), _words, _z.begin() + long(d));
+    _r[dst] = _r[src];
+}
+
+void
+TableauState::rowsum(unsigned h, unsigned i)
+{
+    // row[h] := row[i] * row[h], tracking the sign exactly: accumulate
+    // the exponent of i contributed by each column's single-qubit Pauli
+    // product (the Aaronson-Gottesman g function), word-parallel via
+    // popcounts over the +1 and -1 contribution masks.
+    const std::size_t hb = std::size_t(h) * _words;
+    const std::size_t ib = std::size_t(i) * _words;
+    long e = 0;
+    for (unsigned w = 0; w < _words; ++w) {
+        const std::uint64_t x1 = _x[ib + w], z1 = _z[ib + w];
+        const std::uint64_t x2 = _x[hb + w], z2 = _z[hb + w];
+        const std::uint64_t pos = (x1 & ~z1 & x2 & z2) |
+                                  (x1 & z1 & z2 & ~x2) |
+                                  (~x1 & z1 & x2 & ~z2);
+        const std::uint64_t neg = (x1 & ~z1 & z2 & ~x2) |
+                                  (x1 & z1 & x2 & ~z2) |
+                                  (~x1 & z1 & x2 & z2);
+        e += std::popcount(pos) - std::popcount(neg);
+        _x[hb + w] ^= x1;
+        _z[hb + w] ^= z1;
+    }
+    // Phases are full exponents of i mod 4: stabilizer rows stay even
+    // (Hermitian), but destabilizer rows may pick up odd phases when a
+    // measurement left-multiplies them by an anticommuting stabilizer —
+    // their signs are never read, only their bit patterns.
+    e += long(_r[h]) + long(_r[i]);
+    _r[h] = std::uint8_t(e & 3);
+}
+
+void
+TableauState::h(QubitId q)
+{
+    DHISQ_ASSERT(q < _n, "qubit out of range");
+    const std::size_t word = q / 64;
+    const std::uint64_t bit = 1ull << (q % 64);
+    for (unsigned row = 0; row < 2 * _n; ++row) {
+        const std::size_t idx = std::size_t(row) * _words + word;
+        const std::uint64_t xv = _x[idx] & bit, zv = _z[idx] & bit;
+        if (xv && zv)
+            _r[row] = std::uint8_t((_r[row] + 2) & 3);
+        _x[idx] ^= xv ^ zv;
+        _z[idx] ^= xv ^ zv;
+    }
+}
+
+void
+TableauState::s(QubitId q)
+{
+    DHISQ_ASSERT(q < _n, "qubit out of range");
+    const std::size_t word = q / 64;
+    const std::uint64_t bit = 1ull << (q % 64);
+    for (unsigned row = 0; row < 2 * _n; ++row) {
+        const std::size_t idx = std::size_t(row) * _words + word;
+        const std::uint64_t xv = _x[idx] & bit, zv = _z[idx] & bit;
+        if (xv && zv)
+            _r[row] = std::uint8_t((_r[row] + 2) & 3);
+        _z[idx] ^= xv;
+    }
+}
+
+void
+TableauState::sdg(QubitId q)
+{
+    DHISQ_ASSERT(q < _n, "qubit out of range");
+    const std::size_t word = q / 64;
+    const std::uint64_t bit = 1ull << (q % 64);
+    for (unsigned row = 0; row < 2 * _n; ++row) {
+        const std::size_t idx = std::size_t(row) * _words + word;
+        const std::uint64_t xv = _x[idx] & bit, zv = _z[idx] & bit;
+        if (xv && !zv)
+            _r[row] = std::uint8_t((_r[row] + 2) & 3);
+        _z[idx] ^= xv;
+    }
+}
+
+void
+TableauState::x(QubitId q)
+{
+    DHISQ_ASSERT(q < _n, "qubit out of range");
+    const std::size_t word = q / 64;
+    const std::uint64_t bit = 1ull << (q % 64);
+    for (unsigned row = 0; row < 2 * _n; ++row) {
+        if (_z[std::size_t(row) * _words + word] & bit)
+            _r[row] = std::uint8_t((_r[row] + 2) & 3);
+    }
+}
+
+void
+TableauState::y(QubitId q)
+{
+    DHISQ_ASSERT(q < _n, "qubit out of range");
+    const std::size_t word = q / 64;
+    const std::uint64_t bit = 1ull << (q % 64);
+    for (unsigned row = 0; row < 2 * _n; ++row) {
+        const std::size_t idx = std::size_t(row) * _words + word;
+        if ((_x[idx] ^ _z[idx]) & bit)
+            _r[row] = std::uint8_t((_r[row] + 2) & 3);
+    }
+}
+
+void
+TableauState::z(QubitId q)
+{
+    DHISQ_ASSERT(q < _n, "qubit out of range");
+    const std::size_t word = q / 64;
+    const std::uint64_t bit = 1ull << (q % 64);
+    for (unsigned row = 0; row < 2 * _n; ++row) {
+        if (_x[std::size_t(row) * _words + word] & bit)
+            _r[row] = std::uint8_t((_r[row] + 2) & 3);
+    }
+}
+
+void
+TableauState::cnot(QubitId control, QubitId target)
+{
+    DHISQ_ASSERT(control < _n && target < _n && control != target,
+                 "bad qubit pair ", control, ",", target);
+    const std::size_t cw = control / 64, tw = target / 64;
+    const std::uint64_t cb = 1ull << (control % 64);
+    const std::uint64_t tb = 1ull << (target % 64);
+    for (unsigned row = 0; row < 2 * _n; ++row) {
+        const std::size_t base = std::size_t(row) * _words;
+        const bool xc = (_x[base + cw] & cb) != 0;
+        const bool zc = (_z[base + cw] & cb) != 0;
+        const bool xt = (_x[base + tw] & tb) != 0;
+        const bool zt = (_z[base + tw] & tb) != 0;
+        if (xc && zt && (xt == zc))
+            _r[row] = std::uint8_t((_r[row] + 2) & 3);
+        if (xc)
+            _x[base + tw] ^= tb;
+        if (zt)
+            _z[base + cw] ^= cb;
+    }
+}
+
+void
+TableauState::cz(QubitId a, QubitId b)
+{
+    DHISQ_ASSERT(a < _n && b < _n && a != b, "bad qubit pair ", a, ",", b);
+    const std::size_t aw = a / 64, bw = b / 64;
+    const std::uint64_t ab = 1ull << (a % 64);
+    const std::uint64_t bb = 1ull << (b % 64);
+    for (unsigned row = 0; row < 2 * _n; ++row) {
+        const std::size_t base = std::size_t(row) * _words;
+        const bool xa = (_x[base + aw] & ab) != 0;
+        const bool za = (_z[base + aw] & ab) != 0;
+        const bool xb = (_x[base + bw] & bb) != 0;
+        const bool zb = (_z[base + bw] & bb) != 0;
+        if (xa && xb && (za != zb))
+            _r[row] = std::uint8_t((_r[row] + 2) & 3);
+        if (xb)
+            _z[base + aw] ^= ab;
+        if (xa)
+            _z[base + bw] ^= bb;
+    }
+}
+
+void
+TableauState::swap(QubitId a, QubitId b)
+{
+    DHISQ_ASSERT(a < _n && b < _n && a != b, "bad qubit pair ", a, ",", b);
+    // Column exchange; Pauli signs are unaffected by operand reordering.
+    const std::size_t aw = a / 64, bw = b / 64;
+    const std::uint64_t ab = 1ull << (a % 64);
+    const std::uint64_t bb = 1ull << (b % 64);
+    for (unsigned row = 0; row < 2 * _n; ++row) {
+        const std::size_t base = std::size_t(row) * _words;
+        const bool xa = (_x[base + aw] & ab) != 0;
+        const bool xb = (_x[base + bw] & bb) != 0;
+        if (xa != xb) {
+            _x[base + aw] ^= ab;
+            _x[base + bw] ^= bb;
+        }
+        const bool za = (_z[base + aw] & ab) != 0;
+        const bool zb = (_z[base + bw] & bb) != 0;
+        if (za != zb) {
+            _z[base + aw] ^= ab;
+            _z[base + bw] ^= bb;
+        }
+    }
+}
+
+void
+TableauState::apply1q(Gate g, QubitId qubit, double angle)
+{
+    (void)angle;
+    switch (g) {
+      case Gate::kI: return;
+      case Gate::kX: x(qubit); return;
+      case Gate::kY: y(qubit); return;
+      case Gate::kZ: z(qubit); return;
+      case Gate::kH: h(qubit); return;
+      case Gate::kS: s(qubit); return;
+      case Gate::kSdg: sdg(qubit); return;
+      // The 90-degree rotations are Clifford; each equals an H/S/Z
+      // sequence up to global phase (verified against the dense matrices
+      // by the differential harness).
+      case Gate::kX90: h(qubit); s(qubit); h(qubit); return;
+      case Gate::kXm90: h(qubit); sdg(qubit); h(qubit); return;
+      case Gate::kY90: z(qubit); h(qubit); return;
+      case Gate::kYm90: h(qubit); z(qubit); return;
+      default:
+        break;
+    }
+    DHISQ_PANIC("tableau backend cannot apply non-Clifford gate '",
+                gateName(g), "' — the tier selector must route such "
+                "programs to the dense backend");
+}
+
+void
+TableauState::apply2q(Gate g, QubitId q0, QubitId q1, double angle)
+{
+    (void)angle;
+    switch (g) {
+      case Gate::kCNOT: cnot(q0, q1); return;
+      case Gate::kCZ: cz(q0, q1); return;
+      case Gate::kSwap: swap(q0, q1); return;
+      default:
+        break;
+    }
+    DHISQ_PANIC("tableau backend cannot apply non-Clifford gate '",
+                gateName(g), "' — the tier selector must route such "
+                "programs to the dense backend");
+}
+
+int
+TableauState::measure(QubitId qubit, Rng &rng)
+{
+    DHISQ_ASSERT(qubit < _n, "qubit out of range");
+    // A stabilizer row anticommuting with Z_qubit (x bit set) means the
+    // outcome is a fair coin; otherwise it is determined by the group.
+    unsigned p = 0;
+    bool random = false;
+    for (unsigned i = _n; i < 2 * _n; ++i) {
+        if (xbit(i, qubit)) {
+            p = i;
+            random = true;
+            break;
+        }
+    }
+    if (random) {
+        for (unsigned i = 0; i < 2 * _n; ++i) {
+            if (i != p && xbit(i, qubit))
+                rowsum(i, p);
+        }
+        copyRow(p - _n, p);
+        zeroRow(p);
+        _z[std::size_t(p) * _words + qubit / 64] |= 1ull << (qubit % 64);
+        // Same draw the dense backend makes for p1 == 1/2.
+        const int bit = rng.coin(0.5) ? 1 : 0;
+        _r[p] = std::uint8_t(bit ? 2 : 0);
+        return bit;
+    }
+    // Deterministic outcome: accumulate the stabilizer product that
+    // yields +-Z_qubit into the scratch row; its sign is the outcome.
+    zeroRow(2 * _n);
+    for (unsigned i = 0; i < _n; ++i) {
+        if (xbit(i, qubit))
+            rowsum(2 * _n, i + _n);
+    }
+    DHISQ_ASSERT((_r[2 * _n] & 1) == 0,
+                 "stabilizer product for a deterministic outcome must be "
+                 "Hermitian (even i-phase)");
+    const int det = (_r[2 * _n] == 2) ? 1 : 0;
+    // Burn the same Rng draw the dense backend burns on a deterministic
+    // measurement (coin against p1 == 0 or 1), keeping the streams — and
+    // therefore every later random outcome — aligned across backends.
+    const int bit = rng.coin(det ? 1.0 : 0.0) ? 1 : 0;
+    DHISQ_ASSERT(bit == det, "deterministic draw diverged");
+    return det;
+}
+
+void
+TableauState::resetQubit(QubitId qubit, Rng &rng)
+{
+    if (measure(qubit, rng) == 1)
+        x(qubit);
+}
+
+bool
+TableauState::isDeterministic(QubitId qubit) const
+{
+    DHISQ_ASSERT(qubit < _n, "qubit out of range");
+    for (unsigned i = _n; i < 2 * _n; ++i) {
+        if (xbit(i, qubit))
+            return false;
+    }
+    return true;
+}
+
+double
+TableauState::probabilityOfOne(QubitId qubit) const
+{
+    DHISQ_ASSERT(qubit < _n, "qubit out of range");
+    if (!isDeterministic(qubit))
+        return 0.5;
+    // Deterministic: replay the scratch accumulation on a copy (this
+    // query must not disturb the tableau).
+    TableauState scratch(*this);
+    scratch.zeroRow(2 * scratch._n);
+    for (unsigned i = 0; i < scratch._n; ++i) {
+        if (scratch.xbit(i, qubit))
+            scratch.rowsum(2 * scratch._n, i + scratch._n);
+    }
+    return (scratch._r[2 * scratch._n] == 2) ? 1.0 : 0.0;
+}
+
+std::string
+TableauState::stabilizer(unsigned i) const
+{
+    DHISQ_ASSERT(i < _n, "stabilizer index out of range");
+    const unsigned row = _n + i;
+    std::string out;
+    out.reserve(_n + 1);
+    DHISQ_ASSERT((_r[row] & 1) == 0, "stabilizer rows carry even i-phase");
+    out += (_r[row] == 2) ? '-' : '+';
+    for (QubitId q = 0; q < _n; ++q) {
+        const bool xv = xbit(row, q), zv = zbit(row, q);
+        out += xv ? (zv ? 'Y' : 'X') : (zv ? 'Z' : 'I');
+    }
+    return out;
+}
+
+} // namespace dhisq::q

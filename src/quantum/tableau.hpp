@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Aaronson-Gottesman stabilizer-tableau backend (arXiv:quant-ph/0406196).
+ *
+ * Represents an n-qubit stabilizer state as n destabilizer + n stabilizer
+ * Pauli rows (X/Z bit matrices packed 64 columns per word, plus a sign bit
+ * per row). Clifford gates update one or two columns across all rows in
+ * O(n) word operations; measurement runs the tableau row-reduction in
+ * O(n^2/64). This is the fast path the tier selector picks for Clifford
+ * programs — GHZ fan-outs, syndrome-extraction cycles, routed SWAP chains
+ * — where the dense backend pays 2^n per gate.
+ *
+ * Supported gates: I, X, Y, Z, H, S, Sdg, X90, Xm90, Y90, Ym90, CNOT, CZ,
+ * SWAP. Non-Clifford gates (T, rotations, CPhase) are a fatal error; the
+ * tier selector guarantees they never reach a tableau device.
+ *
+ * Measurement draws match the dense backend bit-for-bit: like
+ * StateVector::measure, exactly one Rng draw is consumed per measurement,
+ * compared against the outcome probability (0, 1/2 or 1 for stabilizer
+ * states), so a shared seed yields identical measurement records on both
+ * backends — the property test_backend_diff proves over thousands of
+ * random Clifford circuits.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "quantum/backend.hpp"
+
+namespace dhisq::q {
+
+/** Stabilizer-tableau simulator state (Clifford gates + measurement). */
+class TableauState final : public Backend
+{
+  public:
+    /** Initialize |0...0> on `num_qubits` qubits. */
+    explicit TableauState(unsigned num_qubits);
+
+    BackendKind kind() const override { return BackendKind::kTableau; }
+    unsigned numQubits() const override { return _n; }
+
+    void reset() override;
+
+    void apply1q(Gate g, QubitId qubit, double angle = 0.0) override;
+    void apply2q(Gate g, QubitId q0, QubitId q1,
+                 double angle = 0.0) override;
+
+    int measure(QubitId qubit, Rng &rng) override;
+    void resetQubit(QubitId qubit, Rng &rng) override;
+
+    /** 0.0, 0.5 or 1.0 — a stabilizer state admits nothing else. */
+    double probabilityOfOne(QubitId qubit) const override;
+
+    /** True when measuring `qubit` has a predetermined outcome. */
+    bool isDeterministic(QubitId qubit) const;
+
+    // Clifford primitives (the gate vocabulary reduces onto these).
+    void h(QubitId q);
+    void s(QubitId q);
+    void sdg(QubitId q);
+    void x(QubitId q);
+    void y(QubitId q);
+    void z(QubitId q);
+    void cnot(QubitId control, QubitId target);
+    void cz(QubitId a, QubitId b);
+    void swap(QubitId a, QubitId b);
+
+    /**
+     * Stabilizer row `i` (0..n-1) as "+XZY..I" / "-..." — the generator
+     * S_i of the stabilizer group. For tests and debugging.
+     */
+    std::string stabilizer(unsigned i) const;
+
+  private:
+    // Row r of the tableau: destabilizers are rows [0, n), stabilizers
+    // [n, 2n), row 2n is the scratch accumulator for deterministic
+    // measurement. Bit q of row r lives in word r*_words + q/64.
+    bool xbit(unsigned row, QubitId q) const;
+    bool zbit(unsigned row, QubitId q) const;
+    void zeroRow(unsigned row);
+    void copyRow(unsigned dst, unsigned src);
+    /** row[h] *= row[i] with exact sign tracking (the AG "rowsum"). */
+    void rowsum(unsigned h, unsigned i);
+
+    unsigned _n = 0;
+    unsigned _words = 0; ///< 64-bit words per row side (ceil(n/64))
+    std::vector<std::uint64_t> _x; ///< (2n+1) rows x _words X-bits
+    std::vector<std::uint64_t> _z; ///< (2n+1) rows x _words Z-bits
+    /**
+     * (2n+1) phase exponents of i, mod 4. Stabilizer rows and the scratch
+     * row are Hermitian (always 0 or 2, read as +/-); destabilizer rows
+     * may hold odd values after measurement rowsums — their phases are
+     * never read, only their X/Z bit patterns.
+     */
+    std::vector<std::uint8_t> _r;
+};
+
+} // namespace dhisq::q

@@ -119,6 +119,23 @@ parseCli(int argc, char **argv)
                           mode) == opts.routings.end()) {
                 opts.routings.push_back(mode);
             }
+        } else if (arg == "--backend") {
+            if (i + 1 >= argc)
+                return Result<CliOptions>::error("--backend needs a tier");
+            const std::string_view name = argv[++i];
+            if (name == "all") {
+                opts.backends = q::allBackendTiers();
+                continue;
+            }
+            q::BackendTier tier;
+            if (!q::parseBackendTier(name, tier)) {
+                return Result<CliOptions>::error(
+                    std::string("unknown --backend tier: ") + argv[i]);
+            }
+            if (std::find(opts.backends.begin(), opts.backends.end(),
+                          tier) == opts.backends.end()) {
+                opts.backends.push_back(tier);
+            }
         } else if (arg == "--policy") {
             if (i + 1 >= argc)
                 return Result<CliOptions>::error("--policy needs a policy");
@@ -172,7 +189,8 @@ printUsage(const char *prog)
         stderr,
         "usage: %s [--json <path>] [--threads N] [--quick]\n"
         "          [--topology <shape>]... [--placement <strategy>]...\n"
-        "          [--routing <mode>]... [--latency-model <model>]...\n"
+        "          [--routing <mode>]... [--backend <tier>]...\n"
+        "          [--latency-model <model>]...\n"
         "          [--clustering <c>]... [--policy <policy>]...\n"
         "          [--tree-arity N]... [--list]\n"
         "  --json <path>      write the dhisq-bench-v1 report "
@@ -190,6 +208,11 @@ printUsage(const char *prog)
         "  --routing <mode>   restrict the qubit-routing axis (none, "
         "swap\n"
         "                     or \"all\"; repeatable)\n"
+        "  --backend <tier>   restrict the functional-backend axis "
+        "(auto,\n"
+        "                     dense, tableau or \"all\"; repeatable; "
+        "auto\n"
+        "                     picks tableau for Clifford-only programs)\n"
         "  --latency-model <m> restrict the link-latency axis (uniform,\n"
         "                     distance_scaled, jitter or \"all\"; "
         "repeatable)\n"

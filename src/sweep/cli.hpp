@@ -4,10 +4,10 @@
  * `--json <path>` (emit BENCH json, "-" = stdout), `--threads N`
  * (worker pool size), `--quick` (reduced grid for the CI smoke run),
  * axis-selection flags — `--topology <shape>`, `--placement <strategy>`,
- * `--routing <mode>`, `--latency-model <model>`, `--clustering <c>`,
- * `--policy <policy>`, `--tree-arity N` (all repeatable; the
- * enum-valued ones accept "all") — and `--list` (print the expanded
- * grid points without executing them).
+ * `--routing <mode>`, `--backend <tier>`, `--latency-model <model>`,
+ * `--clustering <c>`, `--policy <policy>`, `--tree-arity N` (all
+ * repeatable; the enum-valued ones accept "all") — and `--list` (print
+ * the expanded grid points without executing them).
  */
 #pragma once
 
@@ -43,6 +43,8 @@ struct CliOptions
     std::vector<net::RouterClustering> clusterings;
     /** Routing-mode-axis selection; empty keeps the bench's default. */
     std::vector<compiler::RoutingMode> routings;
+    /** Backend-tier-axis selection; empty keeps the bench's default. */
+    std::vector<q::BackendTier> backends;
     /** Router-policy-axis selection; empty keeps the bench's default. */
     std::vector<net::RouterPolicy> policies;
     /** Tree-arity-axis selection; empty keeps the bench's default. */

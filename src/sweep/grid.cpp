@@ -102,6 +102,10 @@ ExperimentPoint::label() const
         label += "/routed-";
         label += compiler::toString(config.routing);
     }
+    if (config.backend != q::BackendTier::kAuto) {
+        label += "/backend-";
+        label += q::toString(config.backend);
+    }
     if (latency_model != net::LinkLatencyModel::kUniform) {
         label += '/';
         label += net::toString(latency_model);
@@ -131,7 +135,8 @@ expandGrid(const GridSpec &grid)
     std::vector<ExperimentPoint> points;
     points.reserve(grid.circuits.size() * grid.schemes.size() *
                    grid.topologies.size() * grid.placements.size() *
-                   grid.routings.size() * grid.latency_models.size() *
+                   grid.routings.size() * grid.backends.size() *
+                   grid.latency_models.size() *
                    grid.clusterings.size() * grid.policies.size() *
                    grid.tree_arities.size() *
                    grid.qubits_per_controller.size() * grid.seeds.size());
@@ -140,29 +145,32 @@ expandGrid(const GridSpec &grid)
         for (const auto topology : grid.topologies) {
           for (const auto placement : grid.placements) {
             for (const auto routing : grid.routings) {
-              for (const auto latency_model : grid.latency_models) {
-                for (const auto clustering : grid.clusterings) {
-                  for (const auto policy : grid.policies) {
-                    for (const unsigned arity : grid.tree_arities) {
-                      for (const unsigned qpc :
-                           grid.qubits_per_controller) {
-                        for (const std::uint64_t seed : grid.seeds) {
-                          ExperimentPoint p;
-                          p.circuit = circuit;
-                          p.config = grid.base_config;
-                          p.config.scheme = scheme;
-                          p.config.placement = placement;
-                          p.config.routing = routing;
-                          p.config.qubits_per_controller = qpc;
-                          p.topology = topology;
-                          p.latency_model = latency_model;
-                          p.clustering = clustering;
-                          p.policy = policy;
-                          p.tree_arity = arity;
-                          p.controllers = grid.controllers;
-                          p.seed = seed;
-                          p.state_vector = grid.state_vector;
-                          points.push_back(std::move(p));
+              for (const auto backend : grid.backends) {
+                for (const auto latency_model : grid.latency_models) {
+                  for (const auto clustering : grid.clusterings) {
+                    for (const auto policy : grid.policies) {
+                      for (const unsigned arity : grid.tree_arities) {
+                        for (const unsigned qpc :
+                             grid.qubits_per_controller) {
+                          for (const std::uint64_t seed : grid.seeds) {
+                            ExperimentPoint p;
+                            p.circuit = circuit;
+                            p.config = grid.base_config;
+                            p.config.scheme = scheme;
+                            p.config.placement = placement;
+                            p.config.routing = routing;
+                            p.config.backend = backend;
+                            p.config.qubits_per_controller = qpc;
+                            p.topology = topology;
+                            p.latency_model = latency_model;
+                            p.clustering = clustering;
+                            p.policy = policy;
+                            p.tree_arity = arity;
+                            p.controllers = grid.controllers;
+                            p.seed = seed;
+                            p.state_vector = grid.state_vector;
+                            points.push_back(std::move(p));
+                          }
                         }
                       }
                     }
@@ -206,6 +214,8 @@ runPoint(const ExperimentPoint &point, const MetricsHook &extend)
     }
     if (point.config.routing != compiler::RoutingMode::kNone)
         out.params["routing"] = compiler::toString(point.config.routing);
+    if (point.config.backend != q::BackendTier::kAuto)
+        out.params["backend"] = q::toString(point.config.backend);
     if (point.controllers != 0)
         out.params["controllers"] = point.controllers;
     if (point.latency_model != net::LinkLatencyModel::kUniform)

@@ -100,6 +100,9 @@ struct GridSpec
     /** Qubit-routing modes (SWAP insertion axis). */
     std::vector<compiler::RoutingMode> routings = {
         compiler::RoutingMode::kNone};
+    /** Functional-backend tiers (state-vector mode only; the stochastic
+     *  device ignores the tier). */
+    std::vector<q::BackendTier> backends = {q::BackendTier::kAuto};
     /** Link-latency heterogeneity models. */
     std::vector<net::LinkLatencyModel> latency_models = {
         net::LinkLatencyModel::kUniform};
@@ -122,8 +125,8 @@ struct GridSpec
 
 /**
  * Expand a grid in deterministic order: circuit-major, then scheme,
- * topology shape, placement, routing mode, latency model, clustering,
- * policy, tree arity, qubits-per-controller, seed.
+ * topology shape, placement, routing mode, backend tier, latency model,
+ * clustering, policy, tree arity, qubits-per-controller, seed.
  */
 std::vector<ExperimentPoint> expandGrid(const GridSpec &grid);
 

@@ -337,6 +337,49 @@ randomDynamic(const RandomDynamicOptions &options)
 }
 
 compiler::Circuit
+randomClifford(const RandomCliffordOptions &options)
+{
+    DHISQ_ASSERT(options.qubits >= 2, "randomClifford needs >= 2 qubits");
+    Circuit c(options.qubits,
+              "random_clifford_n" + std::to_string(options.qubits) + "_s" +
+                  std::to_string(options.seed));
+    Rng rng(options.seed);
+    const Gate pool1q[] = {Gate::kH,   Gate::kS,    Gate::kSdg, Gate::kX,
+                           Gate::kY,   Gate::kZ,    Gate::kX90, Gate::kY90,
+                           Gate::kXm90, Gate::kYm90};
+    const Gate pool2q[] = {Gate::kCNOT, Gate::kCZ, Gate::kSwap};
+    const Gate feedback[] = {Gate::kX, Gate::kZ, Gate::kY};
+
+    for (unsigned layer = 0; layer < options.layers; ++layer) {
+        for (QubitId q = 0; q < options.qubits; ++q) {
+            if (rng.coin(0.6))
+                c.gate(pool1q[rng.below(10)], q);
+        }
+        // One entangler per layer on a random (possibly long-range,
+        // possibly reversed — CNOT orientation matters) operand pair.
+        const QubitId a = QubitId(rng.below(options.qubits));
+        QubitId b = QubitId(rng.below(options.qubits - 1));
+        if (b >= a)
+            ++b;
+        c.gate2(pool2q[rng.below(3)], a, b);
+
+        if (rng.coin(options.measure_fraction)) {
+            const QubitId mq = QubitId(rng.below(options.qubits));
+            const CbitId bit = c.measure(mq);
+            if (rng.coin(options.feedback_fraction)) {
+                const QubitId tq = QubitId(rng.below(options.qubits));
+                c.conditionalGate(feedback[rng.below(3)], tq, {bit});
+            }
+        }
+    }
+    if (options.measure_all) {
+        for (QubitId q = 0; q < options.qubits; ++q)
+            c.measure(q);
+    }
+    return c;
+}
+
+compiler::Circuit
 routingStress(const RoutingStressOptions &options)
 {
     DHISQ_ASSERT(options.qubits >= 3, "routingStress needs >= 3 qubits");

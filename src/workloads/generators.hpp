@@ -102,6 +102,27 @@ struct RandomDynamicOptions
 compiler::Circuit randomDynamic(const RandomDynamicOptions &options = {});
 
 /**
+ * Random Clifford dynamic circuit: every op is drawn from the Clifford
+ * vocabulary (H/S/Sdg/Paulis/90-degree rotations, CNOT/CZ/SWAP,
+ * measurement, parity-conditioned Pauli feedback), so the compiled
+ * program is exactly simulable on BOTH functional backends — the fuel of
+ * the differential backend-equivalence harness (test_backend_diff).
+ */
+struct RandomCliffordOptions
+{
+    unsigned qubits = 8;
+    unsigned layers = 12;
+    /** Fraction of layers followed by a mid-circuit measurement. */
+    double measure_fraction = 0.35;
+    /** Of those, fraction that feed a conditional Pauli back. */
+    double feedback_fraction = 0.6;
+    /** Measure every qubit at the end. */
+    bool measure_all = true;
+    std::uint64_t seed = 1;
+};
+compiler::Circuit randomClifford(const RandomCliffordOptions &options = {});
+
+/**
  * Routing/over-capacity stress generator: stride-coupled entangling
  * layers (operands `stride` apart with wraparound, so no 1D embedding
  * keeps them all adjacent) interleaved with far-side measurement

@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Differential backend-equivalence harness — the correctness spine of the
+ * stabilizer tier. Every circuit here is compiled through the full pass
+ * pipeline and executed on the complete machine (boards, fabric, TCUs,
+ * result routing) twice: once on the dense state vector and once on the
+ * stabilizer tableau, under the same seed. The measurement records —
+ * qubit, bit, commit cycle, ready cycle — must be IDENTICAL. Any tableau
+ * update-rule bug, Rng-draw mismatch or tier-selector leak shows up as a
+ * record diff with the failing seed in the assertion message.
+ *
+ * Coverage:
+ *  - >= 500 seeded random Clifford circuits (sharded for ctest -j) across
+ *    schemes, repetitions, and oversubscribed/routed configurations. The
+ *    DHISQ_DIFF_SCALE environment variable multiplies the per-shard count
+ *    (the nightly fuzz job runs at 10x; set it with the printed seed
+ *    range to reproduce a failure locally).
+ *  - Every Clifford workload in src/workloads, end-to-end, including the
+ *    dynamic (expanded) GHZ fan-out and an oversubscribed SWAP-routed
+ *    machine.
+ *  - Tier-selector assertions: Clifford programs select the tableau
+ *    under kAuto; non-Clifford programs fall back to dense even when the
+ *    tableau is requested explicitly.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "compiler/compiler.hpp"
+#include "runtime/machine.hpp"
+#include "sweep/exec.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/lrcnot.hpp"
+
+namespace dhisq {
+namespace {
+
+using compiler::Circuit;
+using compiler::CompilerConfig;
+using compiler::SyncScheme;
+using q::BackendKind;
+using q::BackendTier;
+
+unsigned
+diffScale()
+{
+    const char *env = std::getenv("DHISQ_DIFF_SCALE");
+    if (env == nullptr)
+        return 1;
+    const long v = std::strtol(env, nullptr, 10);
+    return (v >= 1 && v <= 1000) ? unsigned(v) : 1;
+}
+
+/** One compiled end-to-end run on a forced backend tier. */
+struct DiffRun
+{
+    bool rejected = false;
+    bool deadlock = false;
+    bool clifford_only = false;
+    BackendKind backend = BackendKind::kDense;
+    std::vector<q::QuantumDevice::MeasurementRecord> records;
+};
+
+struct DiffConfig
+{
+    SyncScheme scheme = SyncScheme::kBisp;
+    compiler::RoutingMode routing = compiler::RoutingMode::kNone;
+    unsigned repetitions = 1;
+    /** 0 = size the machine to fit; less than the fit = oversubscribed. */
+    unsigned controllers = 0;
+    net::TopologyShape topology = net::TopologyShape::kLine;
+    std::uint64_t seed = 1;
+};
+
+DiffRun
+runOn(const Circuit &circuit, BackendTier tier, const DiffConfig &dc)
+{
+    CompilerConfig cc;
+    cc.scheme = dc.scheme;
+    cc.routing = dc.routing;
+    cc.repetitions = dc.repetitions;
+    cc.backend = tier;
+
+    const unsigned controllers =
+        dc.controllers != 0 ? dc.controllers : circuit.numQubits();
+    auto topo_cfg = sweep::shapeTopology(dc.topology, controllers);
+    net::Topology topo = net::Topology::build(topo_cfg);
+
+    compiler::Compiler comp(topo, cc);
+    auto compile_result = comp.tryCompile(circuit);
+    DiffRun out;
+    if (!compile_result) {
+        out.rejected = true;
+        return out;
+    }
+    auto compiled = compile_result.take();
+    out.clifford_only = compiled.clifford_only;
+
+    auto mc = compiler::machineConfigFor(topo_cfg, cc, compiled,
+                                         /*state_vector=*/true, dc.seed);
+    mc.fabric.star_messages = (dc.scheme == SyncScheme::kLockStep);
+    runtime::Machine machine(mc);
+    compiled.applyTo(machine);
+    const auto report = machine.run();
+    out.deadlock = report.deadlock;
+    out.backend = machine.device().backend().kind();
+    out.records = machine.device().measurements();
+    return out;
+}
+
+/** Run on both tiers and assert bit-identical measurement records. */
+void
+expectBackendsAgree(const Circuit &circuit, const DiffConfig &dc,
+                    const std::string &what)
+{
+    const DiffRun dense = runOn(circuit, BackendTier::kDense, dc);
+    const DiffRun tab = runOn(circuit, BackendTier::kTableau, dc);
+    ASSERT_FALSE(dense.rejected) << what << ": dense run rejected";
+    ASSERT_FALSE(tab.rejected) << what << ": tableau run rejected";
+    ASSERT_FALSE(dense.deadlock) << what << ": dense run deadlocked";
+    ASSERT_FALSE(tab.deadlock) << what << ": tableau run deadlocked";
+    ASSERT_TRUE(tab.clifford_only)
+        << what << ": compiled program is not Clifford-only — the "
+        << "generator leaked a non-Clifford gate";
+    ASSERT_EQ(dense.backend, BackendKind::kDense) << what;
+    ASSERT_EQ(tab.backend, BackendKind::kTableau)
+        << what << ": tier selector did not pick the tableau";
+    ASSERT_FALSE(dense.records.empty())
+        << what << ": no measurements — the diff proves nothing";
+    ASSERT_EQ(dense.records.size(), tab.records.size()) << what;
+    for (std::size_t i = 0; i < dense.records.size(); ++i) {
+        const auto &d = dense.records[i];
+        const auto &t = tab.records[i];
+        ASSERT_TRUE(d.qubit == t.qubit && d.bit == t.bit &&
+                    d.start == t.start && d.ready == t.ready)
+            << what << ": measurement record " << i << " diverged: dense "
+            << "(q" << unsigned(d.qubit) << " bit " << d.bit << " @ "
+            << d.start << ".." << d.ready << ") vs tableau (q"
+            << unsigned(t.qubit) << " bit " << t.bit << " @ " << t.start
+            << ".." << t.ready << ")";
+    }
+}
+
+// -------------------------------------------------------------------------
+// >= 500 seeded random Clifford circuits, sharded so ctest -j runs the
+// shards in parallel. Scheme, repetitions, topology and routing vary with
+// the seed; every 4th seed runs OVERSUBSCRIBED (half the controllers,
+// SWAP routing) so the diff also covers routed slot geometry.
+// -------------------------------------------------------------------------
+
+constexpr unsigned kShards = 10;
+constexpr unsigned kSeedsPerShard = 50;
+
+class RandomCliffordDiff : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(RandomCliffordDiff, MeasurementRecordsIdentical)
+{
+    const unsigned shard = GetParam();
+    const unsigned per_shard = kSeedsPerShard * diffScale();
+    const std::uint64_t first = 1 + std::uint64_t(shard) * per_shard;
+    for (std::uint64_t seed = first; seed < first + per_shard; ++seed) {
+        workloads::RandomCliffordOptions opt;
+        opt.qubits = 4 + unsigned(seed % 7);        // 4..10
+        opt.layers = 8 + unsigned(seed % 9);        // 8..16
+        opt.measure_fraction = 0.35;
+        opt.feedback_fraction = 0.6;
+        opt.seed = seed;
+        const Circuit circuit = workloads::randomClifford(opt);
+
+        DiffConfig dc;
+        dc.seed = seed;
+        const SyncScheme schemes[] = {SyncScheme::kBisp,
+                                      SyncScheme::kDemand,
+                                      SyncScheme::kLockStep};
+        dc.scheme = schemes[seed % 3];
+        if (seed % 5 == 0)
+            dc.repetitions = 2;
+        if (seed % 4 == 0) {
+            // Oversubscribed + routed: fewer controllers than qubits.
+            dc.routing = compiler::RoutingMode::kSwap;
+            dc.controllers = (opt.qubits + 1) / 2;
+            dc.topology = (seed % 8 == 0) ? net::TopologyShape::kTorus
+                                          : net::TopologyShape::kLine;
+        }
+        expectBackendsAgree(
+            circuit, dc,
+            "random_clifford seed " + std::to_string(seed) +
+                " (rerun: DHISQ_DIFF_SCALE covers seeds " +
+                std::to_string(first) + ".." +
+                std::to_string(first + per_shard - 1) + " in this shard)");
+        if (::testing::Test::HasFatalFailure())
+            return;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, RandomCliffordDiff,
+                         ::testing::Range(0u, kShards),
+                         [](const auto &info) {
+                             return "shard" + std::to_string(info.param);
+                         });
+
+// -------------------------------------------------------------------------
+// Every Clifford workload in src/workloads, end-to-end on both tiers.
+// -------------------------------------------------------------------------
+
+TEST(WorkloadDiff, GhzChain)
+{
+    for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+        DiffConfig dc;
+        dc.seed = seed;
+        expectBackendsAgree(workloads::ghz(8, /*measure_all=*/true), dc,
+                            "ghz seed " + std::to_string(seed));
+    }
+}
+
+TEST(WorkloadDiff, GhzFanoutStatic)
+{
+    DiffConfig dc;
+    dc.seed = 5;
+    expectBackendsAgree(workloads::ghzFanout(9, /*measure_all=*/true), dc,
+                        "ghz_fanout");
+}
+
+TEST(WorkloadDiff, GhzFanoutDynamicExpansion)
+{
+    // The expanded fan-out is the paper's dynamic-circuit version:
+    // mid-circuit ancilla measurements feeding conditional Pauli
+    // corrections — all Clifford, and the densest feedback we generate.
+    for (std::uint64_t seed : {1ull, 9ull}) {
+        Rng er(seed);
+        const Circuit dyn = workloads::expandNonAdjacentGates(
+            workloads::ghzFanout(9, /*measure_all=*/true), 1.0, er);
+        DiffConfig dc;
+        dc.seed = seed;
+        expectBackendsAgree(dyn, dc,
+                            "ghz_fanout_dyn seed " + std::to_string(seed));
+    }
+}
+
+TEST(WorkloadDiff, LongRangeCnotChain)
+{
+    const unsigned n = 9;
+    Circuit chain(n, "lrcnot_chain_diff");
+    chain.gate(q::Gate::kH, 0);
+    chain.gate(q::Gate::kH, (n - 1) / 2);
+    workloads::appendLongRangeCnotLine(chain, 0, (n - 1) / 2);
+    workloads::appendLongRangeCnotLine(chain, (n - 1) / 2, n - 1);
+    for (QubitId q = 0; q < n; ++q)
+        chain.measure(q);
+    for (const SyncScheme scheme :
+         {SyncScheme::kBisp, SyncScheme::kDemand, SyncScheme::kLockStep}) {
+        DiffConfig dc;
+        dc.scheme = scheme;
+        dc.seed = 3;
+        expectBackendsAgree(chain, dc,
+                            std::string("lrcnot_chain scheme ") +
+                                compiler::toString(scheme));
+    }
+}
+
+TEST(WorkloadDiff, OversubscribedRoutedRepeated)
+{
+    // The hardest compiled shape: more qubit blocks than controllers
+    // (oversubscribed mapping), SWAP chains, repetitions > 1 — the
+    // routed slot geometry must decode identically on both backends.
+    workloads::RandomCliffordOptions opt;
+    opt.qubits = 10;
+    opt.layers = 12;
+    opt.seed = 23;
+    DiffConfig dc;
+    dc.routing = compiler::RoutingMode::kSwap;
+    dc.controllers = 4;
+    dc.repetitions = 3;
+    dc.topology = net::TopologyShape::kTorus;
+    dc.seed = 23;
+    expectBackendsAgree(workloads::randomClifford(opt), dc,
+                        "oversubscribed_routed_reps3");
+}
+
+// -------------------------------------------------------------------------
+// Tier-selector behaviour on non-Clifford programs.
+// -------------------------------------------------------------------------
+
+TEST(TierSelector, NonCliffordFallsBackToDense)
+{
+    Circuit circuit(2, "t_gate");
+    circuit.gate(q::Gate::kH, 0);
+    circuit.gate(q::Gate::kT, 0);
+    circuit.gate2(q::Gate::kCNOT, 0, 1);
+    circuit.measure(0);
+    circuit.measure(1);
+    DiffConfig dc;
+    for (const BackendTier tier :
+         {BackendTier::kAuto, BackendTier::kDense, BackendTier::kTableau}) {
+        const DiffRun r = runOn(circuit, tier, dc);
+        ASSERT_FALSE(r.rejected);
+        EXPECT_FALSE(r.clifford_only);
+        EXPECT_EQ(r.backend, BackendKind::kDense)
+            << "tier " << q::toString(tier)
+            << " must not route a T-gate program to the tableau";
+    }
+}
+
+TEST(TierSelector, AutoPicksTableauForCliffordPrograms)
+{
+    const Circuit circuit = workloads::ghz(6, /*measure_all=*/true);
+    DiffConfig dc;
+    const DiffRun r = runOn(circuit, BackendTier::kAuto, dc);
+    ASSERT_FALSE(r.rejected);
+    EXPECT_TRUE(r.clifford_only);
+    EXPECT_EQ(r.backend, BackendKind::kTableau);
+}
+
+TEST(TierSelector, ParameterizedAnglesFallBackToDense)
+{
+    Circuit circuit(2, "rz_angle");
+    circuit.gate(q::Gate::kH, 0);
+    circuit.gate(q::Gate::kRz, 0, 0.123);
+    circuit.measure(0);
+    DiffConfig dc;
+    const DiffRun r = runOn(circuit, BackendTier::kAuto, dc);
+    ASSERT_FALSE(r.rejected);
+    EXPECT_FALSE(r.clifford_only);
+    EXPECT_EQ(r.backend, BackendKind::kDense);
+}
+
+} // namespace
+} // namespace dhisq

@@ -8,6 +8,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <map>
 #include <tuple>
 
 #include "compiler/compiler.hpp"
@@ -219,6 +220,128 @@ TEST(SchemeEquivalence, AdderSumAgreesAcrossSchemes)
         }
         EXPECT_EQ(sums[0], sums[1]) << "seed " << input_seed;
         EXPECT_EQ(sums[1], sums[2]) << "seed " << input_seed;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property: the meas_log decoder maps every slot-keyed device measurement
+// record back to the right circuit qubit and occurrence, even when SWAP
+// routing moves logical qubits across physical slots and the program
+// repeats. The circuits are classical (X flips + measures only), so every
+// expected bit is computable by replay: a decode to the wrong qubit OR the
+// wrong occurrence shows up as a bit mismatch, not just a count mismatch.
+// ---------------------------------------------------------------------------
+
+TEST(MeasLogDecoder, RoutedRepeatedRecordsDecodeToCircuitQubits)
+{
+    for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+        const unsigned n = 6 + unsigned(seed % 5);    // 6..10 qubits
+        const unsigned reps = 2 + unsigned(seed % 3); // always > 1
+        Rng gen(seed * 71 + 11);
+        Circuit circuit(n, "meas_decode_s" + std::to_string(seed));
+        unsigned measures = 0;
+        for (int op = 0; op < 40 || measures == 0; ++op) {
+            const auto q = QubitId(gen.below(n));
+            if (gen.coin(0.55)) {
+                circuit.gate(q::Gate::kX, q);
+            } else {
+                circuit.measure(q);
+                ++measures;
+            }
+        }
+
+        // Classical replay, `reps` sequential executions (device state
+        // persists across repetitions): per logical qubit, the expected
+        // outcome of its k-th measurement in expanded-program order.
+        std::vector<int> bits(n, 0);
+        std::vector<std::vector<int>> expected(n);
+        for (unsigned rep = 0; rep < reps; ++rep) {
+            for (const auto &op : circuit.ops()) {
+                if (op.isMeasure())
+                    expected[op.qubits[0]].push_back(bits[op.qubits[0]]);
+                else
+                    bits[op.qubits[0]] ^= 1;
+            }
+        }
+
+        // Over-capacity: half the controllers, SWAP routing.
+        const unsigned controllers = (n + 1) / 2;
+        net::TopologyConfig topo_cfg;
+        topo_cfg.width = controllers;
+        net::Topology topo = net::Topology::grid(topo_cfg);
+        CompilerConfig cc;
+        cc.routing = compiler::RoutingMode::kSwap;
+        cc.repetitions = reps;
+        compiler::Compiler comp(topo, cc);
+        auto compiled = comp.compile(circuit);
+        ASSERT_EQ(compiled.meas_log.size(),
+                  std::size_t(measures) * reps)
+            << "seed " << seed;
+
+        auto mc =
+            compiler::machineConfigFor(topo_cfg, cc, compiled, true, seed);
+        Machine machine(mc);
+        compiled.applyTo(machine);
+        const auto report = machine.run();
+        ASSERT_FALSE(report.deadlock) << "seed " << seed;
+
+        const auto &records = machine.device().measurements();
+        ASSERT_EQ(records.size(), std::size_t(measures) * reps)
+            << "seed " << seed;
+        std::map<QubitId, std::size_t> slot_occurrence;
+        std::vector<std::size_t> logical_occurrence(n, 0);
+        for (const auto &m : records) {
+            const std::size_t occ = slot_occurrence[m.qubit]++;
+            const QubitId logical =
+                compiled.logicalMeasQubit(m.qubit, occ);
+            ASSERT_NE(logical, kNoQubit)
+                << "seed " << seed << ": slot " << unsigned(m.qubit)
+                << " occurrence " << occ << " decodes to nothing";
+            ASSERT_LT(logical, n) << "seed " << seed;
+            const std::size_t k = logical_occurrence[logical]++;
+            ASSERT_LT(k, expected[logical].size())
+                << "seed " << seed << ": logical qubit "
+                << unsigned(logical) << " measured more often than the "
+                << "circuit says";
+            ASSERT_EQ(m.bit, expected[logical][k])
+                << "seed " << seed << ": slot " << unsigned(m.qubit)
+                << " occurrence " << occ << " decoded to logical qubit "
+                << unsigned(logical) << " occurrence " << k
+                << " but the replayed circuit disagrees on the bit — "
+                << "the decoder mapped the record to the wrong qubit or "
+                << "occurrence";
+        }
+        for (QubitId q = 0; q < n; ++q) {
+            EXPECT_EQ(logical_occurrence[q], expected[q].size())
+                << "seed " << seed << ": logical qubit " << unsigned(q)
+                << " lost measurement records in the decode";
+        }
+        // One past the last occurrence on every slot must be a miss.
+        for (const auto &[slot, occ] : slot_occurrence) {
+            EXPECT_EQ(compiled.logicalMeasQubit(slot, occ), kNoQubit)
+                << "seed " << seed << ": slot " << unsigned(slot)
+                << " decoded an occurrence past the program's end";
+        }
+    }
+}
+
+TEST(MeasLogDecoder, UnroutedDecodeIsIdentity)
+{
+    // Without routing a slot IS the logical qubit; the decoder must be
+    // the identity for every occurrence, repetitions included.
+    auto circuit = workloads::ghz(5, /*measure_all=*/true);
+    net::TopologyConfig topo_cfg;
+    topo_cfg.width = 5;
+    net::Topology topo = net::Topology::grid(topo_cfg);
+    CompilerConfig cc;
+    cc.repetitions = 3;
+    compiler::Compiler comp(topo, cc);
+    auto compiled = comp.compile(circuit);
+    ASSERT_EQ(compiled.meas_log.size(), 15u);
+    for (QubitId q = 0; q < 5; ++q) {
+        for (std::size_t occ = 0; occ < 3; ++occ)
+            EXPECT_EQ(compiled.logicalMeasQubit(q, occ), q);
+        EXPECT_EQ(compiled.logicalMeasQubit(q, 3), kNoQubit);
     }
 }
 

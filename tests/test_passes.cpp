@@ -130,6 +130,163 @@ TEST(LowerPass, RejectsConditionOnUnmeasuredCbit)
 }
 
 // ---------------------------------------------------------------------------
+// Diagnostic paths: every reachable pass failure must name the offending
+// workload and the quantity that broke, plus the failing pass, so a sweep
+// log line is actionable without re-running under a debugger. (The Route
+// pass's "no victim slot" branch is a defensive backstop: cheapestPath
+// yields neighbor-adjacent hops and every controller hosts a full block,
+// so only the co-location walk can exhaust victims — covered below.)
+// ---------------------------------------------------------------------------
+
+TEST(PassDiagnostics, ZeroQubitsPerControllerNamesWorkloadAndQuantity)
+{
+    Circuit circuit(2, "zero_qpc_bench");
+    circuit.gate(q::Gate::kH, 0);
+    CompilerConfig cc;
+    cc.qubits_per_controller = 0;
+    const net::Topology topo = lineOf(2);
+    Compiler compiler(topo, cc);
+    auto result = compiler.tryCompile(circuit);
+    ASSERT_FALSE(result.isOk());
+    EXPECT_NE(result.message().find("zero_qpc_bench"), std::string::npos)
+        << result.message();
+    EXPECT_NE(result.message().find("qubits_per_controller"),
+              std::string::npos)
+        << result.message();
+}
+
+TEST(PassDiagnostics, EmptyCircuitNamesTheWorkload)
+{
+    Circuit circuit(0, "empty_bench");
+    const net::Topology topo = lineOf(2);
+    Compiler compiler(topo, CompilerConfig{});
+    auto result = compiler.tryCompile(circuit);
+    ASSERT_FALSE(result.isOk());
+    EXPECT_NE(result.message().find("empty_bench"), std::string::npos)
+        << result.message();
+    EXPECT_NE(result.message().find("no qubits"), std::string::npos)
+        << result.message();
+}
+
+TEST(PassDiagnostics, CapacityErrorNamesEveryQuantity)
+{
+    Circuit circuit(9, "capacity_bench");
+    circuit.gate(q::Gate::kH, 0);
+    CompilerConfig cc;
+    cc.qubits_per_controller = 2;
+    const net::Topology topo = lineOf(3);
+    Compiler compiler(topo, cc);
+    auto result = compiler.tryCompile(circuit);
+    ASSERT_FALSE(result.isOk());
+    const std::string &msg = result.message();
+    // Workload, demand (qubits and blocks), capacity (controllers x
+    // block size), topology shape, and the remedy — all present.
+    for (const char *needle :
+         {"capacity_bench", "9 qubits", "5 blocks", "blocks of 2",
+          "grid", "3 controllers", "6 qubits of block capacity",
+          "--routing swap"}) {
+        EXPECT_NE(msg.find(needle), std::string::npos)
+            << "missing '" << needle << "' in: " << msg;
+    }
+}
+
+TEST(PassDiagnostics, OutOfRangeQubitNamesQubitAndDeclaredCount)
+{
+    Circuit circuit(3, "range_bench");
+    circuit.gate(q::Gate::kX, 7);
+    const net::Topology topo = lineOf(3);
+    Compiler compiler(topo, CompilerConfig{});
+    auto result = compiler.tryCompile(circuit);
+    ASSERT_FALSE(result.isOk());
+    EXPECT_NE(result.message().find("range_bench"), std::string::npos)
+        << result.message();
+    EXPECT_NE(result.message().find("qubit 7"), std::string::npos)
+        << result.message();
+    EXPECT_NE(result.message().find("declares only 3"), std::string::npos)
+        << result.message();
+}
+
+TEST(PassDiagnostics, UnmeasuredCbitNamesBitAndWorkload)
+{
+    Circuit circuit(2, "cbit_bench");
+    CircuitOp op;
+    op.gate = q::Gate::kZ;
+    op.qubits = {1};
+    op.condition = {3};
+    circuit.append(std::move(op));
+    const net::Topology topo = lineOf(2);
+    Compiler compiler(topo, CompilerConfig{});
+    auto result = compiler.tryCompile(circuit);
+    ASSERT_FALSE(result.isOk());
+    EXPECT_NE(result.message().find("cbit_bench"), std::string::npos)
+        << result.message();
+    EXPECT_NE(result.message().find("cbit 3"), std::string::npos)
+        << result.message();
+    EXPECT_NE(result.message().find("before any measurement"),
+              std::string::npos)
+        << result.message();
+}
+
+TEST(PassDiagnostics, ColocationFailureNamesWorkloadAndRemedy)
+{
+    // Single-slot controllers + a conditional two-qubit gate spanning
+    // two of them: the co-location walk's final hop has no victim slot
+    // (the only slot on the destination holds the partner).
+    Circuit circuit(4, "colocate_bench");
+    circuit.gate(q::Gate::kH, 2);
+    const CbitId bit = circuit.measure(0);
+    CircuitOp op;
+    op.gate = q::Gate::kCNOT;
+    op.qubits = {2, 3};
+    op.condition = {bit};
+    circuit.append(std::move(op));
+    CompilerConfig cc;
+    cc.routing = RoutingMode::kSwap;
+    const net::Topology topo = lineOf(4);
+    Compiler compiler(topo, cc);
+    auto result = compiler.tryCompile(circuit);
+    ASSERT_FALSE(result.isOk());
+    EXPECT_NE(result.message().find("colocate_bench"), std::string::npos)
+        << result.message();
+    EXPECT_NE(result.message().find("co-locate"), std::string::npos)
+        << result.message();
+    EXPECT_NE(result.message().find("qubits_per_controller >= 2"),
+              std::string::npos)
+        << result.message();
+}
+
+TEST(PassDiagnostics, FailuresCarryTheFailingPassName)
+{
+    // The pipeline prefixes every pass failure with the pass's stable
+    // name, so logs say WHERE as well as WHAT.
+    {
+        Circuit circuit(0, "which_pass");
+        const net::Topology topo = lineOf(2);
+        auto result =
+            Compiler(topo, CompilerConfig{}).tryCompile(circuit);
+        ASSERT_FALSE(result.isOk());
+        EXPECT_EQ(result.message().rfind("lower: ", 0), 0u)
+            << result.message();
+    }
+    {
+        Circuit circuit(4, "which_pass");
+        const CbitId bit = circuit.measure(0);
+        CircuitOp op;
+        op.gate = q::Gate::kCZ;
+        op.qubits = {2, 3};
+        op.condition = {bit};
+        circuit.append(std::move(op));
+        CompilerConfig cc;
+        cc.routing = RoutingMode::kSwap;
+        const net::Topology topo = lineOf(4);
+        auto result = Compiler(topo, cc).tryCompile(circuit);
+        ASSERT_FALSE(result.isOk());
+        EXPECT_EQ(result.message().rfind("route: ", 0), 0u)
+            << result.message();
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Route: identity contract, SWAP-chain invariants.
 // ---------------------------------------------------------------------------
 

@@ -5,7 +5,11 @@
  */
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <complex>
+#include <utility>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "quantum/state_vector.hpp"
@@ -200,6 +204,160 @@ TEST(StateVector, NormPreservedUnderLongRandomCircuit)
         }
     }
     EXPECT_NEAR(sv.norm(), 1.0, 1e-8);
+}
+
+// -------------------------------------------------------------------------
+// Property tests: norm preservation through the projective operations,
+// global-phase invariance of the explicit-matrix paths, and the 2q
+// operand-orientation contract checked against a test-side permutation
+// reference (regression for the descending-operand CNOT flip fixed in the
+// pass-pipeline PR).
+// -------------------------------------------------------------------------
+
+namespace {
+
+/** Drive `sv` into a generic entangled state (deterministic per seed). */
+void
+scramble(StateVector &sv, std::uint64_t seed, int depth = 40)
+{
+    Rng rng(seed);
+    const unsigned n = sv.numQubits();
+    const Gate pool[] = {Gate::kH,  Gate::kS,   Gate::kT,
+                         Gate::kX90, Gate::kYm90, Gate::kX};
+    for (int i = 0; i < depth; ++i) {
+        if (rng.coin(0.3)) {
+            const auto q0 = QubitId(rng.below(n));
+            auto q1 = QubitId(rng.below(n));
+            while (q1 == q0)
+                q1 = QubitId(rng.below(n));
+            sv.apply2q(rng.coin(0.5) ? Gate::kCNOT : Gate::kCZ, q0, q1);
+        } else if (rng.coin(0.2)) {
+            sv.apply1q(Gate::kRz, QubitId(rng.below(n)),
+                       rng.uniform() * 6.28318530717958648);
+        } else {
+            sv.apply1q(pool[rng.below(6)], QubitId(rng.below(n)));
+        }
+    }
+}
+
+} // namespace
+
+TEST(StateVectorProperty, NormPreservedAfterMeasureAndResetQubit)
+{
+    for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+        StateVector sv(4);
+        scramble(sv, seed);
+        Rng rng(seed * 31 + 7);
+        for (int round = 0; round < 6; ++round) {
+            const auto q = QubitId(rng.below(4));
+            if (rng.coin(0.5))
+                sv.measure(q, rng);
+            else
+                sv.resetQubit(q, rng);
+            ASSERT_NEAR(sv.norm(), 1.0, 1e-9)
+                << "seed " << seed << " round " << round;
+            // Keep the state generic for the next projective round.
+            sv.apply1q(Gate::kH, q);
+            sv.apply2q(Gate::kCNOT, q, QubitId((q + 1) % 4));
+        }
+    }
+}
+
+TEST(StateVectorProperty, ApplyMatrix1qIsGlobalPhaseInvariant)
+{
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        StateVector a(3), b(3);
+        scramble(a, seed);
+        scramble(b, seed);
+        Rng rng(seed * 13 + 5);
+        const double phi = rng.uniform() * 6.28318530717958648;
+        const Amp phase = std::polar(1.0, phi);
+        const auto m = matrix1q(Gate::kRy, 0.7);
+        std::array<Amp, 4> mp;
+        for (std::size_t i = 0; i < 4; ++i)
+            mp[i] = phase * m[i];
+        const auto q = QubitId(rng.below(3));
+        a.applyMatrix1q(m, q);
+        b.applyMatrix1q(mp, q);
+        // Identical physics: all probabilities agree and the overlap is
+        // unit magnitude; only fidelityWith sees the phase (as it must).
+        EXPECT_NEAR(a.overlapMagnitude(b), 1.0, 1e-9) << "seed " << seed;
+        for (std::size_t basis = 0; basis < a.dimension(); ++basis) {
+            ASSERT_NEAR(a.probability(basis), b.probability(basis), 1e-9)
+                << "seed " << seed << " basis " << basis;
+        }
+    }
+}
+
+TEST(StateVectorProperty, ApplyMatrix2qIsGlobalPhaseInvariant)
+{
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        StateVector a(3), b(3);
+        scramble(a, seed);
+        scramble(b, seed);
+        Rng rng(seed * 17 + 3);
+        const Amp phase = std::polar(1.0, rng.uniform() * 3.14159);
+        const auto m = matrix2q(Gate::kCPhase, 1.1);
+        std::array<Amp, 16> mp;
+        for (std::size_t i = 0; i < 16; ++i)
+            mp[i] = phase * m[i];
+        const auto q0 = QubitId(rng.below(3));
+        const auto q1 = QubitId((q0 + 1 + rng.below(2)) % 3);
+        a.applyMatrix2q(m, q0, q1);
+        b.applyMatrix2q(mp, q0, q1);
+        EXPECT_NEAR(a.overlapMagnitude(b), 1.0, 1e-9) << "seed " << seed;
+        for (std::size_t basis = 0; basis < a.dimension(); ++basis) {
+            ASSERT_NEAR(a.probability(basis), b.probability(basis), 1e-9)
+                << "seed " << seed << " basis " << basis;
+        }
+    }
+}
+
+TEST(StateVectorProperty, CnotOperandOrientationMatchesPermutationReference)
+{
+    // apply2q(kCNOT, q0, q1) must treat q0 as control and q1 as target
+    // for EVERY operand ordering, including q0 > q1 (the descending case
+    // a routing pass once flipped). Reference: a CNOT is the basis-index
+    // permutation "flip bit t where bit c is set", computed test-side
+    // from the pre-gate amplitudes.
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        for (const auto &[c, t] : {std::pair<QubitId, QubitId>{0, 2},
+                                  std::pair<QubitId, QubitId>{2, 0},
+                                  std::pair<QubitId, QubitId>{1, 2},
+                                  std::pair<QubitId, QubitId>{2, 1}}) {
+            StateVector sv(3);
+            scramble(sv, seed);
+            std::vector<Amp> expect(sv.dimension());
+            for (std::size_t basis = 0; basis < sv.dimension(); ++basis) {
+                const std::size_t src =
+                    (basis >> c) & 1 ? basis ^ (std::size_t(1) << t)
+                                     : basis;
+                expect[basis] = sv.amplitude(src);
+            }
+            sv.apply2q(Gate::kCNOT, c, t);
+            for (std::size_t basis = 0; basis < sv.dimension(); ++basis) {
+                ASSERT_NEAR(std::abs(sv.amplitude(basis) - expect[basis]),
+                            0.0, 1e-12)
+                    << "seed " << seed << " control " << unsigned(c)
+                    << " target " << unsigned(t) << " basis " << basis;
+            }
+        }
+    }
+}
+
+TEST(StateVectorProperty, SymmetricGatesIgnoreOperandOrder)
+{
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        for (const Gate g : {Gate::kCZ, Gate::kSwap}) {
+            StateVector a(3), b(3);
+            scramble(a, seed);
+            scramble(b, seed);
+            a.apply2q(g, 0, 2);
+            b.apply2q(g, 2, 0);
+            EXPECT_NEAR(a.fidelityWith(b), 1.0, 1e-9)
+                << gateName(g) << " seed " << seed;
+        }
+    }
 }
 
 TEST(StateVector, SampleBasisMatchesProbabilities)

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Unit tests for the Aaronson-Gottesman stabilizer backend: tableau
+ * invariants, gate update rules checked per-gate against the dense
+ * state vector, the one-Rng-draw measurement contract, and the tier
+ * selector's census logic.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "quantum/backend.hpp"
+#include "quantum/state_vector.hpp"
+#include "quantum/tableau.hpp"
+
+namespace dhisq::q {
+namespace {
+
+TEST(Tableau, InitialStateIsAllZeros)
+{
+    TableauState t(3);
+    EXPECT_EQ(t.kind(), BackendKind::kTableau);
+    EXPECT_EQ(t.numQubits(), 3u);
+    EXPECT_EQ(t.stabilizer(0), "+ZII");
+    EXPECT_EQ(t.stabilizer(1), "+IZI");
+    EXPECT_EQ(t.stabilizer(2), "+IIZ");
+    for (QubitId q = 0; q < 3; ++q) {
+        EXPECT_TRUE(t.isDeterministic(q));
+        EXPECT_DOUBLE_EQ(t.probabilityOfOne(q), 0.0);
+    }
+}
+
+TEST(Tableau, BellPairStabilizersAndCorrelation)
+{
+    TableauState t(2);
+    t.h(0);
+    t.cnot(0, 1);
+    EXPECT_EQ(t.stabilizer(0), "+XX");
+    EXPECT_EQ(t.stabilizer(1), "+ZZ");
+    EXPECT_FALSE(t.isDeterministic(0));
+    EXPECT_DOUBLE_EQ(t.probabilityOfOne(0), 0.5);
+
+    // Measuring one half makes the other half deterministic and equal.
+    std::set<int> seen;
+    for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+        TableauState bell(2);
+        bell.h(0);
+        bell.cnot(0, 1);
+        Rng rng(seed);
+        const int a = bell.measure(0, rng);
+        ASSERT_TRUE(bell.isDeterministic(1));
+        EXPECT_EQ(bell.measure(1, rng), a);
+        seen.insert(a);
+    }
+    EXPECT_EQ(seen.size(), 2u) << "40 seeds never saw both outcomes";
+}
+
+TEST(Tableau, GhzCollapseWithFeedback)
+{
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        TableauState t(3);
+        t.h(0);
+        t.cnot(0, 1);
+        t.cnot(1, 2);
+        Rng rng(seed);
+        const int bit = t.measure(0, rng);
+        if (bit) {
+            // Conditional feedback: flip everything back to |000>.
+            t.x(0);
+            t.x(1);
+            t.x(2);
+        }
+        for (QubitId q = 0; q < 3; ++q) {
+            ASSERT_TRUE(t.isDeterministic(q));
+            EXPECT_DOUBLE_EQ(t.probabilityOfOne(q), 0.0);
+            EXPECT_EQ(t.measure(q, rng), 0);
+        }
+    }
+}
+
+// -------------------------------------------------------------------------
+// Differential unit test: random Clifford op streams applied to both
+// backends, with interleaved measurements under a SHARED Rng. This checks
+// every gate's tableau update rule (including the 90-degree rotations'
+// H/S/Z decompositions) against the dense matrices, and the one-draw
+// measurement contract at the finest grain.
+// -------------------------------------------------------------------------
+
+TEST(TableauVsDense, RandomOpStreamsAgree)
+{
+    const Gate g1[] = {Gate::kI,   Gate::kX,    Gate::kY,   Gate::kZ,
+                       Gate::kH,   Gate::kS,    Gate::kSdg, Gate::kX90,
+                       Gate::kY90, Gate::kXm90, Gate::kYm90};
+    const Gate g2[] = {Gate::kCNOT, Gate::kCZ, Gate::kSwap};
+    const unsigned n = 4;
+    for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+        Rng ops(seed);
+        Rng meas_dense(seed * 977 + 1);
+        Rng meas_tab(seed * 977 + 1);
+        StateVector dense(n);
+        TableauState tab(n);
+        for (int step = 0; step < 30; ++step) {
+            const auto pick = ops.below(10);
+            if (pick < 6) {
+                const Gate g = g1[ops.below(11)];
+                const QubitId q = QubitId(ops.below(n));
+                dense.apply1q(g, q);
+                tab.apply1q(g, q);
+            } else if (pick < 9) {
+                const Gate g = g2[ops.below(3)];
+                const QubitId a = QubitId(ops.below(n));
+                QubitId b = QubitId(ops.below(n - 1));
+                if (b >= a)
+                    ++b;
+                dense.apply2q(g, a, b);
+                tab.apply2q(g, a, b);
+            } else {
+                const QubitId q = QubitId(ops.below(n));
+                const int db = dense.measure(q, meas_dense);
+                const int tb = tab.measure(q, meas_tab);
+                ASSERT_EQ(db, tb)
+                    << "seed " << seed << " step " << step << " qubit "
+                    << unsigned(q);
+                // The two Rng streams must stay aligned draw-for-draw.
+                ASSERT_EQ(meas_dense.next(), meas_tab.next())
+                    << "Rng streams diverged at seed " << seed;
+            }
+            // A stabilizer state's marginals are always 0, 1/2 or 1 and
+            // both backends must agree on them.
+            for (QubitId q = 0; q < n; ++q) {
+                const double pd = dense.probabilityOfOne(q);
+                const double pt = tab.probabilityOfOne(q);
+                ASSERT_NEAR(pd, pt, 1e-9)
+                    << "seed " << seed << " step " << step << " qubit "
+                    << unsigned(q);
+            }
+        }
+    }
+}
+
+TEST(TableauVsDense, ResetQubitAgreesAndConsumesOneDraw)
+{
+    for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+        Rng rd(seed), rt(seed);
+        StateVector dense(3);
+        TableauState tab(3);
+        for (auto *b : {(Backend *)&dense, (Backend *)&tab}) {
+            b->apply1q(Gate::kH, 0);
+            b->apply2q(Gate::kCNOT, 0, 1);
+            b->apply1q(Gate::kH, 2);
+        }
+        dense.resetQubit(1, rd);
+        tab.resetQubit(1, rt);
+        EXPECT_DOUBLE_EQ(tab.probabilityOfOne(1), 0.0);
+        EXPECT_NEAR(dense.probabilityOfOne(1), 0.0, 1e-12);
+        EXPECT_EQ(rd.next(), rt.next()) << "seed " << seed;
+    }
+}
+
+TEST(Tableau, ScalesFarBeyondDenseLimits)
+{
+    // 600 qubits: 2^600 amplitudes is absurd for the dense backend; the
+    // tableau runs a GHZ chain + correlated collapse in milliseconds.
+    const unsigned n = 600;
+    TableauState t(n);
+    t.h(0);
+    for (QubitId q = 0; q + 1 < n; ++q)
+        t.cnot(q, q + 1);
+    Rng rng(7);
+    const int first = t.measure(0, rng);
+    for (QubitId q = 1; q < n; ++q) {
+        ASSERT_TRUE(t.isDeterministic(q));
+        ASSERT_EQ(t.measure(q, rng), first) << "qubit " << unsigned(q);
+    }
+}
+
+TEST(Tableau, ResetRestoresIdentityTableau)
+{
+    TableauState t(4);
+    Rng rng(3);
+    t.h(0);
+    t.cnot(0, 2);
+    t.s(1);
+    t.measure(2, rng);
+    t.reset();
+    for (unsigned i = 0; i < 4; ++i) {
+        std::string expect(4, 'I');
+        expect[i] = 'Z';
+        EXPECT_EQ(t.stabilizer(i), "+" + expect);
+    }
+}
+
+// -------------------------------------------------------------------------
+// Tier selection helpers.
+// -------------------------------------------------------------------------
+
+TEST(BackendTier, EnumHelpersRoundTrip)
+{
+    for (const BackendTier tier : allBackendTiers()) {
+        BackendTier parsed;
+        ASSERT_TRUE(parseBackendTier(toString(tier), parsed));
+        EXPECT_EQ(parsed, tier);
+    }
+    BackendTier out;
+    EXPECT_FALSE(parseBackendTier("statevec", out));
+    EXPECT_STREQ(toString(BackendKind::kDense), "dense");
+    EXPECT_STREQ(toString(BackendKind::kTableau), "tableau");
+}
+
+TEST(BackendTier, ResolutionFollowsCensus)
+{
+    EXPECT_EQ(resolveBackend(BackendTier::kDense, true),
+              BackendKind::kDense);
+    EXPECT_EQ(resolveBackend(BackendTier::kDense, false),
+              BackendKind::kDense);
+    EXPECT_EQ(resolveBackend(BackendTier::kAuto, true),
+              BackendKind::kTableau);
+    EXPECT_EQ(resolveBackend(BackendTier::kAuto, false),
+              BackendKind::kDense);
+    EXPECT_EQ(resolveBackend(BackendTier::kTableau, true),
+              BackendKind::kTableau);
+    // Explicit tableau still falls back for non-Clifford programs.
+    EXPECT_EQ(resolveBackend(BackendTier::kTableau, false),
+              BackendKind::kDense);
+}
+
+TEST(BackendTier, CliffordGateCensus)
+{
+    for (const Gate g :
+         {Gate::kI, Gate::kX, Gate::kY, Gate::kZ, Gate::kH, Gate::kS,
+          Gate::kSdg, Gate::kX90, Gate::kY90, Gate::kXm90, Gate::kYm90,
+          Gate::kCNOT, Gate::kCZ, Gate::kSwap, Gate::kMeasure,
+          Gate::kPrepZ}) {
+        EXPECT_TRUE(isCliffordGate(g)) << gateName(g);
+    }
+    for (const Gate g : {Gate::kT, Gate::kTdg, Gate::kRx, Gate::kRy,
+                         Gate::kRz, Gate::kCPhase}) {
+        EXPECT_FALSE(isCliffordGate(g)) << gateName(g);
+    }
+}
+
+} // namespace
+} // namespace dhisq::q
