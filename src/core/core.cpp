@@ -93,10 +93,13 @@ HisqCore::scheduleStep(Cycle delay)
     if (_step_scheduled || _halted)
         return;
     _step_scheduled = true;
-    _sched.scheduleIn(delay, [this] {
-        _step_scheduled = false;
-        step();
-    });
+    _sched.scheduleIn(
+        delay,
+        [this] {
+            _step_scheduled = false;
+            step();
+        },
+        _config.id);
 }
 
 void

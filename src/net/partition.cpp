@@ -1,0 +1,54 @@
+#include "net/partition.hpp"
+
+#include "common/logging.hpp"
+
+namespace dhisq::net {
+
+sim::PartitionPlan
+makePartitionPlan(const Topology &topo, unsigned regions)
+{
+    const unsigned n = topo.numControllers();
+    DHISQ_ASSERT(n >= 1, "cannot partition an empty topology");
+    if (regions < 1)
+        regions = 1;
+    if (regions > n)
+        regions = n;
+
+    sim::PartitionPlan plan;
+    plan.num_regions = regions;
+    plan.region_of.resize(n);
+    // Balanced contiguous-id blocks. Controller ids follow the shape
+    // generators' row-major layout, so consecutive ids are spatially
+    // close on every shape and most links stay region-internal.
+    for (unsigned c = 0; c < n; ++c)
+        plan.region_of[c] = std::uint32_t((std::uint64_t(c) * regions) / n);
+
+    // Lookahead: the cheapest link crossing a region boundary bounds how
+    // soon one region can affect another. A single region (or a
+    // linkless graph) falls back to the cheapest link / the configured
+    // neighbour latency; the window is never below one cycle.
+    Cycle lookahead = kNoCycle;
+    bool crossing_found = false;
+    Cycle any_link_min = kNoCycle;
+    for (ControllerId c = 0; c < n; ++c) {
+        for (const Topology::Link &link : topo.linksOf(c)) {
+            if (link.latency < any_link_min)
+                any_link_min = link.latency;
+            if (plan.region_of[c] != plan.region_of[link.peer] &&
+                link.latency < lookahead) {
+                lookahead = link.latency;
+                crossing_found = true;
+            }
+        }
+    }
+    if (!crossing_found)
+        lookahead = any_link_min != kNoCycle
+                        ? any_link_min
+                        : topo.config().neighbor_latency;
+    if (lookahead < 1)
+        lookahead = 1;
+    plan.lookahead = lookahead;
+    return plan;
+}
+
+} // namespace dhisq::net

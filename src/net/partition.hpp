@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Region partitioning for the conservative parallel scheduler.
+ *
+ * The parallel mode's correctness window comes from the machine's own
+ * interconnect: controllers only interact over net::Topology links (sync
+ * signals, feedback messages, router-tree traffic), every link has a
+ * known minimum latency, and therefore a region of controllers cannot be
+ * affected by another region sooner than the cheapest link crossing the
+ * boundary — the classic PDES lookahead. makePartitionPlan extracts
+ * exactly that: a balanced controller -> region map plus the minimum
+ * cross-region link latency.
+ */
+#pragma once
+
+#include "net/topology.hpp"
+#include "sim/parallel.hpp"
+
+namespace dhisq::net {
+
+/**
+ * Partition the controllers of `topo` into (up to) `regions` balanced
+ * contiguous-id blocks and derive the conservative lookahead: the minimum
+ * latency of any graph link joining two different regions (with a single
+ * region, the minimum over all links; never below 1 cycle). Deterministic
+ * for fixed inputs.
+ */
+sim::PartitionPlan makePartitionPlan(const Topology &topo, unsigned regions);
+
+} // namespace dhisq::net

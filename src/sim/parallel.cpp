@@ -1,0 +1,62 @@
+#include "sim/parallel.hpp"
+
+#include "common/logging.hpp"
+
+namespace dhisq::sim {
+
+WorkerPool::WorkerPool(unsigned workers) : _count(workers)
+{
+    DHISQ_ASSERT(workers >= 1, "worker pool needs at least one worker");
+    _threads.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        _threads.emplace_back([this, i] { workerMain(i); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _stop = true;
+    }
+    _work_cv.notify_all();
+    for (auto &t : _threads)
+        t.join();
+}
+
+void
+WorkerPool::workerMain(unsigned index)
+{
+    const unsigned stride = _count;
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(_mutex);
+    for (;;) {
+        _work_cv.wait(lock, [&] { return _stop || _phase != seen; });
+        if (_stop)
+            return;
+        seen = _phase;
+        const ItemFn fn = _fn;
+        void *const ctx = _ctx;
+        const unsigned n = _num_items;
+        lock.unlock();
+        for (unsigned item = index; item < n; item += stride)
+            fn(ctx, item);
+        lock.lock();
+        if (++_done == _count)
+            _done_cv.notify_one();
+    }
+}
+
+void
+WorkerPool::forEach(unsigned num_items, ItemFn fn, void *ctx)
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    _fn = fn;
+    _ctx = ctx;
+    _num_items = num_items;
+    _done = 0;
+    ++_phase;
+    _work_cv.notify_all();
+    _done_cv.wait(lock, [&] { return _done == _count; });
+}
+
+} // namespace dhisq::sim

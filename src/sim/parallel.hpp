@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Conservative parallel-DES support types: the region partition plan and
+ * the phase-synchronized worker pool the Scheduler's parallel mode runs
+ * staging work on.
+ *
+ * The parallel mode (see docs/SIMULATION.md for the full model) partitions
+ * event *sources* (controllers) into regions, each owning a private event
+ * queue. Execution proceeds in barrier windows `[T, T + window)` whose
+ * conservative width is the minimum latency of any topology link crossing
+ * a region boundary (the classic PDES lookahead): a region cannot receive
+ * a cross-region event earlier than `now + lookahead`, so every event
+ * already queued inside the window is safe to stage before any of them
+ * executes. Staging (heap pops, cancelled-entry filtering, per-region
+ * ordering) runs on the worker pool; dispatch merges the staged streams in
+ * global (cycle, sequence) order on the coordinating thread, which is what
+ * makes the parallel mode bit-identical to the serial scheduler by
+ * construction — same event order, same Rng draw sequence, same traces.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dhisq::sim {
+
+/**
+ * Region partition + lookahead for the Scheduler's parallel mode.
+ * Build one from a topology with net::makePartitionPlan.
+ */
+struct PartitionPlan
+{
+    /** Region index per source ControllerId; missing/untagged -> region 0. */
+    std::vector<std::uint32_t> region_of;
+    /** Number of regions (>= 1; region indices are < num_regions). */
+    std::uint32_t num_regions = 1;
+    /**
+     * Conservative window width in cycles (>= 1): the minimum latency of
+     * any link crossing a region boundary. Events scheduled during a
+     * window for a cross-region destination always land at least
+     * `lookahead` cycles out, i.e. beyond a lookahead-sized window.
+     */
+    Cycle lookahead = 1;
+    /**
+     * Batching floor for the barrier window (cycles). Windows narrower
+     * than this pay a synchronization barrier per handful of events;
+     * widening the window past the lookahead stays deterministic (the
+     * merge dispatch orders globally regardless) — intra-window arrivals
+     * just take the overflow path instead of a region queue. 0 keeps the
+     * strict `window == lookahead` conservative bound.
+     */
+    Cycle min_window = 0;
+
+    /** Region owning events tagged with `source`. */
+    std::uint32_t
+    regionOf(ControllerId source) const
+    {
+        if (source == kNoController || source >= region_of.size())
+            return 0;
+        return region_of[source];
+    }
+
+    /** Effective barrier-window width in cycles. */
+    Cycle
+    window() const
+    {
+        return lookahead > min_window ? lookahead : min_window;
+    }
+};
+
+/**
+ * Phase-synchronized worker pool: forEach(n, fn, ctx) fans items 0..n-1
+ * out across the workers (item i runs on worker i % workers) and returns
+ * once every item ran. Plain mutex/condvar phases — the blocking wait is
+ * what makes the pool ThreadSanitizer-provable, and the scheduler batches
+ * enough staging work per phase that wake latency is amortized.
+ */
+class WorkerPool
+{
+  public:
+    using ItemFn = void (*)(void *ctx, unsigned item);
+
+    explicit WorkerPool(unsigned workers);
+    ~WorkerPool();
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    unsigned workers() const { return _count; }
+
+    /** Run fn(ctx, item) for every item in [0, num_items); blocks. */
+    void forEach(unsigned num_items, ItemFn fn, void *ctx);
+
+  private:
+    void workerMain(unsigned index);
+
+    const unsigned _count;
+    std::vector<std::thread> _threads;
+    std::mutex _mutex;
+    std::condition_variable _work_cv;
+    std::condition_variable _done_cv;
+    ItemFn _fn = nullptr;          ///< Guarded by _mutex.
+    void *_ctx = nullptr;          ///< Guarded by _mutex.
+    unsigned _num_items = 0;       ///< Guarded by _mutex.
+    std::uint64_t _phase = 0;      ///< Guarded by _mutex.
+    unsigned _done = 0;            ///< Guarded by _mutex.
+    bool _stop = false;            ///< Guarded by _mutex.
+};
+
+} // namespace dhisq::sim

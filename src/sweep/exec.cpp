@@ -78,6 +78,7 @@ executeWith(const compiler::Circuit &circuit,
     mc.fabric.policy = opts.policy;
     mc.fabric.star_messages =
         (cc.scheme == compiler::SyncScheme::kLockStep);
+    mc.sim_threads = opts.sim_threads;
     runtime::Machine machine(mc);
     compiled.applyTo(machine);
 

@@ -82,6 +82,13 @@ struct ExecOptions
      * under RoutingMode::kSwap's oversubscribed mapping.
      */
     unsigned controllers = 0;
+    /**
+     * Scheduler worker threads for the simulation (MachineConfig::
+     * sim_threads): 1 = serial event loop, >= 2 = conservative parallel
+     * mode. Never part of a point's identity — results are bit-identical
+     * across values, so it is excluded from labels and emitted params.
+     */
+    unsigned sim_threads = 1;
 };
 
 /** Compile + run with explicit compiler and interconnect configuration. */

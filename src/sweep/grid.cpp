@@ -169,6 +169,7 @@ expandGrid(const GridSpec &grid)
                             p.controllers = grid.controllers;
                             p.seed = seed;
                             p.state_vector = grid.state_vector;
+                            p.sim_threads = grid.sim_threads;
                             points.push_back(std::move(p));
                           }
                         }
@@ -199,6 +200,7 @@ runPoint(const ExperimentPoint &point, const MetricsHook &extend)
     opts.tree_arity = point.tree_arity;
     opts.hub_latency = point.hub_latency;
     opts.controllers = point.controllers;
+    opts.sim_threads = point.sim_threads;
     const ExecResult r = executeWith(circuit, point.config, opts);
 
     PointResult out;

@@ -1,0 +1,430 @@
+/**
+ * @file
+ * Parallel-scheduler correctness: the conservative barrier-window mode
+ * must be *bit-identical* to the serial event loop — same dispatch order
+ * (including same-cycle ties), same resumption behaviour under run
+ * limits, same artifacts end to end. The property suite drives seeded
+ * random self-scheduling/cancelling workloads through serial and
+ * parallel schedulers at several thread counts and window floors and
+ * requires the recorded orders to match exactly; the e2e tests compile
+ * real circuits and compare measurement records and run reports.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "compiler/compiler.hpp"
+#include "net/partition.hpp"
+#include "net/topology.hpp"
+#include "runtime/machine.hpp"
+#include "sim/parallel.hpp"
+#include "sim/scheduler.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/lrcnot.hpp"
+
+namespace dhisq {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Partition plans
+// ---------------------------------------------------------------------------
+
+net::TopologyConfig
+lineConfig(unsigned controllers, Cycle neighbor_latency = 2)
+{
+    net::TopologyConfig cfg;
+    cfg.shape = net::TopologyShape::kLine;
+    cfg.width = controllers;
+    cfg.neighbor_latency = neighbor_latency;
+    return cfg;
+}
+
+TEST(PartitionPlan, BalancedContiguousRegions)
+{
+    const auto topo = net::Topology::build(lineConfig(10));
+    const auto plan = net::makePartitionPlan(topo, 4);
+    ASSERT_EQ(plan.num_regions, 4u);
+    ASSERT_EQ(plan.region_of.size(), 10u);
+    // Contiguous id blocks, non-decreasing, spanning all regions.
+    EXPECT_EQ(plan.region_of.front(), 0u);
+    EXPECT_EQ(plan.region_of.back(), 3u);
+    std::vector<unsigned> sizes(4, 0);
+    for (std::size_t c = 1; c < plan.region_of.size(); ++c)
+        EXPECT_LE(plan.region_of[c - 1], plan.region_of[c]);
+    for (const auto r : plan.region_of)
+        ++sizes[r];
+    for (const auto size : sizes) {
+        EXPECT_GE(size, 2u);
+        EXPECT_LE(size, 3u);
+    }
+}
+
+TEST(PartitionPlan, LookaheadIsCrossRegionLinkLatency)
+{
+    const auto topo = net::Topology::build(lineConfig(8, 5));
+    const auto plan = net::makePartitionPlan(topo, 4);
+    EXPECT_EQ(plan.lookahead, 5u);
+}
+
+TEST(PartitionPlan, SingleRegionFallsBackToCheapestLink)
+{
+    const auto topo = net::Topology::build(lineConfig(6, 3));
+    const auto plan = net::makePartitionPlan(topo, 1);
+    EXPECT_EQ(plan.num_regions, 1u);
+    EXPECT_EQ(plan.lookahead, 3u);
+}
+
+TEST(PartitionPlan, RegionsClampToControllerCount)
+{
+    const auto topo = net::Topology::build(lineConfig(3));
+    const auto plan = net::makePartitionPlan(topo, 16);
+    EXPECT_EQ(plan.num_regions, 3u);
+    for (ControllerId c = 0; c < 3; ++c)
+        EXPECT_EQ(plan.regionOf(c), c);
+}
+
+TEST(PartitionPlan, UntaggedSourcesLandInRegionZero)
+{
+    sim::PartitionPlan plan;
+    plan.region_of = {0, 1, 2};
+    plan.num_regions = 3;
+    EXPECT_EQ(plan.regionOf(kNoController), 0u);
+    EXPECT_EQ(plan.regionOf(99), 0u); // out of range
+    EXPECT_EQ(plan.regionOf(2), 2u);
+}
+
+TEST(PartitionPlan, WindowIsMaxOfLookaheadAndFloor)
+{
+    sim::PartitionPlan plan;
+    plan.lookahead = 4;
+    EXPECT_EQ(plan.window(), 4u);
+    plan.min_window = 64;
+    EXPECT_EQ(plan.window(), 64u);
+}
+
+// ---------------------------------------------------------------------------
+// Serial-vs-parallel dispatch-order equivalence (property suite)
+// ---------------------------------------------------------------------------
+
+sim::PartitionPlan
+roundRobinPlan(unsigned sources, unsigned regions, Cycle lookahead,
+               Cycle min_window)
+{
+    sim::PartitionPlan plan;
+    plan.num_regions = regions;
+    plan.lookahead = lookahead;
+    plan.min_window = min_window;
+    plan.region_of.resize(sources);
+    for (unsigned s = 0; s < sources; ++s)
+        plan.region_of[s] = s % regions;
+    return plan;
+}
+
+/**
+ * Deterministic self-scheduling workload: every fired event records its
+ * label, then (driven by an LCG whose draws happen *inside* callbacks, so
+ * any ordering divergence corrupts all later draws and is caught) spawns
+ * children at random delays — including delay 0 for same-cycle ties —
+ * cancels random outstanding ids, and tags events with random sources or
+ * leaves them to inherit. The recorded label order is the equivalence
+ * witness.
+ */
+struct RandomWorkload
+{
+    sim::Scheduler sched;
+    std::uint64_t rng;
+    unsigned sources;
+    std::vector<int> order;
+    std::vector<sim::EventId> ids;
+    int next_label = 0;
+    bool cancel_heavy;
+
+    explicit RandomWorkload(std::uint64_t seed, unsigned num_sources,
+                            bool heavy)
+        : rng(seed * 0x9E3779B97F4A7C15ull + 1), sources(num_sources),
+          cancel_heavy(heavy)
+    {
+    }
+
+    std::uint64_t
+    draw(std::uint64_t bound)
+    {
+        rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+        return (rng >> 33) % bound;
+    }
+
+    void
+    spawn(Cycle when, unsigned depth)
+    {
+        const int label = next_label++;
+        // 1 in 4 events carries an explicit tag; the rest inherit.
+        const ControllerId source =
+            draw(4) == 0 ? ControllerId(draw(sources)) : kNoController;
+        ids.push_back(sched.schedule(
+            when,
+            [this, label, depth] {
+                order.push_back(label);
+                fired(depth);
+            },
+            source));
+    }
+
+    void
+    fired(unsigned depth)
+    {
+        if (depth > 0) {
+            const std::uint64_t children = draw(3);
+            for (std::uint64_t c = 0; c < children; ++c)
+                spawn(sched.now() + Cycle(draw(16)), depth - 1);
+        }
+        // Cancel outstanding (or already-fired: harmless) ids.
+        const std::uint64_t cancels = cancel_heavy ? 1 + draw(3) : draw(2);
+        for (std::uint64_t c = 0; c < cancels && !ids.empty(); ++c)
+            sched.cancel(ids[draw(ids.size())]);
+    }
+
+    /** Seed the initial event population and run to quiescence. */
+    void
+    runAll(std::uint64_t seed_events)
+    {
+        for (std::uint64_t e = 0; e < seed_events; ++e)
+            spawn(Cycle(draw(200)), 4);
+        sched.run();
+    }
+};
+
+struct Outcome
+{
+    std::vector<int> order;
+    Cycle final_now;
+    std::uint64_t executed;
+};
+
+Outcome
+runWorkload(std::uint64_t seed, bool heavy, unsigned threads,
+            Cycle min_window)
+{
+    constexpr unsigned kSources = 12;
+    RandomWorkload w(seed, kSources, heavy);
+    if (threads >= 2) {
+        w.sched.configureParallel(
+            roundRobinPlan(kSources, threads, 3, min_window), threads);
+        EXPECT_TRUE(w.sched.parallel());
+    }
+    w.runAll(30);
+    return {w.order, w.sched.now(), w.sched.executed()};
+}
+
+class ParallelEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, bool>>
+{
+};
+
+TEST_P(ParallelEquivalence, DispatchOrderMatchesSerial)
+{
+    const auto [seed, heavy] = GetParam();
+    const Outcome serial = runWorkload(seed, heavy, 1, 0);
+    ASSERT_FALSE(serial.order.empty());
+    for (const unsigned threads : {2u, 8u}) {
+        for (const Cycle min_window : {Cycle(0), Cycle(7), Cycle(64)}) {
+            const Outcome par =
+                runWorkload(seed, heavy, threads, min_window);
+            EXPECT_EQ(par.order, serial.order)
+                << "threads=" << threads << " min_window=" << min_window;
+            EXPECT_EQ(par.final_now, serial.final_now);
+            EXPECT_EQ(par.executed, serial.executed);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeededWorkloads, ParallelEquivalence,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8, 13, 21, 42),
+                       ::testing::Bool()));
+
+TEST(ParallelScheduler, SameCycleTiesKeepScheduleOrder)
+{
+    sim::Scheduler s;
+    s.configureParallel(roundRobinPlan(4, 4, 2, 0), 4);
+    std::vector<int> order;
+    // Interleave sources so ties cross region queues.
+    for (int i = 0; i < 32; ++i)
+        s.schedule(5, [&order, i] { order.push_back(i); },
+                   ControllerId(i % 4));
+    s.run();
+    ASSERT_EQ(order.size(), 32u);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(order[std::size_t(i)], i);
+}
+
+TEST(ParallelScheduler, RunLimitStopsAndResumesLikeSerial)
+{
+    const auto drive = [](sim::Scheduler &s, std::vector<Cycle> &fired) {
+        for (Cycle t = 10; t <= 100; t += 10)
+            s.schedule(t, [&fired, &s] { fired.push_back(s.now()); },
+                       ControllerId(t / 10 % 4));
+    };
+    sim::Scheduler serial;
+    std::vector<Cycle> serial_fired;
+    drive(serial, serial_fired);
+    serial.run(55);
+    const Cycle serial_mid = serial.now();
+    serial.run();
+
+    sim::Scheduler par;
+    par.configureParallel(roundRobinPlan(4, 4, 2, 64), 4);
+    std::vector<Cycle> par_fired;
+    drive(par, par_fired);
+    par.run(55);
+    EXPECT_EQ(par.now(), serial_mid);
+    EXPECT_EQ(par_fired.size(), 5u); // 10..50 fired, 60..100 pending
+    par.run();
+    EXPECT_EQ(par_fired, serial_fired);
+    EXPECT_EQ(par.now(), serial.now());
+}
+
+TEST(ParallelScheduler, ResetKeepsParallelConfigAndStaysEquivalent)
+{
+    sim::Scheduler s;
+    s.configureParallel(roundRobinPlan(4, 2, 2, 8), 2);
+    int fired = 0;
+    s.schedule(10, [&] { ++fired; }, 1);
+    s.reset();
+    EXPECT_TRUE(s.parallel());
+    EXPECT_EQ(s.pending(), 0u);
+    s.schedule(5, [&] { ++fired; }, 2);
+    s.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(s.now(), 5u);
+}
+
+TEST(ParallelScheduler, ReconfigureMidLifetimeRedistributesPending)
+{
+    sim::Scheduler s;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        s.schedule(Cycle(10 + i), [&order, i] { order.push_back(i); },
+                   ControllerId(i % 4));
+    // Engage parallel with events already queued, then disengage again
+    // with some still pending: both transitions must preserve the order.
+    s.configureParallel(roundRobinPlan(4, 4, 2, 4), 4);
+    s.run(12);
+    s.configureParallel({}, 1);
+    EXPECT_FALSE(s.parallel());
+    s.run();
+    ASSERT_EQ(order.size(), 8u);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[std::size_t(i)], i);
+}
+
+TEST(ParallelScheduler, PendingCountersTrackWindowDrain)
+{
+    sim::Scheduler s;
+    s.configureParallel(roundRobinPlan(2, 2, 2, 16), 2);
+    s.schedule(1, [] {}, 0);
+    s.schedule(2, [] {}, 0);
+    const auto guard = s.schedule(3, [] {}, 1);
+    EXPECT_EQ(s.pendingFor(0), 2u);
+    EXPECT_EQ(s.pendingFor(1), 1u);
+    s.cancel(guard);
+    EXPECT_EQ(s.pendingFor(1), 0u);
+    s.run();
+    EXPECT_EQ(s.pending(), 0u);
+    EXPECT_EQ(s.pendingFor(0), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// End to end: every workload shape, parallel machine vs serial machine
+// ---------------------------------------------------------------------------
+
+struct E2eOutcome
+{
+    runtime::RunReport report;
+    std::vector<q::QuantumDevice::MeasurementRecord> measurements;
+};
+
+E2eOutcome
+runMachine(const compiler::Circuit &circuit, compiler::SyncScheme scheme,
+           unsigned sim_threads)
+{
+    net::TopologyConfig topo_cfg;
+    topo_cfg.width = circuit.numQubits();
+    net::Topology topo = net::Topology::grid(topo_cfg);
+    compiler::CompilerConfig cc;
+    cc.scheme = scheme;
+    compiler::Compiler comp(topo, cc);
+    auto compiled = comp.compile(circuit);
+
+    auto mc = compiler::machineConfigFor(topo_cfg, cc, circuit.numQubits(),
+                                         true, /*seed=*/7);
+    mc.fabric.star_messages = (scheme == compiler::SyncScheme::kLockStep);
+    mc.sim_threads = sim_threads;
+    runtime::Machine machine(mc);
+    compiled.applyTo(machine);
+    E2eOutcome out;
+    out.report = machine.run();
+    out.measurements = machine.device().measurements();
+    return out;
+}
+
+void
+expectIdenticalOutcomes(const compiler::Circuit &circuit,
+                        compiler::SyncScheme scheme)
+{
+    const E2eOutcome serial = runMachine(circuit, scheme, 1);
+    const E2eOutcome par = runMachine(circuit, scheme, 8);
+    EXPECT_EQ(par.report.makespan, serial.report.makespan);
+    EXPECT_EQ(par.report.deadlock, serial.report.deadlock);
+    EXPECT_EQ(par.report.halted_cores, serial.report.halted_cores);
+    EXPECT_EQ(par.report.timing_violations, serial.report.timing_violations);
+    EXPECT_EQ(par.report.pause_cycles, serial.report.pause_cycles);
+    EXPECT_EQ(par.report.syncs_completed, serial.report.syncs_completed);
+    EXPECT_EQ(par.report.events_executed, serial.report.events_executed);
+    // Measurement records pin the Rng draw sequence: one draw per
+    // measurement, in dispatch order — any reordering flips bits.
+    ASSERT_EQ(par.measurements.size(), serial.measurements.size());
+    for (std::size_t i = 0; i < serial.measurements.size(); ++i) {
+        EXPECT_EQ(par.measurements[i].qubit, serial.measurements[i].qubit);
+        EXPECT_EQ(par.measurements[i].bit, serial.measurements[i].bit);
+        EXPECT_EQ(par.measurements[i].start, serial.measurements[i].start);
+        EXPECT_EQ(par.measurements[i].ready, serial.measurements[i].ready);
+    }
+}
+
+class ParallelE2e : public ::testing::TestWithParam<compiler::SyncScheme>
+{
+};
+
+TEST_P(ParallelE2e, LongRangeCnotChainIsIdentical)
+{
+    compiler::Circuit circuit(9, "lr");
+    circuit.gate(q::Gate::kH, 0);
+    workloads::appendLongRangeCnotLine(circuit, 0, 8);
+    expectIdenticalOutcomes(circuit, GetParam());
+}
+
+TEST_P(ParallelE2e, RandomDynamicIsIdentical)
+{
+    workloads::RandomDynamicOptions opt;
+    opt.qubits = 12;
+    opt.layers = 16;
+    opt.feedback_fraction = 0.5;
+    opt.seed = 11;
+    expectIdenticalOutcomes(workloads::randomDynamic(opt), GetParam());
+}
+
+TEST_P(ParallelE2e, RandomCliffordIsIdentical)
+{
+    workloads::RandomCliffordOptions opt;
+    opt.qubits = 10;
+    opt.layers = 12;
+    opt.seed = 23;
+    expectIdenticalOutcomes(workloads::randomClifford(opt), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, ParallelE2e,
+                         ::testing::Values(compiler::SyncScheme::kLockStep,
+                                           compiler::SyncScheme::kBisp));
+
+} // namespace
+} // namespace dhisq

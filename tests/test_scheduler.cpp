@@ -217,6 +217,45 @@ TEST(Scheduler, CancelHeavyStress100k)
     EXPECT_EQ(s.now(), Cycle(1000000 + kEvents - 1));
 }
 
+TEST(Scheduler, PendingForTracksScheduleCancelAndFire)
+{
+    Scheduler s;
+    EXPECT_EQ(s.pendingFor(0), 0u);
+    s.schedule(10, [] {}, 0);
+    s.schedule(11, [] {}, 0);
+    const EventId guard = s.schedule(12, [] {}, 1);
+    s.schedule(13, [] {}); // untagged bucket
+    EXPECT_EQ(s.pending(), 4u);
+    EXPECT_EQ(s.pendingFor(0), 2u);
+    EXPECT_EQ(s.pendingFor(1), 1u);
+    EXPECT_EQ(s.pendingFor(kNoController), 1u);
+    s.cancel(guard);
+    EXPECT_EQ(s.pendingFor(1), 0u);
+    s.run();
+    EXPECT_EQ(s.pendingFor(0), 0u);
+    EXPECT_EQ(s.pendingFor(kNoController), 0u);
+    EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Scheduler, SourceTagIsInheritedByNestedSchedules)
+{
+    Scheduler s;
+    // The event tagged 3 schedules a child without a tag: the child must
+    // inherit 3, which pendingFor observes while the child is pending.
+    std::uint64_t mid_count = 0;
+    s.schedule(
+        1,
+        [&] {
+            s.scheduleIn(5, [] {});
+            mid_count = s.pendingFor(3);
+        },
+        3);
+    s.run(1);
+    EXPECT_EQ(mid_count, 1u);
+    s.run();
+    EXPECT_EQ(s.pendingFor(3), 0u);
+}
+
 TEST(Scheduler, ManySameCycleEventsKeepScheduleOrder)
 {
     Scheduler s;
