@@ -6,6 +6,7 @@
  */
 #include <benchmark/benchmark.h>
 
+#include "compiler/cache/cache.hpp"
 #include "compiler/compiler.hpp"
 #include "isa/assembler.hpp"
 #include "common/rng.hpp"
@@ -210,6 +211,53 @@ BM_CompileGhz(benchmark::State &state)
     }
 }
 BENCHMARK(BM_CompileGhz)->Arg(16)->Arg(64);
+
+static void
+BM_CompileCacheHit(benchmark::State &state)
+{
+    // Warm path of the content-addressed cache: key computation + LRU
+    // lookup + program copy-out. This is the per-request floor a batch
+    // service pays for a repeated circuit.
+    const unsigned n = unsigned(state.range(0));
+    const auto circuit = workloads::ghz(n);
+    net::TopologyConfig tc;
+    tc.width = n;
+    net::Topology topo = net::Topology::grid(tc);
+    compiler::CompilerConfig cc;
+    cc.cache = compiler::CacheMode::kMemory;
+    compiler::Compiler comp(topo, cc);
+    compiler::cache::CompileCache::global().clear();
+    benchmark::DoNotOptimize(comp.tryCompile(circuit)); // warm the entry
+    for (auto _ : state) {
+        auto compiled = comp.tryCompile(circuit);
+        benchmark::DoNotOptimize(compiled);
+    }
+    compiler::cache::CompileCache::global().clear();
+}
+BENCHMARK(BM_CompileCacheHit)->Arg(16)->Arg(64);
+
+static void
+BM_CompileCacheMiss(benchmark::State &state)
+{
+    // Cold path: key computation + full pipeline + store insert. The
+    // delta against BM_CompileGhz is the cache's bookkeeping overhead;
+    // the ratio against BM_CompileCacheHit is what a hit saves.
+    const unsigned n = unsigned(state.range(0));
+    const auto circuit = workloads::ghz(n);
+    net::TopologyConfig tc;
+    tc.width = n;
+    net::Topology topo = net::Topology::grid(tc);
+    compiler::CompilerConfig cc;
+    cc.cache = compiler::CacheMode::kMemory;
+    compiler::Compiler comp(topo, cc);
+    for (auto _ : state) {
+        compiler::cache::CompileCache::global().clear();
+        auto compiled = comp.tryCompile(circuit);
+        benchmark::DoNotOptimize(compiled);
+    }
+    compiler::cache::CompileCache::global().clear();
+}
+BENCHMARK(BM_CompileCacheMiss)->Arg(16)->Arg(64);
 
 static void
 BM_EndToEndLrCnot(benchmark::State &state)

@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Compile/run job-service throughput under a zipf request mix — the
+ * acceptance bench of the content-addressed compile cache (PR 8).
+ *
+ * A catalog of distinct jobs (a VQE parameter sweep plus a few structural
+ * outliers) is sampled with a seeded zipf distribution into request
+ * batches of increasing size — the canonical service workload: a handful
+ * of hot programs resubmitted over and over, a long tail of cold ones.
+ * Every batch runs twice through a service::JobServer, cache off and
+ * cache on, and the bench reports
+ *
+ *  - sustained requests/second for both paths (wall time, stored under
+ *    UNTRACKED metric keys like backend_kernels' — bench_compare never
+ *    thresholds them);
+ *  - the cache-hit ratio as a first-class deterministic metric (single-
+ *    flight dedup makes `distinct compiles` scheduling-independent);
+ *  - a byte-identical check: the concatenated per-job measurement-record
+ *    streams of the cache-off and cache-on runs must match exactly.
+ *
+ * Health gate (the committed-baseline regression bar): at the LARGEST
+ * mix the cache-on path must beat cache-off by kSpeedupFloor outright,
+ * and every mix's results must be byte-identical across cache modes.
+ * Wall noise cannot flip the speedup at the largest mix — the hot set is
+ * compiled once instead of hundreds of times.
+ *
+ * Like backend_kernels this binary times its batches serially (one mode
+ * at a time); --threads sets the JobServer's worker pool, which both
+ * modes share equally.
+ *
+ * `--cache <mode> --results <path>` runs a single mode and writes the
+ * deterministic per-job results artifact; CI invokes it once per mode
+ * and byte-compares the two files.
+ */
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "service/job_server.hpp"
+#include "sweep/cli.hpp"
+#include "sweep/report.hpp"
+
+using namespace dhisq;
+
+namespace {
+
+/** Minimum cache-on/cache-off speedup at the largest mix. The hot set's
+ *  compiles vanish entirely, so the real margin is far above this. */
+constexpr double kSpeedupFloor = 1.05;
+
+/** Zipf exponent of the request mix (rank 0 hottest). */
+constexpr double kZipfExponent = 1.1;
+
+std::vector<service::JobRequest>
+buildCatalog(bool quick)
+{
+    // Mostly a VQE parameter sweep — near-identical circuits, fresh
+    // angles per iteration — plus structural outliers so the service
+    // sees more than one compilation shape. Placement + routing are the
+    // expensive pipeline knobs: kl-mincut partitioning and SWAP
+    // insertion both do real work per compile, which is exactly what
+    // the cache amortizes.
+    std::vector<service::JobRequest> catalog;
+    const unsigned iterations = quick ? 6 : 10;
+    for (unsigned i = 0; i < iterations; ++i) {
+        service::JobRequest req;
+        req.circuit.kind = sweep::CircuitSpec::Kind::kVqeSweep;
+        req.circuit.vqe.qubits = quick ? 10 : 12;
+        req.circuit.vqe.layers = 3;
+        req.circuit.vqe.iteration = i;
+        req.config.placement = place::PlacementStrategy::kKlMincut;
+        req.config.routing = compiler::RoutingMode::kSwap;
+        catalog.push_back(req);
+    }
+    {
+        service::JobRequest req;
+        req.circuit.kind = sweep::CircuitSpec::Kind::kGhzFanout;
+        req.circuit.qubits = quick ? 10 : 12;
+        req.circuit.expand_fraction = 1.0;
+        req.config.placement = place::PlacementStrategy::kKlMincut;
+        catalog.push_back(req);
+    }
+    {
+        service::JobRequest req;
+        req.circuit.kind = sweep::CircuitSpec::Kind::kRandomDynamic;
+        req.circuit.random.qubits = quick ? 10 : 12;
+        req.circuit.random.layers = quick ? 8 : 12;
+        req.config.routing = compiler::RoutingMode::kSwap;
+        catalog.push_back(req);
+    }
+    return catalog;
+}
+
+/** Seeded zipf sample over catalog ranks: p(rank) ~ 1/(rank+1)^s. */
+std::vector<std::size_t>
+zipfSample(std::size_t catalog_size, std::size_t count, std::uint64_t seed)
+{
+    std::vector<double> cdf(catalog_size);
+    double total = 0.0;
+    for (std::size_t rank = 0; rank < catalog_size; ++rank) {
+        total += 1.0 / std::pow(double(rank + 1), kZipfExponent);
+        cdf[rank] = total;
+    }
+    Rng rng(seed);
+    std::vector<std::size_t> picks;
+    picks.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const double u = rng.uniform() * total;
+        const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+        picks.push_back(std::size_t(it - cdf.begin()));
+    }
+    return picks;
+}
+
+/** Deterministic serialization of a batch's results, request order. */
+std::string
+resultsDoc(const std::vector<service::JobResult> &results)
+{
+    Json doc = Json::object();
+    doc["schema"] = "dhisq-service-results-v1";
+    Json jobs = Json::array();
+    for (const auto &r : results)
+        jobs.push(r.toJson());
+    doc["jobs"] = std::move(jobs);
+    return doc.dump(2) + "\n";
+}
+
+struct ModeRun
+{
+    double seconds = 0.0;
+    double hit_ratio = 0.0;
+    std::uint64_t compiles = 0;
+    std::string results;
+    bool all_ok = true;
+};
+
+ModeRun
+runBatch(const std::vector<service::JobRequest> &batch,
+         compiler::CacheMode mode, unsigned threads)
+{
+    // Every mode starts cold: the store is process-global, so leftover
+    // entries from the previous mix would turn misses into hits.
+    compiler::cache::CompileCache::global().clear();
+
+    service::JobServer::Options so;
+    so.threads = threads;
+    so.cache = mode;
+    so.verify_points = 0; // re-running leading jobs would skew the clock
+    service::JobServer server(so);
+
+    using clock = std::chrono::steady_clock;
+    const auto t0 = clock::now();
+    const auto results = server.submit(batch);
+    const auto t1 = clock::now();
+
+    ModeRun out;
+    out.seconds =
+        double(std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+                   .count()) /
+        1e6;
+    const auto report = server.benchReport("throughput_service");
+    out.hit_ratio = report.derived.find("cache_hit_ratio")->asDouble();
+    out.compiles = std::uint64_t(
+        report.derived.find("cache_compiles")->asInt());
+    out.results = resultsDoc(results);
+    for (const auto &r : results)
+        out.all_ok = out.all_ok && r.ok;
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto cli = sweep::parseCliOrExit(argc, argv);
+
+    const std::vector<service::JobRequest> catalog = buildCatalog(cli.quick);
+    const std::vector<std::size_t> mixes =
+        cli.quick ? std::vector<std::size_t>{24, 96}
+                  : std::vector<std::size_t>{64, 256};
+
+    // Default axis: the off-vs-memory comparison the health gate needs.
+    std::vector<compiler::CacheMode> modes = cli.cache_modes;
+    if (modes.empty())
+        modes = {compiler::CacheMode::kOff, compiler::CacheMode::kMemory};
+
+    if (cli.list) {
+        for (const std::size_t mix : mixes) {
+            for (const auto mode : modes)
+                std::printf("mix%zu/cache-%s\n", mix,
+                            compiler::toString(mode));
+        }
+        return 0;
+    }
+
+    std::printf("==== job-service throughput: zipf mix, cache off/on ====\n");
+    std::printf("(catalog: %zu distinct jobs, zipf s=%.2f, %u workers)\n",
+                catalog.size(), kZipfExponent, cli.threads);
+    std::printf("%-20s %10s %12s %10s %9s\n", "point", "requests",
+                "reqs/sec", "hit-ratio", "compiles");
+
+    std::vector<sweep::PointResult> points;
+    bool results_written = false;
+    for (const std::size_t mix : mixes) {
+        const auto picks = zipfSample(catalog.size(), mix, /*seed=*/2025);
+        std::vector<service::JobRequest> batch;
+        batch.reserve(mix);
+        for (std::size_t j = 0; j < picks.size(); ++j) {
+            service::JobRequest req = catalog[picks[j]];
+            req.id = "req" + std::to_string(j) + "/" + req.circuit.id();
+            batch.push_back(std::move(req));
+        }
+
+        std::vector<ModeRun> runs;
+        for (const auto mode : modes)
+            runs.push_back(runBatch(batch, mode, cli.threads));
+
+        const bool largest = mix == mixes.back();
+        for (std::size_t m = 0; m < modes.size(); ++m) {
+            const ModeRun &run = runs[m];
+            const double rps =
+                run.seconds > 0.0 ? double(mix) / run.seconds : 0.0;
+
+            sweep::PointResult out;
+            out.label = "mix" + std::to_string(mix) + "/cache-" +
+                        compiler::toString(modes[m]);
+            out.params["mix"] = mix;
+            out.params["cache"] = compiler::toString(modes[m]);
+            out.params["catalog"] = catalog.size();
+            out.metrics["requests"] = mix;
+            out.metrics["cache_hit_ratio"] = run.hit_ratio;
+            out.metrics["cache_compiles"] = run.compiles;
+            // Wall-clock rates: untracked keys, never thresholded.
+            out.metrics["reqs_per_sec"] = rps;
+
+            if (!run.all_ok) {
+                out.healthy = false;
+                out.health = "job-failed";
+            } else if (run.results != runs[0].results) {
+                // The determinism bar: per-job outcomes (measurement
+                // streams included) must not depend on the cache mode.
+                out.healthy = false;
+                out.health = "results-mismatch";
+            } else if (largest && modes[m] == compiler::CacheMode::kOff &&
+                       modes.size() > 1) {
+                // The perf bar lives on the largest mix's off-point so a
+                // missing speedup is visible exactly once: cache-on must
+                // beat this wall time by the floor.
+                const ModeRun *on = nullptr;
+                for (std::size_t k = 0; k < modes.size(); ++k) {
+                    if (modes[k] != compiler::CacheMode::kOff)
+                        on = &runs[k];
+                }
+                if (on != nullptr &&
+                    !(run.seconds > on->seconds * kSpeedupFloor)) {
+                    out.healthy = false;
+                    out.health = "cache-not-faster";
+                }
+            }
+            points.push_back(out);
+            std::printf("%-20s %10zu %12.1f %10.3f %9llu%s\n",
+                        out.label.c_str(), mix, rps, run.hit_ratio,
+                        static_cast<unsigned long long>(run.compiles),
+                        out.healthy ? "" : "  [REGRESSION]");
+        }
+
+        if (largest && !cli.results_path.empty()) {
+            // Deterministic results artifact of the largest mix (first
+            // mode's run; all modes are byte-identical or unhealthy).
+            std::FILE *f = std::fopen(cli.results_path.c_str(), "w");
+            if (f == nullptr) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             cli.results_path.c_str());
+                return 1;
+            }
+            std::fwrite(runs[0].results.data(), 1, runs[0].results.size(),
+                        f);
+            std::fclose(f);
+            results_written = true;
+        }
+    }
+    (void)results_written;
+
+    sweep::BenchReport report;
+    report.bench = "throughput_service";
+    report.config["suite"] = cli.quick ? "quick" : "paper";
+    report.config["catalog"] = catalog.size();
+    report.config["zipf_exponent"] = kZipfExponent;
+    report.config["speedup_floor"] = kSpeedupFloor;
+    report.config["threads"] = cli.threads;
+    report.points = points;
+
+    if (!cli.json_path.empty()) {
+        if (auto st = sweep::writeBenchJson(cli.json_path, report); !st) {
+            std::fprintf(stderr, "%s\n", st.message().c_str());
+            return 1;
+        }
+    }
+    return report.allHealthy() ? 0 : 1;
+}

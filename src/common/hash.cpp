@@ -1,0 +1,17 @@
+#include "common/hash.hpp"
+
+#include <cstdio>
+
+namespace dhisq {
+
+std::string
+Hash128::hex() const
+{
+    char buf[33];
+    std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                  static_cast<unsigned long long>(hi),
+                  static_cast<unsigned long long>(lo));
+    return buf;
+}
+
+} // namespace dhisq

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Deterministic 128-bit content hashing for cache keys.
+ *
+ * The compile cache addresses `CompiledProgram`s by a digest of the
+ * canonical circuit serialization plus every compiler/topology knob that
+ * can change the output (src/compiler/cache/key.cpp). The hasher is a
+ * two-lane SplitMix64 avalanche seeded with the 64-bit FNV-1a constants:
+ * fast, allocation-free, stable across platforms and runs (no ASLR or
+ * libstdc++ hash salting), and 128 bits wide so accidental collisions in
+ * a store of millions of programs are out of the picture. It is NOT
+ * cryptographic — keys are trusted inputs, not attacker-controlled.
+ */
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dhisq {
+
+/** A 128-bit digest. */
+struct Hash128
+{
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+
+    bool operator==(const Hash128 &other) const = default;
+
+    /** 32 lowercase hex characters, hi word first. */
+    std::string hex() const;
+};
+
+/** Hash functor so Hash128 can key unordered containers. */
+struct Hash128Hasher
+{
+    std::size_t operator()(const Hash128 &h) const
+    {
+        return static_cast<std::size_t>(h.hi ^ (h.lo * 0x9E3779B97F4A7C15ull));
+    }
+};
+
+/**
+ * Incremental 128-bit mixer. Words are absorbed in call order, so two
+ * digests are equal iff the absorbed word sequences are equal — callers
+ * are responsible for unambiguous framing (length-prefix variable-size
+ * fields; this class does it for strings).
+ */
+class Hasher128
+{
+  public:
+    void
+    u64(std::uint64_t w)
+    {
+        _a = mix(_a ^ w);
+        _b = mix(_b + (w ^ 0x9E3779B97F4A7C15ull));
+    }
+
+    void i64(std::int64_t w) { u64(static_cast<std::uint64_t>(w)); }
+    void u32(std::uint32_t w) { u64(w); }
+    void boolean(bool b) { u64(b ? 1 : 0); }
+
+    /** Absorb a double by bit pattern (distinguishes -0.0 from 0.0;
+     *  every NaN payload hashes as itself — keys are deterministic
+     *  producers, not arithmetic results). */
+    void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+    /** Absorb a string, length-prefixed so "ab"+"c" != "a"+"bc". */
+    void
+    str(std::string_view s)
+    {
+        u64(s.size());
+        std::uint64_t word = 0;
+        unsigned filled = 0;
+        for (const unsigned char c : s) {
+            word = (word << 8) | c;
+            if (++filled == 8) {
+                u64(word);
+                word = 0;
+                filled = 0;
+            }
+        }
+        // A partial tail occupies < 56 bits; tag it with its byte count
+        // so trailing NUL bytes are not absorbed ambiguously.
+        if (filled != 0)
+            u64(word | (std::uint64_t(filled) << 56));
+    }
+
+    Hash128
+    digest() const
+    {
+        return Hash128{mix(_a ^ std::rotl(_b, 32)), mix(_b ^ _a)};
+    }
+
+  private:
+    /** SplitMix64 finalizer (full avalanche). */
+    static std::uint64_t
+    mix(std::uint64_t z)
+    {
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        return z ^ (z >> 31);
+    }
+
+    // FNV-1a 64-bit offset basis / prime as the two lane seeds.
+    std::uint64_t _a = 0xCBF29CE484222325ull;
+    std::uint64_t _b = 0x00000100000001B3ull;
+};
+
+} // namespace dhisq

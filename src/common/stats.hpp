@@ -81,6 +81,20 @@ class StatSet
         return _scalars;
     }
 
+    /** Overwrite a counter (deserialization; prefer inc() elsewhere). */
+    void
+    setCounter(const std::string &name, std::uint64_t value)
+    {
+        _counters[name] = value;
+    }
+
+    /** Overwrite a scalar stat (deserialization; prefer sample()). */
+    void
+    setScalar(const std::string &name, const ScalarStat &value)
+    {
+        _scalars[name] = value;
+    }
+
     /** Merge another StatSet into this one (counters add, scalars merge). */
     void mergeFrom(const StatSet &other);
 

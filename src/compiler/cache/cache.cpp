@@ -1,0 +1,391 @@
+#include "compiler/cache/cache.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "isa/encoding.hpp"
+
+namespace dhisq::compiler::cache {
+
+CompileCache &
+CompileCache::global()
+{
+    static CompileCache cache;
+    return cache;
+}
+
+Result<CompiledProgram>
+CompileCache::getOrCompile(
+    const Hash128 &key, CacheMode mode, const std::string &dir,
+    const std::function<Result<CompiledProgram>()> &compile)
+{
+    std::shared_ptr<Inflight> flight;
+    bool leader = false;
+    {
+        std::unique_lock<std::mutex> lock(_m);
+        ++_stats.lookups;
+        if (auto it = _index.find(key); it != _index.end()) {
+            ++_stats.hits;
+            _lru.splice(_lru.begin(), _lru, it->second);
+            return it->second->second;
+        }
+        if (auto fit = _inflight.find(key); fit != _inflight.end()) {
+            ++_stats.inflight_joins;
+            flight = fit->second;
+        } else {
+            ++_stats.misses;
+            flight = std::make_shared<Inflight>();
+            _inflight.emplace(key, flight);
+            leader = true;
+        }
+    }
+
+    if (!leader) {
+        std::unique_lock<std::mutex> fl(flight->m);
+        flight->cv.wait(fl, [&] { return flight->done; });
+        if (flight->ok)
+            return flight->program;
+        return Result<CompiledProgram>::error(flight->error);
+    }
+
+    // Leader: probe the disk tier, fall back to a fresh compile.
+    bool from_disk = false;
+    bool stale_on_disk = false;
+    Result<CompiledProgram> result =
+        Result<CompiledProgram>::error("uncompiled");
+    if (mode == CacheMode::kDisk) {
+        std::ifstream in(diskPath(dir, key));
+        if (in) {
+            std::ostringstream text;
+            text << in.rdbuf();
+            if (auto doc = Json::parse(text.str())) {
+                if (auto entry = fromJson(doc.value(), key)) {
+                    result = std::move(entry);
+                    from_disk = true;
+                } else {
+                    stale_on_disk = true;
+                }
+            } else {
+                stale_on_disk = true;
+            }
+        }
+    }
+    if (!from_disk)
+        result = compile();
+
+    bool wrote_disk = false;
+    if (result && mode == CacheMode::kDisk && !from_disk) {
+        std::error_code ec;
+        std::filesystem::create_directories(dir, ec);
+        const std::string path = diskPath(dir, key);
+        const std::string tmp = path + ".tmp";
+        std::ofstream out(tmp);
+        if (out) {
+            out << toJson(key, result.value()).dump(2) << "\n";
+            out.close();
+            // Atomic publish: readers only ever see complete entries.
+            std::filesystem::rename(tmp, path, ec);
+            wrote_disk = !ec;
+            if (!wrote_disk)
+                std::filesystem::remove(tmp, ec);
+        }
+    }
+
+    {
+        std::unique_lock<std::mutex> lock(_m);
+        if (stale_on_disk)
+            ++_stats.disk_stale;
+        if (from_disk)
+            ++_stats.disk_hits;
+        if (wrote_disk)
+            ++_stats.disk_writes;
+        if (result)
+            insertLocked(key, result.value());
+        _inflight.erase(key);
+    }
+
+    {
+        std::lock_guard<std::mutex> fl(flight->m);
+        flight->done = true;
+        flight->ok = static_cast<bool>(result);
+        if (result)
+            flight->program = result.value();
+        else
+            flight->error = result.message();
+    }
+    flight->cv.notify_all();
+    return result;
+}
+
+void
+CompileCache::insertLocked(const Hash128 &key, const CompiledProgram &program)
+{
+    if (_index.contains(key))
+        return;
+    _lru.emplace_front(key, program);
+    _index.emplace(key, _lru.begin());
+    while (_lru.size() > _capacity) {
+        _index.erase(_lru.back().first);
+        _lru.pop_back();
+        ++_stats.evictions;
+    }
+}
+
+void
+CompileCache::clear()
+{
+    std::unique_lock<std::mutex> lock(_m);
+    _lru.clear();
+    _index.clear();
+}
+
+void
+CompileCache::resetStats()
+{
+    std::unique_lock<std::mutex> lock(_m);
+    _stats = CacheStats{};
+}
+
+CacheStats
+CompileCache::stats() const
+{
+    std::unique_lock<std::mutex> lock(_m);
+    return _stats;
+}
+
+void
+CompileCache::setCapacity(std::size_t entries)
+{
+    std::unique_lock<std::mutex> lock(_m);
+    _capacity = entries == 0 ? 1 : entries;
+    while (_lru.size() > _capacity) {
+        _index.erase(_lru.back().first);
+        _lru.pop_back();
+        ++_stats.evictions;
+    }
+}
+
+std::size_t
+CompileCache::size() const
+{
+    std::unique_lock<std::mutex> lock(_m);
+    return _lru.size();
+}
+
+std::string
+CompileCache::diskPath(const std::string &dir, const Hash128 &key) const
+{
+    return dir + "/" + key.hex() + ".json";
+}
+
+Json
+CompileCache::toJson(const Hash128 &key, const CompiledProgram &p)
+{
+    Json doc = Json::object();
+    doc["schema"] = kCacheSchema;
+    doc["version"] = kCacheVersion;
+    doc["key"] = key.hex();
+
+    Json programs = Json::array();
+    for (std::size_t c = 0; c < p.programs.size(); ++c) {
+        if (!p.used[c]) {
+            programs.push(Json());
+            continue;
+        }
+        const isa::Program &prog = p.programs[c];
+        Json jp = Json::object();
+        jp["name"] = prog.name;
+        Json words = Json::array();
+        for (const std::uint32_t w : prog.words)
+            words.push(w);
+        jp["words"] = std::move(words);
+        Json lines = Json::array();
+        for (const int line : prog.lines)
+            lines.push(line);
+        jp["lines"] = std::move(lines);
+        programs.push(std::move(jp));
+    }
+    doc["programs"] = std::move(programs);
+
+    Json bindings = Json::array();
+    for (const Binding &b : p.bindings) {
+        Json jb = Json::array();
+        jb.push(b.controller);
+        jb.push(b.port);
+        jb.push(b.codeword);
+        jb.push(static_cast<unsigned>(b.action.kind));
+        jb.push(static_cast<unsigned>(b.action.gate));
+        jb.push(b.action.angle);
+        jb.push(b.action.q0);
+        jb.push(b.action.q1);
+        bindings.push(std::move(jb));
+    }
+    doc["bindings"] = std::move(bindings);
+
+    Json routes = Json::array();
+    for (const auto &[qubit, ctrl] : p.meas_routes) {
+        Json jr = Json::array();
+        jr.push(qubit);
+        jr.push(ctrl);
+        routes.push(std::move(jr));
+    }
+    doc["meas_routes"] = std::move(routes);
+
+    Json meas_log = Json::array();
+    for (const auto &[slot, logical] : p.meas_log) {
+        Json jm = Json::array();
+        jm.push(slot);
+        jm.push(logical);
+        meas_log.push(std::move(jm));
+    }
+    doc["meas_log"] = std::move(meas_log);
+
+    doc["ports_per_controller"] = p.ports_per_controller;
+    doc["device_qubits"] = p.device_qubits;
+    doc["clifford_only"] = p.clifford_only;
+
+    Json stats = Json::object();
+    Json counters = Json::object();
+    for (const auto &[name, value] : p.stats.counters())
+        counters[name] = value;
+    stats["counters"] = std::move(counters);
+    Json scalars = Json::object();
+    for (const auto &[name, s] : p.stats.scalars()) {
+        Json js = Json::array();
+        js.push(s.sum);
+        js.push(s.min);
+        js.push(s.max);
+        js.push(s.samples);
+        scalars[name] = std::move(js);
+    }
+    stats["scalars"] = std::move(scalars);
+    doc["stats"] = std::move(stats);
+    return doc;
+}
+
+Result<CompiledProgram>
+CompileCache::fromJson(const Json &doc, const Hash128 &key)
+{
+    using R = Result<CompiledProgram>;
+    const Json *schema = doc.find("schema");
+    if (schema == nullptr || !schema->isString() ||
+        schema->asString() != kCacheSchema)
+        return R::error("cache entry: wrong schema");
+    const Json *version = doc.find("version");
+    if (version == nullptr || !version->isInt() ||
+        version->asInt() != kCacheVersion)
+        return R::error("cache entry: stale version");
+    const Json *echo = doc.find("key");
+    if (echo == nullptr || !echo->isString() || echo->asString() != key.hex())
+        return R::error("cache entry: key mismatch");
+
+    const Json *programs = doc.find("programs");
+    const Json *bindings = doc.find("bindings");
+    const Json *routes = doc.find("meas_routes");
+    const Json *meas_log = doc.find("meas_log");
+    const Json *ports = doc.find("ports_per_controller");
+    const Json *qubits = doc.find("device_qubits");
+    const Json *clifford = doc.find("clifford_only");
+    if (programs == nullptr || !programs->isArray() || bindings == nullptr ||
+        !bindings->isArray() || routes == nullptr || !routes->isArray() ||
+        meas_log == nullptr || !meas_log->isArray() || ports == nullptr ||
+        !ports->isInt() || qubits == nullptr || !qubits->isInt() ||
+        clifford == nullptr || !clifford->isBool())
+        return R::error("cache entry: malformed body");
+
+    CompiledProgram p;
+    for (const Json &jp : programs->asArray()) {
+        if (jp.isNull()) {
+            p.programs.emplace_back();
+            p.used.push_back(false);
+            continue;
+        }
+        const Json *name = jp.find("name");
+        const Json *words = jp.find("words");
+        const Json *lines = jp.find("lines");
+        if (name == nullptr || !name->isString() || words == nullptr ||
+            !words->isArray() || lines == nullptr || !lines->isArray() ||
+            lines->size() != words->size())
+            return R::error("cache entry: malformed program");
+        isa::Program prog;
+        prog.name = name->asString();
+        prog.words.reserve(words->size());
+        prog.instructions.reserve(words->size());
+        prog.lines.reserve(lines->size());
+        for (const Json &w : words->asArray()) {
+            if (!w.isInt())
+                return R::error("cache entry: malformed word");
+            const auto word = static_cast<std::uint32_t>(w.asInt());
+            prog.words.push_back(word);
+            prog.instructions.push_back(isa::decode(word));
+        }
+        for (const Json &line : lines->asArray()) {
+            if (!line.isInt())
+                return R::error("cache entry: malformed line table");
+            prog.lines.push_back(static_cast<int>(line.asInt()));
+        }
+        p.programs.push_back(std::move(prog));
+        p.used.push_back(true);
+    }
+
+    for (const Json &jb : bindings->asArray()) {
+        if (!jb.isArray() || jb.size() != 8)
+            return R::error("cache entry: malformed binding");
+        Binding b;
+        b.controller = static_cast<ControllerId>(jb.at(0).asInt());
+        b.port = static_cast<PortId>(jb.at(1).asInt());
+        b.codeword = static_cast<Codeword>(jb.at(2).asInt());
+        b.action.kind = static_cast<q::ActionKind>(jb.at(3).asInt());
+        b.action.gate = static_cast<q::Gate>(jb.at(4).asInt());
+        b.action.angle = jb.at(5).asDouble();
+        b.action.q0 = static_cast<QubitId>(jb.at(6).asInt());
+        b.action.q1 = static_cast<QubitId>(jb.at(7).asInt());
+        p.bindings.push_back(b);
+    }
+
+    for (const Json &jr : routes->asArray()) {
+        if (!jr.isArray() || jr.size() != 2)
+            return R::error("cache entry: malformed route");
+        p.meas_routes.emplace_back(static_cast<QubitId>(jr.at(0).asInt()),
+                                   static_cast<ControllerId>(jr.at(1).asInt()));
+    }
+
+    for (const Json &jm : meas_log->asArray()) {
+        if (!jm.isArray() || jm.size() != 2)
+            return R::error("cache entry: malformed meas log");
+        p.meas_log.emplace_back(static_cast<QubitId>(jm.at(0).asInt()),
+                                static_cast<QubitId>(jm.at(1).asInt()));
+    }
+
+    p.ports_per_controller = static_cast<unsigned>(ports->asInt());
+    p.device_qubits = static_cast<unsigned>(qubits->asInt());
+    p.clifford_only = clifford->asBool();
+
+    if (const Json *stats = doc.find("stats"); stats != nullptr) {
+        if (const Json *counters = stats->find("counters");
+            counters != nullptr && counters->isObject()) {
+            for (const auto &[name, value] : counters->asObject()) {
+                if (value.isInt())
+                    p.stats.setCounter(
+                        name, static_cast<std::uint64_t>(value.asInt()));
+            }
+        }
+        if (const Json *scalars = stats->find("scalars");
+            scalars != nullptr && scalars->isObject()) {
+            for (const auto &[name, value] : scalars->asObject()) {
+                if (!value.isArray() || value.size() != 4)
+                    continue;
+                ScalarStat s;
+                s.sum = value.at(0).asDouble();
+                s.min = value.at(1).asDouble();
+                s.max = value.at(2).asDouble();
+                s.samples = static_cast<std::uint64_t>(value.at(3).asInt());
+                p.stats.setScalar(name, s);
+            }
+        }
+    }
+    return p;
+}
+
+} // namespace dhisq::compiler::cache

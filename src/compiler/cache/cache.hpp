@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Content-addressed store of `CompiledProgram`s.
+ *
+ * One process-wide cache (CompileCache::global()) sits behind
+ * `Compiler::tryCompile`: when a `CompilerConfig` enables caching, every
+ * compile first computes the 128-bit content key (cache/key.hpp) and asks
+ * the store. The store provides
+ *
+ *  - an in-memory LRU map (bounded, default 1024 entries);
+ *  - an optional on-disk tier (`CacheMode::kDisk`): one JSON file per key
+ *    under the configured directory, stamped with schema + version + key
+ *    echo so stale or foreign entries are rejected and recompiled;
+ *  - single-flight deduplication: concurrent requests for the same key
+ *    block on the first compile instead of duplicating it;
+ *  - first-class counters (lookups, hits, misses, inflight joins,
+ *    evictions, disk hits/stale/writes).
+ *
+ * Determinism contract: the canonical key identifies circuits up to
+ * dependency-preserving op reordering, so a hit may return the program of
+ * a canonically-equal earlier circuit — semantically equivalent, and
+ * byte-identical whenever the resubmitted circuit is the same build (the
+ * case for every generator-produced workload). Compile *failures* are
+ * never cached; each failing request recompiles and reports its own error.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/hash.hpp"
+#include "common/json.hpp"
+#include "common/status.hpp"
+#include "compiler/cache/key.hpp"
+#include "compiler/compiler.hpp"
+
+namespace dhisq::compiler::cache {
+
+/** Cache statistics snapshot (all monotonic until resetStats()). */
+struct CacheStats
+{
+    std::uint64_t lookups = 0;        ///< getOrCompile calls.
+    std::uint64_t hits = 0;           ///< Served from memory.
+    std::uint64_t misses = 0;         ///< Required a compile (or disk read).
+    std::uint64_t inflight_joins = 0; ///< Waited on another thread's compile.
+    std::uint64_t evictions = 0;      ///< LRU entries dropped.
+    std::uint64_t disk_hits = 0;      ///< Misses satisfied from disk.
+    std::uint64_t disk_stale = 0;     ///< Disk entries rejected (version/key).
+    std::uint64_t disk_writes = 0;    ///< Entries persisted to disk.
+};
+
+/** Bounded LRU + optional disk store with single-flight compiles. */
+class CompileCache
+{
+  public:
+    /** The process-wide instance `Compiler::tryCompile` consults. */
+    static CompileCache &global();
+
+    CompileCache() = default;
+    CompileCache(const CompileCache &) = delete;
+    CompileCache &operator=(const CompileCache &) = delete;
+
+    /**
+     * Look up `key`; on a miss run `compile` (exactly once across
+     * concurrent requests for the same key) and store the result.
+     * `mode` must be kMemory or kDisk; `dir` is only read for kDisk.
+     */
+    Result<CompiledProgram>
+    getOrCompile(const Hash128 &key, CacheMode mode, const std::string &dir,
+                 const std::function<Result<CompiledProgram>()> &compile);
+
+    /** Drop every cached entry (counters keep accumulating). */
+    void clear();
+
+    /** Zero the counters (entries stay cached). */
+    void resetStats();
+
+    /** Current counters. */
+    CacheStats stats() const;
+
+    /** Resize the LRU bound; evicts immediately if shrinking. */
+    void setCapacity(std::size_t entries);
+
+    /** Entries currently held in memory. */
+    std::size_t size() const;
+
+    /** Serialize one entry to the on-disk JSON form (exposed for tests). */
+    static Json toJson(const Hash128 &key, const CompiledProgram &program);
+
+    /**
+     * Parse an on-disk entry; rejects wrong schema, wrong version, or a
+     * key echo that does not match `key` (reported via Result error so
+     * callers count it as `disk_stale` and recompile).
+     */
+    static Result<CompiledProgram> fromJson(const Json &doc,
+                                            const Hash128 &key);
+
+  private:
+    struct Inflight
+    {
+        std::mutex m;
+        std::condition_variable cv;
+        bool done = false;
+        bool ok = false;
+        CompiledProgram program;
+        std::string error;
+    };
+
+    using LruList = std::list<std::pair<Hash128, CompiledProgram>>;
+
+    /** Insert under _m (already locked); evicts past capacity. */
+    void insertLocked(const Hash128 &key, const CompiledProgram &program);
+
+    std::string diskPath(const std::string &dir, const Hash128 &key) const;
+
+    mutable std::mutex _m;
+    LruList _lru;
+    std::unordered_map<Hash128, LruList::iterator, Hash128Hasher> _index;
+    std::unordered_map<Hash128, std::shared_ptr<Inflight>, Hash128Hasher>
+        _inflight;
+    std::size_t _capacity = 1024;
+    CacheStats _stats;
+};
+
+} // namespace dhisq::compiler::cache

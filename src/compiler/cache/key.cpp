@@ -1,0 +1,209 @@
+#include "compiler/cache/key.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace dhisq::compiler::cache {
+
+namespace {
+
+constexpr std::size_t kNoOp = static_cast<std::size_t>(-1);
+
+/** Dependency metadata of one op, computed in insertion order. */
+struct OpInfo
+{
+    /** ASAP dependency depth: 0 = no predecessor touches my operands. */
+    unsigned layer = 0;
+    /** Producing op (original index) of each condition bit, parallel to
+     *  op.condition; kNoOp when the bit was never written. */
+    std::vector<std::size_t> producers;
+    /** Smallest operand qubit (unique within a layer: two ops sharing a
+     *  qubit are dependency-ordered into different layers). */
+    QubitId min_qubit = 0;
+};
+
+/**
+ * Layer every op by its data dependencies. Ordering constraints:
+ *  - ops sharing a qubit keep their relative order (gates on one qubit
+ *    do not commute in general);
+ *  - a condition read depends on the last write of that classical bit;
+ *  - a classical-bit write depends on the previous write and on every
+ *    read since it (a rewritten bit must not change earlier reads).
+ * Ops with disjoint operands commute and land in the same layer
+ * regardless of insertion order.
+ */
+std::vector<OpInfo>
+layerOps(const Circuit &circuit)
+{
+    const auto &ops = circuit.ops();
+    std::vector<OpInfo> info(ops.size());
+
+    std::vector<std::size_t> last_on_qubit(circuit.numQubits(), kNoOp);
+    // Classical bits can exceed numCbits() when ops are appended with
+    // hand-set result ids; size the tables to the max referenced bit.
+    CbitId max_bit = circuit.numCbits();
+    for (const auto &op : ops) {
+        if (op.result != kNoCbit && op.result >= max_bit)
+            max_bit = op.result + 1;
+        for (const CbitId b : op.condition) {
+            if (b != kNoCbit && b >= max_bit)
+                max_bit = b + 1;
+        }
+    }
+    std::vector<std::size_t> last_writer(max_bit, kNoOp);
+    std::vector<std::vector<std::size_t>> readers_since_write(max_bit);
+
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const CircuitOp &op = ops[i];
+        unsigned layer = 0;
+        const auto depend = [&](std::size_t dep) {
+            if (dep != kNoOp)
+                layer = std::max(layer, info[dep].layer + 1);
+        };
+
+        info[i].min_qubit = op.qubits.empty() ? 0 : op.qubits[0];
+        for (const QubitId q : op.qubits) {
+            info[i].min_qubit = std::min(info[i].min_qubit, q);
+            if (q < last_on_qubit.size())
+                depend(last_on_qubit[q]);
+        }
+        info[i].producers.reserve(op.condition.size());
+        for (const CbitId b : op.condition) {
+            const std::size_t producer =
+                (b != kNoCbit && b < last_writer.size()) ? last_writer[b]
+                                                         : kNoOp;
+            info[i].producers.push_back(producer);
+            depend(producer);
+            if (b != kNoCbit && b < readers_since_write.size())
+                readers_since_write[b].push_back(i);
+        }
+        if (op.result != kNoCbit && op.result < last_writer.size()) {
+            depend(last_writer[op.result]);
+            for (const std::size_t reader :
+                 readers_since_write[op.result])
+                depend(reader);
+        }
+
+        info[i].layer = layer;
+        for (const QubitId q : op.qubits) {
+            if (q < last_on_qubit.size())
+                last_on_qubit[q] = i;
+        }
+        if (op.result != kNoCbit && op.result < last_writer.size()) {
+            last_writer[op.result] = i;
+            readers_since_write[op.result].clear();
+        }
+    }
+    return info;
+}
+
+} // namespace
+
+Hash128
+circuitDigest(const Circuit &circuit)
+{
+    const auto &ops = circuit.ops();
+    const std::vector<OpInfo> info = layerOps(circuit);
+
+    // Canonical order: by layer, then by smallest operand qubit (ops in
+    // one layer touch disjoint qubits, so this is a strict total order;
+    // the insertion-index tiebreak is belt-and-braces determinism).
+    std::vector<std::size_t> order(ops.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (info[a].layer != info[b].layer)
+                      return info[a].layer < info[b].layer;
+                  if (info[a].min_qubit != info[b].min_qubit)
+                      return info[a].min_qubit < info[b].min_qubit;
+                  return a < b;
+              });
+
+    // Renumber classical bits in canonical op order so insertion-order
+    // differences in measurement numbering cancel out. Conditions are
+    // remapped through their *producing op*, which is exact even when a
+    // bit id is written more than once.
+    std::vector<CbitId> canonical_bit_of_op(ops.size(), kNoCbit);
+    CbitId next_bit = 0;
+    for (const std::size_t i : order) {
+        if (ops[i].result != kNoCbit)
+            canonical_bit_of_op[i] = next_bit++;
+    }
+
+    Hasher128 h;
+    h.str(kCacheSchema);
+    h.u32(kCacheVersion);
+    h.str("circuit");
+    h.str(circuit.name());
+    h.u32(circuit.numQubits());
+    h.u64(ops.size());
+    for (const std::size_t i : order) {
+        const CircuitOp &op = ops[i];
+        h.u32(static_cast<std::uint32_t>(op.gate));
+        h.f64(op.angle);
+        h.u64(op.qubits.size());
+        for (const QubitId q : op.qubits)
+            h.u32(q);
+        h.u32(op.result == kNoCbit ? kNoCbit : canonical_bit_of_op[i]);
+        // Parity conditions are XORs — order-insensitive — so the
+        // remapped bits are absorbed sorted.
+        std::vector<CbitId> bits;
+        bits.reserve(op.condition.size());
+        for (std::size_t j = 0; j < op.condition.size(); ++j) {
+            const std::size_t producer = info[i].producers[j];
+            bits.push_back(producer == kNoOp
+                               ? op.condition[j]
+                               : canonical_bit_of_op[producer]);
+        }
+        std::sort(bits.begin(), bits.end());
+        h.u64(bits.size());
+        for (const CbitId b : bits)
+            h.u32(b);
+    }
+    return h.digest();
+}
+
+Hash128
+cacheKey(const Circuit &circuit, const CompilerConfig &config,
+         const net::TopologyConfig &topo)
+{
+    Hasher128 h;
+    const Hash128 circ = circuitDigest(circuit);
+    h.u64(circ.hi);
+    h.u64(circ.lo);
+
+    // Every compiler knob that steers the pipeline. The cache-control
+    // fields (cache, cache_dir) are excluded on purpose: they select
+    // where the result is stored, not what it is.
+    h.str("compiler");
+    h.u32(static_cast<std::uint32_t>(config.scheme));
+    h.u32(config.qubits_per_controller);
+    h.u32(static_cast<std::uint32_t>(config.placement));
+    h.u32(static_cast<std::uint32_t>(config.routing));
+    h.u64(config.gate1q);
+    h.u64(config.gate2q);
+    h.u64(config.measure);
+    h.u64(config.feedback_margin);
+    h.u64(config.pipeline_slack);
+    h.u64(config.region_residual);
+    h.u32(config.repetitions);
+    h.u32(static_cast<std::uint32_t>(config.backend));
+
+    h.str("topology");
+    h.u32(static_cast<std::uint32_t>(topo.shape));
+    h.u32(topo.width);
+    h.u32(topo.height);
+    h.u32(topo.tree_arity);
+    h.u64(topo.neighbor_latency);
+    h.u64(topo.hop_latency);
+    h.u64(topo.hub_latency);
+    h.u32(static_cast<std::uint32_t>(topo.latency_model));
+    h.u64(topo.latency_seed);
+    h.u32(static_cast<std::uint32_t>(topo.clustering));
+
+    return h.digest();
+}
+
+} // namespace dhisq::compiler::cache

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Content-addressed compile-cache keys.
+ *
+ * PR 5 made `CompiledProgram` a pure function of (circuit, CompilerConfig,
+ * TopologyConfig); this file turns that triple into a 128-bit key. The
+ * circuit contribution is a *canonical* serialization, stable under
+ * op-insertion order: ops are layered by their data dependencies (same
+ * qubit, or a classical bit flowing from a measurement into a condition),
+ * sorted deterministically inside each layer, and classical bits are
+ * renumbered in canonical order. Two builds of the same circuit that
+ * interleave independent ops differently therefore hash equal, while any
+ * semantic difference — one gate, one angle bit, one condition — changes
+ * the key. Every `CompilerConfig`/`TopologyConfig` field that can steer
+ * the pass pipeline is absorbed too; the cache-control fields themselves
+ * (`cache`, `cache_dir`) are deliberately excluded because they do not
+ * affect the compiled output.
+ *
+ * Key anatomy (absorption order):
+ *   schema tag + version | circuit name, qubit/cbit counts |
+ *   canonical op stream | compiler knobs | topology knobs
+ */
+#pragma once
+
+#include "common/hash.hpp"
+#include "compiler/compiler.hpp"
+#include "compiler/ir.hpp"
+#include "net/topology.hpp"
+
+namespace dhisq::compiler::cache {
+
+/** Version stamp of both the key schema and the on-disk entry format.
+ *  Bump whenever CompiledProgram's layout or the pass pipeline's
+ *  semantics change: old disk entries are then rejected and recompiled. */
+inline constexpr std::uint32_t kCacheVersion = 1;
+
+/** Schema tag of on-disk entries (and the key preamble). */
+inline constexpr const char *kCacheSchema = "dhisq-compile-cache-v1";
+
+/** Canonical digest of the circuit alone (insertion-order stable). */
+Hash128 circuitDigest(const Circuit &circuit);
+
+/** Full content-addressed key for one compilation. */
+Hash128 cacheKey(const Circuit &circuit, const CompilerConfig &config,
+                 const net::TopologyConfig &topo);
+
+} // namespace dhisq::compiler::cache

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "compiler/cache/cache.hpp"
+#include "compiler/cache/key.hpp"
 #include "compiler/passes/pass.hpp"
 
 namespace dhisq::compiler {
@@ -46,6 +48,40 @@ allRoutingModes()
     static const std::vector<RoutingMode> modes = {
         RoutingMode::kNone,
         RoutingMode::kSwap,
+    };
+    return modes;
+}
+
+const char *
+toString(CacheMode mode)
+{
+    switch (mode) {
+      case CacheMode::kOff: return "off";
+      case CacheMode::kMemory: return "memory";
+      case CacheMode::kDisk: return "disk";
+    }
+    return "?";
+}
+
+bool
+parseCacheMode(std::string_view text, CacheMode &out)
+{
+    for (CacheMode mode : allCacheModes()) {
+        if (text == toString(mode)) {
+            out = mode;
+            return true;
+        }
+    }
+    return false;
+}
+
+const std::vector<CacheMode> &
+allCacheModes()
+{
+    static const std::vector<CacheMode> modes = {
+        CacheMode::kOff,
+        CacheMode::kMemory,
+        CacheMode::kDisk,
     };
     return modes;
 }
@@ -102,12 +138,23 @@ Compiler::Compiler(const net::Topology &topo, const CompilerConfig &config)
 }
 
 Result<CompiledProgram>
-Compiler::tryCompile(const Circuit &circuit)
+Compiler::compileImpl(const Circuit &circuit)
 {
     passes::PassContext ctx(_topo, _config, circuit);
     if (Status status = passes::runPipeline(ctx); !status)
         return Result<CompiledProgram>::error(status.message());
     return std::move(ctx.out);
+}
+
+Result<CompiledProgram>
+Compiler::tryCompile(const Circuit &circuit)
+{
+    if (_config.cache == CacheMode::kOff)
+        return compileImpl(circuit);
+    const Hash128 key = cache::cacheKey(circuit, _config, _topo.config());
+    return cache::CompileCache::global().getOrCompile(
+        key, _config.cache, _config.cache_dir,
+        [&] { return compileImpl(circuit); });
 }
 
 CompiledProgram

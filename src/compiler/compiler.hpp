@@ -83,6 +83,27 @@ bool parseRoutingMode(std::string_view text, RoutingMode &out);
 /** Every routing mode in canonical sweep order. */
 const std::vector<RoutingMode> &allRoutingModes();
 
+/**
+ * Compile-cache tier.
+ *
+ *  - kOff     every compile runs the pass pipeline (the default, so
+ *             committed bench artifacts stay byte-identical with and
+ *             without this feature).
+ *  - kMemory  content-addressed in-memory LRU (cache/cache.hpp).
+ *  - kDisk    memory tier plus one JSON file per key under `cache_dir`,
+ *             surviving the process.
+ */
+enum class CacheMode : std::uint8_t { kOff, kMemory, kDisk };
+
+/** Human-readable cache-mode name ("off", "memory", "disk"). */
+const char *toString(CacheMode mode);
+
+/** Parse a cache-mode name; false when `text` names no mode. */
+bool parseCacheMode(std::string_view text, CacheMode &out);
+
+/** Every cache mode in canonical sweep order. */
+const std::vector<CacheMode> &allCacheModes();
+
 /** Compiler knobs. */
 struct CompilerConfig
 {
@@ -121,6 +142,15 @@ struct CompilerConfig
      * and the dense state vector otherwise.
      */
     q::BackendTier backend = q::BackendTier::kAuto;
+    /**
+     * Compile-cache tier consulted by tryCompile. Excluded from the
+     * content key (it selects where results are stored, not what they
+     * are). Off by default: enabling it is an explicit opt-in by batch
+     * drivers (service::JobServer, throughput benches).
+     */
+    CacheMode cache = CacheMode::kOff;
+    /** Directory of the on-disk tier (kDisk only). */
+    std::string cache_dir = ".dhisq-compile-cache";
 };
 
 /** One board binding produced by compilation. */
@@ -191,7 +221,10 @@ class Compiler
     /**
      * Compile one dynamic circuit, reporting recoverable problems (e.g.
      * a circuit exceeding the block capacity with routing disabled) as
-     * a structured error naming the workload and the capacity.
+     * a structured error naming the workload and the capacity. When
+     * `config.cache` is enabled the compile is served through the
+     * process-wide content-addressed cache (cache/cache.hpp); failures
+     * are never cached.
      */
     Result<CompiledProgram> tryCompile(const Circuit &circuit);
 
@@ -201,6 +234,9 @@ class Compiler
     const CompilerConfig &config() const { return _config; }
 
   private:
+    /** Run the pass pipeline unconditionally (cache miss path). */
+    Result<CompiledProgram> compileImpl(const Circuit &circuit);
+
     const net::Topology &_topo;
     CompilerConfig _config;
 };

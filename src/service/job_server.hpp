@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Batched compile/run job service (the dispatch tier above the compiler).
+ *
+ * A JobServer accepts a batch of circuit jobs, schedules them onto a
+ * SweepRunner worker pool and serves every compile through the
+ * content-addressed compile cache (compiler/cache): identical circuits
+ * submitted concurrently dedup onto one in-flight compile (single-flight),
+ * and repeats across the batch hit the LRU store. Results stream back as
+ * per-job records plus batch-level cache statistics, both serializable in
+ * the dhisq-bench-v1 JSON shape.
+ *
+ * Determinism contract: per-job *outcomes* (makespan, events, measurement
+ * records) are pure functions of the request — byte-identical whether the
+ * cache is off, cold or warm, and whatever the thread count. Batch-level
+ * cache statistics are deterministic in the totals the service reports
+ * (lookups, distinct compiles, reuse ratio) because single-flight
+ * guarantees one compile per distinct key; the *split* of reuse between
+ * LRU hits and in-flight joins is scheduling-dependent, so it is exposed
+ * on the process-wide CacheStats for diagnostics but never serialized
+ * into artifacts.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "compiler/cache/cache.hpp"
+#include "compiler/compiler.hpp"
+#include "sweep/exec.hpp"
+#include "sweep/grid.hpp"
+#include "sweep/report.hpp"
+
+namespace dhisq::service {
+
+/** One circuit job: what to compile, where to run it. */
+struct JobRequest
+{
+    /** Client-visible identity; defaults to the circuit id. */
+    std::string id;
+    sweep::CircuitSpec circuit;
+    /** Compiler knobs; the cache fields are overridden by the server. */
+    compiler::CompilerConfig config;
+    net::TopologyShape topology = net::TopologyShape::kLine;
+    /** Machine controller count; 0 = sized to fit the circuit. */
+    unsigned controllers = 0;
+    std::uint64_t seed = 1;
+    bool state_vector = false;
+    /** False = compile only (no simulation). */
+    bool run = true;
+};
+
+/** One job's outcome. */
+struct JobResult
+{
+    std::string id;
+    bool ok = false;
+    std::string error;
+    Cycle makespan = 0;
+    std::uint64_t events = 0;
+    unsigned controllers = 0;
+    /** Total compiled instructions across all controllers. */
+    std::uint64_t instructions = 0;
+    /** Device measurement log in commit order (run jobs only). */
+    std::vector<q::QuantumDevice::MeasurementRecord> measurements;
+
+    /** Deterministic serialization, measurement stream included. */
+    Json toJson() const;
+};
+
+/** Batched compile/run dispatcher over the shared compile cache. */
+class JobServer
+{
+  public:
+    struct Options
+    {
+        /** Worker threads of the underlying SweepRunner pool. */
+        unsigned threads = 1;
+        /** Cache tier forced onto every job's compiler config. */
+        compiler::CacheMode cache = compiler::CacheMode::kMemory;
+        std::string cache_dir = ".dhisq-compile-cache";
+        /** SweepRunner determinism re-check depth (0 = off; keep 0 when
+         *  timing the batch — the re-run double-executes leading jobs). */
+        unsigned verify_points = 0;
+    };
+
+    explicit JobServer(Options options) : _options(options) {}
+
+    /**
+     * Execute a batch; results come back in request order regardless of
+     * the thread count. Failed jobs carry ok=false + error and never
+     * poison the cache (failures are not stored).
+     */
+    std::vector<JobResult> submit(const std::vector<JobRequest> &batch);
+
+    /** Global-cache counter delta attributable to the last submit(). */
+    const compiler::cache::CacheStats &lastBatchStats() const
+    {
+        return _last_stats;
+    }
+
+    /**
+     * dhisq-bench-v1 report of the last batch: one point per job (label,
+     * deterministic metrics, health) plus deterministic batch aggregates
+     * under `derived` — requests, cache lookups, distinct compiles and
+     * the reuse ratio. Timing-dependent counters are excluded.
+     */
+    sweep::BenchReport benchReport(const std::string &bench_name) const;
+
+    const Options &options() const { return _options; }
+
+  private:
+    JobResult runOne(const JobRequest &request) const;
+
+    Options _options;
+    std::vector<sweep::PointResult> _last_points;
+    compiler::cache::CacheStats _last_stats;
+    std::uint64_t _last_requests = 0;
+};
+
+} // namespace dhisq::service

@@ -179,6 +179,27 @@ parseCli(int argc, char **argv)
                           arity) == opts.tree_arities.end()) {
                 opts.tree_arities.push_back(arity);
             }
+        } else if (arg == "--cache") {
+            if (i + 1 >= argc)
+                return Result<CliOptions>::error("--cache needs a mode");
+            const std::string_view name = argv[++i];
+            if (name == "all") {
+                opts.cache_modes = compiler::allCacheModes();
+                continue;
+            }
+            compiler::CacheMode mode;
+            if (!compiler::parseCacheMode(name, mode)) {
+                return Result<CliOptions>::error(
+                    std::string("unknown --cache mode: ") + argv[i]);
+            }
+            if (std::find(opts.cache_modes.begin(), opts.cache_modes.end(),
+                          mode) == opts.cache_modes.end()) {
+                opts.cache_modes.push_back(mode);
+            }
+        } else if (arg == "--results") {
+            if (i + 1 >= argc)
+                return Result<CliOptions>::error("--results needs a path");
+            opts.results_path = argv[++i];
         } else if (arg == "--quick") {
             opts.quick = true;
         } else if (arg == "--list") {
@@ -239,6 +260,15 @@ printUsage(const char *prog)
         "                     or \"all\"; repeatable)\n"
         "  --tree-arity N     restrict the router fan-out axis "
         "(repeatable)\n"
+        "  --cache <mode>     restrict the compile-cache axis (off, "
+        "memory,\n"
+        "                     disk or \"all\"; repeatable; grids without "
+        "the\n"
+        "                     axis ignore it)\n"
+        "  --results <path>   write the deterministic per-job results\n"
+        "                     artifact (measurement streams; benches "
+        "compare\n"
+        "                     it byte-for-byte across cache modes)\n"
         "  --list             print the expanded grid points, run "
         "nothing\n"
         "Axis flags only restrict grids that sweep that axis; a bench\n"

@@ -52,6 +52,12 @@ struct CliOptions
     std::vector<net::RouterPolicy> policies;
     /** Tree-arity-axis selection; empty keeps the bench's default. */
     std::vector<unsigned> tree_arities;
+    /** Compile-cache-mode axis; empty keeps the bench's default axis. */
+    std::vector<compiler::CacheMode> cache_modes;
+    /** Secondary artifact path for deterministic per-job results (the
+     *  measurement-record stream benches byte-compare across cache
+     *  modes); empty = not written. */
+    std::string results_path;
 };
 
 /**

@@ -95,6 +95,7 @@ executeWith(const compiler::Circuit &circuit,
     result.events = report.events_executed;
     result.controllers = compiled.usedControllers();
     result.swaps = compiled.stats.counter("swaps_inserted");
+    result.measurements = machine.device().measurements();
     return result;
 }
 

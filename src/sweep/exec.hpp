@@ -10,10 +10,12 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "compiler/compiler.hpp"
 #include "net/router.hpp"
 #include "net/topology.hpp"
+#include "quantum/device.hpp"
 #include "quantum/noise.hpp"
 
 namespace dhisq::sweep {
@@ -39,6 +41,13 @@ struct ExecResult
      *  and no simulation ran. */
     bool rejected = false;
     std::string reject_reason;
+    /**
+     * The device's measurement log (qubit, bit, start, ready), in commit
+     * order — the run's observable outcome stream. Deterministic for a
+     * given point, so the service tier serializes it to prove cache-on
+     * and cache-off runs are bit-identical.
+     */
+    std::vector<q::QuantumDevice::MeasurementRecord> measurements;
 
     /** True when the run completed with the paper's guarantees intact. */
     bool healthy() const

@@ -37,6 +37,13 @@ CircuitSpec::id() const
         return "routing_stress_n" + std::to_string(routing_stress.qubits) +
                "_d" + std::to_string(routing_stress.stride) + "_s" +
                std::to_string(routing_stress.seed);
+      case Kind::kVqeSweep:
+        // Matches the circuit's own name (workloads::vqeSweep) so labels
+        // and compiled program names agree.
+        return "vqe_q" + std::to_string(vqe.qubits) + "_l" +
+               std::to_string(vqe.layers) + "_i" +
+               std::to_string(vqe.iteration) + "_s" +
+               std::to_string(vqe.seed);
     }
     return "unknown";
 }
@@ -72,6 +79,9 @@ CircuitSpec::build() const
         break;
       case Kind::kRoutingStress:
         circuit = workloads::routingStress(routing_stress);
+        break;
+      case Kind::kVqeSweep:
+        circuit = workloads::vqeSweep(vqe);
         break;
     }
     if (expand_fraction > 0.0) {

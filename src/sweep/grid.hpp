@@ -38,6 +38,7 @@ struct CircuitSpec
         kLrCnotChain,   ///< Figure 14 long-range-CNOT chain on `qubits`
         kGhzFanout,     ///< star-shaped GHZ fan-out on `qubits`
         kRoutingStress, ///< workloads::routingStress(routing_stress)
+        kVqeSweep,      ///< workloads::vqeSweep(vqe) — one VQE iteration
     };
 
     Kind kind = Kind::kFigure15;
@@ -47,6 +48,8 @@ struct CircuitSpec
     workloads::RandomDynamicOptions random;
     /** Options for kRoutingStress. */
     workloads::RoutingStressOptions routing_stress;
+    /** Options for kVqeSweep. */
+    workloads::VqeSweepOptions vqe;
     /** Line length for kLrCnotChain / kGhzFanout. */
     unsigned qubits = 9;
     /** If > 0, expandNonAdjacentGates(fraction) with `expand_seed`. */

@@ -112,15 +112,31 @@ compareBenchReports(const Json &baseline, const Json &current,
             continue;
         }
 
+        // A point with no metrics object is compared as if it had an
+        // empty one, so a tracked metric present on only one side is
+        // still reported below.
+        static const Json kEmptyMetrics = Json::object();
         const Json *base_metrics = base_point.find("metrics");
         const Json *cur_metrics = cur_point->find("metrics");
-        if (base_metrics == nullptr || cur_metrics == nullptr)
-            continue;
+        if (base_metrics == nullptr)
+            base_metrics = &kEmptyMetrics;
+        if (cur_metrics == nullptr)
+            cur_metrics = &kEmptyMetrics;
         for (const TrackedMetric &tracked : kTracked) {
             const Json *b = base_metrics->find(tracked.key);
             const Json *c = cur_metrics->find(tracked.key);
-            if (b == nullptr || c == nullptr || !b->isNumber() ||
-                !c->isNumber()) {
+            const bool in_base = b != nullptr && b->isNumber();
+            const bool in_cur = c != nullptr && c->isNumber();
+            if (!in_base && !in_cur)
+                continue;
+            // A tracked metric present on one side only is a mismatch in
+            // EITHER direction: vanished-from-current hides a regression,
+            // vanished-from-baseline un-gates future ones.
+            if (in_base != in_cur) {
+                out.regressions.push_back(RegressFinding{
+                    label, std::string(tracked.key) +
+                               (in_base ? " present only in baseline"
+                                        : " present only in current")});
                 continue;
             }
             const double bv = b->asDouble();

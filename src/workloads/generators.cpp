@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/hash.hpp"
 #include "common/logging.hpp"
 
 namespace dhisq::workloads {
@@ -416,6 +417,40 @@ routingStress(const RoutingStressOptions &options)
             c.gate2(Gate::kCZ, tq,
                     (tq + options.stride) % options.qubits);
         }
+    }
+    return c;
+}
+
+compiler::Circuit
+vqeSweep(const VqeSweepOptions &options)
+{
+    DHISQ_ASSERT(options.qubits >= 2, "vqeSweep needs >= 2 qubits");
+    // The angle stream is keyed on (seed, iteration) through the content
+    // hasher so iteration i+1 is a fresh deterministic draw, not a shifted
+    // replay of iteration i's stream.
+    Hasher128 h;
+    h.u64(options.seed);
+    h.u64(options.iteration);
+    Rng rng(h.digest().lo);
+
+    const std::string name = "vqe_q" + std::to_string(options.qubits) +
+                             "_l" + std::to_string(options.layers) + "_i" +
+                             std::to_string(options.iteration) + "_s" +
+                             std::to_string(options.seed);
+    Circuit c(options.qubits, name);
+    const auto rotationLayer = [&] {
+        for (QubitId qb = 0; qb < options.qubits; ++qb)
+            c.gate(Gate::kRy, qb, (2.0 * rng.uniform() - 1.0) * M_PI);
+    };
+    for (unsigned layer = 0; layer < options.layers; ++layer) {
+        rotationLayer();
+        for (QubitId qb = 0; qb + 1 < options.qubits; ++qb)
+            c.gate2(Gate::kCNOT, qb, qb + 1);
+    }
+    rotationLayer();
+    if (options.measure_all) {
+        for (QubitId qb = 0; qb < options.qubits; ++qb)
+            c.measure(qb);
     }
     return c;
 }

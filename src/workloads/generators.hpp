@@ -144,6 +144,28 @@ struct RoutingStressOptions
 };
 compiler::Circuit routingStress(const RoutingStressOptions &options = {});
 
+/**
+ * One iteration of a VQE-style variational sweep: a hardware-efficient
+ * ansatz (per-layer Ry rotations + adjacent-CNOT entanglers + a final
+ * rotation layer) whose *structure* is fixed by (qubits, layers, seed)
+ * while the rotation angles are re-drawn per `iteration` — the classical
+ * optimizer's parameter update. Successive iterations are therefore
+ * near-identical circuits: same gates, same operands, different angles.
+ * This is the canonical compile-cache workload — identical iterations
+ * resubmitted across a batch hit, while every new iteration misses (one
+ * angle bit changes the content key).
+ */
+struct VqeSweepOptions
+{
+    unsigned qubits = 8;
+    unsigned layers = 3;
+    /** Optimizer step; selects the angle draw, not the structure. */
+    unsigned iteration = 0;
+    std::uint64_t seed = 21;
+    bool measure_all = true;
+};
+compiler::Circuit vqeSweep(const VqeSweepOptions &options = {});
+
 /** Named benchmark instances of Figure 15 ("adder_n577", "qft_n100", ...).
  *  Returns the *static* circuit; run expandNonAdjacentGates for dynamics. */
 compiler::Circuit figure15Benchmark(const std::string &name);

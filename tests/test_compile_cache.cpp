@@ -1,0 +1,637 @@
+/**
+ * @file
+ * Content-addressed compile-cache tests: key canonicalization (insertion-
+ * order-equal circuits hash equal, every semantic or config difference
+ * changes the key), the in-memory LRU + single-flight store, and the
+ * on-disk tier's schema/version validation (stale entries rejected and
+ * recompiled).
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "compiler/cache/cache.hpp"
+#include "compiler/cache/key.hpp"
+#include "compiler/compiler.hpp"
+#include "workloads/generators.hpp"
+
+namespace dhisq::compiler::cache {
+namespace {
+
+using q::Gate;
+
+Hash128
+keyOf(const Circuit &circuit, const CompilerConfig &cc = {},
+      const net::TopologyConfig &topo = {})
+{
+    return cacheKey(circuit, cc, topo);
+}
+
+// ---------------------------------------------------------------------------
+// Key canonicalization
+// ---------------------------------------------------------------------------
+
+TEST(Key, IndependentOpOrderIsCanonical)
+{
+    // Same circuit, ops on disjoint qubits appended in opposite orders.
+    Circuit a(3, "c");
+    a.gate(Gate::kH, 0);
+    a.gate(Gate::kX, 1);
+    a.gate(Gate::kRz, 2, 0.25);
+
+    Circuit b(3, "c");
+    b.gate(Gate::kRz, 2, 0.25);
+    b.gate(Gate::kX, 1);
+    b.gate(Gate::kH, 0);
+
+    EXPECT_EQ(circuitDigest(a), circuitDigest(b));
+    EXPECT_EQ(keyOf(a), keyOf(b));
+}
+
+TEST(Key, InterleavedLayersAreCanonical)
+{
+    // Two independent two-op chains interleaved differently: the layer
+    // structure (H0;H1 then CX01 ...) is identical, the insertion order
+    // is not.
+    Circuit a(4, "c");
+    a.gate(Gate::kH, 0);
+    a.gate(Gate::kH, 2);
+    a.gate2(Gate::kCNOT, 0, 1);
+    a.gate2(Gate::kCNOT, 2, 3);
+
+    Circuit b(4, "c");
+    b.gate(Gate::kH, 2);
+    b.gate2(Gate::kCNOT, 2, 3);
+    b.gate(Gate::kH, 0);
+    b.gate2(Gate::kCNOT, 0, 1);
+
+    EXPECT_EQ(circuitDigest(a), circuitDigest(b));
+}
+
+TEST(Key, DependentOpOrderIsSemantic)
+{
+    // H;X and X;H on the same qubit do not commute — different digests.
+    Circuit a(1, "c");
+    a.gate(Gate::kH, 0);
+    a.gate(Gate::kX, 0);
+
+    Circuit b(1, "c");
+    b.gate(Gate::kX, 0);
+    b.gate(Gate::kH, 0);
+
+    EXPECT_NE(circuitDigest(a), circuitDigest(b));
+}
+
+TEST(Key, MeasurementNumberingIsCanonical)
+{
+    // Measuring q0/q1 in opposite orders assigns opposite cbit ids; the
+    // canonical renumbering (and sorted parity conditions) cancels that.
+    Circuit a(3, "c");
+    const auto a0 = a.measure(0);
+    const auto a1 = a.measure(1);
+    a.conditionalGate(Gate::kX, 2, {a0, a1});
+
+    Circuit b(3, "c");
+    const auto b1 = b.measure(1);
+    const auto b0 = b.measure(0);
+    b.conditionalGate(Gate::kX, 2, {b0, b1});
+
+    EXPECT_EQ(circuitDigest(a), circuitDigest(b));
+}
+
+TEST(Key, ConditionTargetIsSemantic)
+{
+    // Conditioning on bit-of-q0 vs bit-of-q1 must differ even though the
+    // raw cbit ids could be renumbered onto each other.
+    Circuit a(3, "c");
+    const auto bit_a = a.measure(0);
+    a.measure(1);
+    a.conditionalGate(Gate::kX, 2, {bit_a});
+
+    Circuit b(3, "c");
+    b.measure(0);
+    const auto bit_b = b.measure(1);
+    b.conditionalGate(Gate::kX, 2, {bit_b});
+
+    EXPECT_NE(circuitDigest(a), circuitDigest(b));
+}
+
+TEST(Key, SemanticCircuitEditsChangeTheDigest)
+{
+    const auto base = [] {
+        Circuit c(2, "c");
+        c.gate(Gate::kRy, 0, 0.5);
+        c.gate2(Gate::kCNOT, 0, 1);
+        c.measure(1);
+        return c;
+    };
+    const Hash128 reference = circuitDigest(base());
+
+    {
+        Circuit c = base();
+        c.gate(Gate::kX, 0); // extra op
+        EXPECT_NE(circuitDigest(c), reference);
+    }
+    {
+        Circuit c(2, "c"); // different gate
+        c.gate(Gate::kRz, 0, 0.5);
+        c.gate2(Gate::kCNOT, 0, 1);
+        c.measure(1);
+        EXPECT_NE(circuitDigest(c), reference);
+    }
+    {
+        Circuit c(2, "c"); // one angle bit
+        c.gate(Gate::kRy, 0, 0.5 + 1e-15);
+        c.gate2(Gate::kCNOT, 0, 1);
+        c.measure(1);
+        EXPECT_NE(circuitDigest(c), reference);
+    }
+    {
+        Circuit c(3, "c"); // qubit count
+        c.gate(Gate::kRy, 0, 0.5);
+        c.gate2(Gate::kCNOT, 0, 1);
+        c.measure(1);
+        EXPECT_NE(circuitDigest(c), reference);
+    }
+    {
+        Circuit c(2, "d"); // name
+        c.gate(Gate::kRy, 0, 0.5);
+        c.gate2(Gate::kCNOT, 0, 1);
+        c.measure(1);
+        EXPECT_NE(circuitDigest(c), reference);
+    }
+}
+
+TEST(Key, EveryCompilerConfigFieldChangesTheKey)
+{
+    const Circuit circuit = workloads::ghz(4);
+    const Hash128 reference = keyOf(circuit);
+
+    const std::vector<std::pair<const char *,
+                                std::function<void(CompilerConfig &)>>>
+        edits = {
+            {"scheme", [](auto &c) { c.scheme = SyncScheme::kDemand; }},
+            {"qubits_per_controller",
+             [](auto &c) { c.qubits_per_controller = 2; }},
+            {"placement",
+             [](auto &c) {
+                 c.placement = place::PlacementStrategy::kKlMincut;
+             }},
+            {"routing", [](auto &c) { c.routing = RoutingMode::kSwap; }},
+            {"gate1q", [](auto &c) { c.gate1q += 1; }},
+            {"gate2q", [](auto &c) { c.gate2q += 1; }},
+            {"measure", [](auto &c) { c.measure += 1; }},
+            {"feedback_margin", [](auto &c) { c.feedback_margin += 1; }},
+            {"pipeline_slack", [](auto &c) { c.pipeline_slack += 1; }},
+            {"region_residual", [](auto &c) { c.region_residual += 1; }},
+            {"repetitions", [](auto &c) { c.repetitions += 1; }},
+            {"backend",
+             [](auto &c) { c.backend = q::BackendTier::kDense; }},
+        };
+    for (const auto &[name, edit] : edits) {
+        CompilerConfig cc;
+        edit(cc);
+        EXPECT_NE(keyOf(circuit, cc), reference)
+            << "CompilerConfig::" << name << " is not in the key";
+    }
+}
+
+TEST(Key, CacheControlFieldsAreExcluded)
+{
+    // Where the result is stored must not change what it is.
+    const Circuit circuit = workloads::ghz(4);
+    CompilerConfig cc;
+    cc.cache = CacheMode::kDisk;
+    cc.cache_dir = "/somewhere/else";
+    EXPECT_EQ(keyOf(circuit, cc), keyOf(circuit));
+}
+
+TEST(Key, EveryTopologyConfigFieldChangesTheKey)
+{
+    const Circuit circuit = workloads::ghz(4);
+    const Hash128 reference = keyOf(circuit);
+
+    const std::vector<std::pair<const char *,
+                                std::function<void(net::TopologyConfig &)>>>
+        edits = {
+            {"shape",
+             [](auto &t) { t.shape = net::TopologyShape::kRing; }},
+            {"width", [](auto &t) { t.width += 1; }},
+            {"height", [](auto &t) { t.height += 1; }},
+            {"tree_arity", [](auto &t) { t.tree_arity += 1; }},
+            {"neighbor_latency", [](auto &t) { t.neighbor_latency += 1; }},
+            {"hop_latency", [](auto &t) { t.hop_latency += 1; }},
+            {"hub_latency", [](auto &t) { t.hub_latency += 1; }},
+            {"latency_model",
+             [](auto &t) {
+                 t.latency_model = net::LinkLatencyModel::kSeededJitter;
+             }},
+            {"latency_seed", [](auto &t) { t.latency_seed += 1; }},
+            {"clustering",
+             [](auto &t) {
+                 t.clustering = net::RouterClustering::kLocality;
+             }},
+        };
+    for (const auto &[name, edit] : edits) {
+        net::TopologyConfig topo;
+        edit(topo);
+        EXPECT_NE(keyOf(circuit, {}, topo), reference)
+            << "TopologyConfig::" << name << " is not in the key";
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-memory store: LRU, single-flight, failure handling
+// ---------------------------------------------------------------------------
+
+/** Minimal distinguishable program for store-level tests. */
+CompiledProgram
+fakeProgram(std::uint32_t tag)
+{
+    CompiledProgram p;
+    isa::Program prog;
+    prog.name = "fake" + std::to_string(tag);
+    prog.words = {tag};
+    prog.lines = {1};
+    p.programs.push_back(std::move(prog));
+    p.used.push_back(true);
+    p.ports_per_controller = 1;
+    p.device_qubits = tag;
+    return p;
+}
+
+Hash128
+fakeKey(std::uint64_t n)
+{
+    Hasher128 h;
+    h.str("test-key");
+    h.u64(n);
+    return h.digest();
+}
+
+TEST(Store, HitServesTheCachedProgram)
+{
+    CompileCache cache;
+    int compiles = 0;
+    const auto compile = [&] {
+        ++compiles;
+        return Result<CompiledProgram>(fakeProgram(7));
+    };
+    const Hash128 key = fakeKey(1);
+
+    auto first = cache.getOrCompile(key, CacheMode::kMemory, "", compile);
+    auto second = cache.getOrCompile(key, CacheMode::kMemory, "", compile);
+    ASSERT_TRUE(first.isOk());
+    ASSERT_TRUE(second.isOk());
+    EXPECT_EQ(compiles, 1);
+    EXPECT_EQ(second.value().device_qubits, 7u);
+
+    const CacheStats s = cache.stats();
+    EXPECT_EQ(s.lookups, 2u);
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(Store, LruEvictsTheColdestEntry)
+{
+    CompileCache cache;
+    cache.setCapacity(2);
+    const auto compileTag = [](std::uint32_t tag) {
+        return [tag] { return Result<CompiledProgram>(fakeProgram(tag)); };
+    };
+
+    (void)cache.getOrCompile(fakeKey(1), CacheMode::kMemory, "",
+                             compileTag(1));
+    (void)cache.getOrCompile(fakeKey(2), CacheMode::kMemory, "",
+                             compileTag(2));
+    // Touch key 1 so key 2 is the LRU victim.
+    (void)cache.getOrCompile(fakeKey(1), CacheMode::kMemory, "",
+                             compileTag(1));
+    (void)cache.getOrCompile(fakeKey(3), CacheMode::kMemory, "",
+                             compileTag(3));
+
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+
+    // Key 1 survived (hit); key 2 was evicted (recompiles).
+    int recompiles = 0;
+    const auto counting = [&] {
+        ++recompiles;
+        return Result<CompiledProgram>(fakeProgram(9));
+    };
+    (void)cache.getOrCompile(fakeKey(1), CacheMode::kMemory, "", counting);
+    EXPECT_EQ(recompiles, 0);
+    (void)cache.getOrCompile(fakeKey(2), CacheMode::kMemory, "", counting);
+    EXPECT_EQ(recompiles, 1);
+}
+
+TEST(Store, ShrinkingCapacityEvictsImmediately)
+{
+    CompileCache cache;
+    for (std::uint64_t i = 0; i < 4; ++i) {
+        (void)cache.getOrCompile(fakeKey(i), CacheMode::kMemory, "", [&] {
+            return Result<CompiledProgram>(
+                fakeProgram(std::uint32_t(i)));
+        });
+    }
+    EXPECT_EQ(cache.size(), 4u);
+    cache.setCapacity(1);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.stats().evictions, 3u);
+}
+
+TEST(Store, SingleFlightCompilesOnceAcrossThreads)
+{
+    CompileCache cache;
+    const Hash128 key = fakeKey(42);
+    std::atomic<int> compiles{0};
+    const auto slow_compile = [&] {
+        ++compiles;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        return Result<CompiledProgram>(fakeProgram(42));
+    };
+
+    constexpr unsigned kThreads = 8;
+    std::atomic<int> ok{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            auto r = cache.getOrCompile(key, CacheMode::kMemory, "",
+                                        slow_compile);
+            if (r.isOk() && r.value().device_qubits == 42u)
+                ++ok;
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    EXPECT_EQ(compiles.load(), 1);
+    EXPECT_EQ(ok.load(), int(kThreads));
+    const CacheStats s = cache.stats();
+    EXPECT_EQ(s.lookups, std::uint64_t(kThreads));
+    EXPECT_EQ(s.misses, 1u);
+    // Latecomers either joined the flight or hit the finished entry.
+    EXPECT_EQ(s.hits + s.inflight_joins, std::uint64_t(kThreads) - 1u);
+}
+
+TEST(Store, FailuresAreNeverCached)
+{
+    CompileCache cache;
+    int attempts = 0;
+    const auto failing = [&] {
+        ++attempts;
+        return Result<CompiledProgram>::error("capacity exceeded");
+    };
+    const Hash128 key = fakeKey(5);
+
+    auto first = cache.getOrCompile(key, CacheMode::kMemory, "", failing);
+    auto second = cache.getOrCompile(key, CacheMode::kMemory, "", failing);
+    EXPECT_FALSE(first.isOk());
+    EXPECT_EQ(first.message(), "capacity exceeded");
+    EXPECT_FALSE(second.isOk());
+    EXPECT_EQ(attempts, 2);
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Disk tier: round-trip, validation, staleness
+// ---------------------------------------------------------------------------
+
+class DiskTier : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        _dir = (std::filesystem::temp_directory_path() /
+                "dhisq-cache-test")
+                   .string();
+        std::filesystem::remove_all(_dir);
+    }
+
+    void TearDown() override { std::filesystem::remove_all(_dir); }
+
+    std::string entryPath(const Hash128 &key) const
+    {
+        return _dir + "/" + key.hex() + ".json";
+    }
+
+    std::string _dir;
+};
+
+TEST_F(DiskTier, JsonRoundTripIsLossless)
+{
+    // A real compiled program (feedback circuit: multiple controllers,
+    // bindings, measurement routes, stats) must survive the disk format.
+    const Circuit circuit = workloads::ghzFanout(5);
+    net::TopologyConfig topo_cfg;
+    topo_cfg.width = circuit.numQubits();
+    const net::Topology topo = net::Topology::build(topo_cfg);
+    Compiler compiler(topo, CompilerConfig{});
+    auto compiled = compiler.tryCompile(circuit);
+    ASSERT_TRUE(compiled.isOk()) << compiled.message();
+
+    const Hash128 key = keyOf(circuit, {}, topo_cfg);
+    const Json doc = CompileCache::toJson(key, compiled.value());
+    auto restored = CompileCache::fromJson(doc, key);
+    ASSERT_TRUE(restored.isOk()) << restored.message();
+
+    // Byte-identical re-serialization == lossless round trip.
+    EXPECT_EQ(CompileCache::toJson(key, restored.value()).dump(),
+              doc.dump());
+    EXPECT_EQ(restored.value().usedControllers(),
+              compiled.value().usedControllers());
+    EXPECT_EQ(restored.value().totalInstructions(),
+              compiled.value().totalInstructions());
+    // Decoded instruction stream must match the words it was rebuilt from.
+    for (std::size_t c = 0; c < compiled.value().programs.size(); ++c) {
+        EXPECT_EQ(restored.value().programs[c].words,
+                  compiled.value().programs[c].words);
+        EXPECT_EQ(restored.value().programs[c].instructions.size(),
+                  compiled.value().programs[c].instructions.size());
+    }
+}
+
+TEST_F(DiskTier, RejectsStaleVersionWrongSchemaAndForeignKey)
+{
+    const Hash128 key = fakeKey(3);
+    const Json good = CompileCache::toJson(key, fakeProgram(3));
+    ASSERT_TRUE(CompileCache::fromJson(good, key).isOk());
+
+    {
+        Json doc = good;
+        doc["version"] = kCacheVersion + 1; // future/stale stamp
+        auto r = CompileCache::fromJson(doc, key);
+        ASSERT_FALSE(r.isOk());
+        EXPECT_NE(r.message().find("stale version"), std::string::npos);
+    }
+    {
+        Json doc = good;
+        doc["schema"] = "some-other-format";
+        EXPECT_FALSE(CompileCache::fromJson(doc, key).isOk());
+    }
+    {
+        // Entry echoes a different key than the one it is filed under.
+        EXPECT_FALSE(CompileCache::fromJson(good, fakeKey(4)).isOk());
+    }
+}
+
+TEST_F(DiskTier, MissCompilesWritesAndALaterProcessReads)
+{
+    const Hash128 key = fakeKey(11);
+    CompileCache cache;
+    int compiles = 0;
+    const auto compile = [&] {
+        ++compiles;
+        return Result<CompiledProgram>(fakeProgram(11));
+    };
+
+    auto first = cache.getOrCompile(key, CacheMode::kDisk, _dir, compile);
+    ASSERT_TRUE(first.isOk());
+    EXPECT_EQ(compiles, 1);
+    EXPECT_EQ(cache.stats().disk_writes, 1u);
+    EXPECT_TRUE(std::filesystem::exists(entryPath(key)));
+
+    // A fresh cache (new process) finds the entry on disk: miss at the
+    // memory tier, no compile.
+    CompileCache next;
+    auto second = next.getOrCompile(key, CacheMode::kDisk, _dir, compile);
+    ASSERT_TRUE(second.isOk());
+    EXPECT_EQ(compiles, 1);
+    EXPECT_EQ(second.value().device_qubits, 11u);
+    const CacheStats s = next.stats();
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.disk_hits, 1u);
+    EXPECT_EQ(s.disk_writes, 0u); // already on disk; not rewritten
+}
+
+TEST_F(DiskTier, StaleDiskEntryIsRejectedAndRecompiled)
+{
+    const Hash128 key = fakeKey(12);
+    std::filesystem::create_directories(_dir);
+    {
+        // Hand-plant an entry with a stale version stamp.
+        Json doc = CompileCache::toJson(key, fakeProgram(99));
+        doc["version"] = kCacheVersion + 1;
+        std::ofstream out(entryPath(key));
+        out << doc.dump(2) << "\n";
+    }
+
+    CompileCache cache;
+    int compiles = 0;
+    auto r = cache.getOrCompile(key, CacheMode::kDisk, _dir, [&] {
+        ++compiles;
+        return Result<CompiledProgram>(fakeProgram(12));
+    });
+    ASSERT_TRUE(r.isOk());
+    EXPECT_EQ(compiles, 1);
+    EXPECT_EQ(r.value().device_qubits, 12u); // fresh compile, not the plant
+    const CacheStats s = cache.stats();
+    EXPECT_EQ(s.disk_stale, 1u);
+    EXPECT_EQ(s.disk_hits, 0u);
+    EXPECT_EQ(s.disk_writes, 1u); // stale entry replaced
+
+    // The replacement is current-version and readable.
+    CompileCache next;
+    auto again = next.getOrCompile(key, CacheMode::kDisk, _dir, [&] {
+        ++compiles;
+        return Result<CompiledProgram>(fakeProgram(12));
+    });
+    ASSERT_TRUE(again.isOk());
+    EXPECT_EQ(compiles, 1);
+    EXPECT_EQ(next.stats().disk_hits, 1u);
+}
+
+TEST_F(DiskTier, CorruptEntryIsRejectedAndRecompiled)
+{
+    const Hash128 key = fakeKey(13);
+    std::filesystem::create_directories(_dir);
+    {
+        std::ofstream out(entryPath(key));
+        out << "{ not json";
+    }
+
+    CompileCache cache;
+    int compiles = 0;
+    auto r = cache.getOrCompile(key, CacheMode::kDisk, _dir, [&] {
+        ++compiles;
+        return Result<CompiledProgram>(fakeProgram(13));
+    });
+    ASSERT_TRUE(r.isOk());
+    EXPECT_EQ(compiles, 1);
+    EXPECT_EQ(cache.stats().disk_stale, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Compiler integration: tryCompile behind the cache
+// ---------------------------------------------------------------------------
+
+TEST(Integration, CachedCompileIsByteIdenticalToUncached)
+{
+    const Circuit circuit = workloads::ghzFanout(5);
+    net::TopologyConfig topo_cfg;
+    topo_cfg.width = circuit.numQubits();
+    const net::Topology topo = net::Topology::build(topo_cfg);
+
+    CompilerConfig off;
+    Compiler cold(topo, off);
+    auto reference = cold.tryCompile(circuit);
+    ASSERT_TRUE(reference.isOk());
+
+    CompilerConfig on;
+    on.cache = CacheMode::kMemory;
+    auto &global = CompileCache::global();
+    global.clear();
+    const CacheStats before = global.stats();
+
+    Compiler warm(topo, on);
+    auto first = warm.tryCompile(circuit);
+    auto second = warm.tryCompile(circuit);
+    ASSERT_TRUE(first.isOk());
+    ASSERT_TRUE(second.isOk());
+
+    const CacheStats after = global.stats();
+    EXPECT_EQ(after.lookups - before.lookups, 2u);
+    EXPECT_EQ(after.misses - before.misses, 1u);
+    EXPECT_EQ(after.hits - before.hits, 1u);
+
+    // Same serialized program whether it came from the pipeline or the
+    // cache; the global key is arbitrary for the comparison.
+    const Hash128 key = fakeKey(0);
+    const std::string want =
+        CompileCache::toJson(key, reference.value()).dump();
+    EXPECT_EQ(CompileCache::toJson(key, first.value()).dump(), want);
+    EXPECT_EQ(CompileCache::toJson(key, second.value()).dump(), want);
+    global.clear();
+}
+
+TEST(Integration, CacheOffNeverTouchesTheStore)
+{
+    auto &global = CompileCache::global();
+    global.clear();
+    const CacheStats before = global.stats();
+
+    const Circuit circuit = workloads::ghz(4);
+    net::TopologyConfig topo_cfg;
+    topo_cfg.width = circuit.numQubits();
+    const net::Topology topo = net::Topology::build(topo_cfg);
+    Compiler compiler(topo, CompilerConfig{});
+    ASSERT_TRUE(compiler.tryCompile(circuit).isOk());
+
+    const CacheStats after = global.stats();
+    EXPECT_EQ(after.lookups, before.lookups);
+    EXPECT_EQ(after.misses, before.misses);
+}
+
+} // namespace
+} // namespace dhisq::compiler::cache

@@ -696,6 +696,68 @@ TEST(Regress, MissingPointFailsNewPointIsANote)
     EXPECT_NE(r.value().notes[0].find("new_point"), std::string::npos);
 }
 
+namespace {
+
+/** One-point report with an arbitrary (or no) metric. */
+Json
+benchDocMetric(const char *metric_key, double value)
+{
+    BenchReport report;
+    report.bench = "regress_test";
+    PointResult p;
+    p.label = "p0";
+    if (metric_key != nullptr)
+        p.metrics[metric_key] = value;
+    report.points.push_back(std::move(p));
+    return report.toJson();
+}
+
+} // namespace
+
+TEST(Regress, TrackedMetricOnlyInBaselineFails)
+{
+    // A current run that silently stops emitting a tracked metric must
+    // not pass — it would hide every future regression of that metric.
+    auto r = compareBenchReports(benchDocMetric("makespan_cycles", 1000),
+                                 benchDocMetric(nullptr, 0), 0.15);
+    ASSERT_TRUE(r.isOk());
+    ASSERT_EQ(r.value().regressions.size(), 1u);
+    EXPECT_NE(r.value().regressions[0].metric.find(
+                  "present only in baseline"),
+              std::string::npos);
+}
+
+TEST(Regress, TrackedMetricOnlyInCurrentFails)
+{
+    // The other direction too: a metric the baseline never recorded is
+    // un-gated, so the mismatch must be surfaced, not skipped.
+    auto r = compareBenchReports(benchDocMetric(nullptr, 0),
+                                 benchDocMetric("makespan_cycles", 1000),
+                                 0.15);
+    ASSERT_TRUE(r.isOk());
+    ASSERT_EQ(r.value().regressions.size(), 1u);
+    EXPECT_NE(r.value().regressions[0].metric.find(
+                  "present only in current"),
+              std::string::npos);
+}
+
+TEST(Regress, UntrackedMetricsAreNeverCompared)
+{
+    // Wall-clock rates (reqs_per_sec and friends) are noise by design:
+    // absent, present, or wildly different, they never gate.
+    auto r = compareBenchReports(benchDocMetric("reqs_per_sec", 5000.0),
+                                 benchDocMetric("reqs_per_sec", 5.0),
+                                 0.15);
+    ASSERT_TRUE(r.isOk());
+    EXPECT_TRUE(r.value().ok());
+
+    auto one_sided = compareBenchReports(
+        benchDocMetric("reqs_per_sec", 5000.0), benchDocMetric(nullptr, 0),
+        0.15);
+    ASSERT_TRUE(one_sided.isOk());
+    EXPECT_TRUE(one_sided.value().ok());
+}
+
 TEST(Regress, RejectsWrongSchema)
 {
     Json bogus = Json::object();
