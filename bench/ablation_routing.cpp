@@ -2,13 +2,19 @@
  * @file
  * Ablation: SWAP-insertion qubit routing (the Route pass).
  *
- * Two declarative grids share one sweep run:
+ * Three declarative grids share one sweep run:
  *
  *  1. Capacity-sufficient cells sweep feedback-heavy stride-coupled
  *     workloads across shapes with routing off vs on — the derived
  *     `routed_vs_unrouted` section reports the makespan ratio and the
  *     inserted-SWAP counts (routing trades extra two-qubit gates for
  *     avoided region syncs).
+ *  1b. The same cells again under the windowed congestion-aware router
+ *     (route_window 8 by default; --route-window restricts/extends the
+ *     axis). The derived `windowed_vs_greedy` section prices joint
+ *     selection against the greedy router, and the run exits nonzero
+ *     if the windowed column is more than 10% worse than greedy on any
+ *     cell (the routed-over-unrouted regression gate).
  *  2. Over-capacity cells run workloads with MORE qubits than the
  *     8-controller machine's block capacity — the exact circuits the
  *     pre-routing compiler hard-rejected — on torus and heavy-hex with
@@ -72,6 +78,23 @@ main(int argc, char **argv)
     if (!cli.routings.empty())
         capacity.routings = cli.routings;
 
+    // ---- Grid 1b: the windowed router on the same capacity cells -----
+    // Same circuits and shapes, SWAP routing fixed on, lookahead window
+    // swept (default: one windowed column at window 8). The derived
+    // `windowed_vs_greedy` section prices the joint selection against
+    // the greedy per-gate router, and a health gate fails the run if the
+    // windowed column regresses any shape's makespan ratio by > 10%.
+    sweep::GridSpec windowed = capacity;
+    windowed.routings = {compiler::RoutingMode::kSwap};
+    windowed.route_windows = {8};
+    if (!cli.route_windows.empty())
+        windowed.route_windows = cli.route_windows;
+    if (!cli.route_feedbacks.empty())
+        windowed.route_feedbacks = cli.route_feedbacks;
+    // Window 1 IS the greedy column from grid 1 — drop it here so one
+    // point never appears under two labels in the same report.
+    std::erase(windowed.route_windows, 1u);
+
     // ---- Grid 2: over-capacity workloads on an 8-controller machine --
     constexpr unsigned kMachineControllers = 8;
     sweep::GridSpec overcap;
@@ -128,6 +151,11 @@ main(int argc, char **argv)
     }
 
     auto points = sweep::expandGrid(capacity);
+    const std::size_t windowed_begin = points.size();
+    {
+        const auto extra = sweep::expandGrid(windowed);
+        points.insert(points.end(), extra.begin(), extra.end());
+    }
     const std::size_t overcap_begin = points.size();
     {
         const auto extra = sweep::expandGrid(overcap);
@@ -145,8 +173,9 @@ main(int argc, char **argv)
     const auto results = runner.run(tasks);
 
     std::printf("==== Ablation: SWAP routing (%zu points: %zu capacity, "
-                "%zu over-capacity) ====\n",
-                results.size(), overcap_begin,
+                "%zu windowed, %zu over-capacity) ====\n",
+                results.size(), windowed_begin,
+                overcap_begin - windowed_begin,
                 results.size() - overcap_begin);
     std::printf("%-56s %12s %8s %8s %8s\n", "point", "makespan", "syncs",
                 "swaps", "health");
@@ -169,11 +198,21 @@ main(int argc, char **argv)
         cells;
     const std::string none_name =
         compiler::toString(compiler::RoutingMode::kNone);
-    for (std::size_t i = 0; i < overcap_begin; ++i) {
+    for (std::size_t i = 0; i < windowed_begin; ++i) {
         const auto &r = results[i];
         const Json *routing = r.params.find("routing");
         cells[cellOf(r)][routing != nullptr ? routing->asString()
                                             : none_name] = &r;
+    }
+    // Windowed points of grid 1b, keyed by (cell, window).
+    std::map<std::pair<std::pair<std::string, std::string>, long long>,
+             const sweep::PointResult *>
+        windowed_cells;
+    for (std::size_t i = windowed_begin; i < overcap_begin; ++i) {
+        const auto &r = results[i];
+        const Json *window = r.params.find("route_window");
+        windowed_cells[{cellOf(r),
+                        window != nullptr ? window->asInt() : 1}] = &r;
     }
 
     std::printf("\n==== routed vs unrouted (capacity sufficient) ====\n");
@@ -214,6 +253,75 @@ main(int argc, char **argv)
                         base, with, "n/a", swaps);
         }
         ratios.push(std::move(entry));
+    }
+
+    // ---- Derived: windowed vs greedy + the regression gate -----------
+    // Per (cell, window): price the windowed router against the greedy
+    // one (same unrouted base). Gate: the windowed column must never be
+    // more than 10% worse than greedy on any cell — lookahead is allowed
+    // to trade a little on well-connected shapes only within that band,
+    // and must pay off where the greedy router thrashes (line).
+    std::printf("\n==== windowed vs greedy (capacity sufficient) ====\n");
+    std::printf("%-40s %4s %10s %10s %9s %9s %6s\n", "cell", "W",
+                "greedy", "windowed", "w/unrtd", "w/greedy", "swaps");
+    Json windowed_ratios = Json::array();
+    bool windowed_ok = true;
+    for (const auto &[key, r] : windowed_cells) {
+        const auto &[cell_key, window] = key;
+        const auto &[workload, topology] = cell_key;
+        const sweep::PointResult *unrouted = nullptr;
+        const sweep::PointResult *greedy = nullptr;
+        if (auto it = cells.find(cell_key); it != cells.end()) {
+            if (auto m = it->second.find("none"); m != it->second.end())
+                unrouted = m->second;
+            if (auto m = it->second.find("swap"); m != it->second.end())
+                greedy = m->second;
+        }
+        const long long with =
+            r->metrics.find("makespan_cycles")->asInt();
+        const long long swaps =
+            r->metrics.find("swaps_inserted")->asInt();
+        Json entry = Json::object();
+        entry["workload"] = workload;
+        entry["topology"] = topology;
+        entry["route_window"] = window;
+        entry["windowed_makespan"] = with;
+        entry["swaps"] = swaps;
+        const long long base =
+            unrouted != nullptr
+                ? unrouted->metrics.find("makespan_cycles")->asInt()
+                : 0;
+        const long long gbase =
+            greedy != nullptr
+                ? greedy->metrics.find("makespan_cycles")->asInt()
+                : 0;
+        entry["windowed_over_unrouted"] =
+            base > 0 ? Json(double(with) / double(base)) : Json(nullptr);
+        entry["windowed_vs_greedy"] =
+            gbase > 0 ? Json(double(with) / double(gbase))
+                      : Json(nullptr);
+        const std::string cell = workload + "/" + topology;
+        char vs_unrouted[32] = "n/a";
+        char vs_greedy[32] = "n/a";
+        if (base > 0) {
+            std::snprintf(vs_unrouted, sizeof(vs_unrouted), "%.3fx",
+                          double(with) / double(base));
+        }
+        if (gbase > 0) {
+            std::snprintf(vs_greedy, sizeof(vs_greedy), "%.3fx",
+                          double(with) / double(gbase));
+        }
+        std::printf("%-40s %4lld %10lld %10lld %9s %9s %6lld\n",
+                    cell.c_str(), window, gbase, with, vs_unrouted,
+                    vs_greedy, swaps);
+        if (gbase > 0 && double(with) > 1.10 * double(gbase)) {
+            std::printf("GATE FAILED: windowed router (window %lld) "
+                        "regresses %s by %.3fx over greedy (> 1.10x)\n",
+                        window, cell.c_str(),
+                        double(with) / double(gbase));
+            windowed_ok = false;
+        }
+        windowed_ratios.push(std::move(entry));
     }
 
     // ---- Gates (b) + (c): over-capacity cells ------------------------
@@ -277,8 +385,13 @@ main(int argc, char **argv)
     for (const auto shape : overcap.topologies)
         shapes.push(net::toString(shape));
     report.config["overcap_shapes"] = std::move(shapes);
+    Json windows = Json::array();
+    for (const unsigned window : windowed.route_windows)
+        windows.push((long long)window);
+    report.config["route_windows"] = std::move(windows);
     report.points = results;
     report.derived["routed_vs_unrouted"] = std::move(ratios);
+    report.derived["windowed_vs_greedy"] = std::move(windowed_ratios);
     report.derived["over_capacity"] = std::move(overcap_json);
 
     if (!cli.json_path.empty()) {
@@ -287,5 +400,8 @@ main(int argc, char **argv)
             return 1;
         }
     }
-    return report.allHealthy() && rejection_ok && overcap_ok ? 0 : 1;
+    return report.allHealthy() && rejection_ok && overcap_ok &&
+                   windowed_ok
+               ? 0
+               : 1;
 }

@@ -8,6 +8,7 @@
 
 #include "compiler/cache/cache.hpp"
 #include "compiler/compiler.hpp"
+#include "compiler/passes/congestion.hpp"
 #include "isa/assembler.hpp"
 #include "common/rng.hpp"
 #include "quantum/state_vector.hpp"
@@ -258,6 +259,74 @@ BM_CompileCacheMiss(benchmark::State &state)
     compiler::cache::CompileCache::global().clear();
 }
 BENCHMARK(BM_CompileCacheMiss)->Arg(16)->Arg(64);
+
+// -------------------------------------------------------------------------
+// Route-pass kernels: compile-time cost of SWAP routing on the line (the
+// shape where chains are longest). BM_RouteGreedy is the per-gate greedy
+// router (route_window = 1); BM_RouteWindowed is the congestion-aware
+// joint selection at windows 4/8/16 — the delta is what lookahead costs
+// at compile time (its payoff is measured by ablation_routing).
+// -------------------------------------------------------------------------
+
+static void
+routeKernel(benchmark::State &state, unsigned window)
+{
+    workloads::RoutingStressOptions opt;
+    opt.qubits = 18;
+    opt.layers = 12;
+    opt.stride = 5;
+    const auto circuit = workloads::routingStress(opt);
+    net::Topology topo = net::Topology::line(opt.qubits);
+    compiler::CompilerConfig cc;
+    cc.routing = compiler::RoutingMode::kSwap;
+    cc.route_window = window;
+    for (auto _ : state) {
+        compiler::Compiler comp(topo, cc);
+        auto compiled = comp.compile(circuit);
+        benchmark::DoNotOptimize(compiled);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+static void
+BM_RouteGreedy(benchmark::State &state)
+{
+    routeKernel(state, 1);
+}
+BENCHMARK(BM_RouteGreedy);
+
+static void
+BM_RouteWindowed(benchmark::State &state)
+{
+    routeKernel(state, unsigned(state.range(0)));
+}
+BENCHMARK(BM_RouteWindowed)->Arg(4)->Arg(8)->Arg(16);
+
+static void
+BM_CongestionMapUpdateQuery(benchmark::State &state)
+{
+    // Steady-state occupancy bookkeeping: book a rolling pattern of
+    // transfers over every link of a line fabric, querying the earliest
+    // free slot before each reservation (the exact query/update pair the
+    // windowed router issues per considered hop).
+    const unsigned n = unsigned(state.range(0));
+    net::Topology topo = net::Topology::line(n);
+    compiler::route::CongestionMap map(topo);
+    for (auto _ : state) {
+        map.clear();
+        Cycle t = 0;
+        for (unsigned round = 0; round < 64; ++round) {
+            for (ControllerId c = 0; c + 1 < n; ++c) {
+                const Cycle start = map.earliestFree(c, c + 1, t, 10);
+                map.reserve(c, c + 1, start, 10);
+            }
+            t += 5;
+        }
+        benchmark::DoNotOptimize(map.intervalCount());
+    }
+    state.SetItemsProcessed(state.iterations() * 64 * (state.range(0) - 1));
+}
+BENCHMARK(BM_CongestionMapUpdateQuery)->Arg(16)->Arg(64);
 
 static void
 BM_EndToEndLrCnot(benchmark::State &state)

@@ -182,6 +182,9 @@ cacheKey(const Circuit &circuit, const CompilerConfig &config,
     h.u32(config.qubits_per_controller);
     h.u32(static_cast<std::uint32_t>(config.placement));
     h.u32(static_cast<std::uint32_t>(config.routing));
+    h.u32(config.route_window);
+    h.u32(config.route_feedback ? 1u : 0u);
+    h.u32(config.route_steady_state ? 1u : 0u);
     h.u64(config.gate1q);
     h.u64(config.gate2q);
     h.u64(config.measure);

@@ -117,6 +117,28 @@ struct CompilerConfig
     /** Qubit routing (SWAP insertion + oversubscribed mapping). kNone is
      *  bit-compatible with the pre-pipeline compiler. */
     RoutingMode routing = RoutingMode::kNone;
+    /**
+     * SWAP-selection lookahead window of the Route pass: the number of
+     * upcoming two-qubit gates each candidate chain is scored against.
+     * 1 reproduces the greedy per-gate router bit-for-bit; larger
+     * windows enable congestion-aware joint selection over k-shortest
+     * candidate paths (kSwap only).
+     */
+    unsigned route_window = 1;
+    /**
+     * Route -> place feedback: after a first routing attempt, fold the
+     * observed per-block-pair SWAP-chain costs back into the interaction
+     * graph, re-run kl-mincut refinement once and keep the cheaper of
+     * the two attempts (bounded at 2 routing passes).
+     */
+    bool route_feedback = false;
+    /**
+     * Steady-state repetition scheduling: detect the live-map orbit
+     * across repetition bodies and reuse one routed stream per orbit
+     * period for reps 2..N. Off forces the naive per-rep replay (test
+     * escape; observable output is identical either way).
+     */
+    bool route_steady_state = true;
     /** Operation durations in cycles (paper: 20/40/300 ns). */
     Cycle gate1q = 5;
     Cycle gate2q = 10;

@@ -1,0 +1,95 @@
+#include "compiler/passes/congestion.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace dhisq::compiler::route {
+
+CongestionMap::CongestionMap(const net::Topology &topo)
+{
+    const unsigned nc = topo.numControllers();
+    _peer_index.resize(nc);
+    std::uint32_t links = 0;
+    for (ControllerId c = 0; c < nc; ++c) {
+        for (const net::Topology::Link &link : topo.linksOf(c)) {
+            if (link.peer < c)
+                continue; // undirected: index once, from the lower id
+            _peer_index[c].emplace_back(link.peer, links);
+            _peer_index[link.peer].emplace_back(c, links);
+            ++links;
+        }
+    }
+    _busy.resize(links);
+}
+
+void
+CongestionMap::clear()
+{
+    for (auto &intervals : _busy)
+        intervals.clear();
+}
+
+std::size_t
+CongestionMap::linkIndex(ControllerId a, ControllerId b) const
+{
+    DHISQ_ASSERT(a < _peer_index.size() && b < _peer_index.size(),
+                 "controller out of range");
+    for (const auto &[peer, index] : _peer_index[a]) {
+        if (peer == b)
+            return index;
+    }
+    DHISQ_PANIC("controllers ", a, " and ", b, " share no link");
+}
+
+Cycle
+CongestionMap::earliestFree(ControllerId a, ControllerId b, Cycle t,
+                            Cycle dur) const
+{
+    Cycle start = t;
+    for (const Interval &busy : _busy[linkIndex(a, b)]) {
+        if (busy.end <= start)
+            continue;
+        if (busy.begin >= start + dur)
+            break;
+        start = busy.end;
+    }
+    return start;
+}
+
+void
+CongestionMap::reserve(ControllerId a, ControllerId b, Cycle t, Cycle dur)
+{
+    if (dur == 0)
+        return;
+    auto &intervals = _busy[linkIndex(a, b)];
+    Interval booked{t, t + dur};
+    // First interval ending at/after the new booking's start: everything
+    // before it is disjoint, everything overlapping or touching merges.
+    auto first = std::lower_bound(
+        intervals.begin(), intervals.end(), booked.begin,
+        [](const Interval &iv, Cycle begin) { return iv.end < begin; });
+    auto last = first;
+    while (last != intervals.end() && last->begin <= booked.end) {
+        booked.begin = std::min(booked.begin, last->begin);
+        booked.end = std::max(booked.end, last->end);
+        ++last;
+    }
+    if (first == last) {
+        intervals.insert(first, booked);
+    } else {
+        *first = booked;
+        intervals.erase(std::next(first), last);
+    }
+}
+
+std::size_t
+CongestionMap::intervalCount() const
+{
+    std::size_t total = 0;
+    for (const auto &intervals : _busy)
+        total += intervals.size();
+    return total;
+}
+
+} // namespace dhisq::compiler::route

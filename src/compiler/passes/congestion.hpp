@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Time-phased link-contention model of the windowed Route pass.
+ *
+ * The greedy router prices a candidate SWAP chain against static link
+ * latencies, so two chains crossing the same link in the same stretch of
+ * the program collide for free. `route::CongestionMap` keeps, per
+ * undirected intra-layer link, the sorted occupancy intervals already
+ * booked on a virtual routing timeline; a candidate hop wanting the link
+ * at time t pays its queueing delay (`earliestFree(t) - t`) on top of
+ * the static latency, and the winning chain `reserve`s its hops so later
+ * windows see the traffic. The timeline is virtual — it orders chains
+ * relative to each other, it does not model the scheduler's cycle-exact
+ * timing — and it is reset at every repetition barrier so the routed
+ * stream of a repetition stays a pure function of its entry state (the
+ * steady-state orbit detection depends on that).
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/topology.hpp"
+
+namespace dhisq::compiler::route {
+
+/** Per-link occupancy intervals on the virtual routing timeline. */
+class CongestionMap
+{
+  public:
+    explicit CongestionMap(const net::Topology &topo);
+
+    /** Drop every reservation (repetition barrier / new attempt). */
+    void clear();
+
+    /**
+     * Earliest start >= `t` at which link (a, b) is free for `dur`
+     * consecutive cycles. Returns `t` itself on an idle link.
+     */
+    Cycle earliestFree(ControllerId a, ControllerId b, Cycle t,
+                       Cycle dur) const;
+
+    /** Queueing delay of a transfer wanting [t, t+dur) on link (a, b). */
+    Cycle
+    queueDelay(ControllerId a, ControllerId b, Cycle t, Cycle dur) const
+    {
+        return earliestFree(a, b, t, dur) - t;
+    }
+
+    /** Book [t, t+dur) on link (a, b); overlapping bookings merge. */
+    void reserve(ControllerId a, ControllerId b, Cycle t, Cycle dur);
+
+    /** Number of distinct busy intervals currently booked (all links). */
+    std::size_t intervalCount() const;
+
+  private:
+    struct Interval
+    {
+        Cycle begin = 0;
+        Cycle end = 0;
+    };
+
+    /** Index of the undirected link (a, b); asserts the link exists. */
+    std::size_t linkIndex(ControllerId a, ControllerId b) const;
+
+    /** Per controller: (peer, undirected link index), generator order. */
+    std::vector<std::vector<std::pair<ControllerId, std::uint32_t>>>
+        _peer_index;
+    /** Per link: sorted, disjoint busy intervals. */
+    std::vector<std::vector<Interval>> _busy;
+};
+
+} // namespace dhisq::compiler::route

@@ -95,15 +95,28 @@ struct PassContext
     std::vector<std::vector<RoutedOp>> routed_reps;
     /** Final logical qubit -> physical slot map after routing. */
     std::vector<QubitId> final_slot_of;
+    /**
+     * Steady-state orbit of the per-repetition streams: once routing
+     * detects that a repetition starts from a previously seen router
+     * state, repetitions beyond `routed_reps` cycle through
+     * `routed_reps[steady_start ..]` with period `steady_period`.
+     * A period of 0 means no orbit was found (or single-stream mode).
+     */
+    unsigned steady_start = 0;
+    unsigned steady_period = 0;
 
-    /** The routed stream repetition `rep` executes. Once routing
-     *  stabilizes (a repetition inserts no SWAPs, so the live map is a
-     *  fixed point), later repetitions reuse the last stream. */
+    /** The routed stream repetition `rep` executes. Repetitions past
+     *  the explicitly routed prefix replay the steady-state orbit
+     *  (modulo schedule); with no orbit the last stream repeats — the
+     *  degenerate period-1 fixed point of a stabilized live map. */
     const std::vector<RoutedOp> &
     routedFor(unsigned rep) const
     {
         if (routed_reps.empty())
             return routed;
+        if (steady_period > 0 && rep >= routed_reps.size())
+            return routed_reps[steady_start +
+                               (rep - steady_start) % steady_period];
         return routed_reps[std::min<std::size_t>(
             rep, routed_reps.size() - 1)];
     }

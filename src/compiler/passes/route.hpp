@@ -6,17 +6,35 @@
  * slots against the live `place::LiveMap`. With RoutingMode::kNone the
  * rewrite is the identity (logical qubit q IS slot q) — bit-compatible
  * with the pre-pipeline compiler. With RoutingMode::kSwap the pass
- * replays the scheduler's epoch semantics over the stream and, whenever
- * a two-qubit gate's operands sit on controllers the placement could
- * not make adjacent-or-cheap — non-adjacent controllers whose timelines
- * have diverged (a same-epoch pair co-schedules for free on any shape,
- * and an adjacent pair pays only a nearby sync) — moves one operand
- * along the `Topology::cheapestPath` SWAP chain until the pair is
- * adjacent. Conditional two-qubit gates are co-located outright (the
- * scheduler requires both operands on one controller). Inserted SWAPs
- * are priced through the `place::CostModel` the placement strategies
- * optimize (`routing_swap_cost`), so a better placement directly buys
- * cheaper routing.
+ * replays the scheduler's epoch semantics over the stream and decides,
+ * per two-qubit gate whose operands sit on non-adjacent controllers
+ * with diverged timelines (a same-epoch pair co-schedules for free on
+ * any shape, and an adjacent pair pays only a nearby sync), how to make
+ * the pair schedulable:
+ *
+ *  - `route_window == 1` (default): greedy — move the cheaper operand
+ *    along the `Topology::cheapestPath` SWAP chain until the pair is
+ *    adjacent. Bit-identical to the historical per-gate router.
+ *  - `route_window > 1`: windowed joint selection — score the
+ *    `Topology::kCheapestPaths` chains of either operand through the
+ *    `route::CongestionMap` (static latency + time-phased link
+ *    queueing) plus a decaying lookahead over the next window-1
+ *    two-qubit gates, against a leave-unrouted candidate priced at the
+ *    region sync the scheduler would book instead; commit the cheapest.
+ *
+ * Conditional two-qubit gates are co-located outright (the scheduler
+ * requires both operands on one controller). Inserted SWAPs are priced
+ * through the `place::CostModel` the placement strategies optimize
+ * (`routing_swap_cost`); with `route_feedback` the observed per-block-
+ * pair chain costs fold back into the interaction graph for one bounded
+ * kl-mincut re-placement, and the cheaper of the two attempts wins.
+ *
+ * Multi-repetition circuits are routed per repetition until the router
+ * state (live map, touched set, epoch partition) revisits a previous
+ * repetition's entry state; the remaining repetitions then replay that
+ * steady-state orbit (`PassContext::steady_start/steady_period`, a
+ * modulo schedule) instead of being re-routed — bit-identical to naive
+ * per-rep replay, which `route_steady_state = false` forces.
  *
  * Victim slots prefer empty capacity (oversubscribed/unused slots) over
  * displacing live qubits. The live map is updated per SWAP, so every

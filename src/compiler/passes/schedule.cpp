@@ -534,9 +534,12 @@ class Scheduler
             // smallest router subtree covering both controllers. Costlier
             // than a nearby sync (everyone under the subtree stalls), which
             // is exactly the penalty the topology ablation measures for
-            // shapes that lack the edge. (With SWAP routing enabled the
-            // Route pass guarantees adjacency here, so this fallback only
-            // fires in the unrouted modes.)
+            // shapes that lack the edge. (Greedy SWAP routing guarantees
+            // adjacency here, so under it this fires only in the unrouted
+            // modes; the windowed router deliberately leaves a pair
+            // unrouted — and pre-merges its epochs to match this sync —
+            // when one region sync beats dragging a qubit across the
+            // fabric.)
             regionSyncOver({a, b});
             _ctx.stats.inc("subtree_syncs");
             subtree_synced = true;

@@ -833,6 +833,122 @@ Topology::cheapestTo(ControllerId a, ControllerId b,
     return dist[b];
 }
 
+Cycle
+Topology::maskedCheapest(
+    ControllerId a, ControllerId b, const std::vector<char> &banned_nodes,
+    const std::vector<std::pair<ControllerId, ControllerId>> &banned_edges,
+    std::vector<ControllerId> &path) const
+{
+    DHISQ_ASSERT(a < numControllers() && b < numControllers(),
+                 "controller out of range");
+    path.clear();
+    if (banned_nodes[a] || banned_nodes[b])
+        return kNoCycle;
+    auto edge_banned = [&](ControllerId u, ControllerId v) {
+        for (const auto &[x, y] : banned_edges) {
+            if ((x == u && y == v) || (x == v && y == u))
+                return true;
+        }
+        return false;
+    };
+    std::vector<Cycle> dist(numControllers(), kNoCycle);
+    std::vector<ControllerId> parent(numControllers(), kNoController);
+    using Entry = std::pair<Cycle, ControllerId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+        frontier;
+    dist[a] = 0;
+    frontier.emplace(0, a);
+    while (!frontier.empty()) {
+        const auto [d, cur] = frontier.top();
+        frontier.pop();
+        if (d > dist[cur])
+            continue;
+        if (cur == b)
+            break;
+        for (const Link &link : _links[cur]) {
+            if (banned_nodes[link.peer] || edge_banned(cur, link.peer))
+                continue;
+            const Cycle cand = d + link.latency;
+            if (cand < dist[link.peer]) {
+                dist[link.peer] = cand;
+                parent[link.peer] = cur;
+                frontier.emplace(cand, link.peer);
+            }
+        }
+    }
+    if (dist[b] == kNoCycle)
+        return kNoCycle;
+    for (ControllerId cur = b; cur != kNoController; cur = parent[cur])
+        path.push_back(cur);
+    std::reverse(path.begin(), path.end());
+    return dist[b];
+}
+
+std::vector<std::vector<ControllerId>>
+Topology::kCheapestPaths(ControllerId a, ControllerId b, unsigned k) const
+{
+    std::vector<std::vector<ControllerId>> result;
+    if (k == 0)
+        return result;
+    result.push_back(cheapestPath(a, b));
+    if (a == b || k == 1)
+        return result;
+
+    auto path_cost = [&](const std::vector<ControllerId> &p) {
+        Cycle c = 0;
+        for (std::size_t i = 0; i + 1 < p.size(); ++i)
+            c += neighborLatency(p[i], p[i + 1]);
+        return c;
+    };
+
+    // Yen's algorithm: spur off every prefix of the last accepted path,
+    // banning the edges other accepted paths take out of that prefix and
+    // the prefix's interior nodes, then promote the cheapest candidate.
+    std::vector<std::pair<Cycle, std::vector<ControllerId>>> candidates;
+    while (result.size() < k) {
+        const std::vector<ControllerId> prev = result.back();
+        for (std::size_t i = 0; i + 1 < prev.size(); ++i) {
+            const std::vector<ControllerId> root(prev.begin(),
+                                                 prev.begin() + long(i) + 1);
+            std::vector<std::pair<ControllerId, ControllerId>> banned_edges;
+            for (const auto &p : result) {
+                if (p.size() > i + 1 &&
+                    std::equal(root.begin(), root.end(), p.begin()))
+                    banned_edges.emplace_back(p[i], p[i + 1]);
+            }
+            std::vector<char> banned_nodes(numControllers(), 0);
+            for (std::size_t j = 0; j < i; ++j)
+                banned_nodes[root[j]] = 1;
+
+            std::vector<ControllerId> spur;
+            if (maskedCheapest(prev[i], b, banned_nodes, banned_edges,
+                               spur) == kNoCycle)
+                continue;
+            std::vector<ControllerId> total = root;
+            total.insert(total.end(), spur.begin() + 1, spur.end());
+            const auto dup = [&total](const auto &entry) {
+                return entry.second == total;
+            };
+            if (std::find(result.begin(), result.end(), total) !=
+                    result.end() ||
+                std::any_of(candidates.begin(), candidates.end(), dup))
+                continue;
+            candidates.emplace_back(path_cost(total), std::move(total));
+        }
+        if (candidates.empty())
+            break;
+        auto best = candidates.begin();
+        for (auto it = std::next(best); it != candidates.end(); ++it) {
+            if (it->first < best->first ||
+                (it->first == best->first && it->second < best->second))
+                best = it;
+        }
+        result.push_back(std::move(best->second));
+        candidates.erase(best);
+    }
+    return result;
+}
+
 unsigned
 Topology::gridDistance(ControllerId a, ControllerId b) const
 {

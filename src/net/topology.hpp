@@ -248,6 +248,18 @@ class Topology
     std::vector<ControllerId> cheapestPath(ControllerId a,
                                            ControllerId b) const;
 
+    /**
+     * Up to `k` cheapest loopless paths a -> b in ascending cost order
+     * (Yen's algorithm over the Dijkstra core). The first entry always
+     * equals cheapestPath(a, b); cost ties order lexicographically by
+     * controller sequence, so the list is deterministic for fixed
+     * inputs. Fewer than `k` entries when the graph has fewer simple
+     * paths. The windowed Route pass scores these as the candidate
+     * SWAP chains per two-qubit gate.
+     */
+    std::vector<std::vector<ControllerId>>
+    kCheapestPaths(ControllerId a, ControllerId b, unsigned k) const;
+
     /** Manhattan distance on grid-family shapes (line/grid only). */
     unsigned gridDistance(ControllerId a, ControllerId b) const;
 
@@ -286,6 +298,16 @@ class Topology
      *  realizing controller walk. */
     Cycle cheapestTo(ControllerId a, ControllerId b,
                      std::vector<ControllerId> *path) const;
+
+    /** Masked Dijkstra for the Yen spur searches: nodes flagged in
+     *  `banned_nodes` and undirected edges listed in `banned_edges` are
+     *  skipped. Returns kNoCycle when no path survives the mask. */
+    Cycle maskedCheapest(
+        ControllerId a, ControllerId b,
+        const std::vector<char> &banned_nodes,
+        const std::vector<std::pair<ControllerId, ControllerId>>
+            &banned_edges,
+        std::vector<ControllerId> &path) const;
 
     TopologyConfig _config;
     std::vector<std::vector<Link>> _links;

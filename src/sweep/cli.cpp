@@ -130,6 +130,42 @@ parseCli(int argc, char **argv)
                           mode) == opts.routings.end()) {
                 opts.routings.push_back(mode);
             }
+        } else if (arg == "--route-window") {
+            if (i + 1 >= argc)
+                return Result<CliOptions>::error(
+                    "--route-window needs a size");
+            char *end = nullptr;
+            const long n = std::strtol(argv[++i], &end, 10);
+            if (end == nullptr || *end != '\0' || n < 1 || n > 1024) {
+                return Result<CliOptions>::error(
+                    std::string("bad --route-window value: ") + argv[i]);
+            }
+            const unsigned window = static_cast<unsigned>(n);
+            if (std::find(opts.route_windows.begin(),
+                          opts.route_windows.end(),
+                          window) == opts.route_windows.end()) {
+                opts.route_windows.push_back(window);
+            }
+        } else if (arg == "--route-feedback") {
+            if (i + 1 >= argc)
+                return Result<CliOptions>::error(
+                    "--route-feedback needs on|off");
+            const std::string_view name = argv[++i];
+            bool feedback;
+            if (name == "on") {
+                feedback = true;
+            } else if (name == "off") {
+                feedback = false;
+            } else {
+                return Result<CliOptions>::error(
+                    std::string("bad --route-feedback value (on|off): ") +
+                    argv[i]);
+            }
+            if (std::find(opts.route_feedbacks.begin(),
+                          opts.route_feedbacks.end(),
+                          feedback) == opts.route_feedbacks.end()) {
+                opts.route_feedbacks.push_back(feedback);
+            }
         } else if (arg == "--backend") {
             if (i + 1 >= argc)
                 return Result<CliOptions>::error("--backend needs a tier");
@@ -222,7 +258,8 @@ printUsage(const char *prog)
         "usage: %s [--json <path>] [--threads N] [--sim-threads N] "
         "[--quick]\n"
         "          [--topology <shape>]... [--placement <strategy>]...\n"
-        "          [--routing <mode>]... [--backend <tier>]...\n"
+        "          [--routing <mode>]... [--route-window N]...\n"
+        "          [--route-feedback on|off]... [--backend <tier>]...\n"
         "          [--latency-model <model>]...\n"
         "          [--clustering <c>]... [--policy <policy>]...\n"
         "          [--tree-arity N]... [--list]\n"
@@ -244,6 +281,12 @@ printUsage(const char *prog)
         "  --routing <mode>   restrict the qubit-routing axis (none, "
         "swap\n"
         "                     or \"all\"; repeatable)\n"
+        "  --route-window N   restrict the routing-lookahead-window axis\n"
+        "                     (1 = greedy, bit-identical to the historical\n"
+        "                     router; repeatable)\n"
+        "  --route-feedback on|off\n"
+        "                     restrict the route->place feedback axis\n"
+        "                     (repeatable)\n"
         "  --backend <tier>   restrict the functional-backend axis "
         "(auto,\n"
         "                     dense, tableau or \"all\"; repeatable; "

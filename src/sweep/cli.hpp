@@ -46,6 +46,10 @@ struct CliOptions
     std::vector<net::RouterClustering> clusterings;
     /** Routing-mode-axis selection; empty keeps the bench's default. */
     std::vector<compiler::RoutingMode> routings;
+    /** Routing-window-axis selection; empty keeps the bench's default. */
+    std::vector<unsigned> route_windows;
+    /** Route-feedback-axis selection; empty keeps the bench's default. */
+    std::vector<bool> route_feedbacks;
     /** Backend-tier-axis selection; empty keeps the bench's default. */
     std::vector<q::BackendTier> backends;
     /** Router-policy-axis selection; empty keeps the bench's default. */

@@ -112,6 +112,10 @@ ExperimentPoint::label() const
         label += "/routed-";
         label += compiler::toString(config.routing);
     }
+    if (config.route_window != 1)
+        label += "/window" + std::to_string(config.route_window);
+    if (config.route_feedback)
+        label += "/feedback";
     if (config.backend != q::BackendTier::kAuto) {
         label += "/backend-";
         label += q::toString(config.backend);
@@ -145,7 +149,8 @@ expandGrid(const GridSpec &grid)
     std::vector<ExperimentPoint> points;
     points.reserve(grid.circuits.size() * grid.schemes.size() *
                    grid.topologies.size() * grid.placements.size() *
-                   grid.routings.size() * grid.backends.size() *
+                   grid.routings.size() * grid.route_windows.size() *
+                   grid.route_feedbacks.size() * grid.backends.size() *
                    grid.latency_models.size() *
                    grid.clusterings.size() * grid.policies.size() *
                    grid.tree_arities.size() *
@@ -155,7 +160,9 @@ expandGrid(const GridSpec &grid)
         for (const auto topology : grid.topologies) {
           for (const auto placement : grid.placements) {
             for (const auto routing : grid.routings) {
-              for (const auto backend : grid.backends) {
+             for (const unsigned window : grid.route_windows) {
+              for (const bool feedback : grid.route_feedbacks) {
+               for (const auto backend : grid.backends) {
                 for (const auto latency_model : grid.latency_models) {
                   for (const auto clustering : grid.clusterings) {
                     for (const auto policy : grid.policies) {
@@ -169,6 +176,8 @@ expandGrid(const GridSpec &grid)
                             p.config.scheme = scheme;
                             p.config.placement = placement;
                             p.config.routing = routing;
+                            p.config.route_window = window;
+                            p.config.route_feedback = feedback;
                             p.config.backend = backend;
                             p.config.qubits_per_controller = qpc;
                             p.topology = topology;
@@ -187,7 +196,9 @@ expandGrid(const GridSpec &grid)
                     }
                   }
                 }
+               }
               }
+             }
             }
           }
         }
@@ -226,6 +237,10 @@ runPoint(const ExperimentPoint &point, const MetricsHook &extend)
     }
     if (point.config.routing != compiler::RoutingMode::kNone)
         out.params["routing"] = compiler::toString(point.config.routing);
+    if (point.config.route_window != 1)
+        out.params["route_window"] = point.config.route_window;
+    if (point.config.route_feedback)
+        out.params["route_feedback"] = true;
     if (point.config.backend != q::BackendTier::kAuto)
         out.params["backend"] = q::toString(point.config.backend);
     if (point.controllers != 0)

@@ -108,6 +108,10 @@ struct GridSpec
     /** Qubit-routing modes (SWAP insertion axis). */
     std::vector<compiler::RoutingMode> routings = {
         compiler::RoutingMode::kNone};
+    /** Routing lookahead windows (1 = greedy; kSwap points only). */
+    std::vector<unsigned> route_windows = {1};
+    /** Route -> place feedback settings (kSwap points only). */
+    std::vector<bool> route_feedbacks = {false};
     /** Functional-backend tiers (state-vector mode only; the stochastic
      *  device ignores the tier). */
     std::vector<q::BackendTier> backends = {q::BackendTier::kAuto};
@@ -136,8 +140,9 @@ struct GridSpec
 
 /**
  * Expand a grid in deterministic order: circuit-major, then scheme,
- * topology shape, placement, routing mode, backend tier, latency model,
- * clustering, policy, tree arity, qubits-per-controller, seed.
+ * topology shape, placement, routing mode, routing window, routing
+ * feedback, backend tier, latency model, clustering, policy, tree
+ * arity, qubits-per-controller, seed.
  */
 std::vector<ExperimentPoint> expandGrid(const GridSpec &grid);
 

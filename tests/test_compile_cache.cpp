@@ -185,6 +185,10 @@ TEST(Key, EveryCompilerConfigFieldChangesTheKey)
                  c.placement = place::PlacementStrategy::kKlMincut;
              }},
             {"routing", [](auto &c) { c.routing = RoutingMode::kSwap; }},
+            {"route_window", [](auto &c) { c.route_window = 8; }},
+            {"route_feedback", [](auto &c) { c.route_feedback = true; }},
+            {"route_steady_state",
+             [](auto &c) { c.route_steady_state = false; }},
             {"gate1q", [](auto &c) { c.gate1q += 1; }},
             {"gate2q", [](auto &c) { c.gate2q += 1; }},
             {"measure", [](auto &c) { c.measure += 1; }},
