@@ -85,6 +85,151 @@ struct KernelSpec
     ShotFn shot;
 };
 
+// ---- dense-kernel section: classified fast path vs general matmul ----
+//
+// The same circuits driven twice on the dense StateVector: once through
+// apply1q/apply2q (which dispatch on classifyGate() to the specialized
+// diagonal/permutation/controlled kernels) and once through the explicit
+// applyMatrix1q/2q general path every gate used to take. Measurement and
+// reset are shared between the two variants, so the ratio isolates the
+// gate kernels. Wall times land under UNTRACKED metric keys like the
+// tableau section's; the health gate holds the classified-vs-general
+// ratio at the largest vqe (non-Clifford) size.
+
+/** Minimum classified/general speedup at the largest vqe size. The vqe
+ *  ansatz is the worst case for the fast path — its Ry layers stay on
+ *  the general kernel and only the CNOT entanglers specialize — so the
+ *  measured margin (~2x) sits well above this floor. */
+constexpr double kDenseSpeedupFloor = 1.3;
+
+/** How a dense shot applies its gates. */
+struct DenseOps
+{
+    void (*g1)(q::StateVector &, q::Gate, QubitId, double);
+    void (*g2)(q::StateVector &, q::Gate, QubitId, QubitId, double);
+};
+
+void
+fast1q(q::StateVector &sv, q::Gate g, QubitId q, double a)
+{
+    sv.apply1q(g, q, a);
+}
+
+void
+fast2q(q::StateVector &sv, q::Gate g, QubitId q0, QubitId q1, double a)
+{
+    sv.apply2q(g, q0, q1, a);
+}
+
+void
+general1q(q::StateVector &sv, q::Gate g, QubitId q, double a)
+{
+    sv.applyMatrix1q(q::matrix1q(g, a), q);
+}
+
+void
+general2q(q::StateVector &sv, q::Gate g, QubitId q0, QubitId q1, double a)
+{
+    sv.applyMatrix2q(q::matrix2q(g, a), q0, q1);
+}
+
+constexpr DenseOps kFastOps{fast1q, fast2q};
+constexpr DenseOps kGeneralOps{general1q, general2q};
+
+using DenseShotFn = void (*)(q::StateVector &, Rng &, const DenseOps &);
+
+/** GHZ chain via the chosen gate path. */
+void
+denseGhzShot(q::StateVector &sv, Rng &rng, const DenseOps &ops)
+{
+    sv.reset();
+    const unsigned n = sv.numQubits();
+    ops.g1(sv, q::Gate::kH, 0, 0.0);
+    for (QubitId i = 0; i + 1 < n; ++i)
+        ops.g2(sv, q::Gate::kCNOT, i, i + 1, 0.0);
+    int parity = 0;
+    for (QubitId i = 0; i < n; ++i)
+        parity ^= sv.measure(i, rng);
+    volatile int sink = parity;
+    (void)sink;
+}
+
+/** Syndrome extraction via the chosen gate path. */
+void
+denseSyndromeShot(q::StateVector &sv, Rng &rng, const DenseOps &ops)
+{
+    sv.reset();
+    const unsigned n = sv.numQubits();
+    for (QubitId d = 0; d < n; d += 2)
+        ops.g1(sv, q::Gate::kH, d, 0.0);
+    for (int round = 0; round < 4; ++round) {
+        for (QubitId a = 1; a < n; a += 2) {
+            ops.g2(sv, q::Gate::kCNOT, a - 1, a, 0.0);
+            if (a + 1 < n)
+                ops.g2(sv, q::Gate::kCNOT, a + 1, a, 0.0);
+        }
+        for (QubitId a = 1; a < n; a += 2)
+            sv.resetQubit(a, rng);
+    }
+}
+
+/**
+ * The vqeSweep ansatz shape (workloads/generators): per layer a wall of
+ * Ry rotations with seeded angles and an adjacent-CNOT entangler chain,
+ * a final rotation layer, measure everything. Non-Clifford — exactly
+ * the traffic only the dense backend can serve.
+ */
+void
+denseVqeShot(q::StateVector &sv, Rng &rng, const DenseOps &ops)
+{
+    sv.reset();
+    const unsigned n = sv.numQubits();
+    Rng angles(21);
+    const unsigned layers = 3;
+    for (unsigned l = 0; l < layers; ++l) {
+        for (QubitId i = 0; i < n; ++i)
+            ops.g1(sv, q::Gate::kRy, i, angles.uniform() * 6.283);
+        for (QubitId i = 0; i + 1 < n; ++i)
+            ops.g2(sv, q::Gate::kCNOT, i, i + 1, 0.0);
+    }
+    for (QubitId i = 0; i < n; ++i)
+        ops.g1(sv, q::Gate::kRy, i, angles.uniform() * 6.283);
+    int parity = 0;
+    for (QubitId i = 0; i < n; ++i)
+        parity ^= sv.measure(i, rng);
+    volatile int sink = parity;
+    (void)sink;
+}
+
+struct DenseKernelSpec
+{
+    const char *name;
+    DenseShotFn shot;
+};
+
+/** Best-of-3 ns/shot for a dense shot under the given gate path. */
+double
+denseNsPerShot(q::StateVector &sv, DenseShotFn shot, const DenseOps &ops,
+               unsigned shots)
+{
+    using clock = std::chrono::steady_clock;
+    double best = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+        Rng rng(1000003u * unsigned(rep) + 17u);
+        const auto t0 = clock::now();
+        for (unsigned s = 0; s < shots; ++s)
+            shot(sv, rng, ops);
+        const auto t1 = clock::now();
+        const double ns =
+            double(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       t1 - t0)
+                       .count()) /
+            double(shots);
+        best = (rep == 0) ? ns : std::min(best, ns);
+    }
+    return best;
+}
+
 /**
  * Best-of-3 repetitions, nanoseconds per shot. Each repetition reseeds
  * the Rng identically, so dense and tableau perform the same logical
@@ -131,6 +276,10 @@ main(int argc, char **argv)
 
     const KernelSpec kernels[] = {{"ghz", ghzShot},
                                   {"syndrome", syndromeShot}};
+    const DenseKernelSpec dense_kernels[] = {
+        {"ghz", denseGhzShot},
+        {"syndrome", denseSyndromeShot},
+        {"vqe", denseVqeShot}};
 
     std::vector<sweep::PointResult> points;
     if (cli.list) {
@@ -138,6 +287,10 @@ main(int argc, char **argv)
             for (const unsigned n : common)
                 std::printf("%s/n%u\n", k.name, n);
             std::printf("%s/n%u/tableau-only\n", k.name, scaling);
+        }
+        for (const auto &k : dense_kernels) {
+            for (const unsigned n : common)
+                std::printf("dense-%s/n%u\n", k.name, n);
         }
         return 0;
     }
@@ -190,12 +343,51 @@ main(int argc, char **argv)
         }
     }
 
+    // Dense-kernel section: classified fast path vs the general matmul
+    // path on the same StateVector. The vqe kernel at the largest size
+    // carries the health gate — it is the non-Clifford shape the fast
+    // path exists for (the tableau cannot serve it at all).
+    std::printf("\n==== dense kernels: classified fast path vs general "
+                "matmul ====\n");
+    std::printf("%-16s %14s %14s %10s\n", "point", "fast ns/shot",
+                "general ns/shot", "speedup");
+    for (const auto &k : dense_kernels) {
+        for (const unsigned n : common) {
+            q::StateVector sv(n);
+            const double fns = denseNsPerShot(sv, k.shot, kFastOps, shots);
+            const double gns =
+                denseNsPerShot(sv, k.shot, kGeneralOps, shots);
+            const double speedup = fns > 0.0 ? gns / fns : 0.0;
+
+            sweep::PointResult out;
+            out.label =
+                std::string("dense-") + k.name + "/n" + std::to_string(n);
+            out.params["kernel"] = k.name;
+            out.params["qubits"] = n;
+            out.params["shots"] = shots;
+            // Wall-clock metrics: untracked keys, never thresholded.
+            out.metrics["classified_ns_per_shot"] = fns;
+            out.metrics["general_ns_per_shot"] = gns;
+            out.metrics["dense_speedup"] = speedup;
+            if (k.shot == denseVqeShot && n == largest &&
+                !(speedup >= kDenseSpeedupFloor)) {
+                out.healthy = false;
+                out.health = "dense-fast-path-not-faster";
+            }
+            points.push_back(out);
+            std::printf("%-16s %14.0f %14.0f %9.2fx%s\n",
+                        out.label.c_str(), fns, gns, speedup,
+                        out.healthy ? "" : "  [REGRESSION]");
+        }
+    }
+
     sweep::BenchReport report;
     report.bench = "backend_kernels";
     report.config["suite"] = cli.quick ? "quick" : "paper";
     report.config["shots"] = shots;
     report.config["largest_common_qubits"] = largest;
     report.config["scaling_qubits"] = scaling;
+    report.config["dense_speedup_floor"] = kDenseSpeedupFloor;
     report.points = points;
 
     if (!cli.json_path.empty()) {

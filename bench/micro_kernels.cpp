@@ -97,6 +97,101 @@ BM_StateVectorCz(benchmark::State &state)
 BENCHMARK(BM_StateVectorCz)->Arg(8)->Arg(16);
 
 // -------------------------------------------------------------------------
+// Dense classified kernels vs the general matmul path. Each BM_Dense*
+// pair times one gate class through apply1q/apply2q (which dispatch on
+// classifyGate()) against the same gate forced through the explicit
+// applyMatrix1q/2q general kernel it used to take.
+// -------------------------------------------------------------------------
+
+static void
+BM_DenseDiagRz(benchmark::State &state)
+{
+    const unsigned n = unsigned(state.range(0));
+    q::StateVector sv(n);
+    unsigned q = 0;
+    for (auto _ : state) {
+        sv.apply1q(q::Gate::kRz, q, 0.37); // diagonal kernel
+        q = (q + 1) % n;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DenseDiagRz)->Arg(8)->Arg(16);
+
+static void
+BM_DenseDiagRzGeneral(benchmark::State &state)
+{
+    const unsigned n = unsigned(state.range(0));
+    q::StateVector sv(n);
+    unsigned q = 0;
+    for (auto _ : state) {
+        sv.applyMatrix1q(q::matrix1q(q::Gate::kRz, 0.37), q);
+        q = (q + 1) % n;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DenseDiagRzGeneral)->Arg(8)->Arg(16);
+
+static void
+BM_DensePermX(benchmark::State &state)
+{
+    const unsigned n = unsigned(state.range(0));
+    q::StateVector sv(n);
+    unsigned q = 0;
+    for (auto _ : state) {
+        sv.apply1q(q::Gate::kX, q); // permutation kernel: pure moves
+        q = (q + 1) % n;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DensePermX)->Arg(8)->Arg(16);
+
+static void
+BM_DenseCnot(benchmark::State &state)
+{
+    const unsigned n = unsigned(state.range(0));
+    q::StateVector sv(n);
+    unsigned q = 0;
+    for (auto _ : state) {
+        sv.apply2q(q::Gate::kCNOT, q, (q + 1) % n); // controlled kernel
+        q = (q + 1) % n;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DenseCnot)->Arg(8)->Arg(16);
+
+static void
+BM_DenseCnotGeneral(benchmark::State &state)
+{
+    const unsigned n = unsigned(state.range(0));
+    q::StateVector sv(n);
+    unsigned q = 0;
+    for (auto _ : state) {
+        sv.applyMatrix2q(q::matrix2q(q::Gate::kCNOT), q, (q + 1) % n);
+        q = (q + 1) % n;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DenseCnotGeneral)->Arg(8)->Arg(16);
+
+static void
+BM_DenseMeasure(benchmark::State &state)
+{
+    // Single-pass measurement path: one blocked p1 reduction + one
+    // collapse sweep per measure (was three passes).
+    const unsigned n = unsigned(state.range(0));
+    q::StateVector sv(n);
+    Rng rng(7);
+    unsigned q = 0;
+    for (auto _ : state) {
+        sv.apply1q(q::Gate::kH, q); // keep the outcome undetermined
+        benchmark::DoNotOptimize(sv.measure(q, rng));
+        q = (q + 1) % n;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DenseMeasure)->Arg(8)->Arg(16);
+
+// -------------------------------------------------------------------------
 // Backend-tier kernels: the same Clifford shot driven through the abstract
 // q::Backend interface on both implementations, so the numbers include the
 // virtual dispatch the device actually pays. bench/backend_kernels.cpp runs

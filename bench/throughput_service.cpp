@@ -179,7 +179,18 @@ main(int argc, char **argv)
 {
     const auto cli = sweep::parseCliOrExit(argc, argv);
 
-    const std::vector<service::JobRequest> catalog = buildCatalog(cli.quick);
+    std::vector<service::JobRequest> catalog = buildCatalog(cli.quick);
+    // --fusion: run the catalog functionally (state-vector devices) under
+    // the given lazy-fusion mode, so the per-job measurement streams
+    // actually exercise the fusion tier. CI invokes the bench once per
+    // mode and byte-compares the --results artifacts (the same pattern
+    // as the cache-mode determinism check).
+    if (!cli.fusions.empty()) {
+        for (auto &req : catalog) {
+            req.state_vector = true;
+            req.config.fusion = cli.fusions.back();
+        }
+    }
     const std::vector<std::size_t> mixes =
         cli.quick ? std::vector<std::size_t>{24, 96}
                   : std::vector<std::size_t>{64, 256};
@@ -293,6 +304,8 @@ main(int argc, char **argv)
     report.config["zipf_exponent"] = kZipfExponent;
     report.config["speedup_floor"] = kSpeedupFloor;
     report.config["threads"] = cli.threads;
+    if (!cli.fusions.empty())
+        report.config["fusion"] = q::toString(cli.fusions.back());
     report.points = points;
 
     if (!cli.json_path.empty()) {

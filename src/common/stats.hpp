@@ -56,6 +56,19 @@ class StatSet
         _scalars[name].sample(value);
     }
 
+    /**
+     * Stable pointer to a counter's storage slot, for hot dispatch loops
+     * that would otherwise hash the same string literal per event. The
+     * entry is created at 0 if absent; std::map nodes never move, so the
+     * pointer stays valid until clear() — re-acquire after any reset
+     * that clears the set.
+     */
+    std::uint64_t *
+    counterHandle(const std::string &name)
+    {
+        return &_counters[name];
+    }
+
     /** Counter value (0 if absent). */
     std::uint64_t
     counter(const std::string &name) const

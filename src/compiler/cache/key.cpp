@@ -193,6 +193,7 @@ cacheKey(const Circuit &circuit, const CompilerConfig &config,
     h.u64(config.region_residual);
     h.u32(config.repetitions);
     h.u32(static_cast<std::uint32_t>(config.backend));
+    h.u32(static_cast<std::uint32_t>(config.fusion));
 
     h.str("topology");
     h.u32(static_cast<std::uint32_t>(topo.shape));

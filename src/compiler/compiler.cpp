@@ -182,6 +182,7 @@ machineConfigFor(const net::TopologyConfig &topo,
     cfg.device.gate1q_cycles = compiler.gate1q;
     cfg.device.gate2q_cycles = compiler.gate2q;
     cfg.device.measure_cycles = compiler.measure;
+    cfg.device.fusion = compiler.fusion;
     cfg.ports_per_controller = compiler.qubits_per_controller;
     return cfg;
 }

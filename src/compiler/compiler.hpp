@@ -165,6 +165,12 @@ struct CompilerConfig
      */
     q::BackendTier backend = q::BackendTier::kAuto;
     /**
+     * Lazy 1q gate-fusion tier for devices built from this compilation
+     * (q::FusionMode; only engages on the dense backend). Off by
+     * default so committed bench artifacts stay byte-identical.
+     */
+    q::FusionMode fusion = q::FusionMode::kOff;
+    /**
      * Compile-cache tier consulted by tryCompile. Excluded from the
      * content key (it selects where results are stored, not what they
      * are). Off by default: enabling it is an explicit opt-in by batch

@@ -46,6 +46,38 @@ allBackendTiers()
     return tiers;
 }
 
+const char *
+toString(FusionMode mode)
+{
+    switch (mode) {
+      case FusionMode::kOff: return "off";
+      case FusionMode::k1q: return "1q";
+    }
+    return "?";
+}
+
+bool
+parseFusionMode(std::string_view text, FusionMode &out)
+{
+    for (FusionMode mode : allFusionModes()) {
+        if (text == toString(mode)) {
+            out = mode;
+            return true;
+        }
+    }
+    return false;
+}
+
+const std::vector<FusionMode> &
+allFusionModes()
+{
+    static const std::vector<FusionMode> modes = {
+        FusionMode::kOff,
+        FusionMode::k1q,
+    };
+    return modes;
+}
+
 BackendKind
 resolveBackend(BackendTier tier, bool clifford_only)
 {

@@ -69,6 +69,29 @@ const std::vector<BackendTier> &allBackendTiers();
 BackendKind resolveBackend(BackendTier tier, bool clifford_only);
 
 /**
+ * Lazy gate-fusion tier of the device dispatch loop.
+ *
+ *  - kOff  every gate hits the backend immediately (default; committed
+ *          bench artifacts are produced in this mode).
+ *  - k1q   consecutive single-qubit gates on the same qubit are composed
+ *          into one pending 2x2 matrix and applied in a single state
+ *          pass when forced (2q gate on the qubit, measurement, prep,
+ *          finalize). Dense backend only — the tableau applies named
+ *          Clifford gates and cannot consume a fused matrix; devices on
+ *          other backends ignore the setting.
+ */
+enum class FusionMode : std::uint8_t { kOff, k1q };
+
+/** Human-readable fusion-mode name ("off", "1q"). */
+const char *toString(FusionMode mode);
+
+/** Parse a fusion-mode name; false when `text` names no mode. */
+bool parseFusionMode(std::string_view text, FusionMode &out);
+
+/** Every fusion mode in canonical sweep order. */
+const std::vector<FusionMode> &allFusionModes();
+
+/**
  * Functional quantum state shared by the simulator backends.
  *
  * The device drives exactly this surface; everything richer (amplitudes,

@@ -15,6 +15,73 @@ QuantumDevice::QuantumDevice(const DeviceConfig &config)
         else
             _backend = std::make_unique<StateVector>(_config.num_qubits);
     }
+    if (fusionEnabled())
+        _fused.resize(_config.num_qubits);
+    bindStatHandles();
+}
+
+void
+QuantumDevice::bindStatHandles()
+{
+    _n_nop = _stats.counterHandle("nop_actions");
+    _n_1q = _stats.counterHandle("gates_1q");
+    _n_2q = _stats.counterHandle("gates_2q");
+    _n_half = _stats.counterHandle("half_booked");
+    _n_viol = _stats.counterHandle("coincidence_violations");
+    _n_meas = _stats.counterHandle("measurements");
+    _n_prep = _stats.counterHandle("preps");
+}
+
+bool
+QuantumDevice::fusionEnabled() const
+{
+    // The tableau consumes named Clifford gates, not matrices; fusion is
+    // a dense-backend concern only.
+    return _config.fusion == FusionMode::k1q && _backend &&
+           _backend->kind() == BackendKind::kDense;
+}
+
+unsigned
+QuantumDevice::pendingFusedGates() const
+{
+    return _fused_pending;
+}
+
+void
+QuantumDevice::fuse1q(Gate g, double angle, QubitId qubit)
+{
+    FusedSlot &slot = _fused[qubit];
+    const std::array<Amp, 4> g_m = matrix1q(g, angle);
+    if (!slot.active) {
+        slot.m = g_m;
+        slot.active = true;
+        ++_fused_pending;
+        return;
+    }
+    // Later gate composes on the left: new = g_m * pending.
+    const std::array<Amp, 4> a = slot.m;
+    slot.m = {g_m[0] * a[0] + g_m[1] * a[2], g_m[0] * a[1] + g_m[1] * a[3],
+              g_m[2] * a[0] + g_m[3] * a[2], g_m[2] * a[1] + g_m[3] * a[3]};
+}
+
+void
+QuantumDevice::flushFused(QubitId qubit)
+{
+    if (_fused.empty() || !_fused[qubit].active)
+        return;
+    static_cast<StateVector &>(*_backend).applyMatrix1q(_fused[qubit].m,
+                                                        qubit);
+    _fused[qubit].active = false;
+    --_fused_pending;
+}
+
+void
+QuantumDevice::flushAllFused()
+{
+    if (_fused_pending == 0)
+        return;
+    for (QubitId q = 0; q < _fused.size() && _fused_pending > 0; ++q)
+        flushFused(q);
 }
 
 StateVector &
@@ -59,9 +126,15 @@ QuantumDevice::reset()
         _backend->reset();
     _activity.resize(_config.num_qubits);
     _stats.clear();
+    bindStatHandles(); // clear() destroyed the cached counter slots
     _pending_halves.clear();
     _violations.clear();
     _measurements.clear();
+    // Buffered fused gates are dynamic state: drop them, the backend is
+    // back in |0...0>.
+    for (FusedSlot &slot : _fused)
+        slot.active = false;
+    _fused_pending = 0;
 }
 
 void
@@ -69,14 +142,16 @@ QuantumDevice::trigger(const Action &action, Cycle cycle)
 {
     switch (action.kind) {
       case ActionKind::Nop:
-        _stats.inc("nop_actions");
+        ++*_n_nop;
         return;
 
       case ActionKind::Gate1q: {
         DHISQ_ASSERT(action.q0 < _config.num_qubits, "qubit out of range");
         _activity.record(action.q0, cycle, _config.gate1q_cycles);
-        _stats.inc("gates_1q");
-        if (_backend)
+        ++*_n_1q;
+        if (!_fused.empty())
+            fuse1q(action.gate, action.angle, action.q0);
+        else if (_backend)
             _backend->apply1q(action.gate, action.q0, action.angle);
         return;
       }
@@ -96,7 +171,7 @@ QuantumDevice::trigger(const Action &action, Cycle cycle)
             _pending_halves.emplace(
                 key, PendingHalf{cycle, action.gate, action.angle,
                                  action.q0});
-            _stats.inc("half_booked");
+            ++*_n_half;
             return;
         }
         const PendingHalf first = it->second;
@@ -105,7 +180,7 @@ QuantumDevice::trigger(const Action &action, Cycle cycle)
             _violations.push_back(CoincidenceViolation{
                 key.first, key.second, first.cycle, cycle,
                 "two-qubit halves committed in different cycles"});
-            _stats.inc("coincidence_violations");
+            ++*_n_viol;
         }
         // The gate is applied at the later half's commit time either way;
         // a violation marks the result as physically invalid. The unitary
@@ -129,7 +204,8 @@ QuantumDevice::trigger(const Action &action, Cycle cycle)
       case ActionKind::PrepZ: {
         DHISQ_ASSERT(action.q0 < _config.num_qubits, "qubit out of range");
         _activity.record(action.q0, cycle, _config.measure_cycles);
-        _stats.inc("preps");
+        ++*_n_prep;
+        flushAllFused();
         if (_backend)
             _backend->resetQubit(action.q0, _rng);
         return;
@@ -145,7 +221,9 @@ QuantumDevice::apply2q(Gate gate, double angle, QubitId q0, QubitId q1,
                  "qubit out of range");
     _activity.record(q0, cycle, _config.gate2q_cycles);
     _activity.record(q1, cycle, _config.gate2q_cycles);
-    _stats.inc("gates_2q");
+    ++*_n_2q;
+    flushFused(q0);
+    flushFused(q1);
     if (_backend)
         _backend->apply2q(gate, q0, q1, angle);
 }
@@ -154,7 +232,8 @@ void
 QuantumDevice::doMeasure(QubitId qubit, Cycle cycle)
 {
     _activity.record(qubit, cycle, _config.measure_cycles);
-    _stats.inc("measurements");
+    ++*_n_meas;
+    flushAllFused();
     int bit;
     if (_backend) {
         bit = _backend->measure(qubit, _rng);
@@ -170,11 +249,12 @@ QuantumDevice::doMeasure(QubitId qubit, Cycle cycle)
 std::size_t
 QuantumDevice::finalize()
 {
+    flushAllFused();
     for (const auto &kv : _pending_halves) {
         _violations.push_back(CoincidenceViolation{
             kv.first.first, kv.first.second, kv.second.cycle, kNoCycle,
             "two-qubit half never matched by its partner"});
-        _stats.inc("coincidence_violations");
+        ++*_n_viol;
     }
     _pending_halves.clear();
     return _violations.size();

@@ -119,6 +119,8 @@ struct DeviceConfig
      *  tier selector resolves this from the compiled program; kTableau is
      *  only valid for Clifford-only programs. */
     BackendKind backend = BackendKind::kDense;
+    /** Lazy 1q gate-fusion tier (dense backend only; see FusionMode). */
+    FusionMode fusion = FusionMode::kOff;
     /** Seed for measurement outcome draws. */
     std::uint64_t seed = 1;
     /** P(result == 1) for stochastic-mode measurements. */
@@ -188,10 +190,30 @@ class QuantumDevice
     /** Reset dynamic state (keeps configuration and wiring). */
     void reset();
 
+    /**
+     * Number of qubits with a buffered (not yet applied) fused 1q matrix.
+     * Always 0 when fusion is off or at a flush point (after a 2q gate on
+     * the qubit, a measurement, a prep, or finalize()). Note that with
+     * fusion on, state() reflects buffered gates only after a flush.
+     */
+    unsigned pendingFusedGates() const;
+
   private:
     void apply2q(Gate gate, double angle, QubitId q0, QubitId q1,
                  Cycle cycle);
     void doMeasure(QubitId qubit, Cycle cycle);
+
+    /** True when the lazy 1q-fusion tier is active on this device. */
+    bool fusionEnabled() const;
+    /** Compose a 1q gate into the qubit's pending 2x2 matrix. */
+    void fuse1q(Gate g, double angle, QubitId qubit);
+    /** Apply and clear one qubit's pending matrix, if any. */
+    void flushFused(QubitId qubit);
+    /** Apply and clear every pending matrix (measure/prep/finalize). */
+    void flushAllFused();
+
+    /** Re-point the hot-loop counter slots after _stats is cleared. */
+    void bindStatHandles();
 
     DeviceConfig _config;
     Rng _rng;
@@ -199,6 +221,26 @@ class QuantumDevice
     ActivityTracker _activity;
     StatSet _stats;
     ResultCallback _on_result;
+
+    // Cached counter slots: trigger() is the per-action hot path, and
+    // string-keyed Stats::inc lookups per gate were measurable. Bound in
+    // the constructor and re-bound by reset() (clear() invalidates).
+    std::uint64_t *_n_nop = nullptr;
+    std::uint64_t *_n_1q = nullptr;
+    std::uint64_t *_n_2q = nullptr;
+    std::uint64_t *_n_half = nullptr;
+    std::uint64_t *_n_viol = nullptr;
+    std::uint64_t *_n_meas = nullptr;
+    std::uint64_t *_n_prep = nullptr;
+
+    /** Pending fused 1q matrix per qubit (sized only when fusion runs). */
+    struct FusedSlot
+    {
+        std::array<Amp, 4> m;
+        bool active = false;
+    };
+    std::vector<FusedSlot> _fused;
+    unsigned _fused_pending = 0;
 
     /** Pending 2q half keyed by unordered qubit pair. */
     struct PendingHalf

@@ -11,6 +11,39 @@ const double kInvSqrt2 = 1.0 / std::sqrt(2.0);
 const Amp kI1{0.0, 1.0};
 } // namespace
 
+GateClass
+classifyGate(Gate g)
+{
+    switch (g) {
+      case Gate::kI:
+      case Gate::kZ: case Gate::kS: case Gate::kSdg:
+      case Gate::kT: case Gate::kTdg:
+      case Gate::kRz:
+      case Gate::kCZ: case Gate::kCPhase:
+        return GateClass::kDiagonal;
+      case Gate::kX: case Gate::kSwap:
+        return GateClass::kPermutation;
+      case Gate::kCNOT:
+        return GateClass::kControlled;
+      default:
+        // Y/H/rotations mix basis states with non-trivial weights; the
+        // measurement/reset pseudo-gates never reach a unitary kernel.
+        return GateClass::kGeneral;
+    }
+}
+
+const char *
+toString(GateClass cls)
+{
+    switch (cls) {
+      case GateClass::kDiagonal: return "diagonal";
+      case GateClass::kPermutation: return "permutation";
+      case GateClass::kControlled: return "controlled";
+      case GateClass::kGeneral: return "general";
+    }
+    return "?";
+}
+
 bool
 isTwoQubit(Gate g)
 {

@@ -35,6 +35,33 @@ enum class Gate : std::uint8_t {
     kPrepZ,             // reset/initialize pseudo-gate
 };
 
+/**
+ * Structural class of a gate's unitary, driving kernel dispatch in the
+ * dense backend. Every class admits a cheaper state-vector kernel than
+ * the general dense matmul:
+ *
+ *  - kDiagonal     unitary is diagonal in the computational basis
+ *                  (Z/S/Sdg/T/Tdg/Rz, CZ/CPhase): only phase multiplies,
+ *                  and only on the phase-carrying subspace.
+ *  - kPermutation  unitary is a 0/1 permutation matrix (X, SWAP):
+ *                  amplitudes move, no arithmetic at all.
+ *  - kControlled   identity on the control-clear half (CNOT): only the
+ *                  control-set half of the state is touched.
+ *  - kGeneral      anything else: full blocked matmul kernel.
+ */
+enum class GateClass : std::uint8_t {
+    kDiagonal,
+    kPermutation,
+    kControlled,
+    kGeneral,
+};
+
+/** Kernel class of a gate (pseudo-gates classify as kGeneral). */
+GateClass classifyGate(Gate g);
+
+/** Human-readable class name ("diagonal", "permutation", ...). */
+const char *toString(GateClass cls);
+
 /** True for two-qubit gates. */
 bool isTwoQubit(Gate g);
 

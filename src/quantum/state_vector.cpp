@@ -32,10 +32,15 @@ StateVector::probabilityOfOne(QubitId qubit) const
 {
     DHISQ_ASSERT(qubit < _num_qubits, "qubit out of range");
     const std::size_t bit = std::size_t(1) << qubit;
+    // Blocked branch-free reduction: each block of `bit` contiguous
+    // one-amplitudes is summed without a per-index test. The elements are
+    // visited in the same ascending order as the old branchy loop, into
+    // the same single accumulator, so the result is bit-identical.
     double p = 0.0;
-    for (std::size_t i = 0; i < _amps.size(); ++i) {
-        if (i & bit)
-            p += std::norm(_amps[i]);
+    const Amp *const amps = _amps.data();
+    for (std::size_t base = bit; base < _amps.size(); base += 2 * bit) {
+        for (std::size_t off = 0; off < bit; ++off)
+            p += std::norm(amps[base + off]);
     }
     return p;
 }
@@ -43,7 +48,57 @@ StateVector::probabilityOfOne(QubitId qubit) const
 void
 StateVector::apply1q(Gate g, QubitId qubit, double angle)
 {
-    applyMatrix1q(matrix1q(g, angle), qubit);
+    switch (classifyGate(g)) {
+      case GateClass::kDiagonal: {
+        const auto m = matrix1q(g, angle);
+        applyDiag1q(m[0], m[3], qubit);
+        return;
+      }
+      case GateClass::kPermutation:
+        applyPermX(qubit);
+        return;
+      default:
+        applyMatrix1q(matrix1q(g, angle), qubit);
+        return;
+    }
+}
+
+void
+StateVector::applyDiag1q(Amp d0, Amp d1, QubitId qubit)
+{
+    DHISQ_ASSERT(qubit < _num_qubits, "qubit out of range");
+    const std::size_t bit = std::size_t(1) << qubit;
+    const Amp kOne{1.0, 0.0};
+    Amp *const amps = _amps.data();
+    if (d0 == kOne && d1 == kOne)
+        return; // identity
+    if (d0 == kOne) {
+        // Phase lives on the 1-half only (Z/S/T/...): touch half the state.
+        for (std::size_t base = bit; base < _amps.size(); base += 2 * bit) {
+            for (std::size_t off = 0; off < bit; ++off)
+                amps[base + off] *= d1;
+        }
+        return;
+    }
+    // Both halves carry phases (Rz): still no amplitude mixing.
+    for (std::size_t base = 0; base < _amps.size(); base += 2 * bit) {
+        for (std::size_t off = 0; off < bit; ++off) {
+            amps[base + off] *= d0;
+            amps[base + off + bit] *= d1;
+        }
+    }
+}
+
+void
+StateVector::applyPermX(QubitId qubit)
+{
+    DHISQ_ASSERT(qubit < _num_qubits, "qubit out of range");
+    const std::size_t bit = std::size_t(1) << qubit;
+    Amp *const amps = _amps.data();
+    for (std::size_t base = 0; base < _amps.size(); base += 2 * bit) {
+        for (std::size_t off = 0; off < bit; ++off)
+            std::swap(amps[base + off], amps[base + off + bit]);
+    }
 }
 
 void
@@ -69,7 +124,96 @@ StateVector::applyMatrix1q(const std::array<Amp, 4> &m, QubitId qubit)
 void
 StateVector::apply2q(Gate g, QubitId q0, QubitId q1, double angle)
 {
-    applyMatrix2q(matrix2q(g, angle), q0, q1);
+    switch (classifyGate(g)) {
+      case GateClass::kDiagonal:
+        // CZ/CPhase: the only non-unit entry is the |11> phase.
+        applyDiag2q(matrix2q(g, angle)[15], q0, q1);
+        return;
+      case GateClass::kPermutation:
+        applyPermSwap(q0, q1);
+        return;
+      case GateClass::kControlled:
+        // CNOT: q0 is the control (matrix2q convention), q1 the target.
+        applyControlled1q(matrix1q(Gate::kX), q0, q1);
+        return;
+      default:
+        applyMatrix2q(matrix2q(g, angle), q0, q1);
+        return;
+    }
+}
+
+void
+StateVector::applyDiag2q(Amp d11, QubitId q0, QubitId q1)
+{
+    DHISQ_ASSERT(q0 < _num_qubits && q1 < _num_qubits && q0 != q1,
+                 "bad qubit pair ", q0, ",", q1);
+    const std::size_t b0 = std::size_t(1) << q0;
+    const std::size_t b1 = std::size_t(1) << q1;
+    const std::size_t bl = b0 < b1 ? b0 : b1;
+    const std::size_t bh = b0 < b1 ? b1 : b0;
+    // Only the |11> quarter of the state picks up the phase; the inner
+    // loop walks `bl` contiguous amplitudes with both bits set.
+    Amp *const amps = _amps.data();
+    for (std::size_t hi = 0; hi < _amps.size(); hi += 2 * bh) {
+        for (std::size_t mid = hi; mid < hi + bh; mid += 2 * bl) {
+            for (std::size_t i = mid; i < mid + bl; ++i)
+                amps[i + bh + bl] *= d11;
+        }
+    }
+}
+
+void
+StateVector::applyPermSwap(QubitId q0, QubitId q1)
+{
+    DHISQ_ASSERT(q0 < _num_qubits && q1 < _num_qubits && q0 != q1,
+                 "bad qubit pair ", q0, ",", q1);
+    const std::size_t b0 = std::size_t(1) << q0;
+    const std::size_t b1 = std::size_t(1) << q1;
+    const std::size_t bl = b0 < b1 ? b0 : b1;
+    const std::size_t bh = b0 < b1 ? b1 : b0;
+    // SWAP exchanges |01> and |10> amplitudes — pure moves, no arithmetic.
+    Amp *const amps = _amps.data();
+    for (std::size_t hi = 0; hi < _amps.size(); hi += 2 * bh) {
+        for (std::size_t mid = hi; mid < hi + bh; mid += 2 * bl) {
+            for (std::size_t i = mid; i < mid + bl; ++i)
+                std::swap(amps[i + bl], amps[i + bh]);
+        }
+    }
+}
+
+void
+StateVector::applyControlled1q(const std::array<Amp, 4> &m, QubitId control,
+                               QubitId target)
+{
+    DHISQ_ASSERT(control < _num_qubits && target < _num_qubits &&
+                     control != target,
+                 "bad qubit pair ", control, ",", target);
+    const std::size_t cb = std::size_t(1) << control;
+    const std::size_t tb = std::size_t(1) << target;
+    const std::size_t bl = cb < tb ? cb : tb;
+    const std::size_t bh = cb < tb ? tb : cb;
+    const bool is_x = m[0] == Amp{} && m[3] == Amp{} &&
+                      m[1] == Amp{1.0, 0.0} && m[2] == Amp{1.0, 0.0};
+    // Only the control-set half of the state participates; `i` walks the
+    // indices with neither stride bit set, so i|cb selects that half.
+    // The X case (CNOT) degenerates to pure amplitude moves.
+    Amp *const amps = _amps.data();
+    for (std::size_t hi = 0; hi < _amps.size(); hi += 2 * bh) {
+        for (std::size_t mid = hi; mid < hi + bh; mid += 2 * bl) {
+            if (is_x) {
+                for (std::size_t i = mid; i < mid + bl; ++i)
+                    std::swap(amps[i | cb], amps[i | cb | tb]);
+                continue;
+            }
+            for (std::size_t i = mid; i < mid + bl; ++i) {
+                const std::size_t i0 = i | cb;
+                const Amp a0 = amps[i0];
+                const Amp a1 = amps[i0 | tb];
+                amps[i0] = m[0] * a0 + m[1] * a1;
+                amps[i0 | tb] = m[2] * a0 + m[3] * a1;
+            }
+        }
+    }
 }
 
 void
@@ -108,36 +252,63 @@ StateVector::applyMatrix2q(const std::array<Amp, 16> &m, QubitId q0,
 int
 StateVector::measure(QubitId qubit, Rng &rng)
 {
+    // Single pass over the state per phase: one p1 reduction (reused by
+    // the collapse instead of recomputed), one collapse sweep.
     const double p1 = probabilityOfOne(qubit);
     const int outcome = rng.coin(p1) ? 1 : 0;
-    postselect(qubit, outcome);
+    collapse(qubit, outcome, p1, /*fold_x=*/false);
     return outcome;
 }
 
 double
 StateVector::postselect(QubitId qubit, int outcome)
 {
-    DHISQ_ASSERT(qubit < _num_qubits, "qubit out of range");
-    const std::size_t bit = std::size_t(1) << qubit;
     const double p1 = probabilityOfOne(qubit);
-    const double p = outcome ? p1 : 1.0 - p1;
-    DHISQ_ASSERT(p > 1e-12, "postselecting a zero-probability branch");
-    const double scale = 1.0 / std::sqrt(p);
-    for (std::size_t i = 0; i < _amps.size(); ++i) {
-        const bool is_one = (i & bit) != 0;
-        if (is_one == (outcome != 0))
-            _amps[i] *= scale;
-        else
-            _amps[i] = Amp{};
-    }
-    return p;
+    collapse(qubit, outcome, p1, /*fold_x=*/false);
+    return outcome ? p1 : 1.0 - p1;
 }
 
 void
 StateVector::resetQubit(QubitId qubit, Rng &rng)
 {
-    if (measure(qubit, rng) == 1)
-        apply1q(Gate::kX, qubit);
+    // measure + conditional X, fused: the |1> branch collapses straight
+    // into the 0-half slots, so the corrective X costs no extra pass.
+    const double p1 = probabilityOfOne(qubit);
+    const int outcome = rng.coin(p1) ? 1 : 0;
+    collapse(qubit, outcome, p1, /*fold_x=*/true);
+}
+
+void
+StateVector::collapse(QubitId qubit, int outcome, double p1, bool fold_x)
+{
+    DHISQ_ASSERT(qubit < _num_qubits, "qubit out of range");
+    const std::size_t bit = std::size_t(1) << qubit;
+    const double p = outcome ? p1 : 1.0 - p1;
+    DHISQ_ASSERT(p > 1e-12, "postselecting a zero-probability branch");
+    const double scale = 1.0 / std::sqrt(p);
+    Amp *const amps = _amps.data();
+    if (outcome && fold_x) {
+        for (std::size_t base = 0; base < _amps.size(); base += 2 * bit) {
+            for (std::size_t off = 0; off < bit; ++off) {
+                amps[base + off] = amps[base + off + bit] * scale;
+                amps[base + off + bit] = Amp{};
+            }
+        }
+    } else if (outcome) {
+        for (std::size_t base = 0; base < _amps.size(); base += 2 * bit) {
+            for (std::size_t off = 0; off < bit; ++off) {
+                amps[base + off] = Amp{};
+                amps[base + off + bit] *= scale;
+            }
+        }
+    } else {
+        for (std::size_t base = 0; base < _amps.size(); base += 2 * bit) {
+            for (std::size_t off = 0; off < bit; ++off) {
+                amps[base + off] *= scale;
+                amps[base + off + bit] = Amp{};
+            }
+        }
+    }
 }
 
 double

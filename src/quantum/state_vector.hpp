@@ -41,18 +41,37 @@ class StateVector final : public Backend
     /** Probability of measuring `qubit` as 1. */
     double probabilityOfOne(QubitId qubit) const override;
 
-    /** Apply a single-qubit gate. */
+    /**
+     * Apply a single-qubit gate, dispatched by classifyGate(): diagonal
+     * gates multiply only the phase-carrying half, X swaps amplitude
+     * pairs without arithmetic, everything else takes the general matmul.
+     * All specialized kernels are exact rewrites of the general path
+     * (they drop only 0/±1 factors), asserted bit-identical by tests.
+     */
     void apply1q(Gate g, QubitId qubit, double angle = 0.0) override;
 
-    /** Apply an explicit 2x2 matrix to `qubit`. */
+    /** Apply an explicit 2x2 matrix to `qubit` (general blocked matmul). */
     void applyMatrix1q(const std::array<Amp, 4> &m, QubitId qubit);
 
-    /** Apply a two-qubit gate; q0 is the low bit of the 4x4 basis. */
+    /** Apply a two-qubit gate; q0 is the low bit of the 4x4 basis.
+     *  Dispatched by classifyGate() like apply1q (CZ/CPhase touch the
+     *  |11> quarter, SWAP moves, CNOT touches the control-set half). */
     void apply2q(Gate g, QubitId q0, QubitId q1,
                  double angle = 0.0) override;
 
-    /** Apply an explicit 4x4 matrix. */
+    /** Apply an explicit 4x4 matrix (general blocked matmul). */
     void applyMatrix2q(const std::array<Amp, 16> &m, QubitId q0, QubitId q1);
+
+    /** Multiply the `qubit`=0 / `qubit`=1 halves by d0 / d1; halves with
+     *  a unit factor are skipped entirely. */
+    void applyDiag1q(Amp d0, Amp d1, QubitId qubit);
+
+    /** Multiply the |q0=1,q1=1> quarter of the state by d11. */
+    void applyDiag2q(Amp d11, QubitId q0, QubitId q1);
+
+    /** Apply a 2x2 matrix to `target` on the `control`-set half only. */
+    void applyControlled1q(const std::array<Amp, 4> &m, QubitId control,
+                           QubitId target);
 
     /**
      * Projective Z measurement with collapse.
@@ -85,6 +104,21 @@ class StateVector final : public Backend
     std::size_t sampleBasis(Rng &rng) const;
 
   private:
+    /** Swap the `qubit`=0/1 amplitude pairs (an X gate, no arithmetic). */
+    void applyPermX(QubitId qubit);
+
+    /** Swap the |01> and |10> amplitudes of the pair (a SWAP gate). */
+    void applyPermSwap(QubitId q0, QubitId q1);
+
+    /**
+     * Single collapse pass shared by measure/postselect/resetQubit:
+     * scales the kept branch by 1/sqrt(p) and zeroes the other, reusing
+     * an already-computed `p1`. With `fold_x` (resetQubit's |1> branch)
+     * the corrective X is folded in: the scaled 1-half lands directly in
+     * the 0-half slots.
+     */
+    void collapse(QubitId qubit, int outcome, double p1, bool fold_x);
+
     unsigned _num_qubits;
     std::vector<Amp> _amps;
 };

@@ -183,6 +183,23 @@ parseCli(int argc, char **argv)
                           tier) == opts.backends.end()) {
                 opts.backends.push_back(tier);
             }
+        } else if (arg == "--fusion") {
+            if (i + 1 >= argc)
+                return Result<CliOptions>::error("--fusion needs a mode");
+            const std::string_view name = argv[++i];
+            if (name == "all") {
+                opts.fusions = q::allFusionModes();
+                continue;
+            }
+            q::FusionMode mode;
+            if (!q::parseFusionMode(name, mode)) {
+                return Result<CliOptions>::error(
+                    std::string("unknown --fusion mode: ") + argv[i]);
+            }
+            if (std::find(opts.fusions.begin(), opts.fusions.end(),
+                          mode) == opts.fusions.end()) {
+                opts.fusions.push_back(mode);
+            }
         } else if (arg == "--policy") {
             if (i + 1 >= argc)
                 return Result<CliOptions>::error("--policy needs a policy");
@@ -260,7 +277,7 @@ printUsage(const char *prog)
         "          [--topology <shape>]... [--placement <strategy>]...\n"
         "          [--routing <mode>]... [--route-window N]...\n"
         "          [--route-feedback on|off]... [--backend <tier>]...\n"
-        "          [--latency-model <model>]...\n"
+        "          [--fusion <mode>]... [--latency-model <model>]...\n"
         "          [--clustering <c>]... [--policy <policy>]...\n"
         "          [--tree-arity N]... [--list]\n"
         "  --json <path>      write the dhisq-bench-v1 report "
@@ -292,6 +309,9 @@ printUsage(const char *prog)
         "                     dense, tableau or \"all\"; repeatable; "
         "auto\n"
         "                     picks tableau for Clifford-only programs)\n"
+        "  --fusion <mode>    restrict the lazy 1q gate-fusion axis (off,\n"
+        "                     1q or \"all\"; repeatable; dense functional\n"
+        "                     backend only, default off)\n"
         "  --latency-model <m> restrict the link-latency axis (uniform,\n"
         "                     distance_scaled, jitter or \"all\"; "
         "repeatable)\n"

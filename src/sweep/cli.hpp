@@ -52,6 +52,8 @@ struct CliOptions
     std::vector<bool> route_feedbacks;
     /** Backend-tier-axis selection; empty keeps the bench's default. */
     std::vector<q::BackendTier> backends;
+    /** Fusion-mode-axis selection; empty keeps the bench's default. */
+    std::vector<q::FusionMode> fusions;
     /** Router-policy-axis selection; empty keeps the bench's default. */
     std::vector<net::RouterPolicy> policies;
     /** Tree-arity-axis selection; empty keeps the bench's default. */

@@ -120,6 +120,10 @@ ExperimentPoint::label() const
         label += "/backend-";
         label += q::toString(config.backend);
     }
+    if (config.fusion != q::FusionMode::kOff) {
+        label += "/fusion-";
+        label += q::toString(config.fusion);
+    }
     if (latency_model != net::LinkLatencyModel::kUniform) {
         label += '/';
         label += net::toString(latency_model);
@@ -151,6 +155,7 @@ expandGrid(const GridSpec &grid)
                    grid.topologies.size() * grid.placements.size() *
                    grid.routings.size() * grid.route_windows.size() *
                    grid.route_feedbacks.size() * grid.backends.size() *
+                   grid.fusions.size() *
                    grid.latency_models.size() *
                    grid.clusterings.size() * grid.policies.size() *
                    grid.tree_arities.size() *
@@ -163,6 +168,7 @@ expandGrid(const GridSpec &grid)
              for (const unsigned window : grid.route_windows) {
               for (const bool feedback : grid.route_feedbacks) {
                for (const auto backend : grid.backends) {
+                for (const auto fusion : grid.fusions) {
                 for (const auto latency_model : grid.latency_models) {
                   for (const auto clustering : grid.clusterings) {
                     for (const auto policy : grid.policies) {
@@ -179,6 +185,7 @@ expandGrid(const GridSpec &grid)
                             p.config.route_window = window;
                             p.config.route_feedback = feedback;
                             p.config.backend = backend;
+                            p.config.fusion = fusion;
                             p.config.qubits_per_controller = qpc;
                             p.topology = topology;
                             p.latency_model = latency_model;
@@ -195,6 +202,7 @@ expandGrid(const GridSpec &grid)
                       }
                     }
                   }
+                }
                 }
                }
               }
@@ -243,6 +251,8 @@ runPoint(const ExperimentPoint &point, const MetricsHook &extend)
         out.params["route_feedback"] = true;
     if (point.config.backend != q::BackendTier::kAuto)
         out.params["backend"] = q::toString(point.config.backend);
+    if (point.config.fusion != q::FusionMode::kOff)
+        out.params["fusion"] = q::toString(point.config.fusion);
     if (point.controllers != 0)
         out.params["controllers"] = point.controllers;
     if (point.latency_model != net::LinkLatencyModel::kUniform)

@@ -115,6 +115,8 @@ struct GridSpec
     /** Functional-backend tiers (state-vector mode only; the stochastic
      *  device ignores the tier). */
     std::vector<q::BackendTier> backends = {q::BackendTier::kAuto};
+    /** Lazy 1q gate-fusion modes (dense functional backend only). */
+    std::vector<q::FusionMode> fusions = {q::FusionMode::kOff};
     /** Link-latency heterogeneity models. */
     std::vector<net::LinkLatencyModel> latency_models = {
         net::LinkLatencyModel::kUniform};
@@ -141,8 +143,8 @@ struct GridSpec
 /**
  * Expand a grid in deterministic order: circuit-major, then scheme,
  * topology shape, placement, routing mode, routing window, routing
- * feedback, backend tier, latency model, clustering, policy, tree
- * arity, qubits-per-controller, seed.
+ * feedback, backend tier, fusion mode, latency model, clustering,
+ * policy, tree arity, qubits-per-controller, seed.
  */
 std::vector<ExperimentPoint> expandGrid(const GridSpec &grid);
 

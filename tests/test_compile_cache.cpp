@@ -198,6 +198,8 @@ TEST(Key, EveryCompilerConfigFieldChangesTheKey)
             {"repetitions", [](auto &c) { c.repetitions += 1; }},
             {"backend",
              [](auto &c) { c.backend = q::BackendTier::kDense; }},
+            {"fusion",
+             [](auto &c) { c.fusion = q::FusionMode::k1q; }},
         };
     for (const auto &[name, edit] : edits) {
         CompilerConfig cc;

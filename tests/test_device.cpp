@@ -134,6 +134,104 @@ TEST(Device, ResetRestoresInitialState)
 }
 
 // ---------------------------------------------------------------------------
+// Lazy 1q gate-fusion tier: pending-buffer lifecycle and flush points.
+// ---------------------------------------------------------------------------
+
+DeviceConfig
+fusionConfig()
+{
+    DeviceConfig cfg = smallConfig();
+    cfg.fusion = FusionMode::k1q;
+    return cfg;
+}
+
+TEST(DeviceFusion, PendingBuildsPerQubitAndTwoQubitGateFlushesOperands)
+{
+    QuantumDevice dev(fusionConfig());
+    EXPECT_EQ(dev.pendingFusedGates(), 0u);
+    dev.trigger(Action::gate1q(Gate::kH, 0), 0);
+    dev.trigger(Action::gate1q(Gate::kT, 0), 5);
+    EXPECT_EQ(dev.pendingFusedGates(), 1u); // composed into one slot
+    dev.trigger(Action::gate1q(Gate::kH, 1), 5);
+    dev.trigger(Action::gate1q(Gate::kX, 2), 5);
+    EXPECT_EQ(dev.pendingFusedGates(), 3u);
+    EXPECT_EQ(dev.stats().counter("gates_1q"), 4u); // counted at trigger
+
+    // A two-qubit gate flushes its operands only.
+    dev.trigger(Action::gate2qWhole(Gate::kCZ, 0, 1), 10);
+    EXPECT_EQ(dev.pendingFusedGates(), 1u); // qubit 2 still buffered
+    EXPECT_EQ(dev.finalize(), 0u);
+    EXPECT_EQ(dev.pendingFusedGates(), 0u);
+}
+
+TEST(DeviceFusion, MeasurementAndPrepFlushEverything)
+{
+    QuantumDevice dev(fusionConfig());
+    dev.trigger(Action::gate1q(Gate::kX, 0), 0);
+    dev.trigger(Action::gate1q(Gate::kH, 2), 0);
+    EXPECT_EQ(dev.pendingFusedGates(), 2u);
+    dev.trigger(Action::measure(0), 10);
+    EXPECT_EQ(dev.pendingFusedGates(), 0u);
+    ASSERT_EQ(dev.measurements().size(), 1u);
+    EXPECT_EQ(dev.measurements()[0].bit, 1); // the buffered X was applied
+
+    dev.trigger(Action::gate1q(Gate::kH, 1), 100);
+    EXPECT_EQ(dev.pendingFusedGates(), 1u);
+    dev.trigger(Action::prep(0), 110);
+    EXPECT_EQ(dev.pendingFusedGates(), 0u);
+    EXPECT_EQ(dev.finalize(), 0u);
+}
+
+TEST(DeviceFusion, FinalizeFlushesPendingGates)
+{
+    QuantumDevice dev(fusionConfig());
+    dev.trigger(Action::gate1q(Gate::kX, 1), 0);
+    EXPECT_EQ(dev.pendingFusedGates(), 1u);
+    EXPECT_EQ(dev.finalize(), 0u);
+    EXPECT_EQ(dev.pendingFusedGates(), 0u);
+    EXPECT_NEAR(dev.state().probabilityOfOne(1), 1.0, 1e-12);
+}
+
+TEST(DeviceFusion, ResetDropsPendingGatesAndReZeroesCounters)
+{
+    QuantumDevice dev(fusionConfig());
+    dev.trigger(Action::gate1q(Gate::kH, 0), 0);
+    EXPECT_EQ(dev.pendingFusedGates(), 1u);
+    dev.reset();
+    EXPECT_EQ(dev.pendingFusedGates(), 0u);
+    EXPECT_EQ(dev.stats().counter("gates_1q"), 0u);
+    // The dropped H must not leak into the fresh state.
+    EXPECT_EQ(dev.finalize(), 0u);
+    EXPECT_NEAR(dev.state().probability(0), 1.0, 1e-12);
+    // Counters keep counting after the reset's handle rebind.
+    dev.trigger(Action::gate1q(Gate::kX, 0), 0);
+    EXPECT_EQ(dev.stats().counter("gates_1q"), 1u);
+}
+
+TEST(DeviceFusion, FusedChainMatchesUnfusedDevice)
+{
+    QuantumDevice fused(fusionConfig());
+    QuantumDevice plain(smallConfig());
+    const Gate chain[] = {Gate::kH, Gate::kT, Gate::kS, Gate::kH, Gate::kZ};
+    for (QubitId q = 0; q < 3; ++q) {
+        for (const Gate g : chain) {
+            fused.trigger(Action::gate1q(g, q), 0);
+            plain.trigger(Action::gate1q(g, q), 0);
+        }
+    }
+    fused.trigger(Action::gate2qWhole(Gate::kCNOT, 0, 1), 10);
+    plain.trigger(Action::gate2qWhole(Gate::kCNOT, 0, 1), 10);
+    EXPECT_EQ(fused.finalize(), 0u);
+    EXPECT_EQ(plain.finalize(), 0u);
+    for (std::size_t i = 0; i < 8; ++i) {
+        EXPECT_NEAR(std::abs(fused.state().amplitude(i) -
+                             plain.state().amplitude(i)),
+                    0.0, 1e-12)
+            << "amplitude " << i;
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Decoherence model.
 // ---------------------------------------------------------------------------
 

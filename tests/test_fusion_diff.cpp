@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Differential fusion-equivalence harness — the correctness spine of the
+ * lazy 1q gate-fusion tier. Every circuit here is compiled through the
+ * full pass pipeline and executed on the complete machine (boards, fabric,
+ * TCUs, result routing) twice on the FORCED dense backend, under the same
+ * seed: once with fusion off, once with the lazy 1q tier on. The
+ * measurement records — qubit, bit, commit cycle, ready cycle — must be
+ * IDENTICAL. Any flush-point bug (a fused matrix surviving past a 2q
+ * gate, measurement or prep) or composition-order mistake shows up as a
+ * record diff with the failing seed in the assertion message.
+ *
+ * The backend is forced to kDense because the tableau tier cannot consume
+ * fused matrices — fusion silently disables itself there, which would
+ * make a kAuto diff trivially pass on Clifford corpora.
+ *
+ * Coverage:
+ *  - Sharded seeded random Clifford circuits across schemes, repetitions,
+ *    and oversubscribed/routed configurations. DHISQ_DIFF_SCALE
+ *    multiplies the per-shard count (the nightly fuzz job runs at 10x).
+ *  - Routed, oversubscribed, repeated end-to-end workloads plus the
+ *    dynamic GHZ fan-out (mid-circuit measurement + feedback — the
+ *    densest flush-point traffic we generate).
+ *  - Device-level non-Clifford unitary evolution: random angled circuits
+ *    with fusion on/off agree amplitude-by-amplitude within tolerance
+ *    (composed products reassociate floating-point arithmetic, so exact
+ *    equality is not the contract there — flush-point placement is).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "compiler/compiler.hpp"
+#include "runtime/machine.hpp"
+#include "sweep/exec.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/lrcnot.hpp"
+
+namespace dhisq {
+namespace {
+
+using compiler::Circuit;
+using compiler::CompilerConfig;
+using compiler::SyncScheme;
+using q::BackendKind;
+using q::BackendTier;
+using q::FusionMode;
+
+unsigned
+diffScale()
+{
+    const char *env = std::getenv("DHISQ_DIFF_SCALE");
+    if (env == nullptr)
+        return 1;
+    const long v = std::strtol(env, nullptr, 10);
+    return (v >= 1 && v <= 1000) ? unsigned(v) : 1;
+}
+
+/** One compiled end-to-end run on the dense backend at a fusion mode. */
+struct DiffRun
+{
+    bool rejected = false;
+    bool deadlock = false;
+    BackendKind backend = BackendKind::kDense;
+    unsigned pending_after_run = 0;
+    std::vector<q::QuantumDevice::MeasurementRecord> records;
+};
+
+struct DiffConfig
+{
+    SyncScheme scheme = SyncScheme::kBisp;
+    compiler::RoutingMode routing = compiler::RoutingMode::kNone;
+    unsigned repetitions = 1;
+    /** 0 = size the machine to fit; less than the fit = oversubscribed. */
+    unsigned controllers = 0;
+    net::TopologyShape topology = net::TopologyShape::kLine;
+    std::uint64_t seed = 1;
+};
+
+DiffRun
+runWith(const Circuit &circuit, FusionMode fusion, const DiffConfig &dc)
+{
+    CompilerConfig cc;
+    cc.scheme = dc.scheme;
+    cc.routing = dc.routing;
+    cc.repetitions = dc.repetitions;
+    cc.backend = BackendTier::kDense;
+    cc.fusion = fusion;
+
+    const unsigned controllers =
+        dc.controllers != 0 ? dc.controllers : circuit.numQubits();
+    auto topo_cfg = sweep::shapeTopology(dc.topology, controllers);
+    net::Topology topo = net::Topology::build(topo_cfg);
+
+    compiler::Compiler comp(topo, cc);
+    auto compile_result = comp.tryCompile(circuit);
+    DiffRun out;
+    if (!compile_result) {
+        out.rejected = true;
+        return out;
+    }
+    auto compiled = compile_result.take();
+
+    auto mc = compiler::machineConfigFor(topo_cfg, cc, compiled,
+                                         /*state_vector=*/true, dc.seed);
+    mc.fabric.star_messages = (dc.scheme == SyncScheme::kLockStep);
+    runtime::Machine machine(mc);
+    compiled.applyTo(machine);
+    const auto report = machine.run();
+    out.deadlock = report.deadlock;
+    out.backend = machine.device().backend().kind();
+    out.pending_after_run = machine.device().pendingFusedGates();
+    out.records = machine.device().measurements();
+    return out;
+}
+
+/** Run fusion off/on and assert bit-identical measurement records. */
+void
+expectFusionModesAgree(const Circuit &circuit, const DiffConfig &dc,
+                       const std::string &what)
+{
+    const DiffRun off = runWith(circuit, FusionMode::kOff, dc);
+    const DiffRun on = runWith(circuit, FusionMode::k1q, dc);
+    ASSERT_FALSE(off.rejected) << what << ": fusion-off run rejected";
+    ASSERT_FALSE(on.rejected) << what << ": fusion-on run rejected";
+    ASSERT_FALSE(off.deadlock) << what << ": fusion-off run deadlocked";
+    ASSERT_FALSE(on.deadlock) << what << ": fusion-on run deadlocked";
+    ASSERT_EQ(off.backend, BackendKind::kDense) << what;
+    ASSERT_EQ(on.backend, BackendKind::kDense)
+        << what << ": fusion diff must run on the dense backend";
+    ASSERT_EQ(on.pending_after_run, 0u)
+        << what << ": finalize() left a fused matrix buffered";
+    ASSERT_FALSE(off.records.empty())
+        << what << ": no measurements — the diff proves nothing";
+    ASSERT_EQ(off.records.size(), on.records.size()) << what;
+    for (std::size_t i = 0; i < off.records.size(); ++i) {
+        const auto &a = off.records[i];
+        const auto &b = on.records[i];
+        ASSERT_TRUE(a.qubit == b.qubit && a.bit == b.bit &&
+                    a.start == b.start && a.ready == b.ready)
+            << what << ": measurement record " << i
+            << " diverged: fusion-off (q" << unsigned(a.qubit) << " bit "
+            << a.bit << " @ " << a.start << ".." << a.ready
+            << ") vs fusion-on (q" << unsigned(b.qubit) << " bit " << b.bit
+            << " @ " << b.start << ".." << b.ready << ")";
+    }
+}
+
+// -------------------------------------------------------------------------
+// Sharded seeded random Clifford circuits (same corpus shape as the
+// backend-tier diff). Scheme, repetitions, topology and routing vary with
+// the seed; every 4th seed runs OVERSUBSCRIBED (half the controllers,
+// SWAP routing) so flush points also fire inside routed SWAP chains.
+// -------------------------------------------------------------------------
+
+constexpr unsigned kShards = 10;
+constexpr unsigned kSeedsPerShard = 25;
+
+class RandomCliffordFusionDiff : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(RandomCliffordFusionDiff, MeasurementRecordsIdentical)
+{
+    const unsigned shard = GetParam();
+    const unsigned per_shard = kSeedsPerShard * diffScale();
+    const std::uint64_t first = 1 + std::uint64_t(shard) * per_shard;
+    for (std::uint64_t seed = first; seed < first + per_shard; ++seed) {
+        workloads::RandomCliffordOptions opt;
+        opt.qubits = 4 + unsigned(seed % 7);        // 4..10
+        opt.layers = 8 + unsigned(seed % 9);        // 8..16
+        opt.measure_fraction = 0.35;
+        opt.feedback_fraction = 0.6;
+        opt.seed = seed;
+        const Circuit circuit = workloads::randomClifford(opt);
+
+        DiffConfig dc;
+        dc.seed = seed;
+        const SyncScheme schemes[] = {SyncScheme::kBisp,
+                                      SyncScheme::kDemand,
+                                      SyncScheme::kLockStep};
+        dc.scheme = schemes[seed % 3];
+        if (seed % 5 == 0)
+            dc.repetitions = 2;
+        if (seed % 4 == 0) {
+            // Oversubscribed + routed: fewer controllers than qubits.
+            dc.routing = compiler::RoutingMode::kSwap;
+            dc.controllers = (opt.qubits + 1) / 2;
+            dc.topology = (seed % 8 == 0) ? net::TopologyShape::kTorus
+                                          : net::TopologyShape::kLine;
+        }
+        expectFusionModesAgree(
+            circuit, dc,
+            "random_clifford seed " + std::to_string(seed) +
+                " (rerun: DHISQ_DIFF_SCALE covers seeds " +
+                std::to_string(first) + ".." +
+                std::to_string(first + per_shard - 1) + " in this shard)");
+        if (::testing::Test::HasFatalFailure())
+            return;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, RandomCliffordFusionDiff,
+                         ::testing::Range(0u, kShards),
+                         [](const auto &info) {
+                             return "shard" + std::to_string(info.param);
+                         });
+
+// -------------------------------------------------------------------------
+// End-to-end workloads: routed, oversubscribed, repeated, and the dynamic
+// GHZ fan-out (the densest measurement-feedback flush traffic).
+// -------------------------------------------------------------------------
+
+TEST(FusionWorkloadDiff, GhzFanoutDynamicExpansion)
+{
+    for (std::uint64_t seed : {1ull, 9ull}) {
+        Rng er(seed);
+        const Circuit dyn = workloads::expandNonAdjacentGates(
+            workloads::ghzFanout(9, /*measure_all=*/true), 1.0, er);
+        DiffConfig dc;
+        dc.seed = seed;
+        expectFusionModesAgree(
+            dyn, dc, "ghz_fanout_dyn seed " + std::to_string(seed));
+    }
+}
+
+TEST(FusionWorkloadDiff, RoutedSwapChain)
+{
+    workloads::RandomCliffordOptions opt;
+    opt.qubits = 8;
+    opt.layers = 10;
+    opt.seed = 11;
+    DiffConfig dc;
+    dc.routing = compiler::RoutingMode::kSwap;
+    dc.seed = 11;
+    expectFusionModesAgree(workloads::randomClifford(opt), dc,
+                           "routed_swap_chain");
+}
+
+TEST(FusionWorkloadDiff, OversubscribedRoutedRepeated)
+{
+    // The hardest compiled shape: more qubit blocks than controllers,
+    // SWAP chains, repetitions > 1 — flush points must fire identically
+    // across the repeated routed slot geometry.
+    workloads::RandomCliffordOptions opt;
+    opt.qubits = 10;
+    opt.layers = 12;
+    opt.seed = 23;
+    DiffConfig dc;
+    dc.routing = compiler::RoutingMode::kSwap;
+    dc.controllers = 4;
+    dc.repetitions = 3;
+    dc.topology = net::TopologyShape::kTorus;
+    dc.seed = 23;
+    expectFusionModesAgree(workloads::randomClifford(opt), dc,
+                           "oversubscribed_routed_reps3");
+}
+
+// -------------------------------------------------------------------------
+// Device-level non-Clifford evolution: fused composition reassociates
+// floating-point products, so the contract is amplitude agreement within
+// tolerance, not bit-identity. Measurement-free so no Rng draw can be
+// flipped by an ulp and cascade.
+// -------------------------------------------------------------------------
+
+TEST(FusionDeviceDiff, RandomNonCliffordAmplitudesAgree)
+{
+    using q::Action;
+    using q::DeviceConfig;
+    using q::Gate;
+    using q::QuantumDevice;
+
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        DeviceConfig base;
+        base.num_qubits = 5;
+        base.state_vector = true;
+        base.seed = seed;
+        DeviceConfig fused_cfg = base;
+        fused_cfg.fusion = FusionMode::k1q;
+
+        QuantumDevice plain(base), fused(fused_cfg);
+        const Gate one_q[] = {Gate::kH,  Gate::kT,  Gate::kS, Gate::kX,
+                              Gate::kZ,  Gate::kRz, Gate::kRy};
+        Rng rng(seed * 77 + 5);
+        Cycle cycle = 0;
+        for (int step = 0; step < 160; ++step) {
+            cycle += 5;
+            if (rng.uniform() < 0.7) {
+                const Gate g = one_q[unsigned(rng.uniform() * 7) % 7];
+                const QubitId qb = QubitId(unsigned(rng.uniform() * 5) % 5);
+                const double angle = rng.uniform() * 6.283 - 3.1415;
+                plain.trigger(Action::gate1q(g, qb, angle), cycle);
+                fused.trigger(Action::gate1q(g, qb, angle), cycle);
+            } else {
+                const QubitId a = QubitId(unsigned(rng.uniform() * 5) % 5);
+                const QubitId b = (a + 1) % 5;
+                const Gate g =
+                    rng.uniform() < 0.5 ? Gate::kCNOT : Gate::kCZ;
+                plain.trigger(Action::gate2qWhole(g, a, b), cycle);
+                fused.trigger(Action::gate2qWhole(g, a, b), cycle);
+            }
+        }
+        ASSERT_EQ(plain.finalize(), 0u);
+        ASSERT_EQ(fused.finalize(), 0u);
+        ASSERT_EQ(fused.pendingFusedGates(), 0u);
+        for (std::size_t i = 0; i < 32; ++i) {
+            ASSERT_NEAR(std::abs(plain.state().amplitude(i) -
+                                 fused.state().amplitude(i)),
+                        0.0, 1e-10)
+                << "seed " << seed << " amplitude " << i;
+        }
+    }
+}
+
+} // namespace
+} // namespace dhisq

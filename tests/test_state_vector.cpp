@@ -360,6 +360,175 @@ TEST(StateVectorProperty, SymmetricGatesIgnoreOperandOrder)
     }
 }
 
+// -------------------------------------------------------------------------
+// Exact-equality kernel suite: every classified gate (the diagonal /
+// permutation / controlled fast paths apply1q/apply2q dispatch to) must
+// reproduce the general applyMatrix1q/2q reference BIT-FOR-BIT on random
+// scrambled states, across every qubit position. The specialized kernels
+// only drop exact 0/±1 factors and keep evaluation order, so == (not
+// NEAR) is the contract — it is what keeps committed bench artifacts
+// byte-identical with the fast path on by default.
+// -------------------------------------------------------------------------
+
+namespace {
+
+/** Assert amplitude-exact equality (|-0.0| == |0.0| by IEEE). */
+void
+expectAmpsExactlyEqual(const StateVector &a, const StateVector &b,
+                       const char *what, std::uint64_t seed)
+{
+    ASSERT_EQ(a.dimension(), b.dimension());
+    for (std::size_t i = 0; i < a.dimension(); ++i) {
+        ASSERT_TRUE(a.amplitude(i) == b.amplitude(i))
+            << what << " seed " << seed << " basis " << i << ": "
+            << a.amplitude(i).real() << "+" << a.amplitude(i).imag()
+            << "i vs " << b.amplitude(i).real() << "+"
+            << b.amplitude(i).imag() << "i";
+    }
+}
+
+} // namespace
+
+TEST(StateVectorKernelExact, Classified1qMatchesGeneralReference)
+{
+    const unsigned n = 4;
+    const struct
+    {
+        Gate g;
+        double angle;
+    } gates[] = {{Gate::kI, 0.0},    {Gate::kX, 0.0},
+                 {Gate::kZ, 0.0},    {Gate::kS, 0.0},
+                 {Gate::kSdg, 0.0},  {Gate::kT, 0.0},
+                 {Gate::kTdg, 0.0},  {Gate::kRz, 0.7853981},
+                 {Gate::kRz, -2.25}, {Gate::kH, 0.0},
+                 {Gate::kY, 0.0},    {Gate::kRy, 1.234}};
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        for (const auto &[g, angle] : gates) {
+            for (QubitId qb = 0; qb < n; ++qb) {
+                StateVector fast(n), ref(n);
+                scramble(fast, seed);
+                scramble(ref, seed);
+                fast.apply1q(g, qb, angle);
+                ref.applyMatrix1q(matrix1q(g, angle), qb);
+                expectAmpsExactlyEqual(fast, ref, gateName(g).data(),
+                                       seed);
+            }
+        }
+    }
+}
+
+TEST(StateVectorKernelExact, Classified2qMatchesGeneralReference)
+{
+    const unsigned n = 4;
+    const struct
+    {
+        Gate g;
+        double angle;
+    } gates[] = {{Gate::kCZ, 0.0},
+                 {Gate::kCNOT, 0.0},
+                 {Gate::kSwap, 0.0},
+                 {Gate::kCPhase, 0.6},
+                 {Gate::kCPhase, -2.9}};
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        for (const auto &[g, angle] : gates) {
+            for (QubitId q0 = 0; q0 < n; ++q0) {
+                for (QubitId q1 = 0; q1 < n; ++q1) {
+                    if (q0 == q1)
+                        continue;
+                    StateVector fast(n), ref(n);
+                    scramble(fast, seed);
+                    scramble(ref, seed);
+                    fast.apply2q(g, q0, q1, angle);
+                    ref.applyMatrix2q(matrix2q(g, angle), q0, q1);
+                    expectAmpsExactlyEqual(fast, ref, gateName(g).data(),
+                                           seed);
+                }
+            }
+        }
+    }
+}
+
+TEST(StateVectorKernelExact, BlockedProbabilityMatchesNaiveOrder)
+{
+    // probabilityOfOne's blocked reduction must visit elements in the
+    // same ascending order as the historical branchy loop — same sum,
+    // same bits. The measurement Rng draws compare against it directly.
+    const unsigned n = 5;
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+        StateVector sv(n);
+        scramble(sv, seed);
+        for (QubitId qb = 0; qb < n; ++qb) {
+            double naive = 0.0;
+            const std::size_t bit = std::size_t(1) << qb;
+            for (std::size_t i = 0; i < sv.dimension(); ++i) {
+                if (i & bit)
+                    naive += std::norm(sv.amplitude(i));
+            }
+            ASSERT_EQ(sv.probabilityOfOne(qb), naive)
+                << "seed " << seed << " qubit " << qb;
+        }
+    }
+}
+
+TEST(StateVectorKernelExact, SinglePassMeasureMatchesLegacyAlgorithm)
+{
+    // measure/resetQubit single-pass rewrites vs the historical
+    // sequence (branchy probabilityOfOne -> coin -> branchy collapse ->
+    // conditional X), replicated test-side on a snapshot of the
+    // amplitudes: same Rng draw, bit-identical post-state.
+    const unsigned n = 4;
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        for (QubitId qb = 0; qb < n; ++qb) {
+            const bool do_reset = (seed + qb) % 2 == 0;
+            StateVector sv(n);
+            scramble(sv, seed);
+            std::vector<Amp> snap(sv.dimension());
+            for (std::size_t i = 0; i < sv.dimension(); ++i)
+                snap[i] = sv.amplitude(i);
+
+            // Legacy algorithm on the snapshot.
+            const std::size_t bit = std::size_t(1) << qb;
+            double p1 = 0.0;
+            for (std::size_t i = 0; i < snap.size(); ++i) {
+                if (i & bit)
+                    p1 += std::norm(snap[i]);
+            }
+            Rng rng_ref(seed * 11 + 3);
+            const int outcome = rng_ref.coin(p1) ? 1 : 0;
+            const double p = outcome ? p1 : 1.0 - p1;
+            const double scale = 1.0 / std::sqrt(p);
+            for (std::size_t i = 0; i < snap.size(); ++i) {
+                const bool is_one = (i & bit) != 0;
+                if (is_one == (outcome != 0))
+                    snap[i] *= scale;
+                else
+                    snap[i] = Amp{};
+            }
+            if (do_reset && outcome == 1) {
+                // Conditional X as the old resetQubit applied it.
+                for (std::size_t i = 0; i < snap.size(); ++i) {
+                    if (!(i & bit))
+                        std::swap(snap[i], snap[i | bit]);
+                }
+            }
+
+            // New single-pass path with the identical Rng stream.
+            Rng rng_sv(seed * 11 + 3);
+            if (do_reset) {
+                sv.resetQubit(qb, rng_sv);
+            } else {
+                ASSERT_EQ(sv.measure(qb, rng_sv), outcome)
+                    << "seed " << seed << " qubit " << qb;
+            }
+            for (std::size_t i = 0; i < snap.size(); ++i) {
+                ASSERT_TRUE(sv.amplitude(i) == snap[i])
+                    << (do_reset ? "reset" : "measure") << " seed "
+                    << seed << " qubit " << qb << " basis " << i;
+            }
+        }
+    }
+}
+
 TEST(StateVector, SampleBasisMatchesProbabilities)
 {
     Rng rng(23);
